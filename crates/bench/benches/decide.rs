@@ -1,0 +1,44 @@
+//! Experiment T3-DECIDE: scaling of the Theorem 3 decision procedure with the
+//! number of views and the size of each view, on random boolean-CQ workloads.
+//!
+//! Reported series: decision time for planted-determined instances and for
+//! independent (usually undetermined) instances.  The paper proves the
+//! procedure terminates; this experiment supplies the performance profile a
+//! systems reader would expect (see EXPERIMENTS.md §T3-DECIDE).
+
+use cqdet_bench::{decide_workload, DECIDE_ATOM_COUNTS, DECIDE_VIEW_COUNTS};
+use cqdet_core::decide_bag_determinacy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_views_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide/views");
+    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    for &views in DECIDE_VIEW_COUNTS {
+        for planted in [true, false] {
+            let (v, q) = decide_workload(views, 3, planted, 0xC0DE + views as u64);
+            let label = if planted { "planted" } else { "independent" };
+            group.bench_with_input(
+                BenchmarkId::new(label, views),
+                &(v, q),
+                |b, (v, q)| b.iter(|| decide_bag_determinacy(v, q).unwrap().determined),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_atoms_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide/atoms-per-view");
+    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    for &atoms in DECIDE_ATOM_COUNTS {
+        let (v, q) = decide_workload(4, atoms, true, 0xA70 + atoms as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &(v, q), |b, (v, q)| {
+            b.iter(|| decide_bag_determinacy(v, q).unwrap().determined)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_views_sweep, bench_atoms_sweep);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiment HILBERT: the Theorem 2 reduction — encoding size and time as the
+//! Diophantine instance grows, and the cost of the bounded refutation search.
+
+use cqdet_hilbert::{encode, structures::bounded_refutation, DiophantineInstance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// `x₁·y₁ + x₂·y₂ + … + x_n·y_n − target = 0`.
+fn sum_of_products(n: usize, target: i64) -> DiophantineInstance {
+    let mut monomials = Vec::new();
+    for i in 0..n {
+        monomials.push(cqdet_hilbert::Monomial::new(
+            1,
+            &[(&format!("x{i}"), 1), (&format!("y{i}"), 1)],
+        ));
+    }
+    monomials.push(cqdet_hilbert::Monomial::constant(-target));
+    DiophantineInstance::new(monomials)
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hilbert/encode");
+    group.sample_size(20).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    for n in [1usize, 2, 4, 8] {
+        let inst = sum_of_products(n, 12);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| encode(inst).total_disjuncts())
+        });
+    }
+    group.finish();
+}
+
+fn bench_refutation_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hilbert/bounded-refutation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    for bound in [3u64, 6] {
+        let inst = sum_of_products(2, 12);
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &(inst, bound), |b, (inst, bound)| {
+            b.iter(|| bounded_refutation(inst, *bound).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding, bench_refutation_search);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Shared workload definitions for the benchmark harness.
+//!
+//! Each bench target in `benches/` corresponds to one experiment of
+//! `EXPERIMENTS.md`; this library crate holds the workload constructors so
+//! that the benches and the documentation agree on the parameters.
+
+use cqdet_core::{ConjunctiveQuery, PathQuery};
+use cqdet_query::QueryGenerator;
+use cqdet_structure::{Schema, Structure, StructureGenerator};
+
+/// The parameter sweep for the decision-procedure experiment (T3-DECIDE):
+/// number of views.
+pub const DECIDE_VIEW_COUNTS: &[usize] = &[2, 4, 8, 16, 32];
+
+/// The parameter sweep for the decision-procedure experiment: atoms per view.
+pub const DECIDE_ATOM_COUNTS: &[usize] = &[2, 4, 8];
+
+/// The parameter sweep for the linear-algebra kernel (T3-SPAN).
+pub const SPAN_DIMENSIONS: &[usize] = &[4, 8, 16, 32, 64];
+
+/// Domain sizes for the homomorphism-counting experiment (HOM).
+pub const HOM_DOMAIN_SIZES: &[usize] = &[4, 8, 16, 32];
+
+/// Path-query lengths for the PATH experiment.
+pub const PATH_QUERY_LENGTHS: &[usize] = &[4, 8, 16, 32];
+
+/// A deterministic decision-procedure workload: `count` views of
+/// `atoms` atoms each, plus a query; `planted` controls whether the query is a
+/// sum of view components (determined) or independent (usually undetermined).
+pub fn decide_workload(
+    count: usize,
+    atoms: usize,
+    planted: bool,
+    seed: u64,
+) -> (Vec<ConjunctiveQuery>, ConjunctiveQuery) {
+    let mut generator = QueryGenerator::new(2, seed);
+    generator.random_instance(count, atoms, planted)
+}
+
+/// A deterministic path-determinacy workload.
+pub fn path_workload(
+    query_len: usize,
+    views: usize,
+    derivable: bool,
+    seed: u64,
+) -> (Vec<PathQuery>, PathQuery) {
+    let mut generator = QueryGenerator::new(3, seed);
+    generator.random_path_instance(query_len, views, 2, derivable)
+}
+
+/// A deterministic random structure over a two-relation binary schema.
+pub fn hom_target(domain: usize, facts: usize, seed: u64) -> Structure {
+    let schema = Schema::binary(["R0", "R1"]);
+    let mut generator = StructureGenerator::new(schema, seed);
+    generator.random_with_facts(domain, facts)
+}
+
+/// The source pattern counted against [`hom_target`]: three disjoint 2-paths
+/// (disconnected on purpose, so component factoring has something to do).
+pub fn hom_source() -> Structure {
+    let schema = Schema::binary(["R0", "R1"]);
+    let mut s = Structure::new(schema);
+    for i in 0..3u64 {
+        s.add("R0", &[10 * i, 10 * i + 1]);
+        s.add("R1", &[10 * i + 1, 10 * i + 2]);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(decide_workload(4, 3, true, 7).1, decide_workload(4, 3, true, 7).1);
+        assert_eq!(path_workload(8, 3, true, 7).1, path_workload(8, 3, true, 7).1);
+        assert_eq!(hom_target(8, 20, 7), hom_target(8, 20, 7));
+    }
+
+    #[test]
+    fn planted_decide_workloads_are_determined() {
+        let (views, q) = decide_workload(3, 3, true, 42);
+        let res = cqdet_core::decide_bag_determinacy(&views, &q).unwrap();
+        assert!(res.determined);
+    }
+
+    #[test]
+    fn derivable_path_workloads_are_determined() {
+        let (views, q) = path_workload(8, 4, true, 42);
+        assert!(cqdet_core::decide_path_determinacy(&views, &q).determined);
+    }
+
+    #[test]
+    fn hom_source_is_disconnected() {
+        assert!(!cqdet_structure::is_connected(&hom_source()));
+        assert_eq!(cqdet_structure::connected_components(&hom_source()).len(), 3);
+    }
+}

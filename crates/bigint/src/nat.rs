@@ -1,0 +1,732 @@
+//! Unsigned arbitrary-precision natural numbers.
+
+use crate::ParseBigIntError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+const LIMB_BITS: u32 = 32;
+const LIMB_BASE: u64 = 1 << LIMB_BITS;
+
+/// An arbitrary-precision natural number (including zero).
+///
+/// Internally a little-endian vector of 32-bit limbs with no trailing zero
+/// limbs (zero is represented by an empty limb vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Nat {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u32>,
+}
+
+impl Nat {
+    /// The natural number zero.
+    pub fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The natural number one.
+    pub fn one() -> Self {
+        Nat { limbs: vec![1] }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let lo = (v & 0xFFFF_FFFF) as u32;
+        let hi = (v >> 32) as u32;
+        let mut n = Nat {
+            limbs: vec![lo, hi],
+        };
+        n.normalize();
+        n
+    }
+
+    /// Construct from a `usize`.
+    pub fn from_usize(v: usize) -> Self {
+        Self::from_u64(v as u64)
+    }
+
+    /// Whether this number is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether this number is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Try to convert to `u64`; returns `None` if the value does not fit.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Try to convert to `usize`; returns `None` if the value does not fit.
+    pub fn to_usize(&self) -> Option<usize> {
+        self.to_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Number of significant bits (0 for the value zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * LIMB_BITS as usize + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// The value of the `i`-th bit (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / LIMB_BITS as usize;
+        let off = i % LIMB_BITS as usize;
+        match self.limbs.get(limb) {
+            None => false,
+            Some(&l) => (l >> off) & 1 == 1,
+        }
+    }
+
+    /// Whether the value is even.
+    pub fn is_even(&self) -> bool {
+        !self.bit(0)
+    }
+
+    fn normalize(&mut self) {
+        while let Some(&0) = self.limbs.last() {
+            self.limbs.pop();
+        }
+    }
+
+    /// Addition, allocating the result.
+    pub fn add_ref(&self, other: &Nat) -> Nat {
+        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(longer.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..longer.len() {
+            let a = longer[i] as u64;
+            let b = *shorter.get(i).unwrap_or(&0) as u64;
+            let sum = a + b + carry;
+            out.push((sum & 0xFFFF_FFFF) as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut n = Nat { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Subtraction `self - other`; panics if `other > self`.
+    pub fn sub_ref(&self, other: &Nat) -> Nat {
+        assert!(
+            self >= other,
+            "Nat subtraction underflow: cannot subtract a larger natural number"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut diff = a - b - borrow;
+            if diff < 0 {
+                diff += LIMB_BASE as i64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = Nat { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Checked subtraction: `None` if `other > self`.
+    pub fn checked_sub(&self, other: &Nat) -> Option<Nat> {
+        if self >= other {
+            Some(self.sub_ref(other))
+        } else {
+            None
+        }
+    }
+
+    /// Multiplication, allocating the result (schoolbook algorithm).
+    pub fn mul_ref(&self, other: &Nat) -> Nat {
+        if self.is_zero() || other.is_zero() {
+            return Nat::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            let a = a as u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let idx = i + j;
+                let cur = out[idx] as u64 + a * (b as u64) + carry;
+                out[idx] = (cur & 0xFFFF_FFFF) as u32;
+                carry = cur >> 32;
+            }
+            let mut idx = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[idx] as u64 + carry;
+                out[idx] = (cur & 0xFFFF_FFFF) as u32;
+                carry = cur >> 32;
+                idx += 1;
+            }
+        }
+        let mut n = Nat { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Multiply by a single `u32`.
+    pub fn mul_u32(&self, m: u32) -> Nat {
+        if m == 0 || self.is_zero() {
+            return Nat::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let m = m as u64;
+        let mut carry = 0u64;
+        for &a in &self.limbs {
+            let cur = (a as u64) * m + carry;
+            out.push((cur & 0xFFFF_FFFF) as u32);
+            carry = cur >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut n = Nat { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Shift left by `bits` bits.
+    pub fn shl_bits(&self, bits: usize) -> Nat {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / LIMB_BITS as usize;
+        let bit_shift = (bits % LIMB_BITS as usize) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = Nat { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Shift right by `bits` bits (floor division by `2^bits`).
+    pub fn shr_bits(&self, bits: usize) -> Nat {
+        let limb_shift = bits / LIMB_BITS as usize;
+        if limb_shift >= self.limbs.len() {
+            return Nat::zero();
+        }
+        let bit_shift = (bits % LIMB_BITS as usize) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (LIMB_BITS - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        let mut n = Nat { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Division with remainder: returns `(self / divisor, self % divisor)`.
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divrem(&self, divisor: &Nat) -> (Nat, Nat) {
+        assert!(!divisor.is_zero(), "division by zero Nat");
+        if self < divisor {
+            return (Nat::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.divrem_u32(divisor.limbs[0]);
+            return (q, Nat::from_u64(r as u64));
+        }
+        // Shift–subtract long division on the bit level.  Quadratic, but the
+        // operands in this workspace stay in the low thousands of bits.
+        let n = self.bit_len();
+        let d = divisor.bit_len();
+        let mut rem = Nat::zero();
+        let mut quot_limbs = vec![0u32; self.limbs.len()];
+        let mut i = n;
+        // Start remainder with the top (d-1) bits of self to skip pointless steps.
+        if n >= d {
+            rem = self.shr_bits(n - (d - 1));
+            i = n - (d - 1);
+        }
+        while i > 0 {
+            i -= 1;
+            // rem = rem * 2 + bit_i(self)
+            rem = rem.shl_bits(1);
+            if self.bit(i) {
+                rem = rem.add_ref(&Nat::one());
+            }
+            if &rem >= divisor {
+                rem = rem.sub_ref(divisor);
+                quot_limbs[i / 32] |= 1 << (i % 32);
+            }
+        }
+        let mut q = Nat { limbs: quot_limbs };
+        q.normalize();
+        (q, rem)
+    }
+
+    /// Division with remainder by a single `u32` divisor.
+    pub fn divrem_u32(&self, divisor: u32) -> (Nat, u32) {
+        assert!(divisor != 0, "division by zero");
+        let d = divisor as u64;
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | self.limbs[i] as u64;
+            out[i] = (cur / d) as u32;
+            rem = cur % d;
+        }
+        let mut q = Nat { limbs: out };
+        q.normalize();
+        (q, rem as u32)
+    }
+
+    /// Exponentiation by squaring. `0^0 = 1` (the paper's convention).
+    pub fn pow(&self, mut exp: u64) -> Nat {
+        let mut base = self.clone();
+        let mut result = Nat::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result.mul_ref(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary GCD; `gcd(0, x) = x`).
+    pub fn gcd(&self, other: &Nat) -> Nat {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        // Count common factors of two.
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a = a.shr_bits(1);
+            b = b.shr_bits(1);
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr_bits(1);
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr_bits(1);
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub_ref(&a);
+            if b.is_zero() {
+                break;
+            }
+        }
+        a.shl_bits(shift)
+    }
+
+    /// Least common multiple. `lcm(0, x) = 0`.
+    pub fn lcm(&self, other: &Nat) -> Nat {
+        if self.is_zero() || other.is_zero() {
+            return Nat::zero();
+        }
+        let g = self.gcd(other);
+        self.divrem(&g).0.mul_ref(other)
+    }
+
+    /// Render in decimal.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut chunks: Vec<u32> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divrem_u32(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        for (i, chunk) in chunks.iter().enumerate().rev() {
+            if i == chunks.len() - 1 {
+                s.push_str(&chunk.to_string());
+            } else {
+                s.push_str(&format!("{chunk:09}"));
+            }
+        }
+        s
+    }
+
+    /// Parse from a decimal string of ASCII digits.
+    pub fn from_decimal(s: &str) -> Result<Nat, ParseBigIntError> {
+        if s.is_empty() {
+            return Err(ParseBigIntError::empty());
+        }
+        let mut n = Nat::zero();
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(10).ok_or_else(|| ParseBigIntError::invalid(c))?;
+            n = n.mul_u32(10).add_ref(&Nat::from_u64(d as u64));
+        }
+        Ok(n)
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nat({})", self.to_decimal())
+    }
+}
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<u32> for Nat {
+    fn from(v: u32) -> Self {
+        Nat::from_u64(v as u64)
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Self {
+        Nat::from_u64(v)
+    }
+}
+
+impl From<usize> for Nat {
+    fn from(v: usize) -> Self {
+        Nat::from_usize(v)
+    }
+}
+
+impl FromStr for Nat {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Nat::from_decimal(s)
+    }
+}
+
+macro_rules! forward_binop_nat {
+    ($trait:ident, $method:ident, $impl_method:ident) => {
+        impl $trait for Nat {
+            type Output = Nat;
+            fn $method(self, rhs: Nat) -> Nat {
+                self.$impl_method(&rhs)
+            }
+        }
+        impl $trait<&Nat> for Nat {
+            type Output = Nat;
+            fn $method(self, rhs: &Nat) -> Nat {
+                self.$impl_method(rhs)
+            }
+        }
+        impl $trait<&Nat> for &Nat {
+            type Output = Nat;
+            fn $method(self, rhs: &Nat) -> Nat {
+                self.$impl_method(rhs)
+            }
+        }
+        impl $trait<Nat> for &Nat {
+            type Output = Nat;
+            fn $method(self, rhs: Nat) -> Nat {
+                self.$impl_method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop_nat!(Add, add, add_ref);
+forward_binop_nat!(Sub, sub, sub_ref);
+forward_binop_nat!(Mul, mul, mul_ref);
+
+impl AddAssign<&Nat> for Nat {
+    fn add_assign(&mut self, rhs: &Nat) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&Nat> for Nat {
+    fn sub_assign(&mut self, rhs: &Nat) {
+        *self = self.sub_ref(rhs);
+    }
+}
+
+impl MulAssign<&Nat> for Nat {
+    fn mul_assign(&mut self, rhs: &Nat) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Rem<&Nat> for &Nat {
+    type Output = Nat;
+    fn rem(self, rhs: &Nat) -> Nat {
+        self.divrem(rhs).1
+    }
+}
+
+impl Shl<usize> for &Nat {
+    type Output = Nat;
+    fn shl(self, bits: usize) -> Nat {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &Nat {
+    type Output = Nat;
+    fn shr(self, bits: usize) -> Nat {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> Nat {
+        Nat::from_u64(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Nat::zero().is_zero());
+        assert!(Nat::one().is_one());
+        assert!(!Nat::one().is_zero());
+        assert_eq!(Nat::zero().to_u64(), Some(0));
+        assert_eq!(Nat::one().to_u64(), Some(1));
+        assert_eq!(Nat::default(), Nat::zero());
+    }
+
+    #[test]
+    fn add_small() {
+        assert_eq!(n(2) + n(3), n(5));
+        assert_eq!(n(0) + n(7), n(7));
+        assert_eq!(n(u32::MAX as u64) + n(1), n(1 << 32));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = n(u64::MAX);
+        let b = n(1);
+        let sum = a + b;
+        assert_eq!(sum.to_decimal(), "18446744073709551616");
+        assert_eq!(sum.bit_len(), 65);
+    }
+
+    #[test]
+    fn sub_small() {
+        assert_eq!(n(10) - n(3), n(7));
+        assert_eq!(n(10) - n(10), Nat::zero());
+        assert_eq!(n(1 << 32) - n(1), n(u32::MAX as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = n(3) - n(5);
+    }
+
+    #[test]
+    fn checked_sub_none_on_underflow() {
+        assert_eq!(n(3).checked_sub(&n(5)), None);
+        assert_eq!(n(5).checked_sub(&n(3)), Some(n(2)));
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(n(6) * n(7), n(42));
+        assert_eq!(n(0) * n(7), Nat::zero());
+        assert_eq!(n(u32::MAX as u64) * n(u32::MAX as u64), n(18446744065119617025));
+    }
+
+    #[test]
+    fn mul_large() {
+        // (2^64)^2 = 2^128
+        let a = n(u64::MAX) + n(1);
+        let sq = (&a).mul_ref(&a);
+        assert_eq!(sq.to_decimal(), "340282366920938463463374607431768211456");
+        assert_eq!(sq.bit_len(), 129);
+    }
+
+    #[test]
+    fn divrem_basic() {
+        let (q, r) = n(100).divrem(&n(7));
+        assert_eq!(q, n(14));
+        assert_eq!(r, n(2));
+        let (q, r) = n(5).divrem(&n(10));
+        assert_eq!(q, Nat::zero());
+        assert_eq!(r, n(5));
+    }
+
+    #[test]
+    fn divrem_multi_limb() {
+        let a = Nat::from_decimal("340282366920938463463374607431768211457").unwrap();
+        let b = Nat::from_decimal("18446744073709551616").unwrap();
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q, b);
+        assert_eq!(r, Nat::one());
+        // Recompose.
+        assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = n(1).divrem(&Nat::zero());
+    }
+
+    #[test]
+    fn pow_and_zero_conventions() {
+        assert_eq!(n(2).pow(10), n(1024));
+        assert_eq!(n(0).pow(0), Nat::one(), "the paper's 0^0 = 1 convention");
+        assert_eq!(n(0).pow(5), Nat::zero());
+        assert_eq!(n(7).pow(0), Nat::one());
+        assert_eq!(n(10).pow(20).to_decimal(), "100000000000000000000");
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(n(12).gcd(&n(18)), n(6));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+        assert_eq!(n(5).gcd(&n(0)), n(5));
+        assert_eq!(n(17).gcd(&n(13)), n(1));
+        assert_eq!(n(12).lcm(&n(18)), n(36));
+        assert_eq!(n(0).lcm(&n(5)), Nat::zero());
+        let a = n(2).pow(40) * n(3).pow(5);
+        let b = n(2).pow(20) * n(5).pow(3);
+        assert_eq!(a.gcd(&b), n(2).pow(20));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(1).shl_bits(40), n(1 << 40));
+        assert_eq!(n(1 << 40).shr_bits(40), n(1));
+        assert_eq!(n(0b1011).shr_bits(2), n(0b10));
+        assert_eq!(Nat::zero().shl_bits(100), Nat::zero());
+        assert_eq!(n(5).shr_bits(100), Nat::zero());
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        for s in [
+            "0",
+            "1",
+            "999999999",
+            "1000000000",
+            "123456789012345678901234567890",
+            "340282366920938463463374607431768211456",
+        ] {
+            let v = Nat::from_decimal(s).unwrap();
+            assert_eq!(v.to_decimal(), s);
+        }
+    }
+
+    #[test]
+    fn decimal_parse_errors() {
+        assert!(Nat::from_decimal("").is_err());
+        assert!(Nat::from_decimal("12a").is_err());
+        assert!("x".parse::<Nat>().is_err());
+        assert_eq!("1_000".parse::<Nat>().unwrap(), n(1000));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(3) < n(5));
+        assert!(n(1 << 40) > n(u32::MAX as u64));
+        let a = Nat::from_decimal("123456789012345678901234567890").unwrap();
+        let b = Nat::from_decimal("123456789012345678901234567891").unwrap();
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn bits() {
+        assert_eq!(Nat::zero().bit_len(), 0);
+        assert_eq!(n(1).bit_len(), 1);
+        assert_eq!(n(255).bit_len(), 8);
+        assert_eq!(n(256).bit_len(), 9);
+        assert!(n(4).is_even());
+        assert!(!n(5).is_even());
+        assert!(n(5).bit(0) && !n(5).bit(1) && n(5).bit(2));
+    }
+
+    #[test]
+    fn mul_u32_and_divrem_u32() {
+        let a = Nat::from_decimal("123456789012345678901234567890").unwrap();
+        let b = a.mul_u32(1000);
+        assert_eq!(b.to_decimal(), "123456789012345678901234567890000");
+        let (q, r) = b.divrem_u32(1000);
+        assert_eq!(q, a);
+        assert_eq!(r, 0);
+    }
+}

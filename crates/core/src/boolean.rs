@@ -1,0 +1,369 @@
+//! The decision procedure of Theorem 3: bag-determinacy of boolean CQs.
+//!
+//! Pipeline (Section 4):
+//!
+//! 1. `V ← {v ∈ V₀ : q ⊆_set v}` (Definition 25) — views that cannot return 0
+//!    on any structure satisfying `q`.
+//! 2. `W ←` the pairwise non-isomorphic connected components of
+//!    `Σ_{v ∈ V ∪ {q}} v` (Definition 27) — the basis queries.
+//! 3. Every `v ∈ V ∪ {q}` gets its vector representation `v⃗ ∈ ℕ^k`
+//!    (Definition 29): the multiplicities of the basis components in `v`.
+//! 4. **Main Lemma (Lemma 31)**: `V₀ ⟶_bag q` iff `q⃗ ∈ span_ℚ{v⃗ : v ∈ V}`.
+//!
+//! The answer comes with the full analysis (retained views, basis, vectors,
+//! and — when determined — explicit span coefficients realising Example 32's
+//! "q(D) = Π v(D)^{αᵥ}" rewriting), so callers can inspect *why*.
+
+use cqdet_linalg::{span_coefficients, span_contains, QVec, Rat};
+use cqdet_query::cq::{common_schema, component_basis};
+use cqdet_query::ConjunctiveQuery;
+use cqdet_structure::{multiplicities, Schema, Structure};
+use std::fmt;
+
+/// Why an instance cannot be handled by the Theorem 3 procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeterminacyError {
+    /// The query has free variables; Theorem 3 is about boolean CQs.
+    QueryNotBoolean(String),
+    /// Some view has free variables.
+    ViewNotBoolean(String),
+    /// A relation of arity zero occurs: Lemma 4's sum rules (and hence
+    /// Observation 30) require every connected component to contain at least
+    /// one variable.
+    NullaryRelation(String),
+}
+
+impl fmt::Display for DeterminacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeterminacyError::QueryNotBoolean(n) => {
+                write!(f, "query {n} is not boolean (Theorem 3 handles boolean CQs)")
+            }
+            DeterminacyError::ViewNotBoolean(n) => {
+                write!(f, "view {n} is not boolean (Theorem 3 handles boolean CQs)")
+            }
+            DeterminacyError::NullaryRelation(r) => {
+                write!(f, "relation {r} has arity 0; the component basis requires positive arities")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeterminacyError {}
+
+/// The outcome of the Theorem 3 decision procedure, with the full analysis.
+#[derive(Debug, Clone)]
+pub struct BagDeterminacy {
+    /// Whether `V₀ ⟶_bag q`.
+    pub determined: bool,
+    /// The common schema over which everything was frozen.
+    pub schema: Schema,
+    /// Indices (into the input slice) of the retained views
+    /// `V = {v ∈ V₀ : q ⊆_set v}`.
+    pub retained_views: Vec<usize>,
+    /// The basis `W`: pairwise non-isomorphic connected components of
+    /// `Σ_{v ∈ V ∪ {q}} v`, as structures.
+    pub basis: Vec<Structure>,
+    /// The vector representation `q⃗` of the query.
+    pub query_vector: QVec,
+    /// The vector representations `v⃗` of the retained views (same order as
+    /// `retained_views`).
+    pub view_vectors: Vec<QVec>,
+    /// When determined: rational coefficients `α⃗` with
+    /// `q⃗ = Σ αᵢ·v⃗ᵢ`, i.e. `q(D) = Π vᵢ(D)^{αᵢ}` whenever no `vᵢ(D)` is zero
+    /// (Lemma 31 (⇐), Example 32).
+    pub coefficients: Option<QVec>,
+}
+
+impl BagDeterminacy {
+    /// The dimension `k = |W|` of the basis.
+    pub fn basis_size(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Human-readable rendition of the rewriting `q(D) = Π vᵢ(D)^{αᵢ}` when
+    /// the instance is determined (and `None` otherwise).
+    pub fn rewriting(&self, views: &[ConjunctiveQuery]) -> Option<String> {
+        let coeffs = self.coefficients.as_ref()?;
+        let mut parts = Vec::new();
+        for (pos, &vi) in self.retained_views.iter().enumerate() {
+            let c = &coeffs[pos];
+            if c.is_zero() {
+                continue;
+            }
+            parts.push(format!("{}(D)^({})", views[vi].name(), c));
+        }
+        if parts.is_empty() {
+            Some("q(D) = 1".to_string())
+        } else {
+            Some(format!("q(D) = {}", parts.join(" · ")))
+        }
+    }
+}
+
+fn vector_of(
+    query: &ConjunctiveQuery,
+    basis: &[Structure],
+    schema: &Schema,
+) -> QVec {
+    let comps = query.components_over(schema);
+    let mult = multiplicities(basis, &comps)
+        .expect("every component of a query in V' must be isomorphic to a basis element");
+    QVec(mult.into_iter().map(|m| Rat::from_i64(m as i64)).collect())
+}
+
+/// Decide whether `views ⟶_bag query` for boolean conjunctive queries
+/// (Theorem 3).
+///
+/// Returns the decision together with the full analysis ([`BagDeterminacy`]).
+pub fn decide_bag_determinacy(
+    views: &[ConjunctiveQuery],
+    query: &ConjunctiveQuery,
+) -> Result<BagDeterminacy, DeterminacyError> {
+    if !query.is_boolean() {
+        return Err(DeterminacyError::QueryNotBoolean(query.name().to_string()));
+    }
+    for v in views {
+        if !v.is_boolean() {
+            return Err(DeterminacyError::ViewNotBoolean(v.name().to_string()));
+        }
+    }
+    let all: Vec<&ConjunctiveQuery> = views.iter().chain(std::iter::once(query)).collect();
+    let schema = common_schema(&all);
+    for (rel, arity) in schema.relations() {
+        if arity == 0 {
+            return Err(DeterminacyError::NullaryRelation(rel.to_string()));
+        }
+    }
+
+    // Step 1: V = {v ∈ V₀ | q ⊆_set v}  (Definition 25).
+    let retained_views: Vec<usize> = (0..views.len())
+        .filter(|&i| query.contained_in_set(&views[i], &schema))
+        .collect();
+
+    // Step 2: the basis W (Definition 27) over V' = V ∪ {q}.
+    let v_prime: Vec<&ConjunctiveQuery> = retained_views
+        .iter()
+        .map(|&i| &views[i])
+        .chain(std::iter::once(query))
+        .collect();
+    let basis = component_basis(&v_prime, &schema);
+
+    // Step 3: vector representations (Definition 29).
+    let query_vector = vector_of(query, &basis, &schema);
+    let view_vectors: Vec<QVec> = retained_views
+        .iter()
+        .map(|&i| vector_of(&views[i], &basis, &schema))
+        .collect();
+
+    // Step 4: the Main Lemma's span test.
+    let determined = span_contains(&view_vectors, &query_vector);
+    let coefficients = if determined {
+        span_coefficients(&view_vectors, &query_vector)
+    } else {
+        None
+    };
+
+    Ok(BagDeterminacy {
+        determined,
+        schema,
+        retained_views,
+        basis,
+        query_vector,
+        view_vectors,
+        coefficients,
+    })
+}
+
+/// Corollary 33: if all queries involved are *connected*, the only non-trivial
+/// way to be determined is to literally contain (a query set-isomorphic to)
+/// `q` among the views.
+///
+/// This is a convenience wrapper around [`decide_bag_determinacy`] that also
+/// reports whether the corollary's hypothesis applies.
+pub fn connected_case(
+    views: &[ConjunctiveQuery],
+    query: &ConjunctiveQuery,
+) -> Result<(bool, bool), DeterminacyError> {
+    let all_connected = query.is_connected() && views.iter().all(|v| v.is_connected());
+    let result = decide_bag_determinacy(views, query)?;
+    Ok((all_connected, result.determined))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqdet_query::cq::Atom;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::new(rel, vars)
+    }
+
+    fn edge(name: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::boolean(name, vec![atom("R", &["x", "y"])])
+    }
+
+    fn two_path(name: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::boolean(name, vec![atom("R", &["x", "y"]), atom("R", &["y", "z"])])
+    }
+
+    #[test]
+    fn query_among_views_is_determined() {
+        let q = edge("q");
+        let v = edge("v");
+        let res = decide_bag_determinacy(&[v], &q).unwrap();
+        assert!(res.determined);
+        assert_eq!(res.retained_views, vec![0]);
+        assert_eq!(res.basis_size(), 1);
+        assert_eq!(res.coefficients.as_ref().unwrap()[0], Rat::one());
+    }
+
+    #[test]
+    fn single_different_connected_view_does_not_determine() {
+        // Corollary 33: connected views determine a connected q only if q ∈ V₀.
+        let q = edge("q");
+        let v = two_path("v");
+        let res = decide_bag_determinacy(&[v.clone()], &q).unwrap();
+        assert!(!res.determined);
+        let (hypothesis, determined) = connected_case(&[v], &q).unwrap();
+        assert!(hypothesis);
+        assert!(!determined);
+    }
+
+    #[test]
+    fn example_32_style_span_instance() {
+        // q  = w1 + w2 + 2*w3, v1 = 2*w1 + w2 + 3*w3, v2 = 5*w1 + 2*w2 + 7*w3
+        // with w1 = R-edge, w2 = R-loop, w3 = 2-path; q⃗ = 3·v⃗1 − v⃗2.
+        fn raw(rel: &str, a: String, b: String) -> Atom {
+            Atom {
+                relation: rel.to_string(),
+                vars: vec![a, b],
+            }
+        }
+        fn copies(template: &[(&str, usize)], tag: &str) -> Vec<Atom> {
+            // template entries: ("edge"|"loop"|"path2", count)
+            let mut atoms = Vec::new();
+            for (kind, count) in template {
+                for i in 0..*count {
+                    match *kind {
+                        "edge" => atoms.push(raw("R", format!("{tag}e{i}x"), format!("{tag}e{i}y"))),
+                        "loop" => atoms.push(raw("R", format!("{tag}l{i}"), format!("{tag}l{i}"))),
+                        "path2" => {
+                            atoms.push(raw("R", format!("{tag}p{i}x"), format!("{tag}p{i}y")));
+                            atoms.push(raw("R", format!("{tag}p{i}y"), format!("{tag}p{i}z")));
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            atoms
+        }
+        let q = ConjunctiveQuery::boolean("q", copies(&[("edge", 1), ("loop", 1), ("path2", 2)], "q"));
+        let v1 = ConjunctiveQuery::boolean("v1", copies(&[("edge", 2), ("loop", 1), ("path2", 3)], "v1"));
+        let v2 = ConjunctiveQuery::boolean("v2", copies(&[("edge", 5), ("loop", 2), ("path2", 7)], "v2"));
+        let res = decide_bag_determinacy(&[v1, v2], &q).unwrap();
+        assert!(res.determined, "q⃗ = 3·v⃗1 − v⃗2 is in the span");
+        assert_eq!(res.basis_size(), 3);
+        let coeffs = res.coefficients.clone().unwrap();
+        assert_eq!(coeffs[0], Rat::from_i64(3));
+        assert_eq!(coeffs[1], Rat::from_i64(-1));
+        assert!(res
+            .rewriting(&[edge("v1"), edge("v2")])
+            .unwrap()
+            .contains("v1(D)^(3)"));
+    }
+
+    #[test]
+    fn views_not_containing_q_are_dropped() {
+        // v uses a different relation S, so q ⊄_set v and v is dropped; the
+        // remaining (empty) view set cannot determine q.
+        let q = edge("q");
+        let v = ConjunctiveQuery::boolean("v", vec![atom("S", &["x", "y"])]);
+        let res = decide_bag_determinacy(&[v], &q).unwrap();
+        assert!(res.retained_views.is_empty());
+        assert!(!res.determined);
+    }
+
+    #[test]
+    fn example_42_shape_instance_not_determined() {
+        // The shape of Example 42: q = w1, V₀ = {w2}, where w1 ⊆_set w2, both
+        // are connected and non-isomorphic.  Then W = {w1, w2}, V = V₀, and
+        // q⃗ = (1,0) ∉ span{(0,1)} — not determined (the Main Lemma), even
+        // though every structure satisfying q satisfies the view.
+        let w1 = ConjunctiveQuery::boolean(
+            "w1",
+            vec![atom("Red", &["a", "b"]), atom("Green", &["b", "b"])],
+        );
+        let w2 = ConjunctiveQuery::boolean(
+            "w2",
+            vec![
+                atom("Red", &["a", "b"]),
+                atom("Green", &["b", "b"]),
+                atom("Green", &["b", "c"]),
+            ],
+        );
+        let res = decide_bag_determinacy(&[w2], &w1).unwrap();
+        assert_eq!(res.retained_views, vec![0], "w1 ⊆_set w2");
+        assert_eq!(res.basis_size(), 2);
+        assert!(!res.determined);
+    }
+
+    #[test]
+    fn multiple_views_spanning() {
+        // q = 2 disjoint edges; v1 = edge; determined: q⃗ = 2·v⃗1.
+        let q = ConjunctiveQuery::boolean(
+            "q",
+            vec![atom("R", &["x", "y"]), atom("R", &["z", "w"])],
+        );
+        let v1 = edge("v1");
+        let res = decide_bag_determinacy(&[v1], &q).unwrap();
+        assert!(res.determined);
+        assert_eq!(res.coefficients.as_ref().unwrap()[0], Rat::from_i64(2));
+    }
+
+    #[test]
+    fn errors_for_non_boolean_and_nullary() {
+        let unary = ConjunctiveQuery::new("u", &["x"], vec![atom("R", &["x", "y"])]);
+        let q = edge("q");
+        assert!(matches!(
+            decide_bag_determinacy(&[], &unary),
+            Err(DeterminacyError::QueryNotBoolean(_))
+        ));
+        assert!(matches!(
+            decide_bag_determinacy(&[unary], &q),
+            Err(DeterminacyError::ViewNotBoolean(_))
+        ));
+        let nullary = ConjunctiveQuery::boolean("n", vec![Atom::new("H", &[])]);
+        let err = decide_bag_determinacy(&[nullary], &q).unwrap_err();
+        assert!(matches!(err, DeterminacyError::NullaryRelation(_)));
+        assert!(err.to_string().contains("arity 0"));
+    }
+
+    #[test]
+    fn empty_view_set() {
+        let q = edge("q");
+        let res = decide_bag_determinacy(&[], &q).unwrap();
+        assert!(!res.determined);
+        assert!(res.retained_views.is_empty());
+        assert_eq!(res.basis_size(), 1);
+    }
+
+    #[test]
+    fn bag_determinacy_implies_set_but_not_conversely_example_2_boolean_variant() {
+        // Boolean analogue of Example 2's phenomenon: V determines q under set
+        // semantics (q ⊨ both views and their "join" recovers q's satisfaction
+        // on the canonical structures) but not under bag semantics.
+        let q = ConjunctiveQuery::boolean(
+            "q",
+            vec![atom("P", &["u", "x"]), atom("R", &["x", "y"]), atom("S", &["y", "z"])],
+        );
+        let v1 = ConjunctiveQuery::boolean("v1", vec![atom("P", &["u", "x"]), atom("R", &["x", "y"])]);
+        let v2 = ConjunctiveQuery::boolean("v2", vec![atom("R", &["x", "y"]), atom("S", &["y", "z"])]);
+        let res = decide_bag_determinacy(&[v1, v2], &q).unwrap();
+        // Both views are retained (q ⊆_set v1, v2) and the three queries are
+        // connected and pairwise non-isomorphic, so by Corollary 33 the answer
+        // is "not determined".
+        assert_eq!(res.retained_views, vec![0, 1]);
+        assert!(!res.determined);
+    }
+}

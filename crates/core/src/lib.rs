@@ -1,0 +1,34 @@
+//! Bag-semantics query determinacy — the paper's contribution, executable.
+//!
+//! The central question (Definition 1): given a set of views `V` and a query
+//! `q`, does `v(D) = v(D′)` for all `v ∈ V` (as **multisets**) imply
+//! `q(D) = q(D′)`?  We write `V ⟶_bag q`.
+//!
+//! * [`boolean`] — the decision procedure of **Theorem 3**: bag-determinacy of
+//!   boolean conjunctive queries is decidable, via the Main Lemma
+//!   (`V₀ ⟶_bag q` iff `q⃗ ∈ span{v⃗ : v ∈ V}` over the component basis `W`).
+//! * [`witness`] — the constructive half of the proof (Sections 5–7): when the
+//!   span test fails, build a certified counterexample pair `D, D′`.
+//! * [`paths`] — **Theorem 1**: for path queries, bag- and set-determinacy
+//!   coincide and are characterised by reachability in the prefix graph
+//!   `G_{q,V}`; includes the q-walk machinery and the Appendix B witness.
+//! * [`bruteforce`] — a bounded exhaustive baseline (the "algorithm" one would
+//!   use without the paper); used for cross-validation and as the benchmark
+//!   baseline.
+
+pub mod boolean;
+pub mod bruteforce;
+pub mod paths;
+pub mod witness;
+
+pub use boolean::{decide_bag_determinacy, BagDeterminacy, DeterminacyError};
+pub use bruteforce::{brute_force_search, BruteForceOutcome};
+pub use paths::{
+    decide_path_determinacy, derivation_path, prefix_graph, DerivationStep, PathAnalysis,
+};
+pub use witness::{build_counterexample, Counterexample, WitnessError};
+
+pub use cqdet_bigint::{Int, Nat};
+pub use cqdet_linalg::{QMat, QVec, Rat};
+pub use cqdet_query::{ConjunctiveQuery, PathQuery, UnionQuery};
+pub use cqdet_structure::{Schema, Structure};

@@ -1,0 +1,236 @@
+//! The UCQ encoding of a Diophantine instance (Appendix A).
+//!
+//! * `Φ_m` — for a monomial `m`, the boolean CQ with, for every unknown `xᵢ`,
+//!   `m(xᵢ)` atoms `Xᵢ(y_{i,j})` over pairwise distinct existential variables.
+//!   Then `Φ_m(D) = Π_i D_{Xᵢ}^{m(xᵢ)}`, so `m^D = c(m) · Φ_m(D)` (Lemma 59).
+//! * `Ψ_P = ⋁_{m ∈ P} ⋁_{i=1}^{c(m)} (Φ_m ∧ H)` and
+//!   `Ψ_N = ⋁_{m ∈ N} ⋁_{i=1}^{|c(m)|} (Φ_m ∧ C)` — the positive and negative
+//!   parts, guarded by the nullary markers `H` and `C`.
+//! * The query is `q = H`; the views are `V₁ = H ∨ C`, `V_{xᵢ} = ∃y Xᵢ(y)` and
+//!   `V_I = Ψ_P ∨ Ψ_N`.
+
+use crate::monomial::{DiophantineInstance, Monomial};
+use cqdet_query::cq::Atom;
+use cqdet_query::{ConjunctiveQuery, UnionQuery};
+use cqdet_structure::Schema;
+
+/// The relation name used for an unknown.
+pub fn unknown_relation(unknown: &str) -> String {
+    format!("X_{unknown}")
+}
+
+/// The complete output of the Theorem 2 reduction.
+#[derive(Clone, Debug)]
+pub struct HilbertEncoding {
+    /// The schema Σ: nullary `H`, `C` and unary `X_{xᵢ}`.
+    pub schema: Schema,
+    /// The query `q = H`.
+    pub query: UnionQuery,
+    /// The views `V₁`, `V_{xᵢ}` (one per unknown, in sorted order), `V_I`.
+    pub views: Vec<UnionQuery>,
+    /// The instance this encoding came from.
+    pub instance: DiophantineInstance,
+}
+
+impl HilbertEncoding {
+    /// The view `V₁ = H ∨ C`.
+    pub fn v1(&self) -> &UnionQuery {
+        &self.views[0]
+    }
+
+    /// The views `V_{xᵢ}` in the order of [`DiophantineInstance::unknowns`].
+    pub fn unknown_views(&self) -> &[UnionQuery] {
+        &self.views[1..self.views.len() - 1]
+    }
+
+    /// The view `V_I = Ψ_P ∨ Ψ_N`.
+    pub fn v_i(&self) -> &UnionQuery {
+        &self.views[self.views.len() - 1]
+    }
+
+    /// Total number of CQ disjuncts across all views — the "size" of the
+    /// reduction output (reported by the HILBERT benchmark).
+    pub fn total_disjuncts(&self) -> usize {
+        self.views.iter().map(UnionQuery::len).sum()
+    }
+}
+
+/// The boolean CQ `Φ_m` of a monomial (without the `H`/`C` guard).
+pub fn phi_m(monomial: &Monomial) -> ConjunctiveQuery {
+    let mut atoms = Vec::new();
+    for (x, d) in &monomial.degrees {
+        for j in 0..*d {
+            atoms.push(Atom {
+                relation: unknown_relation(x),
+                vars: vec![format!("y_{x}_{j}")],
+            });
+        }
+    }
+    // A constant monomial has no atoms; guard-only disjuncts handle it, and a
+    // CQ needs at least something to be well-formed — the guard atom is added
+    // by the caller, so an empty body here is fine (it will never be used
+    // alone).
+    ConjunctiveQuery::boolean(format!("phi[{monomial}]"), atoms)
+}
+
+fn guarded(phi: &ConjunctiveQuery, guard: &str, copy: usize) -> ConjunctiveQuery {
+    let mut atoms = phi.atoms().to_vec();
+    atoms.push(Atom {
+        relation: guard.to_string(),
+        vars: vec![],
+    });
+    ConjunctiveQuery::boolean(format!("{}&{guard}#{copy}", phi.name()), atoms)
+}
+
+/// `Ψ_P` (when `guard = "H"`, over the positive monomials) or `Ψ_N`
+/// (`guard = "C"`, negative monomials): each monomial `m` contributes
+/// `|c(m)|` copies of `Φ_m ∧ guard`.
+pub fn psi(monomials: &[&Monomial], guard: &str) -> Vec<ConjunctiveQuery> {
+    let mut disjuncts = Vec::new();
+    for m in monomials {
+        let phi = phi_m(m);
+        for i in 0..m.coefficient.unsigned_abs() {
+            disjuncts.push(guarded(&phi, guard, i as usize));
+        }
+    }
+    disjuncts
+}
+
+/// Run the Theorem 2 reduction on a Diophantine instance.
+pub fn encode(instance: &DiophantineInstance) -> HilbertEncoding {
+    let unknowns = instance.unknowns();
+    let mut schema = Schema::with_relations([("H", 0usize), ("C", 0usize)]);
+    for x in &unknowns {
+        schema.add_relation(unknown_relation(x), 1);
+    }
+
+    // q = H.
+    let query = UnionQuery::from_cq(ConjunctiveQuery::boolean(
+        "q",
+        vec![Atom {
+            relation: "H".to_string(),
+            vars: vec![],
+        }],
+    ));
+
+    let mut views = Vec::new();
+    // V1 = H ∨ C.
+    views.push(UnionQuery::new(
+        "V1",
+        vec![
+            ConjunctiveQuery::boolean(
+                "V1#H",
+                vec![Atom {
+                    relation: "H".to_string(),
+                    vars: vec![],
+                }],
+            ),
+            ConjunctiveQuery::boolean(
+                "V1#C",
+                vec![Atom {
+                    relation: "C".to_string(),
+                    vars: vec![],
+                }],
+            ),
+        ],
+    ));
+    // V_{x_i} = ∃y X_i(y).
+    for x in &unknowns {
+        views.push(UnionQuery::from_cq(ConjunctiveQuery::boolean(
+            format!("V_{x}"),
+            vec![Atom {
+                relation: unknown_relation(x),
+                vars: vec!["y".to_string()],
+            }],
+        )));
+    }
+    // V_I = Ψ_P ∨ Ψ_N.
+    let mut vi_disjuncts = psi(&instance.positive(), "H");
+    vi_disjuncts.extend(psi(&instance.negative(), "C"));
+    assert!(
+        !vi_disjuncts.is_empty(),
+        "an instance has at least one monomial, so V_I has at least one disjunct"
+    );
+    views.push(UnionQuery::new("V_I", vi_disjuncts));
+
+    HilbertEncoding {
+        schema,
+        query,
+        views,
+        instance: instance.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pythagorean() -> DiophantineInstance {
+        DiophantineInstance::from_terms(&[
+            (1, &[("x", 2)]),
+            (1, &[("y", 2)]),
+            (-1, &[("z", 2)]),
+        ])
+    }
+
+    #[test]
+    fn phi_m_has_degree_many_atoms() {
+        let m = Monomial::new(3, &[("x", 2), ("y", 1)]);
+        let phi = phi_m(&m);
+        assert_eq!(phi.atoms().len(), 3);
+        assert!(phi.is_boolean());
+        // Distinct variables for distinct copies.
+        let vars: std::collections::BTreeSet<_> =
+            phi.atoms().iter().flat_map(|a| a.vars.clone()).collect();
+        assert_eq!(vars.len(), 3);
+        // A constant monomial gives the empty body.
+        assert_eq!(phi_m(&Monomial::constant(5)).atoms().len(), 0);
+    }
+
+    #[test]
+    fn psi_counts_coefficient_copies() {
+        let inst = DiophantineInstance::from_terms(&[(3, &[("x", 1)]), (-2, &[("y", 1)])]);
+        let p = psi(&inst.positive(), "H");
+        let n = psi(&inst.negative(), "C");
+        assert_eq!(p.len(), 3);
+        assert_eq!(n.len(), 2);
+        assert!(p.iter().all(|d| d.atoms().iter().any(|a| a.relation == "H")));
+        assert!(n.iter().all(|d| d.atoms().iter().any(|a| a.relation == "C")));
+    }
+
+    #[test]
+    fn encoding_shape() {
+        let enc = encode(&pythagorean());
+        // Views: V1, V_x, V_y, V_z, V_I.
+        assert_eq!(enc.views.len(), 5);
+        assert_eq!(enc.unknown_views().len(), 3);
+        assert_eq!(enc.v1().len(), 2);
+        // V_I: |1| + |1| copies with H, |−1| with C = 3 disjuncts.
+        assert_eq!(enc.v_i().len(), 3);
+        assert_eq!(enc.total_disjuncts(), 2 + 3 + 3);
+        // Schema: H, C nullary; X_x, X_y, X_z unary.
+        assert_eq!(enc.schema.arity("H"), Some(0));
+        assert_eq!(enc.schema.arity("C"), Some(0));
+        assert_eq!(enc.schema.arity("X_x"), Some(1));
+        assert_eq!(enc.schema.len(), 5);
+        // q = H.
+        assert!(enc.query.is_single_cq());
+        assert_eq!(enc.query.disjuncts()[0].atoms()[0].relation, "H");
+    }
+
+    #[test]
+    fn encoding_scales_with_coefficients() {
+        let inst = DiophantineInstance::from_terms(&[(10, &[("x", 1)]), (-10, &[("y", 2)])]);
+        let enc = encode(&inst);
+        assert_eq!(enc.v_i().len(), 20);
+        // Degrees show up as atom counts.
+        let neg_disjunct = enc
+            .v_i()
+            .disjuncts()
+            .iter()
+            .find(|d| d.atoms().iter().any(|a| a.relation == "C"))
+            .unwrap();
+        // 2 atoms X_y plus the C guard.
+        assert_eq!(neg_disjunct.atoms().len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! The convex cone `C = M(ℝ≥0^k)` of Definition 52, rational interior points
+//! (Corollary 8) and the perturbation `p⃗' = t^{z⃗} ∘ p⃗` of Lemmas 56–57.
+
+use crate::matrix::QMat;
+use crate::rat::Rat;
+use crate::vector::{hadamard, pow_vec, QVec};
+
+/// Whether `u⃗ ∈ C = M(ℝ≥0^k) = span_{ℝ≥0}{M·e⃗ᵢ}` (Observation 53).
+///
+/// Requires `M` to be nonsingular (this is how the cone is used in the paper:
+/// `M` is the evaluation matrix of a *good* basis). For a nonsingular `M`,
+/// `u⃗ ∈ C` iff `M⁻¹·u⃗ ≥ 0` componentwise.
+pub fn cone_contains(m: &QMat, u: &QVec) -> bool {
+    cone_coordinates(m, u).is_some()
+}
+
+/// If `u⃗ ∈ C`, return the (unique, because `M` is nonsingular) coordinates
+/// `α⃗ ≥ 0` with `M·α⃗ = u⃗`.
+pub fn cone_coordinates(m: &QMat, u: &QVec) -> Option<QVec> {
+    let inv = m
+        .inverse()
+        .expect("cone_coordinates requires a nonsingular matrix");
+    let alpha = inv.mul_vec(u);
+    if alpha.is_non_negative() {
+        Some(alpha)
+    } else {
+        None
+    }
+}
+
+/// Corollary 8: a rational point `p⃗ ∈ C ∩ ℚ^k` around which some ball is
+/// contained in `C`.
+///
+/// We take `p⃗ = M·𝟙`: the all-ones vector is interior to `ℝ≥0^k` and a
+/// nonsingular `M` is a homeomorphism (Fact 6), so its image is interior to
+/// `C`; it is rational because `M` is.
+pub fn interior_cone_point(m: &QMat) -> QVec {
+    assert!(
+        m.is_nonsingular(),
+        "interior_cone_point requires a nonsingular matrix"
+    );
+    m.mul_vec(&QVec::ones(m.ncols()))
+}
+
+/// Lemma 57: find a rational `t ≠ 1` such that `t^{z⃗} ∘ p⃗ ∈ C`.
+///
+/// Returns `(t, p⃗')` with `p⃗' = t^{z⃗} ∘ p⃗`.  The search walks
+/// `t = 1 + 2^{-j}` for growing `j`; continuity of `t ↦ t^{z⃗} ∘ p⃗` at `t = 1`
+/// (and the fact that `p⃗` is interior) guarantees termination.
+pub fn perturb_along(m: &QMat, p: &QVec, z: &QVec) -> (Rat, QVec) {
+    assert!(
+        cone_contains(m, p),
+        "perturb_along: the base point must lie in the cone"
+    );
+    for j in 1..512usize {
+        let denom = cqdet_bigint::Int::from_nat(cqdet_bigint::Nat::one().shl_bits(j));
+        let t = Rat::one() + Rat::new(cqdet_bigint::Int::one(), denom);
+        let candidate = hadamard(&pow_vec(&t, z), p);
+        if cone_contains(m, &candidate) {
+            return (t, candidate);
+        }
+    }
+    unreachable!(
+        "perturb_along failed to find t; this contradicts Lemma 57 (is the base point interior?)"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot;
+
+    fn m(rows: &[&[i64]]) -> QMat {
+        QMat::from_i64_rows(rows)
+    }
+
+    fn v(vals: &[i64]) -> QVec {
+        QVec::from_i64s(vals)
+    }
+
+    #[test]
+    fn cone_membership_identity() {
+        let id = QMat::identity(2);
+        assert!(cone_contains(&id, &v(&[1, 2])));
+        assert!(cone_contains(&id, &v(&[0, 0])));
+        assert!(!cone_contains(&id, &v(&[-1, 2])));
+    }
+
+    #[test]
+    fn cone_membership_example_54() {
+        // Example 54: M = [[1,4],[1,2]] (rows w1, w2; columns s1, s2).
+        let m54 = m(&[&[1, 4], &[1, 2]]);
+        // Column vectors generate the cone.
+        assert!(cone_contains(&m54, &v(&[1, 1])));
+        assert!(cone_contains(&m54, &v(&[4, 2])));
+        assert!(cone_contains(&m54, &v(&[5, 3])));
+        // A point outside the cone (below the s2 ray).
+        assert!(!cone_contains(&m54, &v(&[4, 1])));
+        // Coordinates recompose.
+        let alpha = cone_coordinates(&m54, &v(&[5, 3])).unwrap();
+        assert_eq!(m54.mul_vec(&alpha), v(&[5, 3]));
+    }
+
+    #[test]
+    fn interior_point_is_in_cone() {
+        let m54 = m(&[&[1, 4], &[1, 2]]);
+        let p = interior_cone_point(&m54);
+        assert_eq!(p, v(&[5, 3]));
+        assert!(cone_contains(&m54, &p));
+        let alpha = cone_coordinates(&m54, &p).unwrap();
+        // Strictly positive coordinates → interior.
+        assert!(alpha.iter().all(|a| a.is_positive()));
+    }
+
+    #[test]
+    fn perturb_preserves_cone_and_moves_target() {
+        let m54 = m(&[&[1, 4], &[1, 2]]);
+        let p = interior_cone_point(&m54);
+        let z = v(&[1, -2]);
+        let (t, p2) = perturb_along(&m54, &p, &z);
+        assert!(t != Rat::one());
+        assert!(cone_contains(&m54, &p2));
+        assert_ne!(p2, p);
+        // Observation 49(2): for any integer vector v with ⟨z,v⟩=0 the
+        // ♂-values of p and p' agree; check the underlying dot-product fact.
+        let orth = v(&[2, 1]);
+        assert_eq!(dot(&z, &orth), Rat::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonsingular")]
+    fn interior_point_requires_nonsingular() {
+        let singular = m(&[&[2, 4], &[1, 2]]);
+        let _ = interior_cone_point(&singular);
+    }
+}

@@ -1,0 +1,28 @@
+//! Exact rational arithmetic and linear algebra over ℚ.
+//!
+//! The decision procedure of the paper (Lemma 31) is a span-membership test in
+//! ℚ^k, and the counterexample construction of Sections 5–7 needs
+//!
+//! * an orthogonal vector to a span that is not orthogonal to a target
+//!   vector (Fact 5),
+//! * nonsingularity tests and inverses of evaluation matrices (Definitions
+//!   37–38, Lemma 46),
+//! * rational interior points of the convex cone `C = M(ℝ≥0^k)`
+//!   (Corollary 8, Definition 52),
+//! * componentwise powers `t^{z⃗} ∘ p⃗` with rational `t` and integer `z⃗`
+//!   (Definition 48, Lemma 57).
+//!
+//! Everything here is exact: no floating point is used anywhere in the
+//! workspace, so the decision procedure can never be wrong due to rounding.
+
+mod cone;
+mod matrix;
+mod rat;
+mod vector;
+
+pub use cone::{cone_coordinates, cone_contains, interior_cone_point, perturb_along};
+pub use matrix::{orthogonal_witness, span_coefficients, span_contains, QMat};
+pub use rat::Rat;
+pub use vector::{dot, hadamard, mars, pow_vec, QVec};
+
+pub use cqdet_bigint::{Int, Nat, Sign};

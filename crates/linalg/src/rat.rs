@@ -1,0 +1,450 @@
+//! Exact rational numbers over [`Int`].
+
+use cqdet_bigint::{Int, Nat, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den`.
+///
+/// Invariants: `den > 0` and `gcd(|num|, den) = 1`; zero is `0/1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: Int,
+    den: Nat,
+}
+
+impl Rat {
+    /// The rational zero.
+    pub fn zero() -> Self {
+        Rat {
+            num: Int::zero(),
+            den: Nat::one(),
+        }
+    }
+
+    /// The rational one.
+    pub fn one() -> Self {
+        Rat {
+            num: Int::one(),
+            den: Nat::one(),
+        }
+    }
+
+    /// Construct `num / den`, reducing to lowest terms. Panics if `den` is zero.
+    pub fn new(num: Int, den: Int) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut num = num;
+        let mut den_nat = den.magnitude().clone();
+        if den.is_negative() {
+            num = num.neg_ref();
+        }
+        if num.is_zero() {
+            return Rat::zero();
+        }
+        let g = num.magnitude().gcd(&den_nat);
+        if !g.is_one() {
+            num = Int::from_sign_mag(num.sign(), num.magnitude().divrem(&g).0);
+            den_nat = den_nat.divrem(&g).0;
+        }
+        Rat { num, den: den_nat }
+    }
+
+    /// Construct from an integer.
+    pub fn from_int(v: Int) -> Self {
+        Rat {
+            num: v,
+            den: Nat::one(),
+        }
+    }
+
+    /// Construct from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        Rat::from_int(Int::from_i64(v))
+    }
+
+    /// Construct from a pair of `i64`s.
+    pub fn from_frac(num: i64, den: i64) -> Self {
+        Rat::new(Int::from_i64(num), Int::from_i64(den))
+    }
+
+    /// Construct from a [`Nat`].
+    pub fn from_nat(v: Nat) -> Self {
+        Rat::from_int(Int::from_nat(v))
+    }
+
+    /// The (reduced) numerator.
+    pub fn numer(&self) -> &Int {
+        &self.num
+    }
+
+    /// The (reduced, strictly positive) denominator.
+    pub fn denom(&self) -> &Nat {
+        &self.den
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether the value is one.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Whether the value is non-negative.
+    pub fn is_non_negative(&self) -> bool {
+        !self.num.is_negative()
+    }
+
+    /// Whether the value is an integer (denominator one).
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// If the value is an integer, return it.
+    pub fn to_int(&self) -> Option<Int> {
+        if self.is_integer() {
+            Some(self.num.clone())
+        } else {
+            None
+        }
+    }
+
+    /// If the value is a non-negative integer, return it as a [`Nat`].
+    pub fn to_nat(&self) -> Option<Nat> {
+        self.to_int().and_then(|i| i.to_nat())
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Addition.
+    pub fn add_ref(&self, other: &Rat) -> Rat {
+        // num/den + num'/den' = (num*den' + num'*den) / (den*den')
+        let num = self.num.mul_ref(&Int::from_nat(other.den.clone()))
+            + other.num.mul_ref(&Int::from_nat(self.den.clone()));
+        let den = Int::from_nat(self.den.mul_ref(&other.den));
+        Rat::new(num, den)
+    }
+
+    /// Subtraction.
+    pub fn sub_ref(&self, other: &Rat) -> Rat {
+        self.add_ref(&other.neg_ref())
+    }
+
+    /// Multiplication.
+    pub fn mul_ref(&self, other: &Rat) -> Rat {
+        Rat::new(
+            self.num.mul_ref(&other.num),
+            Int::from_nat(self.den.mul_ref(&other.den)),
+        )
+    }
+
+    /// Division; panics if `other` is zero.
+    pub fn div_ref(&self, other: &Rat) -> Rat {
+        assert!(!other.is_zero(), "division by zero rational");
+        Rat::new(
+            self.num.mul_ref(&Int::from_nat(other.den.clone())),
+            other.num.mul_ref(&Int::from_nat(self.den.clone())),
+        )
+    }
+
+    /// Negation.
+    pub fn neg_ref(&self) -> Rat {
+        Rat {
+            num: self.num.neg_ref(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse; panics if zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero rational");
+        Rat::new(Int::from_nat(self.den.clone()), self.num.clone())
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Integer power with possibly negative exponent.
+    ///
+    /// `0^0 = 1` (the paper's convention); `0^negative` panics.
+    pub fn pow_i64(&self, exp: i64) -> Rat {
+        if exp == 0 {
+            return Rat::one();
+        }
+        if self.is_zero() {
+            assert!(exp > 0, "zero rational raised to a negative power");
+            return Rat::zero();
+        }
+        let base = if exp < 0 { self.recip() } else { self.clone() };
+        let e = exp.unsigned_abs();
+        Rat {
+            num: base.num.pow(e),
+            den: base.den.pow(e),
+        }
+    }
+
+    /// Floor: the greatest integer `≤ self`.
+    pub fn floor(&self) -> Int {
+        let (q, r) = self.num.divrem(&Int::from_nat(self.den.clone()));
+        if r.is_zero() || !self.num.is_negative() {
+            q
+        } else {
+            q - Int::one()
+        }
+    }
+
+    /// Ceiling: the least integer `≥ self`.
+    pub fn ceil(&self) -> Int {
+        self.neg_ref().floor().neg_ref()
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        let lhs = self.num.mul_ref(&Int::from_nat(other.den.clone()));
+        let rhs = other.num.mul_ref(&Int::from_nat(self.den.clone()));
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat::from_i64(v)
+    }
+}
+
+impl From<Int> for Rat {
+    fn from(v: Int) -> Self {
+        Rat::from_int(v)
+    }
+}
+
+impl From<Nat> for Rat {
+    fn from(v: Nat) -> Self {
+        Rat::from_nat(v)
+    }
+}
+
+/// Parse a rational from `"a"` or `"a/b"` decimal notation.
+impl FromStr for Rat {
+    type Err = cqdet_bigint::ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            None => Ok(Rat::from_int(Int::from_decimal(s)?)),
+            Some((n, d)) => Ok(Rat::new(Int::from_decimal(n)?, Int::from_decimal(d)?)),
+        }
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        self.neg_ref()
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        self.neg_ref()
+    }
+}
+
+macro_rules! forward_binop_rat {
+    ($trait:ident, $method:ident, $impl_method:ident) => {
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$impl_method(&rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                self.$impl_method(rhs)
+            }
+        }
+        impl $trait<&Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                self.$impl_method(rhs)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$impl_method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop_rat!(Add, add, add_ref);
+forward_binop_rat!(Sub, sub, sub_ref);
+forward_binop_rat!(Mul, mul, mul_ref);
+forward_binop_rat!(Div, div, div_ref);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = self.sub_ref(rhs);
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::from_frac(n, d)
+    }
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(0, 5), Rat::zero());
+        assert_eq!(r(6, -4).to_string(), "-3/2");
+        assert_eq!(r(6, 3).to_string(), "2");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(2, 3) / r(4, 3), r(1, 2));
+        assert_eq!(r(1, 2) + r(-1, 2), Rat::zero());
+        assert_eq!(-r(3, 7), r(-3, 7));
+    }
+
+    #[test]
+    fn recip_and_pow() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert_eq!(r(2, 3).pow_i64(3), r(8, 27));
+        assert_eq!(r(2, 3).pow_i64(-2), r(9, 4));
+        assert_eq!(r(5, 7).pow_i64(0), Rat::one());
+        assert_eq!(Rat::zero().pow_i64(0), Rat::one());
+        assert_eq!(Rat::zero().pow_i64(3), Rat::zero());
+        assert_eq!(r(-2, 3).pow_i64(2), r(4, 9));
+        assert_eq!(r(-2, 3).pow_i64(3), r(-8, 27));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < Rat::zero());
+        assert!(r(7, 3) > r(2, 1));
+        assert_eq!(r(2, 4).cmp(&r(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn predicates_and_conversions() {
+        assert!(r(3, 1).is_integer());
+        assert!(!r(3, 2).is_integer());
+        assert_eq!(r(6, 2).to_int(), Some(Int::from_i64(3)));
+        assert_eq!(r(-6, 2).to_nat(), None);
+        assert_eq!(r(6, 2).to_nat(), Some(Nat::from_u64(3)));
+        assert!(r(-1, 2).is_negative());
+        assert!(r(1, 2).is_positive());
+        assert!(Rat::zero().is_non_negative());
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), Int::from_i64(3));
+        assert_eq!(r(7, 2).ceil(), Int::from_i64(4));
+        assert_eq!(r(-7, 2).floor(), Int::from_i64(-4));
+        assert_eq!(r(-7, 2).ceil(), Int::from_i64(-3));
+        assert_eq!(r(6, 2).floor(), Int::from_i64(3));
+        assert_eq!(r(6, 2).ceil(), Int::from_i64(3));
+        assert_eq!(r(-6, 2).floor(), Int::from_i64(-3));
+    }
+
+    #[test]
+    fn parse_display() {
+        assert_eq!("3/4".parse::<Rat>().unwrap(), r(3, 4));
+        assert_eq!("-3/4".parse::<Rat>().unwrap(), r(-3, 4));
+        assert_eq!("5".parse::<Rat>().unwrap(), r(5, 1));
+        assert_eq!("6/-4".parse::<Rat>().unwrap(), r(-3, 2));
+        assert!("a/b".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn big_values() {
+        let a: Rat = "123456789123456789123456789/987654321987654321".parse().unwrap();
+        let b = a.recip();
+        assert_eq!(a.mul_ref(&b), Rat::one());
+        let c = a.pow_i64(5).mul_ref(&a.pow_i64(-5));
+        assert_eq!(c, Rat::one());
+    }
+}

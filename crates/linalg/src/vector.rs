@@ -1,0 +1,306 @@
+//! Dense vectors over ℚ and the componentwise operations of Definition 48.
+
+use crate::rat::Rat;
+use cqdet_bigint::Int;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense vector of exact rationals.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct QVec(pub Vec<Rat>);
+
+impl QVec {
+    /// The zero vector of dimension `k`.
+    pub fn zeros(k: usize) -> Self {
+        QVec(vec![Rat::zero(); k])
+    }
+
+    /// The all-ones vector of dimension `k`.
+    pub fn ones(k: usize) -> Self {
+        QVec(vec![Rat::one(); k])
+    }
+
+    /// The `i`-th standard basis vector of dimension `k`.
+    pub fn unit(k: usize, i: usize) -> Self {
+        let mut v = Self::zeros(k);
+        v.0[i] = Rat::one();
+        v
+    }
+
+    /// Construct from `i64` entries.
+    pub fn from_i64s(values: &[i64]) -> Self {
+        QVec(values.iter().map(|&v| Rat::from_i64(v)).collect())
+    }
+
+    /// Construct from integer entries.
+    pub fn from_ints(values: &[Int]) -> Self {
+        QVec(values.iter().map(|v| Rat::from_int(v.clone())).collect())
+    }
+
+    /// Dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterator over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, Rat> {
+        self.0.iter()
+    }
+
+    /// Whether all entries are zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(Rat::is_zero)
+    }
+
+    /// Whether all entries are non-negative.
+    pub fn is_non_negative(&self) -> bool {
+        self.0.iter().all(Rat::is_non_negative)
+    }
+
+    /// Whether all entries are integers.
+    pub fn is_integral(&self) -> bool {
+        self.0.iter().all(Rat::is_integer)
+    }
+
+    /// Scale every entry by `c`.
+    pub fn scale(&self, c: &Rat) -> QVec {
+        QVec(self.0.iter().map(|x| x.mul_ref(c)).collect())
+    }
+
+    /// The least `c ∈ ℕ⁺` such that `c·self` has integer entries
+    /// (the common denominator used in Lemma 55).
+    pub fn common_denominator(&self) -> Int {
+        let mut l = Int::one();
+        for x in &self.0 {
+            l = l.lcm(&Int::from_nat(x.denom().clone()));
+        }
+        l
+    }
+
+    /// Convert to a vector of integers, if every entry is an integer.
+    pub fn to_ints(&self) -> Option<Vec<Int>> {
+        self.0.iter().map(Rat::to_int).collect()
+    }
+}
+
+impl fmt::Debug for QVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QVec{:?}", self.0.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Display for QVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, x) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Index<usize> for QVec {
+    type Output = Rat;
+    fn index(&self, i: usize) -> &Rat {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for QVec {
+    fn index_mut(&mut self, i: usize) -> &mut Rat {
+        &mut self.0[i]
+    }
+}
+
+impl Add<&QVec> for &QVec {
+    type Output = QVec;
+    fn add(self, rhs: &QVec) -> QVec {
+        assert_eq!(self.dim(), rhs.dim(), "vector dimension mismatch");
+        QVec(
+            self.0
+                .iter()
+                .zip(rhs.0.iter())
+                .map(|(a, b)| a.add_ref(b))
+                .collect(),
+        )
+    }
+}
+
+impl Sub<&QVec> for &QVec {
+    type Output = QVec;
+    fn sub(self, rhs: &QVec) -> QVec {
+        assert_eq!(self.dim(), rhs.dim(), "vector dimension mismatch");
+        QVec(
+            self.0
+                .iter()
+                .zip(rhs.0.iter())
+                .map(|(a, b)| a.sub_ref(b))
+                .collect(),
+        )
+    }
+}
+
+impl Mul<&Rat> for &QVec {
+    type Output = QVec;
+    fn mul(self, rhs: &Rat) -> QVec {
+        self.scale(rhs)
+    }
+}
+
+/// The dot product `⟨u⃗, v⃗⟩` (Section 2.3).
+pub fn dot(u: &QVec, v: &QVec) -> Rat {
+    assert_eq!(u.dim(), v.dim(), "vector dimension mismatch");
+    let mut acc = Rat::zero();
+    for (a, b) in u.0.iter().zip(v.0.iter()) {
+        acc += &a.mul_ref(b);
+    }
+    acc
+}
+
+/// Componentwise (Hadamard) product `u⃗ ∘ v⃗` (Definition 48(1)).
+pub fn hadamard(u: &QVec, v: &QVec) -> QVec {
+    assert_eq!(u.dim(), v.dim(), "vector dimension mismatch");
+    QVec(
+        u.0.iter()
+            .zip(v.0.iter())
+            .map(|(a, b)| a.mul_ref(b))
+            .collect(),
+    )
+}
+
+/// The componentwise power `t^{u⃗}` (Definition 48(3)):
+/// `(t^{u(1)}, …, t^{u(k)})` for a positive rational `t` and an integer vector `u⃗`.
+///
+/// Panics if some entry of `u⃗` is not an integer, or if `t` is zero and an
+/// exponent is negative.
+pub fn pow_vec(t: &Rat, u: &QVec) -> QVec {
+    QVec(
+        u.0.iter()
+            .map(|e| {
+                let e = e
+                    .to_int()
+                    .expect("pow_vec exponent vector must be integral")
+                    .to_i64()
+                    .expect("pow_vec exponent too large");
+                t.pow_i64(e)
+            })
+            .collect(),
+    )
+}
+
+/// The `♂` operation of Definition 48(2): `u⃗ ♂ v⃗ = Π u(i)^{v(i)}`.
+///
+/// Defined (as in the paper) for non-negative `u⃗` and arbitrary rational
+/// exponent *integer* entries of `v⃗`; with the `0⁰ = 1` convention.
+/// Panics on `0` raised to a negative power.
+pub fn mars(u: &QVec, v: &QVec) -> Rat {
+    assert_eq!(u.dim(), v.dim(), "vector dimension mismatch");
+    let mut acc = Rat::one();
+    for (base, e) in u.0.iter().zip(v.0.iter()) {
+        let e = e
+            .to_int()
+            .expect("mars exponent vector must be integral")
+            .to_i64()
+            .expect("mars exponent too large");
+        acc = acc.mul_ref(&base.pow_i64(e));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: &[i64]) -> QVec {
+        QVec::from_i64s(vals)
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(QVec::zeros(3), v(&[0, 0, 0]));
+        assert_eq!(QVec::ones(2), v(&[1, 1]));
+        assert_eq!(QVec::unit(3, 1), v(&[0, 1, 0]));
+        assert!(QVec::zeros(3).is_zero());
+        assert!(!QVec::unit(3, 0).is_zero());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        assert_eq!(&v(&[1, 2, 3]) + &v(&[4, 5, 6]), v(&[5, 7, 9]));
+        assert_eq!(&v(&[4, 5, 6]) - &v(&[1, 2, 3]), v(&[3, 3, 3]));
+        assert_eq!(v(&[1, -2, 3]).scale(&Rat::from_i64(-2)), v(&[-2, 4, -6]));
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&v(&[1, 2, 3]), &v(&[4, 5, 6])), Rat::from_i64(32));
+        assert_eq!(dot(&v(&[1, -1]), &v(&[1, 1])), Rat::zero());
+    }
+
+    #[test]
+    fn hadamard_product() {
+        assert_eq!(hadamard(&v(&[1, 2, 3]), &v(&[4, 5, 6])), v(&[4, 10, 18]));
+    }
+
+    #[test]
+    fn pow_vec_and_mars() {
+        let t = Rat::from_frac(3, 2);
+        let z = v(&[2, 0, -1]);
+        let p = pow_vec(&t, &z);
+        assert_eq!(p[0], Rat::from_frac(9, 4));
+        assert_eq!(p[1], Rat::one());
+        assert_eq!(p[2], Rat::from_frac(2, 3));
+
+        // Observation 49(2): t^u ♂ v = t^⟨u,v⟩
+        let u = v(&[1, 2, -1]);
+        let w = v(&[3, 1, 2]);
+        let lhs = mars(&pow_vec(&t, &u), &w);
+        let rhs = t.pow_i64(dot(&u, &w).to_int().unwrap().to_i64().unwrap());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mars_zero_conventions() {
+        // 0^0 = 1 by the paper's convention.
+        assert_eq!(mars(&v(&[0, 2]), &v(&[0, 3])), Rat::from_i64(8));
+        assert_eq!(mars(&v(&[0]), &v(&[2])), Rat::zero());
+    }
+
+    #[test]
+    fn observation_49_1() {
+        // (u ∘ v) ♂ w = (u ♂ w)(v ♂ w)
+        let u = v(&[2, 3, 5]);
+        let vv = v(&[7, 1, 2]);
+        let w = v(&[1, 2, 3]);
+        let lhs = mars(&hadamard(&u, &vv), &w);
+        let rhs = mars(&u, &w).mul_ref(&mars(&vv, &w));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn common_denominator() {
+        let x = QVec(vec![Rat::from_frac(1, 6), Rat::from_frac(3, 4), Rat::from_i64(2)]);
+        let c = x.common_denominator();
+        assert_eq!(c, Int::from_i64(12));
+        assert!(x.scale(&Rat::from_int(c)).is_integral());
+        assert_eq!(v(&[1, 2]).common_denominator(), Int::one());
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(v(&[0, 1, 2]).is_non_negative());
+        assert!(!v(&[0, -1, 2]).is_non_negative());
+        assert!(v(&[3, 4]).is_integral());
+        assert!(!QVec(vec![Rat::from_frac(1, 2)]).is_integral());
+        assert_eq!(v(&[5, 6]).to_ints().unwrap(), vec![Int::from_i64(5), Int::from_i64(6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let _ = dot(&v(&[1]), &v(&[1, 2]));
+    }
+}

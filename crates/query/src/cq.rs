@@ -1,0 +1,378 @@
+//! Conjunctive queries: AST, frozen bodies, connected components, containment.
+
+use cqdet_structure::{
+    connected_components, dedup_up_to_iso, hom_exists, isomorphic, Const, Schema, Structure,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A relational atom `R(x₁, …, x_k)` over variable names.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Atom {
+    /// Relation symbol.
+    pub relation: String,
+    /// Variable names.
+    pub vars: Vec<String>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new<S: Into<String>>(relation: S, vars: &[&str]) -> Self {
+        Atom {
+            relation: relation.into(),
+            vars: vars.iter().map(|v| v.to_string()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.relation, self.vars.join(","))
+    }
+}
+
+/// A conjunctive query `∃ y⃗ . φ(x⃗, y⃗)`.
+///
+/// Free variables are listed explicitly (`free_vars`); every other variable of
+/// the body is existentially quantified.  A query with no free variables is
+/// **boolean**; boolean queries are identified with their frozen bodies
+/// throughout the paper and this workspace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    name: String,
+    free_vars: Vec<String>,
+    atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Construct a query with the given free variables and body atoms.
+    ///
+    /// Panics if a free variable does not occur in the body (the paper's
+    /// queries are always "safe" in this sense).
+    pub fn new<S: Into<String>>(name: S, free_vars: &[&str], atoms: Vec<Atom>) -> Self {
+        let q = ConjunctiveQuery {
+            name: name.into(),
+            free_vars: free_vars.iter().map(|v| v.to_string()).collect(),
+            atoms,
+        };
+        for v in &q.free_vars {
+            assert!(
+                q.body_vars().contains(v),
+                "free variable {v} does not occur in the body of {}",
+                q.name
+            );
+        }
+        q
+    }
+
+    /// Construct a boolean query (no free variables).
+    pub fn boolean<S: Into<String>>(name: S, atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery::new(name, &[], atoms)
+    }
+
+    /// The query's name (used for display and diagnostics only).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The free variables `x⃗`.
+    pub fn free_vars(&self) -> &[String] {
+        &self.free_vars
+    }
+
+    /// The body atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The arity `|x⃗|` of the query.
+    pub fn arity(&self) -> usize {
+        self.free_vars.len()
+    }
+
+    /// Whether the query is boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.free_vars.is_empty()
+    }
+
+    /// All variables occurring in the body, in first-occurrence order.
+    pub fn body_vars(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for v in &a.vars {
+                if seen.insert(v.clone()) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The existential variables `y⃗` (body variables that are not free).
+    pub fn existential_vars(&self) -> Vec<String> {
+        self.body_vars()
+            .into_iter()
+            .filter(|v| !self.free_vars.contains(v))
+            .collect()
+    }
+
+    /// The minimal schema containing every relation used by this query, with
+    /// arities inferred from the atoms.
+    ///
+    /// Panics if the same relation is used with two different arities.
+    pub fn inferred_schema(&self) -> Schema {
+        let mut schema = Schema::new();
+        for a in &self.atoms {
+            if let Some(existing) = schema.arity(&a.relation) {
+                assert_eq!(
+                    existing,
+                    a.vars.len(),
+                    "relation {} used with conflicting arities",
+                    a.relation
+                );
+            }
+            schema.add_relation(a.relation.clone(), a.vars.len());
+        }
+        schema
+    }
+
+    /// The frozen body (Section 2.1): the structure obtained by bijectively
+    /// replacing variables with fresh constants.  Returns the structure and
+    /// the variable → constant mapping.
+    ///
+    /// The structure is built over `schema` (which must contain every relation
+    /// of the query) so that different queries freeze over a common schema.
+    pub fn frozen_body_over(&self, schema: &Schema) -> (Structure, BTreeMap<String, Const>) {
+        let mut mapping = BTreeMap::new();
+        let mut next: Const = 0;
+        let mut s = Structure::new(schema.clone());
+        for v in self.body_vars() {
+            mapping.insert(v, next);
+            next += 1;
+        }
+        for a in &self.atoms {
+            let args: Vec<Const> = a.vars.iter().map(|v| mapping[v]).collect();
+            s.add(&a.relation, &args);
+        }
+        (s, mapping)
+    }
+
+    /// The frozen body over the query's own inferred schema.
+    pub fn frozen_body(&self) -> (Structure, BTreeMap<String, Const>) {
+        self.frozen_body_over(&self.inferred_schema())
+    }
+
+    /// The connected components of this (boolean) query, as structures over
+    /// `schema` — the raw material of the basis `W` (Definition 27).
+    pub fn components_over(&self, schema: &Schema) -> Vec<Structure> {
+        let (body, _) = self.frozen_body_over(schema);
+        connected_components(&body)
+    }
+
+    /// Whether this boolean query is connected (used by Corollary 33).
+    pub fn is_connected(&self) -> bool {
+        let (body, _) = self.frozen_body();
+        cqdet_structure::is_connected(&body)
+    }
+
+    /// Set-semantics containment of **boolean** queries:
+    /// `self ⊆_set other` iff every structure satisfying `self` satisfies
+    /// `other`, iff `hom(other, self) ≠ ∅` (Section 2.1).
+    ///
+    /// Panics if either query is not boolean.
+    pub fn contained_in_set(&self, other: &ConjunctiveQuery, schema: &Schema) -> bool {
+        assert!(
+            self.is_boolean() && other.is_boolean(),
+            "contained_in_set is defined for boolean queries"
+        );
+        let (self_body, _) = self.frozen_body_over(schema);
+        let (other_body, _) = other.frozen_body_over(schema);
+        hom_exists(&other_body, &self_body)
+    }
+
+    /// Set-semantics equivalence of boolean queries (containment both ways).
+    pub fn equivalent_set(&self, other: &ConjunctiveQuery, schema: &Schema) -> bool {
+        self.contained_in_set(other, schema) && other.contained_in_set(self, schema)
+    }
+
+    /// Whether two boolean queries have isomorphic frozen bodies.
+    pub fn isomorphic_to(&self, other: &ConjunctiveQuery, schema: &Schema) -> bool {
+        let (a, _) = self.frozen_body_over(schema);
+        let (b, _) = other.frozen_body_over(schema);
+        isomorphic(&a, &b)
+    }
+
+    /// Rename the query.
+    pub fn with_name<S: Into<String>>(mut self, name: S) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}) :- ", self.name, self.free_vars.join(","))?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Build the common schema of a set of queries (arity inferred from atoms).
+pub fn common_schema(queries: &[&ConjunctiveQuery]) -> Schema {
+    let mut schema = Schema::new();
+    for q in queries {
+        schema = schema.union(&q.inferred_schema());
+    }
+    schema
+}
+
+/// The basis `W` of Definition 27: the pairwise non-isomorphic connected
+/// components of `Σ_{q ∈ queries} q` (frozen over `schema`).
+pub fn component_basis(queries: &[&ConjunctiveQuery], schema: &Schema) -> Vec<Structure> {
+    let mut all = Vec::new();
+    for q in queries {
+        all.extend(q.components_over(schema));
+    }
+    dedup_up_to_iso(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::new(rel, vars)
+    }
+
+    /// The query q of Example 2: ∃u,y,z P(u,x), R(x,y), S(y,z)  (free x).
+    fn example2_q() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            "q",
+            &["x"],
+            vec![
+                atom("P", &["u", "x"]),
+                atom("R", &["x", "y"]),
+                atom("S", &["y", "z"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let q = example2_q();
+        assert_eq!(q.arity(), 1);
+        assert!(!q.is_boolean());
+        assert_eq!(q.free_vars(), &["x".to_string()]);
+        assert_eq!(q.body_vars(), vec!["u", "x", "y", "z"]);
+        assert_eq!(q.existential_vars(), vec!["u", "y", "z"]);
+        assert_eq!(q.atoms().len(), 3);
+        assert_eq!(
+            q.to_string(),
+            "q(x) :- P(u,x), R(x,y), S(y,z)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not occur")]
+    fn unsafe_query_panics() {
+        let _ = ConjunctiveQuery::new("bad", &["x"], vec![atom("R", &["y", "z"])]);
+    }
+
+    #[test]
+    fn inferred_schema() {
+        let q = example2_q();
+        let s = q.inferred_schema();
+        assert_eq!(s.arity("P"), Some(2));
+        assert_eq!(s.arity("R"), Some(2));
+        assert_eq!(s.arity("S"), Some(2));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting arities")]
+    fn conflicting_arity_panics() {
+        let q = ConjunctiveQuery::boolean(
+            "bad",
+            vec![atom("R", &["x", "y"]), atom("R", &["x"])],
+        );
+        let _ = q.inferred_schema();
+    }
+
+    #[test]
+    fn frozen_body_shape() {
+        let q = example2_q();
+        let (body, mapping) = q.frozen_body();
+        assert_eq!(body.num_facts(), 3);
+        assert_eq!(body.domain_size(), 4);
+        assert_eq!(mapping.len(), 4);
+        // The frozen body contains P(c_u, c_x).
+        assert!(body.contains_fact("P", &[mapping["u"], mapping["x"]]));
+    }
+
+    #[test]
+    fn boolean_query_components() {
+        // ∃… R(x,y), R(z,w): two isomorphic connected components.
+        let q = ConjunctiveQuery::boolean(
+            "q",
+            vec![atom("R", &["x", "y"]), atom("R", &["z", "w"])],
+        );
+        let schema = q.inferred_schema();
+        let comps = q.components_over(&schema);
+        assert_eq!(comps.len(), 2);
+        assert!(isomorphic(&comps[0], &comps[1]));
+        assert!(!q.is_connected());
+        let basis = component_basis(&[&q], &schema);
+        assert_eq!(basis.len(), 1);
+    }
+
+    #[test]
+    fn set_containment_of_boolean_queries() {
+        // q = ∃x,y,z R(x,y), R(y,z)  (2-path);  v = ∃x,y R(x,y)  (1 edge).
+        let q = ConjunctiveQuery::boolean(
+            "q",
+            vec![atom("R", &["x", "y"]), atom("R", &["y", "z"])],
+        );
+        let v = ConjunctiveQuery::boolean("v", vec![atom("R", &["x", "y"])]);
+        let schema = common_schema(&[&q, &v]);
+        // Every structure with a 2-path has an edge: q ⊆ v.
+        assert!(q.contained_in_set(&v, &schema));
+        // But not the other way round.
+        assert!(!v.contained_in_set(&q, &schema));
+        // A query is contained in itself, and in a loop-query it is not.
+        assert!(q.contained_in_set(&q, &schema));
+        let loopq = ConjunctiveQuery::boolean("l", vec![atom("R", &["x", "x"])]);
+        assert!(loopq.contained_in_set(&v, &schema));
+        assert!(!v.contained_in_set(&loopq, &schema));
+        assert!(!q.equivalent_set(&v, &schema));
+        assert!(q.equivalent_set(&q, &schema));
+    }
+
+    #[test]
+    fn isomorphic_queries() {
+        let a = ConjunctiveQuery::boolean("a", vec![atom("R", &["x", "y"])]);
+        let b = ConjunctiveQuery::boolean("b", vec![atom("R", &["s", "t"])]);
+        let schema = common_schema(&[&a, &b]);
+        assert!(a.isomorphic_to(&b, &schema));
+        let c = ConjunctiveQuery::boolean("c", vec![atom("R", &["x", "x"])]);
+        assert!(!a.isomorphic_to(&c, &schema));
+    }
+
+    #[test]
+    fn component_basis_across_queries() {
+        // v1 = edge + loop; v2 = edge: basis = {edge, loop}.
+        let v1 = ConjunctiveQuery::boolean(
+            "v1",
+            vec![atom("R", &["x", "y"]), atom("R", &["z", "z"])],
+        );
+        let v2 = ConjunctiveQuery::boolean("v2", vec![atom("R", &["a", "b"])]);
+        let schema = common_schema(&[&v1, &v2]);
+        let basis = component_basis(&[&v1, &v2], &schema);
+        assert_eq!(basis.len(), 2);
+    }
+}

@@ -1,0 +1,237 @@
+//! A small Datalog-style parser for conjunctive queries and UCQs.
+//!
+//! Syntax:
+//!
+//! ```text
+//! q(x)  :- P(u,x), R(x,y), S(y,z)        # a CQ with one free variable
+//! q()   :- R(x,y), R(y,z)                # a boolean CQ
+//! u()   :- R(x,y) | S(x,y)               # a boolean UCQ (disjuncts split on '|')
+//! ```
+//!
+//! Variable and relation names are alphanumeric identifiers (plus `_` and `'`);
+//! whitespace is insignificant; everything after `#` on a line is a comment.
+
+use crate::cq::{Atom, ConjunctiveQuery};
+use crate::ucq::UnionQuery;
+use std::fmt;
+
+/// Error raised when parsing a query fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQueryError {
+    message: String,
+}
+
+impl ParseQueryError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseQueryError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseQueryError {}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '\''
+}
+
+/// Split `R(x,y), S(y,z)` into atoms.
+fn parse_atoms(body: &str) -> Result<Vec<Atom>, ParseQueryError> {
+    let mut atoms = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        // relation name
+        let name_end = rest
+            .find(|c: char| !is_ident_char(c))
+            .ok_or_else(|| ParseQueryError::new(format!("expected '(' after relation name in {rest:?}")))?;
+        let name = &rest[..name_end];
+        if name.is_empty() {
+            return Err(ParseQueryError::new(format!("missing relation name at {rest:?}")));
+        }
+        rest = rest[name_end..].trim_start();
+        if !rest.starts_with('(') {
+            return Err(ParseQueryError::new(format!("expected '(' after {name}")));
+        }
+        let close = rest
+            .find(')')
+            .ok_or_else(|| ParseQueryError::new(format!("missing ')' in atom {name}")))?;
+        let args_str = &rest[1..close];
+        let vars: Vec<String> = if args_str.trim().is_empty() {
+            Vec::new()
+        } else {
+            args_str.split(',').map(|v| v.trim().to_string()).collect()
+        };
+        for v in &vars {
+            if v.is_empty() || !v.chars().all(is_ident_char) {
+                return Err(ParseQueryError::new(format!("bad variable name {v:?} in atom {name}")));
+            }
+        }
+        atoms.push(Atom {
+            relation: name.to_string(),
+            vars,
+        });
+        rest = rest[close + 1..].trim_start();
+        if rest.starts_with(',') {
+            rest = rest[1..].trim_start();
+            if rest.is_empty() {
+                return Err(ParseQueryError::new("trailing ',' in query body"));
+            }
+        } else if !rest.is_empty() {
+            return Err(ParseQueryError::new(format!("unexpected input {rest:?} after atom")));
+        }
+    }
+    if atoms.is_empty() {
+        return Err(ParseQueryError::new("query body has no atoms"));
+    }
+    Ok(atoms)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parse a single query definition, e.g. `q(x) :- R(x,y), S(y,z)` or a UCQ
+/// with `|`-separated disjuncts.  Every disjunct shares the head.
+pub fn parse_query(input: &str) -> Result<UnionQuery, ParseQueryError> {
+    let input = strip_comment(input).trim();
+    let (head, body) = input
+        .split_once(":-")
+        .ok_or_else(|| ParseQueryError::new("missing ':-' separator"))?;
+    let head = head.trim();
+    let open = head
+        .find('(')
+        .ok_or_else(|| ParseQueryError::new("head must look like name(vars...)"))?;
+    let close = head
+        .rfind(')')
+        .ok_or_else(|| ParseQueryError::new("head missing ')'"))?;
+    let name = head[..open].trim();
+    if name.is_empty() || !name.chars().all(is_ident_char) {
+        return Err(ParseQueryError::new(format!("bad query name {name:?}")));
+    }
+    let free_str = &head[open + 1..close];
+    let free: Vec<String> = if free_str.trim().is_empty() {
+        Vec::new()
+    } else {
+        free_str.split(',').map(|v| v.trim().to_string()).collect()
+    };
+    let free_refs: Vec<&str> = free.iter().map(String::as_str).collect();
+
+    let mut disjuncts = Vec::new();
+    for (i, part) in body.split('|').enumerate() {
+        let atoms = parse_atoms(part)?;
+        let disjunct_name = if body.contains('|') {
+            format!("{name}#{i}")
+        } else {
+            name.to_string()
+        };
+        // Validate safety here so the error is a parse error, not a panic.
+        let body_vars: std::collections::BTreeSet<&str> = atoms
+            .iter()
+            .flat_map(|a| a.vars.iter().map(String::as_str))
+            .collect();
+        for v in &free_refs {
+            if !body_vars.contains(v) {
+                return Err(ParseQueryError::new(format!(
+                    "free variable {v} does not occur in disjunct {i} of {name}"
+                )));
+            }
+        }
+        disjuncts.push(ConjunctiveQuery::new(disjunct_name, &free_refs, atoms));
+    }
+    Ok(UnionQuery::new(name, disjuncts))
+}
+
+/// Parse a multi-line program: one query definition per (non-empty,
+/// non-comment) line.
+pub fn parse_queries(input: &str) -> Result<Vec<UnionQuery>, ParseQueryError> {
+    let mut out = Vec::new();
+    for line in input.lines() {
+        let line = strip_comment(line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_query(line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_cq() {
+        let u = parse_query("q(x) :- P(u,x), R(x,y), S(y,z)").unwrap();
+        assert!(u.is_single_cq());
+        let cq = &u.disjuncts()[0];
+        assert_eq!(cq.name(), "q");
+        assert_eq!(cq.arity(), 1);
+        assert_eq!(cq.atoms().len(), 3);
+        assert_eq!(cq.to_string(), "q(x) :- P(u,x), R(x,y), S(y,z)");
+    }
+
+    #[test]
+    fn parse_boolean_cq() {
+        let u = parse_query("q() :- R(x,y), R(y,z)").unwrap();
+        assert!(u.is_boolean());
+        assert_eq!(u.disjuncts()[0].atoms().len(), 2);
+    }
+
+    #[test]
+    fn parse_nullary_atom() {
+        let u = parse_query("q() :- H()").unwrap();
+        assert_eq!(u.disjuncts()[0].atoms()[0].vars.len(), 0);
+    }
+
+    #[test]
+    fn parse_ucq() {
+        let u = parse_query("u() :- P(x) | R(x), S(y)").unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.disjuncts()[0].atoms().len(), 1);
+        assert_eq!(u.disjuncts()[1].atoms().len(), 2);
+        assert!(u.is_boolean());
+    }
+
+    #[test]
+    fn parse_program_with_comments() {
+        let prog = "
+            # views
+            v1(x) :- P(u,x), R(x,y)
+            v2(x) :- R(x,y), S(y,z)   # second view
+
+            q(x) :- P(u,x), R(x,y), S(y,z)
+        ";
+        let qs = parse_queries(prog).unwrap();
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[2].name(), "q");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("q(x) R(x,y)").is_err());
+        assert!(parse_query("q(x) :- ").is_err());
+        assert!(parse_query("q(x) :- R(x,y,").is_err());
+        assert!(parse_query("(x) :- R(x,y)").is_err());
+        assert!(parse_query("q(x) :- R(y,z)").is_err(), "unsafe head variable");
+        assert!(parse_query("q(x) :- R(x,y), ").is_err());
+        assert!(parse_query("q(x) :- R(x,y) junk").is_err());
+        let err = parse_query("q(x) :- R(x,y) junk").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_query("q( x )  :-  R( x , y ),S(y,z)").unwrap();
+        let b = parse_query("q(x) :- R(x,y), S(y,z)").unwrap();
+        assert_eq!(a.disjuncts()[0].atoms(), b.disjuncts()[0].atoms());
+    }
+}

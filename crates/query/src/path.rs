@@ -1,0 +1,295 @@
+//! Path queries (Section 3) and their identification with words over Σ.
+//!
+//! For a binary schema Σ, a path query is a CQ of the form
+//! `Λ(x, y) = ∃x₁…x_{n−1} R₁(x, x₁), R₂(x₁, x₂), …, R_n(x_{n−1}, y)`;
+//! the paper identifies it with the word `R₁R₂…R_n ∈ Σ*`.  The empty word `ε`
+//! is identified with the identity query `x = y` (footnote 12) — it is not a
+//! valid path query, but it appears as a vertex of the prefix graph `G_{q,V}`.
+
+use crate::cq::{Atom, ConjunctiveQuery};
+use cqdet_structure::{Schema, Structure};
+use std::fmt;
+
+/// A path query, represented as its word over the relation alphabet.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct PathQuery {
+    word: Vec<String>,
+}
+
+impl PathQuery {
+    /// The empty word `ε` (the identity query; not a valid path query but a
+    /// vertex of `G_{q,V}`).
+    pub fn epsilon() -> Self {
+        PathQuery { word: Vec::new() }
+    }
+
+    /// A path query from a sequence of relation names.
+    pub fn new<I, S>(letters: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PathQuery {
+            word: letters.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Parse a word where every letter is a single character
+    /// (e.g. `"ABC"` → `A·B·C`); convenient for the paper's examples.
+    pub fn from_compact(word: &str) -> Self {
+        PathQuery {
+            word: word.chars().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// The letters (relation names) of the word.
+    pub fn letters(&self) -> &[String] {
+        &self.word
+    }
+
+    /// The length `|Λ|` of the word.
+    pub fn len(&self) -> usize {
+        self.word.len()
+    }
+
+    /// Whether this is the empty word `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.word.is_empty()
+    }
+
+    /// Concatenation of two words.
+    pub fn concat(&self, other: &PathQuery) -> PathQuery {
+        let mut w = self.word.clone();
+        w.extend(other.word.iter().cloned());
+        PathQuery { word: w }
+    }
+
+    /// The prefix of length `n`.
+    pub fn prefix(&self, n: usize) -> PathQuery {
+        PathQuery {
+            word: self.word[..n.min(self.word.len())].to_vec(),
+        }
+    }
+
+    /// All prefixes, from `ε` up to the full word (the vertex set of `G_{q,V}`).
+    pub fn prefixes(&self) -> Vec<PathQuery> {
+        (0..=self.word.len()).map(|i| self.prefix(i)).collect()
+    }
+
+    /// Whether `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &PathQuery) -> bool {
+        other.word.len() >= self.word.len() && other.word[..self.word.len()] == self.word[..]
+    }
+
+    /// If `self = prefix · rest`, return `rest`.
+    pub fn strip_prefix(&self, prefix: &PathQuery) -> Option<PathQuery> {
+        if prefix.is_prefix_of(self) {
+            Some(PathQuery {
+                word: self.word[prefix.len()..].to_vec(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The minimal binary schema over which this path query is defined.
+    pub fn inferred_schema(&self) -> Schema {
+        Schema::binary(self.word.iter().map(String::as_str))
+    }
+
+    /// Convert to a conjunctive query with free variables `x` (source) and
+    /// `y` (target): `Λ(x,y) = ∃x₁…x_{n−1} R₁(x,x₁), …, R_n(x_{n−1},y)`.
+    ///
+    /// Panics on the empty word, which is not a valid path query.
+    pub fn to_cq(&self, name: &str) -> ConjunctiveQuery {
+        assert!(
+            !self.is_empty(),
+            "the empty word is not a valid path query (footnote 12)"
+        );
+        let n = self.word.len();
+        let var = |i: usize| -> String {
+            if i == 0 {
+                "x".to_string()
+            } else if i == n {
+                "y".to_string()
+            } else {
+                format!("x{i}")
+            }
+        };
+        let atoms: Vec<Atom> = self
+            .word
+            .iter()
+            .enumerate()
+            .map(|(i, rel)| Atom {
+                relation: rel.clone(),
+                vars: vec![var(i), var(i + 1)],
+            })
+            .collect();
+        ConjunctiveQuery::new(name, &["x", "y"], atoms)
+    }
+
+    /// The frozen "path structure" of this word over `schema`:
+    /// constants `0 → 1 → … → n` linked by the letters of the word.
+    /// (For `ε` this is a single isolated element.)
+    pub fn to_structure(&self, schema: &Schema) -> Structure {
+        let mut s = Structure::new(schema.clone());
+        if self.word.is_empty() {
+            s.add_isolated(0);
+            return s;
+        }
+        for (i, rel) in self.word.iter().enumerate() {
+            s.add(rel, &[i as u64, (i + 1) as u64]);
+        }
+        s
+    }
+
+    /// Extract a path query from a conjunctive query of path shape, if it is
+    /// one (binary atoms forming a simple directed chain from the first free
+    /// variable to the second).
+    pub fn from_cq(cq: &ConjunctiveQuery) -> Option<PathQuery> {
+        if cq.free_vars().len() != 2 {
+            return None;
+        }
+        if cq.atoms().iter().any(|a| a.vars.len() != 2) {
+            return None;
+        }
+        let start = &cq.free_vars()[0];
+        let end = &cq.free_vars()[1];
+        // Follow the chain from `start`.
+        let mut word = Vec::new();
+        let mut current = start.clone();
+        let mut remaining: Vec<&Atom> = cq.atoms().iter().collect();
+        while current != *end {
+            let pos = remaining.iter().position(|a| a.vars[0] == current)?;
+            let atom = remaining.remove(pos);
+            word.push(atom.relation.clone());
+            current = atom.vars[1].clone();
+            if word.len() > cq.atoms().len() {
+                return None;
+            }
+        }
+        if !remaining.is_empty() {
+            return None;
+        }
+        // Each intermediate variable must be used exactly twice (chain shape):
+        // this is guaranteed by the successful traversal consuming all atoms.
+        Some(PathQuery { word })
+    }
+}
+
+impl fmt::Display for PathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.word.is_empty() {
+            return write!(f, "ε");
+        }
+        // Compact rendering when every letter is a single character.
+        if self.word.iter().all(|l| l.chars().count() == 1) {
+            for l in &self.word {
+                write!(f, "{l}")?;
+            }
+            Ok(())
+        } else {
+            write!(f, "{}", self.word.join("·"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_cq;
+    use cqdet_structure::Structure;
+
+    #[test]
+    fn word_basics() {
+        let q = PathQuery::from_compact("ABC");
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        assert_eq!(q.to_string(), "ABC");
+        assert_eq!(PathQuery::epsilon().to_string(), "ε");
+        assert_eq!(q.letters(), &["A", "B", "C"]);
+        let named = PathQuery::new(["edge", "edge"]);
+        assert_eq!(named.to_string(), "edge·edge");
+    }
+
+    #[test]
+    fn prefixes_and_concat() {
+        let q = PathQuery::from_compact("ABCD");
+        let ps = q.prefixes();
+        assert_eq!(ps.len(), 5);
+        assert_eq!(ps[0], PathQuery::epsilon());
+        assert_eq!(ps[4], q);
+        assert!(ps[2].is_prefix_of(&q));
+        assert!(!q.is_prefix_of(&ps[2]));
+        assert_eq!(
+            ps[2].concat(&PathQuery::from_compact("CD")),
+            q
+        );
+        assert_eq!(q.strip_prefix(&ps[2]), Some(PathQuery::from_compact("CD")));
+        assert_eq!(q.strip_prefix(&PathQuery::from_compact("B")), None);
+    }
+
+    #[test]
+    fn to_cq_shape() {
+        let q = PathQuery::from_compact("AB");
+        let cq = q.to_cq("q");
+        assert_eq!(cq.arity(), 2);
+        assert_eq!(cq.atoms().len(), 2);
+        assert_eq!(cq.to_string(), "q(x,y) :- A(x,x1), B(x1,y)");
+        // Round trip.
+        assert_eq!(PathQuery::from_cq(&cq), Some(q));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid path query")]
+    fn epsilon_to_cq_panics() {
+        let _ = PathQuery::epsilon().to_cq("e");
+    }
+
+    #[test]
+    fn from_cq_rejects_non_paths() {
+        // A fork is not a path.
+        let fork = ConjunctiveQuery::new(
+            "f",
+            &["x", "y"],
+            vec![Atom::new("A", &["x", "y"]), Atom::new("A", &["x", "z"])],
+        );
+        assert_eq!(PathQuery::from_cq(&fork), None);
+        // Wrong arity.
+        let b = ConjunctiveQuery::boolean("b", vec![Atom::new("A", &["x", "y"])]);
+        assert_eq!(PathQuery::from_cq(&b), None);
+        // A cycle plus the path: leftover atoms → not a path.
+        let extra = ConjunctiveQuery::new(
+            "e",
+            &["x", "y"],
+            vec![Atom::new("A", &["x", "y"]), Atom::new("A", &["z", "z"])],
+        );
+        assert_eq!(PathQuery::from_cq(&extra), None);
+    }
+
+    #[test]
+    fn evaluation_of_path_queries() {
+        let q = PathQuery::from_compact("AB");
+        let schema = Schema::binary(["A", "B"]);
+        let mut d = Structure::new(schema.clone());
+        d.add("A", &[0, 1]);
+        d.add("B", &[1, 2]);
+        d.add("B", &[1, 3]);
+        let answers = eval_cq(&q.to_cq("q"), &schema, &d);
+        assert_eq!(answers.multiplicity(&[0, 2]), cqdet_bigint::Nat::one());
+        assert_eq!(answers.multiplicity(&[0, 3]), cqdet_bigint::Nat::one());
+        assert_eq!(answers.total(), cqdet_bigint::Nat::from_u64(2));
+    }
+
+    #[test]
+    fn path_structure() {
+        let schema = Schema::binary(["A", "B"]);
+        let s = PathQuery::from_compact("AB").to_structure(&schema);
+        assert_eq!(s.domain_size(), 3);
+        assert!(s.contains_fact("A", &[0, 1]));
+        assert!(s.contains_fact("B", &[1, 2]));
+        let eps = PathQuery::epsilon().to_structure(&schema);
+        assert_eq!(eps.domain_size(), 1);
+        assert_eq!(eps.num_facts(), 0);
+    }
+}

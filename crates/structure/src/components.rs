@@ -1,0 +1,204 @@
+//! Connected components of a structure.
+//!
+//! Two domain elements are connected when they co-occur in a fact; a connected
+//! component is a maximal set of pairwise connected elements together with the
+//! facts over them.  Nullary facts have no elements, so each nullary fact
+//! forms a component of its own (with an empty domain); isolated domain
+//! elements are singleton components.
+//!
+//! The basis `W` of the Main Lemma (Definition 27) is the set of connected
+//! components of `Σ_{v ∈ V′} v`, de-duplicated up to isomorphism.
+
+use crate::structure::{Const, Structure};
+use std::collections::BTreeMap;
+
+/// Disjoint-set union–find over constants.
+struct UnionFind {
+    parent: BTreeMap<Const, Const>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        UnionFind {
+            parent: BTreeMap::new(),
+        }
+    }
+
+    fn add(&mut self, x: Const) {
+        self.parent.entry(x).or_insert(x);
+    }
+
+    fn find(&mut self, x: Const) -> Const {
+        let p = self.parent[&x];
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    fn union(&mut self, a: Const, b: Const) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// The connected components of a structure, each returned as a structure over
+/// the same schema.
+///
+/// The empty structure has no components.  Components are returned in a
+/// deterministic order (by their smallest domain element; nullary-fact
+/// components first, ordered by relation name).
+pub fn connected_components(s: &Structure) -> Vec<Structure> {
+    let mut uf = UnionFind::new();
+    for c in s.domain() {
+        uf.add(c);
+    }
+    for f in s.facts() {
+        if let Some((&first, rest)) = f.args.split_first() {
+            for &other in rest {
+                uf.union(first, other);
+            }
+        }
+    }
+    // Group domain elements by root.
+    let mut groups: BTreeMap<Const, Vec<Const>> = BTreeMap::new();
+    for c in s.domain() {
+        let root = uf.find(c);
+        groups.entry(root).or_default().push(c);
+    }
+
+    let mut out = Vec::new();
+
+    // Each nullary fact is its own component.
+    for f in s.facts().filter(|f| f.args.is_empty()) {
+        let mut comp = Structure::new(s.schema().clone());
+        comp.add_fact(f);
+        out.push(comp);
+    }
+
+    for (_, members) in groups {
+        let mut comp = Structure::new(s.schema().clone());
+        let member_set: std::collections::BTreeSet<Const> = members.iter().copied().collect();
+        for f in s.facts() {
+            if let Some(&first) = f.args.first() {
+                if member_set.contains(&first) {
+                    comp.add_fact(f);
+                }
+            }
+        }
+        for &m in &members {
+            comp.add_isolated(m);
+        }
+        out.push(comp);
+    }
+    out
+}
+
+/// Whether the structure is connected, i.e. it has exactly one connected
+/// component.  (The empty structure is *not* connected.)
+pub fn is_connected(s: &Structure) -> bool {
+    connected_components(s).len() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn sch() -> Schema {
+        Schema::with_relations([("E", 2), ("P", 1)])
+    }
+
+    #[test]
+    fn empty_structure_has_no_components() {
+        let s = Structure::new(sch());
+        assert!(connected_components(&s).is_empty());
+        assert!(!is_connected(&s));
+    }
+
+    #[test]
+    fn single_edge_is_connected() {
+        let mut s = Structure::new(sch());
+        s.add("E", &[0, 1]);
+        let comps = connected_components(&s);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], s);
+        assert!(is_connected(&s));
+    }
+
+    #[test]
+    fn two_disjoint_edges() {
+        let mut s = Structure::new(sch());
+        s.add("E", &[0, 1]);
+        s.add("E", &[5, 6]);
+        let comps = connected_components(&s);
+        assert_eq!(comps.len(), 2);
+        assert!(!is_connected(&s));
+        assert_eq!(comps[0].num_facts(), 1);
+        assert_eq!(comps[1].num_facts(), 1);
+        // Components partition the facts and the domain.
+        let total: usize = comps.iter().map(|c| c.num_facts()).sum();
+        assert_eq!(total, s.num_facts());
+        let dom: usize = comps.iter().map(|c| c.domain_size()).sum();
+        assert_eq!(dom, s.domain_size());
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let mut s = Structure::new(sch());
+        s.add("E", &[0, 1]);
+        s.add("E", &[1, 2]);
+        s.add("E", &[2, 3]);
+        s.add("P", &[3]);
+        assert!(is_connected(&s));
+    }
+
+    #[test]
+    fn unary_bridge_does_not_connect() {
+        // P(3) and P(7) do not connect 3 and 7.
+        let mut s = Structure::new(sch());
+        s.add("P", &[3]);
+        s.add("P", &[7]);
+        assert_eq!(connected_components(&s).len(), 2);
+    }
+
+    #[test]
+    fn isolated_elements_are_singleton_components() {
+        let mut s = Structure::new(sch());
+        s.add("E", &[0, 1]);
+        s.add_isolated(9);
+        let comps = connected_components(&s);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().any(|c| c.num_facts() == 0 && c.domain_size() == 1));
+    }
+
+    #[test]
+    fn nullary_facts_are_their_own_components() {
+        let sch = Schema::with_relations([("H", 0), ("C", 0), ("E", 2)]);
+        let mut s = Structure::new(sch);
+        s.add("H", &[]);
+        s.add("C", &[]);
+        s.add("E", &[1, 2]);
+        let comps = connected_components(&s);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps.iter().filter(|c| c.domain_size() == 0).count(), 2);
+    }
+
+    #[test]
+    fn higher_arity_fact_connects_all_its_arguments() {
+        let sch = Schema::with_relations([("T", 3)]);
+        let mut s = Structure::new(sch);
+        s.add("T", &[1, 2, 3]);
+        s.add("T", &[3, 4, 5]);
+        s.add("T", &[7, 8, 9]);
+        let comps = connected_components(&s);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().any(|c| c.domain_size() == 5));
+        assert!(comps.iter().any(|c| c.domain_size() == 3));
+    }
+}

@@ -1,0 +1,439 @@
+//! Homomorphism search: enumeration, existence and exact counting.
+//!
+//! A homomorphism from `A` to `B` is a function `h : dom(A) → dom(B)` such
+//! that `R(t⃗) ∈ A` implies `R(h(t⃗)) ∈ B` (Section 2.1).  Boolean conjunctive
+//! queries are identified with their frozen bodies, so `q(D) = |hom(q, D)|`
+//! — exact counting is the single most used primitive of the whole
+//! reproduction.
+//!
+//! The implementation is a backtracking search over the domain of the source
+//! structure with forward checking: source elements are visited in a
+//! breadth-first order inside each connected component so that, when an
+//! element is assigned, at least one fact constraining it is usually already
+//! fully assigned.
+
+use crate::components::connected_components;
+use crate::structure::{Const, Structure};
+use cqdet_bigint::Nat;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A homomorphism, represented as the assignment of source to target constants.
+pub type Homomorphism = BTreeMap<Const, Const>;
+
+/// What the backtracking search should do with complete assignments.
+enum Mode {
+    /// Count all homomorphisms.
+    CountAll,
+    /// Stop at the first homomorphism.
+    FindFirst,
+    /// Stop at the first *injective* homomorphism.
+    FindInjective,
+    /// Collect all homomorphisms (used by query evaluation and tests).
+    Collect,
+}
+
+struct Search<'a> {
+    source: &'a Structure,
+    target: &'a Structure,
+    target_domain: Vec<Const>,
+    /// Source elements in assignment order.
+    order: Vec<Const>,
+    /// For each source element, the facts (relation, args) that mention it.
+    facts_of: BTreeMap<Const, Vec<(String, Vec<Const>)>>,
+    assignment: BTreeMap<Const, Const>,
+    used_targets: BTreeSet<Const>,
+    mode: Mode,
+    count: u64,
+    count_big: Nat,
+    found: bool,
+    collected: Vec<Homomorphism>,
+}
+
+impl<'a> Search<'a> {
+    fn new(source: &'a Structure, target: &'a Structure, mode: Mode) -> Self {
+        let target_domain: Vec<Const> = target.domain().into_iter().collect();
+        let order = assignment_order(source);
+        let mut facts_of: BTreeMap<Const, Vec<(String, Vec<Const>)>> = BTreeMap::new();
+        for f in source.facts() {
+            for &a in &f.args {
+                facts_of
+                    .entry(a)
+                    .or_default()
+                    .push((f.relation.clone(), f.args.clone()));
+            }
+        }
+        Search {
+            source,
+            target,
+            target_domain,
+            order,
+            facts_of,
+            assignment: BTreeMap::new(),
+            used_targets: BTreeSet::new(),
+            mode,
+            count: 0,
+            count_big: Nat::zero(),
+            found: false,
+            collected: Vec::new(),
+        }
+    }
+
+    /// Nullary facts have no variables, so they are checked once up front.
+    fn nullary_facts_ok(&self) -> bool {
+        self.source
+            .facts()
+            .filter(|f| f.args.is_empty())
+            .all(|f| self.target.contains_fact(&f.relation, &[]))
+    }
+
+    fn run(&mut self) {
+        if !self.nullary_facts_ok() {
+            return;
+        }
+        if self.order.is_empty() {
+            // No variables to assign: exactly the empty homomorphism
+            // (|hom(∅, D)| = 1, as the paper notes).
+            self.register_leaf();
+            return;
+        }
+        self.recurse(0);
+    }
+
+    fn register_leaf(&mut self) {
+        match self.mode {
+            Mode::CountAll => {
+                self.count += 1;
+                if self.count == u64::MAX {
+                    self.count_big += &Nat::from_u64(self.count);
+                    self.count = 0;
+                }
+            }
+            Mode::FindFirst | Mode::FindInjective => self.found = true,
+            Mode::Collect => self.collected.push(self.assignment.clone()),
+        }
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.mode, Mode::FindFirst | Mode::FindInjective) && self.found
+    }
+
+    fn recurse(&mut self, idx: usize) {
+        if self.done() {
+            return;
+        }
+        if idx == self.order.len() {
+            self.register_leaf();
+            return;
+        }
+        let x = self.order[idx];
+        let injective = matches!(self.mode, Mode::FindInjective);
+        for ti in 0..self.target_domain.len() {
+            let b = self.target_domain[ti];
+            if injective && self.used_targets.contains(&b) {
+                continue;
+            }
+            self.assignment.insert(x, b);
+            if injective {
+                self.used_targets.insert(b);
+            }
+            if self.consistent(x) {
+                self.recurse(idx + 1);
+            }
+            self.assignment.remove(&x);
+            if injective {
+                self.used_targets.remove(&b);
+            }
+            if self.done() {
+                return;
+            }
+        }
+    }
+
+    /// Check every source fact mentioning `x` whose arguments are now all
+    /// assigned: its image must be a fact of the target.
+    fn consistent(&self, x: Const) -> bool {
+        let Some(facts) = self.facts_of.get(&x) else {
+            return true;
+        };
+        'facts: for (rel, args) in facts {
+            let mut image = Vec::with_capacity(args.len());
+            for a in args {
+                match self.assignment.get(a) {
+                    Some(&b) => image.push(b),
+                    None => continue 'facts,
+                }
+            }
+            if !self.target.contains_fact(rel, &image) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn total_count(&self) -> Nat {
+        self.count_big.add_ref(&Nat::from_u64(self.count))
+    }
+}
+
+/// Order the source domain so that each connected component is visited in
+/// breadth-first order (maximises early constraint propagation).
+fn assignment_order(source: &Structure) -> Vec<Const> {
+    let mut order = Vec::new();
+    let mut seen = BTreeSet::new();
+    // Adjacency between source elements that co-occur in a fact.
+    let mut adj: BTreeMap<Const, BTreeSet<Const>> = BTreeMap::new();
+    for f in source.facts() {
+        for &a in &f.args {
+            for &b in &f.args {
+                if a != b {
+                    adj.entry(a).or_default().insert(b);
+                }
+            }
+            adj.entry(a).or_default();
+        }
+    }
+    for &start in source.domain().iter() {
+        if seen.contains(&start) {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen.insert(start);
+        while let Some(x) = queue.pop_front() {
+            order.push(x);
+            if let Some(neigh) = adj.get(&x) {
+                for &n in neigh {
+                    if seen.insert(n) {
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+/// The exact number of homomorphisms from `source` to `target`.
+pub fn hom_count(source: &Structure, target: &Structure) -> Nat {
+    let mut s = Search::new(source, target, Mode::CountAll);
+    s.run();
+    s.total_count()
+}
+
+/// Whether at least one homomorphism from `source` to `target` exists.
+pub fn hom_exists(source: &Structure, target: &Structure) -> bool {
+    let mut s = Search::new(source, target, Mode::FindFirst);
+    s.run();
+    s.found
+}
+
+/// Whether an *injective* homomorphism from `source` to `target` exists
+/// (used by the isomorphism test).
+pub fn injective_hom_exists(source: &Structure, target: &Structure) -> bool {
+    let mut s = Search::new(source, target, Mode::FindInjective);
+    s.run();
+    s.found
+}
+
+/// Enumerate all homomorphisms from `source` to `target`.
+///
+/// Intended for small instances (tests, examples, query evaluation with free
+/// variables); the count can be exponential in the size of `source`.
+pub fn hom_enumerate(source: &Structure, target: &Structure) -> Vec<Homomorphism> {
+    let mut s = Search::new(source, target, Mode::Collect);
+    s.run();
+    s.collected
+}
+
+/// Homomorphism counting factored through connected components:
+/// `|hom(A, B)| = Π_C |hom(C, B)|` over the connected components `C` of `A`
+/// (Lemma 4(5)).  Faster than [`hom_count`] when `A` is disconnected, and used
+/// as an ablation baseline in the benchmarks.
+pub fn hom_count_factored(source: &Structure, target: &Structure) -> Nat {
+    let comps = connected_components(source);
+    if comps.is_empty() {
+        return hom_count(source, target);
+    }
+    let mut acc = Nat::one();
+    for c in &comps {
+        acc = acc.mul_ref(&hom_count(c, target));
+        if acc.is_zero() {
+            return acc;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn edge_schema() -> Schema {
+        Schema::binary(["E"])
+    }
+
+    /// The directed path with `n` edges: 0 → 1 → … → n.
+    fn path(n: usize) -> Structure {
+        let mut s = Structure::new(edge_schema());
+        for i in 0..n {
+            s.add("E", &[i as Const, (i + 1) as Const]);
+        }
+        s
+    }
+
+    /// The directed cycle with `n` vertices.
+    fn cycle(n: usize) -> Structure {
+        let mut s = Structure::new(edge_schema());
+        for i in 0..n {
+            s.add("E", &[i as Const, ((i + 1) % n) as Const]);
+        }
+        s
+    }
+
+    /// The complete directed graph (with loops) on `n` vertices.
+    fn clique_with_loops(n: usize) -> Structure {
+        let mut s = Structure::new(edge_schema());
+        for i in 0..n {
+            for j in 0..n {
+                s.add("E", &[i as Const, j as Const]);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn empty_source_has_one_hom() {
+        let empty = Structure::new(edge_schema());
+        assert_eq!(hom_count(&empty, &path(3)), Nat::one());
+        assert_eq!(hom_count(&empty, &empty), Nat::one());
+        assert!(hom_exists(&empty, &empty));
+    }
+
+    #[test]
+    fn single_edge_counts_edges() {
+        // hom(edge, G) = number of edges of G.
+        let e = path(1);
+        assert_eq!(hom_count(&e, &path(4)), Nat::from_u64(4));
+        assert_eq!(hom_count(&e, &cycle(5)), Nat::from_u64(5));
+        assert_eq!(hom_count(&e, &clique_with_loops(3)), Nat::from_u64(9));
+    }
+
+    #[test]
+    fn path_into_clique_with_loops() {
+        // Every map of the k+1 vertices is a homomorphism: n^(k+1).
+        assert_eq!(hom_count(&path(2), &clique_with_loops(3)), Nat::from_u64(27));
+        assert_eq!(hom_count(&path(3), &clique_with_loops(2)), Nat::from_u64(16));
+    }
+
+    #[test]
+    fn path_into_path_counts() {
+        // hom(P_k, P_n) (paths as directed edge-paths) = n - k + 1 for k <= n.
+        assert_eq!(hom_count(&path(2), &path(4)), Nat::from_u64(3));
+        assert_eq!(hom_count(&path(4), &path(4)), Nat::from_u64(1));
+        assert_eq!(hom_count(&path(5), &path(4)), Nat::zero());
+        assert!(!hom_exists(&path(5), &path(4)));
+    }
+
+    #[test]
+    fn cycle_into_cycle() {
+        // A directed 3-cycle maps into a directed 3-cycle by rotation: 3 homs.
+        assert_eq!(hom_count(&cycle(3), &cycle(3)), Nat::from_u64(3));
+        // No hom from a 3-cycle into a 4-cycle (lengths incompatible).
+        assert_eq!(hom_count(&cycle(3), &cycle(4)), Nat::zero());
+        // 4-cycle into 2-cycle: wraps around, 2 homs.
+        assert_eq!(hom_count(&cycle(4), &cycle(2)), Nat::from_u64(2));
+    }
+
+    #[test]
+    fn disconnected_source_multiplies() {
+        // Two disjoint edges into C_5: 5 * 5 = 25 (Lemma 4(5)).
+        let mut two_edges = Structure::new(edge_schema());
+        two_edges.add("E", &[0, 1]);
+        two_edges.add("E", &[10, 11]);
+        let t = cycle(5);
+        assert_eq!(hom_count(&two_edges, &t), Nat::from_u64(25));
+        assert_eq!(hom_count_factored(&two_edges, &t), Nat::from_u64(25));
+    }
+
+    #[test]
+    fn factored_matches_plain_on_various_inputs() {
+        let mut src = Structure::new(edge_schema());
+        src.add("E", &[0, 1]);
+        src.add("E", &[1, 2]);
+        src.add("E", &[5, 6]);
+        for target in [path(3), cycle(4), clique_with_loops(3)] {
+            assert_eq!(hom_count(&src, &target), hom_count_factored(&src, &target));
+        }
+    }
+
+    #[test]
+    fn isolated_source_elements_map_anywhere() {
+        let mut src = Structure::new(edge_schema());
+        src.add_isolated(42);
+        // One isolated vertex → |dom(target)| homomorphisms.
+        assert_eq!(hom_count(&src, &path(3)), Nat::from_u64(4));
+        let mut tgt = path(2);
+        tgt.add_isolated(99);
+        assert_eq!(hom_count(&src, &tgt), Nat::from_u64(4));
+    }
+
+    #[test]
+    fn unary_and_mixed_arity() {
+        let sch = Schema::with_relations([("R", 2), ("P", 1)]);
+        let mut src = Structure::new(sch.clone());
+        src.add("R", &[0, 1]);
+        src.add("P", &[0]);
+        let mut tgt = Structure::new(sch);
+        tgt.add("R", &[10, 11]);
+        tgt.add("R", &[12, 11]);
+        tgt.add("P", &[10]);
+        // Only the edge (10,11) has a P-marked source.
+        assert_eq!(hom_count(&src, &tgt), Nat::one());
+        assert!(hom_exists(&src, &tgt));
+    }
+
+    #[test]
+    fn nullary_facts_gate_everything() {
+        let sch = Schema::with_relations([("H", 0), ("P", 1)]);
+        let mut src = Structure::new(sch.clone());
+        src.add("H", &[]);
+        src.add("P", &[0]);
+        let mut tgt_without = Structure::new(sch.clone());
+        tgt_without.add("P", &[5]);
+        assert_eq!(hom_count(&src, &tgt_without), Nat::zero());
+        let mut tgt_with = tgt_without.clone();
+        tgt_with.add("H", &[]);
+        assert_eq!(hom_count(&src, &tgt_with), Nat::one());
+    }
+
+    #[test]
+    fn enumerate_returns_all_assignments() {
+        let homs = hom_enumerate(&path(1), &path(2));
+        assert_eq!(homs.len(), 2);
+        for h in &homs {
+            assert_eq!(h.len(), 2);
+            let (a, b) = (h[&0], h[&1]);
+            assert!(path(2).contains_fact("E", &[a, b]));
+        }
+    }
+
+    #[test]
+    fn injective_homs() {
+        assert!(injective_hom_exists(&path(2), &path(2)));
+        assert!(injective_hom_exists(&path(2), &path(5)));
+        // C_4 maps into C_2 homomorphically but not injectively.
+        assert!(hom_exists(&cycle(4), &cycle(2)));
+        assert!(!injective_hom_exists(&cycle(4), &cycle(2)));
+    }
+
+    #[test]
+    fn hom_composition_closure() {
+        // If hom(A,B) and hom(B,C) are nonempty then hom(A,C) is nonempty.
+        let a = path(3);
+        let b = cycle(3);
+        let c = clique_with_loops(2);
+        assert!(hom_exists(&a, &b));
+        assert!(hom_exists(&b, &c));
+        assert!(hom_exists(&a, &c));
+    }
+}

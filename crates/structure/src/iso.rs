@@ -1,0 +1,178 @@
+//! Isomorphism testing and de-duplication up to isomorphism.
+//!
+//! Definition 27 builds the basis `W` as a *set* of connected components,
+//! "and we think that isomorphic structures are equal" — so the decision
+//! procedure needs a reliable isomorphism test.  Structures arising from
+//! queries are small (a handful of atoms), so a backtracking search suffices.
+
+use crate::hom::injective_hom_exists;
+use crate::structure::Structure;
+
+/// Whether two structures are isomorphic.
+///
+/// Two structures are isomorphic iff there is a bijection between their
+/// domains mapping facts onto facts.  We use: `A ≅ B` iff they have the same
+/// domain size, the same number of facts per relation, and there is an
+/// injective homomorphism `A → B`.  (An injective homomorphism maps distinct
+/// facts to distinct facts, so with equal per-relation fact counts its image
+/// is all of `B`, and a fact-count-preserving bijective homomorphism is an
+/// isomorphism.)
+pub fn isomorphic(a: &Structure, b: &Structure) -> bool {
+    if a.schema() != b.schema() {
+        return false;
+    }
+    if a.domain_size() != b.domain_size() {
+        return false;
+    }
+    if a.profile() != b.profile() {
+        return false;
+    }
+    injective_hom_exists(a, b)
+}
+
+/// De-duplicate a list of structures up to isomorphism, preserving the first
+/// occurrence of each isomorphism class (this is exactly how the basis `W` of
+/// Definition 27 is formed from the connected components of `Σ_{v∈V′} v`).
+pub fn dedup_up_to_iso(structures: Vec<Structure>) -> Vec<Structure> {
+    let mut out: Vec<Structure> = Vec::new();
+    for s in structures {
+        if !out.iter().any(|t| isomorphic(t, &s)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// The multiplicity of each representative of `basis` in `structures`
+/// (counting up to isomorphism).  Every element of `structures` must be
+/// isomorphic to some basis element; returns `None` otherwise.
+///
+/// This is the "vector representation" of Observation 28 / Definition 29.
+pub fn multiplicities(basis: &[Structure], structures: &[Structure]) -> Option<Vec<u64>> {
+    let mut counts = vec![0u64; basis.len()];
+    for s in structures {
+        let idx = basis.iter().position(|b| isomorphic(b, s))?;
+        counts[idx] += 1;
+    }
+    Some(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::structure::Structure;
+
+    fn sch() -> Schema {
+        Schema::with_relations([("E", 2), ("P", 1)])
+    }
+
+    fn edge(a: u64, b: u64) -> Structure {
+        let mut s = Structure::new(sch());
+        s.add("E", &[a, b]);
+        s
+    }
+
+    #[test]
+    fn renamed_structures_are_isomorphic() {
+        assert!(isomorphic(&edge(0, 1), &edge(10, 20)));
+        assert!(isomorphic(&edge(0, 0), &edge(5, 5)));
+        assert!(!isomorphic(&edge(0, 1), &edge(5, 5)), "loop vs non-loop");
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut a = Structure::new(sch());
+        a.add("E", &[0, 1]);
+        a.add("P", &[0]);
+        let mut b = Structure::new(sch());
+        b.add("E", &[0, 1]);
+        b.add("P", &[1]);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_sizes_not_isomorphic() {
+        let mut two = Structure::new(sch());
+        two.add("E", &[0, 1]);
+        two.add("E", &[1, 2]);
+        assert!(!isomorphic(&edge(0, 1), &two));
+    }
+
+    #[test]
+    fn cycles_vs_paths() {
+        let mut c3 = Structure::new(sch());
+        c3.add("E", &[0, 1]);
+        c3.add("E", &[1, 2]);
+        c3.add("E", &[2, 0]);
+        let mut p3 = Structure::new(sch());
+        p3.add("E", &[0, 1]);
+        p3.add("E", &[1, 2]);
+        p3.add("E", &[2, 3]);
+        assert!(!isomorphic(&c3, &p3));
+        // Same cycle written with different constants and rotation.
+        let mut c3b = Structure::new(sch());
+        c3b.add("E", &[7, 9]);
+        c3b.add("E", &[9, 11]);
+        c3b.add("E", &[11, 7]);
+        assert!(isomorphic(&c3, &c3b));
+    }
+
+    #[test]
+    fn isolated_elements_count() {
+        let mut a = edge(0, 1);
+        a.add_isolated(5);
+        assert!(!isomorphic(&a, &edge(0, 1)));
+        let mut b = edge(3, 4);
+        b.add_isolated(9);
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn hard_case_same_profile_not_isomorphic() {
+        // Both have 3 edges and 3 vertices but only one is a cycle.
+        let mut c3 = Structure::new(sch());
+        c3.add("E", &[0, 1]);
+        c3.add("E", &[1, 2]);
+        c3.add("E", &[2, 0]);
+        let mut other = Structure::new(sch());
+        other.add("E", &[0, 1]);
+        other.add("E", &[1, 2]);
+        other.add("E", &[0, 2]);
+        assert_eq!(c3.profile(), other.profile());
+        assert_eq!(c3.domain_size(), other.domain_size());
+        assert!(!isomorphic(&c3, &other));
+    }
+
+    #[test]
+    fn dedup() {
+        let items = vec![edge(0, 1), edge(9, 12), edge(3, 3), edge(4, 4), edge(1, 0)];
+        let unique = dedup_up_to_iso(items);
+        assert_eq!(unique.len(), 2);
+        assert!(isomorphic(&unique[0], &edge(0, 1)));
+        assert!(isomorphic(&unique[1], &edge(7, 7)));
+    }
+
+    #[test]
+    fn multiplicity_vectors() {
+        let basis = vec![edge(0, 1), edge(3, 3)];
+        let items = vec![edge(10, 20), edge(5, 5), edge(6, 6), edge(30, 40)];
+        assert_eq!(multiplicities(&basis, &items), Some(vec![2, 2]));
+        // An item outside the basis yields None.
+        let mut p = Structure::new(sch());
+        p.add("P", &[0]);
+        assert_eq!(multiplicities(&basis, &[p]), None);
+        assert_eq!(multiplicities(&basis, &[]), Some(vec![0, 0]));
+    }
+
+    #[test]
+    fn nullary_iso() {
+        let sch = Schema::with_relations([("H", 0), ("C", 0)]);
+        let mut h = Structure::new(sch.clone());
+        h.add("H", &[]);
+        let mut c = Structure::new(sch.clone());
+        c.add("C", &[]);
+        assert!(!isomorphic(&h, &c));
+        assert!(isomorphic(&h, &h.clone()));
+    }
+}

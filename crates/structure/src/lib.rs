@@ -1,0 +1,43 @@
+//! Finite relational structures (databases) and the graph-theoretic toolkit of
+//! the paper's Section 2.
+//!
+//! This crate provides
+//!
+//! * [`Schema`] and [`Structure`] — relational schemas and finite structures
+//!   (sets of facts over an infinite supply of constants),
+//! * homomorphism enumeration, existence and exact counting ([`hom`]),
+//! * isomorphism testing and de-duplication up to isomorphism ([`iso`]),
+//! * connected components ([`components`]),
+//! * the structure algebra of Section 2.2: disjoint union `A + B`, product
+//!   `A × B`, scalar multiple `t·A`, power `Aᵗ` and the all-loops point `A⁰`
+//!   ([`ops`]),
+//! * Lovász's Lemma 4 in executable form, both as a test oracle and as the
+//!   evaluation engine behind symbolic structures ([`expr`]),
+//! * incidence matrices of binary relations (Definition 16, used by the
+//!   path-query machinery) ([`adjacency`]),
+//! * random structure generators for benchmarks and property tests
+//!   ([`generator`]).
+
+pub mod adjacency;
+pub mod components;
+pub mod expr;
+pub mod generator;
+pub mod hom;
+pub mod iso;
+pub mod ops;
+pub mod schema;
+pub mod structure;
+
+pub use adjacency::incidence_matrix;
+pub use components::{connected_components, is_connected};
+pub use expr::StructureExpr;
+pub use generator::StructureGenerator;
+pub use hom::{
+    hom_count, hom_count_factored, hom_enumerate, hom_exists, injective_hom_exists, Homomorphism,
+};
+pub use iso::{dedup_up_to_iso, isomorphic, multiplicities};
+pub use ops::{all_loops_point, disjoint_union, power, product, scalar_multiple};
+pub use schema::Schema;
+pub use structure::{Const, Fact, Structure};
+
+pub use cqdet_bigint::{Int, Nat};

@@ -1,0 +1,267 @@
+//! The structure algebra of Section 2.2: disjoint union `A + B`, product
+//! `A × B`, scalar multiple `t·A`, power `Aᵗ` and the all-loops point `A⁰`.
+
+use crate::structure::{Const, Fact, Structure};
+use std::collections::BTreeMap;
+
+/// Disjoint union `A + B`: constants of `B` are renamed with fresh constants
+/// whenever they clash with constants of `A` (footnote 13 of the paper).
+pub fn disjoint_union(a: &Structure, b: &Structure) -> Structure {
+    let schema = a.schema().union(b.schema());
+    let mut out = Structure::new(schema.clone());
+    for f in a.facts() {
+        out.add_fact(f);
+    }
+    for &c in &a.domain() {
+        out.add_isolated(c);
+    }
+    // Shift every constant of b above the constants of a.
+    let offset = a.domain().iter().next_back().map(|&m| m + 1).unwrap_or(0);
+    let shifted = b.map_constants(|c| c + offset);
+    for f in shifted.facts() {
+        out.add_fact(f);
+    }
+    for &c in &shifted.domain() {
+        out.add_isolated(c);
+    }
+    out
+}
+
+/// Scalar multiple `t·A = A + A + … + A` (`t` copies); `0·A` is the empty
+/// structure.
+pub fn scalar_multiple(t: u64, a: &Structure) -> Structure {
+    let mut out = Structure::new(a.schema().clone());
+    for _ in 0..t {
+        out = disjoint_union(&out, a);
+    }
+    out
+}
+
+/// Product `A × B`: the domain is `dom(A) × dom(B)` and
+/// `R(⟨a₁,b₁⟩, …, ⟨a_k,b_k⟩)` holds iff `R(a⃗) ∈ A` and `R(b⃗) ∈ B`.
+///
+/// Domain pairs are encoded as fresh consecutive constants; the encoding is
+/// deterministic (row-major over the sorted domains).
+pub fn product(a: &Structure, b: &Structure) -> Structure {
+    let schema = a.schema().union(b.schema());
+    let mut out = Structure::new(schema.clone());
+    let a_dom: Vec<Const> = a.domain().into_iter().collect();
+    let b_dom: Vec<Const> = b.domain().into_iter().collect();
+    let index: BTreeMap<(Const, Const), Const> = a_dom
+        .iter()
+        .flat_map(|&x| b_dom.iter().map(move |&y| (x, y)))
+        .enumerate()
+        .map(|(i, p)| (p, i as Const))
+        .collect();
+    for (&(_, _), &c) in &index {
+        out.add_isolated(c);
+    }
+    for (rel, arity) in schema.relations() {
+        if arity == 0 {
+            if a.contains_fact(rel, &[]) && b.contains_fact(rel, &[]) {
+                out.add_fact(Fact::new(rel, vec![]));
+            }
+            continue;
+        }
+        for ta in a.relation_tuples(rel) {
+            for tb in b.relation_tuples(rel) {
+                let args: Vec<Const> = ta
+                    .iter()
+                    .zip(tb.iter())
+                    .map(|(&x, &y)| index[&(x, y)])
+                    .collect();
+                out.add_fact(Fact::new(rel, args));
+            }
+        }
+    }
+    out
+}
+
+/// The all-loops point `A⁰`: a single element `α` with `R(α, …, α)` for every
+/// relation `R` of the schema.  `|hom(A, A⁰)| = 1` for every structure `A`
+/// over the schema, which is why empty products behave like a multiplicative
+/// unit.
+pub fn all_loops_point(schema: &crate::schema::Schema) -> Structure {
+    let mut out = Structure::new(schema.clone());
+    out.add_isolated(0);
+    for (rel, arity) in schema.relations() {
+        out.add_fact(Fact::new(rel, vec![0; arity]));
+    }
+    out
+}
+
+/// Power `Aᵗ = A × A × … × A` (`t` factors); `A⁰` is the all-loops point.
+pub fn power(a: &Structure, t: u64) -> Structure {
+    if t == 0 {
+        return all_loops_point(a.schema());
+    }
+    let mut out = a.clone();
+    for _ in 1..t {
+        out = product(&out, a);
+    }
+    out
+}
+
+/// Generalised sum `Σᵢ aᵢ` of a sequence of structures.
+pub fn sum_of<'a, I: IntoIterator<Item = &'a Structure>>(
+    schema: &crate::schema::Schema,
+    items: I,
+) -> Structure {
+    let mut out = Structure::new(schema.clone());
+    for s in items {
+        out = disjoint_union(&out, s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::hom_count;
+    use crate::iso::isomorphic;
+    use crate::schema::Schema;
+    use cqdet_bigint::Nat;
+
+    fn sch() -> Schema {
+        Schema::binary(["E"])
+    }
+
+    fn path(n: usize) -> Structure {
+        let mut s = Structure::new(sch());
+        for i in 0..n {
+            s.add("E", &[i as Const, (i + 1) as Const]);
+        }
+        s
+    }
+
+    fn cycle(n: usize) -> Structure {
+        let mut s = Structure::new(sch());
+        for i in 0..n {
+            s.add("E", &[i as Const, ((i + 1) % n) as Const]);
+        }
+        s
+    }
+
+    #[test]
+    fn disjoint_union_sizes() {
+        let u = disjoint_union(&path(2), &path(3));
+        assert_eq!(u.domain_size(), 3 + 4);
+        assert_eq!(u.num_facts(), 2 + 3);
+        // Union with the empty structure is (isomorphic to) the original.
+        let e = Structure::new(sch());
+        assert!(isomorphic(&disjoint_union(&e, &path(2)), &path(2)));
+        assert!(isomorphic(&disjoint_union(&path(2), &e), &path(2)));
+    }
+
+    #[test]
+    fn disjoint_union_renames_clashing_constants() {
+        let a = path(2); // constants 0,1,2
+        let u = disjoint_union(&a, &a);
+        assert_eq!(u.domain_size(), 6);
+        assert_eq!(u.num_facts(), 4);
+    }
+
+    #[test]
+    fn scalar_multiple_sizes() {
+        assert!(scalar_multiple(0, &path(2)).is_empty());
+        assert!(isomorphic(&scalar_multiple(1, &path(2)), &path(2)));
+        let t3 = scalar_multiple(3, &cycle(3));
+        assert_eq!(t3.domain_size(), 9);
+        assert_eq!(t3.num_facts(), 9);
+    }
+
+    #[test]
+    fn product_sizes_and_unit() {
+        let p = product(&cycle(2), &cycle(3));
+        assert_eq!(p.domain_size(), 6);
+        // Each pair of edges gives one product edge: 2*3 = 6.
+        assert_eq!(p.num_facts(), 6);
+
+        let unit = all_loops_point(&sch());
+        assert_eq!(unit.domain_size(), 1);
+        assert_eq!(unit.num_facts(), 1);
+        // A × A⁰ ≅ A for structures whose domain is the active domain.
+        assert!(isomorphic(&product(&cycle(3), &unit), &cycle(3)));
+    }
+
+    #[test]
+    fn power_conventions() {
+        assert!(isomorphic(&power(&cycle(3), 0), &all_loops_point(&sch())));
+        assert!(isomorphic(&power(&cycle(3), 1), &cycle(3)));
+        let sq = power(&cycle(2), 2);
+        assert_eq!(sq.domain_size(), 4);
+        assert_eq!(sq.num_facts(), 4);
+    }
+
+    #[test]
+    fn lemma_4_sum_rule() {
+        // (1) A connected ⇒ hom(A, B + C) = hom(A,B) + hom(A,C).
+        let a = path(2);
+        let b = cycle(3);
+        let c = cycle(4);
+        assert_eq!(
+            hom_count(&a, &disjoint_union(&b, &c)),
+            hom_count(&a, &b) + hom_count(&a, &c)
+        );
+        // (2) hom(A, tB) = t · hom(A, B).
+        assert_eq!(
+            hom_count(&a, &scalar_multiple(3, &b)),
+            hom_count(&a, &b).mul_ref(&Nat::from_u64(3))
+        );
+    }
+
+    #[test]
+    fn lemma_4_product_rule() {
+        // (3) hom(A, B × C) = hom(A,B) · hom(A,C)  (no connectivity needed).
+        let mut a = Structure::new(sch());
+        a.add("E", &[0, 1]);
+        a.add("E", &[5, 6]); // disconnected source
+        let b = cycle(3);
+        let c = path(3);
+        assert_eq!(
+            hom_count(&a, &product(&b, &c)),
+            hom_count(&a, &b) * hom_count(&a, &c)
+        );
+        // (4) hom(A, B^t) = hom(A,B)^t.
+        assert_eq!(hom_count(&a, &power(&b, 2)), hom_count(&a, &b).pow(2));
+        assert_eq!(hom_count(&a, &power(&b, 0)), Nat::one());
+    }
+
+    #[test]
+    fn lemma_4_left_sum_rule() {
+        // (5) hom(A + B, C) = hom(A,C) · hom(B,C).
+        let a = path(1);
+        let b = cycle(3);
+        let c = cycle(6);
+        assert_eq!(
+            hom_count(&disjoint_union(&a, &b), &c),
+            hom_count(&a, &c) * hom_count(&b, &c)
+        );
+    }
+
+    #[test]
+    fn product_with_nullary_relations() {
+        let sch = Schema::with_relations([("H", 0), ("P", 1)]);
+        let mut a = Structure::new(sch.clone());
+        a.add("H", &[]);
+        a.add("P", &[0]);
+        let mut b = Structure::new(sch.clone());
+        b.add("P", &[0]);
+        b.add("P", &[1]);
+        let p = product(&a, &b);
+        // H() requires the fact in both factors.
+        assert!(!p.contains_fact("H", &[]));
+        assert_eq!(p.relation_size("P"), 2);
+        let mut b2 = b.clone();
+        b2.add("H", &[]);
+        assert!(product(&a, &b2).contains_fact("H", &[]));
+    }
+
+    #[test]
+    fn sum_of_many() {
+        let items = [path(1), path(1), cycle(3)];
+        let s = sum_of(&sch(), items.iter());
+        assert_eq!(s.domain_size(), 2 + 2 + 3);
+        assert_eq!(s.num_facts(), 1 + 1 + 3);
+    }
+}

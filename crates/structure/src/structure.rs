@@ -1,0 +1,355 @@
+//! Finite relational structures (databases) over a [`Schema`].
+
+use crate::schema::Schema;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A constant (domain element).  Constants are plain integers; structures over
+/// the "infinite set of constants" of the paper only ever mention finitely
+/// many of them.
+pub type Const = u64;
+
+/// A fact `R(t⃗)`: a relation name applied to a tuple of constants.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fact {
+    /// Relation symbol.
+    pub relation: String,
+    /// Argument tuple (length = arity of the relation).
+    pub args: Vec<Const>,
+}
+
+impl Fact {
+    /// Construct a fact.
+    pub fn new<S: Into<String>>(relation: S, args: Vec<Const>) -> Self {
+        Fact {
+            relation: relation.into(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A finite relational structure: a set of facts over a schema, plus an
+/// optional set of isolated domain elements (the paper's Section 3 explicitly
+/// allows the domain to be larger than the active domain).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Structure {
+    schema: Schema,
+    /// Facts grouped by relation name; each relation maps to the set of tuples.
+    tuples: BTreeMap<String, BTreeSet<Vec<Const>>>,
+    /// Domain elements that occur in no fact.
+    isolated: BTreeSet<Const>,
+}
+
+impl Structure {
+    /// The empty structure over a schema.
+    pub fn new(schema: Schema) -> Self {
+        Structure {
+            schema,
+            tuples: BTreeMap::new(),
+            isolated: BTreeSet::new(),
+        }
+    }
+
+    /// Build a structure from facts.
+    pub fn from_facts<I>(schema: Schema, facts: I) -> Self
+    where
+        I: IntoIterator<Item = Fact>,
+    {
+        let mut s = Structure::new(schema);
+        for f in facts {
+            s.add_fact(f);
+        }
+        s
+    }
+
+    /// The schema of this structure.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Add a fact; panics if the relation is unknown or the arity is wrong.
+    pub fn add_fact(&mut self, fact: Fact) {
+        let arity = self
+            .schema
+            .arity(&fact.relation)
+            .unwrap_or_else(|| panic!("unknown relation {} in fact", fact.relation));
+        assert_eq!(
+            arity,
+            fact.args.len(),
+            "arity mismatch for relation {}: expected {}, got {}",
+            fact.relation,
+            arity,
+            fact.args.len()
+        );
+        for &a in &fact.args {
+            self.isolated.remove(&a);
+        }
+        self.tuples.entry(fact.relation).or_default().insert(fact.args);
+    }
+
+    /// Convenience: add the fact `relation(args…)`.
+    pub fn add<S: Into<String>>(&mut self, relation: S, args: &[Const]) {
+        self.add_fact(Fact::new(relation, args.to_vec()));
+    }
+
+    /// Add an isolated domain element (one that occurs in no fact).
+    pub fn add_isolated(&mut self, c: Const) {
+        if !self.active_domain().contains(&c) {
+            self.isolated.insert(c);
+        }
+    }
+
+    /// Whether the structure contains the given fact.
+    pub fn contains_fact(&self, relation: &str, args: &[Const]) -> bool {
+        self.tuples
+            .get(relation)
+            .map(|set| set.contains(args))
+            .unwrap_or(false)
+    }
+
+    /// The tuples of one relation (empty slice view if the relation has no facts).
+    pub fn relation_tuples(&self, relation: &str) -> impl Iterator<Item = &Vec<Const>> {
+        self.tuples.get(relation).into_iter().flatten()
+    }
+
+    /// Number of tuples in one relation.
+    pub fn relation_size(&self, relation: &str) -> usize {
+        self.tuples.get(relation).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Iterator over all facts in deterministic order.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.tuples.iter().flat_map(|(rel, tuples)| {
+            tuples.iter().map(move |args| Fact::new(rel.clone(), args.clone()))
+        })
+    }
+
+    /// Total number of facts.
+    pub fn num_facts(&self) -> usize {
+        self.tuples.values().map(BTreeSet::len).sum()
+    }
+
+    /// Whether the structure has no facts and no isolated elements.
+    pub fn is_empty(&self) -> bool {
+        self.num_facts() == 0 && self.isolated.is_empty()
+    }
+
+    /// The active domain: constants appearing in facts.
+    pub fn active_domain(&self) -> BTreeSet<Const> {
+        let mut dom = BTreeSet::new();
+        for tuples in self.tuples.values() {
+            for t in tuples {
+                dom.extend(t.iter().copied());
+            }
+        }
+        dom
+    }
+
+    /// The domain: active domain plus isolated elements.
+    pub fn domain(&self) -> BTreeSet<Const> {
+        let mut dom = self.active_domain();
+        dom.extend(self.isolated.iter().copied());
+        dom
+    }
+
+    /// Domain size.
+    pub fn domain_size(&self) -> usize {
+        self.domain().len()
+    }
+
+    /// Apply a constant-renaming function to every fact (and isolated element).
+    ///
+    /// The mapping need not be injective; the result is the homomorphic image.
+    pub fn map_constants<F: Fn(Const) -> Const>(&self, f: F) -> Structure {
+        let mut out = Structure::new(self.schema.clone());
+        for fact in self.facts() {
+            out.add_fact(Fact::new(
+                fact.relation,
+                fact.args.iter().map(|&a| f(a)).collect(),
+            ));
+        }
+        for &c in &self.isolated {
+            out.add_isolated(f(c));
+        }
+        out
+    }
+
+    /// Rename constants to `0..n` (dense renumbering), preserving order.
+    pub fn compact(&self) -> Structure {
+        let dom: Vec<Const> = self.domain().into_iter().collect();
+        let index: BTreeMap<Const, Const> =
+            dom.iter().enumerate().map(|(i, &c)| (c, i as Const)).collect();
+        self.map_constants(|c| index[&c])
+    }
+
+    /// The largest constant mentioned (useful when generating fresh constants).
+    pub fn max_constant(&self) -> Option<Const> {
+        self.domain().into_iter().next_back()
+    }
+
+    /// Per-relation fact counts, in deterministic order (an isomorphism
+    /// invariant used for fast non-isomorphism detection).
+    pub fn profile(&self) -> Vec<(String, usize)> {
+        self.schema
+            .relation_names()
+            .iter()
+            .map(|&n| (n.to_string(), self.relation_size(n)))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Structure{{")?;
+        let mut first = true;
+        for fact in self.facts() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fact}")?;
+            first = false;
+        }
+        for c in &self.isolated {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "·{c}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::with_relations([("R", 2), ("P", 1)])
+    }
+
+    #[test]
+    fn add_and_query_facts() {
+        let mut s = Structure::new(schema());
+        s.add("R", &[1, 2]);
+        s.add("R", &[2, 3]);
+        s.add("P", &[1]);
+        assert_eq!(s.num_facts(), 3);
+        assert!(s.contains_fact("R", &[1, 2]));
+        assert!(!s.contains_fact("R", &[2, 1]));
+        assert_eq!(s.relation_size("R"), 2);
+        assert_eq!(s.relation_size("P"), 1);
+        assert_eq!(s.relation_size("Q"), 0);
+        assert_eq!(s.active_domain(), BTreeSet::from([1, 2, 3]));
+        assert_eq!(s.domain_size(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn duplicate_facts_are_set_like() {
+        let mut s = Structure::new(schema());
+        s.add("R", &[1, 2]);
+        s.add("R", &[1, 2]);
+        assert_eq!(s.num_facts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relation")]
+    fn unknown_relation_panics() {
+        let mut s = Structure::new(schema());
+        s.add("Q", &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut s = Structure::new(schema());
+        s.add("R", &[1]);
+    }
+
+    #[test]
+    fn isolated_elements() {
+        let mut s = Structure::new(schema());
+        s.add_isolated(7);
+        s.add("P", &[1]);
+        assert_eq!(s.active_domain(), BTreeSet::from([1]));
+        assert_eq!(s.domain(), BTreeSet::from([1, 7]));
+        // Adding a fact mentioning 7 removes it from the isolated set.
+        s.add("P", &[7]);
+        assert_eq!(s.domain(), BTreeSet::from([1, 7]));
+        assert_eq!(s.active_domain(), BTreeSet::from([1, 7]));
+        // Adding an isolated element that is already active is a no-op.
+        s.add_isolated(1);
+        assert_eq!(s.domain_size(), 2);
+    }
+
+    #[test]
+    fn map_and_compact() {
+        let mut s = Structure::new(schema());
+        s.add("R", &[10, 20]);
+        s.add("P", &[30]);
+        let c = s.compact();
+        assert_eq!(c.active_domain(), BTreeSet::from([0, 1, 2]));
+        assert!(c.contains_fact("R", &[0, 1]));
+        assert!(c.contains_fact("P", &[2]));
+        // Non-injective mapping merges constants.
+        let merged = s.map_constants(|_| 0);
+        assert_eq!(merged.domain_size(), 1);
+        assert!(merged.contains_fact("R", &[0, 0]));
+    }
+
+    #[test]
+    fn nullary_facts() {
+        let sch = Schema::with_relations([("H", 0usize)]);
+        let mut s = Structure::new(sch);
+        s.add("H", &[]);
+        assert_eq!(s.num_facts(), 1);
+        assert!(s.contains_fact("H", &[]));
+        assert_eq!(s.domain_size(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn profile_and_display() {
+        let mut s = Structure::new(schema());
+        s.add("R", &[1, 2]);
+        s.add("P", &[1]);
+        assert_eq!(s.profile(), vec![("P".to_string(), 1), ("R".to_string(), 1)]);
+        let d = format!("{s}");
+        assert!(d.contains("R(1,2)") && d.contains("P(1)"));
+    }
+
+    #[test]
+    fn from_facts_and_equality() {
+        let s1 = Structure::from_facts(
+            schema(),
+            [Fact::new("R", vec![1, 2]), Fact::new("P", vec![1])],
+        );
+        let s2 = Structure::from_facts(
+            schema(),
+            [Fact::new("P", vec![1]), Fact::new("R", vec![1, 2])],
+        );
+        assert_eq!(s1, s2, "fact insertion order must not matter");
+        assert_eq!(s1.max_constant(), Some(2));
+        assert_eq!(Structure::new(schema()).max_constant(), None);
+    }
+}

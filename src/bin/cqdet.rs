@@ -1,0 +1,218 @@
+//! `cqdet` — a small command-line front end to the determinacy library.
+//!
+//! ```text
+//! cqdet decide <program.cq> [--query NAME] [--witness]
+//!     Parse a Datalog-style program (one boolean CQ per line); the query is
+//!     the definition named NAME (default: "q"), every other definition is a
+//!     view.  Prints the decision, the rewriting (if determined) or — with
+//!     --witness — a certified counterexample.
+//!
+//! cqdet path <word> <view-word>...
+//!     Path-query determinacy (Theorem 1): e.g. `cqdet path ABCD ABC BC BCD`.
+//!
+//! cqdet hilbert <bound> <monomial>...
+//!     Theorem 2 reduction: monomials like `+2:x^1,y^1` or `-12:`; searches
+//!     for a solution with unknowns ≤ bound and reports the refutation.
+//! ```
+
+use cqdet::core::witness::{build_counterexample, WitnessConfig};
+use cqdet::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("decide") => cmd_decide(&args[1..]),
+        Some("path") => cmd_path(&args[1..]),
+        Some("hilbert") => cmd_hilbert(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!("cqdet — bag-semantics query determinacy (PODS 2022 reproduction)");
+    println!();
+    println!("  cqdet decide <program.cq> [--query NAME] [--witness]");
+    println!("  cqdet path <query-word> <view-word>...");
+    println!("  cqdet hilbert <bound> <coeff:var^deg,...>...");
+}
+
+fn cmd_decide(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut query_name = "q".to_string();
+    let mut want_witness = false;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--query" => {
+                query_name = iter.next().ok_or("--query needs a value")?.clone();
+            }
+            "--witness" => want_witness = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("decide needs a program file")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = parse_queries(&text).map_err(|e| e.to_string())?;
+
+    let mut views = Vec::new();
+    let mut query = None;
+    for u in &program {
+        if !u.is_single_cq() {
+            return Err(format!(
+                "{} is a union query; Theorem 3 handles conjunctive queries (unions are undecidable — Theorem 2)",
+                u.name()
+            ));
+        }
+        let cq = u.disjuncts()[0].clone();
+        if u.name() == query_name {
+            query = Some(cq);
+        } else {
+            views.push(cq);
+        }
+    }
+    let query = query.ok_or(format!("no definition named {query_name:?} in {path}"))?;
+
+    let analysis = decide_bag_determinacy(&views, &query).map_err(|e| e.to_string())?;
+    println!("query:    {query}");
+    println!("views:    {}", views.len());
+    println!("retained: {:?} (views with q ⊆_set v)", analysis.retained_views);
+    println!("basis:    {} connected component(s)", analysis.basis_size());
+    println!("determined under bag semantics: {}", analysis.determined);
+    if let Some(rewriting) = analysis.rewriting(&views) {
+        println!("rewriting: {rewriting}");
+    } else if want_witness {
+        let witness = build_counterexample(&analysis, &query, &WitnessConfig::default())
+            .map_err(|e| e.to_string())?;
+        println!("counterexample (symbolic structures over the good basis):");
+        println!("  D  = {}", witness.d);
+        println!("  D' = {}", witness.d_prime);
+        println!("  q(D) = {}   q(D') = {}", witness.eval_on_d(&query), witness.eval_on_d_prime(&query));
+        println!("  verified: {}", witness.verify(&views, &query));
+    }
+    Ok(())
+}
+
+fn cmd_path(args: &[String]) -> Result<(), String> {
+    let [query, views @ ..] = args else {
+        return Err("path needs a query word and at least one view word".to_string());
+    };
+    if views.is_empty() {
+        return Err("path needs at least one view word".to_string());
+    }
+    let q = PathQuery::from_compact(query);
+    let vs: Vec<PathQuery> = views.iter().map(|w| PathQuery::from_compact(w)).collect();
+    let analysis = decide_path_determinacy(&vs, &q);
+    println!("q = {q}");
+    println!("V = {{{}}}", vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "));
+    println!("determined (set ⇔ bag, Theorem 1): {}", analysis.determined);
+    match analysis.derivation {
+        Some(steps) => {
+            print!("derivation: ε");
+            for s in &steps {
+                let dir = if s.sign > 0 { '+' } else { '−' };
+                print!(" →({dir}{}) {}", vs[s.view], q.prefix(s.to_len));
+            }
+            println!();
+        }
+        None => {
+            let (d, d_prime) = cqdet::core::paths::non_determinacy_witness(&vs, &q)
+                .expect("undetermined instances have Appendix B witnesses");
+            println!("Appendix B witness:");
+            println!("  D  = {d}");
+            println!("  D' = {d_prime}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_hilbert(args: &[String]) -> Result<(), String> {
+    let [bound, monomials @ ..] = args else {
+        return Err("hilbert needs a bound and at least one monomial".to_string());
+    };
+    if monomials.is_empty() {
+        return Err("hilbert needs at least one monomial".to_string());
+    }
+    let bound: u64 = bound.parse().map_err(|_| "bound must be a natural number")?;
+    let mut parsed = Vec::new();
+    for m in monomials {
+        parsed.push(parse_monomial(m)?);
+    }
+    let instance = DiophantineInstance::new(parsed);
+    println!("instance: {instance}");
+    let encoding = encode(&instance);
+    println!(
+        "encoded as {} views with {} CQ disjuncts over schema {}",
+        encoding.views.len(),
+        encoding.total_disjuncts(),
+        encoding.schema
+    );
+    match cqdet::hilbert::structures::bounded_refutation(&instance, bound) {
+        Some((enc, d, d_prime)) => {
+            println!("solution found within the box → determinacy REFUTED");
+            println!("  D  = {d}");
+            println!("  D' = {d_prime}");
+            println!(
+                "  verified: {}",
+                cqdet::hilbert::structures::verify_counterexample(&enc, &d, &d_prime)
+            );
+        }
+        None => println!(
+            "no solution with unknowns ≤ {bound}; nothing can be concluded (Theorem 2: undecidable)"
+        ),
+    }
+    Ok(())
+}
+
+/// Parse `"+2:x^1,y^3"` / `"-12:"` into a monomial.
+fn parse_monomial(text: &str) -> Result<Monomial, String> {
+    let (coeff, vars) = text
+        .split_once(':')
+        .ok_or_else(|| format!("monomial {text:?} must look like coeff:var^deg,..."))?;
+    let coefficient: i64 = coeff
+        .parse()
+        .map_err(|_| format!("bad coefficient {coeff:?}"))?;
+    let mut degrees = Vec::new();
+    for part in vars.split(',').filter(|p| !p.trim().is_empty()) {
+        let (name, degree) = match part.split_once('^') {
+            Some((n, d)) => (
+                n.trim().to_string(),
+                d.trim().parse::<u32>().map_err(|_| format!("bad degree in {part:?}"))?,
+            ),
+            None => (part.trim().to_string(), 1),
+        };
+        degrees.push((name, degree));
+    }
+    let borrowed: Vec<(&str, u32)> = degrees.iter().map(|(n, d)| (n.as_str(), *d)).collect();
+    Ok(Monomial::new(coefficient, &borrowed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_monomial;
+
+    #[test]
+    fn monomial_parsing() {
+        let m = parse_monomial("+2:x^2,y").unwrap();
+        assert_eq!(m.coefficient, 2);
+        assert_eq!(m.degree("x"), 2);
+        assert_eq!(m.degree("y"), 1);
+        let c = parse_monomial("-12:").unwrap();
+        assert_eq!(c.coefficient, -12);
+        assert!(c.degrees.is_empty());
+        assert!(parse_monomial("nope").is_err());
+        assert!(parse_monomial("3:x^z").is_err());
+    }
+}

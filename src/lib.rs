@@ -1,0 +1,78 @@
+//! # cqdet — Determinacy of Real (Bag-Semantics) Conjunctive Queries
+//!
+//! A faithful, executable reproduction of *"Determinacy of Real Conjunctive
+//! Queries. The Boolean Case"* (PODS 2022): given a set of views `V` and a
+//! query `q`, does knowing the **multiset** answers of the views on a database
+//! determine the multiset answer of the query?
+//!
+//! The facade crate re-exports the whole workspace:
+//!
+//! * [`bigint`] — arbitrary-precision integers (homomorphism counts overflow
+//!   machine words immediately),
+//! * [`linalg`] — exact rational linear algebra (the Main Lemma is a span test
+//!   in ℚ^k),
+//! * [`structure`] — relational structures, homomorphism counting, the
+//!   structure algebra of Lovász's Lemma 4,
+//! * [`query`] — conjunctive queries, UCQs, path queries, a small parser and
+//!   bag-semantics evaluation,
+//! * [`core`] — the decision procedure of Theorem 3, counterexample
+//!   construction, the path-query results of Theorem 1 and a brute-force
+//!   baseline,
+//! * [`hilbert`] — the Theorem 2 reduction from Hilbert's Tenth Problem
+//!   (undecidability for boolean UCQs).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cqdet::prelude::*;
+//!
+//! // Two materialised views and a query, all boolean conjunctive queries.
+//! let v1 = parse_query("v1() :- Orders(c, o), Ships(o, w)").unwrap();
+//! let v2 = parse_query("v2() :- Ships(o, w)").unwrap();
+//! let q = parse_query("q() :- Orders(c, o), Ships(o, w), Ships(o2, w2)").unwrap();
+//!
+//! let views = vec![v1.disjuncts()[0].clone(), v2.disjuncts()[0].clone()];
+//! let query = q.disjuncts()[0].clone();
+//!
+//! let analysis = decide_bag_determinacy(&views, &query).unwrap();
+//! assert!(analysis.determined);
+//! // … and the analysis explains why: q(D) = v1(D)·v2(D).
+//! assert!(analysis.rewriting(&views).unwrap().contains("v1(D)"));
+//! ```
+
+pub use cqdet_bigint as bigint;
+pub use cqdet_core as core;
+pub use cqdet_hilbert as hilbert;
+pub use cqdet_linalg as linalg;
+pub use cqdet_query as query;
+pub use cqdet_structure as structure;
+
+/// Everything most programs need, in one import.
+pub mod prelude {
+    pub use cqdet_bigint::{Int, Nat};
+    pub use cqdet_core::witness::{build_counterexample, WitnessConfig};
+    pub use cqdet_core::{
+        brute_force_search, decide_bag_determinacy, decide_path_determinacy, BagDeterminacy,
+        Counterexample,
+    };
+    pub use cqdet_hilbert::{encode, DiophantineInstance, Monomial};
+    pub use cqdet_linalg::{QMat, QVec, Rat};
+    pub use cqdet_query::{
+        parse_queries, parse_query, ConjunctiveQuery, PathQuery, UnionQuery,
+    };
+    pub use cqdet_structure::{Schema, Structure};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let q = parse_query("q() :- R(x,y)").unwrap();
+        let v = parse_query("v() :- R(x,y)").unwrap();
+        let res =
+            decide_bag_determinacy(&[v.disjuncts()[0].clone()], &q.disjuncts()[0].clone()).unwrap();
+        assert!(res.determined);
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate end-to-end tests: decision procedure ↔ witness construction ↔
+//! materialised brute-force recounting ↔ bounded exhaustive baseline.
+
+use cqdet::core::witness::check_certificate_arithmetic;
+use cqdet::prelude::*;
+use cqdet::query::QueryGenerator;
+
+fn cq(text: &str) -> ConjunctiveQuery {
+    parse_query(text).expect("valid query").disjuncts()[0].clone()
+}
+
+/// For an undetermined instance, the witness must survive every check we have:
+/// certificate arithmetic, symbolic evaluation of all views, and — because the
+/// instance is small — full materialisation with brute-force recounting.
+#[test]
+fn witness_full_stack_edge_vs_two_path() {
+    let q = cq("q() :- R(x,y), R(y,z)");
+    let v = cq("v() :- R(x,y)");
+    let views = vec![v];
+    let analysis = decide_bag_determinacy(&views, &q).unwrap();
+    assert!(!analysis.determined);
+    let config = WitnessConfig::default();
+    let witness = build_counterexample(&analysis, &q, &config).unwrap();
+    assert!(check_certificate_arithmetic(&witness, &analysis));
+    assert!(witness.verify(&views, &q));
+    let materialised = witness
+        .verify_by_materialization(&views, &q, &config)
+        .expect("this instance is small enough to materialise");
+    assert!(materialised, "brute-force recount must agree with the symbolic certificate");
+}
+
+/// The decision procedure and the bounded brute-force baseline must never
+/// contradict each other: if the procedure says "determined", the baseline
+/// must not find a counterexample; if the baseline finds one, the procedure
+/// must say "not determined".
+#[test]
+fn decision_agrees_with_bruteforce_on_random_instances() {
+    let mut generator = QueryGenerator::new(2, 2024);
+    let mut determined_count = 0usize;
+    for i in 0..30 {
+        let planted = i % 3 == 0;
+        let (views, q) = generator.random_instance(2, 2, planted);
+        let analysis = decide_bag_determinacy(&views, &q).unwrap();
+        if planted {
+            assert!(analysis.determined, "planted instances are determined by construction");
+        }
+        if analysis.determined {
+            determined_count += 1;
+        }
+        let brute = brute_force_search(&views, &q, 2, 20_000);
+        if analysis.determined {
+            assert!(
+                !brute.refuted(),
+                "brute force found a counterexample for an instance the procedure calls determined: V={views:?}, q={q}"
+            );
+        }
+        if brute.refuted() {
+            assert!(!analysis.determined);
+        }
+    }
+    assert!(determined_count >= 10, "the planted third must all be determined");
+}
+
+/// Undetermined random instances must yield verifiable witnesses.
+#[test]
+fn witnesses_for_random_undetermined_instances() {
+    let mut generator = QueryGenerator::new(2, 777);
+    let mut built = 0usize;
+    for _ in 0..20 {
+        let (views, q) = generator.random_instance(2, 2, false);
+        let analysis = decide_bag_determinacy(&views, &q).unwrap();
+        if analysis.determined {
+            continue;
+        }
+        let witness = build_counterexample(&analysis, &q, &WitnessConfig::default()).unwrap();
+        assert!(witness.verify(&views, &q), "witness failed for V={views:?}, q={q}");
+        built += 1;
+    }
+    assert!(built >= 5, "expected a healthy share of undetermined instances, got {built}");
+}
+
+/// Determinacy is monotone in a useful way: adding the query itself to any
+/// view set makes the instance determined, and adding extra views never turns
+/// a determined instance into an undetermined one.
+#[test]
+fn adding_views_preserves_determinacy() {
+    let mut generator = QueryGenerator::new(2, 31337);
+    for i in 0..10 {
+        let (mut views, q) = generator.random_instance(3, 2, i % 2 == 0);
+        let before = decide_bag_determinacy(&views, &q).unwrap().determined;
+        // Adding q itself always determines.
+        let mut with_q = views.clone();
+        with_q.push(q.clone().with_name("q_as_view"));
+        assert!(decide_bag_determinacy(&with_q, &q).unwrap().determined);
+        // Adding an unrelated extra view never destroys determinacy.
+        views.push(generator.random_boolean_cq("extra", 2, 3, true));
+        let after = decide_bag_determinacy(&views, &q).unwrap().determined;
+        if before {
+            assert!(after, "adding a view must not destroy determinacy");
+        }
+    }
+}
+
+/// The facade's parser, decision procedure and rewriting work together on the
+/// warehouse scenario from the README.
+#[test]
+fn readme_scenario() {
+    let program = "
+        # materialised counting views
+        v1() :- Orders(c,o), Ships(o,w)
+        v2() :- Ships(o,w)
+        # dashboards
+        q1() :- Orders(c,o), Ships(o,w), Ships(o2,w2)
+        q2() :- Orders(c,o), Ships(o,w), Ships(o,w2)
+    ";
+    let queries = parse_queries(program).unwrap();
+    let views: Vec<ConjunctiveQuery> =
+        queries[..2].iter().map(|u| u.disjuncts()[0].clone()).collect();
+    let q1 = queries[2].disjuncts()[0].clone();
+    let q2 = queries[3].disjuncts()[0].clone();
+    let a1 = decide_bag_determinacy(&views, &q1).unwrap();
+    assert!(a1.determined);
+    assert!(a1.rewriting(&views).unwrap().contains("v1(D)"));
+    let a2 = decide_bag_determinacy(&views, &q2).unwrap();
+    assert!(!a2.determined);
+    let w = build_counterexample(&a2, &q2, &WitnessConfig::default()).unwrap();
+    assert!(w.verify(&views, &q2));
+}
+
+/// Theorem 2 end-to-end: encode a solvable Diophantine instance, search for a
+/// solution, and confirm the counterexample refutes determinacy of the encoded
+/// UCQ instance.
+#[test]
+fn hilbert_reduction_end_to_end() {
+    use cqdet::hilbert::structures::{bounded_refutation, verify_counterexample};
+    // 2·x·y − 12 = 0 (solvable), and x² + 3 = 0 (unsolvable over ℕ).
+    let solvable = DiophantineInstance::from_terms(&[(2, &[("x", 1), ("y", 1)]), (-12, &[])]);
+    let (enc, d, d_prime) = bounded_refutation(&solvable, 6).unwrap();
+    assert!(verify_counterexample(&enc, &d, &d_prime));
+
+    let unsolvable = DiophantineInstance::from_terms(&[(1, &[("x", 2)]), (3, &[])]);
+    assert!(bounded_refutation(&unsolvable, 30).is_none());
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the core invariants, across crates.
+//!
+//! These check the executable content of the paper's toolkit on randomly
+//! generated structures and queries:
+//!
+//! * Lovász's Lemma 4 (the counting rules for `+`, `t·`, `×`, powers),
+//! * consistency of symbolic (`StructureExpr`) evaluation with brute force,
+//! * the Main Lemma's (⇐) direction: determined instances can never be
+//!   refuted by any concrete structure pair we manage to generate,
+//! * soundness of witnesses for undetermined instances,
+//! * path queries: matrix evaluation ≡ homomorphism counting, and the
+//!   prefix-graph decision is stable under renaming of the alphabet.
+
+use cqdet::prelude::*;
+use cqdet::query::eval::{eval_boolean_cq, eval_cq};
+use cqdet::query::QueryGenerator;
+use cqdet::structure::{
+    disjoint_union, hom_count, hom_count_factored, power, product, scalar_multiple,
+    StructureGenerator,
+};
+use proptest::prelude::*;
+
+fn schema2() -> Schema {
+    Schema::binary(["R0", "R1"])
+}
+
+fn small_structure(seed: u64, facts: usize, domain: usize) -> Structure {
+    let mut generator = StructureGenerator::new(schema2(), seed);
+    generator.random_with_facts(domain.max(1), facts)
+}
+
+fn connected_structure(seed: u64, facts: usize) -> Structure {
+    let mut generator = StructureGenerator::new(schema2(), seed);
+    generator.random_connected(facts.max(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 4 (1)–(2): sum rules for connected sources.
+    #[test]
+    fn lemma_4_sum_rules(seed in 0u64..5000, t in 0u64..4, facts in 1usize..4) {
+        let a = connected_structure(seed, facts);
+        let b = small_structure(seed.wrapping_add(1), 4, 3);
+        let c = small_structure(seed.wrapping_add(2), 3, 3);
+        prop_assert_eq!(
+            hom_count(&a, &disjoint_union(&b, &c)),
+            hom_count(&a, &b) + hom_count(&a, &c)
+        );
+        prop_assert_eq!(
+            hom_count(&a, &scalar_multiple(t, &b)),
+            Nat::from_u64(t) * hom_count(&a, &b)
+        );
+    }
+
+    /// Lemma 4 (3)–(5): product and left-sum rules for arbitrary sources.
+    #[test]
+    fn lemma_4_product_rules(seed in 0u64..5000, facts in 1usize..4) {
+        let a = small_structure(seed, facts, 3);
+        let b = small_structure(seed.wrapping_add(10), 3, 3);
+        let c = small_structure(seed.wrapping_add(20), 3, 3);
+        prop_assert_eq!(
+            hom_count(&a, &product(&b, &c)),
+            hom_count(&a, &b) * hom_count(&a, &c)
+        );
+        prop_assert_eq!(hom_count(&a, &power(&b, 2)), hom_count(&a, &b).pow(2));
+        prop_assert_eq!(
+            hom_count(&disjoint_union(&a, &b), &c),
+            hom_count(&a, &c) * hom_count(&b, &c)
+        );
+        prop_assert_eq!(hom_count_factored(&a, &b), hom_count(&a, &b));
+    }
+
+    /// Main Lemma (⇐): a determined instance can never be refuted — no pair of
+    /// random structures that agrees on the views may disagree on the query.
+    #[test]
+    fn determined_instances_are_never_refuted(seed in 0u64..2000, pairs in 1usize..6) {
+        let mut qgen = QueryGenerator::new(2, seed);
+        let (views, q) = qgen.random_instance(2, 2, true);
+        let analysis = decide_bag_determinacy(&views, &q).unwrap();
+        prop_assert!(analysis.determined);
+        let schema = analysis.schema.clone();
+        let mut sgen = StructureGenerator::new(schema.clone(), seed ^ 0xABCD);
+        for i in 0..pairs {
+            let d = sgen.random_with_facts(3, 4 + i);
+            let d2 = sgen.random_with_facts(3, 4 + i);
+            let views_agree = views
+                .iter()
+                .all(|v| eval_boolean_cq(v, &schema, &d) == eval_boolean_cq(v, &schema, &d2));
+            if views_agree {
+                prop_assert_eq!(
+                    eval_boolean_cq(&q, &schema, &d),
+                    eval_boolean_cq(&q, &schema, &d2),
+                    "determined instance refuted by {:?} vs {:?}", d, d2
+                );
+            }
+        }
+    }
+
+    /// Witness soundness on random undetermined instances.
+    #[test]
+    fn witnesses_are_sound(seed in 0u64..500) {
+        let mut qgen = QueryGenerator::new(2, seed);
+        let (views, q) = qgen.random_instance(2, 2, false);
+        let analysis = decide_bag_determinacy(&views, &q).unwrap();
+        if !analysis.determined {
+            let witness = build_counterexample(&analysis, &q, &WitnessConfig::default()).unwrap();
+            prop_assert!(witness.verify(&views, &q));
+        }
+    }
+
+    /// Path queries: matrix evaluation agrees with homomorphism counting, and
+    /// the determinacy decision is invariant under renaming the alphabet.
+    #[test]
+    fn path_matrix_eval_and_renaming(seed in 0u64..2000, len in 1usize..5) {
+        let mut qgen = QueryGenerator::new(2, seed);
+        let (views, q) = qgen.random_path_instance(len + 1, 2, 2, seed % 2 == 0);
+        // Matrix evaluation vs naive evaluation on a random structure.
+        let schema = Schema::binary(["R0", "R1"]);
+        let mut sgen = StructureGenerator::new(schema.clone(), seed);
+        let d = sgen.random_with_facts(4, 8);
+        let by_matrix = cqdet::core::paths::eval_path_matrix(&q, &d);
+        let by_hom = eval_cq(&q.to_cq("q"), &schema, &d);
+        prop_assert_eq!(by_matrix, by_hom);
+        // Renaming the alphabet does not change the decision.
+        let rename = |p: &PathQuery| PathQuery::new(p.letters().iter().map(|l| format!("Z{l}")));
+        let renamed_views: Vec<PathQuery> = views.iter().map(&rename).collect();
+        let renamed_q = rename(&q);
+        prop_assert_eq!(
+            decide_path_determinacy(&views, &q).determined,
+            decide_path_determinacy(&renamed_views, &renamed_q).determined
+        );
+    }
+
+    /// The decision procedure is insensitive to duplicating views and to
+    /// reordering them.
+    #[test]
+    fn decision_invariances(seed in 0u64..2000) {
+        let mut qgen = QueryGenerator::new(2, seed);
+        let (mut views, q) = qgen.random_instance(3, 2, seed % 2 == 0);
+        let base = decide_bag_determinacy(&views, &q).unwrap().determined;
+        views.reverse();
+        prop_assert_eq!(decide_bag_determinacy(&views, &q).unwrap().determined, base);
+        let dup = views.clone().into_iter().chain(views.clone()).collect::<Vec<_>>();
+        prop_assert_eq!(decide_bag_determinacy(&dup, &q).unwrap().determined, base);
+    }
+}
