@@ -22,17 +22,26 @@ fn two_path(name: &str) -> ConjunctiveQuery {
 
 fn bench_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline/edge-vs-2path");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     let q = two_path("q");
     let v = edge("v");
     group.bench_function("theorem3-decide", |b| {
-        b.iter(|| decide_bag_determinacy(std::slice::from_ref(&v), &q).unwrap().determined)
+        b.iter(|| {
+            decide_bag_determinacy(std::slice::from_ref(&v), &q)
+                .unwrap()
+                .determined
+        })
     });
     for max_domain in [2usize, 3] {
         group.bench_with_input(
             BenchmarkId::new("bruteforce", max_domain),
             &max_domain,
-            |b, &d| b.iter(|| brute_force_search(std::slice::from_ref(&v), &q, d, 100_000).refuted()),
+            |b, &d| {
+                b.iter(|| brute_force_search(std::slice::from_ref(&v), &q, d, 100_000).refuted())
+            },
         );
     }
     group.finish();
@@ -40,7 +49,10 @@ fn bench_baseline(c: &mut Criterion) {
 
 fn bench_baseline_determined(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline/determined-instance");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     // q = 2 disjoint edges = 2·v — determined; the baseline must scan
     // everything and still cannot conclude.
     let q = ConjunctiveQuery::boolean(
@@ -49,7 +61,11 @@ fn bench_baseline_determined(c: &mut Criterion) {
     );
     let v = edge("v");
     group.bench_function("theorem3-decide", |b| {
-        b.iter(|| decide_bag_determinacy(std::slice::from_ref(&v), &q).unwrap().determined)
+        b.iter(|| {
+            decide_bag_determinacy(std::slice::from_ref(&v), &q)
+                .unwrap()
+                .determined
+        })
     });
     group.bench_function("bruteforce(domain<=2)", |b| {
         b.iter(|| brute_force_search(std::slice::from_ref(&v), &q, 2, 100_000).refuted())

@@ -13,16 +13,17 @@ use std::time::Duration;
 
 fn bench_views_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("decide/views");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for &views in DECIDE_VIEW_COUNTS {
         for planted in [true, false] {
             let (v, q) = decide_workload(views, 3, planted, 0xC0DE + views as u64);
             let label = if planted { "planted" } else { "independent" };
-            group.bench_with_input(
-                BenchmarkId::new(label, views),
-                &(v, q),
-                |b, (v, q)| b.iter(|| decide_bag_determinacy(v, q).unwrap().determined),
-            );
+            group.bench_with_input(BenchmarkId::new(label, views), &(v, q), |b, (v, q)| {
+                b.iter(|| decide_bag_determinacy(v, q).unwrap().determined)
+            });
         }
     }
     group.finish();
@@ -30,7 +31,10 @@ fn bench_views_sweep(c: &mut Criterion) {
 
 fn bench_atoms_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("decide/atoms-per-view");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for &atoms in DECIDE_ATOM_COUNTS {
         let (v, q) = decide_workload(4, atoms, true, 0xA70 + atoms as u64);
         group.bench_with_input(BenchmarkId::from_parameter(atoms), &(v, q), |b, (v, q)| {

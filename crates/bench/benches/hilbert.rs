@@ -20,7 +20,10 @@ fn sum_of_products(n: usize, target: i64) -> DiophantineInstance {
 
 fn bench_encoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("hilbert/encode");
-    group.sample_size(20).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for n in [1usize, 2, 4, 8] {
         let inst = sum_of_products(n, 12);
         group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
@@ -32,12 +35,17 @@ fn bench_encoding(c: &mut Criterion) {
 
 fn bench_refutation_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("hilbert/bounded-refutation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for bound in [3u64, 6] {
         let inst = sum_of_products(2, 12);
-        group.bench_with_input(BenchmarkId::from_parameter(bound), &(inst, bound), |b, (inst, bound)| {
-            b.iter(|| bounded_refutation(inst, *bound).is_some())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bound),
+            &(inst, bound),
+            |b, (inst, bound)| b.iter(|| bounded_refutation(inst, *bound).is_some()),
+        );
     }
     group.finish();
 }

@@ -10,16 +10,21 @@ use std::time::Duration;
 
 fn bench_hom_counting(c: &mut Criterion) {
     let mut group = c.benchmark_group("hom/count");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     let source = hom_source();
     for &n in HOM_DOMAIN_SIZES {
         let target = hom_target(n, 3 * n, 0xBEEF + n as u64);
         group.bench_with_input(BenchmarkId::new("naive", n), &target, |b, t| {
             b.iter(|| hom_count(&source, t))
         });
-        group.bench_with_input(BenchmarkId::new("factored(Lemma4.5)", n), &target, |b, t| {
-            b.iter(|| hom_count_factored(&source, t))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("factored(Lemma4.5)", n),
+            &target,
+            |b, t| b.iter(|| hom_count_factored(&source, t)),
+        );
     }
     group.finish();
 }

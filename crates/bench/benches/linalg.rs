@@ -20,7 +20,10 @@ fn vectors(k: usize, count: usize) -> Vec<QVec> {
 
 fn bench_span(c: &mut Criterion) {
     let mut group = c.benchmark_group("linalg/span-membership");
-    group.sample_size(20).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for &k in SPAN_DIMENSIONS {
         let vs = vectors(k, k / 2 + 1);
         // An in-span target (sum of the generators) and an out-of-span target.
@@ -28,9 +31,11 @@ fn bench_span(c: &mut Criterion) {
         for v in &vs {
             target = &target + v;
         }
-        group.bench_with_input(BenchmarkId::new("in-span", k), &(vs.clone(), target), |b, (vs, t)| {
-            b.iter(|| span_contains(vs, t))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("in-span", k),
+            &(vs.clone(), target),
+            |b, (vs, t)| b.iter(|| span_contains(vs, t)),
+        );
         let outside = QVec::from_i64s(&(0..k).map(|i| value(i, 997) + 1).collect::<Vec<_>>());
         group.bench_with_input(
             BenchmarkId::new("probe", k),
@@ -43,7 +48,10 @@ fn bench_span(c: &mut Criterion) {
 
 fn bench_inverse(c: &mut Criterion) {
     let mut group = c.benchmark_group("linalg/inverse");
-    group.sample_size(20).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for &k in SPAN_DIMENSIONS {
         // A nonsingular matrix: Vandermonde on distinct points.
         let points: Vec<Rat> = (0..k).map(|i| Rat::from_i64(i as i64 + 2)).collect();

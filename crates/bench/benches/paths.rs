@@ -16,7 +16,10 @@ use std::time::Duration;
 
 fn bench_decision(c: &mut Criterion) {
     let mut group = c.benchmark_group("paths/decide");
-    group.sample_size(20).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for &len in PATH_QUERY_LENGTHS {
         for derivable in [true, false] {
             let (views, q) = path_workload(len, 4, derivable, 0x9A7 + len as u64);
@@ -31,7 +34,10 @@ fn bench_decision(c: &mut Criterion) {
 
 fn bench_decision_vs_bruteforce(c: &mut Criterion) {
     let mut group = c.benchmark_group("paths/decide-vs-bruteforce");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     // Small instance where the brute-force baseline is still feasible.
     let (views, q) = path_workload(3, 2, false, 0xF00D);
     let view_cqs: Vec<_> = views.iter().map(|v| v.to_cq("v").clone()).collect();
@@ -51,20 +57,32 @@ fn bench_decision_vs_bruteforce(c: &mut Criterion) {
 
 fn bench_evaluation(c: &mut Criterion) {
     let mut group = c.benchmark_group("paths/eval");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     let schema = Schema::binary(["R0", "R1"]);
     for &len in &[2usize, 4, 6] {
         let q = PathQuery::new((0..len).map(|i| format!("R{}", i % 2)));
         let d = hom_target(12, 40, 0xE7A1 + len as u64);
-        group.bench_with_input(BenchmarkId::new("matrix(Fact18)", len), &(q.clone(), d.clone()), |b, (q, d)| {
-            b.iter(|| eval_path_matrix(q, d))
-        });
-        group.bench_with_input(BenchmarkId::new("naive-hom", len), &(q, d, schema.clone()), |b, (q, d, s)| {
-            b.iter(|| eval_cq(&q.to_cq("q"), s, d))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("matrix(Fact18)", len),
+            &(q.clone(), d.clone()),
+            |b, (q, d)| b.iter(|| eval_path_matrix(q, d)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive-hom", len),
+            &(q, d, schema.clone()),
+            |b, (q, d, s)| b.iter(|| eval_cq(&q.to_cq("q"), s, d)),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_decision, bench_decision_vs_bruteforce, bench_evaluation);
+criterion_group!(
+    benches,
+    bench_decision,
+    bench_decision_vs_bruteforce,
+    bench_evaluation
+);
 criterion_main!(benches);

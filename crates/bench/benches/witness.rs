@@ -27,21 +27,29 @@ fn chain_instance(k: usize) -> (Vec<ConjunctiveQuery>, ConjunctiveQuery) {
 
 fn bench_witness_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("witness/construct");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for k in [1usize, 2, 3] {
         let (views, q) = chain_instance(k);
         let analysis = decide_bag_determinacy(&views, &q).unwrap();
         assert!(!analysis.determined);
-        group.bench_with_input(BenchmarkId::from_parameter(k + 1), &(analysis, q), |b, (a, q)| {
-            b.iter(|| build_counterexample(a, q, &WitnessConfig::default()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k + 1),
+            &(analysis, q),
+            |b, (a, q)| b.iter(|| build_counterexample(a, q, &WitnessConfig::default()).unwrap()),
+        );
     }
     group.finish();
 }
 
 fn bench_witness_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("witness/verify");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for k in [1usize, 2, 3] {
         let (views, q) = chain_instance(k);
         let analysis = decide_bag_determinacy(&views, &q).unwrap();
@@ -55,5 +63,9 @@ fn bench_witness_verification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_witness_construction, bench_witness_verification);
+criterion_group!(
+    benches,
+    bench_witness_construction,
+    bench_witness_verification
+);
 criterion_main!(benches);

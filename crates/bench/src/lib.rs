@@ -73,8 +73,14 @@ mod tests {
 
     #[test]
     fn workloads_are_deterministic() {
-        assert_eq!(decide_workload(4, 3, true, 7).1, decide_workload(4, 3, true, 7).1);
-        assert_eq!(path_workload(8, 3, true, 7).1, path_workload(8, 3, true, 7).1);
+        assert_eq!(
+            decide_workload(4, 3, true, 7).1,
+            decide_workload(4, 3, true, 7).1
+        );
+        assert_eq!(
+            path_workload(8, 3, true, 7).1,
+            path_workload(8, 3, true, 7).1
+        );
         assert_eq!(hom_target(8, 20, 7), hom_target(8, 20, 7));
     }
 
@@ -94,6 +100,9 @@ mod tests {
     #[test]
     fn hom_source_is_disconnected() {
         assert!(!cqdet_structure::is_connected(&hom_source()));
-        assert_eq!(cqdet_structure::connected_components(&hom_source()).len(), 3);
+        assert_eq!(
+            cqdet_structure::connected_components(&hom_source()).len(),
+            3
+        );
     }
 }

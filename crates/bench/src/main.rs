@@ -1,0 +1,154 @@
+//! `cqdet-bench` — a self-contained perf harness for the two hot kernels
+//! (hom-counting and the Theorem 3 decision procedure), with JSON output for
+//! baseline tracking (see `EXPERIMENTS.md` and `BENCH_hom.json`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cqdet-bench -- [--json FILE] [--quick]
+//! ```
+//!
+//! Every hom measurement runs on both homomorphism engines in the same
+//! process: the interned flat-index engine (`hom_count`) and the retained
+//! naive `BTreeMap` reference engine (`hom::reference::hom_count`).  The
+//! `decide` workload uses whatever engine the process-wide `CQDET_NAIVE_HOM`
+//! flag selects, so run the harness twice (with and without
+//! `CQDET_NAIVE_HOM=1`) to compare full-pipeline numbers.
+
+use cqdet_bench::{decide_workload, hom_source, hom_target};
+use cqdet_core::decide_bag_determinacy;
+use cqdet_structure::hom;
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Harness {
+    json_path: Option<String>,
+    samples: usize,
+    min_iters: u64,
+}
+
+impl Harness {
+    /// Time `f`, printing mean per-iteration time and appending a JSON line.
+    fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        // Warm up and size the batch so one sample lasts ≥ ~20ms.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((0.02 / once) as u64).clamp(self.min_iters, 100_000);
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter.push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{name:<44} mean {:>12}  (min {:>12}, max {:>12})",
+            ns(mean),
+            ns(min),
+            ns(max)
+        );
+        if let Some(path) = &self.json_path {
+            let line = format!(
+                "{{\"benchmark\":\"{name}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{},\"iters_per_sample\":{iters}}}\n",
+                self.samples
+            );
+            let mut fh = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .expect("open json output");
+            fh.write_all(line.as_bytes()).expect("write json output");
+        }
+    }
+}
+
+fn ns(v: f64) -> String {
+    if v < 1e3 {
+        format!("{v:.1} ns")
+    } else if v < 1e6 {
+        format!("{:.2} µs", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.2} ms", v / 1e6)
+    } else {
+        format!("{:.2} s", v / 1e9)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path = None;
+    let mut quick = false;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--json" => json_path = iter.next().cloned(),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other:?}; usage: cqdet-bench [--json FILE] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Fail fast on an unwritable JSON target instead of panicking after the
+    // first measurement.
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            eprintln!("error: cannot open --json file {path:?}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let h = Harness {
+        json_path,
+        samples: if quick { 3 } else { 10 },
+        min_iters: 1,
+    };
+    let engine = if std::env::var("CQDET_NAIVE_HOM").as_deref() == Ok("1") {
+        "naive"
+    } else {
+        "flat"
+    };
+    println!("# cqdet-bench (decide pipeline engine: {engine})\n");
+
+    // HOM: the acceptance workload — domain 16, 40 facts — plus a sweep.
+    // Both engines measured in-process: `hom/flat/...` is the interned
+    // flat-index engine, `hom/naive/...` the retained BTreeMap reference.
+    let source = hom_source();
+    for (dom, facts) in [(8usize, 24usize), (16, 40), (16, 48), (32, 96)] {
+        let target = hom_target(dom, facts, 0xBEEF + dom as u64);
+        // Sanity: engines agree before we publish numbers for them.
+        assert_eq!(
+            hom::reference::hom_count(&source, &target),
+            cqdet_structure::hom_count(&source, &target),
+            "engines disagree on dom={dom} facts={facts}"
+        );
+        h.bench(&format!("hom/flat/{dom}x{facts}"), || {
+            cqdet_structure::hom_count(&source, &target)
+        });
+        h.bench(&format!("hom/factored/{dom}x{facts}"), || {
+            cqdet_structure::hom_count_factored(&source, &target)
+        });
+        h.bench(&format!("hom/naive/{dom}x{facts}"), || {
+            hom::reference::hom_count(&source, &target)
+        });
+    }
+
+    // DECIDE: the acceptance workload — 16 views × 4 atoms — plus a sweep.
+    for (views, atoms) in [(4usize, 3usize), (16, 4), (32, 3)] {
+        for planted in [true, false] {
+            let (v, q) = decide_workload(views, atoms, planted, 0xC0DE + views as u64);
+            let label = if planted { "planted" } else { "independent" };
+            h.bench(&format!("decide/{label}/{views}x{atoms}"), || {
+                decide_bag_determinacy(&v, &q).unwrap().determined
+            });
+        }
+    }
+}

@@ -76,6 +76,37 @@ impl Int {
         Int::from_nat(Nat::from_u64(v))
     }
 
+    /// Construct from an `i128`.
+    pub fn from_i128(v: i128) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Int::zero(),
+            Ordering::Greater => Int {
+                sign: Sign::Positive,
+                mag: Nat::from_u128(v as u128),
+            },
+            Ordering::Less => Int {
+                sign: Sign::Negative,
+                mag: Nat::from_u128(v.unsigned_abs()),
+            },
+        }
+    }
+
+    /// Try to convert to `i128`; returns `None` if the value does not fit.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i128::try_from(m).ok(),
+            Sign::Negative => {
+                if m <= i128::MAX as u128 + 1 {
+                    Some((m as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Construct a non-negative integer from a [`Nat`].
     pub fn from_nat(mag: Nat) -> Self {
         if mag.is_zero() {
@@ -144,7 +175,7 @@ impl Int {
             Sign::Positive => i64::try_from(m).ok(),
             Sign::Negative => {
                 if m <= i64::MAX as u64 + 1 {
-                    Some((m as i128 * -1) as i64)
+                    Some((-(m as i128)) as i64)
                 } else {
                     None
                 }
@@ -258,7 +289,7 @@ impl Int {
             }
             Sign::Positive => Sign::Positive,
             Sign::Negative => {
-                if exp % 2 == 0 {
+                if exp.is_multiple_of(2) {
                     Sign::Positive
                 } else {
                     Sign::Negative
@@ -532,7 +563,13 @@ mod tests {
 
     #[test]
     fn parse_display_round_trip() {
-        for s in ["0", "1", "-1", "123456789012345678901234567890", "-987654321"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "123456789012345678901234567890",
+            "-987654321",
+        ] {
             let v = Int::from_decimal(s).unwrap();
             assert_eq!(v.to_string(), s);
         }

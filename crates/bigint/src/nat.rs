@@ -1,4 +1,12 @@
 //! Unsigned arbitrary-precision natural numbers.
+//!
+//! Values that fit in a machine word — the overwhelming majority of the
+//! homomorphism counts and rational components the decision procedure
+//! manipulates — are stored inline as a `u64` and computed with single
+//! machine instructions (widening through `u128` where needed); only values
+//! above `u64::MAX` spill to a heap-allocated little-endian limb vector.
+//! The representation is canonical (anything that fits inline *is* inline),
+//! so derived equality and hashing are exact.
 
 use crate::ParseBigIntError;
 use std::cmp::Ordering;
@@ -9,36 +17,153 @@ use std::str::FromStr;
 const LIMB_BITS: u32 = 32;
 const LIMB_BASE: u64 = 1 << LIMB_BITS;
 
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// The value itself; the fast path.
+    Inline(u64),
+    /// Little-endian limbs; invariant: `limbs.len() >= 3` and
+    /// `limbs.last() != Some(&0)` (so the value exceeds `u64::MAX`).
+    Heap(Vec<u32>),
+}
+
 /// An arbitrary-precision natural number (including zero).
-///
-/// Internally a little-endian vector of 32-bit limbs with no trailing zero
-/// limbs (zero is represented by an empty limb vector).
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Nat {
-    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
-    limbs: Vec<u32>,
+    repr: Repr,
+}
+
+impl Default for Nat {
+    fn default() -> Self {
+        Nat::zero()
+    }
+}
+
+/// Build the canonical representation from raw limbs.
+fn from_limbs(mut limbs: Vec<u32>) -> Nat {
+    while let Some(&0) = limbs.last() {
+        limbs.pop();
+    }
+    match limbs.len() {
+        0 => Nat::zero(),
+        1 => Nat::from_u64(limbs[0] as u64),
+        2 => Nat::from_u64(limbs[0] as u64 | ((limbs[1] as u64) << 32)),
+        _ => Nat {
+            repr: Repr::Heap(limbs),
+        },
+    }
+}
+
+/// View a `u64` as (at most two) limbs in a caller-provided buffer.
+#[inline]
+fn inline_limbs(v: u64, buf: &mut [u32; 2]) -> &[u32] {
+    buf[0] = (v & 0xFFFF_FFFF) as u32;
+    buf[1] = (v >> 32) as u32;
+    let n = if v == 0 {
+        0
+    } else if v >> 32 == 0 {
+        1
+    } else {
+        2
+    };
+    &buf[..n]
+}
+
+// ---- slice kernels (shared by the heap paths) ------------------------------
+
+fn add_slices(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (longer, shorter) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(longer.len() + 1);
+    let mut carry = 0u64;
+    for (i, &limb) in longer.iter().enumerate() {
+        let x = limb as u64;
+        let y = *shorter.get(i).unwrap_or(&0) as u64;
+        let sum = x + y + carry;
+        out.push((sum & 0xFFFF_FFFF) as u32);
+        carry = sum >> 32;
+    }
+    if carry > 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// `a - b`; the caller guarantees `a >= b`.
+fn sub_slices(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for (i, &limb) in a.iter().enumerate() {
+        let x = limb as i64;
+        let y = *b.get(i).unwrap_or(&0) as i64;
+        let mut diff = x - y - borrow;
+        if diff < 0 {
+            diff += LIMB_BASE as i64;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.push(diff as u32);
+    }
+    debug_assert_eq!(borrow, 0);
+    out
+}
+
+fn mul_slices(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        let mut carry = 0u64;
+        let x = x as u64;
+        for (j, &y) in b.iter().enumerate() {
+            let idx = i + j;
+            let cur = out[idx] as u64 + x * (y as u64) + carry;
+            out[idx] = (cur & 0xFFFF_FFFF) as u32;
+            carry = cur >> 32;
+        }
+        let mut idx = i + b.len();
+        while carry > 0 {
+            let cur = out[idx] as u64 + carry;
+            out[idx] = (cur & 0xFFFF_FFFF) as u32;
+            carry = cur >> 32;
+            idx += 1;
+        }
+    }
+    out
+}
+
+fn cmp_slices(a: &[u32], b: &[u32]) -> Ordering {
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => {
+            for i in (0..a.len()).rev() {
+                match a[i].cmp(&b[i]) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            Ordering::Equal
+        }
+        ord => ord,
+    }
 }
 
 impl Nat {
     /// The natural number zero.
     pub fn zero() -> Self {
-        Nat { limbs: Vec::new() }
+        Nat {
+            repr: Repr::Inline(0),
+        }
     }
 
     /// The natural number one.
     pub fn one() -> Self {
-        Nat { limbs: vec![1] }
+        Nat {
+            repr: Repr::Inline(1),
+        }
     }
 
     /// Construct from a `u64`.
     pub fn from_u64(v: u64) -> Self {
-        let lo = (v & 0xFFFF_FFFF) as u32;
-        let hi = (v >> 32) as u32;
-        let mut n = Nat {
-            limbs: vec![lo, hi],
-        };
-        n.normalize();
-        n
+        Nat {
+            repr: Repr::Inline(v),
+        }
     }
 
     /// Construct from a `usize`.
@@ -46,23 +171,52 @@ impl Nat {
         Self::from_u64(v as u64)
     }
 
+    /// Construct from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        if v <= u64::MAX as u128 {
+            return Nat::from_u64(v as u64);
+        }
+        from_limbs(vec![
+            v as u32,
+            (v >> 32) as u32,
+            (v >> 64) as u32,
+            (v >> 96) as u32,
+        ])
+    }
+
     /// Whether this number is zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Inline(0))
     }
 
     /// Whether this number is one.
+    #[inline]
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(self.repr, Repr::Inline(1))
     }
 
     /// Try to convert to `u64`; returns `None` if the value does not fit.
+    #[inline]
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u64),
-            2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
-            _ => None,
+        match self.repr {
+            Repr::Inline(v) => Some(v),
+            Repr::Heap(_) => None,
+        }
+    }
+
+    /// Try to convert to `u128`; returns `None` if the value does not fit.
+    pub fn to_u128(&self) -> Option<u128> {
+        match &self.repr {
+            Repr::Inline(v) => Some(*v as u128),
+            Repr::Heap(l) if l.len() <= 4 => {
+                let mut v = 0u128;
+                for (i, &limb) in l.iter().enumerate() {
+                    v |= (limb as u128) << (32 * i);
+                }
+                Some(v)
+            }
+            Repr::Heap(_) => None,
         }
     }
 
@@ -73,19 +227,27 @@ impl Nat {
 
     /// Number of significant bits (0 for the value zero).
     pub fn bit_len(&self) -> usize {
-        match self.limbs.last() {
-            None => 0,
-            Some(&top) => (self.limbs.len() - 1) * LIMB_BITS as usize + (32 - top.leading_zeros() as usize),
+        match &self.repr {
+            Repr::Inline(v) => (64 - v.leading_zeros()) as usize,
+            Repr::Heap(l) => {
+                let top = *l.last().expect("heap repr is never empty");
+                (l.len() - 1) * LIMB_BITS as usize + (32 - top.leading_zeros() as usize)
+            }
         }
     }
 
     /// The value of the `i`-th bit (little-endian bit order).
     pub fn bit(&self, i: usize) -> bool {
-        let limb = i / LIMB_BITS as usize;
-        let off = i % LIMB_BITS as usize;
-        match self.limbs.get(limb) {
-            None => false,
-            Some(&l) => (l >> off) & 1 == 1,
+        match &self.repr {
+            Repr::Inline(v) => i < 64 && (v >> i) & 1 == 1,
+            Repr::Heap(l) => {
+                let limb = i / LIMB_BITS as usize;
+                let off = i % LIMB_BITS as usize;
+                match l.get(limb) {
+                    None => false,
+                    Some(&x) => (x >> off) & 1 == 1,
+                }
+            }
         }
     }
 
@@ -94,34 +256,19 @@ impl Nat {
         !self.bit(0)
     }
 
-    fn normalize(&mut self) {
-        while let Some(&0) = self.limbs.last() {
-            self.limbs.pop();
-        }
-    }
-
-    /// Addition, allocating the result.
+    /// Addition, allocating the result (inline values stay allocation-free).
     pub fn add_ref(&self, other: &Nat) -> Nat {
-        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
-            (&self.limbs, &other.limbs)
-        } else {
-            (&other.limbs, &self.limbs)
-        };
-        let mut out = Vec::with_capacity(longer.len() + 1);
-        let mut carry = 0u64;
-        for i in 0..longer.len() {
-            let a = longer[i] as u64;
-            let b = *shorter.get(i).unwrap_or(&0) as u64;
-            let sum = a + b + carry;
-            out.push((sum & 0xFFFF_FFFF) as u32);
-            carry = sum >> 32;
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &other.repr) {
+            return match a.checked_add(*b) {
+                Some(s) => Nat::from_u64(s),
+                None => Nat::from_u128(*a as u128 + *b as u128),
+            };
         }
-        if carry > 0 {
-            out.push(carry as u32);
-        }
-        let mut n = Nat { limbs: out };
-        n.normalize();
-        n
+        let (mut ba, mut bb) = ([0u32; 2], [0u32; 2]);
+        from_limbs(add_slices(
+            self.limb_slice(&mut ba),
+            other.limb_slice(&mut bb),
+        ))
     }
 
     /// Subtraction `self - other`; panics if `other > self`.
@@ -130,24 +277,14 @@ impl Nat {
             self >= other,
             "Nat subtraction underflow: cannot subtract a larger natural number"
         );
-        let mut out = Vec::with_capacity(self.limbs.len());
-        let mut borrow = 0i64;
-        for i in 0..self.limbs.len() {
-            let a = self.limbs[i] as i64;
-            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
-            let mut diff = a - b - borrow;
-            if diff < 0 {
-                diff += LIMB_BASE as i64;
-                borrow = 1;
-            } else {
-                borrow = 0;
-            }
-            out.push(diff as u32);
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &other.repr) {
+            return Nat::from_u64(a - b);
         }
-        debug_assert_eq!(borrow, 0);
-        let mut n = Nat { limbs: out };
-        n.normalize();
-        n
+        let (mut ba, mut bb) = ([0u32; 2], [0u32; 2]);
+        from_limbs(sub_slices(
+            self.limb_slice(&mut ba),
+            other.limb_slice(&mut bb),
+        ))
     }
 
     /// Checked subtraction: `None` if `other > self`.
@@ -159,43 +296,35 @@ impl Nat {
         }
     }
 
-    /// Multiplication, allocating the result (schoolbook algorithm).
+    /// Multiplication, allocating the result (inline×inline runs in `u128`).
     pub fn mul_ref(&self, other: &Nat) -> Nat {
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &other.repr) {
+            return Nat::from_u128(*a as u128 * *b as u128);
+        }
         if self.is_zero() || other.is_zero() {
             return Nat::zero();
         }
-        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
-            let mut carry = 0u64;
-            let a = a as u64;
-            for (j, &b) in other.limbs.iter().enumerate() {
-                let idx = i + j;
-                let cur = out[idx] as u64 + a * (b as u64) + carry;
-                out[idx] = (cur & 0xFFFF_FFFF) as u32;
-                carry = cur >> 32;
-            }
-            let mut idx = i + other.limbs.len();
-            while carry > 0 {
-                let cur = out[idx] as u64 + carry;
-                out[idx] = (cur & 0xFFFF_FFFF) as u32;
-                carry = cur >> 32;
-                idx += 1;
-            }
-        }
-        let mut n = Nat { limbs: out };
-        n.normalize();
-        n
+        let (mut ba, mut bb) = ([0u32; 2], [0u32; 2]);
+        from_limbs(mul_slices(
+            self.limb_slice(&mut ba),
+            other.limb_slice(&mut bb),
+        ))
     }
 
     /// Multiply by a single `u32`.
     pub fn mul_u32(&self, m: u32) -> Nat {
-        if m == 0 || self.is_zero() {
+        if let Repr::Inline(v) = self.repr {
+            return Nat::from_u128(v as u128 * m as u128);
+        }
+        if m == 0 {
             return Nat::zero();
         }
-        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut buf = [0u32; 2];
+        let limbs = self.limb_slice(&mut buf);
+        let mut out = Vec::with_capacity(limbs.len() + 1);
         let m = m as u64;
         let mut carry = 0u64;
-        for &a in &self.limbs {
+        for &a in limbs {
             let cur = (a as u64) * m + carry;
             out.push((cur & 0xFFFF_FFFF) as u32);
             carry = cur >> 32;
@@ -203,9 +332,26 @@ impl Nat {
         if carry > 0 {
             out.push(carry as u32);
         }
-        let mut n = Nat { limbs: out };
-        n.normalize();
-        n
+        from_limbs(out)
+    }
+
+    /// The limbs of this value, inline values via the scratch buffer.
+    #[inline]
+    fn limb_slice<'a>(&'a self, buf: &'a mut [u32; 2]) -> &'a [u32] {
+        match &self.repr {
+            Repr::Inline(v) => inline_limbs(*v, buf),
+            Repr::Heap(l) => l.as_slice(),
+        }
+    }
+
+    /// Number of limbs in the canonical limb representation.
+    fn limb_len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline(0) => 0,
+            Repr::Inline(v) if v >> 32 == 0 => 1,
+            Repr::Inline(_) => 2,
+            Repr::Heap(l) => l.len(),
+        }
     }
 
     /// Shift left by `bits` bits.
@@ -213,14 +359,21 @@ impl Nat {
         if self.is_zero() || bits == 0 {
             return self.clone();
         }
+        if bits <= 64 {
+            if let Repr::Inline(v) = self.repr {
+                return Nat::from_u128((v as u128) << bits);
+            }
+        }
+        let mut buf = [0u32; 2];
+        let limbs = self.limb_slice(&mut buf);
         let limb_shift = bits / LIMB_BITS as usize;
         let bit_shift = (bits % LIMB_BITS as usize) as u32;
         let mut out = vec![0u32; limb_shift];
         if bit_shift == 0 {
-            out.extend_from_slice(&self.limbs);
+            out.extend_from_slice(limbs);
         } else {
             let mut carry = 0u32;
-            for &l in &self.limbs {
+            for &l in limbs {
                 out.push((l << bit_shift) | carry);
                 carry = l >> (LIMB_BITS - bit_shift);
             }
@@ -228,19 +381,26 @@ impl Nat {
                 out.push(carry);
             }
         }
-        let mut n = Nat { limbs: out };
-        n.normalize();
-        n
+        from_limbs(out)
     }
 
     /// Shift right by `bits` bits (floor division by `2^bits`).
     pub fn shr_bits(&self, bits: usize) -> Nat {
+        if let Repr::Inline(v) = self.repr {
+            return if bits >= 64 {
+                Nat::zero()
+            } else {
+                Nat::from_u64(v >> bits)
+            };
+        }
+        let mut buf = [0u32; 2];
+        let limbs = self.limb_slice(&mut buf);
         let limb_shift = bits / LIMB_BITS as usize;
-        if limb_shift >= self.limbs.len() {
+        if limb_shift >= limbs.len() {
             return Nat::zero();
         }
         let bit_shift = (bits % LIMB_BITS as usize) as u32;
-        let src = &self.limbs[limb_shift..];
+        let src = &limbs[limb_shift..];
         let mut out = Vec::with_capacity(src.len());
         if bit_shift == 0 {
             out.extend_from_slice(src);
@@ -255,9 +415,7 @@ impl Nat {
                 out.push(lo | hi);
             }
         }
-        let mut n = Nat { limbs: out };
-        n.normalize();
-        n
+        from_limbs(out)
     }
 
     /// Division with remainder: returns `(self / divisor, self % divisor)`.
@@ -265,11 +423,15 @@ impl Nat {
     /// Panics if `divisor` is zero.
     pub fn divrem(&self, divisor: &Nat) -> (Nat, Nat) {
         assert!(!divisor.is_zero(), "division by zero Nat");
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &divisor.repr) {
+            return (Nat::from_u64(a / b), Nat::from_u64(a % b));
+        }
         if self < divisor {
             return (Nat::zero(), self.clone());
         }
-        if divisor.limbs.len() == 1 {
-            let (q, r) = self.divrem_u32(divisor.limbs[0]);
+        if divisor.limb_len() == 1 {
+            let d = divisor.to_u64().expect("single-limb divisor") as u32;
+            let (q, r) = self.divrem_u32(d);
             return (q, Nat::from_u64(r as u64));
         }
         // Shift–subtract long division on the bit level.  Quadratic, but the
@@ -277,7 +439,7 @@ impl Nat {
         let n = self.bit_len();
         let d = divisor.bit_len();
         let mut rem = Nat::zero();
-        let mut quot_limbs = vec![0u32; self.limbs.len()];
+        let mut quot_limbs = vec![0u32; self.limb_len()];
         let mut i = n;
         // Start remainder with the top (d-1) bits of self to skip pointless steps.
         if n >= d {
@@ -296,25 +458,29 @@ impl Nat {
                 quot_limbs[i / 32] |= 1 << (i % 32);
             }
         }
-        let mut q = Nat { limbs: quot_limbs };
-        q.normalize();
-        (q, rem)
+        (from_limbs(quot_limbs), rem)
     }
 
     /// Division with remainder by a single `u32` divisor.
     pub fn divrem_u32(&self, divisor: u32) -> (Nat, u32) {
         assert!(divisor != 0, "division by zero");
+        if let Repr::Inline(v) = self.repr {
+            return (
+                Nat::from_u64(v / divisor as u64),
+                (v % divisor as u64) as u32,
+            );
+        }
+        let mut buf = [0u32; 2];
+        let limbs = self.limb_slice(&mut buf);
         let d = divisor as u64;
-        let mut out = vec![0u32; self.limbs.len()];
+        let mut out = vec![0u32; limbs.len()];
         let mut rem = 0u64;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 32) | self.limbs[i] as u64;
+        for i in (0..limbs.len()).rev() {
+            let cur = (rem << 32) | limbs[i] as u64;
             out[i] = (cur / d) as u32;
             rem = cur % d;
         }
-        let mut q = Nat { limbs: out };
-        q.normalize();
-        (q, rem as u32)
+        (from_limbs(out), rem as u32)
     }
 
     /// Exponentiation by squaring. `0^0 = 1` (the paper's convention).
@@ -333,8 +499,12 @@ impl Nat {
         result
     }
 
-    /// Greatest common divisor (binary GCD; `gcd(0, x) = x`).
+    /// Greatest common divisor (`gcd(0, x) = x`).
     pub fn gcd(&self, other: &Nat) -> Nat {
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &other.repr) {
+            return Nat::from_u64(gcd_u64(*a, *b));
+        }
+        // Binary GCD on the general representation.
         let mut a = self.clone();
         let mut b = other.clone();
         if a.is_zero() {
@@ -354,6 +524,10 @@ impl Nat {
             a = a.shr_bits(1);
         }
         loop {
+            // Drop to the machine-word fast path as soon as both fit.
+            if let (Some(x), Some(y)) = (a.to_u64(), b.to_u64()) {
+                return Nat::from_u64(gcd_u64(x, y)).shl_bits(shift);
+            }
             while b.is_even() {
                 b = b.shr_bits(1);
             }
@@ -379,8 +553,8 @@ impl Nat {
 
     /// Render in decimal.
     pub fn to_decimal(&self) -> String {
-        if self.is_zero() {
-            return "0".to_string();
+        if let Repr::Inline(v) = self.repr {
+            return v.to_string();
         }
         let mut chunks: Vec<u32> = Vec::new();
         let mut cur = self.clone();
@@ -406,15 +580,31 @@ impl Nat {
             return Err(ParseBigIntError::empty());
         }
         let mut n = Nat::zero();
+        let mut any_digit = false;
         for c in s.chars() {
             if c == '_' {
                 continue;
             }
             let d = c.to_digit(10).ok_or_else(|| ParseBigIntError::invalid(c))?;
+            any_digit = true;
             n = n.mul_u32(10).add_ref(&Nat::from_u64(d as u64));
+        }
+        if !any_digit {
+            return Err(ParseBigIntError::empty());
         }
         Ok(n)
     }
+}
+
+/// Euclidean GCD on machine words (`gcd(0, x) = x`).
+#[inline]
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 impl fmt::Display for Nat {
@@ -431,17 +621,12 @@ impl fmt::Debug for Nat {
 
 impl Ord for Nat {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.limbs.len().cmp(&other.limbs.len()) {
-            Ordering::Equal => {
-                for i in (0..self.limbs.len()).rev() {
-                    match self.limbs[i].cmp(&other.limbs[i]) {
-                        Ordering::Equal => continue,
-                        ord => return ord,
-                    }
-                }
-                Ordering::Equal
-            }
-            ord => ord,
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => a.cmp(b),
+            // Canonical invariant: a heap value always exceeds u64::MAX.
+            (Repr::Inline(_), Repr::Heap(_)) => Ordering::Less,
+            (Repr::Heap(_), Repr::Inline(_)) => Ordering::Greater,
+            (Repr::Heap(a), Repr::Heap(b)) => cmp_slices(a, b),
         }
     }
 }
@@ -512,18 +697,39 @@ forward_binop_nat!(Mul, mul, mul_ref);
 
 impl AddAssign<&Nat> for Nat {
     fn add_assign(&mut self, rhs: &Nat) {
+        // In-place fast path: no allocation, no clone.
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&mut self.repr, &rhs.repr) {
+            if let Some(s) = a.checked_add(*b) {
+                *a = s;
+                return;
+            }
+        }
         *self = self.add_ref(rhs);
     }
 }
 
 impl SubAssign<&Nat> for Nat {
     fn sub_assign(&mut self, rhs: &Nat) {
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&mut self.repr, &rhs.repr) {
+            assert!(
+                *a >= *b,
+                "Nat subtraction underflow: cannot subtract a larger natural number"
+            );
+            *a -= *b;
+            return;
+        }
         *self = self.sub_ref(rhs);
     }
 }
 
 impl MulAssign<&Nat> for Nat {
     fn mul_assign(&mut self, rhs: &Nat) {
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&mut self.repr, &rhs.repr) {
+            if let Some(p) = a.checked_mul(*b) {
+                *a = p;
+                return;
+            }
+        }
         *self = self.mul_ref(rhs);
     }
 }
@@ -606,7 +812,10 @@ mod tests {
     fn mul_small() {
         assert_eq!(n(6) * n(7), n(42));
         assert_eq!(n(0) * n(7), Nat::zero());
-        assert_eq!(n(u32::MAX as u64) * n(u32::MAX as u64), n(18446744065119617025));
+        assert_eq!(
+            n(u32::MAX as u64) * n(u32::MAX as u64),
+            n(18446744065119617025)
+        );
     }
 
     #[test]
@@ -668,12 +877,28 @@ mod tests {
     }
 
     #[test]
+    fn gcd_across_the_inline_boundary() {
+        // 2^80·3 and 2^20·9 — one operand heap, one inline.
+        let a = n(3).shl_bits(80);
+        let b = n(9).shl_bits(20);
+        assert_eq!(a.gcd(&b), n(3).shl_bits(20));
+        // Both heap.
+        let c = n(6).shl_bits(100);
+        let d = n(4).shl_bits(90);
+        assert_eq!(c.gcd(&d), n(2).shl_bits(91));
+    }
+
+    #[test]
     fn shifts() {
         assert_eq!(n(1).shl_bits(40), n(1 << 40));
         assert_eq!(n(1 << 40).shr_bits(40), n(1));
         assert_eq!(n(0b1011).shr_bits(2), n(0b10));
         assert_eq!(Nat::zero().shl_bits(100), Nat::zero());
         assert_eq!(n(5).shr_bits(100), Nat::zero());
+        // Shifts across the inline/heap boundary round-trip.
+        let big = n(0xDEAD_BEEF_u64).shl_bits(77);
+        assert_eq!(big.shr_bits(77), n(0xDEAD_BEEF_u64));
+        assert!(big.to_u64().is_none());
     }
 
     #[test]
@@ -697,6 +922,10 @@ mod tests {
         assert!(Nat::from_decimal("12a").is_err());
         assert!("x".parse::<Nat>().is_err());
         assert_eq!("1_000".parse::<Nat>().unwrap(), n(1000));
+        assert!(
+            Nat::from_decimal("_").is_err(),
+            "separators alone are not a number"
+        );
     }
 
     #[test]
@@ -707,6 +936,9 @@ mod tests {
         let b = Nat::from_decimal("123456789012345678901234567891").unwrap();
         assert!(a < b);
         assert_eq!(a.cmp(&a), Ordering::Equal);
+        // Inline vs heap ordering via the canonical invariant.
+        assert!(n(u64::MAX) < a);
+        assert!(a > n(u64::MAX));
     }
 
     #[test]
@@ -728,5 +960,56 @@ mod tests {
         let (q, r) = b.divrem_u32(1000);
         assert_eq!(q, a);
         assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn canonical_representation_at_the_boundary() {
+        // u64::MAX is inline; u64::MAX + 1 is heap; subtracting brings it back
+        // to an inline value that must compare/hash equal to a fresh inline.
+        let max = n(u64::MAX);
+        assert_eq!(max.to_u64(), Some(u64::MAX));
+        let over = max.add_ref(&Nat::one());
+        assert_eq!(over.to_u64(), None);
+        let back = over.sub_ref(&Nat::one());
+        assert_eq!(back, max);
+        assert_eq!(back.to_u64(), Some(u64::MAX));
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |x: &Nat| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&back), h(&max));
+    }
+
+    #[test]
+    fn assign_ops_match_ref_ops() {
+        let mut a = n(10);
+        a += &n(5);
+        assert_eq!(a, n(15));
+        a -= &n(6);
+        assert_eq!(a, n(9));
+        a *= &n(3);
+        assert_eq!(a, n(27));
+        // Across the overflow boundary.
+        let mut b = n(u64::MAX);
+        b += &n(u64::MAX);
+        assert_eq!(b, n(u64::MAX).add_ref(&n(u64::MAX)));
+        let mut c = n(u64::MAX);
+        c *= &n(u64::MAX);
+        assert_eq!(c, n(u64::MAX).mul_ref(&n(u64::MAX)));
+        let mut d = c.clone();
+        d -= &n(1);
+        assert_eq!(d, c.sub_ref(&n(1)));
+    }
+
+    #[test]
+    fn u128_round_trip() {
+        for v in [0u128, 1, u64::MAX as u128, u64::MAX as u128 + 1, u128::MAX] {
+            assert_eq!(Nat::from_u128(v).to_u128(), Some(v));
+        }
+        let too_big = Nat::from_u128(u128::MAX).mul_ref(&Nat::from_u64(2));
+        assert_eq!(too_big.to_u128(), None);
     }
 }

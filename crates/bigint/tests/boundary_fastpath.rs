@@ -1,0 +1,124 @@
+//! Differential tests for the small-value fast path: every `Nat`/`Int`
+//! operation must agree with wide machine arithmetic (`u128`/`i128`) and with
+//! the limb path across the `u64::MAX` inline/heap boundary, and the
+//! rational fast path in `cqdet-linalg` is exercised from the same angle in
+//! that crate's tests.
+
+use cqdet_bigint::{Int, Nat};
+use proptest::prelude::*;
+
+/// Values straddling the inline (`≤ u64::MAX`) / heap boundary.
+fn boundary_values() -> Vec<u128> {
+    let mut vals = vec![
+        0u128,
+        1,
+        2,
+        (1 << 32) - 1,
+        1 << 32,
+        u64::MAX as u128 - 1,
+        u64::MAX as u128,
+        u64::MAX as u128 + 1,
+        u64::MAX as u128 + 2,
+        (u64::MAX as u128) * 2,
+        1 << 100,
+    ];
+    vals.extend((0..8).map(|k| u64::MAX as u128 - 3 + k));
+    vals
+}
+
+#[test]
+fn add_sub_mul_agree_with_u128_at_the_boundary() {
+    for &a in &boundary_values() {
+        for &b in &boundary_values() {
+            let (na, nb) = (Nat::from_u128(a), Nat::from_u128(b));
+            if let Some(sum) = a.checked_add(b) {
+                assert_eq!(na.add_ref(&nb).to_u128(), Some(sum), "{a} + {b}");
+            }
+            if a >= b {
+                assert_eq!(na.sub_ref(&nb).to_u128(), Some(a - b), "{a} - {b}");
+            }
+            if let Some(prod) = a.checked_mul(b) {
+                assert_eq!(na.mul_ref(&nb).to_u128(), Some(prod), "{a} * {b}");
+            }
+            if b != 0 {
+                let (q, r) = na.divrem(&nb);
+                assert_eq!(q.to_u128(), Some(a / b), "{a} / {b}");
+                assert_eq!(r.to_u128(), Some(a % b), "{a} % {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gcd_and_ordering_at_the_boundary() {
+    fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    for &a in &boundary_values() {
+        for &b in &boundary_values() {
+            let (na, nb) = (Nat::from_u128(a), Nat::from_u128(b));
+            assert_eq!(na.gcd(&nb).to_u128(), Some(gcd_u128(a, b)), "gcd({a}, {b})");
+            assert_eq!(na.cmp(&nb), a.cmp(&b), "cmp({a}, {b})");
+        }
+    }
+}
+
+#[test]
+fn decimal_round_trip_at_the_boundary() {
+    for &a in &boundary_values() {
+        let n = Nat::from_u128(a);
+        assert_eq!(n.to_decimal(), a.to_string());
+        assert_eq!(Nat::from_decimal(&a.to_string()).unwrap(), n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Sums that cross the inline/heap boundary reconstruct exactly.
+    #[test]
+    fn crossing_and_returning(a in any::<u64>(), b in any::<u64>()) {
+        let big = Nat::from_u64(a).add_ref(&Nat::from_u64(b)); // may spill to heap
+        let back = big.sub_ref(&Nat::from_u64(b));              // always returns inline
+        prop_assert_eq!(back.to_u64(), Some(a));
+        let prod = Nat::from_u64(a).mul_ref(&Nat::from_u64(b));
+        prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+        if b != 0 {
+            let (q, r) = prod.divrem(&Nat::from_u64(b));
+            prop_assert_eq!(q.to_u64(), Some(a));
+            prop_assert!(r.is_zero());
+        }
+    }
+
+    /// Int sign handling over the boundary.
+    #[test]
+    fn int_ops_match_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ia, ib) = (Int::from_i64(a), Int::from_i64(b));
+        prop_assert_eq!(ia.add_ref(&ib).to_i128(), Some(a as i128 + b as i128));
+        prop_assert_eq!(ia.sub_ref(&ib).to_i128(), Some(a as i128 - b as i128));
+        prop_assert_eq!(ia.mul_ref(&ib).to_i128(), Some(a as i128 * b as i128));
+        prop_assert_eq!(Int::from_i128(a as i128 * b as i128), ia.mul_ref(&ib));
+    }
+
+    /// The assign operators take the in-place fast path but must match the
+    /// allocating reference operations everywhere, including at overflow.
+    #[test]
+    fn assign_ops_match(a in any::<u64>(), b in any::<u64>()) {
+        let (na, nb) = (Nat::from_u64(a), Nat::from_u64(b));
+        let mut x = na.clone();
+        x += &nb;
+        prop_assert_eq!(x, na.add_ref(&nb));
+        let mut y = na.clone();
+        y *= &nb;
+        prop_assert_eq!(y, na.mul_ref(&nb));
+        let (hi, lo) = if na >= nb { (na.clone(), nb.clone()) } else { (nb.clone(), na.clone()) };
+        let mut z = hi.clone();
+        z -= &lo;
+        prop_assert_eq!(z, hi.sub_ref(&lo));
+    }
+}

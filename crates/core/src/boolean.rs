@@ -15,9 +15,11 @@
 //! "q(D) = Π v(D)^{αᵥ}" rewriting), so callers can inspect *why*.
 
 use cqdet_linalg::{span_coefficients, span_contains, QVec, Rat};
-use cqdet_query::cq::{common_schema, component_basis};
+use cqdet_query::cq::common_schema;
 use cqdet_query::ConjunctiveQuery;
-use cqdet_structure::{multiplicities, Schema, Structure};
+use cqdet_structure::{
+    connected_components, dedup_up_to_iso, hom_exists, multiplicities, Schema, Structure,
+};
 use std::fmt;
 
 /// Why an instance cannot be handled by the Theorem 3 procedure.
@@ -37,13 +39,19 @@ impl fmt::Display for DeterminacyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeterminacyError::QueryNotBoolean(n) => {
-                write!(f, "query {n} is not boolean (Theorem 3 handles boolean CQs)")
+                write!(
+                    f,
+                    "query {n} is not boolean (Theorem 3 handles boolean CQs)"
+                )
             }
             DeterminacyError::ViewNotBoolean(n) => {
                 write!(f, "view {n} is not boolean (Theorem 3 handles boolean CQs)")
             }
             DeterminacyError::NullaryRelation(r) => {
-                write!(f, "relation {r} has arity 0; the component basis requires positive arities")
+                write!(
+                    f,
+                    "relation {r} has arity 0; the component basis requires positive arities"
+                )
             }
         }
     }
@@ -101,13 +109,8 @@ impl BagDeterminacy {
     }
 }
 
-fn vector_of(
-    query: &ConjunctiveQuery,
-    basis: &[Structure],
-    schema: &Schema,
-) -> QVec {
-    let comps = query.components_over(schema);
-    let mult = multiplicities(basis, &comps)
+fn vector_of(basis: &[Structure], comps: &[Structure]) -> QVec {
+    let mult = multiplicities(basis, comps)
         .expect("every component of a query in V' must be isomorphic to a basis element");
     QVec(mult.into_iter().map(|m| Rat::from_i64(m as i64)).collect())
 }
@@ -136,24 +139,34 @@ pub fn decide_bag_determinacy(
         }
     }
 
-    // Step 1: V = {v ∈ V₀ | q ⊆_set v}  (Definition 25).
-    let retained_views: Vec<usize> = (0..views.len())
-        .filter(|&i| query.contained_in_set(&views[i], &schema))
+    // Freeze every query exactly once over the common schema; all later
+    // steps (containment, components, vectors) reuse the frozen bodies.
+    let (q_body, _) = query.frozen_body_over(&schema);
+    let view_bodies: Vec<Structure> = views
+        .iter()
+        .map(|v| v.frozen_body_over(&schema).0)
         .collect();
 
-    // Step 2: the basis W (Definition 27) over V' = V ∪ {q}.
-    let v_prime: Vec<&ConjunctiveQuery> = retained_views
-        .iter()
-        .map(|&i| &views[i])
-        .chain(std::iter::once(query))
+    // Step 1: V = {v ∈ V₀ | q ⊆_set v}  (Definition 25):
+    // q ⊆_set v  iff  hom(v, q) ≠ ∅.
+    let retained_views: Vec<usize> = (0..views.len())
+        .filter(|&i| hom_exists(&view_bodies[i], &q_body))
         .collect();
-    let basis = component_basis(&v_prime, &schema);
+
+    // Step 2: the basis W (Definition 27) over V' = V ∪ {q}, with the
+    // connected components of each member computed exactly once.
+    let mut v_prime_comps: Vec<Vec<Structure>> = retained_views
+        .iter()
+        .map(|&i| connected_components(&view_bodies[i]))
+        .collect();
+    v_prime_comps.push(connected_components(&q_body));
+    let basis = dedup_up_to_iso(v_prime_comps.iter().flatten().cloned().collect());
 
     // Step 3: vector representations (Definition 29).
-    let query_vector = vector_of(query, &basis, &schema);
-    let view_vectors: Vec<QVec> = retained_views
+    let query_vector = vector_of(&basis, v_prime_comps.last().expect("q was pushed"));
+    let view_vectors: Vec<QVec> = v_prime_comps[..v_prime_comps.len() - 1]
         .iter()
-        .map(|&i| vector_of(&views[i], &basis, &schema))
+        .map(|comps| vector_of(&basis, comps))
         .collect();
 
     // Step 4: the Main Lemma's span test.
@@ -246,7 +259,9 @@ mod tests {
             for (kind, count) in template {
                 for i in 0..*count {
                     match *kind {
-                        "edge" => atoms.push(raw("R", format!("{tag}e{i}x"), format!("{tag}e{i}y"))),
+                        "edge" => {
+                            atoms.push(raw("R", format!("{tag}e{i}x"), format!("{tag}e{i}y")))
+                        }
                         "loop" => atoms.push(raw("R", format!("{tag}l{i}"), format!("{tag}l{i}"))),
                         "path2" => {
                             atoms.push(raw("R", format!("{tag}p{i}x"), format!("{tag}p{i}y")));
@@ -258,9 +273,16 @@ mod tests {
             }
             atoms
         }
-        let q = ConjunctiveQuery::boolean("q", copies(&[("edge", 1), ("loop", 1), ("path2", 2)], "q"));
-        let v1 = ConjunctiveQuery::boolean("v1", copies(&[("edge", 2), ("loop", 1), ("path2", 3)], "v1"));
-        let v2 = ConjunctiveQuery::boolean("v2", copies(&[("edge", 5), ("loop", 2), ("path2", 7)], "v2"));
+        let q =
+            ConjunctiveQuery::boolean("q", copies(&[("edge", 1), ("loop", 1), ("path2", 2)], "q"));
+        let v1 = ConjunctiveQuery::boolean(
+            "v1",
+            copies(&[("edge", 2), ("loop", 1), ("path2", 3)], "v1"),
+        );
+        let v2 = ConjunctiveQuery::boolean(
+            "v2",
+            copies(&[("edge", 5), ("loop", 2), ("path2", 7)], "v2"),
+        );
         let res = decide_bag_determinacy(&[v1, v2], &q).unwrap();
         assert!(res.determined, "q⃗ = 3·v⃗1 − v⃗2 is in the span");
         assert_eq!(res.basis_size(), 3);
@@ -311,10 +333,8 @@ mod tests {
     #[test]
     fn multiple_views_spanning() {
         // q = 2 disjoint edges; v1 = edge; determined: q⃗ = 2·v⃗1.
-        let q = ConjunctiveQuery::boolean(
-            "q",
-            vec![atom("R", &["x", "y"]), atom("R", &["z", "w"])],
-        );
+        let q =
+            ConjunctiveQuery::boolean("q", vec![atom("R", &["x", "y"]), atom("R", &["z", "w"])]);
         let v1 = edge("v1");
         let res = decide_bag_determinacy(&[v1], &q).unwrap();
         assert!(res.determined);
@@ -355,10 +375,16 @@ mod tests {
         // on the canonical structures) but not under bag semantics.
         let q = ConjunctiveQuery::boolean(
             "q",
-            vec![atom("P", &["u", "x"]), atom("R", &["x", "y"]), atom("S", &["y", "z"])],
+            vec![
+                atom("P", &["u", "x"]),
+                atom("R", &["x", "y"]),
+                atom("S", &["y", "z"]),
+            ],
         );
-        let v1 = ConjunctiveQuery::boolean("v1", vec![atom("P", &["u", "x"]), atom("R", &["x", "y"])]);
-        let v2 = ConjunctiveQuery::boolean("v2", vec![atom("R", &["x", "y"]), atom("S", &["y", "z"])]);
+        let v1 =
+            ConjunctiveQuery::boolean("v1", vec![atom("P", &["u", "x"]), atom("R", &["x", "y"])]);
+        let v2 =
+            ConjunctiveQuery::boolean("v2", vec![atom("R", &["x", "y"]), atom("S", &["y", "z"])]);
         let res = decide_bag_determinacy(&[v1, v2], &q).unwrap();
         // Both views are retained (q ⊆_set v1, v2) and the three queries are
         // connected and pairwise non-isomorphic, so by Corollary 33 the answer

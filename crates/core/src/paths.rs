@@ -300,10 +300,12 @@ mod tests {
         // Reachability: the BFS finds some ε ⇝ q path; its induced q-walk must
         // be a genuine q-walk and must reduce to q (Lemma 15).
         let walk = derivation_to_q_walk(&views, &steps);
-        assert!(is_q_walk(&walk, &q), "induced walk {walk:?} must be a q-walk");
+        assert!(
+            is_q_walk(&walk, &q),
+            "induced walk {walk:?} must be a q-walk"
+        );
         let reduced = reduce_q_walk(&walk);
-        let expected: Vec<SignedLetter> =
-            q.letters().iter().map(|l| (l.clone(), 1)).collect();
+        let expected: Vec<SignedLetter> = q.letters().iter().map(|l| (l.clone(), 1)).collect();
         assert_eq!(reduced, expected);
         // The specific walk from Example 13 is also a q-walk: ABC C⁻¹B⁻¹ BCD.
         let example_walk: Vec<SignedLetter> = vec![

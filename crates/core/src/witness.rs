@@ -27,9 +27,7 @@ use cqdet_linalg::{
     cone_coordinates, dot, interior_cone_point, orthogonal_witness, perturb_along, QMat, QVec, Rat,
 };
 use cqdet_query::ConjunctiveQuery;
-use cqdet_structure::{
-    all_loops_point, hom_count, product, Schema, Structure, StructureExpr,
-};
+use cqdet_structure::{all_loops_point, hom_count, product, Schema, Structure, StructureExpr};
 use std::fmt;
 
 /// Why a witness could not be constructed.
@@ -144,7 +142,9 @@ impl Counterexample {
         query: &ConjunctiveQuery,
         config: &WitnessConfig,
     ) -> Option<bool> {
-        let d = self.d.materialize(&self.schema, config.materialization_limit)?;
+        let d = self
+            .d
+            .materialize(&self.schema, config.materialization_limit)?;
         let d_prime = self
             .d_prime
             .materialize(&self.schema, config.materialization_limit)?;
@@ -343,7 +343,10 @@ pub fn build_counterexample(
 
     // Lemma 40: a good basis and its evaluation matrix.
     let (good, m) = construct_good_basis(&analysis.basis, &query_body, schema, config)?;
-    debug_assert!(m.is_nonsingular(), "Step 3 guarantees nonsingularity (Lemma 46)");
+    debug_assert!(
+        m.is_nonsingular(),
+        "Step 3 guarantees nonsingularity (Lemma 46)"
+    );
 
     // Fact 5: z⃗ orthogonal to the view vectors but not to q⃗, scaled to ℤ^k.
     let z0 = orthogonal_witness(&analysis.view_vectors, &analysis.query_vector)
@@ -409,10 +412,7 @@ pub fn build_counterexample(
 /// `⟨z⃗, v⃗⟩ = 0` for every retained view vector, `⟨z⃗, q⃗⟩ ≠ 0`, and `M`
 /// nonsingular.  (The semantic conditions are checked by
 /// [`Counterexample::verify`].)
-pub fn check_certificate_arithmetic(
-    witness: &Counterexample,
-    analysis: &BagDeterminacy,
-) -> bool {
+pub fn check_certificate_arithmetic(witness: &Counterexample, analysis: &BagDeterminacy) -> bool {
     if !witness.evaluation_matrix.is_nonsingular() {
         return false;
     }
@@ -496,8 +496,9 @@ mod tests {
         // The loop itself separates them: hom(loop, loop)=1, hom(edge, loop)=1?
         // Actually hom(edge, loop)=1 too; but hom into the edge differs:
         // hom(loop, edge)=0 vs hom(edge, edge)=1.
-        let h = find_separating_structure(&loop1, &edge1, &[loop1.clone(), edge1.clone()], &schema, 2)
-            .unwrap();
+        let h =
+            find_separating_structure(&loop1, &edge1, &[loop1.clone(), edge1.clone()], &schema, 2)
+                .unwrap();
         assert_ne!(hom_count(&loop1, &h), hom_count(&edge1, &h));
         // Exhaustive fallback: no candidates provided at all.
         let h2 = find_separating_structure(&loop1, &edge1, &[], &schema, 2).unwrap();
@@ -510,9 +511,13 @@ mod tests {
         let v = edge("v");
         let analysis = decide_bag_determinacy(&[v], &q).unwrap();
         let (qbody, _) = q.frozen_body_over(&analysis.schema);
-        let (good, m) =
-            construct_good_basis(&analysis.basis, &qbody, &analysis.schema, &WitnessConfig::default())
-                .unwrap();
+        let (good, m) = construct_good_basis(
+            &analysis.basis,
+            &qbody,
+            &analysis.schema,
+            &WitnessConfig::default(),
+        )
+        .unwrap();
         assert_eq!(good.len(), analysis.basis.len());
         assert!(m.is_nonsingular());
         // Decency is exercised through witness_respects_non_retained_views.
@@ -526,7 +531,13 @@ mod tests {
         let witness = build_counterexample(&analysis, &q, &WitnessConfig::default()).unwrap();
         let (y, y_prime) = witness.answer_vectors();
         // y = M·α and y′ = M·α′ (Lemma 50).
-        let alpha_vec = QVec(witness.alpha.iter().map(|a| Rat::from_nat(a.clone())).collect());
+        let alpha_vec = QVec(
+            witness
+                .alpha
+                .iter()
+                .map(|a| Rat::from_nat(a.clone()))
+                .collect(),
+        );
         let alpha_prime_vec = QVec(
             witness
                 .alpha_prime

@@ -166,11 +166,7 @@ mod tests {
     use super::*;
 
     fn pythagorean() -> DiophantineInstance {
-        DiophantineInstance::from_terms(&[
-            (1, &[("x", 2)]),
-            (1, &[("y", 2)]),
-            (-1, &[("z", 2)]),
-        ])
+        DiophantineInstance::from_terms(&[(1, &[("x", 2)]), (1, &[("y", 2)]), (-1, &[("z", 2)])])
     }
 
     #[test]
@@ -194,8 +190,12 @@ mod tests {
         let n = psi(&inst.negative(), "C");
         assert_eq!(p.len(), 3);
         assert_eq!(n.len(), 2);
-        assert!(p.iter().all(|d| d.atoms().iter().any(|a| a.relation == "H")));
-        assert!(n.iter().all(|d| d.atoms().iter().any(|a| a.relation == "C")));
+        assert!(p
+            .iter()
+            .all(|d| d.atoms().iter().any(|a| a.relation == "H")));
+        assert!(n
+            .iter()
+            .all(|d| d.atoms().iter().any(|a| a.relation == "C")));
     }
 
     #[test]

@@ -18,10 +18,16 @@ impl Monomial {
     ///
     /// Panics if the coefficient is zero or a degree is zero.
     pub fn new(coefficient: i64, degrees: &[(&str, u32)]) -> Self {
-        assert!(coefficient != 0, "a monomial must have a non-zero coefficient");
+        assert!(
+            coefficient != 0,
+            "a monomial must have a non-zero coefficient"
+        );
         let mut map = BTreeMap::new();
         for (v, d) in degrees {
-            assert!(*d > 0, "unknowns present in a monomial must have positive degree");
+            assert!(
+                *d > 0,
+                "unknowns present in a monomial must have positive degree"
+            );
             *map.entry(v.to_string()).or_insert(0) += d;
         }
         Monomial {
@@ -81,7 +87,10 @@ pub struct DiophantineInstance {
 impl DiophantineInstance {
     /// Build an instance from its monomials.
     pub fn new(monomials: Vec<Monomial>) -> Self {
-        assert!(!monomials.is_empty(), "an instance needs at least one monomial");
+        assert!(
+            !monomials.is_empty(),
+            "an instance needs at least one monomial"
+        );
         DiophantineInstance { monomials }
     }
 
@@ -97,12 +106,18 @@ impl DiophantineInstance {
 
     /// Monomials with positive coefficient (the set `P` of Appendix A).
     pub fn positive(&self) -> Vec<&Monomial> {
-        self.monomials.iter().filter(|m| m.coefficient > 0).collect()
+        self.monomials
+            .iter()
+            .filter(|m| m.coefficient > 0)
+            .collect()
     }
 
     /// Monomials with negative coefficient (the set `N` of Appendix A).
     pub fn negative(&self) -> Vec<&Monomial> {
-        self.monomials.iter().filter(|m| m.coefficient < 0).collect()
+        self.monomials
+            .iter()
+            .filter(|m| m.coefficient < 0)
+            .collect()
     }
 
     /// The unknowns occurring in the instance, sorted.
@@ -190,11 +205,7 @@ mod tests {
 
     /// x² + y² − z² = 0 (Pythagorean triples).
     fn pythagorean() -> DiophantineInstance {
-        DiophantineInstance::from_terms(&[
-            (1, &[("x", 2)]),
-            (1, &[("y", 2)]),
-            (-1, &[("z", 2)]),
-        ])
+        DiophantineInstance::from_terms(&[(1, &[("x", 2)]), (1, &[("y", 2)]), (-1, &[("z", 2)])])
     }
 
     #[test]
@@ -203,9 +214,19 @@ mod tests {
         assert_eq!(m.degree("x"), 2);
         assert_eq!(m.degree("z"), 0);
         assert_eq!(m.total_degree(), 3);
-        assert_eq!(m.evaluate(&assign(&[("x", 2), ("y", 5)])), Int::from_i64(60));
-        assert_eq!(m.evaluate(&assign(&[("x", 2)])), Int::zero(), "missing unknown is 0");
-        assert_eq!(Monomial::constant(-7).evaluate(&assign(&[])), Int::from_i64(-7));
+        assert_eq!(
+            m.evaluate(&assign(&[("x", 2), ("y", 5)])),
+            Int::from_i64(60)
+        );
+        assert_eq!(
+            m.evaluate(&assign(&[("x", 2)])),
+            Int::zero(),
+            "missing unknown is 0"
+        );
+        assert_eq!(
+            Monomial::constant(-7).evaluate(&assign(&[])),
+            Int::from_i64(-7)
+        );
         assert_eq!(m.to_string(), "3·x^2·y");
     }
 

@@ -77,7 +77,8 @@ pub fn verify_counterexample(
     d_prime: &Structure,
 ) -> bool {
     for v in &encoding.views {
-        if eval_boolean_ucq(v, &encoding.schema, d) != eval_boolean_ucq(v, &encoding.schema, d_prime)
+        if eval_boolean_ucq(v, &encoding.schema, d)
+            != eval_boolean_ucq(v, &encoding.schema, d_prime)
         {
             return false;
         }
@@ -121,17 +122,14 @@ mod tests {
     }
 
     fn pythagorean() -> DiophantineInstance {
-        DiophantineInstance::from_terms(&[
-            (1, &[("x", 2)]),
-            (1, &[("y", 2)]),
-            (-1, &[("z", 2)]),
-        ])
+        DiophantineInstance::from_terms(&[(1, &[("x", 2)]), (1, &[("y", 2)]), (-1, &[("z", 2)])])
     }
 
     #[test]
     fn structure_counts_match_assignment() {
         let enc = encode(&pythagorean());
-        let d = structure_for_assignment(&enc, &assign(&[("x", 3), ("y", 4), ("z", 5)]), true, false);
+        let d =
+            structure_for_assignment(&enc, &assign(&[("x", 3), ("y", 4), ("z", 5)]), true, false);
         assert_eq!(d.relation_size("X_x"), 3);
         assert_eq!(d.relation_size("X_y"), 4);
         assert_eq!(d.relation_size("X_z"), 5);
@@ -143,7 +141,8 @@ mod tests {
     fn lemma_59_monomial_vs_phi() {
         // m^D = c(m) · Φ_m(D).
         let enc = encode(&pythagorean());
-        let d = structure_for_assignment(&enc, &assign(&[("x", 3), ("y", 4), ("z", 5)]), true, false);
+        let d =
+            structure_for_assignment(&enc, &assign(&[("x", 3), ("y", 4), ("z", 5)]), true, false);
         for m in enc.instance.monomials() {
             let lhs = monomial_value_over(&enc, m, &d);
             let phi = phi_value(&enc, m, &d);
@@ -162,14 +161,10 @@ mod tests {
         let enc = encode(&inst);
         for (h, c) in [(true, false), (false, true), (true, true), (false, false)] {
             let d = structure_for_assignment(&enc, &assign(&[("x", 3), ("y", 4), ("z", 5)]), h, c);
-            let psi_p = cqdet_query::UnionQuery::new(
-                "psi_p",
-                crate::encoding::psi(&inst.positive(), "H"),
-            );
-            let psi_n = cqdet_query::UnionQuery::new(
-                "psi_n",
-                crate::encoding::psi(&inst.negative(), "C"),
-            );
+            let psi_p =
+                cqdet_query::UnionQuery::new("psi_p", crate::encoding::psi(&inst.positive(), "H"));
+            let psi_n =
+                cqdet_query::UnionQuery::new("psi_n", crate::encoding::psi(&inst.negative(), "C"));
             let psi_p_val = eval_boolean_ucq(&psi_p, &enc.schema, &d);
             let psi_n_val = eval_boolean_ucq(&psi_n, &enc.schema, &d);
             let sum_p: Int = inst
@@ -183,18 +178,26 @@ mod tests {
             let dh = Int::from_u64(if h { 1 } else { 0 });
             let dc = Int::from_u64(if c { 1 } else { 0 });
             assert_eq!(dh.mul_ref(&sum_p), Int::from_nat(psi_p_val), "Lemma 60");
-            assert_eq!(dc.mul_ref(&sum_n), Int::from_nat(psi_n_val).neg_ref(), "Lemma 61");
+            assert_eq!(
+                dc.mul_ref(&sum_n),
+                Int::from_nat(psi_n_val).neg_ref(),
+                "Lemma 61"
+            );
         }
     }
 
     #[test]
     fn lemma_63_solution_gives_counterexample() {
         let inst = pythagorean();
-        let (enc, d, d_prime) = counterexample_from_solution(&inst, &assign(&[("x", 3), ("y", 4), ("z", 5)]));
+        let (enc, d, d_prime) =
+            counterexample_from_solution(&inst, &assign(&[("x", 3), ("y", 4), ("z", 5)]));
         assert!(verify_counterexample(&enc, &d, &d_prime));
         // The query distinguishes them in the expected direction: q = H.
         assert_eq!(eval_boolean_ucq(&enc.query, &enc.schema, &d), Nat::one());
-        assert_eq!(eval_boolean_ucq(&enc.query, &enc.schema, &d_prime), Nat::zero());
+        assert_eq!(
+            eval_boolean_ucq(&enc.query, &enc.schema, &d_prime),
+            Nat::zero()
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ mod matrix;
 mod rat;
 mod vector;
 
-pub use cone::{cone_coordinates, cone_contains, interior_cone_point, perturb_along};
+pub use cone::{cone_contains, cone_coordinates, interior_cone_point, perturb_along};
 pub use matrix::{orthogonal_witness, span_coefficients, span_contains, QMat};
 pub use rat::Rat;
 pub use vector::{dot, hadamard, mars, pow_vec, QVec};

@@ -47,9 +47,26 @@ impl QMat {
         }
     }
 
-    /// Build a matrix from its columns.
+    /// Build a matrix from its columns (directly, without the intermediate
+    /// row-major copy a transpose-of-`from_rows` would make).
     pub fn from_cols(cols: &[QVec]) -> Self {
-        Self::from_rows(cols).transpose()
+        assert!(!cols.is_empty(), "matrix must have at least one column");
+        let rows = cols[0].dim();
+        assert!(
+            cols.iter().all(|c| c.dim() == rows),
+            "all columns must have the same length"
+        );
+        let mut data = Vec::with_capacity(rows * cols.len());
+        for i in 0..rows {
+            for c in cols {
+                data.push(c.0[i].clone());
+            }
+        }
+        QMat {
+            rows,
+            cols: cols.len(),
+            data,
+        }
     }
 
     /// Build a matrix from `i64` entries given as rows.
@@ -98,7 +115,8 @@ impl QMat {
 
     /// The `j`-th column as a vector.
     pub fn col(&self, j: usize) -> QVec {
-        QVec((0..self.rows).map(|i| self.get(i, j).clone()).collect())
+        assert!(j < self.cols, "column index out of bounds");
+        QVec(self.data[j..].iter().step_by(self.cols).cloned().collect())
     }
 
     /// All rows as vectors.
@@ -106,15 +124,19 @@ impl QMat {
         (0..self.rows).map(|i| self.row(i)).collect()
     }
 
-    /// The transpose.
+    /// The transpose (single pass, no zero-initialised intermediate).
     pub fn transpose(&self) -> QMat {
-        let mut t = QMat::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t.set(j, i, self.get(i, j).clone());
+        let mut data = Vec::with_capacity(self.data.len());
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                data.push(self.get(i, j).clone());
             }
         }
-        t
+        QMat {
+            rows: self.cols,
+            cols: self.rows,
+            data,
+        }
     }
 
     /// Matrix–matrix product.
@@ -159,15 +181,18 @@ impl QMat {
                 let v = m.get(pivot_row, j).mul_ref(&inv);
                 m.set(pivot_row, j, v);
             }
-            // Eliminate the column everywhere else.
+            // Eliminate the column everywhere else, row-pair at a time so the
+            // inner loop runs on slices instead of index arithmetic.
             for r in 0..m.rows {
                 if r == pivot_row || m.get(r, col).is_zero() {
                     continue;
                 }
-                let factor = m.get(r, col).clone();
-                for j in col..m.cols {
-                    let v = m.get(r, j).sub_ref(&factor.mul_ref(m.get(pivot_row, j)));
-                    m.set(r, j, v);
+                let (pivot, target) = m.row_pair(pivot_row, r);
+                let factor = target[col].clone();
+                for j in col..pivot.len() {
+                    if !pivot[j].is_zero() {
+                        target[j] = target[j].sub_ref(&factor.mul_ref(&pivot[j]));
+                    }
                 }
             }
             pivots.push(col);
@@ -182,6 +207,19 @@ impl QMat {
         }
         for j in 0..self.cols {
             self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+
+    /// Disjoint `(source, target)` row slices for an elimination step.
+    fn row_pair(&mut self, src: usize, dst: usize) -> (&[Rat], &mut [Rat]) {
+        debug_assert_ne!(src, dst);
+        let cols = self.cols;
+        if src < dst {
+            let (head, tail) = self.data.split_at_mut(dst * cols);
+            (&head[src * cols..(src + 1) * cols], &mut tail[..cols])
+        } else {
+            let (head, tail) = self.data.split_at_mut(src * cols);
+            (&tail[..cols], &mut head[dst * cols..(dst + 1) * cols])
         }
     }
 
@@ -212,10 +250,12 @@ impl QMat {
                 if m.get(r, col).is_zero() {
                     continue;
                 }
-                let factor = m.get(r, col).mul_ref(&inv);
+                let (pivot_row, target) = m.row_pair(col, r);
+                let factor = target[col].mul_ref(&inv);
                 for j in col..n {
-                    let v = m.get(r, j).sub_ref(&factor.mul_ref(m.get(col, j)));
-                    m.set(r, j, v);
+                    if !pivot_row[j].is_zero() {
+                        target[j] = target[j].sub_ref(&factor.mul_ref(&pivot_row[j]));
+                    }
                 }
             }
         }

@@ -9,10 +9,62 @@ use std::str::FromStr;
 /// An exact rational number `num / den`.
 ///
 /// Invariants: `den > 0` and `gcd(|num|, den) = 1`; zero is `0/1`.
+///
+/// Arithmetic has a machine-word fast path: when the (reduced) numerators fit
+/// `i64` and denominators fit `u64`, sums/products/quotients are computed in
+/// `i128`/`u128` with cross-cancellation, entirely without heap allocation —
+/// the components land back in the inline representation of
+/// [`Nat`](cqdet_bigint::Nat).  Overflow falls back to the bigint path.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Rat {
     num: Int,
     den: Nat,
+}
+
+/// Euclidean GCD on `u128` (`gcd(0, x) = x`).
+#[inline]
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The `(numerator, denominator)` of a small rational: numerator in `i64`
+/// range, denominator in `u64` range — bounds chosen so that cross products
+/// stay inside `i128`/`u128`.
+#[inline]
+fn small(r: &Rat) -> Option<(i128, u128)> {
+    let n = r.num.to_i64()? as i128;
+    let d = r.den.to_u64()? as u128;
+    Some((n, d))
+}
+
+/// Build a rational from parts already in lowest terms with `den > 0`.
+#[inline]
+fn from_reduced(num: i128, den: u128) -> Rat {
+    debug_assert!(den > 0);
+    debug_assert!(num != 0 || den == 1);
+    Rat {
+        num: Int::from_i128(num),
+        den: Nat::from_u128(den),
+    }
+}
+
+/// `a/b + c/d` over machine words (inputs reduced); `None` on i128 overflow.
+#[inline]
+fn add_small(a: i128, b: u128, c: i128, d: u128) -> Option<Rat> {
+    // Knuth TAOCP 4.5.1: with g = gcd(b, d) the sum is
+    // (a·(d/g) + c·(b/g)) / (b·(d/g)), and only gcd(t, g) remains to cancel.
+    let g = gcd_u128(b, d);
+    let (b1, d1) = (b / g, d / g);
+    let t = a
+        .checked_mul(d1 as i128)?
+        .checked_add(c.checked_mul(b1 as i128)?)?;
+    let g2 = gcd_u128(t.unsigned_abs(), g);
+    Some(from_reduced(t / g2 as i128, b1 * (d / g2)))
 }
 
 impl Rat {
@@ -35,6 +87,20 @@ impl Rat {
     /// Construct `num / den`, reducing to lowest terms. Panics if `den` is zero.
     pub fn new(num: Int, den: Int) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
+        // Machine-word fast path: reduce in u128 without touching the heap.
+        if let (Some(n), Some(d)) = (num.to_i128(), den.to_i128()) {
+            if n == 0 {
+                return Rat::zero();
+            }
+            let neg = (n < 0) != (d < 0);
+            let (n_abs, d_abs) = (n.unsigned_abs(), d.unsigned_abs());
+            let g = gcd_u128(n_abs, d_abs);
+            let n_red_abs = n_abs / g;
+            if n_red_abs <= i128::MAX as u128 {
+                let n_red = n_red_abs as i128;
+                return from_reduced(if neg { -n_red } else { n_red }, d_abs / g);
+            }
+        }
         let mut num = num;
         let mut den_nat = den.magnitude().clone();
         if den.is_negative() {
@@ -135,6 +201,11 @@ impl Rat {
 
     /// Addition.
     pub fn add_ref(&self, other: &Rat) -> Rat {
+        if let (Some((a, b)), Some((c, d))) = (small(self), small(other)) {
+            if let Some(r) = add_small(a, b, c, d) {
+                return r;
+            }
+        }
         // num/den + num'/den' = (num*den' + num'*den) / (den*den')
         let num = self.num.mul_ref(&Int::from_nat(other.den.clone()))
             + other.num.mul_ref(&Int::from_nat(self.den.clone()));
@@ -144,11 +215,27 @@ impl Rat {
 
     /// Subtraction.
     pub fn sub_ref(&self, other: &Rat) -> Rat {
+        if let (Some((a, b)), Some((c, d))) = (small(self), small(other)) {
+            if let Some(r) = add_small(a, b, -c, d) {
+                return r;
+            }
+        }
         self.add_ref(&other.neg_ref())
     }
 
     /// Multiplication.
     pub fn mul_ref(&self, other: &Rat) -> Rat {
+        if let (Some((a, b)), Some((c, d))) = (small(self), small(other)) {
+            // Cross-cancel first; the reduced factors cannot overflow.
+            let g1 = gcd_u128(a.unsigned_abs(), d).max(1);
+            let g2 = gcd_u128(c.unsigned_abs(), b).max(1);
+            let num = (a / g1 as i128) * (c / g2 as i128);
+            let den = (b / g2) * (d / g1);
+            if num == 0 {
+                return Rat::zero();
+            }
+            return from_reduced(num, den);
+        }
         Rat::new(
             self.num.mul_ref(&other.num),
             Int::from_nat(self.den.mul_ref(&other.den)),
@@ -158,6 +245,21 @@ impl Rat {
     /// Division; panics if `other` is zero.
     pub fn div_ref(&self, other: &Rat) -> Rat {
         assert!(!other.is_zero(), "division by zero rational");
+        if let (Some((a, b)), Some((c, d))) = (small(self), small(other)) {
+            // (a/b) / (c/d) = (a·d) / (b·c), cross-cancelled and sign-fixed.
+            let neg = (a < 0) != (c < 0);
+            let g1 = gcd_u128(a.unsigned_abs(), c.unsigned_abs()).max(1);
+            let g3 = gcd_u128(d, b);
+            let num_abs = (a.unsigned_abs() / g1) * (d / g3);
+            let den = (b / g3) * (c.unsigned_abs() / g1);
+            if num_abs == 0 {
+                return Rat::zero();
+            }
+            if num_abs <= i128::MAX as u128 {
+                let num = num_abs as i128;
+                return from_reduced(if neg { -num } else { num }, den);
+            }
+        }
         Rat::new(
             self.num.mul_ref(&Int::from_nat(other.den.clone())),
             other.num.mul_ref(&Int::from_nat(self.den.clone())),
@@ -246,6 +348,11 @@ impl fmt::Debug for Rat {
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        if let (Some((a, b)), Some((c, d))) = (small(self), small(other)) {
+            if let (Some(l), Some(r)) = (a.checked_mul(d as i128), c.checked_mul(b as i128)) {
+                return l.cmp(&r);
+            }
+        }
         let lhs = self.num.mul_ref(&Int::from_nat(other.den.clone()));
         let rhs = other.num.mul_ref(&Int::from_nat(self.den.clone()));
         lhs.cmp(&rhs)
@@ -441,7 +548,9 @@ mod tests {
 
     #[test]
     fn big_values() {
-        let a: Rat = "123456789123456789123456789/987654321987654321".parse().unwrap();
+        let a: Rat = "123456789123456789123456789/987654321987654321"
+            .parse()
+            .unwrap();
         let b = a.recip();
         assert_eq!(a.mul_ref(&b), Rat::one());
         let c = a.pow_i64(5).mul_ref(&a.pow_i64(-5));

@@ -85,7 +85,11 @@ impl QVec {
 
 impl fmt::Debug for QVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "QVec{:?}", self.0.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+        write!(
+            f,
+            "QVec{:?}",
+            self.0.iter().map(|x| x.to_string()).collect::<Vec<_>>()
+        )
     }
 }
 
@@ -282,7 +286,11 @@ mod tests {
 
     #[test]
     fn common_denominator() {
-        let x = QVec(vec![Rat::from_frac(1, 6), Rat::from_frac(3, 4), Rat::from_i64(2)]);
+        let x = QVec(vec![
+            Rat::from_frac(1, 6),
+            Rat::from_frac(3, 4),
+            Rat::from_i64(2),
+        ]);
         let c = x.common_denominator();
         assert_eq!(c, Int::from_i64(12));
         assert!(x.scale(&Rat::from_int(c)).is_integral());
@@ -295,7 +303,10 @@ mod tests {
         assert!(!v(&[0, -1, 2]).is_non_negative());
         assert!(v(&[3, 4]).is_integral());
         assert!(!QVec(vec![Rat::from_frac(1, 2)]).is_integral());
-        assert_eq!(v(&[5, 6]).to_ints().unwrap(), vec![Int::from_i64(5), Int::from_i64(6)]);
+        assert_eq!(
+            v(&[5, 6]).to_ints().unwrap(),
+            vec![Int::from_i64(5), Int::from_i64(6)]
+        );
     }
 
     #[test]

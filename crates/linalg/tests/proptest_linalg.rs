@@ -74,10 +74,15 @@ proptest! {
         let u = QVec::from_i64s(&us[..k]);
         let v = QVec::from_i64s(&vs[..k]);
         let w = QVec::from_i64s(&ws[..k]);
-        prop_assert_eq!(
-            mars(&hadamard(&u, &v), &w),
-            mars(&u, &w).mul_ref(&mars(&v, &w))
-        );
+        // The first identity is only defined when no zero base meets a
+        // negative exponent (0^negative is undefined, and mars panics).
+        let defined = (0..k).all(|i| ws[i] >= 0 || (us[i] != 0 && vs[i] != 0));
+        if defined {
+            prop_assert_eq!(
+                mars(&hadamard(&u, &v), &w),
+                mars(&u, &w).mul_ref(&mars(&v, &w))
+            );
+        }
         let t = Rat::from_frac(tn, td);
         let lhs = mars(&pow_vec(&t, &w), &u);
         let e = dot(&w, &u).to_int().unwrap().to_i64().unwrap();

@@ -1,0 +1,103 @@
+//! Differential tests for the machine-word fast path in `Rat` arithmetic:
+//! results must agree with plain fraction arithmetic done in `i128`, and the
+//! fast path must agree with the bigint path when the same value is reached
+//! through large intermediate components (across the overflow boundary).
+
+use cqdet_bigint::Int;
+use cqdet_linalg::Rat;
+use proptest::prelude::*;
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+/// Reference: reduce `n/d` with plain i128 arithmetic.
+fn reduced(n: i128, d: i128) -> (i128, i128) {
+    assert!(d != 0);
+    let s = if (n < 0) != (d < 0) && n != 0 { -1 } else { 1 };
+    let (n, d) = (n.abs(), d.abs());
+    let g = gcd(n, d);
+    (s * (n / g), d / g)
+}
+
+fn rat_parts(r: &Rat) -> (i128, i128) {
+    (
+        r.numer().to_i128().expect("small test values"),
+        Int::from_nat(r.denom().clone())
+            .to_i128()
+            .expect("small test values"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fast-path add/sub/mul/div agree with i128 fraction arithmetic.
+    #[test]
+    fn ops_match_i128_fractions(an in -50i64..50, ad in 1i64..30,
+                                bn in -50i64..50, bd in 1i64..30) {
+        let a = Rat::from_frac(an, ad);
+        let b = Rat::from_frac(bn, bd);
+        let (an, ad, bn, bd) = (an as i128, ad as i128, bn as i128, bd as i128);
+
+        let sum = a.add_ref(&b);
+        prop_assert_eq!(rat_parts(&sum), reduced(an * bd + bn * ad, ad * bd));
+
+        let diff = a.sub_ref(&b);
+        prop_assert_eq!(rat_parts(&diff), reduced(an * bd - bn * ad, ad * bd));
+
+        let prod = a.mul_ref(&b);
+        prop_assert_eq!(rat_parts(&prod), reduced(an * bn, ad * bd));
+
+        if bn != 0 {
+            let quot = a.div_ref(&b);
+            prop_assert_eq!(rat_parts(&quot), reduced(an * bd, ad * bn));
+        }
+
+        // Ordering agrees with cross-multiplication.
+        prop_assert_eq!(a.cmp(&b), (an * bd).cmp(&(bn * ad)));
+    }
+
+    /// The same value computed through the bigint slow path (large unreduced
+    /// components fed to `Rat::new`) equals the fast-path value.
+    #[test]
+    fn slow_path_reaches_same_canonical_value(n in -40i64..40, d in 1i64..20,
+                                              scale_pow in 1u64..4) {
+        let fast = Rat::from_frac(n, d);
+        // Scale numerator and denominator by 10^(20·k): far beyond u64, so
+        // Rat::new must reduce through the bigint path.
+        let big = Int::from_i64(10).pow(20 * scale_pow);
+        let scaled_num = Int::from_i64(n).mul_ref(&big);
+        let scaled_den = Int::from_i64(d).mul_ref(&big);
+        let slow = Rat::new(scaled_num, scaled_den);
+        prop_assert_eq!(&fast, &slow);
+        // And arithmetic with a boundary-straddling partner round-trips.
+        let huge = Rat::new(big.clone(), Int::one());
+        let back = fast.add_ref(&huge).sub_ref(&huge);
+        prop_assert_eq!(back, fast);
+        let round = fast.mul_ref(&huge).div_ref(&huge);
+        prop_assert_eq!(round, Rat::from_frac(n, d));
+    }
+
+    /// Field laws hold across mixed fast/slow operands.
+    #[test]
+    fn mixed_repr_field_laws(n in -30i64..30, d in 1i64..15, k in 1u64..3) {
+        let small = Rat::from_frac(n, d);
+        let big = Rat::new(Int::from_i64(7).pow(30 * k), Int::from_i64(3).pow(20 * k));
+        prop_assert_eq!(small.add_ref(&big), big.add_ref(&small));
+        prop_assert_eq!(small.mul_ref(&big), big.mul_ref(&small));
+        let assoc_l = small.add_ref(&big).add_ref(&small);
+        let assoc_r = small.add_ref(&big.add_ref(&small));
+        prop_assert_eq!(assoc_l, assoc_r);
+        if !small.is_zero() {
+            prop_assert_eq!(small.mul_ref(&small.recip()), Rat::one());
+        }
+    }
+}

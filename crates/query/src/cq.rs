@@ -144,17 +144,32 @@ impl ConjunctiveQuery {
     /// The structure is built over `schema` (which must contain every relation
     /// of the query) so that different queries freeze over a common schema.
     pub fn frozen_body_over(&self, schema: &Schema) -> (Structure, BTreeMap<String, Const>) {
-        let mut mapping = BTreeMap::new();
+        // Hot path of the decision procedure: map variables by borrowed name
+        // and add facts by interned relation id, so freezing allocates no
+        // per-variable or per-relation strings.
+        let mut by_ref: BTreeMap<&str, Const> = BTreeMap::new();
         let mut next: Const = 0;
-        let mut s = Structure::new(schema.clone());
-        for v in self.body_vars() {
-            mapping.insert(v, next);
-            next += 1;
-        }
         for a in &self.atoms {
-            let args: Vec<Const> = a.vars.iter().map(|v| mapping[v]).collect();
-            s.add(&a.relation, &args);
+            for v in &a.vars {
+                by_ref.entry(v.as_str()).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+            }
         }
+        let mut s = Structure::new(schema.clone());
+        for a in &self.atoms {
+            let rel = s
+                .rel_id(&a.relation)
+                .unwrap_or_else(|| panic!("unknown relation {} in fact", a.relation));
+            let args: Vec<Const> = a.vars.iter().map(|v| by_ref[v.as_str()]).collect();
+            s.add_by_id(rel, args);
+        }
+        let mapping = by_ref
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
         (s, mapping)
     }
 
@@ -272,10 +287,7 @@ mod tests {
         assert_eq!(q.body_vars(), vec!["u", "x", "y", "z"]);
         assert_eq!(q.existential_vars(), vec!["u", "y", "z"]);
         assert_eq!(q.atoms().len(), 3);
-        assert_eq!(
-            q.to_string(),
-            "q(x) :- P(u,x), R(x,y), S(y,z)"
-        );
+        assert_eq!(q.to_string(), "q(x) :- P(u,x), R(x,y), S(y,z)");
     }
 
     #[test]
@@ -297,10 +309,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "conflicting arities")]
     fn conflicting_arity_panics() {
-        let q = ConjunctiveQuery::boolean(
-            "bad",
-            vec![atom("R", &["x", "y"]), atom("R", &["x"])],
-        );
+        let q = ConjunctiveQuery::boolean("bad", vec![atom("R", &["x", "y"]), atom("R", &["x"])]);
         let _ = q.inferred_schema();
     }
 
@@ -318,10 +327,8 @@ mod tests {
     #[test]
     fn boolean_query_components() {
         // ∃… R(x,y), R(z,w): two isomorphic connected components.
-        let q = ConjunctiveQuery::boolean(
-            "q",
-            vec![atom("R", &["x", "y"]), atom("R", &["z", "w"])],
-        );
+        let q =
+            ConjunctiveQuery::boolean("q", vec![atom("R", &["x", "y"]), atom("R", &["z", "w"])]);
         let schema = q.inferred_schema();
         let comps = q.components_over(&schema);
         assert_eq!(comps.len(), 2);
@@ -334,10 +341,8 @@ mod tests {
     #[test]
     fn set_containment_of_boolean_queries() {
         // q = ∃x,y,z R(x,y), R(y,z)  (2-path);  v = ∃x,y R(x,y)  (1 edge).
-        let q = ConjunctiveQuery::boolean(
-            "q",
-            vec![atom("R", &["x", "y"]), atom("R", &["y", "z"])],
-        );
+        let q =
+            ConjunctiveQuery::boolean("q", vec![atom("R", &["x", "y"]), atom("R", &["y", "z"])]);
         let v = ConjunctiveQuery::boolean("v", vec![atom("R", &["x", "y"])]);
         let schema = common_schema(&[&q, &v]);
         // Every structure with a 2-path has an edge: q ⊆ v.
@@ -366,10 +371,8 @@ mod tests {
     #[test]
     fn component_basis_across_queries() {
         // v1 = edge + loop; v2 = edge: basis = {edge, loop}.
-        let v1 = ConjunctiveQuery::boolean(
-            "v1",
-            vec![atom("R", &["x", "y"]), atom("R", &["z", "z"])],
-        );
+        let v1 =
+            ConjunctiveQuery::boolean("v1", vec![atom("R", &["x", "y"]), atom("R", &["z", "z"])]);
         let v2 = ConjunctiveQuery::boolean("v2", vec![atom("R", &["a", "b"])]);
         let schema = common_schema(&[&v1, &v2]);
         let basis = component_basis(&[&v1, &v2], &schema);

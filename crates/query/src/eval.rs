@@ -108,7 +108,10 @@ pub fn eval_cq(query: &ConjunctiveQuery, schema: &Schema, d: &Structure) -> BagA
 
 /// Evaluate a **boolean** conjunctive query: `q(D) = |hom(q, D)|`.
 pub fn eval_boolean_cq(query: &ConjunctiveQuery, schema: &Schema, d: &Structure) -> Nat {
-    assert!(query.is_boolean(), "eval_boolean_cq requires a boolean query");
+    assert!(
+        query.is_boolean(),
+        "eval_boolean_cq requires a boolean query"
+    );
     let (body, _) = query.frozen_body_over(schema);
     hom_count(&body, d)
 }
@@ -151,10 +154,8 @@ mod tests {
     fn boolean_evaluation_counts_homs() {
         let q = ConjunctiveQuery::boolean("q", vec![atom("R", &["x", "y"])]);
         assert_eq!(eval_boolean_cq(&q, &schema(), &db()), Nat::from_u64(2));
-        let q2 = ConjunctiveQuery::boolean(
-            "q2",
-            vec![atom("R", &["x", "y"]), atom("R", &["y", "z"])],
-        );
+        let q2 =
+            ConjunctiveQuery::boolean("q2", vec![atom("R", &["x", "y"]), atom("R", &["y", "z"])]);
         assert_eq!(eval_boolean_cq(&q2, &schema(), &db()), Nat::one());
         // Boolean query evaluated via eval_cq gives a single empty tuple.
         let bag = eval_cq(&q, &schema(), &db());
@@ -182,7 +183,11 @@ mod tests {
         let q = ConjunctiveQuery::new(
             "q",
             &["x"],
-            vec![atom("P", &["u", "x"]), atom("R", &["x", "y"]), atom("S", &["y", "z"])],
+            vec![
+                atom("P", &["u", "x"]),
+                atom("R", &["x", "y"]),
+                atom("S", &["y", "z"]),
+            ],
         );
         let v1 = ConjunctiveQuery::new(
             "v1",

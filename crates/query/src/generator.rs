@@ -97,12 +97,7 @@ impl QueryGenerator {
     ) -> (Vec<ConjunctiveQuery>, ConjunctiveQuery) {
         let views: Vec<ConjunctiveQuery> = (0..num_views)
             .map(|i| {
-                self.random_boolean_cq(
-                    &format!("v{i}"),
-                    atoms_per_view,
-                    atoms_per_view + 1,
-                    true,
-                )
+                self.random_boolean_cq(&format!("v{i}"), atoms_per_view, atoms_per_view + 1, true)
             })
             .collect();
         let q = if plant_determined && !views.is_empty() {

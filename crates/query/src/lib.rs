@@ -27,7 +27,7 @@ pub mod ucq;
 pub use cq::{Atom, ConjunctiveQuery};
 pub use eval::{eval_boolean_cq, eval_boolean_ucq, eval_cq, BagAnswers};
 pub use generator::QueryGenerator;
-pub use parse::{parse_query, parse_queries, ParseQueryError};
+pub use parse::{parse_queries, parse_query, ParseQueryError};
 pub use path::PathQuery;
 pub use ucq::UnionQuery;
 

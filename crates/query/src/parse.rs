@@ -47,12 +47,14 @@ fn parse_atoms(body: &str) -> Result<Vec<Atom>, ParseQueryError> {
     let mut rest = body.trim();
     while !rest.is_empty() {
         // relation name
-        let name_end = rest
-            .find(|c: char| !is_ident_char(c))
-            .ok_or_else(|| ParseQueryError::new(format!("expected '(' after relation name in {rest:?}")))?;
+        let name_end = rest.find(|c: char| !is_ident_char(c)).ok_or_else(|| {
+            ParseQueryError::new(format!("expected '(' after relation name in {rest:?}"))
+        })?;
         let name = &rest[..name_end];
         if name.is_empty() {
-            return Err(ParseQueryError::new(format!("missing relation name at {rest:?}")));
+            return Err(ParseQueryError::new(format!(
+                "missing relation name at {rest:?}"
+            )));
         }
         rest = rest[name_end..].trim_start();
         if !rest.starts_with('(') {
@@ -69,7 +71,9 @@ fn parse_atoms(body: &str) -> Result<Vec<Atom>, ParseQueryError> {
         };
         for v in &vars {
             if v.is_empty() || !v.chars().all(is_ident_char) {
-                return Err(ParseQueryError::new(format!("bad variable name {v:?} in atom {name}")));
+                return Err(ParseQueryError::new(format!(
+                    "bad variable name {v:?} in atom {name}"
+                )));
             }
         }
         atoms.push(Atom {
@@ -83,7 +87,9 @@ fn parse_atoms(body: &str) -> Result<Vec<Atom>, ParseQueryError> {
                 return Err(ParseQueryError::new("trailing ',' in query body"));
             }
         } else if !rest.is_empty() {
-            return Err(ParseQueryError::new(format!("unexpected input {rest:?} after atom")));
+            return Err(ParseQueryError::new(format!(
+                "unexpected input {rest:?} after atom"
+            )));
         }
     }
     if atoms.is_empty() {
@@ -221,7 +227,10 @@ mod tests {
         assert!(parse_query("q(x) :- ").is_err());
         assert!(parse_query("q(x) :- R(x,y,").is_err());
         assert!(parse_query("(x) :- R(x,y)").is_err());
-        assert!(parse_query("q(x) :- R(y,z)").is_err(), "unsafe head variable");
+        assert!(
+            parse_query("q(x) :- R(y,z)").is_err(),
+            "unsafe head variable"
+        );
         assert!(parse_query("q(x) :- R(x,y), ").is_err());
         assert!(parse_query("q(x) :- R(x,y) junk").is_err());
         let err = parse_query("q(x) :- R(x,y) junk").unwrap_err();

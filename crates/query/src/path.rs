@@ -221,10 +221,7 @@ mod tests {
         assert_eq!(ps[4], q);
         assert!(ps[2].is_prefix_of(&q));
         assert!(!q.is_prefix_of(&ps[2]));
-        assert_eq!(
-            ps[2].concat(&PathQuery::from_compact("CD")),
-            q
-        );
+        assert_eq!(ps[2].concat(&PathQuery::from_compact("CD")), q);
         assert_eq!(q.strip_prefix(&ps[2]), Some(PathQuery::from_compact("CD")));
         assert_eq!(q.strip_prefix(&PathQuery::from_compact("B")), None);
     }

@@ -13,7 +13,8 @@ fn random_boolean_cq(seed: u64, atoms: usize) -> ConjunctiveQuery {
 }
 
 fn random_db(seed: u64, domain: usize, facts: usize) -> Structure {
-    StructureGenerator::new(Schema::binary(["R0", "R1"]), seed).random_with_facts(domain.max(1), facts)
+    StructureGenerator::new(Schema::binary(["R0", "R1"]), seed)
+        .random_with_facts(domain.max(1), facts)
 }
 
 proptest! {

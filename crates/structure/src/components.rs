@@ -174,7 +174,9 @@ mod tests {
         s.add_isolated(9);
         let comps = connected_components(&s);
         assert_eq!(comps.len(), 2);
-        assert!(comps.iter().any(|c| c.num_facts() == 0 && c.domain_size() == 1));
+        assert!(comps
+            .iter()
+            .any(|c| c.num_facts() == 0 && c.domain_size() == 1));
     }
 
     #[test]

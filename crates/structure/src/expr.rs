@@ -11,7 +11,7 @@
 //! test wants to cross-check against brute-force counting.
 
 use crate::components::is_connected;
-use crate::hom::hom_count;
+use crate::hom::hom_count_cached;
 use crate::ops::{all_loops_point, disjoint_union, power, product, scalar_multiple};
 use crate::schema::Schema;
 use crate::structure::Structure;
@@ -76,7 +76,10 @@ impl StructureExpr {
 
     fn hom_count_connected_inner(&self, w: &Structure) -> Nat {
         match self {
-            StructureExpr::Base(s) => hom_count(w, s),
+            // Memoized: the good-basis construction evaluates the same
+            // (component, base) pairs across every power of the shared radix
+            // sum, so repeated counts become cache hits.
+            StructureExpr::Base(s) => hom_count_cached(w, s),
             StructureExpr::Sum(terms) => {
                 // Lemma 4 (1)–(2): hom(w, Σ cᵢ·eᵢ) = Σ cᵢ·hom(w, eᵢ).
                 let mut acc = Nat::zero();
@@ -119,6 +122,7 @@ impl StructureExpr {
 
     /// The domain size of the denoted structure (may be astronomically large —
     /// hence returned as a [`Nat`]).
+    #[allow(clippy::only_used_in_recursion)]
     pub fn domain_size(&self, schema: &Schema) -> Nat {
         match self {
             StructureExpr::Base(s) => Nat::from_usize(s.domain_size()),
@@ -181,7 +185,9 @@ impl StructureExpr {
 impl fmt::Display for StructureExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StructureExpr::Base(s) => write!(f, "⟨{} facts, {} elems⟩", s.num_facts(), s.domain_size()),
+            StructureExpr::Base(s) => {
+                write!(f, "⟨{} facts, {} elems⟩", s.num_facts(), s.domain_size())
+            }
             StructureExpr::Sum(terms) => {
                 write!(f, "(")?;
                 for (i, (c, e)) in terms.iter().enumerate() {
@@ -216,6 +222,7 @@ impl fmt::Display for StructureExpr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hom::hom_count;
     use crate::structure::Const;
 
     fn sch() -> Schema {
@@ -269,10 +276,8 @@ mod tests {
         let mut src = Structure::new(sch());
         src.add("E", &[0, 1]);
         src.add("E", &[5, 6]);
-        let expr = StructureExpr::sum2(
-            StructureExpr::base(cycle(3)),
-            StructureExpr::base(cycle(4)),
-        );
+        let expr =
+            StructureExpr::sum2(StructureExpr::base(cycle(3)), StructureExpr::base(cycle(4)));
         let symbolic = expr.hom_count_from(&src);
         let concrete = expr.materialize(&sch(), 100).unwrap();
         assert_eq!(symbolic, hom_count(&src, &concrete));
@@ -291,9 +296,8 @@ mod tests {
 
     #[test]
     fn domain_size_and_materialisation_guard() {
-        let expr = StructureExpr::weighted_sum(vec![
-            (Nat::from_u64(1000), StructureExpr::base(cycle(3))),
-        ]);
+        let expr =
+            StructureExpr::weighted_sum(vec![(Nat::from_u64(1000), StructureExpr::base(cycle(3)))]);
         assert_eq!(expr.domain_size(&sch()), Nat::from_u64(3000));
         assert!(expr.materialize(&sch(), 100).is_none());
         assert!(expr.materialize(&sch(), 3000).is_some());

@@ -1,0 +1,279 @@
+//! Compiled flat-index form of a [`Structure`].
+//!
+//! Homomorphism search is the single most used primitive of the whole
+//! reproduction, and the original engine paid a `String`-keyed `BTreeMap`
+//! lookup plus a `Vec` allocation per backtracking step.  This module
+//! compiles a structure once into contiguous arrays:
+//!
+//! * the domain becomes a sorted `Vec<Const>`, so every constant is a dense
+//!   `u32` id (its index),
+//! * every relation's tuples become one row-major `Vec<u32>` of dense ids,
+//!   rows sorted lexicographically, so a fact-membership test is a binary
+//!   search over a flat slice — no allocation, no tree walk,
+//! * every element gets an *occurrence bitmask* over `(relation, position)`
+//!   slots, the raw material of the degree/arity candidate filter used by the
+//!   search ([`crate::hom`]),
+//! * a canonical byte encoding of the whole structure (dense ids are already
+//!   a canonical order-preserving renumbering) keyed by relation *names*, so
+//!   per-component homomorphism counts can be memoized across calls
+//!   ([`crate::hom::hom_count_cached`]).
+//!
+//! The compiled form is cached on the [`Structure`] itself (invalidated on
+//! mutation), so the one-time O(n log n) compile cost is amortised over every
+//! query against the same structure.
+
+use crate::schema::RelTable;
+use crate::structure::{Const, Structure};
+use std::sync::{Arc, OnceLock};
+
+/// The compiled flat form of one structure.
+#[derive(Debug)]
+pub(crate) struct FlatStructure {
+    /// Sorted domain constants; the dense id of a constant is its index.
+    pub dom: Vec<Const>,
+    /// Arity per relation id (same order as `Structure::rel_names`).
+    pub arities: Vec<usize>,
+    /// Per relation id: row-major tuples of dense ids, rows sorted
+    /// lexicographically.  Empty for nullary relations.
+    pub rows: Vec<Vec<u32>>,
+    /// Per relation id: whether the (single possible) nullary fact is present.
+    pub nullary_present: Vec<bool>,
+    /// Number of `u64` words in one occurrence mask.
+    pub slot_words: usize,
+    /// Element-major occurrence masks: `occ[e * slot_words ..][w]` has bit
+    /// `k % 64` of word `k / 64` set iff element `e` occurs at slot `k`.
+    pub occ: Vec<u64>,
+    /// Relation table (shared with the source structure's schema), for the
+    /// canonical encoding.
+    table: Arc<RelTable>,
+    /// Canonical byte encoding (relation names + arities + dense rows +
+    /// domain size), built on first use: two structures with equal encodings
+    /// are equal up to an order-preserving renaming of constants.
+    canon: OnceLock<Vec<u8>>,
+}
+
+impl FlatStructure {
+    pub(crate) fn compile(s: &Structure) -> FlatStructure {
+        let dom: Vec<Const> = s.domain().into_iter().collect();
+        let dense = |c: Const| -> u32 {
+            dom.binary_search(&c).expect("constant from the structure") as u32
+        };
+
+        let arities: Vec<usize> = s.rel_arities().to_vec();
+        let slot_base: Vec<usize> = arities
+            .iter()
+            .scan(0usize, |acc, &a| {
+                let base = *acc;
+                *acc += a;
+                Some(base)
+            })
+            .collect();
+        let total_slots: usize = arities.iter().sum();
+        let slot_words = total_slots.div_ceil(64).max(1);
+
+        let mut rows: Vec<Vec<u32>> = Vec::with_capacity(arities.len());
+        let mut nullary_present = vec![false; arities.len()];
+        let mut occ = vec![0u64; dom.len() * slot_words];
+        for (rel, &arity) in arities.iter().enumerate() {
+            let tuples = s.tuples_of(rel as u32);
+            if arity == 0 {
+                nullary_present[rel] = !tuples.is_empty();
+                rows.push(Vec::new());
+                continue;
+            }
+            let mut flat = Vec::with_capacity(tuples.len() * arity);
+            for t in tuples {
+                for (pos, &c) in t.iter().enumerate() {
+                    let e = dense(c) as usize;
+                    flat.push(e as u32);
+                    let slot = slot_base[rel] + pos;
+                    occ[e * slot_words + slot / 64] |= 1 << (slot % 64);
+                }
+            }
+            // `tuples` is a BTreeSet of Vec<Const> iterated in sorted order and
+            // the dense renumbering is monotone, so `flat`'s rows are already
+            // sorted lexicographically.
+            rows.push(flat);
+        }
+
+        FlatStructure {
+            dom,
+            arities,
+            rows,
+            nullary_present,
+            slot_words,
+            occ,
+            table: s.schema().table(),
+            canon: OnceLock::new(),
+        }
+    }
+
+    /// The canonical byte encoding (computed once, on first use).
+    pub(crate) fn canon(&self) -> &[u8] {
+        self.canon.get_or_init(|| {
+            encode_canonical(
+                &self.table.names,
+                &self.arities,
+                &self.rows,
+                &self.nullary_present,
+                self.dom.len(),
+            )
+        })
+    }
+
+    /// Number of tuples of relation `rel`.
+    #[inline]
+    #[allow(clippy::manual_checked_ops)]
+    pub(crate) fn row_count(&self, rel: usize) -> usize {
+        let a = self.arities[rel];
+        if a == 0 {
+            usize::from(self.nullary_present[rel])
+        } else {
+            self.rows[rel].len() / a
+        }
+    }
+
+    /// Whether relation `rel` contains the dense-id row `row`.
+    #[inline]
+    pub(crate) fn contains_row(&self, rel: usize, row: &[u32]) -> bool {
+        let a = self.arities[rel];
+        debug_assert_eq!(a, row.len());
+        if a == 0 {
+            return self.nullary_present[rel];
+        }
+        let data = &self.rows[rel];
+        let n = data.len() / a;
+        // Binary search over the sorted fixed-stride rows.
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let cand = &data[mid * a..mid * a + a];
+            match cand.cmp(row) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// The occurrence mask of element `e`, as a word slice.
+    #[inline]
+    pub(crate) fn mask_of(&self, e: usize) -> &[u64] {
+        &self.occ[e * self.slot_words..(e + 1) * self.slot_words]
+    }
+}
+
+/// Canonical byte encoding; includes relation names so that structures over
+/// different schemas can never collide in the memo cache.
+fn encode_canonical(
+    names: &[String],
+    arities: &[usize],
+    rows: &[Vec<u32>],
+    nullary_present: &[bool],
+    dom_len: usize,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + rows.iter().map(|r| r.len() * 4).sum::<usize>());
+    out.extend_from_slice(&(dom_len as u64).to_le_bytes());
+    out.extend_from_slice(&(arities.len() as u32).to_le_bytes());
+    for (rel, name) in names.iter().enumerate() {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(arities[rel] as u32).to_le_bytes());
+        if arities[rel] == 0 {
+            out.push(u8::from(nullary_present[rel]));
+            continue;
+        }
+        out.extend_from_slice(&(rows[rel].len() as u32).to_le_bytes());
+        for &e in &rows[rel] {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Whether `sub` is a subset of `sup`, wordwise.  Both masks must live in
+/// the same slot space (equal word counts) — comparing masks from different
+/// schemas would be meaningless.
+#[inline]
+pub(crate) fn mask_subset(sub: &[u64], sup: &[u64]) -> bool {
+    debug_assert_eq!(sub.len(), sup.len(), "masks from different slot spaces");
+    sub.iter().zip(sup.iter()).all(|(&a, &b)| a & !b == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn compile_basic() {
+        let mut s = Structure::new(Schema::with_relations([("E", 2), ("P", 1)]));
+        s.add("E", &[5, 9]);
+        s.add("E", &[9, 5]);
+        s.add("P", &[5]);
+        s.add_isolated(7);
+        let f = FlatStructure::compile(&s);
+        assert_eq!(f.dom, vec![5, 7, 9]);
+        // Relation ids are sorted: E=0, P=1.
+        assert_eq!(f.arities, vec![2, 1]);
+        assert_eq!(f.row_count(0), 2);
+        assert_eq!(f.row_count(1), 1);
+        assert!(f.contains_row(0, &[0, 2]));
+        assert!(f.contains_row(0, &[2, 0]));
+        assert!(!f.contains_row(0, &[0, 0]));
+        assert!(f.contains_row(1, &[0]));
+        assert!(!f.contains_row(1, &[1]));
+        // Element 7 (dense id 1) occurs nowhere.
+        assert_eq!(f.mask_of(1), &[0]);
+        // Element 5 occurs at E.0, E.1 and P.0 — slots 0, 1, 2.
+        assert_eq!(f.mask_of(0), &[0b111]);
+        // Element 9 occurs at E.0 and E.1 only.
+        assert_eq!(f.mask_of(2), &[0b011]);
+    }
+
+    #[test]
+    fn nullary_and_canonical_keys() {
+        let sch = Schema::with_relations([("H", 0), ("P", 1)]);
+        let mut a = Structure::new(sch.clone());
+        a.add("H", &[]);
+        a.add("P", &[3]);
+        let mut b = Structure::new(sch.clone());
+        b.add("H", &[]);
+        b.add("P", &[77]);
+        // Same structure up to renaming → same canonical key.
+        assert_eq!(
+            FlatStructure::compile(&a).canon(),
+            FlatStructure::compile(&b).canon()
+        );
+        let mut c = Structure::new(sch);
+        c.add("P", &[3]);
+        assert_ne!(
+            FlatStructure::compile(&a).canon(),
+            FlatStructure::compile(&c).canon()
+        );
+        assert!(FlatStructure::compile(&a).contains_row(0, &[]));
+        assert!(!FlatStructure::compile(&c).contains_row(0, &[]));
+    }
+
+    #[test]
+    fn isolated_only_differs_from_empty() {
+        let sch = Schema::binary(["E"]);
+        let empty = Structure::new(sch.clone());
+        let mut iso = Structure::new(sch);
+        iso.add_isolated(0);
+        assert_ne!(
+            FlatStructure::compile(&empty).canon(),
+            FlatStructure::compile(&iso).canon()
+        );
+    }
+
+    #[test]
+    fn mask_subset_words() {
+        assert!(mask_subset(&[0b01], &[0b11]));
+        assert!(!mask_subset(&[0b10], &[0b01]));
+        assert!(mask_subset(&[0, 0b1], &[0b1, 0b1]));
+        assert!(!mask_subset(&[0b1, 0b1], &[0, 0b1]));
+    }
+}

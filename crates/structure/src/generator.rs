@@ -190,7 +190,10 @@ mod tests {
         let mut g = StructureGenerator::new(sch(), 5);
         for n in 1..8 {
             let s = g.random_connected(n);
-            assert!(is_connected(&s), "structure with {n} facts must be connected: {s:?}");
+            assert!(
+                is_connected(&s),
+                "structure with {n} facts must be connected: {s:?}"
+            );
             assert_eq!(s.num_facts() <= n, true);
         }
     }

@@ -6,21 +6,28 @@
 //! — exact counting is the single most used primitive of the whole
 //! reproduction.
 //!
-//! The implementation is a backtracking search over the domain of the source
-//! structure with forward checking: source elements are visited in a
-//! breadth-first order inside each connected component so that, when an
-//! element is assigned, at least one fact constraining it is usually already
-//! fully assigned.
+//! The default engine works on the interned flat-index form of both
+//! structures ([`crate::flat`]): the backtracking state is a dense `Vec<u32>`
+//! assignment plus a `u64` bitset of used targets, candidate targets are
+//! precomputed per source element from occurrence-mask (arity + degree)
+//! filtering, and each source fact is checked exactly once per search path —
+//! at the moment its last argument is assigned.  The original `BTreeMap`
+//! engine is retained verbatim in [`reference`] as the differential-testing
+//! oracle and as an escape hatch (`CQDET_NAIVE_HOM=1`).
 
 use crate::components::connected_components;
+use crate::flat::{mask_subset, FlatStructure};
 use crate::structure::{Const, Structure};
 use cqdet_bigint::Nat;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
 
 /// A homomorphism, represented as the assignment of source to target constants.
 pub type Homomorphism = BTreeMap<Const, Const>;
 
 /// What the backtracking search should do with complete assignments.
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// Count all homomorphisms.
     CountAll,
@@ -32,45 +39,255 @@ enum Mode {
     Collect,
 }
 
-struct Search<'a> {
-    source: &'a Structure,
-    target: &'a Structure,
-    target_domain: Vec<Const>,
-    /// Source elements in assignment order.
-    order: Vec<Const>,
-    /// For each source element, the facts (relation, args) that mention it.
-    facts_of: BTreeMap<Const, Vec<(String, Vec<Const>)>>,
-    assignment: BTreeMap<Const, Const>,
-    used_targets: BTreeSet<Const>,
+/// Whether the `CQDET_NAIVE_HOM=1` escape hatch is active (checked once).
+fn use_naive_engine() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var("CQDET_NAIVE_HOM")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+/// The compiled search plan: everything that depends only on the pair of
+/// structures, not on the traversal.
+struct Plan<'a> {
+    tgt: &'a FlatStructure,
+    n_src: usize,
+    n_tgt: usize,
+    /// Source elements in assignment order (BFS inside each connected
+    /// component).  Elements occurring in no fact are excluded unless
+    /// `enumerate_all` was requested at build time.
+    order: Vec<u32>,
+    /// Number of source elements occurring in no fact that were *excluded*
+    /// from `order`; each contributes a factor `n_tgt` to the count.
+    excluded_unconstrained: usize,
+    /// Facts with arity ≥ 1, flattened: relation (already mapped to target
+    /// relation ids), offsets, dense argument ids.
+    fact_rel: Vec<u32>,
+    fact_off: Vec<u32>,
+    fact_args: Vec<u32>,
+    /// Per order position: the facts whose last argument is assigned there.
+    facts_at: Vec<Vec<u32>>,
+    /// Candidate target lists, shared between elements with equal occurrence
+    /// masks: `cand_lists[cand_of[x]]` is the candidate list of element `x`.
+    cand_of: Vec<u32>,
+    cand_lists: Vec<Vec<u32>>,
+    /// Set when the plan can be answered without any search.
+    trivially_zero: bool,
+}
+
+impl<'a> Plan<'a> {
+    /// Compile a plan.  `enumerate_all` forces every source element into the
+    /// search order (needed when complete assignments must be materialised).
+    fn build(
+        src: &'a FlatStructure,
+        tgt: &'a FlatStructure,
+        source: &Structure,
+        target: &Structure,
+        enumerate_all: bool,
+    ) -> Plan<'a> {
+        let n_src = src.dom.len();
+        let n_tgt = tgt.dom.len();
+        let mut plan = Plan {
+            tgt,
+            n_src,
+            n_tgt,
+            order: Vec::new(),
+            excluded_unconstrained: 0,
+            fact_rel: Vec::new(),
+            fact_off: vec![0],
+            fact_args: Vec::new(),
+            facts_at: Vec::new(),
+            cand_of: Vec::new(),
+            cand_lists: Vec::new(),
+            trivially_zero: false,
+        };
+
+        // Map source relation ids to target relation ids by name; a source
+        // relation with facts but no target counterpart (or with the nullary
+        // fact missing from the target) makes the whole answer zero.
+        let mut rel_map: Vec<u32> = Vec::with_capacity(src.arities.len());
+        for (rel, name) in source.rel_names().iter().enumerate() {
+            let mapped = target.rel_id(name);
+            match mapped {
+                Some(t) if target.rel_arities()[t as usize] == src.arities[rel] => {
+                    rel_map.push(t);
+                }
+                _ => {
+                    if src.row_count(rel) > 0 {
+                        plan.trivially_zero = true;
+                        return plan;
+                    }
+                    rel_map.push(u32::MAX);
+                }
+            }
+        }
+
+        // Nullary facts have no variables: check them once up front.
+        for (rel, &arity) in src.arities.iter().enumerate() {
+            if arity == 0 && src.nullary_present[rel] && !tgt.nullary_present[rel_map[rel] as usize]
+            {
+                plan.trivially_zero = true;
+                return plan;
+            }
+        }
+
+        // Flatten the positive-arity facts and build the co-occurrence
+        // adjacency in one pass.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_src];
+        for (rel, &arity) in src.arities.iter().enumerate() {
+            if arity == 0 {
+                continue;
+            }
+            for row in src.rows[rel].chunks_exact(arity) {
+                plan.fact_rel.push(rel_map[rel]);
+                plan.fact_args.extend_from_slice(row);
+                plan.fact_off.push(plan.fact_args.len() as u32);
+                for &a in row {
+                    for &b in row {
+                        if a != b {
+                            adj[a as usize].push(b);
+                        }
+                    }
+                }
+            }
+        }
+        for neigh in &mut adj {
+            neigh.sort_unstable();
+            neigh.dedup();
+        }
+
+        // BFS order inside each component (maximises early constraint
+        // propagation, exactly as the reference engine does).
+        let constrained = |e: usize| src.mask_of(e).iter().any(|&w| w != 0);
+        let mut seen = vec![false; n_src];
+        for start in 0..n_src {
+            if seen[start] || (!enumerate_all && !constrained(start)) {
+                continue;
+            }
+            seen[start] = true;
+            let mut queue = std::collections::VecDeque::from([start as u32]);
+            while let Some(x) = queue.pop_front() {
+                plan.order.push(x);
+                for &n in &adj[x as usize] {
+                    if !seen[n as usize] {
+                        seen[n as usize] = true;
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        plan.excluded_unconstrained = n_src - plan.order.len();
+
+        // Schedule each fact at the order position where its last argument is
+        // assigned.
+        let mut pos_of = vec![u32::MAX; n_src];
+        for (pos, &x) in plan.order.iter().enumerate() {
+            pos_of[x as usize] = pos as u32;
+        }
+        plan.facts_at = vec![Vec::new(); plan.order.len()];
+        let n_facts = plan.fact_rel.len();
+        for f in 0..n_facts {
+            let args = &plan.fact_args[plan.fact_off[f] as usize..plan.fact_off[f + 1] as usize];
+            let last = args.iter().map(|&a| pos_of[a as usize]).max().unwrap();
+            debug_assert_ne!(last, u32::MAX, "fact argument missing from order");
+            plan.facts_at[last as usize].push(f as u32);
+        }
+
+        // Candidate lists by occurrence-mask filtering: h(x) must occur at
+        // every (relation, position) slot x occurs at.  Source masks live in
+        // the *source* schema's slot space; when the target has a different
+        // relation layout its compiled masks are incomparable, so rebuild the
+        // target masks in the source's slot space via `rel_map` first.
+        let same_layout = source.rel_names() == target.rel_names()
+            && source.rel_arities() == target.rel_arities();
+        let sw = src.slot_words;
+        let remapped_occ: Option<Vec<u64>> = if same_layout {
+            None
+        } else {
+            let mut occ = vec![0u64; n_tgt * sw];
+            let mut slot_base = 0usize;
+            for (rel, &arity) in src.arities.iter().enumerate() {
+                if arity > 0 && rel_map[rel] != u32::MAX {
+                    for row in tgt.rows[rel_map[rel] as usize].chunks_exact(arity) {
+                        for (pos, &e) in row.iter().enumerate() {
+                            let slot = slot_base + pos;
+                            occ[e as usize * sw + slot / 64] |= 1 << (slot % 64);
+                        }
+                    }
+                }
+                slot_base += arity;
+            }
+            Some(occ)
+        };
+        let tgt_mask = |t: usize| -> &[u64] {
+            match &remapped_occ {
+                Some(occ) => &occ[t * sw..(t + 1) * sw],
+                None => tgt.mask_of(t),
+            }
+        };
+        // Lists are shared between elements with identical masks.
+        let mut mask_index: BTreeMap<&[u64], u32> = BTreeMap::new();
+        plan.cand_of = vec![0; n_src];
+        for &x in &plan.order {
+            let mask = src.mask_of(x as usize);
+            let next_id = mask_index.len() as u32;
+            let id = *mask_index.entry(mask).or_insert(next_id);
+            plan.cand_of[x as usize] = id;
+            if id == next_id {
+                let cands: Vec<u32> = (0..n_tgt as u32)
+                    .filter(|&t| mask_subset(mask, tgt_mask(t as usize)))
+                    .collect();
+                plan.cand_lists.push(cands);
+            }
+        }
+        if plan
+            .order
+            .iter()
+            .any(|&x| plan.cand_lists[plan.cand_of[x as usize] as usize].is_empty())
+        {
+            plan.trivially_zero = true;
+        }
+        plan
+    }
+
+    #[inline]
+    fn candidates(&self, x: u32) -> &[u32] {
+        &self.cand_lists[self.cand_of[x as usize] as usize]
+    }
+}
+
+/// Backtracking search state over a [`Plan`].
+struct Search<'p, 'a> {
+    plan: &'p Plan<'a>,
     mode: Mode,
+    /// Dense target id per source element; `u32::MAX` = unassigned.
+    assignment: Vec<u32>,
+    /// Bitset of used target ids (injective mode only).
+    used: Vec<u64>,
+    /// Scratch row buffer for fact-image lookups.
+    scratch: Vec<u32>,
     count: u64,
     count_big: Nat,
     found: bool,
-    collected: Vec<Homomorphism>,
+    collected: Vec<Vec<u32>>,
 }
 
-impl<'a> Search<'a> {
-    fn new(source: &'a Structure, target: &'a Structure, mode: Mode) -> Self {
-        let target_domain: Vec<Const> = target.domain().into_iter().collect();
-        let order = assignment_order(source);
-        let mut facts_of: BTreeMap<Const, Vec<(String, Vec<Const>)>> = BTreeMap::new();
-        for f in source.facts() {
-            for &a in &f.args {
-                facts_of
-                    .entry(a)
-                    .or_default()
-                    .push((f.relation.clone(), f.args.clone()));
-            }
-        }
+impl<'p, 'a> Search<'p, 'a> {
+    fn new(plan: &'p Plan<'a>, mode: Mode) -> Self {
+        let max_arity = plan
+            .fact_off
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0);
         Search {
-            source,
-            target,
-            target_domain,
-            order,
-            facts_of,
-            assignment: BTreeMap::new(),
-            used_targets: BTreeSet::new(),
+            plan,
             mode,
+            assignment: vec![u32::MAX; plan.n_src],
+            used: vec![0; plan.n_tgt.div_ceil(64).max(1)],
+            scratch: vec![0; max_arity],
             count: 0,
             count_big: Nat::zero(),
             found: false,
@@ -78,22 +295,15 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// Nullary facts have no variables, so they are checked once up front.
-    fn nullary_facts_ok(&self) -> bool {
-        self.source
-            .facts()
-            .filter(|f| f.args.is_empty())
-            .all(|f| self.target.contains_fact(&f.relation, &[]))
-    }
-
     fn run(&mut self) {
-        if !self.nullary_facts_ok() {
+        if self.plan.trivially_zero {
             return;
         }
-        if self.order.is_empty() {
-            // No variables to assign: exactly the empty homomorphism
-            // (|hom(∅, D)| = 1, as the paper notes).
-            self.register_leaf();
+        if self.plan.n_src > 0 && self.plan.n_tgt == 0 {
+            // Elements exist but there is nothing to map them to.
+            return;
+        }
+        if self.mode == Mode::FindInjective && self.plan.n_src > self.plan.n_tgt {
             return;
         }
         self.recurse(0);
@@ -113,35 +323,35 @@ impl<'a> Search<'a> {
         }
     }
 
+    #[inline]
     fn done(&self) -> bool {
         matches!(self.mode, Mode::FindFirst | Mode::FindInjective) && self.found
     }
 
     fn recurse(&mut self, idx: usize) {
-        if self.done() {
-            return;
-        }
-        if idx == self.order.len() {
+        let plan = self.plan;
+        if idx == plan.order.len() {
             self.register_leaf();
             return;
         }
-        let x = self.order[idx];
-        let injective = matches!(self.mode, Mode::FindInjective);
-        for ti in 0..self.target_domain.len() {
-            let b = self.target_domain[ti];
-            if injective && self.used_targets.contains(&b) {
-                continue;
-            }
-            self.assignment.insert(x, b);
+        let x = plan.order[idx];
+        let injective = self.mode == Mode::FindInjective;
+        let cands = plan.candidates(x);
+        for &t in cands {
             if injective {
-                self.used_targets.insert(b);
+                let (w, b) = (t as usize / 64, 1u64 << (t % 64));
+                if self.used[w] & b != 0 {
+                    continue;
+                }
+                self.used[w] |= b;
             }
-            if self.consistent(x) {
+            self.assignment[x as usize] = t;
+            if self.consistent(idx) {
                 self.recurse(idx + 1);
             }
-            self.assignment.remove(&x);
+            self.assignment[x as usize] = u32::MAX;
             if injective {
-                self.used_targets.remove(&b);
+                self.used[t as usize / 64] &= !(1u64 << (t % 64));
             }
             if self.done() {
                 return;
@@ -149,89 +359,81 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// Check every source fact mentioning `x` whose arguments are now all
-    /// assigned: its image must be a fact of the target.
-    fn consistent(&self, x: Const) -> bool {
-        let Some(facts) = self.facts_of.get(&x) else {
-            return true;
-        };
-        'facts: for (rel, args) in facts {
-            let mut image = Vec::with_capacity(args.len());
-            for a in args {
-                match self.assignment.get(a) {
-                    Some(&b) => image.push(b),
-                    None => continue 'facts,
-                }
+    /// Check every source fact completed at order position `idx`: its image
+    /// (now fully assigned) must be a fact of the target.
+    #[inline]
+    fn consistent(&mut self, idx: usize) -> bool {
+        let plan = self.plan;
+        for &f in &plan.facts_at[idx] {
+            let f = f as usize;
+            let args = &plan.fact_args[plan.fact_off[f] as usize..plan.fact_off[f + 1] as usize];
+            debug_assert!(args
+                .iter()
+                .all(|&a| self.assignment[a as usize] != u32::MAX));
+            for (slot, &a) in args.iter().enumerate() {
+                self.scratch[slot] = self.assignment[a as usize];
             }
-            if !self.target.contains_fact(rel, &image) {
+            if !plan
+                .tgt
+                .contains_row(plan.fact_rel[f] as usize, &self.scratch[..args.len()])
+            {
                 return false;
             }
         }
         true
     }
 
+    /// Total count, including the `n_tgt^k` factor for the `k` source
+    /// elements that occur in no fact and were excluded from the search.
     fn total_count(&self) -> Nat {
-        self.count_big.add_ref(&Nat::from_u64(self.count))
+        let searched = self.count_big.add_ref(&Nat::from_u64(self.count));
+        if self.plan.excluded_unconstrained == 0 || searched.is_zero() {
+            return searched;
+        }
+        searched
+            .mul_ref(&Nat::from_usize(self.plan.n_tgt).pow(self.plan.excluded_unconstrained as u64))
     }
-}
 
-/// Order the source domain so that each connected component is visited in
-/// breadth-first order (maximises early constraint propagation).
-fn assignment_order(source: &Structure) -> Vec<Const> {
-    let mut order = Vec::new();
-    let mut seen = BTreeSet::new();
-    // Adjacency between source elements that co-occur in a fact.
-    let mut adj: BTreeMap<Const, BTreeSet<Const>> = BTreeMap::new();
-    for f in source.facts() {
-        for &a in &f.args {
-            for &b in &f.args {
-                if a != b {
-                    adj.entry(a).or_default().insert(b);
-                }
-            }
-            adj.entry(a).or_default();
-        }
+    /// Whether an assignment exists, accounting for excluded elements.
+    fn exists(&self) -> bool {
+        // Excluded elements are unconstrained; in injective mode the up-front
+        // `n_src ≤ n_tgt` check guarantees enough spare targets remain.
+        self.found
     }
-    for &start in source.domain().iter() {
-        if seen.contains(&start) {
-            continue;
-        }
-        let mut queue = std::collections::VecDeque::from([start]);
-        seen.insert(start);
-        while let Some(x) = queue.pop_front() {
-            order.push(x);
-            if let Some(neigh) = adj.get(&x) {
-                for &n in neigh {
-                    if seen.insert(n) {
-                        queue.push_back(n);
-                    }
-                }
-            }
-        }
-    }
-    order
 }
 
 /// The exact number of homomorphisms from `source` to `target`.
 pub fn hom_count(source: &Structure, target: &Structure) -> Nat {
-    let mut s = Search::new(source, target, Mode::CountAll);
+    if use_naive_engine() {
+        return reference::hom_count(source, target);
+    }
+    let plan = Plan::build(source.flat(), target.flat(), source, target, false);
+    let mut s = Search::new(&plan, Mode::CountAll);
     s.run();
     s.total_count()
 }
 
 /// Whether at least one homomorphism from `source` to `target` exists.
 pub fn hom_exists(source: &Structure, target: &Structure) -> bool {
-    let mut s = Search::new(source, target, Mode::FindFirst);
+    if use_naive_engine() {
+        return reference::hom_exists(source, target);
+    }
+    let plan = Plan::build(source.flat(), target.flat(), source, target, false);
+    let mut s = Search::new(&plan, Mode::FindFirst);
     s.run();
-    s.found
+    s.exists()
 }
 
 /// Whether an *injective* homomorphism from `source` to `target` exists
 /// (used by the isomorphism test).
 pub fn injective_hom_exists(source: &Structure, target: &Structure) -> bool {
-    let mut s = Search::new(source, target, Mode::FindInjective);
+    if use_naive_engine() {
+        return reference::injective_hom_exists(source, target);
+    }
+    let plan = Plan::build(source.flat(), target.flat(), source, target, false);
+    let mut s = Search::new(&plan, Mode::FindInjective);
     s.run();
-    s.found
+    s.exists()
 }
 
 /// Enumerate all homomorphisms from `source` to `target`.
@@ -239,9 +441,23 @@ pub fn injective_hom_exists(source: &Structure, target: &Structure) -> bool {
 /// Intended for small instances (tests, examples, query evaluation with free
 /// variables); the count can be exponential in the size of `source`.
 pub fn hom_enumerate(source: &Structure, target: &Structure) -> Vec<Homomorphism> {
-    let mut s = Search::new(source, target, Mode::Collect);
+    if use_naive_engine() {
+        return reference::hom_enumerate(source, target);
+    }
+    let (src, tgt) = (source.flat(), target.flat());
+    let plan = Plan::build(src, tgt, source, target, true);
+    let mut s = Search::new(&plan, Mode::Collect);
     s.run();
     s.collected
+        .into_iter()
+        .map(|assignment| {
+            assignment
+                .iter()
+                .enumerate()
+                .map(|(x, &t)| (src.dom[x], tgt.dom[t as usize]))
+                .collect()
+        })
+        .collect()
 }
 
 /// Homomorphism counting factored through connected components:
@@ -261,6 +477,275 @@ pub fn hom_count_factored(source: &Structure, target: &Structure) -> Nat {
         }
     }
     acc
+}
+
+// Bound on the number of memoized (source, target) count pairs; the cache is
+// cleared wholesale when it fills (counts are cheap to recompute relative to
+// unbounded growth).
+const HOM_CACHE_CAP: usize = 8192;
+
+// Two-level map (target canon → source canon → count) so a cache probe can
+// use borrowed `&[u8]` keys — hits allocate nothing.
+type HomCacheMap = HashMap<Box<[u8]>, HashMap<Box<[u8]>, Nat>>;
+
+thread_local! {
+    static HOM_CACHE: RefCell<HomCacheMap> = RefCell::new(HashMap::new());
+}
+
+/// [`hom_count`] with memoization keyed by the *canonical forms* of both
+/// structures (dense order-preserving renumbering, see [`crate::flat`]).
+///
+/// Symbolic structure evaluation ([`crate::StructureExpr`]) asks for the same
+/// `(component, base-structure)` counts over and over — every power
+/// `(s⁽²⁾)^{j}` of the good-basis construction shares its base, and the
+/// evaluation matrix iterates all basis elements against all powers — so the
+/// memo turns a quadratic number of searches into one search per distinct
+/// pair.  Two isomorphic sources only share a cache entry when their frozen
+/// constants have the same relative order; that is the common case for
+/// components produced by [`connected_components`], and a miss merely costs a
+/// recount.
+pub fn hom_count_cached(source: &Structure, target: &Structure) -> Nat {
+    let src_canon = source.flat().canon();
+    let tgt_canon = target.flat().canon();
+    let hit = HOM_CACHE.with(|c| {
+        c.borrow()
+            .get(tgt_canon)
+            .and_then(|per_src| per_src.get(src_canon))
+            .cloned()
+    });
+    if let Some(hit) = hit {
+        return hit;
+    }
+    let count = hom_count(source, target);
+    HOM_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        let total: usize = c.values().map(HashMap::len).sum();
+        if total >= HOM_CACHE_CAP {
+            c.clear();
+        }
+        c.entry(tgt_canon.to_vec().into_boxed_slice())
+            .or_default()
+            .insert(src_canon.to_vec().into_boxed_slice(), count.clone());
+    });
+    count
+}
+
+/// The original `BTreeMap`-based backtracking engine, kept verbatim as the
+/// differential-testing oracle for the flat-index engine (and selectable at
+/// runtime with `CQDET_NAIVE_HOM=1`).
+pub mod reference {
+    use super::{Homomorphism, Mode};
+    use crate::structure::{Const, Structure};
+    use cqdet_bigint::Nat;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    struct Search<'a> {
+        source: &'a Structure,
+        target: &'a Structure,
+        target_domain: Vec<Const>,
+        /// Source elements in assignment order.
+        order: Vec<Const>,
+        /// For each source element, the facts (relation, args) that mention it.
+        facts_of: BTreeMap<Const, Vec<(String, Vec<Const>)>>,
+        assignment: BTreeMap<Const, Const>,
+        used_targets: BTreeSet<Const>,
+        mode: Mode,
+        count: u64,
+        count_big: Nat,
+        found: bool,
+        collected: Vec<Homomorphism>,
+    }
+
+    impl<'a> Search<'a> {
+        fn new(source: &'a Structure, target: &'a Structure, mode: Mode) -> Self {
+            let target_domain: Vec<Const> = target.domain().into_iter().collect();
+            let order = assignment_order(source);
+            let mut facts_of: BTreeMap<Const, Vec<(String, Vec<Const>)>> = BTreeMap::new();
+            for f in source.facts() {
+                for &a in &f.args {
+                    facts_of
+                        .entry(a)
+                        .or_default()
+                        .push((f.relation.clone(), f.args.clone()));
+                }
+            }
+            Search {
+                source,
+                target,
+                target_domain,
+                order,
+                facts_of,
+                assignment: BTreeMap::new(),
+                used_targets: BTreeSet::new(),
+                mode,
+                count: 0,
+                count_big: Nat::zero(),
+                found: false,
+                collected: Vec::new(),
+            }
+        }
+
+        /// Nullary facts have no variables, so they are checked once up front.
+        fn nullary_facts_ok(&self) -> bool {
+            self.source
+                .facts()
+                .filter(|f| f.args.is_empty())
+                .all(|f| self.target.contains_fact(&f.relation, &[]))
+        }
+
+        fn run(&mut self) {
+            if !self.nullary_facts_ok() {
+                return;
+            }
+            if self.order.is_empty() {
+                // No variables to assign: exactly the empty homomorphism
+                // (|hom(∅, D)| = 1, as the paper notes).
+                self.register_leaf();
+                return;
+            }
+            self.recurse(0);
+        }
+
+        fn register_leaf(&mut self) {
+            match self.mode {
+                Mode::CountAll => {
+                    self.count += 1;
+                    if self.count == u64::MAX {
+                        self.count_big += &Nat::from_u64(self.count);
+                        self.count = 0;
+                    }
+                }
+                Mode::FindFirst | Mode::FindInjective => self.found = true,
+                Mode::Collect => self.collected.push(self.assignment.clone()),
+            }
+        }
+
+        fn done(&self) -> bool {
+            matches!(self.mode, Mode::FindFirst | Mode::FindInjective) && self.found
+        }
+
+        fn recurse(&mut self, idx: usize) {
+            if self.done() {
+                return;
+            }
+            if idx == self.order.len() {
+                self.register_leaf();
+                return;
+            }
+            let x = self.order[idx];
+            let injective = matches!(self.mode, Mode::FindInjective);
+            for ti in 0..self.target_domain.len() {
+                let b = self.target_domain[ti];
+                if injective && self.used_targets.contains(&b) {
+                    continue;
+                }
+                self.assignment.insert(x, b);
+                if injective {
+                    self.used_targets.insert(b);
+                }
+                if self.consistent(x) {
+                    self.recurse(idx + 1);
+                }
+                self.assignment.remove(&x);
+                if injective {
+                    self.used_targets.remove(&b);
+                }
+                if self.done() {
+                    return;
+                }
+            }
+        }
+
+        /// Check every source fact mentioning `x` whose arguments are now all
+        /// assigned: its image must be a fact of the target.
+        fn consistent(&self, x: Const) -> bool {
+            let Some(facts) = self.facts_of.get(&x) else {
+                return true;
+            };
+            'facts: for (rel, args) in facts {
+                let mut image = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.assignment.get(a) {
+                        Some(&b) => image.push(b),
+                        None => continue 'facts,
+                    }
+                }
+                if !self.target.contains_fact(rel, &image) {
+                    return false;
+                }
+            }
+            true
+        }
+
+        fn total_count(&self) -> Nat {
+            self.count_big.add_ref(&Nat::from_u64(self.count))
+        }
+    }
+
+    /// Order the source domain so that each connected component is visited in
+    /// breadth-first order (maximises early constraint propagation).
+    fn assignment_order(source: &Structure) -> Vec<Const> {
+        let mut order = Vec::new();
+        let mut seen = BTreeSet::new();
+        // Adjacency between source elements that co-occur in a fact.
+        let mut adj: BTreeMap<Const, BTreeSet<Const>> = BTreeMap::new();
+        for f in source.facts() {
+            for &a in &f.args {
+                for &b in &f.args {
+                    if a != b {
+                        adj.entry(a).or_default().insert(b);
+                    }
+                }
+                adj.entry(a).or_default();
+            }
+        }
+        for &start in source.domain().iter() {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut queue = std::collections::VecDeque::from([start]);
+            seen.insert(start);
+            while let Some(x) = queue.pop_front() {
+                order.push(x);
+                if let Some(neigh) = adj.get(&x) {
+                    for &n in neigh {
+                        if seen.insert(n) {
+                            queue.push_back(n);
+                        }
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// The exact number of homomorphisms from `source` to `target`.
+    pub fn hom_count(source: &Structure, target: &Structure) -> Nat {
+        let mut s = Search::new(source, target, Mode::CountAll);
+        s.run();
+        s.total_count()
+    }
+
+    /// Whether at least one homomorphism from `source` to `target` exists.
+    pub fn hom_exists(source: &Structure, target: &Structure) -> bool {
+        let mut s = Search::new(source, target, Mode::FindFirst);
+        s.run();
+        s.found
+    }
+
+    /// Whether an *injective* homomorphism exists.
+    pub fn injective_hom_exists(source: &Structure, target: &Structure) -> bool {
+        let mut s = Search::new(source, target, Mode::FindInjective);
+        s.run();
+        s.found
+    }
+
+    /// Enumerate all homomorphisms from `source` to `target`.
+    pub fn hom_enumerate(source: &Structure, target: &Structure) -> Vec<Homomorphism> {
+        let mut s = Search::new(source, target, Mode::Collect);
+        s.run();
+        s.collected
+    }
 }
 
 #[cfg(test)]
@@ -321,8 +806,14 @@ mod tests {
     #[test]
     fn path_into_clique_with_loops() {
         // Every map of the k+1 vertices is a homomorphism: n^(k+1).
-        assert_eq!(hom_count(&path(2), &clique_with_loops(3)), Nat::from_u64(27));
-        assert_eq!(hom_count(&path(3), &clique_with_loops(2)), Nat::from_u64(16));
+        assert_eq!(
+            hom_count(&path(2), &clique_with_loops(3)),
+            Nat::from_u64(27)
+        );
+        assert_eq!(
+            hom_count(&path(3), &clique_with_loops(2)),
+            Nat::from_u64(16)
+        );
     }
 
     #[test]
@@ -435,5 +926,124 @@ mod tests {
         assert!(hom_exists(&a, &b));
         assert!(hom_exists(&b, &c));
         assert!(hom_exists(&a, &c));
+    }
+
+    #[test]
+    fn flat_engine_agrees_with_reference_on_edge_cases() {
+        let empty = Structure::new(edge_schema());
+        let mut iso_only = Structure::new(edge_schema());
+        iso_only.add_isolated(3);
+        iso_only.add_isolated(8);
+        let cases: Vec<(Structure, Structure)> = vec![
+            (empty.clone(), empty.clone()),
+            (iso_only.clone(), empty.clone()),
+            (empty.clone(), iso_only.clone()),
+            (iso_only.clone(), iso_only.clone()),
+            (path(2), iso_only.clone()),
+            (iso_only, cycle(3)),
+        ];
+        for (s, t) in &cases {
+            assert_eq!(hom_count(s, t), reference::hom_count(s, t), "{s} -> {t}");
+            assert_eq!(hom_exists(s, t), reference::hom_exists(s, t), "{s} -> {t}");
+            assert_eq!(
+                injective_hom_exists(s, t),
+                reference::injective_hom_exists(s, t),
+                "{s} -> {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn injective_needs_room_for_unconstrained_elements() {
+        // Source: one edge plus one isolated element (3 elements total);
+        // target: exactly 2 elements.  A plain hom exists, an injective one
+        // does not.
+        let mut src = path(1);
+        src.add_isolated(9);
+        let tgt = path(1);
+        assert!(hom_exists(&src, &tgt));
+        assert!(!injective_hom_exists(&src, &tgt));
+        assert_eq!(
+            injective_hom_exists(&src, &tgt),
+            reference::injective_hom_exists(&src, &tgt)
+        );
+        // With a 3-element target there is room.
+        let tgt3 = path(2);
+        assert!(injective_hom_exists(&src, &tgt3));
+    }
+
+    #[test]
+    fn enumerate_includes_unconstrained_elements() {
+        let mut src = path(1);
+        src.add_isolated(7);
+        let homs = hom_enumerate(&src, &path(2));
+        // 2 edge placements × 3 choices for the isolated element.
+        assert_eq!(homs.len(), 6);
+        for h in &homs {
+            assert_eq!(h.len(), 3);
+            assert!(h.contains_key(&7));
+        }
+        assert_eq!(homs.len(), reference::hom_enumerate(&src, &path(2)).len());
+    }
+
+    #[test]
+    fn cross_schema_sources_count_zero_or_factor_out() {
+        // Source over schema {E, F}, target over {E} only: an F-fact makes
+        // the count zero; without F-facts the F relation is irrelevant.
+        let sch_ef = Schema::binary(["E", "F"]);
+        let mut with_f = Structure::new(sch_ef.clone());
+        with_f.add("E", &[0, 1]);
+        with_f.add("F", &[0, 1]);
+        let mut without_f = Structure::new(sch_ef);
+        without_f.add("E", &[0, 1]);
+        let tgt = cycle(3);
+        assert_eq!(hom_count(&with_f, &tgt), Nat::zero());
+        assert_eq!(hom_count(&without_f, &tgt), Nat::from_u64(3));
+        assert_eq!(
+            hom_count(&with_f, &tgt),
+            reference::hom_count(&with_f, &tgt)
+        );
+        assert_eq!(
+            hom_count(&without_f, &tgt),
+            reference::hom_count(&without_f, &tgt)
+        );
+    }
+
+    #[test]
+    fn cross_schema_slot_offsets_do_not_misalign_masks() {
+        // Regression: the source schema has an extra relation A sorting
+        // before E, so E's occurrence slots sit at different offsets in the
+        // two schemas; the candidate filter must remap, not compare raw masks.
+        let src_sch = Schema::with_relations([("A", 2), ("E", 2)]);
+        let mut src = Structure::new(src_sch);
+        src.add("E", &[0, 1]);
+        let mut tgt = Structure::new(Schema::binary(["E"]));
+        tgt.add("E", &[0, 1]);
+        assert_eq!(hom_count(&src, &tgt), Nat::one());
+        assert_eq!(hom_count(&src, &tgt), reference::hom_count(&src, &tgt));
+        assert!(hom_exists(&src, &tgt));
+        assert!(injective_hom_exists(&src, &tgt));
+        // And the other direction: target schema has the extra relation.
+        let mut src2 = Structure::new(Schema::binary(["E"]));
+        src2.add("E", &[0, 1]);
+        let mut tgt2 = Structure::new(Schema::with_relations([("A", 2), ("E", 2)]));
+        tgt2.add("A", &[5, 6]);
+        tgt2.add("E", &[0, 1]);
+        tgt2.add("E", &[1, 2]);
+        assert_eq!(hom_count(&src2, &tgt2), Nat::from_u64(2));
+        assert_eq!(hom_count(&src2, &tgt2), reference::hom_count(&src2, &tgt2));
+    }
+
+    #[test]
+    fn cached_counts_agree_and_hit() {
+        let w = path(2);
+        let t = clique_with_loops(3);
+        let direct = hom_count(&w, &t);
+        assert_eq!(hom_count_cached(&w, &t), direct);
+        // Second call hits the cache (same canonical forms).
+        assert_eq!(hom_count_cached(&w, &t), direct);
+        // A renamed copy of the source shares the canonical form.
+        let w2 = w.map_constants(|c| c + 100);
+        assert_eq!(hom_count_cached(&w2, &t), direct);
     }
 }

@@ -17,6 +17,11 @@ use crate::structure::Structure;
 /// facts to distinct facts, so with equal per-relation fact counts its image
 /// is all of `B`, and a fact-count-preserving bijective homomorphism is an
 /// isomorphism.)
+///
+/// Fast paths: equal compiled canonical forms ([`crate::flat`]) prove
+/// isomorphism without any search (the order-preserving renaming *is* an
+/// isomorphism), and per-relation fact counts are compared without the
+/// allocation `Structure::profile` would make.
 pub fn isomorphic(a: &Structure, b: &Structure) -> bool {
     if a.schema() != b.schema() {
         return false;
@@ -24,8 +29,13 @@ pub fn isomorphic(a: &Structure, b: &Structure) -> bool {
     if a.domain_size() != b.domain_size() {
         return false;
     }
-    if a.profile() != b.profile() {
+    let n_rels = a.rel_names().len() as u32;
+    if (0..n_rels).any(|r| a.tuples_of(r).len() != b.tuples_of(r).len()) {
         return false;
+    }
+    // Identical canonical encodings: the dense renumbering is an isomorphism.
+    if a.flat().canon() == b.flat().canon() {
+        return true;
     }
     injective_hom_exists(a, b)
 }

@@ -21,6 +21,7 @@
 pub mod adjacency;
 pub mod components;
 pub mod expr;
+pub(crate) mod flat;
 pub mod generator;
 pub mod hom;
 pub mod iso;
@@ -33,7 +34,8 @@ pub use components::{connected_components, is_connected};
 pub use expr::StructureExpr;
 pub use generator::StructureGenerator;
 pub use hom::{
-    hom_count, hom_count_factored, hom_enumerate, hom_exists, injective_hom_exists, Homomorphism,
+    hom_count, hom_count_cached, hom_count_factored, hom_enumerate, hom_exists,
+    injective_hom_exists, Homomorphism,
 };
 pub use iso::{dedup_up_to_iso, isomorphic, multiplicities};
 pub use ops::{all_loops_point, disjoint_union, power, product, scalar_multiple};

@@ -2,14 +2,40 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// The interned relation table of a schema: sorted names (index = relation
+/// id) and their arities.  Shared by every [`crate::Structure`] over the
+/// schema, so freezing a query allocates no per-relation strings.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct RelTable {
+    pub names: Vec<String>,
+    pub arities: Vec<usize>,
+}
 
 /// A relational schema Σ: a finite map from relation names to arities.
 ///
 /// The paper calls a schema *n-ary* when every relation has arity at most `n`;
 /// path queries (Section 3) require a *binary* schema.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, Default)]
 pub struct Schema {
     relations: BTreeMap<String, usize>,
+    /// Interned table, built on first use and invalidated by mutation.
+    table: OnceLock<Arc<RelTable>>,
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
+}
+
+impl Eq for Schema {}
+
+impl std::hash::Hash for Schema {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.relations.hash(state);
+    }
 }
 
 impl Schema {
@@ -44,6 +70,18 @@ impl Schema {
     /// Add (or overwrite) a relation symbol.
     pub fn add_relation<S: Into<String>>(&mut self, name: S, arity: usize) {
         self.relations.insert(name.into(), arity);
+        self.table = OnceLock::new();
+    }
+
+    /// The interned relation table (names sorted, index = relation id).
+    pub(crate) fn table(&self) -> Arc<RelTable> {
+        self.table
+            .get_or_init(|| {
+                let names: Vec<String> = self.relations.keys().cloned().collect();
+                let arities: Vec<usize> = self.relations.values().copied().collect();
+                Arc::new(RelTable { names, arities })
+            })
+            .clone()
     }
 
     /// The arity of `name`, if the relation exists.

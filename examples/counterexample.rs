@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo run --example counterexample`.
 
-use cqdet::prelude::*;
 use cqdet::core::witness::check_certificate_arithmetic;
+use cqdet::prelude::*;
 
 fn cq(text: &str) -> ConjunctiveQuery {
     parse_query(text).expect("valid query").disjuncts()[0].clone()
@@ -44,16 +44,27 @@ fn main() {
     println!("t  = {}", witness.t);
     println!(
         "α⃗  = {:?}",
-        witness.alpha.iter().map(|n| n.to_string()).collect::<Vec<_>>()
+        witness
+            .alpha
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
     );
     println!(
         "α⃗′ = {:?}",
-        witness.alpha_prime.iter().map(|n| n.to_string()).collect::<Vec<_>>()
+        witness
+            .alpha_prime
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
     );
     println!("\nD  = {}", witness.d);
     println!("D' = {}", witness.d_prime);
 
-    println!("\ncertificate arithmetic holds: {}", check_certificate_arithmetic(&witness, &analysis));
+    println!(
+        "\ncertificate arithmetic holds: {}",
+        check_certificate_arithmetic(&witness, &analysis)
+    );
     println!("symbolic verification: {}", witness.verify(&views, &q));
     println!(
         "v(D) = {}   v(D') = {}",

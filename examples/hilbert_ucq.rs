@@ -8,11 +8,8 @@ use cqdet::prelude::*;
 use cqdet::query::eval::eval_boolean_ucq;
 
 fn main() {
-    let instance = DiophantineInstance::from_terms(&[
-        (1, &[("x", 2)]),
-        (1, &[("y", 2)]),
-        (-1, &[("z", 2)]),
-    ]);
+    let instance =
+        DiophantineInstance::from_terms(&[(1, &[("x", 2)]), (1, &[("y", 2)]), (-1, &[("z", 2)])]);
     println!("Diophantine instance: {instance}");
 
     let encoding = encode(&instance);
@@ -21,7 +18,10 @@ fn main() {
     for v in &encoding.views {
         println!("view {}  ({} disjunct(s))", v.name(), v.len());
     }
-    println!("total CQ disjuncts across views: {}", encoding.total_disjuncts());
+    println!(
+        "total CQ disjuncts across views: {}",
+        encoding.total_disjuncts()
+    );
 
     println!("\nsearching for a solution with unknowns ≤ 5 …");
     match bounded_refutation(&instance, 5) {
@@ -29,7 +29,10 @@ fn main() {
             println!("solution found → the encoded view set does NOT determine q.");
             println!("D  = {d}");
             println!("D' = {d_prime}");
-            println!("verified counterexample: {}", verify_counterexample(&enc, &d, &d_prime));
+            println!(
+                "verified counterexample: {}",
+                verify_counterexample(&enc, &d, &d_prime)
+            );
             for v in &enc.views {
                 println!(
                     "  {}(D) = {}   {}(D') = {}",

@@ -130,7 +130,10 @@ fn example_3() {
     let v1v = eval_boolean_ucq(&v1, &schema, &d);
     let v2v = eval_boolean_ucq(&v2, &schema, &d);
     println!("  on a sample D: q(D) = {qv}, v1(D) = {v1v}, v2(D) = {v2v}");
-    println!("  q(D) = v2(D) − v1(D)? {}", Int::from_nat(qv) == Int::from_nat(v2v) - Int::from_nat(v1v));
+    println!(
+        "  q(D) = v2(D) − v1(D)? {}",
+        Int::from_nat(qv) == Int::from_nat(v2v) - Int::from_nat(v1v)
+    );
     // Under set semantics the views cannot distinguish {P(a)} from {P(a),R(b)}.
     let mut e1 = Structure::new(schema.clone());
     e1.add("P", &[0]);
@@ -164,12 +167,18 @@ fn example_42() {
     println!("\n--- Example 42: why W itself cannot serve as the basis S ---");
     let q = cq("q() :- R(x,y), R(y,z)");
     let v = cq("v() :- R(x,y)");
-    let analysis = decide_bag_determinacy(&[v.clone()], &q).unwrap();
-    println!("  determined: {} (so a counterexample exists)", analysis.determined);
+    let analysis = decide_bag_determinacy(std::slice::from_ref(&v), &q).unwrap();
+    println!(
+        "  determined: {} (so a counterexample exists)",
+        analysis.determined
+    );
     let witness = build_counterexample(&analysis, &q, &WitnessConfig::default()).unwrap();
     println!("  the good basis replaces W; evaluation matrix:");
     print!("{}", witness.evaluation_matrix);
-    println!("  nonsingular: {}", witness.evaluation_matrix.is_nonsingular());
+    println!(
+        "  nonsingular: {}",
+        witness.evaluation_matrix.is_nonsingular()
+    );
     println!("  verified counterexample: {}", witness.verify(&[v], &q));
 }
 

@@ -33,14 +33,22 @@ fn main() {
     println!(
         "induced q-walk: {}",
         walk.iter()
-            .map(|(l, s)| if *s > 0 { l.clone() } else { format!("{l}⁻¹") })
+            .map(|(l, s)| if *s > 0 {
+                l.clone()
+            } else {
+                format!("{l}⁻¹")
+            })
             .collect::<Vec<_>>()
             .join("")
     );
     let reduced = reduce_q_walk(&walk);
     println!(
         "reduced (Lemma 15): {}",
-        reduced.iter().map(|(l, _)| l.clone()).collect::<Vec<_>>().join("")
+        reduced
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect::<Vec<_>>()
+            .join("")
     );
 
     // An undetermined instance and its Appendix B witness.
@@ -68,6 +76,9 @@ fn main() {
     println!("\nmatrix evaluation of q = ABC over D (Fact 18):");
     let answers = eval_path_matrix(&q2, &d);
     for (tuple, count) in answers.iter() {
-        println!("  path from {} to {}: multiplicity {}", tuple[0], tuple[1], count);
+        println!(
+            "  path from {} to {}: multiplicity {}",
+            tuple[0], tuple[1], count
+        );
     }
 }

@@ -18,12 +18,18 @@ fn main() {
     let q_good = cq("q1() :- Orders(c,o), Ships(o,w), Ships(o2,w2)");
     let q_bad = cq("q2() :- Orders(c,o), Ships(o,w), Ships(o,w2)");
 
-    for (label, q) in [("q1 (join × extra shipment)", q_good), ("q2 (double shipment of one order)", q_bad)] {
+    for (label, q) in [
+        ("q1 (join × extra shipment)", q_good),
+        ("q2 (double shipment of one order)", q_bad),
+    ] {
         let views = vec![v1.clone(), v2.clone()];
         let analysis = decide_bag_determinacy(&views, &q).expect("boolean CQs");
         println!("query {label}");
         println!("  determined under bag semantics: {}", analysis.determined);
-        println!("  retained views (q ⊆_set v):     {:?}", analysis.retained_views);
+        println!(
+            "  retained views (q ⊆_set v):     {:?}",
+            analysis.retained_views
+        );
         println!("  basis size k = {}", analysis.basis_size());
         println!("  q⃗ = {}", analysis.query_vector);
         match analysis.rewriting(&views) {

@@ -27,12 +27,27 @@ fn main() {
     ];
 
     let dashboards = vec![
-        ("pairs of (follow, post) events", cq("d1() :- Follows(a,b), Posts(u,p)")),
-        ("engagement × total likes", cq("d2() :- Posts(u,p), Likes(v,p), Likes(w,q)")),
+        (
+            "pairs of (follow, post) events",
+            cq("d1() :- Follows(a,b), Posts(u,p)"),
+        ),
+        (
+            "engagement × total likes",
+            cq("d2() :- Posts(u,p), Likes(v,p), Likes(w,q)"),
+        ),
         ("likes on own posts", cq("d3() :- Posts(u,p), Likes(u,p)")),
-        ("follow chains of length 2", cq("d4() :- Follows(a,b), Follows(b,c)")),
-        ("triple product of base counts", cq("d5() :- Follows(a,b), Posts(u,p), Likes(v,q)")),
-        ("self-follows times posts", cq("d6() :- Follows(a,a), Posts(u,p)")),
+        (
+            "follow chains of length 2",
+            cq("d4() :- Follows(a,b), Follows(b,c)"),
+        ),
+        (
+            "triple product of base counts",
+            cq("d5() :- Follows(a,b), Posts(u,p), Likes(v,q)"),
+        ),
+        (
+            "self-follows times posts",
+            cq("d6() :- Follows(a,a), Posts(u,p)"),
+        ),
     ];
 
     println!("== which dashboards are exactly answerable from the materialised counts? ==\n");
@@ -57,5 +72,8 @@ fn main() {
             assert!(witness.verify(&views, q));
         }
     }
-    println!("\n{servable}/{} dashboards are exactly servable from the views.", dashboards.len());
+    println!(
+        "\n{servable}/{} dashboards are exactly servable from the views.",
+        dashboards.len()
+    );
 }

@@ -88,7 +88,10 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
     let analysis = decide_bag_determinacy(&views, &query).map_err(|e| e.to_string())?;
     println!("query:    {query}");
     println!("views:    {}", views.len());
-    println!("retained: {:?} (views with q ⊆_set v)", analysis.retained_views);
+    println!(
+        "retained: {:?} (views with q ⊆_set v)",
+        analysis.retained_views
+    );
     println!("basis:    {} connected component(s)", analysis.basis_size());
     println!("determined under bag semantics: {}", analysis.determined);
     if let Some(rewriting) = analysis.rewriting(&views) {
@@ -99,7 +102,11 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
         println!("counterexample (symbolic structures over the good basis):");
         println!("  D  = {}", witness.d);
         println!("  D' = {}", witness.d_prime);
-        println!("  q(D) = {}   q(D') = {}", witness.eval_on_d(&query), witness.eval_on_d_prime(&query));
+        println!(
+            "  q(D) = {}   q(D') = {}",
+            witness.eval_on_d(&query),
+            witness.eval_on_d_prime(&query)
+        );
         println!("  verified: {}", witness.verify(&views, &query));
     }
     Ok(())
@@ -116,7 +123,13 @@ fn cmd_path(args: &[String]) -> Result<(), String> {
     let vs: Vec<PathQuery> = views.iter().map(|w| PathQuery::from_compact(w)).collect();
     let analysis = decide_path_determinacy(&vs, &q);
     println!("q = {q}");
-    println!("V = {{{}}}", vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "));
+    println!(
+        "V = {{{}}}",
+        vs.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!("determined (set ⇔ bag, Theorem 1): {}", analysis.determined);
     match analysis.derivation {
         Some(steps) => {
@@ -145,7 +158,9 @@ fn cmd_hilbert(args: &[String]) -> Result<(), String> {
     if monomials.is_empty() {
         return Err("hilbert needs at least one monomial".to_string());
     }
-    let bound: u64 = bound.parse().map_err(|_| "bound must be a natural number")?;
+    let bound: u64 = bound
+        .parse()
+        .map_err(|_| "bound must be a natural number")?;
     let mut parsed = Vec::new();
     for m in monomials {
         parsed.push(parse_monomial(m)?);
@@ -189,7 +204,9 @@ fn parse_monomial(text: &str) -> Result<Monomial, String> {
         let (name, degree) = match part.split_once('^') {
             Some((n, d)) => (
                 n.trim().to_string(),
-                d.trim().parse::<u32>().map_err(|_| format!("bad degree in {part:?}"))?,
+                d.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad degree in {part:?}"))?,
             ),
             None => (part.trim().to_string(), 1),
         };

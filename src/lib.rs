@@ -57,9 +57,7 @@ pub mod prelude {
     };
     pub use cqdet_hilbert::{encode, DiophantineInstance, Monomial};
     pub use cqdet_linalg::{QMat, QVec, Rat};
-    pub use cqdet_query::{
-        parse_queries, parse_query, ConjunctiveQuery, PathQuery, UnionQuery,
-    };
+    pub use cqdet_query::{parse_queries, parse_query, ConjunctiveQuery, PathQuery, UnionQuery};
     pub use cqdet_structure::{Schema, Structure};
 }
 

@@ -26,7 +26,10 @@ fn witness_full_stack_edge_vs_two_path() {
     let materialised = witness
         .verify_by_materialization(&views, &q, &config)
         .expect("this instance is small enough to materialise");
-    assert!(materialised, "brute-force recount must agree with the symbolic certificate");
+    assert!(
+        materialised,
+        "brute-force recount must agree with the symbolic certificate"
+    );
 }
 
 /// The decision procedure and the bounded brute-force baseline must never
@@ -42,7 +45,10 @@ fn decision_agrees_with_bruteforce_on_random_instances() {
         let (views, q) = generator.random_instance(2, 2, planted);
         let analysis = decide_bag_determinacy(&views, &q).unwrap();
         if planted {
-            assert!(analysis.determined, "planted instances are determined by construction");
+            assert!(
+                analysis.determined,
+                "planted instances are determined by construction"
+            );
         }
         if analysis.determined {
             determined_count += 1;
@@ -58,7 +64,10 @@ fn decision_agrees_with_bruteforce_on_random_instances() {
             assert!(!analysis.determined);
         }
     }
-    assert!(determined_count >= 10, "the planted third must all be determined");
+    assert!(
+        determined_count >= 10,
+        "the planted third must all be determined"
+    );
 }
 
 /// Undetermined random instances must yield verifiable witnesses.
@@ -73,10 +82,16 @@ fn witnesses_for_random_undetermined_instances() {
             continue;
         }
         let witness = build_counterexample(&analysis, &q, &WitnessConfig::default()).unwrap();
-        assert!(witness.verify(&views, &q), "witness failed for V={views:?}, q={q}");
+        assert!(
+            witness.verify(&views, &q),
+            "witness failed for V={views:?}, q={q}"
+        );
         built += 1;
     }
-    assert!(built >= 5, "expected a healthy share of undetermined instances, got {built}");
+    assert!(
+        built >= 5,
+        "expected a healthy share of undetermined instances, got {built}"
+    );
 }
 
 /// Determinacy is monotone in a useful way: adding the query itself to any
@@ -114,8 +129,10 @@ fn readme_scenario() {
         q2() :- Orders(c,o), Ships(o,w), Ships(o,w2)
     ";
     let queries = parse_queries(program).unwrap();
-    let views: Vec<ConjunctiveQuery> =
-        queries[..2].iter().map(|u| u.disjuncts()[0].clone()).collect();
+    let views: Vec<ConjunctiveQuery> = queries[..2]
+        .iter()
+        .map(|u| u.disjuncts()[0].clone())
+        .collect();
     let q1 = queries[2].disjuncts()[0].clone();
     let q2 = queries[3].disjuncts()[0].clone();
     let a1 = decide_bag_determinacy(&views, &q1).unwrap();

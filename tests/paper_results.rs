@@ -106,7 +106,10 @@ fn example_13_q_walk() {
     let reduced = reduce_q_walk(&walk);
     assert_eq!(
         reduced,
-        q.letters().iter().map(|l| (l.clone(), 1i8)).collect::<Vec<_>>()
+        q.letters()
+            .iter()
+            .map(|l| (l.clone(), 1i8))
+            .collect::<Vec<_>>()
     );
 }
 
@@ -153,7 +156,7 @@ fn theorem_1_path_decision_and_witnesses() {
 #[test]
 fn path_decision_agrees_with_bruteforce_on_small_cases() {
     let q = PathQuery::from_compact("AB");
-    let views = vec![PathQuery::from_compact("A")];
+    let views = [PathQuery::from_compact("A")];
     // Not determined: the brute-force search over boolean versions must find a
     // counterexample among small structures (the Appendix B pair has 6 elements).
     let bool_views: Vec<ConjunctiveQuery> = views
@@ -253,7 +256,7 @@ fn bag_strictly_stronger_than_set_for_boolean_cqs() {
     // here every structure satisfying q satisfies v, yet bag counts diverge.
     let q = cq("q() :- R(x,y), R(y,z)");
     let v = cq("v() :- R(x,y)");
-    let res = decide_bag_determinacy(&[v.clone()], &q).unwrap();
+    let res = decide_bag_determinacy(std::slice::from_ref(&v), &q).unwrap();
     assert!(!res.determined);
     // The witness pair realises the strictness concretely.
     let w = build_counterexample(&res, &q, &WitnessConfig::default()).unwrap();
