@@ -6,8 +6,12 @@
 //! procedure terminates; this experiment supplies the performance profile a
 //! systems reader would expect (see EXPERIMENTS.md §T3-DECIDE).
 
-use cqdet_bench::{decide_workload, DECIDE_ATOM_COUNTS, DECIDE_VIEW_COUNTS};
+use cqdet_bench::{
+    decide_workload, dedup_components_workload, DECIDE_ATOM_COUNTS, DECIDE_MANY_VIEW_COUNTS,
+    DECIDE_VIEW_COUNTS,
+};
 use cqdet_core::decide_bag_determinacy;
+use cqdet_structure::dedup_up_to_iso;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -44,5 +48,46 @@ fn bench_atoms_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_views_sweep, bench_atoms_sweep);
+fn bench_many_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide/many-views");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
+    for &views in DECIDE_MANY_VIEW_COUNTS {
+        let (v, q) = decide_workload(views, 3, true, 0xD15C + views as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(views), &(v, q), |b, (v, q)| {
+            b.iter(|| decide_bag_determinacy(v, q).unwrap().determined)
+        });
+    }
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedup/components");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
+    for &views in DECIDE_MANY_VIEW_COUNTS {
+        let comps = dedup_components_workload(views, 0xD15C + views as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(views), &comps, |b, comps| {
+            // Rebuild fresh (uncached) structures per iteration; a clone
+            // would reuse the canonical keys cached in the first iteration.
+            b.iter(|| {
+                let fresh: Vec<_> = comps.iter().map(|s| s.map_constants(|c| c)).collect();
+                dedup_up_to_iso(fresh).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_views_sweep,
+    bench_atoms_sweep,
+    bench_many_views,
+    bench_dedup
+);
 criterion_main!(benches);

@@ -15,6 +15,11 @@ pub const DECIDE_VIEW_COUNTS: &[usize] = &[2, 4, 8, 16, 32];
 /// The parameter sweep for the decision-procedure experiment: atoms per view.
 pub const DECIDE_ATOM_COUNTS: &[usize] = &[2, 4, 8];
 
+/// The parameter sweep for the many-views experiment (DEDUP): planted view
+/// counts large enough that isomorphism-class bookkeeping (basis construction
+/// and vector extraction) dominates the decision procedure.
+pub const DECIDE_MANY_VIEW_COUNTS: &[usize] = &[64, 128, 256];
+
 /// The parameter sweep for the linear-algebra kernel (T3-SPAN).
 pub const SPAN_DIMENSIONS: &[usize] = &[4, 8, 16, 32, 64];
 
@@ -35,6 +40,23 @@ pub fn decide_workload(
 ) -> (Vec<ConjunctiveQuery>, ConjunctiveQuery) {
     let mut generator = QueryGenerator::new(2, seed);
     generator.random_instance(count, atoms, planted)
+}
+
+/// The component list fed to `dedup_up_to_iso` by step 2 of the decision
+/// procedure on the [`decide_workload`] instance with `count` planted views:
+/// every connected component of every frozen view body plus the query body,
+/// in pipeline order.  This is the input on which basis construction is
+/// quadratic when de-duplication falls back to pairwise isomorphism searches.
+pub fn dedup_components_workload(count: usize, seed: u64) -> Vec<Structure> {
+    let (views, query) = decide_workload(count, 3, true, seed);
+    let all: Vec<&ConjunctiveQuery> = views.iter().chain(std::iter::once(&query)).collect();
+    let schema = cqdet_query::cq::common_schema(&all);
+    let mut comps = Vec::new();
+    for q in &all {
+        let (body, _) = q.frozen_body_over(&schema);
+        comps.extend(cqdet_structure::connected_components(&body));
+    }
+    comps
 }
 
 /// A deterministic path-determinacy workload.
@@ -95,6 +117,21 @@ mod tests {
     fn derivable_path_workloads_are_determined() {
         let (views, q) = path_workload(8, 4, true, 42);
         assert!(cqdet_core::decide_path_determinacy(&views, &q).determined);
+    }
+
+    #[test]
+    fn dedup_workload_runs_without_injective_searches() {
+        // Acceptance gate of the canonical-labeling PR: on the bench
+        // workload, basis construction and vector extraction are decided
+        // entirely by canonical keys — not one injective-homomorphism
+        // backtracking search.
+        let comps = dedup_components_workload(24, 0xD15C + 24);
+        let before = cqdet_structure::injective_probe_count();
+        let basis = cqdet_structure::dedup_up_to_iso(comps.clone());
+        let vector = cqdet_structure::multiplicities(&basis, &comps);
+        assert!(vector.is_some());
+        assert!(basis.len() < comps.len(), "workload repeats classes");
+        assert_eq!(cqdet_structure::injective_probe_count(), before);
     }
 
     #[test]

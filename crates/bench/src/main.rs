@@ -15,9 +15,11 @@
 //! flag selects, so run the harness twice (with and without
 //! `CQDET_NAIVE_HOM=1`) to compare full-pipeline numbers.
 
-use cqdet_bench::{decide_workload, hom_source, hom_target};
+use cqdet_bench::{
+    decide_workload, dedup_components_workload, hom_source, hom_target, DECIDE_MANY_VIEW_COUNTS,
+};
 use cqdet_core::decide_bag_determinacy;
-use cqdet_structure::hom;
+use cqdet_structure::{dedup_up_to_iso, hom};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -150,5 +152,32 @@ fn main() {
                 decide_bag_determinacy(&v, &q).unwrap().determined
             });
         }
+    }
+
+    // DEDUP: many planted views — isomorphism-class bookkeeping (basis
+    // construction + vector extraction) dominates the pipeline (§DEDUP).
+    let many_view_counts: &[usize] = if quick {
+        &DECIDE_MANY_VIEW_COUNTS[..1]
+    } else {
+        DECIDE_MANY_VIEW_COUNTS
+    };
+    for &views in many_view_counts {
+        let (v, q) = decide_workload(views, 3, true, 0xD15C + views as u64);
+        h.bench(&format!("decide/many-views/{views}x3"), || {
+            decide_bag_determinacy(&v, &q).unwrap().determined
+        });
+    }
+    // Micro-bench of the de-duplication kernel itself, on exactly the
+    // component list step 2 of the pipeline feeds it.  Each iteration
+    // rebuilds fresh structures (`map_constants` identity drops the cached
+    // flat form): a plain clone would share the canonical key computed in
+    // the first iteration and measure only hash lookups, not the
+    // canonization the kernel pays on fresh components.
+    for &views in many_view_counts {
+        let comps = dedup_components_workload(views, 0xD15C + views as u64);
+        h.bench(&format!("dedup/components/{views}"), || {
+            let fresh: Vec<_> = comps.iter().map(|s| s.map_constants(|c| c)).collect();
+            dedup_up_to_iso(fresh).len()
+        });
     }
 }

@@ -14,12 +14,15 @@
 //! and — when determined — explicit span coefficients realising Example 32's
 //! "q(D) = Π v(D)^{αᵥ}" rewriting), so callers can inspect *why*.
 
-use cqdet_linalg::{span_coefficients, span_contains, QVec, Rat};
+use cqdet_linalg::{span_coefficients, QVec, Rat};
+use cqdet_parallel::par_map;
 use cqdet_query::cq::common_schema;
 use cqdet_query::ConjunctiveQuery;
 use cqdet_structure::{
-    connected_components, dedup_up_to_iso, hom_exists, multiplicities, Schema, Structure,
+    connected_components, dedup_up_to_iso_refs, hom_exists, BasisIndex, IsoClassKey, Schema,
+    Structure,
 };
+use std::collections::HashMap;
 use std::fmt;
 
 /// Why an instance cannot be handled by the Theorem 3 procedure.
@@ -109,8 +112,9 @@ impl BagDeterminacy {
     }
 }
 
-fn vector_of(basis: &[Structure], comps: &[Structure]) -> QVec {
-    let mult = multiplicities(basis, comps)
+fn vector_of(basis: &BasisIndex, comps: &[Structure]) -> QVec {
+    let mult = basis
+        .vector(comps)
         .expect("every component of a query in V' must be isomorphic to a basis element");
     QVec(mult.into_iter().map(|m| Rat::from_i64(m as i64)).collect())
 }
@@ -141,41 +145,103 @@ pub fn decide_bag_determinacy(
 
     // Freeze every query exactly once over the common schema; all later
     // steps (containment, components, vectors) reuse the frozen bodies.
+    // Every per-view stage from here on fans out over scoped threads
+    // (`cqdet_parallel::par_map`, serial below its cutoff): each view is
+    // independent until the basis is assembled, and the shared read-only
+    // state (schema, frozen query body, basis) is only ever read.
     let (q_body, _) = query.frozen_body_over(&schema);
-    let view_bodies: Vec<Structure> = views
-        .iter()
-        .map(|v| v.frozen_body_over(&schema).0)
-        .collect();
+    let view_bodies: Vec<Structure> = par_map(views, |v| v.frozen_body_over(&schema).0);
+
+    // Intern the frozen bodies by isomorphism class: every remaining
+    // per-view quantity (the ⊆_set gate, the component decomposition, the
+    // multiplicity vector) is isomorphism-invariant, so it is computed once
+    // per class and shared by all views of the class.  Building the keys in
+    // parallel also fans canonization out over threads.
+    let keys: Vec<IsoClassKey> = par_map(&view_bodies, |b| b.iso_class_key());
+    let mut class_of: Vec<usize> = Vec::with_capacity(views.len());
+    let mut reps: Vec<usize> = Vec::new(); // class → first view with that body
+                                           // IsoClassKey hashes/compares through its `OnceLock`-cached canonical
+                                           // key, forced at construction and immutable afterwards, so the interior
+                                           // mutability clippy flags cannot change a key's identity.
+    #[allow(clippy::mutable_key_type)]
+    let mut intern: HashMap<IsoClassKey, usize> = HashMap::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let next = reps.len();
+        let c = *intern.entry(key).or_insert(next);
+        if c == next {
+            reps.push(i);
+        }
+        class_of.push(c);
+    }
 
     // Step 1: V = {v ∈ V₀ | q ⊆_set v}  (Definition 25):
-    // q ⊆_set v  iff  hom(v, q) ≠ ∅.
+    // q ⊆_set v  iff  hom(v, q) ≠ ∅ — one search per class.
+    let rep_bodies: Vec<&Structure> = reps.iter().map(|&i| &view_bodies[i]).collect();
+    let class_retained: Vec<bool> = par_map(&rep_bodies, |b| hom_exists(b, &q_body));
     let retained_views: Vec<usize> = (0..views.len())
-        .filter(|&i| hom_exists(&view_bodies[i], &q_body))
+        .filter(|&i| class_retained[class_of[i]])
         .collect();
+    let retained_classes: Vec<usize> = (0..reps.len()).filter(|&c| class_retained[c]).collect();
 
     // Step 2: the basis W (Definition 27) over V' = V ∪ {q}, with the
-    // connected components of each member computed exactly once.
-    let mut v_prime_comps: Vec<Vec<Structure>> = retained_views
+    // connected components of each class computed exactly once.
+    let retained_rep_bodies: Vec<&Structure> = retained_classes
         .iter()
-        .map(|&i| connected_components(&view_bodies[i]))
+        .map(|&c| &view_bodies[reps[c]])
         .collect();
-    v_prime_comps.push(connected_components(&q_body));
-    let basis = dedup_up_to_iso(v_prime_comps.iter().flatten().cloned().collect());
+    let class_comps: Vec<Vec<Structure>> =
+        par_map(&retained_rep_bodies, |b| connected_components(b));
+    let q_comps = connected_components(&q_body);
+    // Warm every component's canonical key in parallel, then de-duplicate by
+    // key ([`dedup_up_to_iso`]'s exact first-occurrence semantics) cloning
+    // only the basis members; the clones share the cached keys with their
+    // originals, so the multiplicity vectors below are pure hash lookups.
+    {
+        let all: Vec<&Structure> = class_comps.iter().flatten().chain(q_comps.iter()).collect();
+        par_map(&all, |c| {
+            c.iso_class_key();
+        });
+    }
+    let basis: Vec<Structure> =
+        dedup_up_to_iso_refs(class_comps.iter().flatten().chain(q_comps.iter()))
+            .into_iter()
+            .cloned()
+            .collect();
 
-    // Step 3: vector representations (Definition 29).
-    let query_vector = vector_of(&basis, v_prime_comps.last().expect("q was pushed"));
-    let view_vectors: Vec<QVec> = v_prime_comps[..v_prime_comps.len() - 1]
+    // Step 3: vector representations (Definition 29), one per class, via a
+    // canonical-key index over the basis built exactly once.
+    let basis_index = BasisIndex::new(&basis);
+    let class_vectors: Vec<QVec> = par_map(&class_comps, |comps| vector_of(&basis_index, comps));
+    let query_vector = vector_of(&basis_index, &q_comps);
+    let mut retained_pos = vec![usize::MAX; reps.len()]; // class → row in class_vectors
+    for (p, &c) in retained_classes.iter().enumerate() {
+        retained_pos[c] = p;
+    }
+    let view_vectors: Vec<QVec> = retained_views
         .iter()
-        .map(|comps| vector_of(&basis, comps))
+        .map(|&i| class_vectors[retained_pos[class_of[i]]].clone())
         .collect();
 
-    // Step 4: the Main Lemma's span test.
-    let determined = span_contains(&view_vectors, &query_vector);
-    let coefficients = if determined {
-        span_coefficients(&view_vectors, &query_vector)
-    } else {
-        None
-    };
+    // Step 4: the Main Lemma's span test.  Duplicate columns do not change a
+    // span, so the system is solved over one vector per class, and solving
+    // for the coefficients *is* the membership test — a single elimination.
+    let class_coefficients = span_coefficients(&class_vectors, &query_vector);
+    let determined = class_coefficients.is_some();
+    let coefficients = class_coefficients.map(|cc| {
+        // Scatter each class coefficient onto the first retained view of its
+        // class; the other members of the class get 0 (any distribution over
+        // equal vectors realises the same combination).
+        let mut out = vec![Rat::zero(); retained_views.len()];
+        let mut placed = vec![false; reps.len()];
+        for (pos, &i) in retained_views.iter().enumerate() {
+            let c = class_of[i];
+            if !placed[c] {
+                placed[c] = true;
+                out[pos] = cc[retained_pos[c]].clone();
+            }
+        }
+        QVec(out)
+    });
 
     Ok(BagDeterminacy {
         determined,

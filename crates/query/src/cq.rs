@@ -123,17 +123,7 @@ impl ConjunctiveQuery {
     /// Panics if the same relation is used with two different arities.
     pub fn inferred_schema(&self) -> Schema {
         let mut schema = Schema::new();
-        for a in &self.atoms {
-            if let Some(existing) = schema.arity(&a.relation) {
-                assert_eq!(
-                    existing,
-                    a.vars.len(),
-                    "relation {} used with conflicting arities",
-                    a.relation
-                );
-            }
-            schema.add_relation(a.relation.clone(), a.vars.len());
-        }
+        add_atoms_to_schema(&mut schema, self);
         schema
     }
 
@@ -238,11 +228,32 @@ impl fmt::Display for ConjunctiveQuery {
     }
 }
 
+/// Fold one query's atoms into `schema` in place, asserting that every
+/// relation keeps a consistent arity (shared by
+/// [`ConjunctiveQuery::inferred_schema`] and [`common_schema`]).
+fn add_atoms_to_schema(schema: &mut Schema, q: &ConjunctiveQuery) {
+    for a in q.atoms() {
+        if let Some(existing) = schema.arity(&a.relation) {
+            assert_eq!(
+                existing,
+                a.vars.len(),
+                "relation {} used with conflicting arities",
+                a.relation
+            );
+        } else {
+            schema.add_relation(a.relation.clone(), a.vars.len());
+        }
+    }
+}
+
 /// Build the common schema of a set of queries (arity inferred from atoms).
+///
+/// Single in-place pass over all atoms (no per-query schema allocation or
+/// clone-and-union); panics on conflicting arities like [`Schema::union`].
 pub fn common_schema(queries: &[&ConjunctiveQuery]) -> Schema {
     let mut schema = Schema::new();
     for q in queries {
-        schema = schema.union(&q.inferred_schema());
+        add_atoms_to_schema(&mut schema, q);
     }
     schema
 }

@@ -13,18 +13,34 @@
 //! * every element gets an *occurrence bitmask* over `(relation, position)`
 //!   slots, the raw material of the degree/arity candidate filter used by the
 //!   search ([`crate::hom`]),
-//! * a canonical byte encoding of the whole structure (dense ids are already
-//!   a canonical order-preserving renumbering) keyed by relation *names*, so
-//!   per-component homomorphism counts can be memoized across calls
-//!   ([`crate::hom::hom_count_cached`]).
+//! * a byte encoding of the whole structure under the order-preserving dense
+//!   renumbering, keyed by relation *names* — a cheap equality fast path for
+//!   the isomorphism test ([`crate::iso`]),
+//! * the true isomorphism-invariant canonical key of [`crate::canon`]
+//!   (computed on first use, cached), which de-duplication, multiplicity
+//!   vectors and the [`crate::hom::hom_count_cached`] memo key on,
+//! * a per-target memo of candidate-image lists keyed by occurrence mask
+//!   ([`FlatStructure::candidates_for_mask`]), shared across every search
+//!   plan targeting the structure.
 //!
 //! The compiled form is cached on the [`Structure`] itself (invalidated on
 //! mutation), so the one-time O(n log n) compile cost is amortised over every
 //! query against the same structure.
 
+use crate::canon::{canonical_key, CanonKey};
 use crate::schema::RelTable;
 use crate::structure::{Const, Structure};
-use std::sync::{Arc, OnceLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bound on memoized candidate lists per target structure (each list is at
+/// most the domain size; the cap keeps adversarial mask diversity from
+/// accumulating unbounded memory on a long-lived target).
+const CAND_CACHE_CAP: usize = 1024;
+
+/// Occurrence mask → candidate-image list (see
+/// [`FlatStructure::candidates_for_mask`]).
+type CandCache = Mutex<HashMap<Box<[u64]>, Arc<Vec<u32>>>>;
 
 /// The compiled flat form of one structure.
 #[derive(Debug)]
@@ -50,6 +66,16 @@ pub(crate) struct FlatStructure {
     /// domain size), built on first use: two structures with equal encodings
     /// are equal up to an order-preserving renaming of constants.
     canon: OnceLock<Vec<u8>>,
+    /// True isomorphism-invariant canonical key ([`crate::canon`]), built on
+    /// first use: two structures have equal keys iff they are isomorphic.
+    canon_key: OnceLock<CanonKey>,
+    /// Memoized candidate lists for homomorphism search *into* this
+    /// structure: occurrence mask (in this structure's slot space) → the
+    /// elements whose mask is a superset.  Shared across every search plan
+    /// targeting this structure, so a fan-in of many small sources (e.g. the
+    /// per-view containment gate) scans the domain once per distinct mask
+    /// instead of once per plan.
+    cand_cache: CandCache,
 }
 
 impl FlatStructure {
@@ -105,7 +131,14 @@ impl FlatStructure {
             occ,
             table: s.schema().table(),
             canon: OnceLock::new(),
+            canon_key: OnceLock::new(),
+            cand_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The interned relation table this structure was compiled against.
+    pub(crate) fn table(&self) -> &RelTable {
+        &self.table
     }
 
     /// The canonical byte encoding (computed once, on first use).
@@ -119,6 +152,12 @@ impl FlatStructure {
                 self.dom.len(),
             )
         })
+    }
+
+    /// The isomorphism-invariant canonical key (computed once, on first use;
+    /// see [`crate::canon`] for the labeling algorithm).
+    pub(crate) fn canon_key(&self) -> &CanonKey {
+        self.canon_key.get_or_init(|| canonical_key(self))
     }
 
     /// Number of tuples of relation `rel`.
@@ -163,11 +202,32 @@ impl FlatStructure {
     pub(crate) fn mask_of(&self, e: usize) -> &[u64] {
         &self.occ[e * self.slot_words..(e + 1) * self.slot_words]
     }
+
+    /// The elements of this structure whose occurrence mask is a superset of
+    /// `mask` (i.e. the candidate images, under this target, of any source
+    /// element with that mask), memoized per distinct mask.  `mask` must
+    /// live in this structure's slot space.
+    pub(crate) fn candidates_for_mask(&self, mask: &[u64]) -> Arc<Vec<u32>> {
+        debug_assert_eq!(mask.len(), self.slot_words);
+        if let Some(hit) = self.cand_cache.lock().unwrap().get(mask) {
+            return hit.clone();
+        }
+        let cands: Arc<Vec<u32>> = Arc::new(
+            (0..self.dom.len() as u32)
+                .filter(|&t| mask_subset(mask, self.mask_of(t as usize)))
+                .collect(),
+        );
+        let mut cache = self.cand_cache.lock().unwrap();
+        if cache.len() < CAND_CACHE_CAP {
+            cache.insert(mask.into(), cands.clone());
+        }
+        cands
+    }
 }
 
 /// Canonical byte encoding; includes relation names so that structures over
 /// different schemas can never collide in the memo cache.
-fn encode_canonical(
+pub(crate) fn encode_canonical(
     names: &[String],
     arities: &[usize],
     rows: &[Vec<u32>],

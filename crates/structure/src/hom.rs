@@ -19,7 +19,7 @@ use crate::components::connected_components;
 use crate::flat::{mask_subset, FlatStructure};
 use crate::structure::{Const, Structure};
 use cqdet_bigint::Nat;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::OnceLock;
 
@@ -71,8 +71,10 @@ struct Plan<'a> {
     facts_at: Vec<Vec<u32>>,
     /// Candidate target lists, shared between elements with equal occurrence
     /// masks: `cand_lists[cand_of[x]]` is the candidate list of element `x`.
+    /// The lists live behind `Arc` because (same-layout) plans share them
+    /// with the target's per-mask memo ([`FlatStructure::candidates_for_mask`]).
     cand_of: Vec<u32>,
-    cand_lists: Vec<Vec<u32>>,
+    cand_lists: Vec<std::sync::Arc<Vec<u32>>>,
     /// Set when the plan can be answered without any search.
     trivially_zero: bool,
 }
@@ -221,13 +223,11 @@ impl<'a> Plan<'a> {
             }
             Some(occ)
         };
-        let tgt_mask = |t: usize| -> &[u64] {
-            match &remapped_occ {
-                Some(occ) => &occ[t * sw..(t + 1) * sw],
-                None => tgt.mask_of(t),
-            }
-        };
-        // Lists are shared between elements with identical masks.
+        // Lists are shared between elements with identical masks, and — when
+        // the layouts agree, so masks are directly comparable — additionally
+        // memoized on the target itself, turning a fan-in of many sources
+        // against one target (the per-view containment gate) into one domain
+        // scan per distinct mask overall.
         let mut mask_index: BTreeMap<&[u64], u32> = BTreeMap::new();
         plan.cand_of = vec![0; n_src];
         for &x in &plan.order {
@@ -236,9 +236,16 @@ impl<'a> Plan<'a> {
             let id = *mask_index.entry(mask).or_insert(next_id);
             plan.cand_of[x as usize] = id;
             if id == next_id {
-                let cands: Vec<u32> = (0..n_tgt as u32)
-                    .filter(|&t| mask_subset(mask, tgt_mask(t as usize)))
-                    .collect();
+                let cands = match &remapped_occ {
+                    None => tgt.candidates_for_mask(mask),
+                    Some(occ) => std::sync::Arc::new(
+                        (0..n_tgt as u32)
+                            .filter(|&t| {
+                                mask_subset(mask, &occ[t as usize * sw..(t as usize + 1) * sw])
+                            })
+                            .collect(),
+                    ),
+                };
                 plan.cand_lists.push(cands);
             }
         }
@@ -254,7 +261,7 @@ impl<'a> Plan<'a> {
 
     #[inline]
     fn candidates(&self, x: u32) -> &[u32] {
-        &self.cand_lists[self.cand_of[x as usize] as usize]
+        self.cand_lists[self.cand_of[x as usize] as usize].as_slice()
     }
 }
 
@@ -424,9 +431,23 @@ pub fn hom_exists(source: &Structure, target: &Structure) -> bool {
     s.exists()
 }
 
-/// Whether an *injective* homomorphism from `source` to `target` exists
-/// (used by the isomorphism test).
+thread_local! {
+    /// Instrumentation: number of [`injective_hom_exists`] calls on this
+    /// thread.  The canonical-key rewiring of [`crate::iso`] is supposed to
+    /// answer every de-duplication/multiplicity question without a single
+    /// injective search; tests and benches assert that via this counter.
+    static INJECTIVE_PROBES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The number of injective-homomorphism searches started on this thread
+/// (test/bench instrumentation; see [`injective_hom_exists`]).
+pub fn injective_probe_count() -> u64 {
+    INJECTIVE_PROBES.with(Cell::get)
+}
+
+/// Whether an *injective* homomorphism from `source` to `target` exists.
 pub fn injective_hom_exists(source: &Structure, target: &Structure) -> bool {
+    INJECTIVE_PROBES.with(|c| c.set(c.get() + 1));
     if use_naive_engine() {
         return reference::injective_hom_exists(source, target);
     }
@@ -490,28 +511,49 @@ type HomCacheMap = HashMap<Box<[u8]>, HashMap<Box<[u8]>, Nat>>;
 
 thread_local! {
     static HOM_CACHE: RefCell<HomCacheMap> = RefCell::new(HashMap::new());
+    /// Instrumentation: (hits, misses) of [`hom_count_cached`] on this thread.
+    static HOM_CACHE_STATS: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
 }
 
-/// [`hom_count`] with memoization keyed by the *canonical forms* of both
-/// structures (dense order-preserving renumbering, see [`crate::flat`]).
+/// `(hits, misses)` of [`hom_count_cached`] on this thread (test/bench
+/// instrumentation).
+pub fn hom_cache_stats() -> (u64, u64) {
+    HOM_CACHE_STATS.with(Cell::get)
+}
+
+/// [`hom_count`] with memoization keyed by the true *canonical key*
+/// ([`crate::canon`]) of the **source** and the cheap order-preserving
+/// encoding of the **target**: any two isomorphic sources share one cache
+/// entry no matter how (or in which order) their frozen constants were
+/// named, while the target — arbitrary instance data, possibly large or
+/// symmetric — is never canonized (its key only has to identify it, and a
+/// cross-isomorphism miss on the target side merely costs a recount).
 ///
 /// Symbolic structure evaluation ([`crate::StructureExpr`]) asks for the same
 /// `(component, base-structure)` counts over and over — every power
 /// `(s⁽²⁾)^{j}` of the good-basis construction shares its base, and the
 /// evaluation matrix iterates all basis elements against all powers — so the
 /// memo turns a quadratic number of searches into one search per distinct
-/// pair.  Two isomorphic sources only share a cache entry when their frozen
-/// constants have the same relative order; that is the common case for
-/// components produced by [`connected_components`], and a miss merely costs a
-/// recount.
+/// pair, with the sources deduplicated *up to isomorphism*.  (The previous
+/// memo keyed sources on the order-preserving encoding of [`crate::flat`]
+/// and missed whenever isomorphic components were inserted in a different
+/// fact order.)
 pub fn hom_count_cached(source: &Structure, target: &Structure) -> Nat {
-    let src_canon = source.flat().canon();
-    let tgt_canon = target.flat().canon();
+    let src_canon: &[u8] = &source.flat().canon_key().bytes;
+    let tgt_canon: &[u8] = target.flat().canon();
     let hit = HOM_CACHE.with(|c| {
         c.borrow()
             .get(tgt_canon)
             .and_then(|per_src| per_src.get(src_canon))
             .cloned()
+    });
+    HOM_CACHE_STATS.with(|s| {
+        let (h, m) = s.get();
+        s.set(if hit.is_some() {
+            (h + 1, m)
+        } else {
+            (h, m + 1)
+        });
     });
     if let Some(hit) = hit {
         return hit;

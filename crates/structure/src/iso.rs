@@ -2,26 +2,79 @@
 //!
 //! Definition 27 builds the basis `W` as a *set* of connected components,
 //! "and we think that isomorphic structures are equal" — so the decision
-//! procedure needs a reliable isomorphism test.  Structures arising from
-//! queries are small (a handful of atoms), so a backtracking search suffices.
+//! procedure needs a reliable isomorphism test.  Every structure carries a
+//! cached isomorphism-invariant canonical key ([`crate::canon`]): two
+//! structures are isomorphic **iff** their keys are equal, so the test is a
+//! key comparison, de-duplication is a single-pass hash-map insert, and the
+//! multiplicity vectors of Definition 29 are hash-map lookups — no
+//! backtracking search anywhere (the previous implementation fell back to
+//! pairwise `injective_hom_exists` searches, which made basis construction
+//! quadratic in the number of components with a search per pair).
 
-use crate::hom::injective_hom_exists;
+use crate::flat::FlatStructure;
 use crate::structure::Structure;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// An opaque isomorphism-class token: cheap to clone, hash and compare, and
+/// equal **iff** the underlying structures are isomorphic.  Obtained from
+/// [`Structure::iso_class_key`]; constructing one forces the canonical key
+/// ([`crate::canon`]) so that hashing and comparison are lookup-cheap and a
+/// fan-out of constructions over scoped threads parallelizes canonization.
+///
+/// Callers use this to *intern* structures by isomorphism class — e.g. the
+/// decision procedure computes each isomorphism-invariant per-view stage
+/// (retention gate, component decomposition, multiplicity vector) once per
+/// class instead of once per view.
+#[derive(Clone)]
+pub struct IsoClassKey(Arc<FlatStructure>);
+
+impl IsoClassKey {
+    pub(crate) fn new(flat: Arc<FlatStructure>) -> Self {
+        flat.canon_key();
+        IsoClassKey(flat)
+    }
+}
+
+impl PartialEq for IsoClassKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.canon_key() == other.0.canon_key()
+    }
+}
+
+impl Eq for IsoClassKey {}
+
+impl std::hash::Hash for IsoClassKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.canon_key().hash);
+    }
+}
+
+impl std::fmt::Debug for IsoClassKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IsoClassKey({:016x})", self.0.canon_key().hash)
+    }
+}
+
+impl Structure {
+    /// The isomorphism-class token of this structure: two structures over
+    /// equal schemas get equal tokens iff they are isomorphic.  The
+    /// underlying canonical key is computed at most once per structure and
+    /// cached on its compiled flat form, which clones of the structure share.
+    pub fn iso_class_key(&self) -> IsoClassKey {
+        IsoClassKey::new(self.flat().clone())
+    }
+}
 
 /// Whether two structures are isomorphic.
 ///
 /// Two structures are isomorphic iff there is a bijection between their
-/// domains mapping facts onto facts.  We use: `A ≅ B` iff they have the same
-/// domain size, the same number of facts per relation, and there is an
-/// injective homomorphism `A → B`.  (An injective homomorphism maps distinct
-/// facts to distinct facts, so with equal per-relation fact counts its image
-/// is all of `B`, and a fact-count-preserving bijective homomorphism is an
-/// isomorphism.)
-///
-/// Fast paths: equal compiled canonical forms ([`crate::flat`]) prove
-/// isomorphism without any search (the order-preserving renaming *is* an
-/// isomorphism), and per-relation fact counts are compared without the
-/// allocation `Structure::profile` would make.
+/// domains mapping facts onto facts — equivalently, iff their canonical keys
+/// ([`crate::canon`]) coincide.  Cheap invariants (schema, domain size,
+/// per-relation fact counts) are compared first so that obviously different
+/// structures never pay for canonization; the order-preserving encoding of
+/// [`crate::flat`] then proves isomorphism without canonizing when the two
+/// structures happen to be written with equally-ordered constants.
 pub fn isomorphic(a: &Structure, b: &Structure) -> bool {
     if a.schema() != b.schema() {
         return false;
@@ -33,24 +86,104 @@ pub fn isomorphic(a: &Structure, b: &Structure) -> bool {
     if (0..n_rels).any(|r| a.tuples_of(r).len() != b.tuples_of(r).len()) {
         return false;
     }
-    // Identical canonical encodings: the dense renumbering is an isomorphism.
+    // Identical order-preserving encodings: the dense renumbering is an
+    // isomorphism, no need to compute canonical keys.
     if a.flat().canon() == b.flat().canon() {
         return true;
     }
-    injective_hom_exists(a, b)
+    a.flat().canon_key() == b.flat().canon_key()
 }
 
 /// De-duplicate a list of structures up to isomorphism, preserving the first
 /// occurrence of each isomorphism class (this is exactly how the basis `W` of
 /// Definition 27 is formed from the connected components of `Σ_{v∈V′} v`).
+///
+/// Single pass: every structure is canonized once ([`crate::canon`], cached
+/// on its flat form) and a structure is kept iff its [`IsoClassKey`] was not
+/// seen before.
 pub fn dedup_up_to_iso(structures: Vec<Structure>) -> Vec<Structure> {
-    let mut out: Vec<Structure> = Vec::new();
-    for s in structures {
-        if !out.iter().any(|t| isomorphic(t, &s)) {
-            out.push(s);
+    // See `IsoClassKey` for why the interior-mutability lint is moot: the
+    // key's hash/equality read the `OnceLock`-cached canonical key, forced
+    // at construction and immutable afterwards.
+    #[allow(clippy::mutable_key_type)]
+    let mut seen: HashSet<IsoClassKey> = HashSet::new();
+    structures
+        .into_iter()
+        .filter(|s| seen.insert(s.iso_class_key()))
+        .collect()
+}
+
+/// By-reference variant of [`dedup_up_to_iso`]: the first occurrence of each
+/// isomorphism class, without taking (or cloning) the inputs.  The decision
+/// procedure uses this to build the basis by cloning only the kept
+/// representatives.
+pub fn dedup_up_to_iso_refs<'a, I>(structures: I) -> Vec<&'a Structure>
+where
+    I: IntoIterator<Item = &'a Structure>,
+{
+    #[allow(clippy::mutable_key_type)]
+    let mut seen: HashSet<IsoClassKey> = HashSet::new();
+    structures
+        .into_iter()
+        .filter(|s| seen.insert(s.iso_class_key()))
+        .collect()
+}
+
+/// A canonical-key hash index over a basis of structures, for repeated
+/// multiplicity-vector extraction ([`BasisIndex::vector`]) without
+/// re-indexing the basis per call.  Build it once per basis; lookups are one
+/// cached canonization plus one hash probe per structure.
+pub struct BasisIndex {
+    /// Key hash → basis positions, in basis order (first match wins,
+    /// preserving linear-scan semantics should a basis contain duplicates).
+    buckets: HashMap<u64, Vec<usize>>,
+    /// Compiled flat forms of the basis entries (owning their cached keys).
+    flats: Vec<Arc<FlatStructure>>,
+}
+
+impl BasisIndex {
+    /// Index a basis by canonical key.
+    pub fn new(basis: &[Structure]) -> BasisIndex {
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut flats = Vec::with_capacity(basis.len());
+        for (i, b) in basis.iter().enumerate() {
+            let flat = b.flat().clone();
+            buckets.entry(flat.canon_key().hash).or_default().push(i);
+            flats.push(flat);
         }
+        BasisIndex { buckets, flats }
     }
-    out
+
+    /// Number of basis entries.
+    pub fn len(&self) -> usize {
+        self.flats.len()
+    }
+
+    /// Whether the basis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flats.is_empty()
+    }
+
+    /// The basis position of the isomorphism class of `s`, if present.
+    pub fn position(&self, s: &Structure) -> Option<usize> {
+        let key = s.flat().canon_key();
+        self.buckets
+            .get(&key.hash)?
+            .iter()
+            .copied()
+            .find(|&i| self.flats[i].canon_key().bytes == key.bytes)
+    }
+
+    /// The multiplicity of each basis representative in `structures`
+    /// (counting up to isomorphism); `None` if some structure belongs to no
+    /// basis class.
+    pub fn vector(&self, structures: &[Structure]) -> Option<Vec<u64>> {
+        let mut counts = vec![0u64; self.len()];
+        for s in structures {
+            counts[self.position(s)?] += 1;
+        }
+        Some(counts)
+    }
 }
 
 /// The multiplicity of each representative of `basis` in `structures`
@@ -58,13 +191,10 @@ pub fn dedup_up_to_iso(structures: Vec<Structure>) -> Vec<Structure> {
 /// isomorphic to some basis element; returns `None` otherwise.
 ///
 /// This is the "vector representation" of Observation 28 / Definition 29.
+/// One-shot convenience over [`BasisIndex`]; callers extracting many vectors
+/// against the same basis should build the index once instead.
 pub fn multiplicities(basis: &[Structure], structures: &[Structure]) -> Option<Vec<u64>> {
-    let mut counts = vec![0u64; basis.len()];
-    for s in structures {
-        let idx = basis.iter().position(|b| isomorphic(b, s))?;
-        counts[idx] += 1;
-    }
-    Some(counts)
+    BasisIndex::new(basis).vector(structures)
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //!   ([`generator`]).
 
 pub mod adjacency;
+pub(crate) mod canon;
 pub mod components;
 pub mod expr;
 pub(crate) mod flat;
@@ -34,10 +35,12 @@ pub use components::{connected_components, is_connected};
 pub use expr::StructureExpr;
 pub use generator::StructureGenerator;
 pub use hom::{
-    hom_count, hom_count_cached, hom_count_factored, hom_enumerate, hom_exists,
-    injective_hom_exists, Homomorphism,
+    hom_cache_stats, hom_count, hom_count_cached, hom_count_factored, hom_enumerate, hom_exists,
+    injective_hom_exists, injective_probe_count, Homomorphism,
 };
-pub use iso::{dedup_up_to_iso, isomorphic, multiplicities};
+pub use iso::{
+    dedup_up_to_iso, dedup_up_to_iso_refs, isomorphic, multiplicities, BasisIndex, IsoClassKey,
+};
 pub use ops::{all_loops_point, disjoint_union, power, product, scalar_multiple};
 pub use schema::Schema;
 pub use structure::{Const, Fact, Structure};

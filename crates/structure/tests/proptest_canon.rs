@@ -1,0 +1,204 @@
+//! Differential tests for canonical labeling ([`cqdet_structure`]'s `canon`
+//! module, reached through `Structure::iso_class_key` / `isomorphic`):
+//!
+//! * canonical keys must agree with the search-based isomorphism oracle
+//!   (profile checks + `hom::reference::injective_hom_exists`, exactly the
+//!   test the old `iso.rs` ran) on random structures, renamed copies with
+//!   scrambled constant order, and the cycle-vs-near-cycle hard case;
+//! * `dedup_up_to_iso` / `multiplicities` must decide everything by key —
+//!   zero injective-homomorphism probes;
+//! * the `hom_count_cached` memo must hit across fact-reordered isomorphic
+//!   sources;
+//! * the flat-index `connected_components` must agree with the retained
+//!   `BTreeMap` reference decomposition.
+
+use cqdet_structure::components::reference as comp_reference;
+use cqdet_structure::hom::reference as hom_reference;
+use cqdet_structure::{
+    connected_components, dedup_up_to_iso, hom_cache_stats, hom_count, hom_count_cached,
+    injective_probe_count, is_connected, isomorphic, multiplicities, Schema, Structure,
+    StructureGenerator,
+};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::with_relations([("E", 2), ("P", 1), ("T", 3)])
+}
+
+fn random_structure(seed: u64, domain: usize, facts: usize) -> Structure {
+    StructureGenerator::new(schema(), seed).random_with_facts(domain.max(1), facts)
+}
+
+/// The search-based isomorphism test the old `iso.rs` used: equal profiles
+/// plus an injective homomorphism (run on the reference engine, so the test
+/// does not depend on the flat engine it is checking).
+fn oracle_isomorphic(a: &Structure, b: &Structure) -> bool {
+    a.schema() == b.schema()
+        && a.domain_size() == b.domain_size()
+        && a.profile() == b.profile()
+        && hom_reference::injective_hom_exists(a, b)
+}
+
+/// An order-scrambling injective renaming (reverses the relative order of
+/// all constants), so renamed copies exercise the non-order-preserving case
+/// the old `flat().canon()` encoding got wrong.
+fn scramble(s: &Structure) -> Structure {
+    s.map_constants(|c| u64::MAX - 3 * c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// canon(a) == canon(b)  ⟺  search-based isomorphic(a, b), on random
+    /// structure pairs drawn small enough that both outcomes occur.
+    #[test]
+    fn canon_equality_iff_isomorphic(seed in 0u64..100_000, dom in 1usize..4,
+                                     facts_a in 0usize..5, facts_b in 0usize..5) {
+        let mut a = random_structure(seed, dom, facts_a);
+        let mut b = random_structure(seed ^ 0x00F5_E77A, dom, facts_b);
+        if seed % 3 == 0 {
+            a.add_isolated(500 + seed % 2);
+        }
+        if seed % 5 == 0 {
+            b.add_isolated(700);
+        }
+        let by_key = a.iso_class_key() == b.iso_class_key();
+        prop_assert_eq!(by_key, oracle_isomorphic(&a, &b), "{} vs {}", a, b);
+        prop_assert_eq!(isomorphic(&a, &b), by_key);
+    }
+
+    /// A scrambled-order renamed copy is always isomorphic — same key.
+    #[test]
+    fn scrambled_copies_share_keys(seed in 0u64..100_000, dom in 1usize..6,
+                                   facts in 0usize..8) {
+        let a = random_structure(seed, dom, facts);
+        let b = scramble(&a);
+        prop_assert!(oracle_isomorphic(&a, &b), "renaming is an isomorphism");
+        prop_assert_eq!(a.iso_class_key(), b.iso_class_key(), "{} vs {}", a, b);
+        prop_assert!(isomorphic(&a, &b));
+    }
+
+    /// De-duplication and multiplicity vectors are decided entirely by
+    /// canonical keys: no injective-homomorphism search runs, and the result
+    /// matches the quadratic search-based reference computation.
+    #[test]
+    fn dedup_and_vectors_without_searches(seed in 0u64..100_000, n in 1usize..10,
+                                          dom in 1usize..4, facts in 1usize..4) {
+        let mut items: Vec<Structure> = (0..n)
+            .map(|i| random_structure(seed ^ (i as u64) << 3, dom, facts))
+            .collect();
+        // Mix in scrambled copies so classes genuinely repeat.
+        for i in 0..n / 2 {
+            items.push(scramble(&items[i]));
+        }
+        let probes_before = injective_probe_count();
+        let basis = dedup_up_to_iso(items.clone());
+        let vector = multiplicities(&basis, &items);
+        prop_assert_eq!(
+            injective_probe_count(),
+            probes_before,
+            "canonical keys must decide dedup/multiplicities without searches"
+        );
+        // Reference: quadratic pairwise de-duplication with the oracle.
+        let mut ref_basis: Vec<Structure> = Vec::new();
+        for s in &items {
+            if !ref_basis.iter().any(|t| oracle_isomorphic(t, s)) {
+                ref_basis.push(s.clone());
+            }
+        }
+        prop_assert_eq!(basis.len(), ref_basis.len());
+        for (b, r) in basis.iter().zip(ref_basis.iter()) {
+            prop_assert!(oracle_isomorphic(b, r), "basis order changed: {} vs {}", b, r);
+        }
+        let mut ref_counts = vec![0u64; ref_basis.len()];
+        for s in &items {
+            let idx = ref_basis.iter().position(|b| oracle_isomorphic(b, s)).unwrap();
+            ref_counts[idx] += 1;
+        }
+        prop_assert_eq!(vector, Some(ref_counts));
+    }
+
+    /// The flat-index component decomposition agrees with the retained
+    /// reference decomposition (as multisets of component structures), and
+    /// `is_connected` agrees with counting components.
+    #[test]
+    fn components_match_reference(seed in 0u64..100_000, dom in 1usize..6,
+                                  facts in 0usize..10) {
+        let mut s = random_structure(seed, dom, facts);
+        if seed % 4 == 0 {
+            s.add_isolated(900);
+            s.add_isolated(901);
+        }
+        let flat = connected_components(&s);
+        let oracle = comp_reference::connected_components(&s);
+        let sort_key = |c: &Structure| format!("{c:?}");
+        let mut flat_keys: Vec<String> = flat.iter().map(sort_key).collect();
+        let mut oracle_keys: Vec<String> = oracle.iter().map(sort_key).collect();
+        flat_keys.sort();
+        oracle_keys.sort();
+        prop_assert_eq!(flat_keys, oracle_keys, "{}", s);
+        prop_assert_eq!(is_connected(&s), flat.len() == 1);
+    }
+}
+
+#[test]
+fn cycle_vs_near_cycle_hard_case() {
+    // Both have 3 edges over 3 vertices and identical profiles; only one is
+    // a cycle.  Color refinement alone cannot split the cycle (it is
+    // vertex-transitive), so this exercises individualization.
+    let sch = Schema::with_relations([("E", 2), ("P", 1)]);
+    let mut c3 = Structure::new(sch.clone());
+    c3.add("E", &[0, 1]);
+    c3.add("E", &[1, 2]);
+    c3.add("E", &[2, 0]);
+    let mut near = Structure::new(sch);
+    near.add("E", &[0, 1]);
+    near.add("E", &[1, 2]);
+    near.add("E", &[0, 2]);
+    assert_eq!(c3.profile(), near.profile());
+    assert!(!isomorphic(&c3, &near));
+    assert_ne!(c3.iso_class_key(), near.iso_class_key());
+    assert!(!oracle_isomorphic(&c3, &near));
+    // Rotated + scrambled cycle stays in the class.
+    let rotated = scramble(&c3);
+    assert_eq!(c3.iso_class_key(), rotated.iso_class_key());
+}
+
+#[test]
+fn hom_cache_hits_across_fact_reordered_isomorphic_sources() {
+    // The regression the canonical memo key fixes: two isomorphic sources
+    // whose frozen constants sort differently used to occupy separate cache
+    // entries (the order-preserving encoding differed), so the second count
+    // always missed.
+    let sch = Schema::binary(["E"]);
+    let mut w = Structure::new(sch.clone());
+    w.add("E", &[0, 1]);
+    w.add("E", &[1, 2]);
+    // Scrambled copy: same 2-path, constants in reversed relative order.
+    let w2 = scramble(&w);
+    assert_ne!(
+        format!("{w:?}"),
+        format!("{w2:?}"),
+        "distinct presentations"
+    );
+    let mut t = Structure::new(sch);
+    for i in 0..4u64 {
+        for j in 0..4u64 {
+            if (i + j) % 2 == 0 {
+                t.add("E", &[i, j]);
+            }
+        }
+    }
+    let direct = hom_count(&w, &t);
+    let (h0, m0) = hom_cache_stats();
+    assert_eq!(hom_count_cached(&w, &t), direct);
+    let (h1, m1) = hom_cache_stats();
+    assert_eq!((h1, m1), (h0, m0 + 1), "first lookup misses");
+    assert_eq!(hom_count_cached(&w2, &t), direct);
+    let (h2, m2) = hom_cache_stats();
+    assert_eq!(
+        (h2, m2),
+        (h1 + 1, m1),
+        "fact-reordered isomorphic source must hit the canonical-key memo"
+    );
+}
