@@ -5,6 +5,8 @@
 //! that the benches and the documentation agree on the parameters.
 
 use cqdet_core::{ConjunctiveQuery, PathQuery};
+use cqdet_engine::Task;
+use cqdet_query::cq::Atom;
 use cqdet_query::QueryGenerator;
 use cqdet_structure::{Schema, Structure, StructureGenerator};
 
@@ -57,6 +59,51 @@ pub fn dedup_components_workload(count: usize, seed: u64) -> Vec<Structure> {
         comps.extend(cqdet_structure::connected_components(&body));
     }
     comps
+}
+
+/// The parameter sweep for the batch-engine experiment (BATCH): number of
+/// tasks per batch (each batch shares [`BATCH_SHARED_VIEWS`] views).
+pub const BATCH_TASK_COUNTS: &[usize] = &[16, 64];
+
+/// Number of views shared by every task of a [`batch_workload`] batch.
+pub const BATCH_SHARED_VIEWS: usize = 8;
+
+/// A deterministic batch workload: `num_tasks` decision tasks all sharing
+/// the same pool of `num_views` random connected views.  Task `t`'s query is
+/// the disjoint sum of the views at indices `{t, t+1, t+3} mod num_views`
+/// with task-unique variable names, so
+///
+/// * every task is **determined** by construction (its vector is the sum of
+///   three view vectors — Lemma 31 (⇐)), exercising the full
+///   gate/basis/vector/span pipeline, and
+/// * queries are textually distinct across tasks while their bodies fall
+///   into `num_views` isomorphism classes, exactly the regime the
+///   cross-request caches of `cqdet-engine` target: a fresh call re-freezes
+///   and re-canonizes the 8 shared views per task, a session does it once.
+pub fn batch_workload(num_tasks: usize, num_views: usize, seed: u64) -> Vec<Task> {
+    let mut generator = QueryGenerator::new(2, seed);
+    let views: Vec<ConjunctiveQuery> = (0..num_views)
+        .map(|i| generator.random_boolean_cq(&format!("v{i}"), 3, 4, true))
+        .collect();
+    (0..num_tasks)
+        .map(|t| {
+            let chosen: Vec<usize> = [t, t + 1, t + 3].iter().map(|&k| k % num_views).collect();
+            let mut atoms = Vec::new();
+            for &vi in &chosen {
+                for a in views[vi].atoms() {
+                    atoms.push(Atom {
+                        relation: a.relation.clone(),
+                        vars: a.vars.iter().map(|x| format!("{x}_t{t}c{vi}")).collect(),
+                    });
+                }
+            }
+            Task {
+                id: format!("t{t}"),
+                views: views.clone(),
+                query: ConjunctiveQuery::boolean(format!("q{t}"), atoms),
+            }
+        })
+        .collect()
 }
 
 /// A deterministic path-determinacy workload.
@@ -132,6 +179,39 @@ mod tests {
         assert!(vector.is_some());
         assert!(basis.len() < comps.len(), "workload repeats classes");
         assert_eq!(cqdet_structure::injective_probe_count(), before);
+    }
+
+    #[test]
+    fn batch_workload_is_determined_and_hits_session_caches() {
+        // The acceptance gate of the batch-engine PR: a batch of 64 tasks
+        // sharing 8 views must agree with one-shot calls, and the shared
+        // session must show cache hits (frozen bodies, gates) > 0.
+        let tasks = batch_workload(64, BATCH_SHARED_VIEWS, 0xBA7C);
+        let session = cqdet_engine::DecisionSession::with_config(cqdet_engine::SessionConfig {
+            witnesses: false,
+            verify: false,
+            ..Default::default()
+        });
+        let report = session.decide_batch(&tasks);
+        assert_eq!(report.records.len(), 64);
+        for (record, task) in report.records.iter().zip(&tasks) {
+            assert_eq!(
+                record.status,
+                cqdet_engine::TaskStatus::Determined,
+                "{}",
+                task.id
+            );
+            assert_eq!(record.verified, Some(true));
+            let fresh = cqdet_core::decide_bag_determinacy(&task.views, &task.query).unwrap();
+            assert!(fresh.determined, "session and one-shot must agree");
+        }
+        let stats = report.stats;
+        assert!(stats.frozen_hits > 0, "shared views must hit: {stats:?}");
+        assert!(stats.gate_hits > 0, "repeated gates must hit: {stats:?}");
+        assert!(
+            stats.iso_classes as usize <= 2 * BATCH_SHARED_VIEWS,
+            "bodies collapse into few classes: {stats:?}"
+        );
     }
 
     #[test]

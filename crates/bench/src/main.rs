@@ -16,9 +16,11 @@
 //! `CQDET_NAIVE_HOM=1`) to compare full-pipeline numbers.
 
 use cqdet_bench::{
-    decide_workload, dedup_components_workload, hom_source, hom_target, DECIDE_MANY_VIEW_COUNTS,
+    batch_workload, decide_workload, dedup_components_workload, hom_source, hom_target,
+    BATCH_SHARED_VIEWS, BATCH_TASK_COUNTS, DECIDE_MANY_VIEW_COUNTS,
 };
 use cqdet_core::decide_bag_determinacy;
+use cqdet_engine::{DecisionSession, SessionConfig};
 use cqdet_structure::{dedup_up_to_iso, hom};
 use std::io::Write as _;
 use std::time::Instant;
@@ -167,6 +169,66 @@ fn main() {
             decide_bag_determinacy(&v, &q).unwrap().determined
         });
     }
+    // BATCH: many tasks sharing one view pool — the cross-request cache
+    // regime of the batch engine (§BATCH).  `fresh` runs one-shot
+    // `decide_bag_determinacy` per task (caches die with each call);
+    // `session` runs the same tasks through one `DecisionSession` per batch
+    // (cold caches at batch start, shared within the batch), witnesses off
+    // on both sides so the comparison is decision cost only.
+    let batch_task_counts: &[usize] = if quick {
+        &BATCH_TASK_COUNTS[..1]
+    } else {
+        BATCH_TASK_COUNTS
+    };
+    for &num_tasks in batch_task_counts {
+        let tasks = batch_workload(num_tasks, BATCH_SHARED_VIEWS, 0xBA7C + num_tasks as u64);
+        // Sanity: the two paths agree before we publish numbers for them.
+        {
+            let session = DecisionSession::with_config(SessionConfig {
+                witnesses: false,
+                verify: false,
+                ..Default::default()
+            });
+            let report = session.decide_batch(&tasks);
+            assert!(
+                report
+                    .records
+                    .iter()
+                    .all(|r| r.status == cqdet_engine::TaskStatus::Determined),
+                "batch workload must be determined by construction"
+            );
+            let stats = report.stats;
+            assert!(
+                stats.frozen_hits > 0 && stats.gate_hits > 0,
+                "shared session must show cache hits: {stats:?}"
+            );
+        }
+        h.bench(
+            &format!("batch/fresh/{num_tasks}x{BATCH_SHARED_VIEWS}"),
+            || {
+                tasks
+                    .iter()
+                    .filter(|t| {
+                        decide_bag_determinacy(&t.views, &t.query)
+                            .unwrap()
+                            .determined
+                    })
+                    .count()
+            },
+        );
+        h.bench(
+            &format!("batch/session/{num_tasks}x{BATCH_SHARED_VIEWS}"),
+            || {
+                let session = DecisionSession::with_config(SessionConfig {
+                    witnesses: false,
+                    verify: false,
+                    ..Default::default()
+                });
+                session.decide_batch(&tasks).records.len()
+            },
+        );
+    }
+
     // Micro-bench of the de-duplication kernel itself, on exactly the
     // component list step 2 of the pipeline feeds it.  Each iteration
     // rebuilds fresh structures (`map_constants` identity drops the cached

@@ -14,16 +14,15 @@
 //! and — when determined — explicit span coefficients realising Example 32's
 //! "q(D) = Π v(D)^{αᵥ}" rewriting), so callers can inspect *why*.
 
+use crate::session::{DecisionContext, FrozenQuery};
 use cqdet_linalg::{span_coefficients, QVec, Rat};
 use cqdet_parallel::par_map;
 use cqdet_query::cq::common_schema;
 use cqdet_query::ConjunctiveQuery;
-use cqdet_structure::{
-    connected_components, dedup_up_to_iso_refs, hom_exists, BasisIndex, IsoClassKey, Schema,
-    Structure,
-};
+use cqdet_structure::{dedup_up_to_iso_refs, BasisIndex, Schema, Structure};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why an instance cannot be handled by the Theorem 3 procedure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,7 +122,24 @@ fn vector_of(basis: &BasisIndex, comps: &[Structure]) -> QVec {
 /// (Theorem 3).
 ///
 /// Returns the decision together with the full analysis ([`BagDeterminacy`]).
+///
+/// One-shot wrapper around [`decide_bag_determinacy_in`] with a fresh
+/// [`DecisionContext`]; batch callers deciding many related instances should
+/// create one context (or a `cqdet-engine` session) and reuse it, so frozen
+/// bodies, canonical keys and containment gates are shared across calls.
 pub fn decide_bag_determinacy(
+    views: &[ConjunctiveQuery],
+    query: &ConjunctiveQuery,
+) -> Result<BagDeterminacy, DeterminacyError> {
+    decide_bag_determinacy_in(&DecisionContext::new(), views, query)
+}
+
+/// [`decide_bag_determinacy`] against session-owned caches: every
+/// isomorphism-invariant intermediate — frozen bodies, canonical keys,
+/// connected components, `q ⊆_set v` gates — is looked up in (and fills)
+/// `cx`, so a batch of tasks sharing views pays for each class once.
+pub fn decide_bag_determinacy_in(
+    cx: &DecisionContext,
     views: &[ConjunctiveQuery],
     query: &ConjunctiveQuery,
 ) -> Result<BagDeterminacy, DeterminacyError> {
@@ -143,31 +159,30 @@ pub fn decide_bag_determinacy(
         }
     }
 
-    // Freeze every query exactly once over the common schema; all later
+    // Freeze every query exactly once over the common schema — or reuse the
+    // session's frozen copy when an earlier call already did.  All later
     // steps (containment, components, vectors) reuse the frozen bodies.
     // Every per-view stage from here on fans out over scoped threads
     // (`cqdet_parallel::par_map`, serial below its cutoff): each view is
-    // independent until the basis is assembled, and the shared read-only
-    // state (schema, frozen query body, basis) is only ever read.
-    let (q_body, _) = query.frozen_body_over(&schema);
-    let view_bodies: Vec<Structure> = par_map(views, |v| v.frozen_body_over(&schema).0);
+    // independent until the basis is assembled, and the shared state
+    // (schema, context caches, basis) is `Sync`.
+    let q_frozen = cx.frozen(&schema, query);
+    let view_frozen: Vec<Arc<FrozenQuery>> = par_map(views, |v| cx.frozen(&schema, v));
 
     // Intern the frozen bodies by isomorphism class: every remaining
     // per-view quantity (the ⊆_set gate, the component decomposition, the
     // multiplicity vector) is isomorphism-invariant, so it is computed once
-    // per class and shared by all views of the class.  Building the keys in
-    // parallel also fans canonization out over threads.
-    let keys: Vec<IsoClassKey> = par_map(&view_bodies, |b| b.iso_class_key());
+    // per class and shared by all views of the class.  Classes are named by
+    // the session-wide table (`DecisionContext::class_id`), then compressed
+    // to call-local indices; canonization itself happened (in parallel, or
+    // in an earlier call) when the frozen entries were constructed.
     let mut class_of: Vec<usize> = Vec::with_capacity(views.len());
     let mut reps: Vec<usize> = Vec::new(); // class → first view with that body
-                                           // IsoClassKey hashes/compares through its `OnceLock`-cached canonical
-                                           // key, forced at construction and immutable afterwards, so the interior
-                                           // mutability clippy flags cannot change a key's identity.
-    #[allow(clippy::mutable_key_type)]
-    let mut intern: HashMap<IsoClassKey, usize> = HashMap::new();
-    for (i, key) in keys.into_iter().enumerate() {
+    let mut intern: HashMap<u32, usize> = HashMap::new();
+    for (i, frozen) in view_frozen.iter().enumerate() {
+        let session_id = cx.class_id(frozen.iso_key());
         let next = reps.len();
-        let c = *intern.entry(key).or_insert(next);
+        let c = *intern.entry(session_id).or_insert(next);
         if c == next {
             reps.push(i);
         }
@@ -175,44 +190,53 @@ pub fn decide_bag_determinacy(
     }
 
     // Step 1: V = {v ∈ V₀ | q ⊆_set v}  (Definition 25):
-    // q ⊆_set v  iff  hom(v, q) ≠ ∅ — one search per class.
-    let rep_bodies: Vec<&Structure> = reps.iter().map(|&i| &view_bodies[i]).collect();
-    let class_retained: Vec<bool> = par_map(&rep_bodies, |b| hom_exists(b, &q_body));
+    // q ⊆_set v  iff  hom(v, q) ≠ ∅ — one search per (class, query class),
+    // cached across the session.
+    let rep_frozen: Vec<&FrozenQuery> = reps.iter().map(|&i| &*view_frozen[i]).collect();
+    let class_retained: Vec<bool> = par_map(&rep_frozen, |f| cx.gate(f, &q_frozen));
     let retained_views: Vec<usize> = (0..views.len())
         .filter(|&i| class_retained[class_of[i]])
         .collect();
     let retained_classes: Vec<usize> = (0..reps.len()).filter(|&c| class_retained[c]).collect();
 
     // Step 2: the basis W (Definition 27) over V' = V ∪ {q}, with the
-    // connected components of each class computed exactly once.
-    let retained_rep_bodies: Vec<&Structure> = retained_classes
-        .iter()
-        .map(|&c| &view_bodies[reps[c]])
-        .collect();
-    let class_comps: Vec<Vec<Structure>> =
-        par_map(&retained_rep_bodies, |b| connected_components(b));
-    let q_comps = connected_components(&q_body);
+    // connected components of each class computed exactly once per session
+    // (cached on the shared `FrozenQuery` entries).
+    let retained_rep_frozen: Vec<&FrozenQuery> =
+        retained_classes.iter().map(|&c| rep_frozen[c]).collect();
+    let class_comps: Vec<&[Structure]> = par_map(&retained_rep_frozen, |f| f.components());
+    let q_comps = q_frozen.components();
     // Warm every component's canonical key in parallel, then de-duplicate by
-    // key ([`dedup_up_to_iso`]'s exact first-occurrence semantics) cloning
-    // only the basis members; the clones share the cached keys with their
-    // originals, so the multiplicity vectors below are pure hash lookups.
+    // key ([`cqdet_structure::dedup_up_to_iso`]'s exact first-occurrence
+    // semantics) cloning only the basis members; the clones share the cached
+    // keys with their originals (and with every other task holding the same
+    // frozen entries), so the multiplicity vectors below are pure hash
+    // lookups.
     {
-        let all: Vec<&Structure> = class_comps.iter().flatten().chain(q_comps.iter()).collect();
+        let all: Vec<&Structure> = class_comps
+            .iter()
+            .flat_map(|c| c.iter())
+            .chain(q_comps.iter())
+            .collect();
         par_map(&all, |c| {
             c.iso_class_key();
         });
     }
-    let basis: Vec<Structure> =
-        dedup_up_to_iso_refs(class_comps.iter().flatten().chain(q_comps.iter()))
-            .into_iter()
-            .cloned()
-            .collect();
+    let basis: Vec<Structure> = dedup_up_to_iso_refs(
+        class_comps
+            .iter()
+            .flat_map(|c| c.iter())
+            .chain(q_comps.iter()),
+    )
+    .into_iter()
+    .cloned()
+    .collect();
 
     // Step 3: vector representations (Definition 29), one per class, via a
     // canonical-key index over the basis built exactly once.
     let basis_index = BasisIndex::new(&basis);
     let class_vectors: Vec<QVec> = par_map(&class_comps, |comps| vector_of(&basis_index, comps));
-    let query_vector = vector_of(&basis_index, &q_comps);
+    let query_vector = vector_of(&basis_index, q_comps);
     let mut retained_pos = vec![usize::MAX; reps.len()]; // class → row in class_vectors
     for (p, &c) in retained_classes.iter().enumerate() {
         retained_pos[c] = p;

@@ -15,17 +15,25 @@
 //! * [`bruteforce`] — a bounded exhaustive baseline (the "algorithm" one would
 //!   use without the paper); used for cross-validation and as the benchmark
 //!   baseline.
+//! * [`session`] — cross-request caches ([`DecisionContext`]) behind the
+//!   session-aware entry point [`decide_bag_determinacy_in`]: batches of
+//!   related instances share frozen bodies, canonical keys, components and
+//!   containment gates (the substrate of the `cqdet-engine` batch engine).
 
 pub mod boolean;
 pub mod bruteforce;
 pub mod paths;
+pub mod session;
 pub mod witness;
 
-pub use boolean::{decide_bag_determinacy, BagDeterminacy, DeterminacyError};
+pub use boolean::{
+    decide_bag_determinacy, decide_bag_determinacy_in, BagDeterminacy, DeterminacyError,
+};
 pub use bruteforce::{brute_force_search, BruteForceOutcome};
 pub use paths::{
     decide_path_determinacy, derivation_path, prefix_graph, DerivationStep, PathAnalysis,
 };
+pub use session::{ContextStats, DecisionContext, FrozenQuery};
 pub use witness::{build_counterexample, Counterexample, WitnessError};
 
 pub use cqdet_bigint::{Int, Nat};

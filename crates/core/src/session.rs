@@ -1,0 +1,320 @@
+//! Cross-request state for the Theorem 3 decision pipeline.
+//!
+//! [`crate::decide_bag_determinacy`] is a one-shot function: every call
+//! re-freezes its queries, re-canonizes their components and re-runs every
+//! `q ⊆_set v` containment gate, because all of that state dies with the
+//! call.  Batch workloads — fleets of `(views, query)` tasks sharing views,
+//! schemas and isomorphism classes — want the opposite: compute each
+//! isomorphism-invariant quantity **once per session**, not once per task.
+//!
+//! A [`DecisionContext`] owns exactly that shared state:
+//!
+//! * a **frozen-query cache** — body structure, isomorphism-class key and
+//!   connected components per distinct `(schema, body)` pair, so a view
+//!   shared by N tasks is frozen, canonized and decomposed once
+//!   ([`FrozenQuery`]);
+//! * a **containment-gate cache** keyed by the *isomorphism classes* of the
+//!   view and query bodies (Definition 25's `q ⊆_set v` test is
+//!   isomorphism-invariant in both arguments), so even textually different
+//!   alpha-renamings of a view share one `hom_exists` search per query
+//!   class;
+//! * a session-wide **iso-class table** assigning stable dense ids to
+//!   canonical keys, which the pipeline uses to intern view bodies and
+//!   which callers can read for capacity accounting ([`ContextStats`]);
+//! * a [`SharedCaches`] handle for the hom-count memo, which callers
+//!   install around witness construction so separating-structure searches
+//!   and evaluation matrices reuse counts across tasks
+//!   (`cqdet_structure::with_shared_caches`).
+//!
+//! The session-aware entry point is
+//! [`crate::boolean::decide_bag_determinacy_in`]; the one-shot function is
+//! now a thin wrapper that builds a fresh context per call.  The
+//! `cqdet-engine` crate wraps a `DecisionContext` into a full batch engine
+//! (task fan-out, JSON certificates, cache-hit statistics).
+
+use cqdet_query::ConjunctiveQuery;
+use cqdet_structure::{
+    connected_components, hom_exists, IsoClassKey, Schema, SharedCaches, Structure,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A query body frozen over a schema, with its session-cached derived data:
+/// the isomorphism-class key (forced at construction, so clones and lookups
+/// never re-canonize) and the connected components (computed on first use).
+///
+/// Handed out as `Arc<FrozenQuery>` by [`DecisionContext::frozen`]; every
+/// task of a batch that mentions the same view body holds the same
+/// allocation, so the component decomposition and every canonical key is
+/// computed once per session.
+pub struct FrozenQuery {
+    body: Structure,
+    key: IsoClassKey,
+    comps: OnceLock<Vec<Structure>>,
+}
+
+impl FrozenQuery {
+    fn new(body: Structure) -> FrozenQuery {
+        let key = body.iso_class_key();
+        FrozenQuery {
+            body,
+            key,
+            comps: OnceLock::new(),
+        }
+    }
+
+    /// The frozen body structure.
+    pub fn body(&self) -> &Structure {
+        &self.body
+    }
+
+    /// The isomorphism-class key of the body (precomputed).
+    pub fn iso_key(&self) -> &IsoClassKey {
+        &self.key
+    }
+
+    /// The connected components of the body (Definition 27's raw material),
+    /// computed once and cached for the lifetime of the session.
+    pub fn components(&self) -> &[Structure] {
+        self.comps.get_or_init(|| connected_components(&self.body))
+    }
+}
+
+/// Hit/miss counters of a [`DecisionContext`] (see [`DecisionContext::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Frozen-query cache hits (a task reused a body frozen by an earlier
+    /// task of the session).
+    pub frozen_hits: u64,
+    /// Frozen-query cache misses (the body was frozen and canonized fresh).
+    pub frozen_misses: u64,
+    /// Containment-gate cache hits (`q ⊆_set v` answered without a search).
+    pub gate_hits: u64,
+    /// Containment-gate cache misses (one `hom_exists` search ran).
+    pub gate_misses: u64,
+    /// Number of distinct isomorphism classes interned in the session table.
+    pub iso_classes: u64,
+    /// Hom-count memo statistics of the session's [`SharedCaches`] handle.
+    pub hom: cqdet_structure::CacheStats,
+}
+
+/// Bound on each of the context's maps (frozen bodies, gates, the class
+/// table).  When a map fills, it is cleared wholesale — the same policy as
+/// the hom-count memo one layer down: entries are cheap to recompute
+/// relative to unbounded growth, and a long-lived session fed a stream of
+/// ever-new queries must not leak.  Clearing is always safe: live
+/// `Arc<FrozenQuery>` handles keep their data, and a class id handed out
+/// twice merely costs a duplicate span column (the span is unchanged).
+const CONTEXT_CACHE_CAP: usize = 8192;
+
+/// Cross-request caches for [`crate::boolean::decide_bag_determinacy_in`]:
+/// see the [module docs](self) for what is shared and why.  All interior
+/// state is lock-protected, so one context can serve a scoped fan-out of
+/// tasks (`&DecisionContext` is `Sync`), and every map is bounded by
+/// [`CONTEXT_CACHE_CAP`].
+pub struct DecisionContext {
+    caches: Arc<SharedCaches>,
+    frozen: Mutex<HashMap<String, Arc<FrozenQuery>>>,
+    // The `OnceLock`-cached canonical key behind `IsoClassKey` is forced at
+    // construction and immutable afterwards, so the interior-mutability
+    // clippy lint does not apply (same reasoning as in `cqdet_structure::iso`).
+    #[allow(clippy::mutable_key_type)]
+    gate: Mutex<HashMap<(IsoClassKey, IsoClassKey), bool>>,
+    /// Class table plus the next id to hand out.  The counter is monotone —
+    /// it survives a capacity clear, so an id is never reused for a
+    /// different class (a reused id could alias two distinct classes inside
+    /// one in-flight call; a class holding two ids merely duplicates a span
+    /// column).
+    #[allow(clippy::mutable_key_type)]
+    classes: Mutex<(HashMap<IsoClassKey, u32>, u32)>,
+    frozen_hits: AtomicU64,
+    frozen_misses: AtomicU64,
+    gate_hits: AtomicU64,
+    gate_misses: AtomicU64,
+}
+
+impl Default for DecisionContext {
+    fn default() -> Self {
+        DecisionContext::new()
+    }
+}
+
+impl DecisionContext {
+    /// A fresh context with empty caches.
+    pub fn new() -> DecisionContext {
+        DecisionContext {
+            caches: Arc::new(SharedCaches::new()),
+            frozen: Mutex::new(HashMap::new()),
+            gate: Mutex::new(HashMap::new()),
+            classes: Mutex::new((HashMap::new(), 0)),
+            frozen_hits: AtomicU64::new(0),
+            frozen_misses: AtomicU64::new(0),
+            gate_hits: AtomicU64::new(0),
+            gate_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The session's hom-count cache handle.  Callers running witness
+    /// construction (or any other hom-count-heavy work) on behalf of the
+    /// session should wrap it in `cqdet_structure::with_shared_caches` with
+    /// this handle so counts are shared across tasks.
+    pub fn caches(&self) -> &Arc<SharedCaches> {
+        &self.caches
+    }
+
+    /// The frozen body of `query` over `schema`, from the session cache.
+    ///
+    /// Keyed by the literal `(schema, body atoms)` rendering — cheap to
+    /// compute and exact: equal keys produce identical frozen bodies.
+    /// Distinct alpha-renamings of the same query miss here but still
+    /// converge downstream, where everything is keyed by isomorphism class.
+    pub fn frozen(&self, schema: &Schema, query: &ConjunctiveQuery) -> Arc<FrozenQuery> {
+        let fp = fingerprint(schema, query);
+        if let Some(hit) = self.frozen.lock().unwrap().get(&fp) {
+            self.frozen_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.frozen_misses.fetch_add(1, Ordering::Relaxed);
+        // Freeze and canonize outside the lock: concurrent workers freezing
+        // the same new view both compute, the first insert wins and both
+        // results are identical.
+        let (body, _) = query.frozen_body_over(schema);
+        let entry = Arc::new(FrozenQuery::new(body));
+        let mut map = self.frozen.lock().unwrap();
+        if map.len() >= CONTEXT_CACHE_CAP {
+            map.clear();
+        }
+        map.entry(fp).or_insert_with(|| entry.clone()).clone()
+    }
+
+    /// The session-wide id of an isomorphism class (interning insert on
+    /// first sight).  Ids are monotone and never reused, including across
+    /// capacity clears.
+    pub fn class_id(&self, key: &IsoClassKey) -> u32 {
+        let mut table = self.classes.lock().unwrap();
+        let (map, next) = &mut *table;
+        if map.len() >= CONTEXT_CACHE_CAP && !map.contains_key(key) {
+            map.clear();
+        }
+        *map.entry(key.clone()).or_insert_with(|| {
+            let id = *next;
+            *next += 1;
+            id
+        })
+    }
+
+    /// The Definition 25 containment gate `q ⊆_set v` (i.e. `hom(v, q) ≠ ∅`
+    /// on frozen bodies), cached by the isomorphism classes of both sides.
+    pub fn gate(&self, view: &FrozenQuery, query: &FrozenQuery) -> bool {
+        let key = (view.iso_key().clone(), query.iso_key().clone());
+        if let Some(&hit) = self.gate.lock().unwrap().get(&key) {
+            self.gate_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.gate_misses.fetch_add(1, Ordering::Relaxed);
+        let answer = hom_exists(view.body(), query.body());
+        let mut map = self.gate.lock().unwrap();
+        if map.len() >= CONTEXT_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(key, answer);
+        answer
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> ContextStats {
+        ContextStats {
+            frozen_hits: self.frozen_hits.load(Ordering::Relaxed),
+            frozen_misses: self.frozen_misses.load(Ordering::Relaxed),
+            gate_hits: self.gate_hits.load(Ordering::Relaxed),
+            gate_misses: self.gate_misses.load(Ordering::Relaxed),
+            iso_classes: self.classes.lock().unwrap().0.len() as u64,
+            hom: self.caches.stats(),
+        }
+    }
+}
+
+/// The frozen-cache key: schema relations plus the body atoms, rendered.
+/// Equal fingerprints guarantee identical frozen bodies (freezing is a
+/// deterministic function of exactly these inputs).
+fn fingerprint(schema: &Schema, query: &ConjunctiveQuery) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64);
+    for (rel, arity) in schema.relations() {
+        let _ = write!(out, "{rel}/{arity};");
+    }
+    out.push('|');
+    for atom in query.atoms() {
+        let _ = write!(out, "{atom},");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqdet_query::cq::Atom;
+
+    fn edge(name: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::boolean(name, vec![Atom::new("R", &["x", "y"])])
+    }
+
+    fn two_path(name: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::boolean(
+            name,
+            vec![Atom::new("R", &["x", "y"]), Atom::new("R", &["y", "z"])],
+        )
+    }
+
+    #[test]
+    fn frozen_bodies_are_shared_and_counted() {
+        let cx = DecisionContext::new();
+        let schema = Schema::binary(["R"]);
+        let a = cx.frozen(&schema, &edge("v"));
+        let b = cx.frozen(&schema, &edge("w"));
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same body, different names → one entry"
+        );
+        let stats = cx.stats();
+        assert_eq!((stats.frozen_hits, stats.frozen_misses), (1, 1));
+        // A different body misses.
+        let c = cx.frozen(&schema, &two_path("p"));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cx.stats().frozen_misses, 2);
+        // Components are computed once and cached on the shared entry.
+        assert_eq!(a.components().len(), 1);
+        assert_eq!(c.components().len(), 1);
+    }
+
+    #[test]
+    fn gate_cache_is_isomorphism_invariant() {
+        let cx = DecisionContext::new();
+        let schema = Schema::binary(["R"]);
+        let q = cx.frozen(&schema, &two_path("q"));
+        let v1 = cx.frozen(&schema, &edge("v1"));
+        // Alpha-renamed copy: different fingerprint, same isomorphism class.
+        let v2 = cx.frozen(
+            &schema,
+            &ConjunctiveQuery::boolean("v2", vec![Atom::new("R", &["a", "b"])]),
+        );
+        assert!(cx.gate(&v1, &q), "q ⊆_set edge");
+        assert!(cx.gate(&v2, &q), "isomorphic view shares the gate entry");
+        let stats = cx.stats();
+        assert_eq!((stats.gate_hits, stats.gate_misses), (1, 1));
+    }
+
+    #[test]
+    fn class_ids_are_stable_and_dense() {
+        let cx = DecisionContext::new();
+        let schema = Schema::binary(["R"]);
+        let a = cx.frozen(&schema, &edge("a"));
+        let b = cx.frozen(&schema, &two_path("b"));
+        let id_a = cx.class_id(a.iso_key());
+        let id_b = cx.class_id(b.iso_key());
+        assert_ne!(id_a, id_b);
+        assert_eq!(cx.class_id(a.iso_key()), id_a);
+        assert_eq!(cx.stats().iso_classes, 2);
+    }
+}

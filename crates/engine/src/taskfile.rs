@@ -1,0 +1,234 @@
+//! The line-oriented batch task-file format.
+//!
+//! A task file declares a pool of named boolean conjunctive queries once and
+//! then any number of `(views, query)` decision tasks over that pool — the
+//! natural shape of real workloads, where fleets of requests share views.
+//! Blank lines and `#` comments are ignored; every other line is either a
+//! **definition** (the Datalog-style syntax of `cqdet_query::parse_query`)
+//! or a **task**:
+//!
+//! ```text
+//! # definitions — one boolean CQ per line, shared by all tasks below
+//! v1() :- R(x,y)
+//! v2() :- R(x,y), R(y,z)
+//! q1() :- R(x,y), R(u,v)
+//! q2() :- R(x,y), R(y,z), R(a,b)
+//!
+//! # tasks — `task <id>: <query> <- <view> <view> ...`
+//! task t1: q1 <- v1
+//! task t2: q2 <- v1 v2
+//! task t3: q1 <- *          # '*' = every definition except the query
+//! ```
+//!
+//! Tasks may reference the same definitions freely; the batch engine
+//! ([`crate::DecisionSession`]) exploits exactly this sharing.  Definitions
+//! must precede nothing in particular — the whole pool is parsed before
+//! tasks are resolved, so forward references are fine.
+
+use crate::session::Task;
+use cqdet_query::{parse_queries, ConjunctiveQuery};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A parsed task file: the definition pool and the resolved tasks.
+#[derive(Debug, Clone)]
+pub struct TaskFile {
+    /// The named definitions, in file order.
+    pub definitions: Vec<ConjunctiveQuery>,
+    /// The resolved tasks, in file order (views and query are clones of the
+    /// pool entries, so tasks sharing a view share its text verbatim —
+    /// which is what makes the session caches hit).
+    pub tasks: Vec<Task>,
+}
+
+/// Why a task file could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskFileError {
+    /// A definition line failed to parse.
+    BadDefinition(String),
+    /// A definition is a union query (Theorem 3 handles CQs; unions are
+    /// undecidable by Theorem 2).
+    UnionDefinition(String),
+    /// Two definitions share a name.
+    DuplicateDefinition(String),
+    /// A task line is not of the form `task <id>: <query> <- <views...>`.
+    BadTaskLine(String),
+    /// Two tasks share an id.
+    DuplicateTask(String),
+    /// A task references an unknown definition.
+    UnknownName { task: String, name: String },
+    /// The file declares no tasks.
+    NoTasks,
+}
+
+impl fmt::Display for TaskFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskFileError::BadDefinition(e) => write!(f, "bad definition: {e}"),
+            TaskFileError::UnionDefinition(n) => write!(
+                f,
+                "definition {n} is a union query; batch tasks are boolean CQs (Theorem 3)"
+            ),
+            TaskFileError::DuplicateDefinition(n) => {
+                write!(f, "duplicate definition name {n:?}")
+            }
+            TaskFileError::BadTaskLine(l) => write!(
+                f,
+                "bad task line {l:?}; expected `task <id>: <query> <- <view> <view> ...`"
+            ),
+            TaskFileError::DuplicateTask(id) => write!(f, "duplicate task id {id:?}"),
+            TaskFileError::UnknownName { task, name } => {
+                write!(f, "task {task:?} references unknown definition {name:?}")
+            }
+            TaskFileError::NoTasks => write!(f, "task file declares no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for TaskFileError {}
+
+/// Parse a batch task file (see the [module docs](self) for the format).
+pub fn parse_task_file(text: &str) -> Result<TaskFile, TaskFileError> {
+    let mut program = String::new();
+    let mut task_lines: Vec<String> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("task ") {
+            task_lines.push(rest.trim().to_string());
+        } else {
+            program.push_str(line);
+            program.push('\n');
+        }
+    }
+
+    let parsed =
+        parse_queries(&program).map_err(|e| TaskFileError::BadDefinition(e.to_string()))?;
+    let mut definitions: Vec<ConjunctiveQuery> = Vec::with_capacity(parsed.len());
+    let mut by_name: HashMap<String, usize> = HashMap::new();
+    for u in &parsed {
+        if !u.is_single_cq() {
+            return Err(TaskFileError::UnionDefinition(u.name().to_string()));
+        }
+        let cq = u.disjuncts()[0].clone();
+        if by_name
+            .insert(cq.name().to_string(), definitions.len())
+            .is_some()
+        {
+            return Err(TaskFileError::DuplicateDefinition(cq.name().to_string()));
+        }
+        definitions.push(cq);
+    }
+
+    let mut tasks: Vec<Task> = Vec::with_capacity(task_lines.len());
+    let mut seen_ids: HashSet<String> = HashSet::new();
+    for line in &task_lines {
+        // `<id>: <query> <- <view> <view> ...`
+        let (id, rest) = line
+            .split_once(':')
+            .ok_or_else(|| TaskFileError::BadTaskLine(line.clone()))?;
+        let id = id.trim().to_string();
+        let (query_name, views_part) = rest
+            .split_once("<-")
+            .ok_or_else(|| TaskFileError::BadTaskLine(line.clone()))?;
+        let query_name = query_name.trim();
+        if id.is_empty() || query_name.is_empty() {
+            return Err(TaskFileError::BadTaskLine(line.clone()));
+        }
+        if !seen_ids.insert(id.clone()) {
+            return Err(TaskFileError::DuplicateTask(id));
+        }
+        let resolve = |name: &str| -> Result<ConjunctiveQuery, TaskFileError> {
+            by_name
+                .get(name)
+                .map(|&i| definitions[i].clone())
+                .ok_or_else(|| TaskFileError::UnknownName {
+                    task: id.clone(),
+                    name: name.to_string(),
+                })
+        };
+        let query = resolve(query_name)?;
+        let view_names: Vec<&str> = views_part.split_whitespace().collect();
+        if view_names.is_empty() {
+            return Err(TaskFileError::BadTaskLine(line.clone()));
+        }
+        let views: Vec<ConjunctiveQuery> = if view_names == ["*"] {
+            definitions
+                .iter()
+                .filter(|d| d.name() != query_name)
+                .cloned()
+                .collect()
+        } else {
+            view_names
+                .iter()
+                .map(|n| resolve(n))
+                .collect::<Result<_, _>>()?
+        };
+        tasks.push(Task { id, views, query });
+    }
+    if tasks.is_empty() {
+        return Err(TaskFileError::NoTasks);
+    }
+    Ok(TaskFile { definitions, tasks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FILE: &str = "
+        # shared pool
+        v1() :- R(x,y)
+        v2() :- R(x,y), R(y,z)
+        q1() :- R(x,y), R(u,v)
+
+        task t1: q1 <- v1          # explicit views
+        task t2: q1 <- v1 v2
+        task t3: q1 <- *           # everything but the query
+    ";
+
+    #[test]
+    fn parses_definitions_and_tasks() {
+        let file = parse_task_file(FILE).unwrap();
+        assert_eq!(file.definitions.len(), 3);
+        assert_eq!(file.tasks.len(), 3);
+        assert_eq!(file.tasks[0].id, "t1");
+        assert_eq!(file.tasks[0].views.len(), 1);
+        assert_eq!(file.tasks[1].views.len(), 2);
+        // '*' excludes the query itself.
+        let t3 = &file.tasks[2];
+        assert_eq!(t3.views.len(), 2);
+        assert!(t3.views.iter().all(|v| v.name() != "q1"));
+        assert_eq!(t3.query.name(), "q1");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parse_task_file("v1() :- R(x,y)"),
+            Err(TaskFileError::NoTasks)
+        ));
+        assert!(matches!(
+            parse_task_file("task t1: q <- v"),
+            Err(TaskFileError::UnknownName { .. })
+        ));
+        assert!(matches!(
+            parse_task_file("v() :- R(x,y)\nq() :- R(x,y)\ntask a: q <- v\ntask a: q <- v"),
+            Err(TaskFileError::DuplicateTask(_))
+        ));
+        assert!(matches!(
+            parse_task_file("v() :- R(x,y)\nv() :- R(x,x)\ntask a: v <- *"),
+            Err(TaskFileError::DuplicateDefinition(_))
+        ));
+        assert!(matches!(
+            parse_task_file("u() :- R(x,y) | S(x,y)\ntask a: u <- *"),
+            Err(TaskFileError::UnionDefinition(_))
+        ));
+        assert!(matches!(
+            parse_task_file("v() :- R(x,y)\ntask broken v"),
+            Err(TaskFileError::BadTaskLine(_))
+        ));
+    }
+}

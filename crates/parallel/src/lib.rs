@@ -13,11 +13,26 @@
 //!
 //! The decision procedure (`cqdet-core`) uses this to fan out its per-view
 //! stages: query freezing, the `hom_exists` retention gate, connected-
-//! component decomposition, and multiplicity-vector construction.  Anything
+//! component decomposition, and multiplicity-vector construction; the batch
+//! engine (`cqdet-engine`) fans out across whole tasks.  Anything
 //! shared read-only across workers (schemas, frozen bodies, the basis) only
 //! needs `Sync`; per-structure lazy state (`flat()`, canonical keys) lives in
 //! `OnceLock`s, which are safe to race on.
+//!
+//! **Nested fan-outs run inline.**  A [`par_map`] call made from inside a
+//! [`par_map`] worker executes serially on that worker: the two levels of
+//! the batch engine (tasks × views) would otherwise spawn `cores²` threads,
+//! and per-thread state installed by the outer worker (the shared-cache
+//! override of `cqdet-structure`) would not reach grandchild threads.  One
+//! fan-out level — the outermost — always wins the hardware.
+//!
+//! ```
+//! // Results come back in input order, whatever the interleaving was.
+//! let squares = cqdet_parallel::par_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Inputs shorter than this run inline: thread spawn latency (~tens of µs)
@@ -25,6 +40,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// sites, and keeping them on the calling thread also keeps their
 /// thread-local caches warm.
 const SERIAL_CUTOFF: usize = 8;
+
+thread_local! {
+    /// Whether the current thread is itself a [`par_map`] worker.  Nested
+    /// fan-outs run inline on their worker: without the guard, a batch-level
+    /// fan-out (one worker per task, `cqdet-engine`) whose tasks each fan
+    /// out their per-view stages would spawn `cores × cores` threads, and
+    /// per-thread state installed on the worker (the shared-cache override
+    /// of `cqdet-structure`) would not propagate to the grandchildren.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Whether the `CQDET_SERIAL=1` escape hatch is active (checked once).
 fn serial_override() -> bool {
@@ -56,6 +81,11 @@ pub fn max_parallelism() -> usize {
 
 /// Map `f` over `items`, in parallel when it pays, returning results in
 /// input order.  Panics in `f` propagate to the caller.
+///
+/// Runs inline (no threads) when the input is shorter than the serial
+/// cutoff, when the machine has a single hardware thread, when
+/// `CQDET_SERIAL=1` is set, or when the caller is itself a `par_map`
+/// worker (see the [module docs](self) on nesting).
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -66,6 +96,11 @@ where
 }
 
 /// [`par_map`] with the item index passed to the closure.
+///
+/// ```
+/// let labelled = cqdet_parallel::par_map_indexed(&["a", "b"], |i, s| format!("{i}:{s}"));
+/// assert_eq!(labelled, vec!["0:a", "1:b"]);
+/// ```
 pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -74,7 +109,7 @@ where
 {
     let n = items.len();
     let workers = max_parallelism().min(n);
-    if n < SERIAL_CUTOFF || workers < 2 {
+    if n < SERIAL_CUTOFF || workers < 2 || IS_WORKER.with(Cell::get) {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -82,6 +117,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    IS_WORKER.with(|w| w.set(true));
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -153,6 +189,31 @@ mod tests {
             })
             .collect();
         assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn nested_fanouts_run_inline_on_workers() {
+        // An outer fan-out's workers must not spawn their own worker pools:
+        // the inner par_map runs inline, so per-thread state set up by the
+        // outer worker (here a thread-local marker; in production the
+        // shared-cache override) is visible to every inner item.
+        thread_local! {
+            static MARKER: Cell<u64> = const { Cell::new(0) };
+        }
+        let outer: Vec<u64> = (0..32).collect();
+        let sums = par_map(&outer, |&x| {
+            MARKER.with(|m| m.set(x + 1));
+            let inner: Vec<u64> = (0..16).collect();
+            let seen = par_map(&inner, |_| MARKER.with(Cell::get));
+            assert!(
+                seen.iter().all(|&v| v == x + 1),
+                "inner items left the outer worker thread"
+            );
+            seen.iter().sum::<u64>()
+        });
+        for (x, s) in outer.iter().zip(&sums) {
+            assert_eq!(*s, 16 * (x + 1));
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! # Why the order-preserving `canon()` encoding is not enough
 //!
-//! [`crate::flat::FlatStructure::canon`] renumbers the domain *in constant
+//! The flat index's `canon()` encoding renumbers the domain *in constant
 //! order* — it is an encoding of the structure up to an **order-preserving**
 //! renaming.  Two isomorphic structures whose constants happen to sort
 //! differently (e.g. `E(0,1)` vs `E(1,0)` — the same single edge, written
@@ -16,7 +16,7 @@
 //! # The algorithm
 //!
 //! This module computes a genuinely **isomorphism-invariant** canonical form
-//! ([`CanonKey`]), the classic individualization–refinement scheme of
+//! (`CanonKey`), the classic individualization–refinement scheme of
 //! practical graph-canonization tools (nauty/bliss), specialised to small
 //! relational structures over the CSR flat index:
 //!
@@ -57,6 +57,63 @@
 //! refinement is, because the final comparison is between full relabeled
 //! encodings of the structure, not between hashes.
 //!
+//! # Worked example: color refinement on a 3-path vs a 3-cycle
+//!
+//! Take the directed 3-path `E(a,b), E(b,c)`:
+//!
+//! * **Round 0** — every element starts with color `0`: the partition is
+//!   `{a, b, c}`.
+//! * **Round 1** — each fact `E(x,y)` hashes `(E, colors of (x,y))` and
+//!   deposits the hash, tagged with the argument position, on `x` and `y`.
+//!   `a` receives one *source*-tagged contribution (from `E(a,b)`), `c` one
+//!   *target*-tagged contribution (from `E(b,c)`), and `b` one of each —
+//!   three distinct contribution multisets, so the partition splits into
+//!   `{a} {b} {c}` and is discrete.  No backtracking happens; the canonical
+//!   bijection reads straight off the colors.
+//!
+//! A directed 3-cycle `E(a,b), E(b,c), E(c,a)` is vertex-transitive: every
+//! element receives exactly one source- and one target-contribution in
+//! every round, so refinement never splits `{a, b, c}` and the
+//! individualization search must force one element into a fresh singleton
+//! color (after which refinement discretizes).  All three choices lie in
+//! one automorphism orbit; the transposition prune explores a single
+//! branch.
+//!
+//! The observable contract — equal keys **iff** isomorphic — surfaces
+//! through the public API ([`crate::isomorphic`],
+//! [`Structure::iso_class_key`](crate::Structure::iso_class_key)):
+//!
+//! ```
+//! use cqdet_structure::{isomorphic, Schema, Structure};
+//!
+//! let schema = Schema::binary(["E"]);
+//! let path = |v: [u64; 3]| {
+//!     let mut s = Structure::new(schema.clone());
+//!     s.add("E", &[v[0], v[1]]);
+//!     s.add("E", &[v[1], v[2]]);
+//!     s
+//! };
+//! let cycle = |v: [u64; 3]| {
+//!     let mut s = path(v);
+//!     s.add("E", &[v[2], v[0]]);
+//!     s
+//! };
+//!
+//! // Refinement alone separates path endpoints: any renaming — including
+//! // one that reverses the constant order, where the cheap
+//! // order-preserving encoding disagrees — shares the canonical key.
+//! assert!(isomorphic(&path([0, 1, 2]), &path([9, 5, 1])));
+//! assert_eq!(
+//!     path([0, 1, 2]).iso_class_key(),
+//!     path([9, 5, 1]).iso_class_key(),
+//! );
+//!
+//! // The 3-cycle needs the individualization step; rotations and renamings
+//! // still collapse to one key, and the path stays distinct.
+//! assert!(isomorphic(&cycle([0, 1, 2]), &cycle([40, 2, 11])));
+//! assert!(!isomorphic(&path([0, 1, 2]), &cycle([0, 1, 2])));
+//! ```
+//!
 //! # Worst-case honesty
 //!
 //! Within one connected component, two prunes bound the search on the
@@ -74,9 +131,9 @@
 //! hom-count memo deliberately never canonizes target (data) structures
 //! ([`crate::hom::hom_count_cached`]).
 //!
-//! The resulting [`CanonKey`] (canonical bytes plus a 64-bit hash of them) is
-//! cached on every [`FlatStructure`], so each structure is canonized at most
-//! once; [`crate::iso`] compares and buckets keys instead of searching, and
+//! The resulting `CanonKey` (canonical bytes plus a 64-bit hash of them) is
+//! cached on every compiled structure, so each structure is canonized at
+//! most once; [`crate::iso`] compares and buckets keys instead of searching, and
 //! [`crate::hom::hom_count_cached`] uses the bytes as memo key so isomorphic
 //! sources share cache entries no matter how their constants were named.
 

@@ -21,7 +21,8 @@ use crate::structure::{Const, Structure};
 use cqdet_bigint::Nat;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// A homomorphism, represented as the assignment of source to target constants.
 pub type Homomorphism = BTreeMap<Const, Const>;
@@ -509,16 +510,147 @@ const HOM_CACHE_CAP: usize = 8192;
 // use borrowed `&[u8]` keys — hits allocate nothing.
 type HomCacheMap = HashMap<Box<[u8]>, HashMap<Box<[u8]>, Nat>>;
 
-thread_local! {
-    static HOM_CACHE: RefCell<HomCacheMap> = RefCell::new(HashMap::new());
-    /// Instrumentation: (hits, misses) of [`hom_count_cached`] on this thread.
-    static HOM_CACHE_STATS: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+/// Aggregate statistics of a [`SharedCaches`] handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of [`hom_count_cached`]-style probes answered from the cache.
+    pub hits: u64,
+    /// Number of probes that had to run a fresh backtracking search.
+    pub misses: u64,
+    /// Number of `(source class, target)` pairs currently memoized.
+    pub entries: u64,
 }
 
-/// `(hits, misses)` of [`hom_count_cached`] on this thread (test/bench
-/// instrumentation).
+/// A shareable handle to the cross-request caches of the homomorphism
+/// engine — today, the canonical-key hom-count memo plus its hit/miss
+/// counters.
+///
+/// Every thread owns a private default instance, which is what the free
+/// function [`hom_count_cached`] uses; a *batch* caller (the
+/// `cqdet-engine` session) instead creates one `Arc<SharedCaches>` and
+/// installs it with [`with_shared_caches`] around each unit of work, so
+/// that tasks sharing views, bases or separating structures pay for each
+/// distinct `(source class, target)` count once per *session* instead of
+/// once per thread or per call.
+///
+/// The memo key is deliberately asymmetric (see [`hom_count_cached`]):
+/// sources — frozen query bodies and their components, small by
+/// construction — are keyed by their isomorphism-invariant canonical key
+/// ([`Structure::iso_class_key`]), targets by the cheap order-preserving
+/// flat encoding.
+#[derive(Default)]
+pub struct SharedCaches {
+    /// The memo map plus a running count of its entries, maintained on
+    /// insert/clear so neither the capacity check nor [`stats`](Self::stats)
+    /// re-scans the map under the shared lock.
+    map: Mutex<(HomCacheMap, usize)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedCaches {
+    /// A fresh, empty cache handle.
+    pub fn new() -> SharedCaches {
+        SharedCaches::default()
+    }
+
+    /// [`hom_count`] through this handle's memo: isomorphic sources share
+    /// one entry, and concurrent callers share the map (a miss outside the
+    /// lock may be computed twice under contention; both writers store the
+    /// same value).
+    pub fn hom_count(&self, source: &Structure, target: &Structure) -> Nat {
+        let src_canon: &[u8] = &source.flat().canon_key().bytes;
+        let tgt_canon: &[u8] = target.flat().canon();
+        let hit = {
+            let (map, _) = &*self.map.lock().unwrap();
+            map.get(tgt_canon)
+                .and_then(|per_src| per_src.get(src_canon))
+                .cloned()
+        };
+        if let Some(hit) = hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let count = hom_count(source, target);
+        let mut guard = self.map.lock().unwrap();
+        let (map, total) = &mut *guard;
+        if *total >= HOM_CACHE_CAP {
+            map.clear();
+            *total = 0;
+        }
+        if map
+            .entry(tgt_canon.to_vec().into_boxed_slice())
+            .or_default()
+            .insert(src_canon.to_vec().into_boxed_slice(), count.clone())
+            .is_none()
+        {
+            *total += 1;
+        }
+        count
+    }
+
+    /// Current hit/miss/entry counts.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.map.lock().unwrap().1 as u64;
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drop every memoized count (the counters are kept).
+    pub fn clear(&self) {
+        let mut guard = self.map.lock().unwrap();
+        guard.0.clear();
+        guard.1 = 0;
+    }
+}
+
+thread_local! {
+    /// The per-thread default [`SharedCaches`] instance behind
+    /// [`hom_count_cached`] when no session handle is installed.
+    static THREAD_CACHES: std::sync::Arc<SharedCaches> =
+        std::sync::Arc::new(SharedCaches::new());
+    /// The session override installed by [`with_shared_caches`], if any.
+    static ACTIVE_CACHES: RefCell<Option<std::sync::Arc<SharedCaches>>> =
+        const { RefCell::new(None) };
+}
+
+/// The cache handle [`hom_count_cached`] currently resolves to on this
+/// thread: the [`with_shared_caches`] override if one is installed, the
+/// thread default otherwise.
+fn active_caches() -> std::sync::Arc<SharedCaches> {
+    if let Some(c) = ACTIVE_CACHES.with(|a| a.borrow().clone()) {
+        return c;
+    }
+    THREAD_CACHES.with(|c| c.clone())
+}
+
+/// Run `f` with `caches` installed as this thread's hom-count cache: every
+/// [`hom_count_cached`] call inside `f` (including the symbolic-evaluation
+/// machinery of [`crate::StructureExpr`]) reads and fills the shared handle
+/// instead of the thread default.  Restores the previous handle on exit,
+/// including on panic.  The override is per-thread; a scoped fan-out inside
+/// `f` must re-install on its worker threads.
+pub fn with_shared_caches<R>(caches: &std::sync::Arc<SharedCaches>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<std::sync::Arc<SharedCaches>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ACTIVE_CACHES.with(|a| *a.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = ACTIVE_CACHES.with(|a| a.borrow_mut().replace(caches.clone()));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// `(hits, misses)` of [`hom_count_cached`] on this thread's active cache
+/// handle (test/bench instrumentation).
 pub fn hom_cache_stats() -> (u64, u64) {
-    HOM_CACHE_STATS.with(Cell::get)
+    let stats = active_caches().stats();
+    (stats.hits, stats.misses)
 }
 
 /// [`hom_count`] with memoization keyed by the true *canonical key*
@@ -535,41 +667,14 @@ pub fn hom_cache_stats() -> (u64, u64) {
 /// evaluation matrix iterates all basis elements against all powers — so the
 /// memo turns a quadratic number of searches into one search per distinct
 /// pair, with the sources deduplicated *up to isomorphism*.  (The previous
-/// memo keyed sources on the order-preserving encoding of [`crate::flat`]
+/// memo keyed sources on the order-preserving encoding of `crate::flat`
 /// and missed whenever isomorphic components were inserted in a different
 /// fact order.)
+///
+/// The memo lives in a per-thread [`SharedCaches`] instance by default;
+/// batch sessions install a cross-task handle with [`with_shared_caches`].
 pub fn hom_count_cached(source: &Structure, target: &Structure) -> Nat {
-    let src_canon: &[u8] = &source.flat().canon_key().bytes;
-    let tgt_canon: &[u8] = target.flat().canon();
-    let hit = HOM_CACHE.with(|c| {
-        c.borrow()
-            .get(tgt_canon)
-            .and_then(|per_src| per_src.get(src_canon))
-            .cloned()
-    });
-    HOM_CACHE_STATS.with(|s| {
-        let (h, m) = s.get();
-        s.set(if hit.is_some() {
-            (h + 1, m)
-        } else {
-            (h, m + 1)
-        });
-    });
-    if let Some(hit) = hit {
-        return hit;
-    }
-    let count = hom_count(source, target);
-    HOM_CACHE.with(|c| {
-        let mut c = c.borrow_mut();
-        let total: usize = c.values().map(HashMap::len).sum();
-        if total >= HOM_CACHE_CAP {
-            c.clear();
-        }
-        c.entry(tgt_canon.to_vec().into_boxed_slice())
-            .or_default()
-            .insert(src_canon.to_vec().into_boxed_slice(), count.clone());
-    });
-    count
+    active_caches().hom_count(source, target)
 }
 
 /// The original `BTreeMap`-based backtracking engine, kept verbatim as the
@@ -1087,5 +1192,48 @@ mod tests {
         // A renamed copy of the source shares the canonical form.
         let w2 = w.map_constants(|c| c + 100);
         assert_eq!(hom_count_cached(&w2, &t), direct);
+    }
+
+    #[test]
+    fn shared_caches_accumulate_across_calls_and_threads() {
+        let caches = std::sync::Arc::new(SharedCaches::new());
+        let w = path(2);
+        let t = clique_with_loops(3);
+        let direct = hom_count(&w, &t);
+        assert_eq!(caches.hom_count(&w, &t), direct);
+        assert_eq!(caches.hom_count(&w, &t), direct);
+        let s = caches.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        // A different thread probing the same handle hits the same entry
+        // (the whole point of extracting the cache behind a shared handle).
+        let caches2 = caches.clone();
+        let w2 = w.map_constants(|c| c + 7);
+        std::thread::spawn(move || {
+            assert_eq!(caches2.hom_count(&w2, &clique_with_loops(3)), direct);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(caches.stats().hits, 2);
+        caches.clear();
+        assert_eq!(caches.stats().entries, 0);
+    }
+
+    #[test]
+    fn with_shared_caches_scopes_the_override() {
+        let caches = std::sync::Arc::new(SharedCaches::new());
+        let w = cycle(3);
+        let t = clique_with_loops(2);
+        let before = caches.stats();
+        with_shared_caches(&caches, || {
+            hom_count_cached(&w, &t);
+            hom_count_cached(&w, &t);
+        });
+        let after = caches.stats();
+        assert_eq!(after.misses, before.misses + 1, "first call misses");
+        assert_eq!(after.hits, before.hits + 1, "second call hits");
+        // Outside the scope the thread default is active again: the session
+        // handle sees no further traffic.
+        hom_count_cached(&w, &t);
+        assert_eq!(caches.stats(), after);
     }
 }

@@ -6,6 +6,9 @@
 //! * [`Schema`] and [`Structure`] — relational schemas and finite structures
 //!   (sets of facts over an infinite supply of constants),
 //! * homomorphism enumeration, existence and exact counting ([`hom`]),
+//!   with a shareable cross-request count memo ([`SharedCaches`]),
+//! * true canonical labeling — isomorphism-invariant keys via color
+//!   refinement + individualization ([`canon`]),
 //! * isomorphism testing and de-duplication up to isomorphism ([`iso`]),
 //! * connected components ([`components`]),
 //! * the structure algebra of Section 2.2: disjoint union `A + B`, product
@@ -19,7 +22,7 @@
 //!   ([`generator`]).
 
 pub mod adjacency;
-pub(crate) mod canon;
+pub mod canon;
 pub mod components;
 pub mod expr;
 pub(crate) mod flat;
@@ -36,7 +39,8 @@ pub use expr::StructureExpr;
 pub use generator::StructureGenerator;
 pub use hom::{
     hom_cache_stats, hom_count, hom_count_cached, hom_count_factored, hom_enumerate, hom_exists,
-    injective_hom_exists, injective_probe_count, Homomorphism,
+    injective_hom_exists, injective_probe_count, with_shared_caches, CacheStats, Homomorphism,
+    SharedCaches,
 };
 pub use iso::{
     dedup_up_to_iso, dedup_up_to_iso_refs, isomorphic, multiplicities, BasisIndex, IsoClassKey,

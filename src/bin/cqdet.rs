@@ -1,11 +1,25 @@
-//! `cqdet` — a small command-line front end to the determinacy library.
+//! `cqdet` — the command-line front end to the determinacy engine.
 //!
 //! ```text
-//! cqdet decide <program.cq> [--query NAME] [--witness]
-//!     Parse a Datalog-style program (one boolean CQ per line); the query is
-//!     the definition named NAME (default: "q"), every other definition is a
-//!     view.  Prints the decision, the rewriting (if determined) or — with
-//!     --witness — a certified counterexample.
+//! cqdet decide <program.cq> [--query NAME] [--witness] [--json]
+//!     Decide one instance.  The program file defines one boolean CQ per
+//!     line; the query is the definition named NAME (default "q"), every
+//!     other definition is a view.  Human-readable by default; --json emits
+//!     the full certificate as a single JSON record.
+//!
+//! cqdet batch <tasks.cqb> [--no-witness] [--no-verify] [--quiet]
+//!     Run a batch task file (shared definitions + `task id: q <- v1 v2`
+//!     lines) through one shared DecisionSession.  Emits one JSON
+//!     certificate record per task on stdout, then a session_stats record
+//!     with the cache-hit counters; a human summary goes to stderr.
+//!
+//! cqdet explain <program.cq> [--query NAME]
+//!     The full analysis, narrated: schema, retention gate per view, basis,
+//!     vector representations, span coefficients or counterexample.
+//!
+//! cqdet bench <tasks.cqb> [--repeat N]
+//!     Time the batch with a shared session vs. one-shot calls per task and
+//!     report the speedup plus cache statistics.
 //!
 //! cqdet path <word> <view-word>...
 //!     Path-query determinacy (Theorem 1): e.g. `cqdet path ABCD ABC BC BCD`.
@@ -16,13 +30,18 @@
 //! ```
 
 use cqdet::core::witness::{build_counterexample, WitnessConfig};
+use cqdet::engine::{parse_task_file, stats_json, SessionConfig};
 use cqdet::prelude::*;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("decide") => cmd_decide(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("path") => cmd_path(&args[1..]),
         Some("hilbert") => cmd_hilbert(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -43,30 +62,27 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!("cqdet — bag-semantics query determinacy (PODS 2022 reproduction)");
     println!();
-    println!("  cqdet decide <program.cq> [--query NAME] [--witness]");
-    println!("  cqdet path <query-word> <view-word>...");
+    println!("  cqdet decide  <program.cq> [--query NAME] [--witness] [--json]");
+    println!("  cqdet batch   <tasks.cqb> [--no-witness] [--no-verify] [--quiet]");
+    println!("  cqdet explain <program.cq> [--query NAME]");
+    println!("  cqdet bench   <tasks.cqb> [--repeat N]");
+    println!("  cqdet path    <query-word> <view-word>...");
     println!("  cqdet hilbert <bound> <coeff:var^deg,...>...");
+    println!();
+    println!("Batch task files define boolean CQs (one per line, shared by all");
+    println!("tasks) plus task lines `task <id>: <query> <- <view> <view> ...`");
+    println!("(`*` = every definition except the query).  See ARCHITECTURE.md");
+    println!("and the rustdoc of cqdet_engine::taskfile for the full format.");
 }
 
-fn cmd_decide(args: &[String]) -> Result<(), String> {
-    let mut path = None;
-    let mut query_name = "q".to_string();
-    let mut want_witness = false;
-    let mut iter = args.iter();
-    while let Some(a) = iter.next() {
-        match a.as_str() {
-            "--query" => {
-                query_name = iter.next().ok_or("--query needs a value")?.clone();
-            }
-            "--witness" => want_witness = true,
-            other if path.is_none() => path = Some(other.to_string()),
-            other => return Err(format!("unexpected argument {other:?}")),
-        }
-    }
-    let path = path.ok_or("decide needs a program file")?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+/// Parse a program file into `(views, query)`: the definition named
+/// `query_name` is the query, everything else is a view.
+fn load_program(
+    path: &str,
+    query_name: &str,
+) -> Result<(Vec<ConjunctiveQuery>, ConjunctiveQuery), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let program = parse_queries(&text).map_err(|e| e.to_string())?;
-
     let mut views = Vec::new();
     let mut query = None;
     for u in &program {
@@ -84,8 +100,111 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
         }
     }
     let query = query.ok_or(format!("no definition named {query_name:?} in {path}"))?;
+    Ok((views, query))
+}
 
-    let analysis = decide_bag_determinacy(&views, &query).map_err(|e| e.to_string())?;
+/// Flag-style argument scan: one positional path plus boolean/valued flags.
+#[derive(Debug)]
+struct Flags {
+    path: Option<String>,
+    query_name: String,
+    witness: bool,
+    json: bool,
+    no_witness: bool,
+    no_verify: bool,
+    quiet: bool,
+    repeat: usize,
+}
+
+/// Parse one positional path plus the flags in `allowed`; any other
+/// argument — including a flag another subcommand accepts — is an error,
+/// so a mistyped or misplaced flag can never be silently ignored.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        path: None,
+        query_name: "q".to_string(),
+        witness: false,
+        json: false,
+        no_witness: false,
+        no_verify: false,
+        quiet: false,
+        repeat: 1,
+    };
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a.starts_with('-') && !allowed.contains(&a.as_str()) {
+            return Err(format!(
+                "{a:?} is not a flag of this subcommand (accepted: {})",
+                allowed.join(", ")
+            ));
+        }
+        match a.as_str() {
+            "--query" => {
+                flags.query_name = iter.next().ok_or("--query needs a value")?.clone();
+            }
+            "--witness" => flags.witness = true,
+            "--json" => flags.json = true,
+            "--no-witness" => flags.no_witness = true,
+            "--no-verify" => flags.no_verify = true,
+            "--quiet" => flags.quiet = true,
+            "--repeat" => {
+                flags.repeat = iter
+                    .next()
+                    .ok_or("--repeat needs a value")?
+                    .parse()
+                    .map_err(|_| "--repeat must be a positive integer")?;
+                if flags.repeat == 0 {
+                    return Err("--repeat must be a positive integer".to_string());
+                }
+            }
+            other if flags.path.is_none() && !other.starts_with('-') => {
+                flags.path = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(flags)
+}
+
+fn cmd_decide(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--query", "--witness", "--json"])?;
+    let path = flags.path.as_deref().ok_or("decide needs a program file")?;
+    let (views, query) = load_program(path, &flags.query_name)?;
+
+    let session = DecisionSession::with_config(SessionConfig {
+        witnesses: flags.witness || flags.json,
+        verify: true,
+        witness: WitnessConfig::default(),
+    });
+    let record = session.run_task(&Task {
+        id: flags.query_name.clone(),
+        views: views.clone(),
+        query: query.clone(),
+    });
+
+    if flags.json {
+        // The record (including an error record) is the machine-readable
+        // output; the exit code still reflects the outcome so scripts can
+        // gate on it.
+        println!("{}", record.to_json().render());
+        if record.status == TaskStatus::Error {
+            return Err(record.error.unwrap_or_else(|| "instance rejected".into()));
+        }
+        if record.verified == Some(false) {
+            return Err("certificate failed re-verification".to_string());
+        }
+        if let Some(error) = record.error {
+            return Err(error);
+        }
+        return Ok(());
+    }
+
+    if let Some(error) = &record.error {
+        if record.analysis.is_none() {
+            return Err(error.clone());
+        }
+    }
+    let analysis = record.analysis.as_ref().expect("non-error record");
     println!("query:    {query}");
     println!("views:    {}", views.len());
     println!(
@@ -94,20 +213,220 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
     );
     println!("basis:    {} connected component(s)", analysis.basis_size());
     println!("determined under bag semantics: {}", analysis.determined);
-    if let Some(rewriting) = analysis.rewriting(&views) {
+    if let Some(rewriting) = &record.rewriting {
         println!("rewriting: {rewriting}");
-    } else if want_witness {
+    } else if flags.witness {
+        match &record.counterexample {
+            Some(witness) => {
+                println!("counterexample (symbolic structures over the good basis):");
+                println!("  D  = {}", witness.d);
+                println!("  D' = {}", witness.d_prime);
+                println!(
+                    "  q(D) = {}   q(D') = {}",
+                    witness.eval_on_d(&query),
+                    witness.eval_on_d_prime(&query)
+                );
+                println!("  verified: {}", record.verified == Some(true));
+            }
+            // A failed witness search was a hard error before the engine
+            // rework; keep it one.
+            None => {
+                return Err(record
+                    .error
+                    .unwrap_or_else(|| "counterexample not constructed".into()))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--no-witness", "--no-verify", "--quiet"])?;
+    let path = flags.path.as_deref().ok_or("batch needs a task file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let file = parse_task_file(&text).map_err(|e| e.to_string())?;
+
+    let session = DecisionSession::with_config(SessionConfig {
+        witnesses: !flags.no_witness,
+        verify: !flags.no_verify,
+        witness: WitnessConfig::default(),
+    });
+    let start = Instant::now();
+    let report = session.decide_batch(&file.tasks);
+    let elapsed = start.elapsed();
+
+    for record in &report.records {
+        println!("{}", record.to_json().render());
+    }
+    println!("{}", stats_json(&report.stats).render());
+
+    if !flags.quiet {
+        let stats = &report.stats;
+        eprintln!(
+            "{} tasks in {:.1} ms: {} determined, {} not determined, {} errors; all certificates verified: {}",
+            report.records.len(),
+            elapsed.as_secs_f64() * 1e3,
+            report.count(TaskStatus::Determined),
+            report.count(TaskStatus::NotDetermined),
+            report.count(TaskStatus::Error),
+            report.all_verified(),
+        );
+        eprintln!(
+            "cache hits: frozen {}/{}, gate {}/{}, hom {}/{} ({} classes interned)",
+            stats.frozen_hits,
+            stats.frozen_hits + stats.frozen_misses,
+            stats.gate_hits,
+            stats.gate_hits + stats.gate_misses,
+            stats.hom.hits,
+            stats.hom.hits + stats.hom.misses,
+            stats.iso_classes,
+        );
+    }
+    if report.all_verified() {
+        Ok(())
+    } else {
+        Err("a certificate failed re-verification".to_string())
+    }
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--query"])?;
+    let path = flags
+        .path
+        .as_deref()
+        .ok_or("explain needs a program file")?;
+    let (views, query) = load_program(path, &flags.query_name)?;
+
+    let analysis = decide_bag_determinacy(&views, &query).map_err(|e| e.to_string())?;
+    println!("# Instance");
+    println!("schema: {}", analysis.schema);
+    println!("query:  {query}");
+    for v in &views {
+        println!("view:   {v}");
+    }
+    println!();
+    println!("# Step 1 — retention gate (Definition 25: q ⊆_set v ⇔ hom(v,q) ≠ ∅)");
+    for (i, v) in views.iter().enumerate() {
+        let kept = analysis.retained_views.contains(&i);
+        println!(
+            "  {} {}: {}",
+            if kept { "✓" } else { "✗" },
+            v.name(),
+            if kept { "retained" } else { "dropped" }
+        );
+    }
+    println!();
+    println!(
+        "# Step 2 — basis W (Definition 27): {} pairwise non-isomorphic connected component(s)",
+        analysis.basis_size()
+    );
+    for (k, w) in analysis.basis.iter().enumerate() {
+        println!("  w{k} = {w}");
+    }
+    println!();
+    println!("# Step 3 — vector representations (Definition 29)");
+    println!("  q⃗ = {}", analysis.query_vector);
+    for (pos, &vi) in analysis.retained_views.iter().enumerate() {
+        println!("  {}⃗ = {}", views[vi].name(), analysis.view_vectors[pos]);
+    }
+    println!();
+    println!("# Step 4 — Main Lemma span test: q⃗ ∈ span_ℚ{{v⃗}} ?");
+    if analysis.determined {
+        println!("  YES — determined.  Coefficients:");
+        let coefficients = analysis.coefficients.as_ref().expect("determined");
+        for (pos, &vi) in analysis.retained_views.iter().enumerate() {
+            println!("    α_{} = {}", views[vi].name(), coefficients[pos]);
+        }
+        if let Some(rewriting) = analysis.rewriting(&views) {
+            println!("  rewriting: {rewriting}");
+        }
+    } else {
+        println!("  NO — not determined.  Constructing the counterexample (Sections 5–7):");
         let witness = build_counterexample(&analysis, &query, &WitnessConfig::default())
             .map_err(|e| e.to_string())?;
-        println!("counterexample (symbolic structures over the good basis):");
+        println!("  z⃗ = {}   (⊥ to every v⃗, ⟨z⃗,q⃗⟩ ≠ 0 — Fact 5)", witness.z);
+        println!("  t  = {}   (perturbation factor, Lemma 57)", witness.t);
+        let (d, dp) = witness.answer_vectors();
+        let render = |v: &[Nat]| {
+            v.iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!("  answer vectors (w⃗ evaluated on D and D′):");
+        println!("    w⃗(D)  = [{}]", render(&d));
+        println!("    w⃗(D′) = [{}]", render(&dp));
         println!("  D  = {}", witness.d);
         println!("  D' = {}", witness.d_prime);
         println!(
-            "  q(D) = {}   q(D') = {}",
+            "  q(D) = {} ≠ {} = q(D′)",
             witness.eval_on_d(&query),
             witness.eval_on_d_prime(&query)
         );
-        println!("  verified: {}", witness.verify(&views, &query));
+        use cqdet::core::witness::check_certificate_arithmetic;
+        println!(
+            "  certificate arithmetic verified: {}",
+            check_certificate_arithmetic(&witness, &analysis)
+        );
+        println!(
+            "  symbolic verification (all views agree, q differs): {}",
+            witness.verify(&views, &query)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--repeat"])?;
+    let path = flags.path.as_deref().ok_or("bench needs a task file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let file = parse_task_file(&text).map_err(|e| e.to_string())?;
+    let tasks = &file.tasks;
+
+    // Decision cost only on both sides: witnesses off, so the comparison is
+    // exactly "shared session" vs "one-shot calls".
+    let config = SessionConfig {
+        witnesses: false,
+        verify: false,
+        witness: WitnessConfig::default(),
+    };
+
+    let mut fresh_total = 0.0f64;
+    let mut shared_total = 0.0f64;
+    let mut last_stats = None;
+    for _ in 0..flags.repeat {
+        let start = Instant::now();
+        for task in tasks {
+            let _ = decide_bag_determinacy(&task.views, &task.query);
+        }
+        fresh_total += start.elapsed().as_secs_f64();
+
+        let session = DecisionSession::with_config(config.clone());
+        let start = Instant::now();
+        let report = session.decide_batch(tasks);
+        shared_total += start.elapsed().as_secs_f64();
+        last_stats = Some(report.stats);
+    }
+    let fresh_ms = fresh_total * 1e3 / flags.repeat as f64;
+    let shared_ms = shared_total * 1e3 / flags.repeat as f64;
+    println!(
+        "{} tasks ({} definitions), mean over {} run(s):",
+        tasks.len(),
+        file.definitions.len(),
+        flags.repeat
+    );
+    println!("  one-shot calls:  {fresh_ms:>10.2} ms/batch");
+    println!("  shared session:  {shared_ms:>10.2} ms/batch");
+    println!("  speedup:         {:>10.2}×", fresh_ms / shared_ms);
+    if let Some(stats) = last_stats {
+        println!(
+            "  session caches:  frozen {}/{}, gate {}/{}, {} iso classes",
+            stats.frozen_hits,
+            stats.frozen_hits + stats.frozen_misses,
+            stats.gate_hits,
+            stats.gate_hits + stats.gate_misses,
+            stats.iso_classes,
+        );
     }
     Ok(())
 }
@@ -231,5 +550,25 @@ mod tests {
         assert!(c.degrees.is_empty());
         assert!(parse_monomial("nope").is_err());
         assert!(parse_monomial("3:x^z").is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let all = ["--query", "--json", "--repeat"];
+        let args: Vec<String> = ["file.cq", "--query", "q2", "--json", "--repeat", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = super::parse_flags(&args, &all).unwrap();
+        assert_eq!(flags.path.as_deref(), Some("file.cq"));
+        assert_eq!(flags.query_name, "q2");
+        assert!(flags.json && !flags.witness);
+        assert_eq!(flags.repeat, 3);
+        assert!(super::parse_flags(&["--repeat".to_string(), "0".to_string()], &all).is_err());
+        assert!(super::parse_flags(&["--bogus".to_string()], &all).is_err());
+        // A flag belonging to a different subcommand is rejected, not
+        // silently ignored.
+        let err = super::parse_flags(&["--json".to_string()], &["--query"]).unwrap_err();
+        assert!(err.contains("not a flag of this subcommand"));
     }
 }

@@ -18,10 +18,17 @@
 //! * [`core`] — the decision procedure of Theorem 3, counterexample
 //!   construction, the path-query results of Theorem 1 and a brute-force
 //!   baseline,
+//! * [`engine`] — the batch decision engine: long-lived sessions with
+//!   cross-request caches, task files, JSON certificates,
 //! * [`hilbert`] — the Theorem 2 reduction from Hilbert's Tenth Problem
 //!   (undecidability for boolean UCQs).
 //!
-//! ## Quickstart
+//! `ARCHITECTURE.md` at the workspace root maps every paper object (Lemma 4
+//! structure algebra, Definition 27 basis, the Main Lemma span test,
+//! Theorems 1–3) to the module implementing it, with the crate dependency
+//! diagram.
+//!
+//! ## Quickstart — one instance
 //!
 //! ```
 //! use cqdet::prelude::*;
@@ -39,9 +46,63 @@
 //! // … and the analysis explains why: q(D) = v1(D)·v2(D).
 //! assert!(analysis.rewriting(&views).unwrap().contains("v1(D)"));
 //! ```
+//!
+//! ## Quickstart — a batch of instances
+//!
+//! Real workloads are fleets of `(views, query)` tasks sharing views.  A
+//! [`engine::DecisionSession`] owns cross-request caches (frozen bodies,
+//! canonical keys, containment gates, the hom-count memo), so a batch
+//! canonizes and gates each isomorphism class once; every task comes back
+//! with a re-verified certificate that serializes to JSON.
+//!
+//! ```
+//! use cqdet::prelude::*;
+//!
+//! let file = parse_task_file(
+//!     "
+//!     v1() :- R(x,y)
+//!     v2() :- R(x,y), R(y,z)
+//!     q1() :- R(x,y), R(u,w)            # determined: 2·v1
+//!     q2() :- R(x,y), R(y,z), R(z,w)    # not determined
+//!     task a: q1 <- v1 v2
+//!     task b: q2 <- *
+//!     ",
+//! )
+//! .unwrap();
+//!
+//! let session = DecisionSession::new();
+//! let report = session.decide_batch(&file.tasks);
+//! assert!(report.all_verified());
+//! assert_eq!(report.records[0].status, TaskStatus::Determined);
+//! assert_eq!(report.records[1].status, TaskStatus::NotDetermined);
+//! // Each record is a JSON-lines certificate …
+//! let line = report.records[1].to_json().render();
+//! assert!(line.contains("\"counterexample\""));
+//! // … and the session counted its cache traffic.
+//! assert!(report.stats.frozen_hits > 0);
+//! ```
+//!
+//! ## The `cqdet` CLI
+//!
+//! The same functionality ships as a binary (`cargo run --release --bin
+//! cqdet -- --help`):
+//!
+//! ```text
+//! cqdet decide  program.cq --query q --json   # one instance → JSON certificate
+//! cqdet batch   tasks.cqb                     # task file → JSON-lines + cache stats
+//! cqdet explain program.cq                    # the pipeline, narrated step by step
+//! cqdet bench   tasks.cqb --repeat 5          # shared session vs one-shot calls
+//! cqdet path    ABCD ABC BC BCD               # Theorem 1 (path queries)
+//! cqdet hilbert 6 +2:x,y -12:                 # Theorem 2 reduction
+//! ```
+//!
+//! Task files declare a pool of definitions (one boolean CQ per line) and
+//! then `task <id>: <query> <- <view> <view> ...` lines (`*` = every
+//! definition except the query); see [`engine::taskfile`] for the grammar.
 
 pub use cqdet_bigint as bigint;
 pub use cqdet_core as core;
+pub use cqdet_engine as engine;
 pub use cqdet_hilbert as hilbert;
 pub use cqdet_linalg as linalg;
 pub use cqdet_query as query;
@@ -52,8 +113,11 @@ pub mod prelude {
     pub use cqdet_bigint::{Int, Nat};
     pub use cqdet_core::witness::{build_counterexample, WitnessConfig};
     pub use cqdet_core::{
-        brute_force_search, decide_bag_determinacy, decide_path_determinacy, BagDeterminacy,
-        Counterexample,
+        brute_force_search, decide_bag_determinacy, decide_bag_determinacy_in,
+        decide_path_determinacy, BagDeterminacy, Counterexample, DecisionContext,
+    };
+    pub use cqdet_engine::{
+        parse_task_file, DecisionSession, SessionConfig, Task, TaskRecord, TaskStatus,
     };
     pub use cqdet_hilbert::{encode, DiophantineInstance, Monomial};
     pub use cqdet_linalg::{QMat, QVec, Rat};
