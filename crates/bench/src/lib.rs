@@ -4,8 +4,10 @@
 //! `EXPERIMENTS.md`; this library crate holds the workload constructors so
 //! that the benches and the documentation agree on the parameters.
 
+use cqdet_bigint::{Int, Nat};
 use cqdet_core::{ConjunctiveQuery, PathQuery};
 use cqdet_engine::Task;
+use cqdet_linalg::{QVec, Rat};
 use cqdet_query::cq::Atom;
 use cqdet_query::QueryGenerator;
 use cqdet_structure::{Schema, Structure, StructureGenerator};
@@ -104,6 +106,68 @@ pub fn batch_workload(num_tasks: usize, num_views: usize, seed: u64) -> Vec<Task
             }
         })
         .collect()
+}
+
+/// The parameter grid for the modular-linear-algebra experiment (LINALG):
+/// `(dimension k, generators n, entry bits)`.  Tall systems (`k ≫ n`) with
+/// bignum entries are the hom-count regime of Definitions 27/29 at scale;
+/// the 64-bit shape is the word-size control.
+pub const LINALG_SPAN_SHAPES: &[(usize, usize, usize)] = &[(24, 8, 64), (48, 12, 256)];
+
+/// The canonical seed for a [`span_workload`] shape — shared by the JSON
+/// harness, the criterion bench and the oracle test so they always measure
+/// and validate the same data.
+pub const fn span_workload_seed(bits: usize) -> u64 {
+    0x11A6 + bits as u64
+}
+
+/// A deterministic `bits`-bit natural number (splitmix64-filled limbs).
+fn big_nat(state: &mut u64, bits: usize) -> Nat {
+    let mut next = || {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut n = Nat::zero();
+    for _ in 0..bits.div_ceil(64) {
+        n = n.shl_bits(64).add_ref(&Nat::from_u64(next()));
+    }
+    // Trim to `bits - 1` bits, then force the top bit so the magnitude is
+    // exactly what the label promises.
+    let excess = n.bit_len().saturating_sub(bits - 1);
+    n.shr_bits(excess) + Nat::one().shl_bits(bits - 1)
+}
+
+/// A deterministic span workload for the LINALG experiment: `n` generator
+/// vectors in ℚ^k whose entries are (signed) `bits`-bit integers —
+/// hom-count-scale numbers — plus an **in-span** target planted as a small
+/// integer combination of the generators (the shape the modular tier lifts
+/// with single-prime reconstruction) and an **out-of-span** probe (a
+/// perturbed copy; rejected by the full-column-rank mod-p certificate
+/// without any bignum work).
+pub fn span_workload(k: usize, n: usize, bits: usize, seed: u64) -> (Vec<QVec>, QVec, QVec) {
+    assert!(n < k, "the workload wants a tall system (n < k)");
+    let mut state = seed;
+    let signed_entry = |state: &mut u64| {
+        let nat = big_nat(state, bits);
+        let negative = *state & 1 == 1;
+        let int = Int::from_nat(nat);
+        Rat::from_int(if negative { int.neg_ref() } else { int })
+    };
+    let generators: Vec<QVec> = (0..n)
+        .map(|_| QVec((0..k).map(|_| signed_entry(&mut state)).collect()))
+        .collect();
+    // Small planted coefficients in [-4, 4] \ {0}.
+    let mut in_span = QVec::zeros(k);
+    for (j, g) in generators.iter().enumerate() {
+        let c = Rat::from_i64((seed as i64 % 4 + j as i64) % 4 + 1);
+        in_span = &in_span + &g.scale(&c);
+    }
+    let mut outside = in_span.clone();
+    outside[0] = outside[0].add_ref(&Rat::one());
+    (generators, in_span, outside)
 }
 
 /// A deterministic path-determinacy workload.
@@ -209,9 +273,47 @@ mod tests {
         assert!(stats.frozen_hits > 0, "shared views must hit: {stats:?}");
         assert!(stats.gate_hits > 0, "repeated gates must hit: {stats:?}");
         assert!(
+            stats.span_hits > 0,
+            "tasks sharing the view pool must reuse the incremental span basis: {stats:?}"
+        );
+        assert!(
             stats.iso_classes as usize <= 2 * BATCH_SHARED_VIEWS,
             "bodies collapse into few classes: {stats:?}"
         );
+    }
+
+    #[test]
+    fn span_workload_is_deterministic_and_oracle_checked() {
+        for &(k, n, bits) in LINALG_SPAN_SHAPES {
+            let (gens, inside, outside) = span_workload(k, n, bits, span_workload_seed(bits));
+            let (gens2, inside2, _) = span_workload(k, n, bits, span_workload_seed(bits));
+            assert_eq!(gens, gens2);
+            assert_eq!(inside, inside2);
+            assert!(gens.iter().all(|g| g.dim() == k) && gens.len() == n);
+            // Entries really are `bits`-bit numbers.
+            assert!(gens
+                .iter()
+                .all(|g| g.iter().all(|e| e.numer().magnitude().bit_len() == bits)));
+            // The tiered solver answers both probes (every non-fallback
+            // answer is exactly verified internally), and the in-span
+            // certificate reconstructs the target.
+            let alpha = cqdet_linalg::span_coefficients(&gens, &inside)
+                .expect("planted combination is in the span");
+            let mut acc = QVec::zeros(k);
+            for (a, g) in alpha.iter().zip(&gens) {
+                acc = &acc + &g.scale(a);
+            }
+            assert_eq!(acc, inside);
+            assert!(cqdet_linalg::span_coefficients(&gens, &outside).is_none());
+            // The pure-Rat oracle cross-check runs on the word-size shape
+            // only: on the 256-bit shape a debug-build exact elimination
+            // takes tens of seconds, which is exactly the point of the
+            // modular tier.
+            if bits <= 64 {
+                assert!(cqdet_linalg::span_coefficients_exact(&gens, &inside).is_some());
+                assert!(cqdet_linalg::span_coefficients_exact(&gens, &outside).is_none());
+            }
+        }
     }
 
     #[test]

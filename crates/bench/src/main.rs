@@ -17,10 +17,12 @@
 
 use cqdet_bench::{
     batch_workload, decide_workload, dedup_components_workload, hom_source, hom_target,
-    BATCH_SHARED_VIEWS, BATCH_TASK_COUNTS, DECIDE_MANY_VIEW_COUNTS,
+    span_workload, span_workload_seed, BATCH_SHARED_VIEWS, BATCH_TASK_COUNTS,
+    DECIDE_MANY_VIEW_COUNTS, LINALG_SPAN_SHAPES,
 };
 use cqdet_core::decide_bag_determinacy;
 use cqdet_engine::{DecisionSession, SessionConfig};
+use cqdet_linalg::{span_coefficients, span_coefficients_exact, QMat};
 use cqdet_structure::{dedup_up_to_iso, hom};
 use std::io::Write as _;
 use std::time::Instant;
@@ -227,6 +229,41 @@ fn main() {
                 session.decide_batch(&tasks).records.len()
             },
         );
+    }
+
+    // LINALG: the exact span/rank kernels on tall bignum systems — the
+    // regime where hom-count entries make dense rational elimination pay
+    // bignum gcd/mul per pivot step (§LINALG).  `span/*` runs the tiered
+    // solver (modular prescreen + exact verification; set
+    // CQDET_EXACT_LINALG=1 for the pure-Rat baseline); `rank/*` is the
+    // exact elimination with content normalization + smallest-pivot
+    // selection.
+    for &(k, n, bits) in LINALG_SPAN_SHAPES {
+        let (gens, inside, outside) = span_workload(k, n, bits, span_workload_seed(bits));
+        // Sanity before publishing numbers: the tiered answers are exactly
+        // verified internally, and on the word-size shape the pure-Rat
+        // oracle cross-checks them (the 256-bit oracle run is what the
+        // CQDET_EXACT_LINALG=1 series measures).
+        assert!(
+            span_coefficients(&gens, &inside).is_some(),
+            "planted target must be in span ({k}x{n}/{bits})"
+        );
+        assert!(
+            span_coefficients(&gens, &outside).is_none(),
+            "probe must be out of span ({k}x{n}/{bits})"
+        );
+        if bits <= 64 {
+            assert!(span_coefficients_exact(&gens, &inside).is_some());
+            assert!(span_coefficients_exact(&gens, &outside).is_none());
+        }
+        h.bench(&format!("linalg/span/in/{k}x{n}/{bits}bit"), || {
+            span_coefficients(&gens, &inside).is_some()
+        });
+        h.bench(&format!("linalg/span/out/{k}x{n}/{bits}bit"), || {
+            span_coefficients(&gens, &outside).is_some()
+        });
+        let m = QMat::from_cols(&gens);
+        h.bench(&format!("linalg/rank/{k}x{n}/{bits}bit"), || m.rank());
     }
 
     // Micro-bench of the de-duplication kernel itself, on exactly the

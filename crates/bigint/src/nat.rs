@@ -483,6 +483,28 @@ impl Nat {
         (from_limbs(out), rem as u32)
     }
 
+    /// The remainder `self mod m` for a machine-word modulus, without
+    /// allocating a quotient.  Folds the limbs most-significant-first:
+    /// `acc ← (acc·2³² + limb) mod m`, which fits `u128` for any `m ≤ u64`.
+    ///
+    /// This is the reduction the modular linear-algebra tier
+    /// (`cqdet-linalg`) uses to map exact rationals into `ℤ/p` — it runs
+    /// once per matrix entry, so it must not pay the full `divrem` long
+    /// division.  Panics if `m` is zero.
+    pub fn mod_u64(&self, m: u64) -> u64 {
+        assert!(m != 0, "modulus must be non-zero");
+        if let Repr::Inline(v) = self.repr {
+            return v % m;
+        }
+        let mut buf = [0u32; 2];
+        let limbs = self.limb_slice(&mut buf);
+        let mut acc: u128 = 0;
+        for &limb in limbs.iter().rev() {
+            acc = ((acc << 32) | limb as u128) % m as u128;
+        }
+        acc as u64
+    }
+
     /// Exponentiation by squaring. `0^0 = 1` (the paper's convention).
     pub fn pow(&self, mut exp: u64) -> Nat {
         let mut base = self.clone();

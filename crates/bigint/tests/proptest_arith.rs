@@ -39,6 +39,15 @@ proptest! {
     }
 
     #[test]
+    fn nat_mod_u64_matches_divrem(hi in any::<u64>(), lo in any::<u64>(), m in 1u64..) {
+        // Exercise both the inline and the heap (limb-folding) paths.
+        let big = nat_from_u128(((hi as u128) << 64) | lo as u128);
+        let (_, r) = big.divrem(&Nat::from_u64(m));
+        prop_assert_eq!(Nat::from_u64(big.mod_u64(m)), r);
+        prop_assert_eq!(Nat::from_u64(lo).mod_u64(m), lo % m);
+    }
+
+    #[test]
     fn nat_divrem_reconstructs(a in any::<u128>(), b in 1u128..) {
         let an = nat_from_u128(a);
         let bn = nat_from_u128(b);

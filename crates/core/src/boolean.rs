@@ -15,7 +15,7 @@
 //! "q(D) = Π v(D)^{αᵥ}" rewriting), so callers can inspect *why*.
 
 use crate::session::{DecisionContext, FrozenQuery};
-use cqdet_linalg::{span_coefficients, QVec, Rat};
+use cqdet_linalg::{QVec, Rat};
 use cqdet_parallel::par_map;
 use cqdet_query::cq::common_schema;
 use cqdet_query::ConjunctiveQuery;
@@ -178,6 +178,7 @@ pub fn decide_bag_determinacy_in(
     // in an earlier call) when the frozen entries were constructed.
     let mut class_of: Vec<usize> = Vec::with_capacity(views.len());
     let mut reps: Vec<usize> = Vec::new(); // class → first view with that body
+    let mut class_session_ids: Vec<u32> = Vec::new(); // class → session-wide id
     let mut intern: HashMap<u32, usize> = HashMap::new();
     for (i, frozen) in view_frozen.iter().enumerate() {
         let session_id = cx.class_id(frozen.iso_key());
@@ -185,6 +186,7 @@ pub fn decide_bag_determinacy_in(
         let c = *intern.entry(session_id).or_insert(next);
         if c == next {
             reps.push(i);
+            class_session_ids.push(session_id);
         }
         class_of.push(c);
     }
@@ -222,15 +224,21 @@ pub fn decide_bag_determinacy_in(
             c.iso_class_key();
         });
     }
-    let basis: Vec<Structure> = dedup_up_to_iso_refs(
-        class_comps
-            .iter()
-            .flat_map(|c| c.iter())
-            .chain(q_comps.iter()),
-    )
-    .into_iter()
-    .cloned()
-    .collect();
+    // First-occurrence order lists every view-contributed basis element
+    // before any query-only one: the first `prefix_dim` elements (the
+    // *prefix basis*) are exactly the classes of the retained views'
+    // components, so they — and the view vectors over them — are
+    // independent of the query.  That is what makes the span system
+    // shareable across tasks below.  One dedup pass builds both: the
+    // prefix length is recorded after the view components, then the query
+    // components extend the same first-occurrence scan.
+    let (basis, prefix_dim) = {
+        let view_refs = dedup_up_to_iso_refs(class_comps.iter().flat_map(|c| c.iter()));
+        let prefix_dim = view_refs.len();
+        let refs = dedup_up_to_iso_refs(view_refs.into_iter().chain(q_comps.iter()));
+        let basis: Vec<Structure> = refs.into_iter().cloned().collect();
+        (basis, prefix_dim)
+    };
 
     // Step 3: vector representations (Definition 29), one per class, via a
     // canonical-key index over the basis built exactly once.
@@ -247,9 +255,41 @@ pub fn decide_bag_determinacy_in(
         .collect();
 
     // Step 4: the Main Lemma's span test.  Duplicate columns do not change a
-    // span, so the system is solved over one vector per class, and solving
-    // for the coefficients *is* the membership test — a single elimination.
-    let class_coefficients = span_coefficients(&class_vectors, &query_vector);
+    // span, so the system is solved over one vector per class, through the
+    // session's incremental echelon form (`DecisionContext::span_solve`):
+    // vectors are inserted one at a time with early exit once q⃗ enters the
+    // span, and the rows are cached per retained-class sequence, so batch
+    // tasks sharing views never re-eliminate shared columns.
+    //
+    // A query-only basis element (position ≥ prefix_dim) short-circuits the
+    // system: q⃗ has multiplicity ≥ 1 there while every view vector is 0, so
+    // q⃗ cannot be in the span.
+    let class_coefficients = if class_vectors.is_empty() {
+        query_vector.is_zero().then(|| QVec(Vec::new()))
+    } else if basis.len() > prefix_dim {
+        debug_assert!(
+            (prefix_dim..basis.len()).all(|j| !query_vector[j].is_zero()),
+            "tail basis elements exist only because q contributed them"
+        );
+        None
+    } else {
+        // The cache key must determine the span system *including its
+        // coordinate order*: the retained class-id sequence fixes the
+        // columns as a multiset, but isomorphic view bodies written with
+        // different atom orders can enumerate their components — and hence
+        // the basis prefix coordinates — differently.  Appending the
+        // prefix elements' own class ids (in basis order, behind a
+        // separator no real id can collide with) pins the coordinate
+        // system, so a cached echelon row is only ever reused against
+        // vectors expressed over the same basis order.
+        let mut key: Vec<u32> = retained_classes
+            .iter()
+            .map(|&c| class_session_ids[c])
+            .collect();
+        key.push(u32::MAX);
+        key.extend(basis.iter().map(|w| cx.class_id(&w.iso_class_key())));
+        cx.span_solve(&key, &class_vectors, &query_vector)
+    };
     let determined = class_coefficients.is_some();
     let coefficients = class_coefficients.map(|cc| {
         // Scatter each class coefficient onto the first retained view of its
@@ -456,6 +496,104 @@ mod tests {
         assert!(!res.determined);
         assert!(res.retained_views.is_empty());
         assert_eq!(res.basis_size(), 1);
+    }
+
+    #[test]
+    fn span_basis_is_reused_across_shared_view_tasks() {
+        // Two tasks over the same views: the second solves its span system
+        // against the first task's cached incremental echelon (hit counter)
+        // and no column is re-eliminated.  A third task with different
+        // views misses.
+        let cx = DecisionContext::new();
+        let views = [edge("v1"), two_path("v2")];
+        // Both queries contain an edge and a 2-path component, so both
+        // retain both views and share the cache key.
+        let q1 = ConjunctiveQuery::boolean(
+            "q1",
+            vec![
+                atom("R", &["x", "y"]),
+                atom("R", &["a", "b"]),
+                atom("R", &["b", "c"]),
+            ],
+        );
+        let q2 = ConjunctiveQuery::boolean(
+            "q2",
+            vec![
+                atom("R", &["x", "y"]),
+                atom("R", &["z", "w"]),
+                atom("R", &["a", "b"]),
+                atom("R", &["b", "c"]),
+            ],
+        );
+        let r1 = decide_bag_determinacy_in(&cx, &views, &q1).unwrap();
+        assert!(r1.determined);
+        let stats = cx.stats();
+        assert_eq!((stats.span_hits, stats.span_misses), (0, 1));
+        let r2 = decide_bag_determinacy_in(&cx, &views, &q2).unwrap();
+        assert!(r2.determined);
+        let stats = cx.stats();
+        assert_eq!((stats.span_hits, stats.span_misses), (1, 1));
+        // Same instance again: pure reuse.
+        let r1b = decide_bag_determinacy_in(&cx, &views, &q1).unwrap();
+        assert_eq!(r1b.coefficients.unwrap(), r1.coefficients.unwrap());
+        assert_eq!(cx.stats().span_hits, 2);
+        // A different view pool starts a fresh basis.
+        let other = [two_path("w")];
+        let _ = decide_bag_determinacy_in(&cx, &other, &two_path("q")).unwrap();
+        assert_eq!(cx.stats().span_misses, 2);
+    }
+
+    #[test]
+    fn span_cache_is_coordinate_order_safe() {
+        // Two isomorphic view bodies written with different atom orders
+        // share a session class id but can enumerate their connected
+        // components — and hence the basis prefix coordinates — in
+        // different orders.  The span cache must not reduce one task's
+        // target against echelon rows built in the other task's coordinate
+        // system (regression: a permuted reuse returned `determined =
+        // false` for a query identical to its own view).
+        let cx = DecisionContext::new();
+        let edge_first = vec![
+            atom("R", &["x", "y"]),
+            atom("R", &["z", "w"]),
+            atom("R", &["l", "l"]),
+        ];
+        let loop_first = vec![
+            atom("R", &["l", "l"]),
+            atom("R", &["a", "b"]),
+            atom("R", &["c", "d"]),
+        ];
+        let v1 = ConjunctiveQuery::boolean("v1", edge_first.clone());
+        let q1 = ConjunctiveQuery::boolean("q1", edge_first);
+        let r1 = decide_bag_determinacy_in(&cx, &[v1], &q1).unwrap();
+        assert!(r1.determined, "a query equal to its view is determined");
+        let v2 = ConjunctiveQuery::boolean("v2", loop_first.clone());
+        let q2 = ConjunctiveQuery::boolean("q2", loop_first);
+        let r2 = decide_bag_determinacy_in(&cx, &[v2], &q2).unwrap();
+        assert!(
+            r2.determined,
+            "isomorphic instance must not be corrupted by a permuted cached basis"
+        );
+        assert_eq!(r2.coefficients.unwrap()[0], Rat::one());
+    }
+
+    #[test]
+    fn query_only_basis_elements_short_circuit_the_span() {
+        // The query has a component (an R-loop) no view shares: the span
+        // test must reject without consulting the cached basis.
+        let cx = DecisionContext::new();
+        let views = [edge("v")];
+        let q =
+            ConjunctiveQuery::boolean("q", vec![atom("R", &["x", "y"]), atom("R", &["l", "l"])]);
+        let res = decide_bag_determinacy_in(&cx, &views, &q).unwrap();
+        assert!(!res.determined);
+        assert_eq!(res.basis_size(), 2);
+        let stats = cx.stats();
+        assert_eq!(
+            (stats.span_hits, stats.span_misses),
+            (0, 0),
+            "tail short-circuit must not touch the span cache"
+        );
     }
 
     #[test]

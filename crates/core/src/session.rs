@@ -21,6 +21,12 @@
 //! * a session-wide **iso-class table** assigning stable dense ids to
 //!   canonical keys, which the pipeline uses to intern view bodies and
 //!   which callers can read for capacity accounting ([`ContextStats`]);
+//! * a **span-basis cache** holding one incremental echelon form
+//!   ([`cqdet_linalg::IncrementalBasis`]) per retained view-class sequence:
+//!   the Main Lemma system's columns are eliminated lazily (early exit once
+//!   a target enters the span) and *once per session*, so every later task
+//!   over the same view pool only reduces its own target vector
+//!   ([`DecisionContext::span_solve`]);
 //! * a [`SharedCaches`] handle for the hom-count memo, which callers
 //!   install around witness construction so separating-structure searches
 //!   and evaluation matrices reuse counts across tasks
@@ -32,6 +38,7 @@
 //! `cqdet-engine` crate wraps a `DecisionContext` into a full batch engine
 //! (task fan-out, JSON certificates, cache-hit statistics).
 
+use cqdet_linalg::{IncrementalBasis, QVec};
 use cqdet_query::ConjunctiveQuery;
 use cqdet_structure::{
     connected_components, hom_exists, IsoClassKey, Schema, SharedCaches, Structure,
@@ -93,6 +100,13 @@ pub struct ContextStats {
     pub gate_hits: u64,
     /// Containment-gate cache misses (one `hom_exists` search ran).
     pub gate_misses: u64,
+    /// Span-basis cache hits: the Main Lemma system reused an incremental
+    /// echelon form built (possibly partially) by an earlier task over the
+    /// same retained view-class sequence — no shared column was
+    /// re-eliminated.
+    pub span_hits: u64,
+    /// Span-basis cache misses (a fresh [`IncrementalBasis`] was started).
+    pub span_misses: u64,
     /// Number of distinct isomorphism classes interned in the session table.
     pub iso_classes: u64,
     /// Hom-count memo statistics of the session's [`SharedCaches`] handle.
@@ -128,10 +142,27 @@ pub struct DecisionContext {
     /// column).
     #[allow(clippy::mutable_key_type)]
     classes: Mutex<(HashMap<IsoClassKey, u32>, u32)>,
+    /// Cached online echelon forms for the Main Lemma span systems, keyed
+    /// by the session class ids of the retained view classes in pipeline
+    /// order (which determine the Definition 29 vectors exactly): tasks
+    /// sharing a view pool solve against one shared elimination, each
+    /// target only reducing against the rows already built —
+    /// see [`DecisionContext::span_solve`].
+    span: Mutex<HashMap<Vec<u32>, Arc<SpanEntry>>>,
     frozen_hits: AtomicU64,
     frozen_misses: AtomicU64,
     gate_hits: AtomicU64,
     gate_misses: AtomicU64,
+    span_hits: AtomicU64,
+    span_misses: AtomicU64,
+}
+
+/// One cached span system: the lazily fed incremental echelon form over the
+/// retained classes' vectors.  The inner mutex serializes feeding; the
+/// entry is shared via `Arc` so the outer map lock is never held during
+/// elimination.
+struct SpanEntry {
+    basis: Mutex<IncrementalBasis>,
 }
 
 impl Default for DecisionContext {
@@ -148,10 +179,13 @@ impl DecisionContext {
             frozen: Mutex::new(HashMap::new()),
             gate: Mutex::new(HashMap::new()),
             classes: Mutex::new((HashMap::new(), 0)),
+            span: Mutex::new(HashMap::new()),
             frozen_hits: AtomicU64::new(0),
             frozen_misses: AtomicU64::new(0),
             gate_hits: AtomicU64::new(0),
             gate_misses: AtomicU64::new(0),
+            span_hits: AtomicU64::new(0),
+            span_misses: AtomicU64::new(0),
         }
     }
 
@@ -222,6 +256,51 @@ impl DecisionContext {
         answer
     }
 
+    /// Solve the Main Lemma span system `target = Σ αᵢ·vectorsᵢ` against
+    /// the session's cached incremental echelon form for this retained
+    /// view-class sequence.
+    ///
+    /// `key` is the sequence of session class ids of the retained classes
+    /// in pipeline order — it determines `vectors` exactly (Definition 29
+    /// vectors are isomorphism-invariant and the basis prefix order follows
+    /// the class order), so a cache hit may reuse every echelon row an
+    /// earlier task built.  Vectors are fed lazily with early exit
+    /// ([`IncrementalBasis::solve_extend`]): the first task stops
+    /// eliminating the moment its target enters the span, later tasks
+    /// resume from wherever the basis stands.  Returns coefficients over
+    /// `vectors` (zero for never-fed generators) or `None` when the target
+    /// is outside the span of all of them.
+    pub fn span_solve(&self, key: &[u32], vectors: &[QVec], target: &QVec) -> Option<QVec> {
+        let dim = target.dim();
+        let entry = {
+            let mut map = self.span.lock().unwrap();
+            if let Some(entry) = map.get(key) {
+                self.span_hits.fetch_add(1, Ordering::Relaxed);
+                entry.clone()
+            } else {
+                self.span_misses.fetch_add(1, Ordering::Relaxed);
+                if map.len() >= CONTEXT_CACHE_CAP {
+                    map.clear();
+                }
+                map.entry(key.to_vec())
+                    .or_insert_with(|| {
+                        Arc::new(SpanEntry {
+                            basis: Mutex::new(IncrementalBasis::new(dim)),
+                        })
+                    })
+                    .clone()
+            }
+        };
+        let mut basis = entry.basis.lock().unwrap();
+        debug_assert_eq!(basis.dim(), dim, "key must determine the basis prefix");
+        debug_assert!(basis.len() <= vectors.len());
+        let fed = basis.len();
+        let alpha = basis.solve_extend(target, &vectors[fed..])?;
+        let mut out = alpha.0;
+        out.resize(vectors.len(), cqdet_linalg::Rat::zero());
+        Some(QVec(out))
+    }
+
     /// Current cache counters.
     pub fn stats(&self) -> ContextStats {
         ContextStats {
@@ -229,6 +308,8 @@ impl DecisionContext {
             frozen_misses: self.frozen_misses.load(Ordering::Relaxed),
             gate_hits: self.gate_hits.load(Ordering::Relaxed),
             gate_misses: self.gate_misses.load(Ordering::Relaxed),
+            span_hits: self.span_hits.load(Ordering::Relaxed),
+            span_misses: self.span_misses.load(Ordering::Relaxed),
             iso_classes: self.classes.lock().unwrap().0.len() as u64,
             hom: self.caches.stats(),
         }

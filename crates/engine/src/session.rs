@@ -460,6 +460,8 @@ pub fn stats_json(stats: &ContextStats) -> Json {
         ("frozen_misses", Json::num(stats.frozen_misses as i64)),
         ("gate_hits", Json::num(stats.gate_hits as i64)),
         ("gate_misses", Json::num(stats.gate_misses as i64)),
+        ("span_hits", Json::num(stats.span_hits as i64)),
+        ("span_misses", Json::num(stats.span_misses as i64)),
         ("iso_classes", Json::num(stats.iso_classes as i64)),
         ("hom_hits", Json::num(stats.hom.hits as i64)),
         ("hom_misses", Json::num(stats.hom.misses as i64)),

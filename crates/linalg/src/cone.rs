@@ -16,11 +16,17 @@ pub fn cone_contains(m: &QMat, u: &QVec) -> bool {
 
 /// If `u⃗ ∈ C`, return the (unique, because `M` is nonsingular) coordinates
 /// `α⃗ ≥ 0` with `M·α⃗ = u⃗`.
+///
+/// Solves the system directly (one elimination) instead of inverting `M`
+/// (which costs a full `k × 2k` elimination and was re-done per probe in
+/// the Lemma 57 perturbation search); nonsingularity is asserted via the
+/// modular fast path of [`QMat::is_nonsingular`].
 pub fn cone_coordinates(m: &QMat, u: &QVec) -> Option<QVec> {
-    let inv = m
-        .inverse()
-        .expect("cone_coordinates requires a nonsingular matrix");
-    let alpha = inv.mul_vec(u);
+    assert!(
+        m.is_nonsingular(),
+        "cone_coordinates requires a nonsingular matrix"
+    );
+    let alpha = m.solve(u).expect("nonsingular systems are solvable");
     if alpha.is_non_negative() {
         Some(alpha)
     } else {

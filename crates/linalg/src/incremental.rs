@@ -1,0 +1,328 @@
+//! Tier 2 of the exact linear-algebra stack: an **online echelon form**.
+//!
+//! The batch regimes of the ROADMAP north star decide many span questions
+//! against the *same* generating set (Definition 29 vectors of a shared
+//! view pool) with varying targets, and the one-shot pipeline usually sees
+//! the target enter the span long before every generator has been
+//! eliminated.  A monolithic `QMat::solve` per call throws both structures
+//! away; an [`IncrementalBasis`] keeps them:
+//!
+//! * generators are **inserted one at a time**, each reduced against the
+//!   rows already present (fully reduced / Gauss–Jordan invariant, so
+//!   insertion order never degrades later reductions);
+//! * every row carries its **coordinates** over the inserted generators,
+//!   so span membership and the certificate coefficients come out of the
+//!   same reduction — no second elimination;
+//! * [`IncrementalBasis::solve_extend`] feeds generators lazily and stops
+//!   as soon as the target's residual hits zero (**early exit**): span
+//!   questions over a planted workload never eliminate the columns after
+//!   the spanning prefix, and a session-cached basis re-eliminates
+//!   *nothing* for the second and later targets.
+//!
+//! Everything is exact `Rat` arithmetic — this tier needs no verification
+//! step, it *is* the exact computation; the modular tier
+//! ([`crate::modular`]) sits in front of the dense one-shot solves instead.
+
+use crate::rat::Rat;
+use crate::vector::QVec;
+
+/// One reduced row of the echelon form.
+struct EchelonRow {
+    /// The pivot column: `vec[pivot] = 1`, and every other row (and every
+    /// reduced residual) is zero there.
+    pivot: usize,
+    /// The row itself, fully reduced against all other rows.
+    vec: QVec,
+    /// `vec = Σ coords[i] · generatorᵢ` over the inserted generators
+    /// (entries past the stored length are zero).
+    coords: Vec<Rat>,
+}
+
+/// An online echelon form over ℚ with per-row generator coordinates.  See
+/// the [module docs](self).
+pub struct IncrementalBasis {
+    dim: usize,
+    /// Number of generators inserted so far (including dependent ones).
+    inserted: usize,
+    rows: Vec<EchelonRow>,
+}
+
+/// `acc[..] += f · src[..]`, growing `acc` with zeros as needed (subtract
+/// by passing `f.neg_ref()`).
+fn axpy(acc: &mut Vec<Rat>, f: &Rat, src: &[Rat]) {
+    if acc.len() < src.len() {
+        acc.resize(src.len(), Rat::zero());
+    }
+    for (a, s) in acc.iter_mut().zip(src) {
+        if !s.is_zero() {
+            *a = a.add_ref(&f.mul_ref(s));
+        }
+    }
+}
+
+/// `vec -= f · src` componentwise, skipping zero source entries — the one
+/// elimination inner loop every reduction in this module shares.
+fn sub_scaled(vec: &mut QVec, f: &Rat, src: &QVec) {
+    for (t, s) in vec.0.iter_mut().zip(src.0.iter()) {
+        if !s.is_zero() {
+            *t = t.sub_ref(&f.mul_ref(s));
+        }
+    }
+}
+
+impl IncrementalBasis {
+    /// An empty basis in ambient dimension `dim`.
+    pub fn new(dim: usize) -> IncrementalBasis {
+        IncrementalBasis {
+            dim,
+            inserted: 0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of generators inserted so far.
+    pub fn len(&self) -> usize {
+        self.inserted
+    }
+
+    /// Whether no generator has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// The rank of the inserted generators.
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Insert one generator; returns `true` when it enlarged the span.
+    pub fn insert(&mut self, v: &QVec) -> bool {
+        self.insert_indexed(v).is_some()
+    }
+
+    /// [`IncrementalBasis::insert`] returning the new row's index.
+    fn insert_indexed(&mut self, v: &QVec) -> Option<usize> {
+        assert_eq!(v.dim(), self.dim, "generator dimension mismatch");
+        let mut vec = v.clone();
+        let mut coords = vec![Rat::zero(); self.inserted + 1];
+        coords[self.inserted] = Rat::one();
+        for row in &self.rows {
+            let f = vec.0[row.pivot].clone();
+            if f.is_zero() {
+                continue;
+            }
+            sub_scaled(&mut vec, &f, &row.vec);
+            axpy(&mut coords, &f.neg_ref(), &row.coords);
+        }
+        self.inserted += 1;
+        // Pivot: the non-zero entry of minimal bit size, so the Jordan
+        // updates below multiply by the smallest numbers available.
+        let pivot = (0..self.dim)
+            .filter(|&j| !vec.0[j].is_zero())
+            .min_by_key(|&j| vec.0[j].bit_size())?;
+        let inv = vec.0[pivot].recip();
+        for t in vec.0.iter_mut() {
+            if !t.is_zero() {
+                *t = t.mul_ref(&inv);
+            }
+        }
+        for c in coords.iter_mut() {
+            if !c.is_zero() {
+                *c = c.mul_ref(&inv);
+            }
+        }
+        // Restore the full-reduction invariant on the existing rows.
+        for row in &mut self.rows {
+            let f = row.vec.0[pivot].clone();
+            if f.is_zero() {
+                continue;
+            }
+            sub_scaled(&mut row.vec, &f, &vec);
+            axpy(&mut row.coords, &f.neg_ref(), &coords);
+        }
+        self.rows.push(EchelonRow { pivot, vec, coords });
+        Some(self.rows.len() - 1)
+    }
+
+    /// Reduce `target` against the current rows: returns the residual and
+    /// coordinates with `target = Σ coordsᵢ·generatorᵢ + residual`.
+    fn reduce(&self, target: &QVec) -> (QVec, Vec<Rat>) {
+        assert_eq!(target.dim(), self.dim, "target dimension mismatch");
+        let mut residual = target.clone();
+        let mut coords = vec![Rat::zero(); self.inserted];
+        for row in &self.rows {
+            let f = residual.0[row.pivot].clone();
+            if f.is_zero() {
+                continue;
+            }
+            sub_scaled(&mut residual, &f, &row.vec);
+            axpy(&mut coords, &f, &row.coords);
+        }
+        (residual, coords)
+    }
+
+    /// Whether `target` lies in the span of the inserted generators.
+    pub fn contains(&self, target: &QVec) -> bool {
+        self.reduce(target).0.is_zero()
+    }
+
+    /// Coefficients over the inserted generators when `target` is in their
+    /// span (`target = Σ αᵢ·generatorᵢ`, `α` of length [`Self::len`]).
+    pub fn solve(&self, target: &QVec) -> Option<QVec> {
+        let (residual, mut coords) = self.reduce(target);
+        if !residual.is_zero() {
+            return None;
+        }
+        coords.resize(self.inserted, Rat::zero());
+        Some(QVec(coords))
+    }
+
+    /// [`Self::solve`] with lazy insertion: reduce `target` against the
+    /// current rows, and while the residual is non-zero keep inserting
+    /// generators from `feed` (in order), re-reducing the residual by each
+    /// newly created row.  Stops — **early exit** — the moment the target
+    /// enters the span; generators never fed (and fed-but-dependent ones
+    /// past the solution) simply get coefficient zero.
+    ///
+    /// Returns coefficients over *all* generators inserted so far (length
+    /// [`Self::len`] after the call), or `None` when `feed` was exhausted
+    /// with a non-zero residual.
+    pub fn solve_extend(&mut self, target: &QVec, feed: &[QVec]) -> Option<QVec> {
+        let (mut residual, mut coords) = self.reduce(target);
+        for v in feed {
+            if residual.is_zero() {
+                break;
+            }
+            if let Some(idx) = self.insert_indexed(v) {
+                let row = &self.rows[idx];
+                let f = residual.0[row.pivot].clone();
+                if !f.is_zero() {
+                    sub_scaled(&mut residual, &f, &row.vec);
+                    axpy(&mut coords, &f, &row.coords);
+                }
+            }
+        }
+        if !residual.is_zero() {
+            return None;
+        }
+        coords.resize(self.inserted, Rat::zero());
+        Some(QVec(coords))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: &[i64]) -> QVec {
+        QVec::from_i64s(vals)
+    }
+
+    /// `Σ αᵢ·gᵢ` over the first `alpha.len()` generators.
+    fn combine(generators: &[QVec], alpha: &QVec) -> QVec {
+        let mut acc = QVec::zeros(generators[0].dim());
+        for (a, g) in alpha.iter().zip(generators) {
+            acc = &acc + &g.scale(a);
+        }
+        acc
+    }
+
+    #[test]
+    fn rank_and_membership() {
+        let mut b = IncrementalBasis::new(3);
+        assert!(b.is_empty() && b.rank() == 0);
+        assert!(b.insert(&v(&[1, 2, 3])));
+        assert!(b.insert(&v(&[0, 1, 1])));
+        assert!(!b.insert(&v(&[1, 3, 4])), "dependent generator");
+        assert_eq!(b.rank(), 2);
+        assert_eq!(b.len(), 3);
+        assert!(b.contains(&v(&[2, 5, 7])));
+        assert!(!b.contains(&v(&[0, 0, 1])));
+    }
+
+    #[test]
+    fn solve_reconstructs_targets() {
+        let generators = [v(&[2, 1, 3]), v(&[5, 2, 7]), v(&[1, 1, 2])];
+        let mut b = IncrementalBasis::new(3);
+        for g in &generators {
+            b.insert(g);
+        }
+        let target = v(&[1, 1, 2]);
+        let alpha = b.solve(&target).unwrap();
+        assert_eq!(alpha.dim(), 3);
+        assert_eq!(combine(&generators, &alpha), target);
+        assert!(b.solve(&v(&[0, 0, 1])).is_none());
+    }
+
+    #[test]
+    fn solve_extend_exits_early() {
+        let generators = vec![v(&[1, 0, 0]), v(&[0, 1, 0]), v(&[0, 0, 1])];
+        let mut b = IncrementalBasis::new(3);
+        // Target spanned by the first generator alone: only one insert.
+        let alpha = b.solve_extend(&v(&[3, 0, 0]), &generators).unwrap();
+        assert_eq!(b.len(), 1, "early exit after the first generator");
+        assert_eq!(alpha, v(&[3]));
+        // A later target resumes feeding where the basis left off.
+        let alpha = b
+            .solve_extend(&v(&[1, 2, 0]), &generators[b.len()..])
+            .unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(alpha, v(&[1, 2]));
+        // Exhausting the feed without spanning reports None.
+        assert!(b
+            .solve_extend(&v(&[1, 1, 7]), &generators[b.len()..])
+            .is_some());
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn solve_extend_reports_out_of_span() {
+        let mut b = IncrementalBasis::new(2);
+        assert!(b
+            .solve_extend(&v(&[1, 1]), &[v(&[1, 0]), v(&[2, 0])])
+            .is_none());
+        assert_eq!(b.len(), 2, "every generator was tried");
+        // The basis remains usable afterwards.
+        assert!(b.solve_extend(&v(&[1, 1]), &[v(&[0, 3])]).is_some());
+    }
+
+    #[test]
+    fn rational_coefficients_are_exact() {
+        let generators = [
+            QVec(vec![
+                Rat::from_frac(1, 2),
+                Rat::from_frac(1, 3),
+                Rat::from_i64(1),
+            ]),
+            QVec(vec![
+                Rat::from_frac(2, 5),
+                Rat::from_i64(0),
+                Rat::from_frac(7, 4),
+            ]),
+        ];
+        let mut b = IncrementalBasis::new(3);
+        for g in &generators {
+            b.insert(g);
+        }
+        let target = combine(
+            &generators,
+            &QVec(vec![Rat::from_frac(-3, 7), Rat::from_frac(22, 9)]),
+        );
+        let alpha = b.solve(&target).unwrap();
+        assert_eq!(combine(&generators, &alpha), target);
+        assert_eq!(alpha[0], Rat::from_frac(-3, 7));
+        assert_eq!(alpha[1], Rat::from_frac(22, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut b = IncrementalBasis::new(3);
+        b.insert(&v(&[1, 2]));
+    }
+}

@@ -14,14 +14,41 @@
 //!
 //! Everything here is exact: no floating point is used anywhere in the
 //! workspace, so the decision procedure can never be wrong due to rounding.
+//!
+//! # The three solver tiers
+//!
+//! Exactness does not require *computing* over ℚ all the way:
+//!
+//! 1. **Modular prescreen** ([`modular`]): span / nonsingularity questions
+//!    are answered over `ℤ/p` for 2–3 word-size primes first (Montgomery
+//!    arithmetic, [`PrimeField`]), then lifted back by CRT + rational
+//!    reconstruction and re-verified in exact rational arithmetic — only
+//!    exactly verified certificates are returned, everything else falls
+//!    back to the exact tiers.  `CQDET_EXACT_LINALG=1` disables this tier.
+//! 2. **Incremental echelon** ([`IncrementalBasis`]): an online exact
+//!    elimination that inserts one generator at a time, carries
+//!    coefficient coordinates, early-exits once a target enters the span,
+//!    and is shared across the decision batches of `cqdet-core` /
+//!    `cqdet-engine` so fleets of tasks over one view pool never
+//!    re-eliminate shared columns.
+//! 3. **Exact elimination** ([`QMat`]): dense rational Gauss–Jordan with
+//!    smallest-bit-size pivot selection and row content normalization to
+//!    curb coefficient blowup; the mandatory fallback and the oracle the
+//!    other tiers are differentially tested against.
 
 mod cone;
+mod incremental;
 mod matrix;
+pub mod modular;
 mod rat;
 mod vector;
 
 pub use cone::{cone_contains, cone_coordinates, interior_cone_point, perturb_along};
-pub use matrix::{orthogonal_witness, span_coefficients, span_contains, QMat};
+pub use incremental::IncrementalBasis;
+pub use matrix::{
+    orthogonal_witness, span_coefficients, span_coefficients_exact, span_contains, QMat,
+};
+pub use modular::{exact_linalg_forced, primes, span_solve, PrimeField, SpanOutcome};
 pub use rat::Rat;
 pub use vector::{dot, hadamard, mars, pow_vec, QVec};
 

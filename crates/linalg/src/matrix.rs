@@ -1,9 +1,30 @@
 //! Dense matrices over ℚ, Gaussian elimination and the span / null-space
 //! machinery used by Lemma 31, Fact 5 and Lemma 46.
 
+use crate::modular::{span_solve, SpanOutcome};
 use crate::rat::Rat;
 use crate::vector::{dot, QVec};
+use cqdet_bigint::{Int, Nat};
 use std::fmt;
+
+/// The multiplier taking `row` to its primitive integer form (integer
+/// entries with gcd 1): `lcm(denominators) / gcd(numerators)`.  `None` when
+/// the row is all zero or already primitive.
+fn primitive_scale(row: &[Rat]) -> Option<Rat> {
+    let mut g = Nat::zero();
+    let mut l = Nat::one();
+    for x in row {
+        if x.is_zero() {
+            continue;
+        }
+        g = g.gcd(x.numer().magnitude());
+        l = l.lcm(x.denom());
+    }
+    if g.is_zero() || (g.is_one() && l.is_one()) {
+        return None;
+    }
+    Some(Rat::new(Int::from_nat(l), Int::from_nat(g)))
+}
 
 /// A dense `rows × cols` matrix of exact rationals, stored row-major.
 #[derive(Clone, PartialEq, Eq)]
@@ -162,6 +183,19 @@ impl QMat {
     }
 
     /// Reduced row echelon form. Returns `(rref, rank, pivot_columns)`.
+    ///
+    /// Two measures curb coefficient blowup on bignum-entry matrices (hom
+    /// counts grow exponentially with structure size, and naive elimination
+    /// squares entry sizes per step):
+    ///
+    /// * the pivot in each column is the candidate of **minimal bit size**,
+    ///   not the first non-zero one, so elimination multipliers stay small;
+    /// * each pivot row is **normalized by its content** (scaled to
+    ///   primitive integer form) before eliminating with it, so common
+    ///   factors accumulated in earlier steps never compound.
+    ///
+    /// Pivot entries are rescaled to 1 in a final pass, so the returned
+    /// matrix is the canonical RREF regardless of the internal pivoting.
     pub fn rref(&self) -> (QMat, usize, Vec<usize>) {
         let mut m = self.clone();
         let mut pivots = Vec::new();
@@ -170,17 +204,16 @@ impl QMat {
             if pivot_row >= m.rows {
                 break;
             }
-            // Find a non-zero pivot in this column at or below pivot_row.
-            let Some(sel) = (pivot_row..m.rows).find(|&r| !m.get(r, col).is_zero()) else {
+            // Smallest-bit-size pivot at or below pivot_row.
+            let Some(sel) = (pivot_row..m.rows)
+                .filter(|&r| !m.get(r, col).is_zero())
+                .min_by_key(|&r| m.get(r, col).bit_size())
+            else {
                 continue;
             };
             m.swap_rows(pivot_row, sel);
-            // Scale pivot row to make the pivot 1.
-            let inv = m.get(pivot_row, col).recip();
-            for j in col..m.cols {
-                let v = m.get(pivot_row, j).mul_ref(&inv);
-                m.set(pivot_row, j, v);
-            }
+            m.normalize_row(pivot_row, col);
+            let pivot_value = m.get(pivot_row, col).clone();
             // Eliminate the column everywhere else, row-pair at a time so the
             // inner loop runs on slices instead of index arithmetic.
             for r in 0..m.rows {
@@ -188,7 +221,7 @@ impl QMat {
                     continue;
                 }
                 let (pivot, target) = m.row_pair(pivot_row, r);
-                let factor = target[col].clone();
+                let factor = target[col].div_ref(&pivot_value);
                 for j in col..pivot.len() {
                     if !pivot[j].is_zero() {
                         target[j] = target[j].sub_ref(&factor.mul_ref(&pivot[j]));
@@ -198,7 +231,36 @@ impl QMat {
             pivots.push(col);
             pivot_row += 1;
         }
+        // Canonicalize: pivot entries become 1.
+        for (row, &col) in pivots.iter().enumerate() {
+            let pivot = m.get(row, col).clone();
+            if pivot.is_one() {
+                continue;
+            }
+            let inv = pivot.recip();
+            for j in col..m.cols {
+                if !m.get(row, j).is_zero() {
+                    let v = m.get(row, j).mul_ref(&inv);
+                    m.set(row, j, v);
+                }
+            }
+        }
         (m, pivot_row, pivots)
+    }
+
+    /// Scale row `i` (whose entries before `from` are zero) to primitive
+    /// integer form, returning the multiplier applied; no-op (and `None`)
+    /// on all-zero or already-primitive rows.
+    fn normalize_row(&mut self, i: usize, from: usize) -> Option<Rat> {
+        let start = i * self.cols + from;
+        let end = (i + 1) * self.cols;
+        let scale = primitive_scale(&self.data[start..end])?;
+        for x in &mut self.data[start..end] {
+            if !x.is_zero() {
+                *x = x.mul_ref(&scale);
+            }
+        }
+        Some(scale)
     }
 
     fn swap_rows(&mut self, a: usize, b: usize) {
@@ -224,24 +286,48 @@ impl QMat {
     }
 
     /// The rank of the matrix.
+    ///
+    /// Fast path: the mod-p rank is a certified *lower* bound (non-zero
+    /// minors survive reduction), so when it reaches `min(rows, cols)` the
+    /// exact rank is proved in machine words; only rank-deficient-mod-p
+    /// matrices (possibly falsely so) pay the exact elimination.  Tiny
+    /// word-size matrices skip the prescreen (`modular::prescreen_pays`,
+    /// the policy shared with the span tier) — exact elimination is
+    /// already cheaper than the field setup there.
     pub fn rank(&self) -> usize {
+        let full = self.rows.min(self.cols);
+        if crate::modular::prescreen_pays(self.rows * self.cols, self.data.iter())
+            && crate::modular::rank_lower_bound(self) == Some(full)
+        {
+            return full;
+        }
         self.rref().1
     }
 
-    /// The determinant (square matrices only), by fraction-free-ish Gaussian
-    /// elimination over ℚ.
+    /// The determinant (square matrices only), by Gaussian elimination over
+    /// ℚ with the same smallest-pivot / content-normalization policy as
+    /// [`QMat::rref`] (row scalings are tracked and divided back out).
     pub fn determinant(&self) -> Rat {
         assert_eq!(self.rows, self.cols, "determinant of a non-square matrix");
         let n = self.rows;
         let mut m = self.clone();
         let mut det = Rat::one();
+        // Product of the row-content multipliers applied along the way:
+        // det(scaled) = scale_acc · det(self).
+        let mut scale_acc = Rat::one();
         for col in 0..n {
-            let Some(sel) = (col..n).find(|&r| !m.get(r, col).is_zero()) else {
+            let Some(sel) = (col..n)
+                .filter(|&r| !m.get(r, col).is_zero())
+                .min_by_key(|&r| m.get(r, col).bit_size())
+            else {
                 return Rat::zero();
             };
             if sel != col {
                 m.swap_rows(col, sel);
                 det = det.neg_ref();
+            }
+            if let Some(scale) = m.normalize_row(col, col) {
+                scale_acc = scale_acc.mul_ref(&scale);
             }
             let pivot = m.get(col, col).clone();
             det = det.mul_ref(&pivot);
@@ -259,11 +345,15 @@ impl QMat {
                 }
             }
         }
-        det
+        det.div_ref(&scale_acc)
     }
 
     /// Whether this (square) matrix is nonsingular (Definition 38 requires
     /// this of good evaluation matrices).
+    ///
+    /// Rides the modular fast path of [`QMat::rank`]: a full-rank result
+    /// mod a word-size prime proves nonsingularity over ℚ in machine
+    /// words, so the common (nonsingular) case never touches bignums.
     pub fn is_nonsingular(&self) -> bool {
         self.rows == self.cols && self.rank() == self.rows
     }
@@ -347,14 +437,32 @@ pub fn span_contains(vectors: &[QVec], target: &QVec) -> bool {
     if vectors.is_empty() {
         return false;
     }
-    // Solve the system  Σ αᵢ·vᵢ = target  i.e.  A·α = target with columns vᵢ.
-    let a = QMat::from_cols(vectors);
-    a.solve(target).is_some()
+    // Solve the system  Σ αᵢ·vᵢ = target  i.e.  A·α = target with columns vᵢ
+    // (through the tiered solver — membership is certified either way).
+    span_coefficients(vectors, target).is_some()
 }
 
 /// If `target ∈ span{vectors}`, return coefficients `α⃗` with
 /// `Σ αᵢ·vectorsᵢ = target`.
+///
+/// Tiered: the modular prescreen ([`crate::modular::span_solve`]) answers
+/// over `ℤ/p` in machine words first and lifts its answer back to an
+/// exactly verified rational certificate; only uncertifiable instances (bad
+/// primes, rank undercounts, reconstruction overflow — and everything when
+/// `CQDET_EXACT_LINALG=1` is set) fall back to
+/// [`span_coefficients_exact`].  Both paths return exact coefficients.
 pub fn span_coefficients(vectors: &[QVec], target: &QVec) -> Option<QVec> {
+    match span_solve(vectors, target) {
+        SpanOutcome::Solved(alpha) => Some(alpha),
+        SpanOutcome::Rejected => None,
+        SpanOutcome::Fallback => span_coefficients_exact(vectors, target),
+    }
+}
+
+/// The pure-`Rat` span solve: one dense exact elimination, no modular
+/// prescreen.  This is the oracle the differential tests compare the tiered
+/// path against, and the mandatory fallback of [`span_coefficients`].
+pub fn span_coefficients_exact(vectors: &[QVec], target: &QVec) -> Option<QVec> {
     if vectors.is_empty() {
         return if target.is_zero() {
             Some(QVec::zeros(0))

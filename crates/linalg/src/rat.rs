@@ -307,6 +307,15 @@ impl Rat {
         }
     }
 
+    /// The combined bit length of numerator and denominator — the pivot
+    /// selection weight of the elimination kernels ([`crate::QMat::rref`],
+    /// [`crate::IncrementalBasis`]): eliminating with the smallest pivot
+    /// available keeps the multipliers, and hence the coefficient growth,
+    /// down.  Zero has bit size 1 (its denominator).
+    pub fn bit_size(&self) -> usize {
+        self.num.magnitude().bit_len() + self.den.bit_len()
+    }
+
     /// Floor: the greatest integer `≤ self`.
     pub fn floor(&self) -> Int {
         let (q, r) = self.num.divrem(&Int::from_nat(self.den.clone()));

@@ -1,0 +1,252 @@
+//! Differential property tests for the tiered exact solver: the modular
+//! prescreen ([`span_solve`] / the tiered [`span_coefficients`]) and the
+//! incremental echelon form ([`IncrementalBasis`]) against the pure-`Rat`
+//! elimination oracle ([`span_coefficients_exact`] / `QMat::rank`) —
+//! including the adversarial regimes the modular tier must survive: a
+//! solver prime dividing a denominator (bad prime) and a whole system that
+//! vanishes mod a prime (rank undercount).
+
+use cqdet_linalg::{
+    primes, span_coefficients, span_coefficients_exact, span_solve, IncrementalBasis, Int, Nat,
+    QMat, QVec, Rat, SpanOutcome,
+};
+use proptest::prelude::*;
+
+/// A small rational from a (numerator, denominator-index) pair.
+fn rat(n: i64, d_index: u8) -> Rat {
+    let d = [1i64, 2, 3, 5][usize::from(d_index % 4)];
+    Rat::from_frac(n, d)
+}
+
+/// Chop a flat entry list into `count` vectors of dimension `k`.
+fn vectors_of(entries: &[(i64, u8)], count: usize, k: usize) -> Vec<QVec> {
+    (0..count)
+        .map(|c| {
+            QVec(
+                (0..k)
+                    .map(|i| rat(entries[c * k + i].0, entries[c * k + i].1))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// `Σ αᵢ·vᵢ`.
+fn combine(vectors: &[QVec], alpha: &QVec) -> QVec {
+    let mut acc = QVec::zeros(vectors[0].dim());
+    for (a, v) in alpha.iter().zip(vectors) {
+        acc = &acc + &v.scale(a);
+    }
+    acc
+}
+
+/// The first solver prime as an exact rational.
+fn prime_rat(index: usize) -> Rat {
+    Rat::from_int(Int::from_nat(Nat::from_u64(primes()[index])))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Membership and certificates agree with the exact oracle on random
+    /// small rational systems.  `scale_up` multiplies the whole system by
+    /// 2⁹⁶ (membership-invariant) to push it over the word-size threshold
+    /// so the modular path — not the tiny-system short-circuit — answers.
+    #[test]
+    fn tiered_span_matches_exact_oracle(
+        count in 1usize..5,
+        k in 1usize..5,
+        entries in prop::collection::vec((-8i64..9, 0u8..4), 25),
+        target_entries in prop::collection::vec((-8i64..9, 0u8..4), 5),
+        scale_up in 0u8..2,
+    ) {
+        let c = if scale_up == 1 {
+            Rat::from_int(Int::from_nat(Nat::one().shl_bits(96)))
+        } else {
+            Rat::from_i64(1)
+        };
+        let vectors: Vec<QVec> = vectors_of(&entries, count, k)
+            .into_iter()
+            .map(|v| v.scale(&c))
+            .collect();
+        let target = QVec((0..k).map(|i| rat(target_entries[i].0, target_entries[i].1)).collect())
+            .scale(&c);
+        let exact = span_coefficients_exact(&vectors, &target);
+        let tiered = span_coefficients(&vectors, &target);
+        prop_assert_eq!(exact.is_some(), tiered.is_some(), "membership must agree");
+        if let Some(alpha) = &tiered {
+            prop_assert_eq!(alpha.dim(), count);
+            prop_assert_eq!(combine(&vectors, alpha), target.clone(), "certificate must be exact");
+        }
+        // The raw outcome never lies either way.
+        match span_solve(&vectors, &target) {
+            SpanOutcome::Solved(alpha) => {
+                prop_assert!(exact.is_some());
+                prop_assert_eq!(combine(&vectors, &alpha), target);
+            }
+            SpanOutcome::Rejected => prop_assert!(exact.is_none()),
+            SpanOutcome::Fallback => {}
+        }
+    }
+
+    /// Targets planted as integer combinations are always found, with an
+    /// exactly reconstructing certificate.
+    #[test]
+    fn planted_combinations_are_found(
+        count in 1usize..5,
+        k in 1usize..5,
+        entries in prop::collection::vec((-7i64..8, 0u8..4), 25),
+        coeffs in prop::collection::vec(-6i64..7, 5),
+    ) {
+        // Scaled over the word-size threshold so the modular lift (not the
+        // tiny-system short-circuit) produces the certificate.
+        let c = Rat::from_int(Int::from_nat(Nat::one().shl_bits(96)));
+        let vectors: Vec<QVec> = vectors_of(&entries, count, k)
+            .into_iter()
+            .map(|v| v.scale(&c))
+            .collect();
+        let planted = QVec::from_i64s(&coeffs[..count]);
+        let target = combine(&vectors, &planted);
+        let alpha = span_coefficients(&vectors, &target)
+            .expect("a planted combination is in the span");
+        prop_assert_eq!(combine(&vectors, &alpha), target);
+    }
+
+    /// Bad primes: denominators divisible by solver prime 1 (and sometimes
+    /// prime 2 as well) force the prescreen to skip primes or fall back —
+    /// never to answer wrong.
+    #[test]
+    fn bad_primes_are_skipped_not_trusted(
+        count in 1usize..4,
+        k in 1usize..4,
+        entries in prop::collection::vec((-6i64..7, 0u8..4), 16),
+        target_entries in prop::collection::vec((-6i64..7, 0u8..4), 4),
+        poison_second in 0u8..2,
+    ) {
+        let mut divisor = prime_rat(0);
+        if poison_second == 1 {
+            divisor = divisor.mul_ref(&prime_rat(1));
+        }
+        // Scale the whole system by 1/p (or 1/(p₁p₂)): every non-zero entry's
+        // denominator becomes divisible by the solver prime(s).
+        let vectors: Vec<QVec> = vectors_of(&entries, count, k)
+            .into_iter()
+            .map(|v| v.scale(&divisor.recip()))
+            .collect();
+        let target = QVec((0..k).map(|i| rat(target_entries[i].0, target_entries[i].1)).collect())
+            .scale(&divisor.recip());
+        let exact = span_coefficients_exact(&vectors, &target);
+        let tiered = span_coefficients(&vectors, &target);
+        prop_assert_eq!(exact.is_some(), tiered.is_some());
+        if let Some(alpha) = tiered {
+            prop_assert_eq!(combine(&vectors, &alpha), target);
+        }
+    }
+
+    /// Rank undercount: every entry a multiple of solver prime 1, so the
+    /// system is identically zero mod p₁ and its mod-p rank profile is
+    /// empty; answers still match the oracle exactly.
+    #[test]
+    fn rank_undercount_cannot_corrupt(
+        count in 1usize..4,
+        k in 1usize..4,
+        entries in prop::collection::vec((-6i64..7, 0u8..4), 16),
+        target_entries in prop::collection::vec((-6i64..7, 0u8..4), 4),
+    ) {
+        // p₁² keeps the system ≡ 0 (mod p₁) *and* over the word-size
+        // threshold, so the modular tier engages rather than short-circuits.
+        let p = prime_rat(0).mul_ref(&prime_rat(0));
+        let vectors: Vec<QVec> = vectors_of(&entries, count, k)
+            .into_iter()
+            .map(|v| v.scale(&p))
+            .collect();
+        let target = QVec((0..k).map(|i| rat(target_entries[i].0, target_entries[i].1)).collect())
+            .scale(&p);
+        let exact = span_coefficients_exact(&vectors, &target);
+        let tiered = span_coefficients(&vectors, &target);
+        prop_assert_eq!(exact.is_some(), tiered.is_some());
+        if let Some(alpha) = tiered {
+            prop_assert_eq!(combine(&vectors, &alpha), target);
+        }
+    }
+
+    /// The incremental echelon form agrees with the dense oracle: same
+    /// rank, same membership, and its coefficients reconstruct the target.
+    #[test]
+    fn incremental_basis_matches_rref_oracle(
+        count in 1usize..6,
+        k in 1usize..5,
+        entries in prop::collection::vec((-8i64..9, 0u8..4), 30),
+        target_entries in prop::collection::vec((-8i64..9, 0u8..4), 5),
+    ) {
+        let vectors = vectors_of(&entries, count, k);
+        let target = QVec((0..k).map(|i| rat(target_entries[i].0, target_entries[i].1)).collect());
+        let mut basis = IncrementalBasis::new(k);
+        for v in &vectors {
+            basis.insert(v);
+        }
+        prop_assert_eq!(basis.rank(), QMat::from_cols(&vectors).rank(), "rank oracle");
+        let exact = span_coefficients_exact(&vectors, &target);
+        let solved = basis.solve(&target);
+        prop_assert_eq!(exact.is_some(), solved.is_some(), "membership oracle");
+        if let Some(alpha) = solved {
+            prop_assert_eq!(combine(&vectors, &alpha), target.clone());
+        }
+        // The lazily fed variant agrees too, and never feeds past the
+        // spanning prefix.
+        let mut lazy = IncrementalBasis::new(k);
+        let extended = lazy.solve_extend(&target, &vectors);
+        prop_assert_eq!(extended.is_some(), exact.is_some());
+        prop_assert!(lazy.len() <= vectors.len());
+        if let Some(alpha) = extended {
+            let mut padded = alpha.0;
+            padded.resize(vectors.len(), Rat::zero());
+            prop_assert_eq!(combine(&vectors, &QVec(padded)), target.clone());
+            // Early exit: the prefix that was fed already spans the target.
+            let prefix: Vec<QVec> = vectors[..lazy.len()].to_vec();
+            prop_assert!(span_coefficients_exact(&prefix, &target).is_some());
+        }
+    }
+
+    /// `rref` with content normalization and smallest-pivot selection still
+    /// produces the canonical reduced echelon form: idempotent, rank-
+    /// consistent, pivot entries one.
+    #[test]
+    fn rref_remains_canonical(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        entries in prop::collection::vec((-9i64..10, 0u8..4), 25),
+        scale_num in 1i64..500,
+        scale_den in 1i64..500,
+    ) {
+        let m = QMat::from_rows(
+            &(0..rows)
+                .map(|r| QVec((0..cols).map(|c| rat(entries[r * cols + c].0, entries[r * cols + c].1)).collect()))
+                .collect::<Vec<_>>(),
+        );
+        let (r, rank, pivots) = m.rref();
+        prop_assert_eq!(rank, pivots.len());
+        for (row, &col) in pivots.iter().enumerate() {
+            prop_assert!(r.get(row, col).is_one(), "pivot entries must be 1");
+            for other in 0..rows {
+                if other != row {
+                    prop_assert!(r.get(other, col).is_zero(), "pivot columns are unit");
+                }
+            }
+        }
+        let (rr, rrank, rpivots) = r.rref();
+        prop_assert_eq!(&rr, &r, "rref is idempotent");
+        prop_assert_eq!(rrank, rank);
+        prop_assert_eq!(rpivots, pivots.clone());
+        // Row scaling changes neither the RREF nor the rank (content
+        // normalization at work).
+        let s = Rat::from_frac(scale_num, scale_den);
+        let scaled = QMat::from_rows(
+            &(0..rows).map(|i| m.row(i).scale(&s)).collect::<Vec<_>>(),
+        );
+        let (sr, srank, spivots) = scaled.rref();
+        prop_assert_eq!(sr, r);
+        prop_assert_eq!(srank, rank);
+        prop_assert_eq!(spivots, pivots);
+    }
+}

@@ -272,11 +272,13 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             report.all_verified(),
         );
         eprintln!(
-            "cache hits: frozen {}/{}, gate {}/{}, hom {}/{} ({} classes interned)",
+            "cache hits: frozen {}/{}, gate {}/{}, span {}/{}, hom {}/{} ({} classes interned)",
             stats.frozen_hits,
             stats.frozen_hits + stats.frozen_misses,
             stats.gate_hits,
             stats.gate_hits + stats.gate_misses,
+            stats.span_hits,
+            stats.span_hits + stats.span_misses,
             stats.hom.hits,
             stats.hom.hits + stats.hom.misses,
             stats.iso_classes,
@@ -420,11 +422,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     println!("  speedup:         {:>10.2}×", fresh_ms / shared_ms);
     if let Some(stats) = last_stats {
         println!(
-            "  session caches:  frozen {}/{}, gate {}/{}, {} iso classes",
+            "  session caches:  frozen {}/{}, gate {}/{}, span {}/{}, {} iso classes",
             stats.frozen_hits,
             stats.frozen_hits + stats.frozen_misses,
             stats.gate_hits,
             stats.gate_hits + stats.gate_misses,
+            stats.span_hits,
+            stats.span_hits + stats.span_misses,
             stats.iso_classes,
         );
     }
