@@ -83,13 +83,30 @@ pub const BATCH_SHARED_VIEWS: usize = 8;
 ///   cross-request caches of `cqdet-engine` target: a fresh call re-freezes
 ///   and re-canonizes the 8 shared views per task, a session does it once.
 pub fn batch_workload(num_tasks: usize, num_views: usize, seed: u64) -> Vec<Task> {
+    planted_shared_view_tasks(num_tasks, num_views, 3, 4, &[0, 1, 3], seed)
+}
+
+/// The shared construction behind [`batch_workload`] and [`serve_workload`]:
+/// `num_views` random connected views of `atoms` atoms over `vars`
+/// variables; task `t`'s query is the disjoint sum of the views at indices
+/// `{t + o : o ∈ offsets} mod num_views` with task-unique variable names
+/// (determined by construction, textually distinct, few isomorphism
+/// classes).
+fn planted_shared_view_tasks(
+    num_tasks: usize,
+    num_views: usize,
+    atoms: usize,
+    vars: usize,
+    offsets: &[usize],
+    seed: u64,
+) -> Vec<Task> {
     let mut generator = QueryGenerator::new(2, seed);
     let views: Vec<ConjunctiveQuery> = (0..num_views)
-        .map(|i| generator.random_boolean_cq(&format!("v{i}"), 3, 4, true))
+        .map(|i| generator.random_boolean_cq(&format!("v{i}"), atoms, vars, true))
         .collect();
     (0..num_tasks)
         .map(|t| {
-            let chosen: Vec<usize> = [t, t + 1, t + 3].iter().map(|&k| k % num_views).collect();
+            let chosen: Vec<usize> = offsets.iter().map(|&o| (t + o) % num_views).collect();
             let mut atoms = Vec::new();
             for &vi in &chosen {
                 for a in views[vi].atoms() {
@@ -106,6 +123,65 @@ pub fn batch_workload(num_tasks: usize, num_views: usize, seed: u64) -> Vec<Task
             }
         })
         .collect()
+}
+
+/// The parameter sweep for the SERVE experiment: tasks per batch request.
+pub const SERVE_TASK_COUNTS: &[usize] = &[16, 64];
+
+/// Views shared by every task of a [`serve_workload`] request.
+pub const SERVE_SHARED_VIEWS: usize = 8;
+
+/// A serving-shaped workload: the [`batch_workload`] regime with realistic
+/// per-task decision weight (8 shared views of 6 atoms; each query the
+/// disjoint sum of four views, ~24 atoms), so the fixed protocol cost of
+/// the server loop — request JSON parse, task-file parse, response render —
+/// is measured against tasks whose *decision* dominates, as in production.
+pub fn serve_workload(num_tasks: usize, seed: u64) -> Vec<Task> {
+    planted_shared_view_tasks(num_tasks, SERVE_SHARED_VIEWS, 6, 7, &[0, 1, 2, 5], seed)
+}
+
+/// Serialize tasks back to the line-oriented task-file format (the SERVE
+/// experiment feeds the server loop the same workload `decide_batch` gets as
+/// structs).  Definitions are emitted once (views shared by many tasks
+/// appear a single time), then one `task` line per task.
+pub fn tasks_to_taskfile(tasks: &[Task]) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    let mut definitions: BTreeMap<&str, String> = BTreeMap::new();
+    for task in tasks {
+        for v in &task.views {
+            definitions.entry(v.name()).or_insert_with(|| v.to_string());
+        }
+        definitions
+            .entry(task.query.name())
+            .or_insert_with(|| task.query.to_string());
+    }
+    let mut out = String::new();
+    for def in definitions.values() {
+        let _ = writeln!(out, "{def}");
+    }
+    for task in tasks {
+        let views: Vec<&str> = task.views.iter().map(|v| v.name()).collect();
+        let _ = writeln!(
+            out,
+            "task {}: {} <- {}",
+            task.id,
+            task.query.name(),
+            views.join(" ")
+        );
+    }
+    out
+}
+
+/// The JSON-lines request driving the SERVE experiment: one `batch` request
+/// over [`tasks_to_taskfile`]'s text, witnesses and verification off so the
+/// comparison against direct `decide_batch` isolates protocol overhead
+/// (request JSON parse + task-file parse + dispatch + response render).
+pub fn serve_request_line(tasks: &[Task]) -> String {
+    let tasks_json = cqdet_engine::Json::str(tasks_to_taskfile(tasks)).render();
+    format!(
+        "{{\"id\":\"bench\",\"type\":\"batch\",\"tasks\":{tasks_json},\"witnesses\":false,\"verify\":false}}"
+    )
 }
 
 /// The parameter grid for the modular-linear-algebra experiment (LINALG):
@@ -280,6 +356,42 @@ mod tests {
             stats.iso_classes as usize <= 2 * BATCH_SHARED_VIEWS,
             "bodies collapse into few classes: {stats:?}"
         );
+    }
+
+    #[test]
+    fn serve_request_agrees_with_direct_batch() {
+        // The SERVE experiment's sanity gate: the server loop (request JSON
+        // → task-file parse → Engine::submit → response JSON) must produce
+        // exactly the statuses the direct decide_batch produces on the same
+        // workload.
+        let tasks = serve_workload(16, 0x5E4E + 16);
+        let line = serve_request_line(&tasks);
+        let engine = cqdet_service::Engine::new();
+        let response = cqdet_service::respond_to_line(&engine, &line).expect("non-blank line");
+        let wire = response.to_json();
+        assert_eq!(
+            wire.get("type").unwrap().as_str(),
+            Some("batch"),
+            "{wire:?}"
+        );
+        let records = wire.get("records").unwrap().as_arr().unwrap();
+        assert_eq!(records.len(), tasks.len());
+        let session = cqdet_engine::DecisionSession::with_config(cqdet_engine::SessionConfig {
+            witnesses: false,
+            verify: false,
+            ..Default::default()
+        });
+        let direct = session.decide_batch(&tasks);
+        for (wire_record, direct_record) in records.iter().zip(&direct.records) {
+            assert_eq!(
+                wire_record.get("task").unwrap().as_str(),
+                Some(direct_record.id.as_str())
+            );
+            assert_eq!(
+                wire_record.get("status").unwrap().as_str(),
+                Some(direct_record.status.as_str())
+            );
+        }
     }
 
     #[test]

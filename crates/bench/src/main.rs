@@ -17,8 +17,9 @@
 
 use cqdet_bench::{
     batch_workload, decide_workload, dedup_components_workload, hom_source, hom_target,
-    span_workload, span_workload_seed, BATCH_SHARED_VIEWS, BATCH_TASK_COUNTS,
-    DECIDE_MANY_VIEW_COUNTS, LINALG_SPAN_SHAPES,
+    serve_request_line, serve_workload, span_workload, span_workload_seed, BATCH_SHARED_VIEWS,
+    BATCH_TASK_COUNTS, DECIDE_MANY_VIEW_COUNTS, LINALG_SPAN_SHAPES, SERVE_SHARED_VIEWS,
+    SERVE_TASK_COUNTS,
 };
 use cqdet_core::decide_bag_determinacy;
 use cqdet_engine::{DecisionSession, SessionConfig};
@@ -227,6 +228,85 @@ fn main() {
                     ..Default::default()
                 });
                 session.decide_batch(&tasks).records.len()
+            },
+        );
+    }
+
+    // SERVE: protocol overhead of the JSON-lines server loop (§SERVE).
+    // Three series on the same workload:
+    //   decide_only — fresh session, `decide_batch` over pre-parsed tasks,
+    //                 records kept in memory (the lower bound);
+    //   direct      — the full in-process certificate path, exactly what
+    //                 `cqdet batch` does: task-file parse + decide_batch +
+    //                 every record and the stats line rendered to JSON;
+    //   protocol    — the server loop on one batch request: request JSON
+    //                 parse + task-file parse + dispatch through
+    //                 `Engine::submit` + the response envelope rendered.
+    // `direct` and `protocol` both emit the full certificates, so their gap
+    // is the protocol framing itself (request decode + response envelope);
+    // the acceptance gate is protocol/direct < 1.10.
+    let serve_task_counts: &[usize] = if quick {
+        &SERVE_TASK_COUNTS[..1]
+    } else {
+        SERVE_TASK_COUNTS
+    };
+    for &num_tasks in serve_task_counts {
+        let tasks = serve_workload(num_tasks, 0x5E4E + num_tasks as u64);
+        let line = serve_request_line(&tasks);
+        // Sanity: both paths agree before we publish numbers for them.
+        {
+            let engine = cqdet_service::Engine::new();
+            let response =
+                cqdet_service::respond_to_line(&engine, &line).expect("non-blank request");
+            let wire = response.to_json();
+            assert_eq!(
+                wire.get("type").and_then(cqdet_engine::Json::as_str),
+                Some("batch"),
+                "server loop must answer the batch request: {wire:?}"
+            );
+            let records = wire
+                .get("records")
+                .and_then(cqdet_engine::Json::as_arr)
+                .expect("records");
+            assert!(records.iter().all(
+                |r| r.get("status").and_then(cqdet_engine::Json::as_str) == Some("determined")
+            ));
+        }
+        let tasks_text = cqdet_bench::tasks_to_taskfile(&tasks);
+        h.bench(
+            &format!("serve/decide_only/{num_tasks}x{SERVE_SHARED_VIEWS}"),
+            || {
+                let session = DecisionSession::with_config(SessionConfig {
+                    witnesses: false,
+                    verify: false,
+                    ..Default::default()
+                });
+                session.decide_batch(&tasks).records.len()
+            },
+        );
+        h.bench(
+            &format!("serve/direct/{num_tasks}x{SERVE_SHARED_VIEWS}"),
+            || {
+                let file = cqdet_engine::parse_task_file(&tasks_text).expect("task file");
+                let session = DecisionSession::with_config(SessionConfig {
+                    witnesses: false,
+                    verify: false,
+                    ..Default::default()
+                });
+                let report = session.decide_batch(&file.tasks);
+                let mut bytes = 0usize;
+                for record in &report.records {
+                    bytes += record.to_json().render().len();
+                }
+                bytes + cqdet_engine::stats_json(&report.stats).render().len()
+            },
+        );
+        h.bench(
+            &format!("serve/protocol/{num_tasks}x{SERVE_SHARED_VIEWS}"),
+            || {
+                let engine = cqdet_service::Engine::new();
+                let response = cqdet_service::respond_to_line(&engine, &line).expect("request");
+                response.to_json().render().len()
             },
         );
     }

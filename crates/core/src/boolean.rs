@@ -16,7 +16,7 @@
 
 use crate::session::{DecisionContext, FrozenQuery};
 use cqdet_linalg::{QVec, Rat};
-use cqdet_parallel::par_map;
+use cqdet_parallel::{par_map, CancelToken, Expired};
 use cqdet_query::cq::common_schema;
 use cqdet_query::ConjunctiveQuery;
 use cqdet_structure::{dedup_up_to_iso_refs, BasisIndex, Schema, Structure};
@@ -35,6 +35,16 @@ pub enum DeterminacyError {
     /// Observation 30) require every connected component to contain at least
     /// one variable.
     NullaryRelation(String),
+    /// The request's [`CancelToken`] expired; the pipeline stopped at the
+    /// named stage boundary (`"gate"`, `"basis"`, `"span"`).
+    DeadlineExceeded {
+        /// The stage whose boundary check observed the expiry.
+        stage: &'static str,
+    },
+    /// An internal invariant of the pipeline failed — a bug, not a property
+    /// of the instance; reported as data instead of a panic so a serving
+    /// process survives it.
+    Internal(String),
 }
 
 impl fmt::Display for DeterminacyError {
@@ -55,11 +65,21 @@ impl fmt::Display for DeterminacyError {
                     "relation {r} has arity 0; the component basis requires positive arities"
                 )
             }
+            DeterminacyError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded at stage {stage}")
+            }
+            DeterminacyError::Internal(message) => write!(f, "internal error: {message}"),
         }
     }
 }
 
 impl std::error::Error for DeterminacyError {}
+
+impl From<Expired> for DeterminacyError {
+    fn from(e: Expired) -> DeterminacyError {
+        DeterminacyError::DeadlineExceeded { stage: e.stage }
+    }
+}
 
 /// The outcome of the Theorem 3 decision procedure, with the full analysis.
 #[derive(Debug, Clone)]
@@ -111,11 +131,18 @@ impl BagDeterminacy {
     }
 }
 
-fn vector_of(basis: &BasisIndex, comps: &[Structure]) -> QVec {
-    let mult = basis
-        .vector(comps)
-        .expect("every component of a query in V' must be isomorphic to a basis element");
-    QVec(mult.into_iter().map(|m| Rat::from_i64(m as i64)).collect())
+fn vector_of(basis: &BasisIndex, comps: &[Structure]) -> Result<QVec, DeterminacyError> {
+    // Every component of a query in V' is isomorphic to a basis element by
+    // construction (Definition 27); a miss here is a pipeline bug, surfaced
+    // as a typed error so a serving process keeps running.
+    let mult = basis.vector(comps).ok_or_else(|| {
+        DeterminacyError::Internal(
+            "a connected component matched no basis element (Definition 27 violated)".into(),
+        )
+    })?;
+    Ok(QVec(
+        mult.into_iter().map(|m| Rat::from_i64(m as i64)).collect(),
+    ))
 }
 
 /// Decide whether `views ⟶_bag query` for boolean conjunctive queries
@@ -142,6 +169,21 @@ pub fn decide_bag_determinacy_in(
     cx: &DecisionContext,
     views: &[ConjunctiveQuery],
     query: &ConjunctiveQuery,
+) -> Result<BagDeterminacy, DeterminacyError> {
+    decide_bag_determinacy_ctl(cx, views, query, &CancelToken::none())
+}
+
+/// [`decide_bag_determinacy_in`] under a request-scoped [`CancelToken`]:
+/// the token is checked at every pipeline **stage boundary** (gate → basis →
+/// span), so a request whose deadline passes stops at the next boundary with
+/// [`DeterminacyError::DeadlineExceeded`] instead of running to completion.
+/// Work already done on behalf of the request stays in the session caches —
+/// a retry resumes from where the budget ran out.
+pub fn decide_bag_determinacy_ctl(
+    cx: &DecisionContext,
+    views: &[ConjunctiveQuery],
+    query: &ConjunctiveQuery,
+    ctl: &CancelToken,
 ) -> Result<BagDeterminacy, DeterminacyError> {
     if !query.is_boolean() {
         return Err(DeterminacyError::QueryNotBoolean(query.name().to_string()));
@@ -194,6 +236,7 @@ pub fn decide_bag_determinacy_in(
     // Step 1: V = {v ∈ V₀ | q ⊆_set v}  (Definition 25):
     // q ⊆_set v  iff  hom(v, q) ≠ ∅ — one search per (class, query class),
     // cached across the session.
+    ctl.check("gate")?;
     let rep_frozen: Vec<&FrozenQuery> = reps.iter().map(|&i| &*view_frozen[i]).collect();
     let class_retained: Vec<bool> = par_map(&rep_frozen, |f| cx.gate(f, &q_frozen));
     let retained_views: Vec<usize> = (0..views.len())
@@ -204,6 +247,7 @@ pub fn decide_bag_determinacy_in(
     // Step 2: the basis W (Definition 27) over V' = V ∪ {q}, with the
     // connected components of each class computed exactly once per session
     // (cached on the shared `FrozenQuery` entries).
+    ctl.check("basis")?;
     let retained_rep_frozen: Vec<&FrozenQuery> =
         retained_classes.iter().map(|&c| rep_frozen[c]).collect();
     let class_comps: Vec<&[Structure]> = par_map(&retained_rep_frozen, |f| f.components());
@@ -243,8 +287,10 @@ pub fn decide_bag_determinacy_in(
     // Step 3: vector representations (Definition 29), one per class, via a
     // canonical-key index over the basis built exactly once.
     let basis_index = BasisIndex::new(&basis);
-    let class_vectors: Vec<QVec> = par_map(&class_comps, |comps| vector_of(&basis_index, comps));
-    let query_vector = vector_of(&basis_index, q_comps);
+    let class_vectors: Vec<QVec> = par_map(&class_comps, |comps| vector_of(&basis_index, comps))
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    let query_vector = vector_of(&basis_index, q_comps)?;
     let mut retained_pos = vec![usize::MAX; reps.len()]; // class → row in class_vectors
     for (p, &c) in retained_classes.iter().enumerate() {
         retained_pos[c] = p;
@@ -264,6 +310,7 @@ pub fn decide_bag_determinacy_in(
     // A query-only basis element (position ≥ prefix_dim) short-circuits the
     // system: q⃗ has multiplicity ≥ 1 there while every view vector is 0, so
     // q⃗ cannot be in the span.
+    ctl.check("span")?;
     let class_coefficients = if class_vectors.is_empty() {
         query_vector.is_zero().then(|| QVec(Vec::new()))
     } else if basis.len() > prefix_dim {
@@ -366,7 +413,7 @@ mod tests {
         // Corollary 33: connected views determine a connected q only if q ∈ V₀.
         let q = edge("q");
         let v = two_path("v");
-        let res = decide_bag_determinacy(&[v.clone()], &q).unwrap();
+        let res = decide_bag_determinacy(std::slice::from_ref(&v), &q).unwrap();
         assert!(!res.determined);
         let (hypothesis, determined) = connected_case(&[v], &q).unwrap();
         assert!(hypothesis);

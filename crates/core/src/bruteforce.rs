@@ -189,7 +189,7 @@ mod tests {
         // but a loop vs a 2-cycle also works within domain 2).
         let q = two_path("q");
         let v = edge("v");
-        let outcome = brute_force_search(&[v.clone()], &q, 3, 100_000);
+        let outcome = brute_force_search(std::slice::from_ref(&v), &q, 3, 100_000);
         match outcome {
             BruteForceOutcome::CounterexampleFound { d, d_prime } => {
                 let schema = cqdet_query::cq::common_schema(&[&v, &q]);

@@ -20,6 +20,16 @@
 //!   related instances share frozen bodies, canonical keys, components and
 //!   containment gates (the substrate of the `cqdet-engine` batch engine).
 
+// Request-reachable code must fail as typed errors, never panics: a serving
+// process (`cqdet serve`) survives whatever a request throws at it.  Tests
+// and benches are exempt (`cfg_attr(not(test), …)`); the few justified
+// library sites carry individual `#[allow]`s with their invariant spelled
+// out.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod boolean;
 pub mod bruteforce;
 pub mod paths;
@@ -27,14 +37,15 @@ pub mod session;
 pub mod witness;
 
 pub use boolean::{
-    decide_bag_determinacy, decide_bag_determinacy_in, BagDeterminacy, DeterminacyError,
+    decide_bag_determinacy, decide_bag_determinacy_ctl, decide_bag_determinacy_in, BagDeterminacy,
+    DeterminacyError,
 };
 pub use bruteforce::{brute_force_search, BruteForceOutcome};
 pub use paths::{
     decide_path_determinacy, derivation_path, prefix_graph, DerivationStep, PathAnalysis,
 };
 pub use session::{ContextStats, DecisionContext, FrozenQuery};
-pub use witness::{build_counterexample, Counterexample, WitnessError};
+pub use witness::{build_counterexample, build_counterexample_ctl, Counterexample, WitnessError};
 
 pub use cqdet_bigint::{Int, Nat};
 pub use cqdet_linalg::{QMat, QVec, Rat};

@@ -117,7 +117,10 @@ pub fn derivation_path(views: &[PathQuery], query: &PathQuery) -> Option<Vec<Der
     let mut steps = Vec::new();
     let mut cur = n;
     while cur != 0 {
-        let (from, view, sign) = prev[cur].expect("reconstruction follows visited vertices");
+        // BFS reached `n`, so every vertex on the reconstruction chain has a
+        // predecessor; an unvisited vertex here would be a bug — treat it as
+        // "no derivation" rather than panicking.
+        let (from, view, sign) = prev[cur]?;
         steps.push(DerivationStep {
             from_len: from,
             to_len: cur,
@@ -274,6 +277,10 @@ pub fn eval_path_matrix(query: &PathQuery, d: &Structure) -> BagAnswers {
     out
 }
 
+// Word-matrix entries are sums of products of homomorphism counts, hence
+// naturals by construction; this helper is not on a request path (the serve
+// layer's path requests go through `decide_path_determinacy`).
+#[allow(clippy::expect_used)]
 fn rat_to_nat(r: &Rat) -> Nat {
     r.to_nat()
         .expect("path-query matrix entries are non-negative integers")

@@ -45,7 +45,15 @@ use cqdet_structure::{
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Lock with poison recovery: every critical section below is a plain map
+/// probe/insert/clear that leaves the map consistent even if the holder
+/// panicked, so a poisoned lock carries usable data — a serving process must
+/// not cascade one worker's panic into every later request.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A query body frozen over a schema, with its session-cached derived data:
 /// the isomorphism-class key (forced at construction, so clones and lookups
@@ -205,7 +213,7 @@ impl DecisionContext {
     /// converge downstream, where everything is keyed by isomorphism class.
     pub fn frozen(&self, schema: &Schema, query: &ConjunctiveQuery) -> Arc<FrozenQuery> {
         let fp = fingerprint(schema, query);
-        if let Some(hit) = self.frozen.lock().unwrap().get(&fp) {
+        if let Some(hit) = locked(&self.frozen).get(&fp) {
             self.frozen_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
@@ -215,7 +223,7 @@ impl DecisionContext {
         // results are identical.
         let (body, _) = query.frozen_body_over(schema);
         let entry = Arc::new(FrozenQuery::new(body));
-        let mut map = self.frozen.lock().unwrap();
+        let mut map = locked(&self.frozen);
         if map.len() >= CONTEXT_CACHE_CAP {
             map.clear();
         }
@@ -226,7 +234,7 @@ impl DecisionContext {
     /// first sight).  Ids are monotone and never reused, including across
     /// capacity clears.
     pub fn class_id(&self, key: &IsoClassKey) -> u32 {
-        let mut table = self.classes.lock().unwrap();
+        let mut table = locked(&self.classes);
         let (map, next) = &mut *table;
         if map.len() >= CONTEXT_CACHE_CAP && !map.contains_key(key) {
             map.clear();
@@ -242,13 +250,13 @@ impl DecisionContext {
     /// on frozen bodies), cached by the isomorphism classes of both sides.
     pub fn gate(&self, view: &FrozenQuery, query: &FrozenQuery) -> bool {
         let key = (view.iso_key().clone(), query.iso_key().clone());
-        if let Some(&hit) = self.gate.lock().unwrap().get(&key) {
+        if let Some(&hit) = locked(&self.gate).get(&key) {
             self.gate_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
         self.gate_misses.fetch_add(1, Ordering::Relaxed);
         let answer = hom_exists(view.body(), query.body());
-        let mut map = self.gate.lock().unwrap();
+        let mut map = locked(&self.gate);
         if map.len() >= CONTEXT_CACHE_CAP {
             map.clear();
         }
@@ -273,7 +281,7 @@ impl DecisionContext {
     pub fn span_solve(&self, key: &[u32], vectors: &[QVec], target: &QVec) -> Option<QVec> {
         let dim = target.dim();
         let entry = {
-            let mut map = self.span.lock().unwrap();
+            let mut map = locked(&self.span);
             if let Some(entry) = map.get(key) {
                 self.span_hits.fetch_add(1, Ordering::Relaxed);
                 entry.clone()
@@ -291,7 +299,7 @@ impl DecisionContext {
                     .clone()
             }
         };
-        let mut basis = entry.basis.lock().unwrap();
+        let mut basis = locked(&entry.basis);
         debug_assert_eq!(basis.dim(), dim, "key must determine the basis prefix");
         debug_assert!(basis.len() <= vectors.len());
         let fed = basis.len();
@@ -310,7 +318,7 @@ impl DecisionContext {
             gate_misses: self.gate_misses.load(Ordering::Relaxed),
             span_hits: self.span_hits.load(Ordering::Relaxed),
             span_misses: self.span_misses.load(Ordering::Relaxed),
-            iso_classes: self.classes.lock().unwrap().0.len() as u64,
+            iso_classes: locked(&self.classes).0.len() as u64,
             hom: self.caches.stats(),
         }
     }

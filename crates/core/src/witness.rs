@@ -26,6 +26,7 @@ use cqdet_bigint::Nat;
 use cqdet_linalg::{
     cone_coordinates, dot, interior_cone_point, orthogonal_witness, perturb_along, QMat, QVec, Rat,
 };
+use cqdet_parallel::CancelToken;
 use cqdet_query::ConjunctiveQuery;
 use cqdet_structure::{all_loops_point, hom_count, product, Schema, Structure, StructureExpr};
 use std::fmt;
@@ -42,6 +43,17 @@ pub enum WitnessError {
         /// Indices (into the basis) of the pair that could not be separated.
         pair: (usize, usize),
     },
+    /// The request's [`cqdet_parallel::CancelToken`] expired during witness
+    /// construction.
+    DeadlineExceeded {
+        /// The boundary that observed the expiry (always a `"witness"`
+        /// sub-stage).
+        stage: &'static str,
+    },
+    /// An invariant of the construction failed — a bug (or an `analysis`
+    /// that does not belong to the given query), reported as data instead
+    /// of a panic so a serving process survives it.
+    Internal(String),
 }
 
 impl fmt::Display for WitnessError {
@@ -55,11 +67,21 @@ impl fmt::Display for WitnessError {
                 "could not find a structure separating basis elements {} and {} within the search budget",
                 pair.0, pair.1
             ),
+            WitnessError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded at stage {stage}")
+            }
+            WitnessError::Internal(message) => write!(f, "internal error: {message}"),
         }
     }
 }
 
 impl std::error::Error for WitnessError {}
+
+impl From<cqdet_parallel::Expired> for WitnessError {
+    fn from(e: cqdet_parallel::Expired) -> WitnessError {
+        WitnessError::DeadlineExceeded { stage: e.stage }
+    }
+}
 
 /// Configuration of the witness construction.
 #[derive(Debug, Clone)]
@@ -256,6 +278,19 @@ pub fn construct_good_basis(
     schema: &Schema,
     config: &WitnessConfig,
 ) -> Result<(Vec<StructureExpr>, QMat), WitnessError> {
+    construct_good_basis_ctl(basis, query_body, schema, config, &CancelToken::none())
+}
+
+/// [`construct_good_basis`] under a request-scoped [`CancelToken`], checked
+/// before every separating-structure search (the exponential-in-the-limit
+/// part of the construction) and at each later step.
+pub fn construct_good_basis_ctl(
+    basis: &[Structure],
+    query_body: &Structure,
+    schema: &Schema,
+    config: &WitnessConfig,
+    ctl: &CancelToken,
+) -> Result<(Vec<StructureExpr>, QMat), WitnessError> {
     let k = basis.len();
 
     // Step 1: separating structures for every pair.
@@ -265,6 +300,7 @@ pub fn construct_good_basis(
     let mut s1: Vec<Structure> = Vec::new();
     for i in 0..k {
         for j in i + 1..k {
+            ctl.check("witness/separators")?;
             let already = s1
                 .iter()
                 .any(|h| hom_count(&basis[i], h) != hom_count(&basis[j], h));
@@ -289,6 +325,7 @@ pub fn construct_good_basis(
     }
 
     // Step 2: T greater than every entry of M_{S⁽¹⁾}; s⁽²⁾ = Σ Tⁱ·s⁽¹⁾ᵢ.
+    ctl.check("witness/matrix")?;
     let mut t_big = Nat::zero();
     for w in basis {
         for s in &s1 {
@@ -335,14 +372,34 @@ pub fn build_counterexample(
     query: &ConjunctiveQuery,
     config: &WitnessConfig,
 ) -> Result<Counterexample, WitnessError> {
+    build_counterexample_ctl(analysis, query, config, &CancelToken::none())
+}
+
+/// [`build_counterexample`] under a request-scoped [`CancelToken`], checked
+/// at the construction's internal stage boundaries (separator search, the
+/// evaluation matrix, the perturbation/scaling arithmetic), so a serving
+/// process can bound witness construction — by far the heaviest part of an
+/// undetermined request — without killing the worker.
+pub fn build_counterexample_ctl(
+    analysis: &BagDeterminacy,
+    query: &ConjunctiveQuery,
+    config: &WitnessConfig,
+    ctl: &CancelToken,
+) -> Result<Counterexample, WitnessError> {
     if analysis.determined {
         return Err(WitnessError::InstanceIsDetermined);
     }
     let schema = &analysis.schema;
     let (query_body, _) = query.frozen_body_over(schema);
 
+    // Invariant failures below are typed `Internal` errors, not panics: they
+    // are unreachable from a consistent `analysis`, but `analysis` and
+    // `query` arrive as separate arguments and a serving process must
+    // survive a mismatched pair.
+    let internal = |what: &str| WitnessError::Internal(what.to_string());
+
     // Lemma 40: a good basis and its evaluation matrix.
-    let (good, m) = construct_good_basis(&analysis.basis, &query_body, schema, config)?;
+    let (good, m) = construct_good_basis_ctl(&analysis.basis, &query_body, schema, config, ctl)?;
     debug_assert!(
         m.is_nonsingular(),
         "Step 3 guarantees nonsingularity (Lemma 46)"
@@ -350,34 +407,36 @@ pub fn build_counterexample(
 
     // Fact 5: z⃗ orthogonal to the view vectors but not to q⃗, scaled to ℤ^k.
     let z0 = orthogonal_witness(&analysis.view_vectors, &analysis.query_vector)
-        .expect("q⃗ ∉ span{v⃗} so an orthogonal witness exists (Fact 5)");
+        .ok_or_else(|| internal("no orthogonal witness although q⃗ ∉ span{v⃗} (Fact 5)"))?;
     let z = z0.scale(&Rat::from_int(z0.common_denominator()));
     debug_assert!(z.is_integral());
 
     // Corollary 8 + Lemma 57: p⃗ interior to the cone, p⃗′ = t^z⃗ ∘ p⃗ ∈ C.
+    ctl.check("witness/perturbation")?;
     let p = interior_cone_point(&m);
     let (t, p_prime) = perturb_along(&m, &p, &z);
 
     // Lemma 55: scale both points into P = {M·u⃗ : u⃗ ∈ ℕ^k}.
-    let alpha_p = cone_coordinates(&m, &p).expect("p is in the cone by construction");
-    let alpha_p_prime = cone_coordinates(&m, &p_prime).expect("p' is in the cone by Lemma 57");
+    let alpha_p =
+        cone_coordinates(&m, &p).ok_or_else(|| internal("interior point left the cone"))?;
+    let alpha_p_prime = cone_coordinates(&m, &p_prime)
+        .ok_or_else(|| internal("perturbed point left the cone (Lemma 57)"))?;
     let c = alpha_p.common_denominator();
     let c_prime = alpha_p_prime.common_denominator();
     let cc = Rat::from_int(c.mul_ref(&c_prime));
-    let alpha: Vec<Nat> = alpha_p
-        .scale(&cc)
-        .to_ints()
-        .expect("cc clears denominators")
-        .into_iter()
-        .map(|i| i.to_nat().expect("cone coordinates are non-negative"))
-        .collect();
-    let alpha_prime: Vec<Nat> = alpha_p_prime
-        .scale(&cc)
-        .to_ints()
-        .expect("cc clears denominators")
-        .into_iter()
-        .map(|i| i.to_nat().expect("cone coordinates are non-negative"))
-        .collect();
+    let scale_to_nats = |v: &QVec| -> Result<Vec<Nat>, WitnessError> {
+        v.scale(&cc)
+            .to_ints()
+            .ok_or_else(|| internal("common denominator failed to clear denominators"))?
+            .into_iter()
+            .map(|i| {
+                i.to_nat()
+                    .ok_or_else(|| internal("negative cone coordinate"))
+            })
+            .collect()
+    };
+    let alpha = scale_to_nats(&alpha_p)?;
+    let alpha_prime = scale_to_nats(&alpha_p_prime)?;
 
     let d = StructureExpr::weighted_sum(
         alpha
@@ -450,12 +509,15 @@ mod tests {
         // q = 2-path, V0 = {edge}: q ⊆_set edge, but q⃗ = (1,0) ∉ span{(0,1)}.
         let q = two_path("q");
         let v = edge("v");
-        let analysis = decide_bag_determinacy(&[v.clone()], &q).unwrap();
+        let analysis = decide_bag_determinacy(std::slice::from_ref(&v), &q).unwrap();
         assert!(!analysis.determined);
         let config = WitnessConfig::default();
         let witness = build_counterexample(&analysis, &q, &config).unwrap();
         assert!(check_certificate_arithmetic(&witness, &analysis));
-        assert!(witness.verify(&[v.clone()], &q), "symbolic verification");
+        assert!(
+            witness.verify(std::slice::from_ref(&v), &q),
+            "symbolic verification"
+        );
         // The two structures really differ on q and agree on the view.
         assert_eq!(witness.eval_on_d(&v), witness.eval_on_d_prime(&v));
         assert_ne!(witness.eval_on_d(&q), witness.eval_on_d_prime(&q));

@@ -132,10 +132,13 @@ impl Json {
             Json::Bool(true) => out.push_str("true"),
             Json::Bool(false) => out.push_str("false"),
             Json::Num(n) => {
+                use std::fmt::Write as _;
+                // `write!` into a String is infallible and allocation-free
+                // (hot path: every record member renders through here).
                 if n.fract() == 0.0 && n.abs() < 9.0e15 {
-                    out.push_str(&format!("{}", *n as i64));
+                    let _ = write!(out, "{}", *n as i64);
                 } else {
-                    out.push_str(&format!("{n}"));
+                    let _ = write!(out, "{n}");
                 }
             }
             Json::Str(s) => write_escaped(s, out),
@@ -183,6 +186,9 @@ impl std::ops::Index<usize> for Json {
 
     /// Array element access; panics (like slice indexing) on non-arrays or
     /// out-of-range indices.
+    // Indexing is *documented* to panic, exactly like `[T]` — request paths
+    // use the checked accessors (`get`, `as_arr`) instead.
+    #[allow(clippy::panic)]
     fn index(&self, index: usize) -> &Json {
         match self {
             Json::Arr(items) => &items[index],
@@ -193,17 +199,34 @@ impl std::ops::Index<usize> for Json {
 
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    // Bulk-copy maximal runs of clean characters and only stop at the rare
+    // byte that needs escaping: string members dominate every certificate
+    // (bigints travel as decimal strings), so the emitter must not walk
+    // them char by char.  Every byte needing an escape is ASCII, so byte
+    // offsets are always char boundaries.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape: Option<&str> = match b {
+            b'"' => Some("\\\""),
+            b'\\' => Some("\\\\"),
+            b'\n' => Some("\\n"),
+            b'\r' => Some("\\r"),
+            b'\t' => Some("\\t"),
+            0x00..=0x1f => None, // rare control byte: \uXXXX below
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        match escape {
+            Some(e) => out.push_str(e),
+            None => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", b);
+            }
         }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -367,7 +390,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 // Multi-byte UTF-8: copy the whole code point.
                 let s = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| JsonError::at(*pos, "invalid UTF-8"))?;
-                let c = s.chars().next().unwrap();
+                let Some(c) = s.chars().next() else {
+                    return Err(JsonError::at(*pos, "unterminated string"));
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -386,7 +411,9 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     ) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    // The scanned range is ASCII by construction (digits, sign, '.', 'e').
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| JsonError::at(start, "bad number"))?;
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| JsonError::at(start, format!("bad number {text:?}")))

@@ -26,6 +26,14 @@
 //! top of the paper-faithful layers, and the crate-level quickstart on
 //! [`DecisionSession`] for a complete example.
 
+// Request-reachable code must fail as typed errors, never panics (the
+// `cqdet serve` process outlives any request).  Tests are exempt; justified
+// library sites carry individual `#[allow]`s.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod json;
 pub mod session;
 pub mod taskfile;
@@ -33,5 +41,6 @@ pub mod taskfile;
 pub use json::{Json, JsonError};
 pub use session::{
     stats_json, BatchReport, DecisionSession, SessionConfig, Task, TaskRecord, TaskStatus,
+    WIRE_FORMAT_VERSION,
 };
 pub use taskfile::{parse_task_file, TaskFile, TaskFileError};

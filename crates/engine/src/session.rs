@@ -28,14 +28,24 @@
 
 use crate::json::Json;
 use cqdet_bigint::Nat;
-use cqdet_core::witness::{build_counterexample, check_certificate_arithmetic, WitnessConfig};
+use cqdet_core::witness::{build_counterexample_ctl, check_certificate_arithmetic, WitnessConfig};
 use cqdet_core::{
-    decide_bag_determinacy_in, BagDeterminacy, ContextStats, Counterexample, DecisionContext,
+    decide_bag_determinacy_ctl, BagDeterminacy, ContextStats, Counterexample, DecisionContext,
+    DeterminacyError, WitnessError,
 };
 use cqdet_linalg::Rat;
-use cqdet_parallel::par_map;
+use cqdet_parallel::{par_map, CancelToken};
 use cqdet_query::ConjunctiveQuery;
 use cqdet_structure::with_shared_caches;
+
+/// Version of the JSON certificate wire format.  Emitted as the first
+/// `"version"` member of every [`TaskRecord::to_json`] record and every
+/// [`stats_json`] line; consumers must treat records with a larger version
+/// as potentially carrying unknown members.
+///
+/// History: `1` — the PR 3/4 record schema plus the explicit version field
+/// itself (earlier records carried no version and are read as version 1).
+pub const WIRE_FORMAT_VERSION: i64 = 1;
 
 /// One decision request: does `views ⟶_bag query`?
 #[derive(Debug, Clone)]
@@ -128,6 +138,13 @@ pub struct TaskRecord {
     /// Error message ([`TaskStatus::Error`], or a failed witness search on
     /// an otherwise-undetermined task).
     pub error: Option<String>,
+    /// When the task's [`CancelToken`] expired, the pipeline stage at whose
+    /// boundary the expiry was observed (`"gate"`, `"basis"`, `"span"`,
+    /// `"witness/…"`); `None` for tasks that ran to completion.  A timed-out
+    /// decision is a [`TaskStatus::Error`] record; a timeout during witness
+    /// construction leaves a partial [`TaskStatus::NotDetermined`] record
+    /// (analysis present, certificate absent).
+    pub timeout_stage: Option<&'static str>,
 }
 
 /// The result of a batch run: per-task records plus the session cache
@@ -212,14 +229,50 @@ impl DecisionSession {
         &self,
         views: &[ConjunctiveQuery],
         query: &ConjunctiveQuery,
-    ) -> Result<BagDeterminacy, cqdet_core::DeterminacyError> {
+    ) -> Result<BagDeterminacy, DeterminacyError> {
+        self.decide_ctl(views, query, &CancelToken::none())
+    }
+
+    /// [`DecisionSession::decide`] under a request-scoped [`CancelToken`]
+    /// (checked at the pipeline's stage boundaries).
+    pub fn decide_ctl(
+        &self,
+        views: &[ConjunctiveQuery],
+        query: &ConjunctiveQuery,
+        ctl: &CancelToken,
+    ) -> Result<BagDeterminacy, DeterminacyError> {
         with_shared_caches(self.cx.caches(), || {
-            decide_bag_determinacy_in(&self.cx, views, query)
+            decide_bag_determinacy_ctl(&self.cx, views, query, ctl)
         })
     }
 
     /// Run one task end to end: decide, build the certificate, re-verify.
     pub fn run_task(&self, task: &Task) -> TaskRecord {
+        self.run_task_ctl(task, &CancelToken::none())
+    }
+
+    /// [`DecisionSession::run_task`] under a request-scoped [`CancelToken`].
+    ///
+    /// An expired token yields a record, never a panic: expiry during the
+    /// decision is a [`TaskStatus::Error`] record, expiry during witness
+    /// construction a partial [`TaskStatus::NotDetermined`] record (the
+    /// analysis survives, the certificate is absent); both carry
+    /// [`TaskRecord::timeout_stage`] so serving layers can answer with a
+    /// typed timeout.
+    pub fn run_task_ctl(&self, task: &Task, ctl: &CancelToken) -> TaskRecord {
+        self.run_task_with(task, ctl, &self.config)
+    }
+
+    /// [`DecisionSession::run_task_ctl`] under an explicit per-request
+    /// policy, overriding the session's own [`SessionConfig`].  The serving
+    /// layer uses this to honour per-request flags (witnesses on/off,
+    /// verification on/off) against one long-lived session.
+    pub fn run_task_with(
+        &self,
+        task: &Task,
+        ctl: &CancelToken,
+        config: &SessionConfig,
+    ) -> TaskRecord {
         let mut record = TaskRecord {
             id: task.id.clone(),
             query_name: task.query.name().to_string(),
@@ -232,10 +285,14 @@ impl DecisionSession {
             arithmetic_verified: None,
             verified: None,
             error: None,
+            timeout_stage: None,
         };
-        let analysis = match self.decide(&task.views, &task.query) {
+        let analysis = match self.decide_ctl(&task.views, &task.query, ctl) {
             Ok(a) => a,
             Err(e) => {
+                if let DeterminacyError::DeadlineExceeded { stage } = e {
+                    record.timeout_stage = Some(stage);
+                }
                 record.error = Some(e.to_string());
                 return record;
             }
@@ -246,19 +303,19 @@ impl DecisionSession {
             record.verified = Some(span_identity_holds(&analysis));
         } else {
             record.status = TaskStatus::NotDetermined;
-            if self.config.witnesses {
+            if config.witnesses {
                 // Witness construction is hom-count-heavy (separating
                 // structures, the evaluation matrix, symbolic answers);
                 // running it under the session's shared cache is what makes
                 // a batch of related tasks cheap.
                 let built = with_shared_caches(self.cx.caches(), || {
-                    build_counterexample(&analysis, &task.query, &self.config.witness)
+                    build_counterexample_ctl(&analysis, &task.query, &config.witness, ctl)
                 });
                 match built {
                     Ok(witness) => {
                         let arithmetic = check_certificate_arithmetic(&witness, &analysis);
                         let mut ok = arithmetic;
-                        if ok && self.config.verify {
+                        if ok && config.verify {
                             ok = with_shared_caches(self.cx.caches(), || {
                                 witness.verify(&task.views, &task.query)
                             });
@@ -270,7 +327,12 @@ impl DecisionSession {
                         record.verified = Some(ok);
                         record.counterexample = Some(witness);
                     }
-                    Err(e) => record.error = Some(format!("witness construction failed: {e}")),
+                    Err(e) => {
+                        if let WitnessError::DeadlineExceeded { stage } = e {
+                            record.timeout_stage = Some(stage);
+                        }
+                        record.error = Some(format!("witness construction failed: {e}"));
+                    }
                 }
             }
         }
@@ -282,7 +344,26 @@ impl DecisionSession {
     /// come back in input order; [`BatchReport::stats`] reflects the session
     /// counters after the whole batch.
     pub fn decide_batch(&self, tasks: &[Task]) -> BatchReport {
-        let records = par_map(tasks, |t| self.run_task(t));
+        self.decide_batch_ctl(tasks, &CancelToken::none())
+    }
+
+    /// [`DecisionSession::decide_batch`] under one shared request-scoped
+    /// [`CancelToken`]: tasks still running when the token expires come back
+    /// as timeout records ([`TaskRecord::timeout_stage`]); completed tasks
+    /// keep their full certificates — the report is *partial*, not void.
+    pub fn decide_batch_ctl(&self, tasks: &[Task], ctl: &CancelToken) -> BatchReport {
+        self.decide_batch_with(tasks, ctl, &self.config)
+    }
+
+    /// [`DecisionSession::decide_batch_ctl`] under an explicit per-request
+    /// policy (see [`DecisionSession::run_task_with`]).
+    pub fn decide_batch_with(
+        &self,
+        tasks: &[Task],
+        ctl: &CancelToken,
+        config: &SessionConfig,
+    ) -> BatchReport {
+        let records = par_map(tasks, |t| self.run_task_with(t, ctl, config));
         BatchReport {
             records,
             stats: self.stats(),
@@ -330,6 +411,7 @@ impl TaskRecord {
     /// present unless marked optional):
     ///
     /// ```text
+    /// version       int                         wire format ([`WIRE_FORMAT_VERSION`])
     /// task          string                      the task id
     /// status        "determined" | "not_determined" | "error"
     /// query         string                      query name
@@ -346,9 +428,11 @@ impl TaskRecord {
     ///                arithmetic_verified: bool}  undetermined + witnesses only
     /// verified      bool | null                 certificate re-verification
     /// error         string                      optional
+    /// timeout_stage string                      optional (deadline expiry)
     /// ```
     pub fn to_json(&self) -> Json {
         let mut members: Vec<(String, Json)> = vec![
+            ("version".into(), Json::num(WIRE_FORMAT_VERSION)),
             ("task".into(), Json::str(&self.id)),
             ("status".into(), Json::str(self.status.as_str())),
             ("query".into(), Json::str(&self.query_name)),
@@ -447,6 +531,9 @@ impl TaskRecord {
         if let Some(error) = &self.error {
             members.push(("error".into(), Json::str(error)));
         }
+        if let Some(stage) = self.timeout_stage {
+            members.push(("timeout_stage".into(), Json::str(stage)));
+        }
         Json::Obj(members)
     }
 }
@@ -456,6 +543,7 @@ impl TaskRecord {
 pub fn stats_json(stats: &ContextStats) -> Json {
     Json::obj([
         ("type", Json::str("session_stats")),
+        ("version", Json::num(WIRE_FORMAT_VERSION)),
         ("frozen_hits", Json::num(stats.frozen_hits as i64)),
         ("frozen_misses", Json::num(stats.frozen_misses as i64)),
         ("gate_hits", Json::num(stats.gate_hits as i64)),

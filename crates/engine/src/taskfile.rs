@@ -26,7 +26,7 @@
 //! tasks are resolved, so forward references are fine.
 
 use crate::session::Task;
-use cqdet_query::{parse_queries, ConjunctiveQuery};
+use cqdet_query::{parse_query, ConjunctiveQuery, ParseQueryError};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -41,45 +41,101 @@ pub struct TaskFile {
     pub tasks: Vec<Task>,
 }
 
-/// Why a task file could not be parsed.
+/// Why a task file could not be parsed.  Every variant carries the 1-based
+/// line number of the offending file line, so front ends can point at the
+/// source (`line 0` never occurs; [`TaskFileError::NoTasks`] is the only
+/// position-free failure).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TaskFileError {
-    /// A definition line failed to parse.
-    BadDefinition(String),
+    /// A definition line failed to parse; the inner error carries the full
+    /// line/column/token diagnostics (re-anchored at the file line).
+    BadDefinition {
+        /// 1-based file line of the definition.
+        line: usize,
+        /// The positioned parser diagnostic.
+        error: ParseQueryError,
+    },
     /// A definition is a union query (Theorem 3 handles CQs; unions are
     /// undecidable by Theorem 2).
-    UnionDefinition(String),
+    UnionDefinition {
+        /// 1-based file line of the definition.
+        line: usize,
+        /// The definition's name.
+        name: String,
+    },
     /// Two definitions share a name.
-    DuplicateDefinition(String),
+    DuplicateDefinition {
+        /// 1-based file line of the *second* definition.
+        line: usize,
+        /// The duplicated name.
+        name: String,
+    },
     /// A task line is not of the form `task <id>: <query> <- <views...>`.
-    BadTaskLine(String),
+    BadTaskLine {
+        /// 1-based file line of the task.
+        line: usize,
+        /// The offending line text (comment stripped).
+        text: String,
+    },
     /// Two tasks share an id.
-    DuplicateTask(String),
+    DuplicateTask {
+        /// 1-based file line of the *second* task.
+        line: usize,
+        /// The duplicated id.
+        id: String,
+    },
     /// A task references an unknown definition.
-    UnknownName { task: String, name: String },
+    UnknownName {
+        /// 1-based file line of the task.
+        line: usize,
+        /// The referencing task's id.
+        task: String,
+        /// The unresolved name.
+        name: String,
+    },
     /// The file declares no tasks.
     NoTasks,
+}
+
+impl TaskFileError {
+    /// The 1-based file line of the failure (`None` for [`TaskFileError::NoTasks`]).
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            TaskFileError::BadDefinition { line, .. }
+            | TaskFileError::UnionDefinition { line, .. }
+            | TaskFileError::DuplicateDefinition { line, .. }
+            | TaskFileError::BadTaskLine { line, .. }
+            | TaskFileError::DuplicateTask { line, .. }
+            | TaskFileError::UnknownName { line, .. } => Some(*line),
+            TaskFileError::NoTasks => None,
+        }
+    }
 }
 
 impl fmt::Display for TaskFileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TaskFileError::BadDefinition(e) => write!(f, "bad definition: {e}"),
-            TaskFileError::UnionDefinition(n) => write!(
-                f,
-                "definition {n} is a union query; batch tasks are boolean CQs (Theorem 3)"
-            ),
-            TaskFileError::DuplicateDefinition(n) => {
-                write!(f, "duplicate definition name {n:?}")
+            TaskFileError::BadDefinition { error, .. } => {
+                write!(f, "bad definition: {error}")
             }
-            TaskFileError::BadTaskLine(l) => write!(
+            TaskFileError::UnionDefinition { line, name } => write!(
                 f,
-                "bad task line {l:?}; expected `task <id>: <query> <- <view> <view> ...`"
+                "line {line}: definition {name} is a union query; batch tasks are boolean CQs (Theorem 3)"
             ),
-            TaskFileError::DuplicateTask(id) => write!(f, "duplicate task id {id:?}"),
-            TaskFileError::UnknownName { task, name } => {
-                write!(f, "task {task:?} references unknown definition {name:?}")
+            TaskFileError::DuplicateDefinition { line, name } => {
+                write!(f, "line {line}: duplicate definition name {name:?}")
             }
+            TaskFileError::BadTaskLine { line, text } => write!(
+                f,
+                "line {line}: bad task line {text:?}; expected `task <id>: <query> <- <view> <view> ...`"
+            ),
+            TaskFileError::DuplicateTask { line, id } => {
+                write!(f, "line {line}: duplicate task id {id:?}")
+            }
+            TaskFileError::UnknownName { line, task, name } => write!(
+                f,
+                "line {line}: task {task:?} references unknown definition {name:?}"
+            ),
             TaskFileError::NoTasks => write!(f, "task file declares no tasks"),
         }
     }
@@ -89,62 +145,71 @@ impl std::error::Error for TaskFileError {}
 
 /// Parse a batch task file (see the [module docs](self) for the format).
 pub fn parse_task_file(text: &str) -> Result<TaskFile, TaskFileError> {
-    let mut program = String::new();
-    let mut task_lines: Vec<String> = Vec::new();
-    for raw in text.lines() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+    // First pass: definitions, each parsed against its raw file line so the
+    // diagnostics (line, column, caret target) point at the actual source.
+    let mut definitions: Vec<ConjunctiveQuery> = Vec::new();
+    let mut by_name: HashMap<String, usize> = HashMap::new();
+    let mut task_lines: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
             continue;
         }
-        if let Some(rest) = line.strip_prefix("task ") {
-            task_lines.push(rest.trim().to_string());
-        } else {
-            program.push_str(line);
-            program.push('\n');
+        if let Some(rest) = stripped.strip_prefix("task ") {
+            task_lines.push((line_no, rest.trim().to_string()));
+            continue;
         }
-    }
-
-    let parsed =
-        parse_queries(&program).map_err(|e| TaskFileError::BadDefinition(e.to_string()))?;
-    let mut definitions: Vec<ConjunctiveQuery> = Vec::with_capacity(parsed.len());
-    let mut by_name: HashMap<String, usize> = HashMap::new();
-    for u in &parsed {
+        let u = parse_query(raw).map_err(|e| TaskFileError::BadDefinition {
+            line: line_no,
+            error: e.at_line(line_no),
+        })?;
         if !u.is_single_cq() {
-            return Err(TaskFileError::UnionDefinition(u.name().to_string()));
+            return Err(TaskFileError::UnionDefinition {
+                line: line_no,
+                name: u.name().to_string(),
+            });
         }
         let cq = u.disjuncts()[0].clone();
         if by_name
             .insert(cq.name().to_string(), definitions.len())
             .is_some()
         {
-            return Err(TaskFileError::DuplicateDefinition(cq.name().to_string()));
+            return Err(TaskFileError::DuplicateDefinition {
+                line: line_no,
+                name: cq.name().to_string(),
+            });
         }
         definitions.push(cq);
     }
 
+    // Second pass: tasks, resolved against the full pool (forward references
+    // from a task to a later definition are fine).
     let mut tasks: Vec<Task> = Vec::with_capacity(task_lines.len());
     let mut seen_ids: HashSet<String> = HashSet::new();
-    for line in &task_lines {
+    for (line_no, line) in &task_lines {
+        let line_no = *line_no;
+        let bad = || TaskFileError::BadTaskLine {
+            line: line_no,
+            text: format!("task {line}"),
+        };
         // `<id>: <query> <- <view> <view> ...`
-        let (id, rest) = line
-            .split_once(':')
-            .ok_or_else(|| TaskFileError::BadTaskLine(line.clone()))?;
+        let (id, rest) = line.split_once(':').ok_or_else(bad)?;
         let id = id.trim().to_string();
-        let (query_name, views_part) = rest
-            .split_once("<-")
-            .ok_or_else(|| TaskFileError::BadTaskLine(line.clone()))?;
+        let (query_name, views_part) = rest.split_once("<-").ok_or_else(bad)?;
         let query_name = query_name.trim();
         if id.is_empty() || query_name.is_empty() {
-            return Err(TaskFileError::BadTaskLine(line.clone()));
+            return Err(bad());
         }
         if !seen_ids.insert(id.clone()) {
-            return Err(TaskFileError::DuplicateTask(id));
+            return Err(TaskFileError::DuplicateTask { line: line_no, id });
         }
         let resolve = |name: &str| -> Result<ConjunctiveQuery, TaskFileError> {
             by_name
                 .get(name)
                 .map(|&i| definitions[i].clone())
                 .ok_or_else(|| TaskFileError::UnknownName {
+                    line: line_no,
                     task: id.clone(),
                     name: name.to_string(),
                 })
@@ -152,7 +217,7 @@ pub fn parse_task_file(text: &str) -> Result<TaskFile, TaskFileError> {
         let query = resolve(query_name)?;
         let view_names: Vec<&str> = views_part.split_whitespace().collect();
         if view_names.is_empty() {
-            return Err(TaskFileError::BadTaskLine(line.clone()));
+            return Err(bad());
         }
         let views: Vec<ConjunctiveQuery> = if view_names == ["*"] {
             definitions
@@ -216,19 +281,37 @@ mod tests {
         ));
         assert!(matches!(
             parse_task_file("v() :- R(x,y)\nq() :- R(x,y)\ntask a: q <- v\ntask a: q <- v"),
-            Err(TaskFileError::DuplicateTask(_))
+            Err(TaskFileError::DuplicateTask { line: 4, .. })
         ));
         assert!(matches!(
             parse_task_file("v() :- R(x,y)\nv() :- R(x,x)\ntask a: v <- *"),
-            Err(TaskFileError::DuplicateDefinition(_))
+            Err(TaskFileError::DuplicateDefinition { line: 2, .. })
         ));
         assert!(matches!(
             parse_task_file("u() :- R(x,y) | S(x,y)\ntask a: u <- *"),
-            Err(TaskFileError::UnionDefinition(_))
+            Err(TaskFileError::UnionDefinition { line: 1, .. })
         ));
         assert!(matches!(
             parse_task_file("v() :- R(x,y)\ntask broken v"),
-            Err(TaskFileError::BadTaskLine(_))
+            Err(TaskFileError::BadTaskLine { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn definition_errors_are_positioned_against_the_file() {
+        // The broken definition sits on file line 4; its column diagnostics
+        // are measured against the raw line (leading whitespace included),
+        // so a caret rendered under the file's own text lines up.
+        let text = "\n# pool\nv1() :- R(x,y)\n  q1() :- R(x,y) junk\ntask t: q1 <- v1\n";
+        let err = parse_task_file(text).unwrap_err();
+        assert_eq!(err.line(), Some(4));
+        let TaskFileError::BadDefinition { line, error } = err else {
+            panic!("expected BadDefinition, got {err:?}");
+        };
+        assert_eq!(line, 4);
+        assert_eq!(error.line(), 4);
+        assert_eq!(error.token(), "junk");
+        assert_eq!(error.col(), 18, "column counts the raw line's indent");
+        assert!(error.to_string().contains("line 4"), "{error}");
     }
 }

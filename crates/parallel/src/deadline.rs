@@ -1,0 +1,176 @@
+//! Request-scoped deadlines and cooperative cancellation.
+//!
+//! The serving layers (`cqdet-engine`, `cqdet-service`) bound every request:
+//! a [`CancelToken`] travels with the work and is **checked at pipeline stage
+//! boundaries** (gate → basis → span → witness in the Theorem 3 pipeline),
+//! so a request that blows its budget stops at the next boundary instead of
+//! monopolising a worker.  Cancellation is cooperative — nothing is killed
+//! mid-elimination — which keeps every cache the request touched consistent.
+//!
+//! The token is a cheap handle (`Clone` is an `Arc` bump; the never-cancelled
+//! [`CancelToken::none`] doesn't allocate at all), so one-shot entry points
+//! can thread it through without a cost on the hot path.
+//!
+//! ```
+//! use cqdet_parallel::CancelToken;
+//! use std::time::Duration;
+//!
+//! let token = CancelToken::with_deadline(Duration::from_secs(5));
+//! assert!(token.check("gate").is_ok());
+//!
+//! let cancelled = CancelToken::new();
+//! cancelled.cancel();
+//! assert_eq!(cancelled.check("basis").unwrap_err().stage, "basis");
+//!
+//! // The free token never fires and costs nothing to clone.
+//! assert!(CancelToken::none().check("span").is_ok());
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation signal raised when a token's deadline passes or
+/// [`CancelToken::cancel`] is called.  Carries the pipeline stage at which
+/// the work observed the signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expired {
+    /// The stage boundary where the check fired (`"gate"`, `"basis"`,
+    /// `"span"`, `"witness"`, …).
+    pub stage: &'static str,
+}
+
+impl std::fmt::Display for Expired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline exceeded at stage {}", self.stage)
+    }
+}
+
+impl std::error::Error for Expired {}
+
+#[derive(Debug)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shareable cancellation/deadline handle.  See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    /// `None` = the never-cancelled token (no allocation, checks are free).
+    inner: Option<Arc<TokenInner>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels — the default for one-shot entry points.
+    pub fn none() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A cancellable token with no deadline (fire it with
+    /// [`CancelToken::cancel`]).
+    #[allow(clippy::new_without_default)] // `default()` is `none()`, deliberately distinct
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that expires `budget` from now (and can also be cancelled
+    /// early).
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken::expiring_at(Instant::now() + budget)
+    }
+
+    /// A token that expires at `deadline`.
+    pub fn expiring_at(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            })),
+        }
+    }
+
+    /// Raise the signal: every holder of this token (or a clone) observes
+    /// expiry from its next check on.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    pub fn is_expired(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Relaxed)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// Stage-boundary check: `Err(Expired { stage })` once the token has
+    /// expired, `Ok(())` before.  Free for the [`CancelToken::none`] token.
+    pub fn check(&self, stage: &'static str) -> Result<(), Expired> {
+        if self.is_expired() {
+            Err(Expired { stage })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Time left until the deadline (`None` for tokens without one; zero
+    /// once it has passed or the token was cancelled).
+    pub fn remaining(&self) -> Option<Duration> {
+        let inner = self.inner.as_ref()?;
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return Some(Duration::ZERO);
+        }
+        inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_token_never_expires() {
+        let t = CancelToken::none();
+        assert!(!t.is_expired());
+        assert!(t.check("gate").is_ok());
+        assert_eq!(t.remaining(), None);
+        t.cancel(); // no-op
+        assert!(!t.is_expired());
+    }
+
+    #[test]
+    fn cancellation_propagates_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(c.check("basis").is_ok());
+        t.cancel();
+        let err = c.check("basis").unwrap_err();
+        assert_eq!(err.stage, "basis");
+        assert!(err.to_string().contains("basis"));
+        assert_eq!(c.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn elapsed_deadline_fires() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_expired());
+        assert_eq!(t.check("span").unwrap_err().stage, "span");
+        // A generous deadline does not fire.
+        let slow = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(slow.check("span").is_ok());
+        assert!(slow.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

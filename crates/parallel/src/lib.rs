@@ -32,6 +32,10 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+pub mod deadline;
+
+pub use deadline::{CancelToken, Expired};
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -150,6 +150,11 @@ impl ConjunctiveQuery {
         }
         let mut s = Structure::new(schema.clone());
         for a in &self.atoms {
+            // Documented precondition: `schema` must contain every relation
+            // of the query.  The decision pipeline always freezes over
+            // `common_schema` of all queries involved, so this is not
+            // reachable from a request.
+            #[allow(clippy::panic)]
             let rel = s
                 .rel_id(&a.relation)
                 .unwrap_or_else(|| panic!("unknown relation {} in fact", a.relation));

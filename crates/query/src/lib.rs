@@ -17,6 +17,13 @@
 //!   `hom(q', q) ≠ ∅`),
 //! * random workload generators used by the benchmark harness.
 
+// Request-reachable code must fail as typed errors, never panics; tests are
+// exempt, justified sites carry individual `#[allow]`s with the invariant.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod cq;
 pub mod eval;
 pub mod generator;

@@ -10,28 +10,82 @@
 //!
 //! Variable and relation names are alphanumeric identifiers (plus `_` and `'`);
 //! whitespace is insignificant; everything after `#` on a line is a comment.
+//!
+//! Errors are **positioned**: every [`ParseQueryError`] carries the
+//! (1-based) line and column of the failure plus the offending token, so
+//! front ends can render caret diagnostics against the source text
+//! (`cqdet-service` does exactly that for the CLI and the JSON-lines
+//! server).  Columns are measured in characters against the raw input line —
+//! including any leading whitespace and trailing comment — so a caret at
+//! `col` under the original line points at the problem.
 
 use crate::cq::{Atom, ConjunctiveQuery};
 use crate::ucq::UnionQuery;
 use std::fmt;
 
-/// Error raised when parsing a query fails.
+/// Error raised when parsing a query fails, with source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseQueryError {
+    /// 1-based line of the failure (always `1` for [`parse_query`]; real
+    /// line numbers come from [`parse_queries`] / task-file parsing).
+    line: usize,
+    /// 1-based character column of the failure within the raw line.
+    col: usize,
+    /// The offending token (possibly empty at end of input).
+    token: String,
+    /// What the parser expected or found.
     message: String,
 }
 
 impl ParseQueryError {
-    fn new(message: impl Into<String>) -> Self {
+    fn new(message: impl Into<String>, col: usize, token: impl Into<String>) -> Self {
         ParseQueryError {
+            line: 1,
+            col,
+            token: token.into(),
             message: message.into(),
         }
+    }
+
+    /// The 1-based source line of the failure.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The 1-based character column of the failure.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// The offending token (empty when the input ended too early).
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+
+    /// The bare description, without the position prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The same error re-anchored at a real source line (used by multi-line
+    /// front ends; [`parse_query`] itself always reports line 1).
+    pub fn at_line(mut self, line: usize) -> Self {
+        self.line = line;
+        self
     }
 }
 
 impl fmt::Display for ParseQueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error: {}", self.message)
+        write!(
+            f,
+            "query parse error at line {}, column {}: {}",
+            self.line, self.col, self.message
+        )?;
+        if !self.token.is_empty() {
+            write!(f, " (found {:?})", self.token)?;
+        }
+        Ok(())
     }
 }
 
@@ -41,39 +95,84 @@ fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_' || c == '\''
 }
 
-/// Split `R(x,y), S(y,z)` into atoms.
-fn parse_atoms(body: &str) -> Result<Vec<Atom>, ParseQueryError> {
+/// The 1-based character column of the subslice `rest` within `input`.
+/// `rest` must be derived from `input` by slicing/trimming (which is how the
+/// parser below produces every intermediate), so the pointer offset is the
+/// byte position and the column is the char count before it.
+fn col_of(input: &str, rest: &str) -> usize {
+    let offset = (rest.as_ptr() as usize).saturating_sub(input.as_ptr() as usize);
+    let offset = offset.min(input.len());
+    input[..offset].chars().count() + 1
+}
+
+/// The token starting at `rest`: a maximal identifier, or a single
+/// non-identifier character, or empty at end of input.
+fn head_token(rest: &str) -> &str {
+    let rest = rest.trim_start();
+    let mut chars = rest.char_indices();
+    match chars.next() {
+        None => "",
+        Some((_, c)) if !is_ident_char(c) => &rest[..c.len_utf8()],
+        Some(_) => {
+            let end = rest.find(|c: char| !is_ident_char(c)).unwrap_or(rest.len());
+            &rest[..end]
+        }
+    }
+}
+
+/// Split `R(x,y), S(y,z)` into atoms.  `input` is the raw line the body was
+/// sliced from; every error is positioned against it.
+fn parse_atoms(input: &str, body: &str) -> Result<Vec<Atom>, ParseQueryError> {
     let mut atoms = Vec::new();
     let mut rest = body.trim();
     while !rest.is_empty() {
         // relation name
         let name_end = rest.find(|c: char| !is_ident_char(c)).ok_or_else(|| {
-            ParseQueryError::new(format!("expected '(' after relation name in {rest:?}"))
+            ParseQueryError::new(
+                "expected '(' after relation name",
+                col_of(input, rest) + rest.chars().count(),
+                "",
+            )
         })?;
         let name = &rest[..name_end];
         if name.is_empty() {
-            return Err(ParseQueryError::new(format!(
-                "missing relation name at {rest:?}"
-            )));
+            return Err(ParseQueryError::new(
+                "missing relation name",
+                col_of(input, rest),
+                head_token(rest),
+            ));
         }
         rest = rest[name_end..].trim_start();
         if !rest.starts_with('(') {
-            return Err(ParseQueryError::new(format!("expected '(' after {name}")));
+            return Err(ParseQueryError::new(
+                format!("expected '(' after relation {name}"),
+                col_of(input, rest),
+                head_token(rest),
+            ));
         }
-        let close = rest
-            .find(')')
-            .ok_or_else(|| ParseQueryError::new(format!("missing ')' in atom {name}")))?;
+        let close = rest.find(')').ok_or_else(|| {
+            ParseQueryError::new(
+                format!("missing ')' in atom {name}"),
+                col_of(input, rest),
+                "(",
+            )
+        })?;
         let args_str = &rest[1..close];
         let vars: Vec<String> = if args_str.trim().is_empty() {
             Vec::new()
         } else {
             args_str.split(',').map(|v| v.trim().to_string()).collect()
         };
-        for v in &vars {
+        for (i, v) in vars.iter().enumerate() {
             if v.is_empty() || !v.chars().all(is_ident_char) {
-                return Err(ParseQueryError::new(format!(
-                    "bad variable name {v:?} in atom {name}"
-                )));
+                // Point at the i-th argument inside the parentheses.
+                let arg = args_str.split(',').nth(i).unwrap_or(args_str);
+                let col = col_of(input, arg) + arg.len() - arg.trim_start().len();
+                return Err(ParseQueryError::new(
+                    format!("bad variable name {v:?} in atom {name}"),
+                    col,
+                    v.clone(),
+                ));
             }
         }
         atoms.push(Atom {
@@ -82,18 +181,29 @@ fn parse_atoms(body: &str) -> Result<Vec<Atom>, ParseQueryError> {
         });
         rest = rest[close + 1..].trim_start();
         if rest.starts_with(',') {
-            rest = rest[1..].trim_start();
-            if rest.is_empty() {
-                return Err(ParseQueryError::new("trailing ',' in query body"));
+            let after_comma = rest[1..].trim_start();
+            if after_comma.is_empty() {
+                return Err(ParseQueryError::new(
+                    "trailing ',' in query body",
+                    col_of(input, rest),
+                    ",",
+                ));
             }
+            rest = after_comma;
         } else if !rest.is_empty() {
-            return Err(ParseQueryError::new(format!(
-                "unexpected input {rest:?} after atom"
-            )));
+            return Err(ParseQueryError::new(
+                "unexpected input after atom",
+                col_of(input, rest),
+                head_token(rest),
+            ));
         }
     }
     if atoms.is_empty() {
-        return Err(ParseQueryError::new("query body has no atoms"));
+        return Err(ParseQueryError::new(
+            "query body has no atoms",
+            col_of(input, body),
+            head_token(body),
+        ));
     }
     Ok(atoms)
 }
@@ -108,20 +218,33 @@ fn strip_comment(line: &str) -> &str {
 /// Parse a single query definition, e.g. `q(x) :- R(x,y), S(y,z)` or a UCQ
 /// with `|`-separated disjuncts.  Every disjunct shares the head.
 pub fn parse_query(input: &str) -> Result<UnionQuery, ParseQueryError> {
-    let input = strip_comment(input).trim();
-    let (head, body) = input
-        .split_once(":-")
-        .ok_or_else(|| ParseQueryError::new("missing ':-' separator"))?;
+    let raw = input;
+    let input_stripped = strip_comment(input).trim();
+    let (head, body) = input_stripped.split_once(":-").ok_or_else(|| {
+        ParseQueryError::new(
+            "missing ':-' separator",
+            col_of(raw, input_stripped),
+            head_token(input_stripped),
+        )
+    })?;
     let head = head.trim();
-    let open = head
-        .find('(')
-        .ok_or_else(|| ParseQueryError::new("head must look like name(vars...)"))?;
-    let close = head
-        .rfind(')')
-        .ok_or_else(|| ParseQueryError::new("head missing ')'"))?;
+    let open = head.find('(').ok_or_else(|| {
+        ParseQueryError::new(
+            "head must look like name(vars...)",
+            col_of(raw, head),
+            head_token(head),
+        )
+    })?;
+    let close = head.rfind(')').ok_or_else(|| {
+        ParseQueryError::new("head missing ')'", col_of(raw, head), head_token(head))
+    })?;
     let name = head[..open].trim();
     if name.is_empty() || !name.chars().all(is_ident_char) {
-        return Err(ParseQueryError::new(format!("bad query name {name:?}")));
+        return Err(ParseQueryError::new(
+            format!("bad query name {name:?}"),
+            col_of(raw, head),
+            name,
+        ));
     }
     let free_str = &head[open + 1..close];
     let free: Vec<String> = if free_str.trim().is_empty() {
@@ -133,7 +256,7 @@ pub fn parse_query(input: &str) -> Result<UnionQuery, ParseQueryError> {
 
     let mut disjuncts = Vec::new();
     for (i, part) in body.split('|').enumerate() {
-        let atoms = parse_atoms(part)?;
+        let atoms = parse_atoms(raw, part)?;
         let disjunct_name = if body.contains('|') {
             format!("{name}#{i}")
         } else {
@@ -146,9 +269,11 @@ pub fn parse_query(input: &str) -> Result<UnionQuery, ParseQueryError> {
             .collect();
         for v in &free_refs {
             if !body_vars.contains(v) {
-                return Err(ParseQueryError::new(format!(
-                    "free variable {v} does not occur in disjunct {i} of {name}"
-                )));
+                return Err(ParseQueryError::new(
+                    format!("free variable {v} does not occur in disjunct {i} of {name}"),
+                    col_of(raw, free_str),
+                    (*v).to_string(),
+                ));
             }
         }
         disjuncts.push(ConjunctiveQuery::new(disjunct_name, &free_refs, atoms));
@@ -157,15 +282,14 @@ pub fn parse_query(input: &str) -> Result<UnionQuery, ParseQueryError> {
 }
 
 /// Parse a multi-line program: one query definition per (non-empty,
-/// non-comment) line.
+/// non-comment) line.  Errors carry the real (1-based) line number.
 pub fn parse_queries(input: &str) -> Result<Vec<UnionQuery>, ParseQueryError> {
     let mut out = Vec::new();
-    for line in input.lines() {
-        let line = strip_comment(line).trim();
-        if line.is_empty() {
+    for (idx, line) in input.lines().enumerate() {
+        if strip_comment(line).trim().is_empty() {
             continue;
         }
-        out.push(parse_query(line)?);
+        out.push(parse_query(line).map_err(|e| e.at_line(idx + 1))?);
     }
     Ok(out)
 }
@@ -235,6 +359,33 @@ mod tests {
         assert!(parse_query("q(x) :- R(x,y) junk").is_err());
         let err = parse_query("q(x) :- R(x,y) junk").unwrap_err();
         assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn errors_carry_line_column_and_token() {
+        // The offending `junk` starts at column 16 of the raw line.
+        let err = parse_query("q(x) :- R(x,y) junk").unwrap_err();
+        assert_eq!((err.line(), err.col()), (1, 16));
+        assert_eq!(err.token(), "junk");
+        assert!(err.to_string().contains("line 1, column 16"), "{err}");
+        assert!(err.to_string().contains("\"junk\""), "{err}");
+
+        // Multi-line programs report the real line; leading whitespace counts
+        // toward the column (the caret is rendered against the raw line).
+        let err = parse_queries("v() :- R(x,y)\n  q() : R(x,y)\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.col(), 3, "first non-blank char of the raw line");
+        assert!(err.to_string().contains("':-'"), "{err}");
+
+        // A bad variable name points inside the parentheses.
+        let err = parse_query("q() :- R(x,y?)").unwrap_err();
+        assert_eq!(err.col(), 12);
+        assert_eq!(err.token(), "y?");
+
+        // Missing '(' after a relation name names the relation.
+        let err = parse_query("q() :- R x,y)").unwrap_err();
+        assert!(err.message().contains("after relation R"), "{err}");
+        assert_eq!(err.col(), 10);
     }
 
     #[test]

@@ -1,0 +1,684 @@
+//! The [`Engine`] facade: one long-lived entry point for every workload.
+//!
+//! `Engine::submit(Request) -> Response` is the single code path behind all
+//! six CLI subcommands *and* the JSON-lines server: it owns a
+//! [`DecisionSession`] (the shared cross-request caches of PR 3/4), turns a
+//! request's `deadline_ms` into a [`CancelToken`] checked at the pipeline's
+//! stage boundaries, routes each [`RequestKind`] to its workload family, and
+//! converts every failure — malformed input, fragment violations, expired
+//! deadlines, even worker panics — into a typed [`Response::Error`].
+//! Submitting never panics and never blocks past the deadline by more than
+//! one pipeline stage.
+
+use crate::error::CqdetError;
+use crate::request::{Request, RequestKind};
+use crate::response::{HilbertRefutation, Response};
+use cqdet_core::witness::{build_counterexample_ctl, check_certificate_arithmetic, WitnessConfig};
+use cqdet_core::{decide_path_determinacy, paths};
+use cqdet_engine::{DecisionSession, SessionConfig, Task};
+use cqdet_hilbert::{encode, DiophantineInstance, Monomial};
+use cqdet_parallel::CancelToken;
+use cqdet_query::{parse_queries, ConjunctiveQuery, PathQuery};
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The unified serving engine.  See the [module docs](self) and the crate
+/// quickstart.
+///
+/// ```
+/// use cqdet_service::{Engine, Request, RequestKind, Response};
+///
+/// let engine = Engine::new();
+/// let response = engine.submit(Request {
+///     id: "r1".into(),
+///     deadline_ms: None,
+///     kind: RequestKind::Decide {
+///         program: "v() :- R(x,y)\nq() :- R(x,y), R(u,w)".into(),
+///         query: "q".into(),
+///         witness: false,
+///     },
+/// });
+/// let Response::Decide { record, .. } = response else { panic!() };
+/// assert_eq!(record.status, cqdet_engine::TaskStatus::Determined);
+/// ```
+#[derive(Default)]
+pub struct Engine {
+    session: DecisionSession,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+}
+
+impl Engine {
+    /// An engine over a fresh [`DecisionSession`] with default policy.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// An engine whose session uses `config` as the *default* policy
+    /// (per-request flags still override witnesses/verification).
+    pub fn with_config(config: SessionConfig) -> Engine {
+        Engine {
+            session: DecisionSession::with_config(config),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying session (cache statistics, direct library access).
+    pub fn session(&self) -> &DecisionSession {
+        &self.session
+    }
+
+    /// Whether a `shutdown` request has been accepted.  Serve loops poll
+    /// this to stop accepting and drain.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Raise the shutdown flag programmatically (the `shutdown` request's
+    /// effect without a connection): serve loops stop accepting and drain
+    /// in-flight work.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Requests submitted so far.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Submit one request and get its response.  Never panics: workload
+    /// panics are caught and become typed [`CqdetError::Internal`] errors
+    /// (`&self` stays usable — all session caches recover from poisoning).
+    pub fn submit(&self, request: Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let Request {
+            id,
+            deadline_ms,
+            kind,
+        } = request;
+        let ctl = match deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::none(),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(&id, kind, &ctl)));
+        match outcome {
+            Ok(Ok(response)) => response,
+            Ok(Err(error)) => Response::Error {
+                id: Some(id),
+                error,
+            },
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "worker panicked".to_string()
+                };
+                Response::Error {
+                    id: Some(id),
+                    error: CqdetError::Internal {
+                        message: format!("request handler panicked: {message}"),
+                    },
+                }
+            }
+        }
+    }
+
+    fn dispatch(
+        &self,
+        id: &str,
+        kind: RequestKind,
+        ctl: &CancelToken,
+    ) -> Result<Response, CqdetError> {
+        // A deadline of zero (or one that passed while queued) fails fast at
+        // the submit boundary instead of starting work it cannot finish.
+        ctl.check("submit").map_err(|e| CqdetError::Deadline {
+            stage: e.stage.to_string(),
+        })?;
+        match kind {
+            RequestKind::Decide {
+                program,
+                query,
+                witness,
+            } => self.decide(id, &program, &query, witness, ctl),
+            RequestKind::Batch {
+                tasks,
+                witnesses,
+                verify,
+            } => self.batch(id, &tasks, witnesses, verify, ctl),
+            RequestKind::Path { query, views } => self.path(id, &query, &views),
+            RequestKind::Hilbert { bound, monomials } => self.hilbert(id, bound, &monomials),
+            RequestKind::Explain { program, query } => self.explain(id, &program, &query, ctl),
+            RequestKind::Stats => Ok(Response::Stats {
+                id: id.to_string(),
+                stats: self.session.stats(),
+                requests: self.request_count(),
+            }),
+            RequestKind::Shutdown => {
+                self.request_shutdown();
+                Ok(Response::Shutdown { id: id.to_string() })
+            }
+        }
+    }
+
+    fn decide(
+        &self,
+        id: &str,
+        program: &str,
+        query_name: &str,
+        witness: bool,
+        ctl: &CancelToken,
+    ) -> Result<Response, CqdetError> {
+        let (views, query) = parse_program(program, query_name)?;
+        // The record's task id is the query's name — the same convention the
+        // CLI has always used, so certificates stay byte-comparable.
+        let task = Task {
+            id: query_name.to_string(),
+            views: views.clone(),
+            query: query.clone(),
+        };
+        let config = SessionConfig {
+            witnesses: witness,
+            verify: true,
+            witness: WitnessConfig::default(),
+        };
+        let record = self.session.run_task_with(&task, ctl, &config);
+        if let Some(stage) = record.timeout_stage {
+            if record.analysis.is_none() {
+                // Nothing useful was computed: a pure timeout response.
+                return Err(CqdetError::Deadline {
+                    stage: stage.to_string(),
+                });
+            }
+            // The decision finished, only the witness timed out: deliver the
+            // partial record (its `timeout_stage` member says what's missing).
+        }
+        Ok(Response::Decide {
+            id: id.to_string(),
+            record: Box::new(record),
+            views,
+            query: Box::new(query),
+        })
+    }
+
+    fn batch(
+        &self,
+        id: &str,
+        tasks_text: &str,
+        witnesses: bool,
+        verify: bool,
+        ctl: &CancelToken,
+    ) -> Result<Response, CqdetError> {
+        let file = cqdet_engine::parse_task_file(tasks_text)?;
+        let config = SessionConfig {
+            witnesses,
+            verify,
+            witness: WitnessConfig::default(),
+        };
+        let report = self.session.decide_batch_with(&file.tasks, ctl, &config);
+        let deadline_exceeded = report.records.iter().any(|r| r.timeout_stage.is_some());
+        Ok(Response::Batch {
+            id: id.to_string(),
+            records: report.records,
+            stats: report.stats,
+            deadline_exceeded,
+        })
+    }
+
+    fn path(&self, id: &str, query: &str, views: &[String]) -> Result<Response, CqdetError> {
+        if views.is_empty() {
+            return Err(CqdetError::schema("path needs at least one view word"));
+        }
+        let q = PathQuery::from_compact(query);
+        let vs: Vec<PathQuery> = views.iter().map(|w| PathQuery::from_compact(w)).collect();
+        let analysis = decide_path_determinacy(&vs, &q);
+        let witness = if analysis.determined {
+            None
+        } else {
+            Some(paths::non_determinacy_witness(&vs, &q).ok_or_else(|| {
+                CqdetError::internal("no Appendix B witness for an undetermined path instance")
+            })?)
+        };
+        Ok(Response::Path {
+            id: id.to_string(),
+            query: q,
+            views: vs,
+            analysis,
+            witness,
+        })
+    }
+
+    fn hilbert(&self, id: &str, bound: u64, monomials: &[String]) -> Result<Response, CqdetError> {
+        if monomials.is_empty() {
+            return Err(CqdetError::schema("hilbert needs at least one monomial"));
+        }
+        let parsed = monomials
+            .iter()
+            .map(|m| parse_monomial(m))
+            .collect::<Result<Vec<_>, _>>()?;
+        let instance = DiophantineInstance::new(parsed);
+        let encoding = encode(&instance);
+        let refutation = cqdet_hilbert::structures::bounded_refutation(&instance, bound).map(
+            |(enc, d, d_prime)| {
+                let verified = cqdet_hilbert::structures::verify_counterexample(&enc, &d, &d_prime);
+                HilbertRefutation {
+                    d,
+                    d_prime,
+                    verified,
+                }
+            },
+        );
+        Ok(Response::Hilbert {
+            id: id.to_string(),
+            instance: instance.to_string(),
+            views: encoding.views.len(),
+            disjuncts: encoding.total_disjuncts(),
+            schema: encoding.schema.to_string(),
+            bound,
+            refutation,
+        })
+    }
+
+    fn explain(
+        &self,
+        id: &str,
+        program: &str,
+        query_name: &str,
+        ctl: &CancelToken,
+    ) -> Result<Response, CqdetError> {
+        let (views, query) = parse_program(program, query_name)?;
+        let text = self.explain_text(&views, &query, ctl)?;
+        Ok(Response::Explain {
+            id: id.to_string(),
+            text,
+        })
+    }
+
+    /// The full `explain` narration (the pipeline, step by step).  One
+    /// String, newline-terminated — exactly what `cqdet explain` prints.
+    fn explain_text(
+        &self,
+        views: &[ConjunctiveQuery],
+        query: &ConjunctiveQuery,
+        ctl: &CancelToken,
+    ) -> Result<String, CqdetError> {
+        let analysis = self.session.decide_ctl(views, query, ctl)?;
+        let mut out = String::new();
+        // Infallible writes: `write!` to a String cannot fail.
+        let w = &mut out;
+        let _ = writeln!(w, "# Instance");
+        let _ = writeln!(w, "schema: {}", analysis.schema);
+        let _ = writeln!(w, "query:  {query}");
+        for v in views {
+            let _ = writeln!(w, "view:   {v}");
+        }
+        let _ = writeln!(w);
+        let _ = writeln!(
+            w,
+            "# Step 1 — retention gate (Definition 25: q ⊆_set v ⇔ hom(v,q) ≠ ∅)"
+        );
+        for (i, v) in views.iter().enumerate() {
+            let kept = analysis.retained_views.contains(&i);
+            let _ = writeln!(
+                w,
+                "  {} {}: {}",
+                if kept { "✓" } else { "✗" },
+                v.name(),
+                if kept { "retained" } else { "dropped" }
+            );
+        }
+        let _ = writeln!(w);
+        let _ = writeln!(
+            w,
+            "# Step 2 — basis W (Definition 27): {} pairwise non-isomorphic connected component(s)",
+            analysis.basis_size()
+        );
+        for (k, basis_w) in analysis.basis.iter().enumerate() {
+            let _ = writeln!(w, "  w{k} = {basis_w}");
+        }
+        let _ = writeln!(w);
+        let _ = writeln!(w, "# Step 3 — vector representations (Definition 29)");
+        let _ = writeln!(w, "  q⃗ = {}", analysis.query_vector);
+        for (pos, &vi) in analysis.retained_views.iter().enumerate() {
+            let _ = writeln!(w, "  {}⃗ = {}", views[vi].name(), analysis.view_vectors[pos]);
+        }
+        let _ = writeln!(w);
+        let _ = writeln!(w, "# Step 4 — Main Lemma span test: q⃗ ∈ span_ℚ{{v⃗}} ?");
+        if analysis.determined {
+            let _ = writeln!(w, "  YES — determined.  Coefficients:");
+            let coefficients = analysis.coefficients.as_ref().ok_or_else(|| {
+                CqdetError::internal("determined analysis carries no coefficients")
+            })?;
+            for (pos, &vi) in analysis.retained_views.iter().enumerate() {
+                let _ = writeln!(w, "    α_{} = {}", views[vi].name(), coefficients[pos]);
+            }
+            if let Some(rewriting) = analysis.rewriting(views) {
+                let _ = writeln!(w, "  rewriting: {rewriting}");
+            }
+        } else {
+            let _ = writeln!(
+                w,
+                "  NO — not determined.  Constructing the counterexample (Sections 5–7):"
+            );
+            let caches = self.session.context().caches().clone();
+            let witness = cqdet_structure::with_shared_caches(&caches, || {
+                build_counterexample_ctl(&analysis, query, &WitnessConfig::default(), ctl)
+            })?;
+            let _ = writeln!(
+                w,
+                "  z⃗ = {}   (⊥ to every v⃗, ⟨z⃗,q⃗⟩ ≠ 0 — Fact 5)",
+                witness.z
+            );
+            let _ = writeln!(w, "  t  = {}   (perturbation factor, Lemma 57)", witness.t);
+            let (d, dp) = cqdet_structure::with_shared_caches(&caches, || witness.answer_vectors());
+            let render = |v: &[cqdet_bigint::Nat]| {
+                v.iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let _ = writeln!(w, "  answer vectors (w⃗ evaluated on D and D′):");
+            let _ = writeln!(w, "    w⃗(D)  = [{}]", render(&d));
+            let _ = writeln!(w, "    w⃗(D′) = [{}]", render(&dp));
+            let _ = writeln!(w, "  D  = {}", witness.d);
+            let _ = writeln!(w, "  D' = {}", witness.d_prime);
+            let (q_d, q_dp) = cqdet_structure::with_shared_caches(&caches, || {
+                (witness.eval_on_d(query), witness.eval_on_d_prime(query))
+            });
+            let _ = writeln!(w, "  q(D) = {q_d} ≠ {q_dp} = q(D′)");
+            let _ = writeln!(
+                w,
+                "  certificate arithmetic verified: {}",
+                check_certificate_arithmetic(&witness, &analysis)
+            );
+            let verified =
+                cqdet_structure::with_shared_caches(&caches, || witness.verify(views, query));
+            let _ = writeln!(
+                w,
+                "  symbolic verification (all views agree, q differs): {verified}"
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// Parse a program text into `(views, query)`: the definition named
+/// `query_name` is the query, everything else is a view — the shared
+/// front end of the `decide` and `explain` families.
+pub fn parse_program(
+    text: &str,
+    query_name: &str,
+) -> Result<(Vec<ConjunctiveQuery>, ConjunctiveQuery), CqdetError> {
+    let program = parse_queries(text)?;
+    let mut views = Vec::new();
+    let mut query = None;
+    for u in &program {
+        if !u.is_single_cq() {
+            return Err(CqdetError::schema(format!(
+                "{} is a union query; Theorem 3 handles conjunctive queries \
+                 (unions are undecidable — Theorem 2)",
+                u.name()
+            )));
+        }
+        let cq = u.disjuncts()[0].clone();
+        if u.name() == query_name {
+            query = Some(cq);
+        } else {
+            views.push(cq);
+        }
+    }
+    let query = query.ok_or_else(|| {
+        CqdetError::schema(format!("no definition named {query_name:?} in the program"))
+    })?;
+    Ok((views, query))
+}
+
+/// Parse `"+2:x^1,y^3"` / `"-12:"` into a monomial (the `hilbert` request's
+/// wire syntax, shared with the CLI).
+pub fn parse_monomial(text: &str) -> Result<Monomial, CqdetError> {
+    let (coeff, vars) = text.split_once(':').ok_or_else(|| {
+        CqdetError::schema(format!(
+            "monomial {text:?} must look like coeff:var^deg,..."
+        ))
+    })?;
+    let coefficient: i64 = coeff
+        .parse()
+        .map_err(|_| CqdetError::schema(format!("bad coefficient {coeff:?}")))?;
+    // `Monomial::new` panics on a zero coefficient or degree (documented
+    // precondition); requests must be rejected with a typed error instead.
+    if coefficient == 0 {
+        return Err(CqdetError::schema(format!(
+            "monomial {text:?} has coefficient 0"
+        )));
+    }
+    let mut degrees = Vec::new();
+    for part in vars.split(',').filter(|p| !p.trim().is_empty()) {
+        let (name, degree) = match part.split_once('^') {
+            Some((n, d)) => (
+                n.trim().to_string(),
+                d.trim()
+                    .parse::<u32>()
+                    .map_err(|_| CqdetError::schema(format!("bad degree in {part:?}")))?,
+            ),
+            None => (part.trim().to_string(), 1),
+        };
+        if degree == 0 {
+            return Err(CqdetError::schema(format!(
+                "unknown {name:?} in monomial {text:?} has degree 0 \
+                 (omit it instead)"
+            )));
+        }
+        degrees.push((name, degree));
+    }
+    let borrowed: Vec<(&str, u32)> = degrees.iter().map(|(n, d)| (n.as_str(), *d)).collect();
+    Ok(Monomial::new(coefficient, &borrowed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqdet_engine::TaskStatus;
+
+    const PROGRAM: &str = "v1() :- R(x,y)\nv2() :- R(x,y), R(y,z)\nq() :- R(x,y), R(u,w)\n";
+
+    fn submit(engine: &Engine, kind: RequestKind) -> Response {
+        engine.submit(Request {
+            id: "r".into(),
+            deadline_ms: None,
+            kind,
+        })
+    }
+
+    #[test]
+    fn decide_request_round_trips_through_the_engine() {
+        let engine = Engine::new();
+        let response = submit(
+            &engine,
+            RequestKind::Decide {
+                program: PROGRAM.into(),
+                query: "q".into(),
+                witness: false,
+            },
+        );
+        let Response::Decide {
+            record,
+            views,
+            query,
+            ..
+        } = response
+        else {
+            panic!("expected a decide response");
+        };
+        assert_eq!(record.status, TaskStatus::Determined);
+        assert_eq!(record.id, "q", "task id is the query name");
+        assert_eq!(views.len(), 2);
+        assert_eq!(query.name(), "q");
+        assert_eq!(engine.request_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors_come_back_typed_with_position() {
+        let engine = Engine::new();
+        let response = submit(
+            &engine,
+            RequestKind::Decide {
+                program: "v() :- R(x,y)\nq() : R(x,y)\n".into(),
+                query: "q".into(),
+                witness: false,
+            },
+        );
+        let Response::Error { id, error } = response else {
+            panic!("expected an error response");
+        };
+        assert_eq!(id.as_deref(), Some("r"));
+        assert!(
+            matches!(error, CqdetError::Parse { line: 2, .. }),
+            "{error:?}"
+        );
+    }
+
+    #[test]
+    fn zero_deadline_times_out_at_the_submit_boundary() {
+        let engine = Engine::new();
+        let response = engine.submit(Request {
+            id: "t".into(),
+            deadline_ms: Some(0),
+            kind: RequestKind::Decide {
+                program: PROGRAM.into(),
+                query: "q".into(),
+                witness: false,
+            },
+        });
+        let Response::Error { error, .. } = &response else {
+            panic!("expected a timeout");
+        };
+        assert_eq!(error.code(), "deadline");
+        assert_eq!(response.type_str(), "timeout");
+    }
+
+    #[test]
+    fn stats_then_shutdown() {
+        let engine = Engine::new();
+        let _ = submit(
+            &engine,
+            RequestKind::Decide {
+                program: PROGRAM.into(),
+                query: "q".into(),
+                witness: false,
+            },
+        );
+        let Response::Stats {
+            requests, stats, ..
+        } = submit(&engine, RequestKind::Stats)
+        else {
+            panic!("expected stats");
+        };
+        assert_eq!(requests, 2);
+        assert!(stats.frozen_misses > 0);
+        assert!(!engine.shutdown_requested());
+        let Response::Shutdown { .. } = submit(&engine, RequestKind::Shutdown) else {
+            panic!("expected shutdown ack");
+        };
+        assert!(engine.shutdown_requested());
+    }
+
+    #[test]
+    fn explain_matches_the_one_shot_pipeline() {
+        let engine = Engine::new();
+        let Response::Explain { text, .. } = submit(
+            &engine,
+            RequestKind::Explain {
+                program: PROGRAM.into(),
+                query: "q".into(),
+            },
+        ) else {
+            panic!("expected explain");
+        };
+        for needle in [
+            "# Step 1",
+            "retention gate",
+            "# Step 2",
+            "# Step 3",
+            "Main Lemma span test",
+            "YES — determined",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn path_and_hilbert_requests_answer() {
+        let engine = Engine::new();
+        let Response::Path {
+            analysis, witness, ..
+        } = submit(
+            &engine,
+            RequestKind::Path {
+                query: "AB".into(),
+                views: vec!["A".into(), "AB".into()],
+            },
+        )
+        else {
+            panic!("expected path");
+        };
+        assert!(analysis.determined);
+        assert!(witness.is_none());
+
+        let Response::Hilbert { refutation, .. } = submit(
+            &engine,
+            RequestKind::Hilbert {
+                bound: 4,
+                monomials: vec!["+1:x".into(), "-2:".into()],
+            },
+        ) else {
+            panic!("expected hilbert");
+        };
+        // x = 2 solves x - 2 = 0 within the box → refuted and verified.
+        let refutation = refutation.expect("x=2 is within the bound");
+        assert!(refutation.verified);
+    }
+
+    #[test]
+    fn degenerate_monomials_are_rejected_not_panicked() {
+        // `Monomial::new` panics on zero coefficients/degrees; the request
+        // path must reject them with a typed schema error instead.
+        let engine = Engine::new();
+        for bad in ["+0:x", "+1:x^0", "0:"] {
+            let response = submit(
+                &engine,
+                RequestKind::Hilbert {
+                    bound: 2,
+                    monomials: vec![bad.into()],
+                },
+            );
+            let Response::Error { error, .. } = response else {
+                panic!("{bad:?} must be rejected");
+            };
+            assert_eq!(error.code(), "schema", "{bad:?}: {error}");
+        }
+    }
+
+    #[test]
+    fn engine_shares_caches_across_requests() {
+        let engine = Engine::new();
+        for _ in 0..3 {
+            let _ = submit(
+                &engine,
+                RequestKind::Decide {
+                    program: PROGRAM.into(),
+                    query: "q".into(),
+                    witness: false,
+                },
+            );
+        }
+        let stats = engine.session().stats();
+        assert!(
+            stats.frozen_hits > 0,
+            "repeated requests must hit the session caches: {stats:?}"
+        );
+    }
+}

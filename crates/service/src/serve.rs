@@ -1,0 +1,360 @@
+//! The long-lived JSON-lines server: `cqdet serve`.
+//!
+//! Two dependency-free transports speak the same protocol
+//! ([`crate::request`] / [`crate::response`], one JSON object per line):
+//!
+//! * [`serve_lines`] — stdin/stdout (or any `BufRead`/`Write` pair): the
+//!   zero-setup mode, also what CI smoke-tests pipe requests through;
+//! * [`serve_tcp`] — a `std::net::TcpListener` accept loop with one scoped
+//!   thread per connection (capped at [`ServeOptions::max_connections`],
+//!   sized from `cqdet_parallel::max_parallelism`); every connection talks
+//!   to the **same** [`Engine`], so the session caches (frozen bodies,
+//!   containment gates, span bases, the hom memo) are shared across
+//!   connections — exactly the cross-request regime the PR 3/4 caches were
+//!   built for.
+//!
+//! Error containment: a malformed line, a request outside the decidable
+//! fragment, an expired deadline or even a panicking worker each produce a
+//! typed error/timeout **response** on the same connection — never a dropped
+//! connection, never a dead server.
+//!
+//! Graceful shutdown: a `shutdown` request (on any connection) is
+//! acknowledged, the accept loop stops accepting, every connection finishes
+//! its in-flight request and drains the lines it has already read, and
+//! [`serve_tcp`] returns once all handlers have exited.
+
+use crate::engine::Engine;
+use crate::error::CqdetError;
+use crate::request::Request;
+use crate::response::Response;
+use cqdet_engine::Json;
+use std::io::{self, BufRead, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Knobs of the TCP transport.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Maximum concurrently served connections; an accept beyond the cap is
+    /// answered with one `resource_exhausted` error response and closed.
+    pub max_connections: usize,
+    /// How often blocked reads and the accept loop re-check the shutdown
+    /// flag (also each connection's read timeout).
+    pub poll_interval: Duration,
+    /// Maximum bytes one request line may span; a connection that exceeds
+    /// it (e.g. an endless stream with no newline) is answered with one
+    /// `resource_exhausted` error response and closed, bounding per-
+    /// connection memory.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            // Connections mostly wait on pipelined request I/O while the
+            // engine fans work out internally, so over-subscribe the cores.
+            max_connections: cqdet_parallel::max_parallelism().saturating_mul(4).max(8),
+            poll_interval: Duration::from_millis(25),
+            // Generous: task files are text, and the biggest legitimate
+            // requests (bulk batches) are a few MiB.
+            max_request_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Decode one request line and produce its response.  Blank lines produce
+/// `None`.  The id is echoed on error responses whenever the line was at
+/// least a JSON object with an `"id"` member.
+pub fn respond_to_line(engine: &Engine, line: &str) -> Option<Response> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    Some(match Json::parse(line) {
+        Err(e) => Response::Error {
+            id: None,
+            error: e.into(),
+        },
+        Ok(json) => {
+            let id = json.get("id").and_then(Json::as_str).map(str::to_string);
+            match Request::from_json(&json) {
+                Ok(request) => engine.submit(request),
+                Err(error) => Response::Error { id, error },
+            }
+        }
+    })
+}
+
+/// Serve JSON-lines over an arbitrary reader/writer pair (the stdio
+/// transport).  Returns the number of requests answered.  The loop ends on
+/// EOF or after acknowledging a `shutdown` request.  Input is read as raw
+/// bytes (invalid UTF-8 is replaced, answered as a parse error, and the
+/// loop continues — a malformed line must never kill the server).
+pub fn serve_lines<R: BufRead, W: Write>(
+    engine: &Engine,
+    mut reader: R,
+    mut writer: W,
+) -> io::Result<u64> {
+    let mut served = 0u64;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            break; // EOF
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let Some(response) = respond_to_line(engine, &line) else {
+            continue;
+        };
+        let done = matches!(response, Response::Shutdown { .. }) || engine.shutdown_requested();
+        writer.write_all(response.to_json().render().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        served += 1;
+        if done {
+            break;
+        }
+    }
+    Ok(served)
+}
+
+/// Serve the protocol on a TCP listener bound to `addr` (e.g.
+/// `127.0.0.1:0` for an ephemeral port).  `on_ready` receives the bound
+/// address before the first accept — front ends print their "serving" line
+/// from it, tests learn the ephemeral port.  Returns after a graceful
+/// shutdown with the number of requests answered.
+pub fn serve_tcp<F: FnOnce(SocketAddr)>(
+    engine: &Engine,
+    addr: &str,
+    options: &ServeOptions,
+    on_ready: F,
+) -> io::Result<u64> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    on_ready(listener.local_addr()?);
+    let active = AtomicUsize::new(0);
+    let served = AtomicU64::new(0);
+    // On a fatal accept error the loop must still unwedge the scope join:
+    // connection handlers only exit on client disconnect or the shutdown
+    // flag, so the flag is raised before bailing out with the error.
+    let fatal: Option<io::Error> = std::thread::scope(|scope| {
+        loop {
+            if engine.shutdown_requested() {
+                return None;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if active.load(Ordering::Relaxed) >= options.max_connections {
+                        // Over capacity: answer with a typed error, close —
+                        // the client got a response, not a hang-up.
+                        let _ = reject_connection(stream);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::Relaxed);
+                    let (active, served) = (&active, &served);
+                    scope.spawn(move || {
+                        let n = handle_connection(engine, stream, options);
+                        served.fetch_add(n, Ordering::Relaxed);
+                        active.fetch_sub(1, Ordering::Relaxed);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(options.poll_interval);
+                }
+                // Transient per-connection failures (the peer aborted
+                // between SYN and accept) must not take the server down.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted
+                            | io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::ConnectionReset
+                    ) => {}
+                Err(e) => {
+                    engine.request_shutdown();
+                    return Some(e);
+                }
+            }
+        }
+    });
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(served.load(Ordering::Relaxed)),
+    }
+}
+
+fn reject_connection(mut stream: TcpStream) -> io::Result<()> {
+    let response = Response::Error {
+        id: None,
+        error: CqdetError::ResourceExhausted {
+            what: "connection slots (try again shortly)".to_string(),
+        },
+    };
+    stream.write_all(response.to_json().render().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// One connection: read lines, answer each, poll the shutdown flag while
+/// idle.  Responses are written in request order (pipelining-safe).
+/// Returns the number of requests answered.
+fn handle_connection(engine: &Engine, mut stream: TcpStream, options: &ServeOptions) -> u64 {
+    // Blocking reads with a timeout: the handler wakes up at `poll` cadence
+    // to notice a shutdown requested on *another* connection.
+    if stream
+        .set_read_timeout(Some(options.poll_interval))
+        .is_err()
+    {
+        return 0;
+    }
+    let mut served = 0u64;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let mut eof = false;
+    loop {
+        // Drain every complete line already buffered.
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            match answer(engine, &stream, &line) {
+                Ok(done) => {
+                    served += done.0;
+                    if done.1 {
+                        return served;
+                    }
+                }
+                // The client went away mid-write; nothing left to serve.
+                Err(_) => return served,
+            }
+        }
+        if eof {
+            // Trailing request without a final newline: still answer it.
+            if !pending.is_empty() {
+                let line = String::from_utf8_lossy(&pending).into_owned();
+                if let Ok(done) = answer(engine, &stream, &line) {
+                    served += done.0;
+                }
+            }
+            return served;
+        }
+        // Complete lines were all drained above, so an oversized `pending`
+        // means one request line exceeds the cap: answer with a typed
+        // error and close, bounding per-connection memory.
+        if pending.len() > options.max_request_bytes {
+            let response = Response::Error {
+                id: None,
+                error: CqdetError::ResourceExhausted {
+                    what: format!("request line exceeds {} bytes", options.max_request_bytes),
+                },
+            };
+            let _ = stream.write_all(response.to_json().render().as_bytes());
+            let _ = stream.write_all(b"\n");
+            let _ = stream.flush();
+            return served;
+        }
+        if engine.shutdown_requested() {
+            return served;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => eof = true,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return served,
+        }
+    }
+}
+
+/// Answer one line on a connection: `(requests_answered, shutdown)`.
+fn answer(engine: &Engine, mut stream: &TcpStream, line: &str) -> io::Result<(u64, bool)> {
+    let Some(response) = respond_to_line(engine, line) else {
+        return Ok((0, false));
+    };
+    let done = matches!(response, Response::Shutdown { .. });
+    stream.write_all(response.to_json().render().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    Ok((1, done))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const PROGRAM: &str = "v() :- R(x,y)\\nq() :- R(x,y), R(u,w)";
+
+    #[test]
+    fn stdio_transport_answers_and_shuts_down() {
+        let engine = Engine::new();
+        let input = format!(
+            "{}\n\n{}\n{}\n",
+            format_args!(r#"{{"id":"r1","type":"decide","program":"{PROGRAM}"}}"#),
+            r#"{"id":"r2","type":"stats"}"#,
+            r#"{"id":"r3","type":"shutdown"}"#,
+        );
+        let mut out = Vec::new();
+        let served = serve_lines(&engine, Cursor::new(input), &mut out).unwrap();
+        assert_eq!(served, 3);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("id").unwrap().as_str(), Some("r1"));
+        assert_eq!(first.get("type").unwrap().as_str(), Some("decide"));
+        assert_eq!(
+            first.get("record").unwrap().get("status").unwrap().as_str(),
+            Some("determined")
+        );
+        let last = Json::parse(lines[2]).unwrap();
+        assert_eq!(last.get("type").unwrap().as_str(), Some("shutdown"));
+        assert!(engine.shutdown_requested());
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_not_disconnects() {
+        let engine = Engine::new();
+        let input = "this is not json\n{\"id\":\"ok\",\"type\":\"stats\"}\n";
+        let mut out = Vec::new();
+        let served = serve_lines(&engine, Cursor::new(input), &mut out).unwrap();
+        assert_eq!(served, 2, "the bad line answered, the loop continued");
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let err = Json::parse(lines[0]).unwrap();
+        assert_eq!(err.get("type").unwrap().as_str(), Some("error"));
+        assert_eq!(
+            err.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("parse")
+        );
+        let ok = Json::parse(lines[1]).unwrap();
+        assert_eq!(ok.get("type").unwrap().as_str(), Some("stats"));
+    }
+
+    #[test]
+    fn invalid_utf8_gets_an_error_response_not_a_dead_server() {
+        let engine = Engine::new();
+        let mut input: Vec<u8> = b"\xff\xfe not utf-8\n".to_vec();
+        input.extend_from_slice(b"{\"id\":\"ok\",\"type\":\"stats\"}\n");
+        let mut out = Vec::new();
+        let served = serve_lines(&engine, Cursor::new(input), &mut out).unwrap();
+        assert_eq!(served, 2, "the bad bytes answered, the loop continued");
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let err = Json::parse(lines[0]).unwrap();
+        assert_eq!(err.get("type").unwrap().as_str(), Some("error"));
+        let ok = Json::parse(lines[1]).unwrap();
+        assert_eq!(ok.get("type").unwrap().as_str(), Some("stats"));
+    }
+
+    #[test]
+    fn unknown_type_echoes_the_request_id() {
+        let engine = Engine::new();
+        let response = respond_to_line(&engine, r#"{"id":"who","type":"frobnicate"}"#).unwrap();
+        assert_eq!(response.id(), Some("who"));
+        assert!(response.is_error());
+        assert!(respond_to_line(&engine, "   ").is_none());
+    }
+}

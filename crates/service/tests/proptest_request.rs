@@ -1,0 +1,88 @@
+//! Property tests for the protocol decoder: arbitrary bytes and mutated
+//! valid requests must decode to `Ok` or a typed error — never a panic —
+//! and everything that decodes must re-encode/round-trip.
+
+use cqdet_service::{Request, RequestKind};
+use proptest::prelude::*;
+
+/// A valid request derived deterministically from a seed, covering every
+/// request type.
+fn seeded_request(seed: u64) -> Request {
+    let kinds = [
+        RequestKind::Decide {
+            program: format!("v() :- R(x,y)\nq{}() :- R(x,y), R(u,w)", seed % 7),
+            query: format!("q{}", seed % 7),
+            witness: seed % 2 == 0,
+        },
+        RequestKind::Batch {
+            tasks: "v() :- R(x,y)\nq() :- R(x,y)\ntask a: q <- v".to_string(),
+            witnesses: seed % 3 == 0,
+            verify: seed % 5 == 0,
+        },
+        RequestKind::Path {
+            query: "ABAB".to_string(),
+            views: vec![
+                "AB".to_string(),
+                format!("A{}", "B".repeat((seed % 4) as usize)),
+            ],
+        },
+        RequestKind::Hilbert {
+            bound: seed % 9,
+            monomials: vec!["+2:x^2,y".to_string(), "-12:".to_string()],
+        },
+        RequestKind::Explain {
+            program: "q() :- R(x,y)".to_string(),
+            query: "q".to_string(),
+        },
+        RequestKind::Stats,
+        RequestKind::Shutdown,
+    ];
+    let kind = kinds[(seed % kinds.len() as u64) as usize].clone();
+    Request {
+        id: format!("r{seed}"),
+        deadline_ms: (seed % 2 == 1).then_some(seed % 100_000),
+        kind,
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        // Ok or a typed error — the assertion is "no panic" plus a stable
+        // error code on the failure side.
+        match Request::from_line(&text) {
+            Ok(request) => {
+                // Whatever decoded must re-encode and decode back equal.
+                let line = request.to_json().render();
+                prop_assert_eq!(Request::from_line(&line).unwrap(), request);
+            }
+            Err(e) => {
+                prop_assert!(matches!(e.code(), "parse" | "schema"), "{}", e);
+            }
+        }
+    }
+
+    #[test]
+    fn every_request_type_round_trips(seed in any::<u64>()) {
+        let request = seeded_request(seed);
+        let line = request.to_json().render();
+        let decoded = Request::from_line(&line).unwrap();
+        prop_assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic(seed in any::<u64>(), pos in any::<u16>(), byte in any::<u8>()) {
+        let line = seeded_request(seed).to_json().render();
+        let mut bytes = line.into_bytes();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] = byte;
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(request) = Request::from_line(&text) {
+            // A mutation that still decodes must still re-encode cleanly.
+            let _ = request.to_json().render();
+        }
+    }
+}

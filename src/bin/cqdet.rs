@@ -1,5 +1,11 @@
 //! `cqdet` — the command-line front end to the determinacy engine.
 //!
+//! Every subcommand is a **thin transport**: it constructs a typed
+//! [`Request`](cqdet::service::Request), routes it through
+//! [`Engine::submit`](cqdet::service::Engine::submit) — the same code path
+//! the JSON-lines server uses — and renders the typed
+//! [`Response`](cqdet::service::Response).
+//!
 //! ```text
 //! cqdet decide <program.cq> [--query NAME] [--witness] [--json]
 //!     Decide one instance.  The program file defines one boolean CQ per
@@ -18,8 +24,8 @@
 //!     vector representations, span coefficients or counterexample.
 //!
 //! cqdet bench <tasks.cqb> [--repeat N]
-//!     Time the batch with a shared session vs. one-shot calls per task and
-//!     report the speedup plus cache statistics.
+//!     Time the batch through the serving engine vs one-shot calls per task
+//!     and report the speedup plus cache statistics.
 //!
 //! cqdet path <word> <view-word>...
 //!     Path-query determinacy (Theorem 1): e.g. `cqdet path ABCD ABC BC BCD`.
@@ -27,11 +33,26 @@
 //! cqdet hilbert <bound> <monomial>...
 //!     Theorem 2 reduction: monomials like `+2:x^1,y^1` or `-12:`; searches
 //!     for a solution with unknowns ≤ bound and reports the refutation.
+//!
+//! cqdet serve [--tcp ADDR]
+//!     The long-lived JSON-lines server.  Default transport is
+//!     stdin/stdout; `--tcp 127.0.0.1:4199` serves concurrent connections
+//!     over TCP with shared cross-connection caches (`--tcp 127.0.0.1:0`
+//!     picks an ephemeral port, reported on stdout).  See README.md for the
+//!     protocol (request/response schema, error taxonomy, deadlines).
+//! ```
+//!
+//! Parse failures are rendered with the offending line and a caret:
+//!
+//! ```text
+//! error: parse error at line 2, column 15: unexpected input after atom (found "junk")
+//!   |  q() :- R(x,y) junk
+//!   |                ^
 //! ```
 
-use cqdet::core::witness::{build_counterexample, WitnessConfig};
-use cqdet::engine::{parse_task_file, stats_json, SessionConfig};
 use cqdet::prelude::*;
+use cqdet::service::{serve_lines, serve_tcp, ServeOptions};
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -44,6 +65,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("path") => cmd_path(&args[1..]),
         Some("hilbert") => cmd_hilbert(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -68,39 +90,25 @@ fn print_usage() {
     println!("  cqdet bench   <tasks.cqb> [--repeat N]");
     println!("  cqdet path    <query-word> <view-word>...");
     println!("  cqdet hilbert <bound> <coeff:var^deg,...>...");
+    println!("  cqdet serve   [--tcp ADDR]");
     println!();
     println!("Batch task files define boolean CQs (one per line, shared by all");
     println!("tasks) plus task lines `task <id>: <query> <- <view> <view> ...`");
-    println!("(`*` = every definition except the query).  See ARCHITECTURE.md");
-    println!("and the rustdoc of cqdet_engine::taskfile for the full format.");
+    println!("(`*` = every definition except the query).  `cqdet serve` speaks");
+    println!("JSON-lines (one request object per line, ids echoed, optional");
+    println!("deadline_ms) over stdin/stdout or TCP; see README.md and");
+    println!("ARCHITECTURE.md for the protocol and the task-file format.");
 }
 
-/// Parse a program file into `(views, query)`: the definition named
-/// `query_name` is the query, everything else is a view.
-fn load_program(
-    path: &str,
-    query_name: &str,
-) -> Result<(Vec<ConjunctiveQuery>, ConjunctiveQuery), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let program = parse_queries(&text).map_err(|e| e.to_string())?;
-    let mut views = Vec::new();
-    let mut query = None;
-    for u in &program {
-        if !u.is_single_cq() {
-            return Err(format!(
-                "{} is a union query; Theorem 3 handles conjunctive queries (unions are undecidable — Theorem 2)",
-                u.name()
-            ));
-        }
-        let cq = u.disjuncts()[0].clone();
-        if u.name() == query_name {
-            query = Some(cq);
-        } else {
-            views.push(cq);
-        }
-    }
-    let query = query.ok_or(format!("no definition named {query_name:?} in {path}"))?;
-    Ok((views, query))
+/// Read a file for a request payload, mapping I/O failure to a CLI error.
+fn read_input(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Render a typed service error against the source text it refers to
+/// (caret diagnostics for parse errors).
+fn render_error(error: &CqdetError, source: &str) -> String {
+    error.render(Some(source))
 }
 
 /// Flag-style argument scan: one positional path plus boolean/valued flags.
@@ -114,6 +122,7 @@ struct Flags {
     no_verify: bool,
     quiet: bool,
     repeat: usize,
+    tcp: Option<String>,
 }
 
 /// Parse one positional path plus the flags in `allowed`; any other
@@ -129,6 +138,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
         no_verify: false,
         quiet: false,
         repeat: 1,
+        tcp: None,
     };
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -147,6 +157,9 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
             "--no-witness" => flags.no_witness = true,
             "--no-verify" => flags.no_verify = true,
             "--quiet" => flags.quiet = true,
+            "--tcp" => {
+                flags.tcp = Some(iter.next().ok_or("--tcp needs an address")?.clone());
+            }
             "--repeat" => {
                 flags.repeat = iter
                     .next()
@@ -169,18 +182,28 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
 fn cmd_decide(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["--query", "--witness", "--json"])?;
     let path = flags.path.as_deref().ok_or("decide needs a program file")?;
-    let (views, query) = load_program(path, &flags.query_name)?;
+    let program = read_input(path)?;
 
-    let session = DecisionSession::with_config(SessionConfig {
-        witnesses: flags.witness || flags.json,
-        verify: true,
-        witness: WitnessConfig::default(),
+    let engine = Engine::new();
+    let response = engine.submit(Request {
+        id: "cli".to_string(),
+        deadline_ms: None,
+        kind: RequestKind::Decide {
+            program: program.clone(),
+            query: flags.query_name.clone(),
+            witness: flags.witness || flags.json,
+        },
     });
-    let record = session.run_task(&Task {
-        id: flags.query_name.clone(),
-        views: views.clone(),
-        query: query.clone(),
-    });
+    let (record, views, query) = match response {
+        Response::Error { error, .. } => return Err(render_error(&error, &program)),
+        Response::Decide {
+            record,
+            views,
+            query,
+            ..
+        } => (record, views, query),
+        other => return Err(format!("unexpected response {:?}", other.type_str())),
+    };
 
     if flags.json {
         // The record (including an error record) is the machine-readable
@@ -204,7 +227,7 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
             return Err(error.clone());
         }
     }
-    let analysis = record.analysis.as_ref().expect("non-error record");
+    let analysis = record.analysis.as_ref().ok_or("non-error record")?;
     println!("query:    {query}");
     println!("views:    {}", views.len());
     println!(
@@ -243,22 +266,30 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["--no-witness", "--no-verify", "--quiet"])?;
     let path = flags.path.as_deref().ok_or("batch needs a task file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let file = parse_task_file(&text).map_err(|e| e.to_string())?;
+    let tasks_text = read_input(path)?;
 
-    let session = DecisionSession::with_config(SessionConfig {
-        witnesses: !flags.no_witness,
-        verify: !flags.no_verify,
-        witness: WitnessConfig::default(),
-    });
+    let engine = Engine::new();
     let start = Instant::now();
-    let report = session.decide_batch(&file.tasks);
+    let response = engine.submit(Request {
+        id: "cli".to_string(),
+        deadline_ms: None,
+        kind: RequestKind::Batch {
+            tasks: tasks_text.clone(),
+            witnesses: !flags.no_witness,
+            verify: !flags.no_verify,
+        },
+    });
     let elapsed = start.elapsed();
+    let report = match response {
+        Response::Error { error, .. } => return Err(render_error(&error, &tasks_text)),
+        Response::Batch { records, stats, .. } => cqdet::engine::BatchReport { records, stats },
+        other => return Err(format!("unexpected response {:?}", other.type_str())),
+    };
 
     for record in &report.records {
         println!("{}", record.to_json().render());
     }
-    println!("{}", stats_json(&report.stats).render());
+    println!("{}", cqdet::engine::stats_json(&report.stats).render());
 
     if !flags.quiet {
         let stats = &report.stats;
@@ -297,102 +328,37 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         .path
         .as_deref()
         .ok_or("explain needs a program file")?;
-    let (views, query) = load_program(path, &flags.query_name)?;
+    let program = read_input(path)?;
 
-    let analysis = decide_bag_determinacy(&views, &query).map_err(|e| e.to_string())?;
-    println!("# Instance");
-    println!("schema: {}", analysis.schema);
-    println!("query:  {query}");
-    for v in &views {
-        println!("view:   {v}");
-    }
-    println!();
-    println!("# Step 1 — retention gate (Definition 25: q ⊆_set v ⇔ hom(v,q) ≠ ∅)");
-    for (i, v) in views.iter().enumerate() {
-        let kept = analysis.retained_views.contains(&i);
-        println!(
-            "  {} {}: {}",
-            if kept { "✓" } else { "✗" },
-            v.name(),
-            if kept { "retained" } else { "dropped" }
-        );
-    }
-    println!();
-    println!(
-        "# Step 2 — basis W (Definition 27): {} pairwise non-isomorphic connected component(s)",
-        analysis.basis_size()
-    );
-    for (k, w) in analysis.basis.iter().enumerate() {
-        println!("  w{k} = {w}");
-    }
-    println!();
-    println!("# Step 3 — vector representations (Definition 29)");
-    println!("  q⃗ = {}", analysis.query_vector);
-    for (pos, &vi) in analysis.retained_views.iter().enumerate() {
-        println!("  {}⃗ = {}", views[vi].name(), analysis.view_vectors[pos]);
-    }
-    println!();
-    println!("# Step 4 — Main Lemma span test: q⃗ ∈ span_ℚ{{v⃗}} ?");
-    if analysis.determined {
-        println!("  YES — determined.  Coefficients:");
-        let coefficients = analysis.coefficients.as_ref().expect("determined");
-        for (pos, &vi) in analysis.retained_views.iter().enumerate() {
-            println!("    α_{} = {}", views[vi].name(), coefficients[pos]);
+    let engine = Engine::new();
+    let response = engine.submit(Request {
+        id: "cli".to_string(),
+        deadline_ms: None,
+        kind: RequestKind::Explain {
+            program: program.clone(),
+            query: flags.query_name.clone(),
+        },
+    });
+    match response {
+        Response::Error { error, .. } => Err(render_error(&error, &program)),
+        Response::Explain { text, .. } => {
+            print!("{text}");
+            Ok(())
         }
-        if let Some(rewriting) = analysis.rewriting(&views) {
-            println!("  rewriting: {rewriting}");
-        }
-    } else {
-        println!("  NO — not determined.  Constructing the counterexample (Sections 5–7):");
-        let witness = build_counterexample(&analysis, &query, &WitnessConfig::default())
-            .map_err(|e| e.to_string())?;
-        println!("  z⃗ = {}   (⊥ to every v⃗, ⟨z⃗,q⃗⟩ ≠ 0 — Fact 5)", witness.z);
-        println!("  t  = {}   (perturbation factor, Lemma 57)", witness.t);
-        let (d, dp) = witness.answer_vectors();
-        let render = |v: &[Nat]| {
-            v.iter()
-                .map(|n| n.to_string())
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
-        println!("  answer vectors (w⃗ evaluated on D and D′):");
-        println!("    w⃗(D)  = [{}]", render(&d));
-        println!("    w⃗(D′) = [{}]", render(&dp));
-        println!("  D  = {}", witness.d);
-        println!("  D' = {}", witness.d_prime);
-        println!(
-            "  q(D) = {} ≠ {} = q(D′)",
-            witness.eval_on_d(&query),
-            witness.eval_on_d_prime(&query)
-        );
-        use cqdet::core::witness::check_certificate_arithmetic;
-        println!(
-            "  certificate arithmetic verified: {}",
-            check_certificate_arithmetic(&witness, &analysis)
-        );
-        println!(
-            "  symbolic verification (all views agree, q differs): {}",
-            witness.verify(&views, &query)
-        );
+        other => Err(format!("unexpected response {:?}", other.type_str())),
     }
-    Ok(())
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["--repeat"])?;
     let path = flags.path.as_deref().ok_or("bench needs a task file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let file = parse_task_file(&text).map_err(|e| e.to_string())?;
+    let tasks_text = read_input(path)?;
+    let file = parse_task_file(&tasks_text).map_err(|e| render_error(&e.into(), &tasks_text))?;
     let tasks = &file.tasks;
 
-    // Decision cost only on both sides: witnesses off, so the comparison is
-    // exactly "shared session" vs "one-shot calls".
-    let config = SessionConfig {
-        witnesses: false,
-        verify: false,
-        witness: WitnessConfig::default(),
-    };
-
+    // Decision cost only on both sides (witnesses and verification off):
+    // the comparison is "requests through a shared serving engine" vs
+    // "one-shot library calls" on identical tasks.
     let mut fresh_total = 0.0f64;
     let mut shared_total = 0.0f64;
     let mut last_stats = None;
@@ -403,11 +369,26 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         }
         fresh_total += start.elapsed().as_secs_f64();
 
-        let session = DecisionSession::with_config(config.clone());
+        // A fresh engine per repeat: cold caches at batch start, shared
+        // within the batch — the same regime the old session bench measured,
+        // now through the one code path every front end uses.
+        let engine = Engine::new();
         let start = Instant::now();
-        let report = session.decide_batch(tasks);
+        let response = engine.submit(Request {
+            id: "bench".to_string(),
+            deadline_ms: None,
+            kind: RequestKind::Batch {
+                tasks: tasks_text.clone(),
+                witnesses: false,
+                verify: false,
+            },
+        });
         shared_total += start.elapsed().as_secs_f64();
-        last_stats = Some(report.stats);
+        match response {
+            Response::Batch { stats, .. } => last_stats = Some(stats),
+            Response::Error { error, .. } => return Err(render_error(&error, &tasks_text)),
+            other => return Err(format!("unexpected response {:?}", other.type_str())),
+        }
     }
     let fresh_ms = fresh_total * 1e3 / flags.repeat as f64;
     let shared_ms = shared_total * 1e3 / flags.repeat as f64;
@@ -439,12 +420,26 @@ fn cmd_path(args: &[String]) -> Result<(), String> {
     let [query, views @ ..] = args else {
         return Err("path needs a query word and at least one view word".to_string());
     };
-    if views.is_empty() {
-        return Err("path needs at least one view word".to_string());
-    }
-    let q = PathQuery::from_compact(query);
-    let vs: Vec<PathQuery> = views.iter().map(|w| PathQuery::from_compact(w)).collect();
-    let analysis = decide_path_determinacy(&vs, &q);
+    let engine = Engine::new();
+    let response = engine.submit(Request {
+        id: "cli".to_string(),
+        deadline_ms: None,
+        kind: RequestKind::Path {
+            query: query.clone(),
+            views: views.to_vec(),
+        },
+    });
+    let (q, vs, analysis, witness) = match response {
+        Response::Error { error, .. } => return Err(error.to_string()),
+        Response::Path {
+            query,
+            views,
+            analysis,
+            witness,
+            ..
+        } => (query, views, analysis, witness),
+        other => return Err(format!("unexpected response {:?}", other.type_str())),
+    };
     println!("q = {q}");
     println!(
         "V = {{{}}}",
@@ -464,8 +459,7 @@ fn cmd_path(args: &[String]) -> Result<(), String> {
             println!();
         }
         None => {
-            let (d, d_prime) = cqdet::core::paths::non_determinacy_witness(&vs, &q)
-                .expect("undetermined instances have Appendix B witnesses");
+            let (d, d_prime) = witness.ok_or("undetermined instances have Appendix B witnesses")?;
             println!("Appendix B witness:");
             println!("  D  = {d}");
             println!("  D' = {d_prime}");
@@ -478,34 +472,38 @@ fn cmd_hilbert(args: &[String]) -> Result<(), String> {
     let [bound, monomials @ ..] = args else {
         return Err("hilbert needs a bound and at least one monomial".to_string());
     };
-    if monomials.is_empty() {
-        return Err("hilbert needs at least one monomial".to_string());
-    }
     let bound: u64 = bound
         .parse()
         .map_err(|_| "bound must be a natural number")?;
-    let mut parsed = Vec::new();
-    for m in monomials {
-        parsed.push(parse_monomial(m)?);
-    }
-    let instance = DiophantineInstance::new(parsed);
+    let engine = Engine::new();
+    let response = engine.submit(Request {
+        id: "cli".to_string(),
+        deadline_ms: None,
+        kind: RequestKind::Hilbert {
+            bound,
+            monomials: monomials.to_vec(),
+        },
+    });
+    let (instance, views, disjuncts, schema, refutation) = match response {
+        Response::Error { error, .. } => return Err(error.to_string()),
+        Response::Hilbert {
+            instance,
+            views,
+            disjuncts,
+            schema,
+            refutation,
+            ..
+        } => (instance, views, disjuncts, schema, refutation),
+        other => return Err(format!("unexpected response {:?}", other.type_str())),
+    };
     println!("instance: {instance}");
-    let encoding = encode(&instance);
-    println!(
-        "encoded as {} views with {} CQ disjuncts over schema {}",
-        encoding.views.len(),
-        encoding.total_disjuncts(),
-        encoding.schema
-    );
-    match cqdet::hilbert::structures::bounded_refutation(&instance, bound) {
-        Some((enc, d, d_prime)) => {
+    println!("encoded as {views} views with {disjuncts} CQ disjuncts over schema {schema}");
+    match refutation {
+        Some(r) => {
             println!("solution found within the box → determinacy REFUTED");
-            println!("  D  = {d}");
-            println!("  D' = {d_prime}");
-            println!(
-                "  verified: {}",
-                cqdet::hilbert::structures::verify_counterexample(&enc, &d, &d_prime)
-            );
+            println!("  D  = {}", r.d);
+            println!("  D' = {}", r.d_prime);
+            println!("  verified: {}", r.verified);
         }
         None => println!(
             "no solution with unknowns ≤ {bound}; nothing can be concluded (Theorem 2: undecidable)"
@@ -514,34 +512,40 @@ fn cmd_hilbert(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parse `"+2:x^1,y^3"` / `"-12:"` into a monomial.
-fn parse_monomial(text: &str) -> Result<Monomial, String> {
-    let (coeff, vars) = text
-        .split_once(':')
-        .ok_or_else(|| format!("monomial {text:?} must look like coeff:var^deg,..."))?;
-    let coefficient: i64 = coeff
-        .parse()
-        .map_err(|_| format!("bad coefficient {coeff:?}"))?;
-    let mut degrees = Vec::new();
-    for part in vars.split(',').filter(|p| !p.trim().is_empty()) {
-        let (name, degree) = match part.split_once('^') {
-            Some((n, d)) => (
-                n.trim().to_string(),
-                d.trim()
-                    .parse::<u32>()
-                    .map_err(|_| format!("bad degree in {part:?}"))?,
-            ),
-            None => (part.trim().to_string(), 1),
-        };
-        degrees.push((name, degree));
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--tcp"])?;
+    if let Some(extra) = &flags.path {
+        return Err(format!(
+            "serve takes no positional argument (got {extra:?})"
+        ));
     }
-    let borrowed: Vec<(&str, u32)> = degrees.iter().map(|(n, d)| (n.as_str(), *d)).collect();
-    Ok(Monomial::new(coefficient, &borrowed))
+    let engine = Engine::new();
+    match &flags.tcp {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let served = serve_lines(&engine, stdin.lock(), stdout.lock())
+                .map_err(|e| format!("serve I/O error: {e}"))?;
+            eprintln!("cqdet serve: answered {served} request(s), shutting down");
+            Ok(())
+        }
+        Some(addr) => {
+            let served = serve_tcp(&engine, addr, &ServeOptions::default(), |bound| {
+                // The ready line is machine-readable so tests and tooling can
+                // discover an ephemeral port.
+                println!("{{\"type\":\"serving\",\"addr\":\"{bound}\"}}");
+                let _ = std::io::stdout().flush();
+            })
+            .map_err(|e| format!("serve I/O error on {addr}: {e}"))?;
+            eprintln!("cqdet serve: answered {served} request(s), shutting down");
+            Ok(())
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::parse_monomial;
+    use cqdet::service::parse_monomial;
 
     #[test]
     fn monomial_parsing() {

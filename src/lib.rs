@@ -20,6 +20,11 @@
 //!   baseline,
 //! * [`engine`] — the batch decision engine: long-lived sessions with
 //!   cross-request caches, task files, JSON certificates,
+//! * [`service`] — the unified typed request/response API: `Engine::submit`
+//!   over every workload family, the typed error hierarchy, per-request
+//!   deadlines, and the `cqdet serve` JSON-lines server,
+//! * [`parallel`] — scoped-thread fan-out and the [`prelude::CancelToken`]
+//!   deadline/cancellation primitive,
 //! * [`hilbert`] — the Theorem 2 reduction from Hilbert's Tenth Problem
 //!   (undecidability for boolean UCQs).
 //!
@@ -82,30 +87,77 @@
 //! assert!(report.stats.frozen_hits > 0);
 //! ```
 //!
+//! ## Quickstart — the serving facade
+//!
+//! Every workload family answers through one typed entry point,
+//! [`service::Engine::submit`] — the code path shared by all CLI
+//! subcommands and the `cqdet serve` JSON-lines server.  Requests carry an
+//! id (echoed on the response) and an optional deadline, checked at the
+//! pipeline's stage boundaries:
+//!
+//! ```
+//! use cqdet::prelude::*;
+//!
+//! let engine = Engine::new();
+//! let response = engine.submit(Request {
+//!     id: "r1".into(),
+//!     deadline_ms: Some(5_000),
+//!     kind: RequestKind::Decide {
+//!         program: "v1() :- R(x,y)\nv2() :- R(x,y), R(y,z)\nq() :- R(x,y), R(u,w)".into(),
+//!         query: "q".into(),
+//!         witness: true,
+//!     },
+//! });
+//! let Response::Decide { record, .. } = response else { panic!() };
+//! assert_eq!(record.status, TaskStatus::Determined);
+//! assert_eq!(record.verified, Some(true));
+//! // The wire form is one JSON line, version-stamped:
+//! assert!(record.to_json().render().starts_with("{\"version\":1,"));
+//!
+//! // Failures are typed — here a parse error with line/column/token:
+//! let bad = engine.submit(Request {
+//!     id: "r2".into(),
+//!     deadline_ms: None,
+//!     kind: RequestKind::Decide {
+//!         program: "q() : R(x,y)".into(),
+//!         query: "q".into(),
+//!         witness: false,
+//!     },
+//! });
+//! let Response::Error { error, .. } = bad else { panic!() };
+//! assert_eq!(error.code(), "parse");
+//! ```
+//!
 //! ## The `cqdet` CLI
 //!
 //! The same functionality ships as a binary (`cargo run --release --bin
-//! cqdet -- --help`):
+//! cqdet -- --help`); every subcommand routes through
+//! [`service::Engine::submit`]:
 //!
 //! ```text
 //! cqdet decide  program.cq --query q --json   # one instance → JSON certificate
 //! cqdet batch   tasks.cqb                     # task file → JSON-lines + cache stats
 //! cqdet explain program.cq                    # the pipeline, narrated step by step
-//! cqdet bench   tasks.cqb --repeat 5          # shared session vs one-shot calls
+//! cqdet bench   tasks.cqb --repeat 5          # serving engine vs one-shot calls
 //! cqdet path    ABCD ABC BC BCD               # Theorem 1 (path queries)
 //! cqdet hilbert 6 +2:x,y -12:                 # Theorem 2 reduction
+//! cqdet serve   [--tcp ADDR]                  # the JSON-lines server
 //! ```
 //!
 //! Task files declare a pool of definitions (one boolean CQ per line) and
 //! then `task <id>: <query> <- <view> <view> ...` lines (`*` = every
-//! definition except the query); see [`engine::taskfile`] for the grammar.
+//! definition except the query); see [`engine::taskfile`] for the grammar
+//! and `README.md` for the full protocol specification (request/response
+//! schema, error taxonomy, deadline semantics).
 
 pub use cqdet_bigint as bigint;
 pub use cqdet_core as core;
 pub use cqdet_engine as engine;
 pub use cqdet_hilbert as hilbert;
 pub use cqdet_linalg as linalg;
+pub use cqdet_parallel as parallel;
 pub use cqdet_query as query;
+pub use cqdet_service as service;
 pub use cqdet_structure as structure;
 
 /// Everything most programs need, in one import.
@@ -121,7 +173,9 @@ pub mod prelude {
     };
     pub use cqdet_hilbert::{encode, DiophantineInstance, Monomial};
     pub use cqdet_linalg::{QMat, QVec, Rat};
+    pub use cqdet_parallel::CancelToken;
     pub use cqdet_query::{parse_queries, parse_query, ConjunctiveQuery, PathQuery, UnionQuery};
+    pub use cqdet_service::{CqdetError, Engine, Request, RequestKind, Response};
     pub use cqdet_structure::{Schema, Structure};
 }
 

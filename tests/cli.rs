@@ -303,6 +303,49 @@ fn explain_narrates_the_pipeline() {
 }
 
 #[test]
+fn wire_version_is_emitted_on_every_record() {
+    let output = run_cqdet(&["decide", &golden("warehouse.cq"), "--json"]);
+    assert!(output.status.success());
+    let record = Json::parse(&stdout_lines(&output)[0]).unwrap();
+    assert_eq!(record.get("version").unwrap().as_u64(), Some(1));
+
+    let output = run_cqdet(&["batch", &golden("mixed.cqb"), "--quiet"]);
+    assert!(output.status.success());
+    for line in stdout_lines(&output) {
+        let json = Json::parse(&line).unwrap();
+        assert_eq!(
+            json.get("version").unwrap().as_u64(),
+            Some(1),
+            "task records and the session_stats line are all versioned: {line}"
+        );
+    }
+}
+
+#[test]
+fn parse_errors_render_with_a_caret() {
+    let path = std::env::temp_dir().join("cqdet_cli_caret.cq");
+    std::fs::write(&path, "v() :- R(x,y)\nq() :- R(x,y) junk\n").unwrap();
+    let output = run_cqdet(&["decide", path.to_str().unwrap()]);
+    assert!(!output.status.success());
+    let err = String::from_utf8(output.stderr).unwrap();
+    assert!(
+        err.contains("line 2, column 15"),
+        "positioned diagnostic: {err}"
+    );
+    assert!(err.contains("\"junk\""), "offending token named: {err}");
+    assert!(
+        err.contains("q() :- R(x,y) junk"),
+        "source line echoed: {err}"
+    );
+    let caret_line = err
+        .lines()
+        .find(|l| l.trim_end().ends_with('^'))
+        .unwrap_or_else(|| panic!("no caret line in: {err}"));
+    // The caret sits under column 15 of the echoed line (prefix "  |  ").
+    assert_eq!(caret_line, "  |                ^");
+}
+
+#[test]
 fn unknown_command_fails_cleanly() {
     let output = run_cqdet(&["frobnicate"]);
     assert!(!output.status.success());

@@ -1,0 +1,295 @@
+//! Integration tests for `cqdet serve`: drive the real binary over a real
+//! TCP socket (concurrent pipelined requests, malformed requests, deadline
+//! expiry, graceful shutdown) and over stdin/stdout, asserting that every
+//! outcome is a typed response — never a panic, never a dropped connection.
+
+use cqdet::engine::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const PROGRAM: &str = "v1() :- R(x,y)\\nv2() :- R(x,y), R(y,z)\\nq() :- R(x,y), R(u,w)";
+const TASKS: &str =
+    "v1() :- R(x,y)\\nq1() :- R(x,y), R(u,w)\\ntask t1: q1 <- v1\\ntask t2: q1 <- *";
+
+/// A running `cqdet serve --tcp 127.0.0.1:0` child plus its bound address.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn start() -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cqdet"))
+            .args(["serve", "--tcp", "127.0.0.1:0"])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn cqdet serve");
+        // The first stdout line announces the bound (ephemeral) port.
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut ready = String::new();
+        reader.read_line(&mut ready).expect("ready line");
+        let ready = Json::parse(ready.trim()).expect("ready line is JSON");
+        assert_eq!(ready.get("type").unwrap().as_str(), Some("serving"));
+        let addr = ready
+            .get("addr")
+            .and_then(Json::as_str)
+            .expect("ready line carries the address")
+            .to_string();
+        Server { child, addr }
+    }
+
+    fn connect(&self) -> TcpStream {
+        let stream = TcpStream::connect(&self.addr).expect("connect to cqdet serve");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        stream
+    }
+
+    /// Wait (bounded) for the child to exit after a graceful shutdown.
+    fn wait_for_exit(mut self) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "server exited with {status}");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("server did not exit within 30s of shutdown");
+                }
+                None => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Idempotent safety net for panicking tests.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Send one JSON line and read one response line.
+fn roundtrip(stream: &mut TcpStream, line: &str) -> Json {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    read_response(stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> Json {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => panic!("connection closed before a response arrived"),
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => line.push(byte[0]),
+            Err(e) => panic!("read error: {e}"),
+        }
+    }
+    Json::parse(std::str::from_utf8(&line).expect("utf-8 response")).expect("JSON response")
+}
+
+#[test]
+fn tcp_server_answers_interleaved_requests_with_shared_caches() {
+    let server = Server::start();
+
+    // Warm the session caches with one decide on the first connection.
+    let mut warm = server.connect();
+    let first = roundtrip(
+        &mut warm,
+        &format!(r#"{{"id":"warm","type":"decide","program":"{PROGRAM}"}}"#),
+    );
+    assert_eq!(first.get("type").unwrap().as_str(), Some("decide"));
+    assert_eq!(
+        first.get("record").unwrap().get("status").unwrap().as_str(),
+        Some("determined")
+    );
+
+    // Concurrent connections, each pipelining a different workload family.
+    std::thread::scope(|scope| {
+        let addr = &server.addr;
+        let mut handles = Vec::new();
+        for c in 0..4 {
+            handles.push(scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                // Pipelining: write every request before reading any reply.
+                let requests = [
+                    format!(
+                        r#"{{"id":"{c}-d","type":"decide","program":"{PROGRAM}","witness":true}}"#
+                    ),
+                    format!(r#"{{"id":"{c}-b","type":"batch","tasks":"{TASKS}"}}"#),
+                    format!(r#"{{"id":"{c}-p","type":"path","query":"AB","views":["A","AB"]}}"#),
+                    format!(
+                        r#"{{"id":"{c}-h","type":"hilbert","bound":3,"monomials":["+1:x","-2:"]}}"#
+                    ),
+                ];
+                for r in &requests {
+                    stream.write_all(r.as_bytes()).unwrap();
+                    stream.write_all(b"\n").unwrap();
+                }
+                stream.flush().unwrap();
+                // Responses come back in request order with echoed ids.
+                let decide = read_response(&mut stream);
+                assert_eq!(decide.get("id").unwrap().as_str(), Some(&*format!("{c}-d")));
+                let record = decide.get("record").unwrap();
+                assert_eq!(record.get("status").unwrap().as_str(), Some("determined"));
+                assert_eq!(record.get("verified").unwrap().as_bool(), Some(true));
+                assert_eq!(record.get("version").unwrap().as_u64(), Some(1));
+
+                let batch = read_response(&mut stream);
+                assert_eq!(batch.get("id").unwrap().as_str(), Some(&*format!("{c}-b")));
+                let records = batch.get("records").unwrap().as_arr().unwrap();
+                assert_eq!(records.len(), 2);
+                for r in records {
+                    assert_eq!(r.get("status").unwrap().as_str(), Some("determined"));
+                }
+
+                let path = read_response(&mut stream);
+                assert_eq!(path.get("determined").unwrap().as_bool(), Some(true));
+
+                let hilbert = read_response(&mut stream);
+                assert_eq!(
+                    hilbert.get("id").unwrap().as_str(),
+                    Some(&*format!("{c}-h"))
+                );
+                let refutation = hilbert.get("refutation").unwrap();
+                assert_eq!(refutation.get("verified").unwrap().as_bool(), Some(true));
+            }));
+        }
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    // The decide requests shared one view pool: the session stats must show
+    // cross-connection cache hits.
+    let stats_response = roundtrip(&mut warm, r#"{"id":"s","type":"stats"}"#);
+    let stats = stats_response.get("stats").unwrap();
+    assert!(
+        stats.get("frozen_hits").unwrap().as_u64().unwrap() > 0,
+        "concurrent connections must share the frozen-body cache: {stats:?}"
+    );
+    assert!(
+        stats.get("gate_hits").unwrap().as_u64().unwrap() > 0,
+        "concurrent connections must share the containment-gate cache: {stats:?}"
+    );
+
+    // Graceful shutdown: acknowledged, then the process exits cleanly.
+    let ack = roundtrip(&mut warm, r#"{"id":"bye","type":"shutdown"}"#);
+    assert_eq!(ack.get("type").unwrap().as_str(), Some("shutdown"));
+    server.wait_for_exit();
+}
+
+#[test]
+fn malformed_and_expired_requests_yield_typed_responses() {
+    let server = Server::start();
+    let mut stream = server.connect();
+
+    // Not JSON: a typed parse error, id null, connection stays up.
+    let err = roundtrip(&mut stream, "this is not json");
+    assert_eq!(err.get("type").unwrap().as_str(), Some("error"));
+    assert_eq!(err.get("id"), Some(&Json::Null));
+    assert_eq!(
+        err.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("parse")
+    );
+
+    // Unknown request type: schema error, id echoed.
+    let err = roundtrip(&mut stream, r#"{"id":"u","type":"frobnicate"}"#);
+    assert_eq!(err.get("id").unwrap().as_str(), Some("u"));
+    assert_eq!(
+        err.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("schema")
+    );
+
+    // A program outside the decidable fragment: the decision engine's typed
+    // rejection arrives as an error *record*, not a dropped connection.
+    let response = roundtrip(
+        &mut stream,
+        r#"{"id":"f","type":"decide","program":"v() :- R(x,y)\nq(x) :- R(x,y)"}"#,
+    );
+    let record = response.get("record").unwrap();
+    assert_eq!(record.get("status").unwrap().as_str(), Some("error"));
+    assert!(record
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("boolean"));
+
+    // An already-expired deadline: a typed timeout response.
+    let timeout = roundtrip(
+        &mut stream,
+        &format!(r#"{{"id":"t","type":"decide","program":"{PROGRAM}","deadline_ms":0}}"#),
+    );
+    assert_eq!(timeout.get("type").unwrap().as_str(), Some("timeout"));
+    let error = timeout.get("error").unwrap();
+    assert_eq!(error.get("code").unwrap().as_str(), Some("deadline"));
+    assert!(error.get("stage").unwrap().as_str().is_some());
+
+    // The same connection still answers real work afterwards.
+    let ok = roundtrip(
+        &mut stream,
+        &format!(r#"{{"id":"ok","type":"decide","program":"{PROGRAM}"}}"#),
+    );
+    assert_eq!(
+        ok.get("record").unwrap().get("status").unwrap().as_str(),
+        Some("determined")
+    );
+
+    let _ = roundtrip(&mut stream, r#"{"id":"bye","type":"shutdown"}"#);
+    server.wait_for_exit();
+}
+
+#[test]
+fn stdio_transport_smoke() {
+    // The zero-setup mode: pipe JSON-lines through stdin/stdout.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cqdet"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cqdet serve (stdio)");
+    let mut stdin = child.stdin.take().unwrap();
+    let requests = format!(
+        "{}\n{}\n",
+        format_args!(r#"{{"id":"1","type":"decide","program":"{PROGRAM}","witness":true}}"#),
+        r#"{"id":"2","type":"shutdown"}"#,
+    );
+    stdin.write_all(requests.as_bytes()).unwrap();
+    drop(stdin);
+    let output = child.wait_with_output().expect("wait for stdio server");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    let decide = Json::parse(lines[0]).unwrap();
+    assert_eq!(
+        decide
+            .get("record")
+            .unwrap()
+            .get("status")
+            .unwrap()
+            .as_str(),
+        Some("determined")
+    );
+    assert_eq!(
+        Json::parse(lines[1]).unwrap().get("type").unwrap().as_str(),
+        Some("shutdown")
+    );
+}
