@@ -184,6 +184,91 @@ pub fn serve_request_line(tasks: &[Task]) -> String {
     )
 }
 
+/// The chaos-soak request mix (`tests/chaos.rs`): `count` JSON-lines
+/// requests cycling deterministically (in `seed`) through every request
+/// family — decide instances determined and undetermined, small batches,
+/// path and hilbert requests, stats probes — plus deliberately malformed
+/// JSON, schema violations, and requests carrying tiny deadlines or fuel
+/// budgets.  Every line demands a *typed* response (success, `parse`,
+/// `schema`, `timeout` or `resource_exhausted`) — never a dropped
+/// connection; `shutdown` is deliberately absent so the harness controls
+/// the server's lifetime itself.
+pub fn chaos_workload(count: usize, seed: u64) -> Vec<String> {
+    use cqdet_engine::Json;
+    let program_for = |i: usize, planted: bool| {
+        let (views, query) = decide_workload(3, 2, planted, seed ^ (i as u64).wrapping_mul(0x9E37));
+        let name = query.name().to_string();
+        let program = views
+            .iter()
+            .map(|v| v.to_string())
+            .chain(std::iter::once(query.to_string()))
+            .collect::<Vec<_>>()
+            .join("\n");
+        (program, name)
+    };
+    (0..count)
+        .map(|i| {
+            let id = Json::str(format!("c{i}")).render();
+            match i % 10 {
+                0 => {
+                    let (program, name) = program_for(i, true);
+                    format!(
+                        "{{\"id\":{id},\"type\":\"decide\",\"program\":{},\"query\":{}}}",
+                        Json::str(program).render(),
+                        Json::str(name).render()
+                    )
+                }
+                1 => {
+                    let (program, name) = program_for(i, false);
+                    format!(
+                        "{{\"id\":{id},\"type\":\"decide\",\"program\":{},\"query\":{},\"witness\":true}}",
+                        Json::str(program).render(),
+                        Json::str(name).render()
+                    )
+                }
+                2 => {
+                    let tasks = batch_workload(2, 3, seed ^ i as u64);
+                    format!(
+                        "{{\"id\":{id},\"type\":\"batch\",\"tasks\":{},\"witnesses\":false,\"verify\":false}}",
+                        Json::str(tasks_to_taskfile(&tasks)).render()
+                    )
+                }
+                3 => format!(
+                    "{{\"id\":{id},\"type\":\"path\",\"query\":\"ABAB\",\"views\":[\"AB\",\"ABA\"]}}"
+                ),
+                4 => format!(
+                    "{{\"id\":{id},\"type\":\"hilbert\",\"bound\":3,\"monomials\":[\"+1:x\",\"-2:\"]}}"
+                ),
+                5 => format!("{{\"id\":{id},\"type\":\"stats\"}}"),
+                // A request-level fuel budget small enough to trip on any
+                // non-cached decide: a typed resource_exhausted, not a hang.
+                6 => {
+                    let (program, name) = program_for(i, true);
+                    format!(
+                        "{{\"id\":{id},\"type\":\"decide\",\"program\":{},\"query\":{},\"budget\":{}}}",
+                        Json::str(program).render(),
+                        Json::str(name).render(),
+                        16 + (seed ^ i as u64) % 64
+                    )
+                }
+                // An already-expired deadline: a typed timeout.
+                7 => {
+                    let (program, name) = program_for(i, true);
+                    format!(
+                        "{{\"id\":{id},\"type\":\"decide\",\"program\":{},\"query\":{},\"deadline_ms\":0}}",
+                        Json::str(program).render(),
+                        Json::str(name).render()
+                    )
+                }
+                // Malformed JSON: a typed parse error (id not recoverable).
+                8 => format!("{{\"id\":{id},\"type\":\"decide\" broken"),
+                // A schema violation: unknown member, typed schema error.
+                _ => format!("{{\"id\":{id},\"type\":\"stats\",\"bogus\":1}}"),
+            }
+        })
+        .collect()
+}
+
 /// The parameter grid for the modular-linear-algebra experiment (LINALG):
 /// `(dimension k, generators n, entry bits)`.  Tall systems (`k ≫ n`) with
 /// bignum entries are the hom-count regime of Definitions 27/29 at scale;

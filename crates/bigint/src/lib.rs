@@ -14,6 +14,14 @@
 //! occur in practice have at most a few thousand bits, far below the regime
 //! where asymptotically faster algorithms pay off.
 
+// Arithmetic kernels run inside budgeted requests: failures must surface as
+// typed errors (or documented assertions), never stray unwraps.  Tests are
+// exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 mod int;
 mod nat;
 

@@ -230,7 +230,9 @@ impl Nat {
         match &self.repr {
             Repr::Inline(v) => (64 - v.leading_zeros()) as usize,
             Repr::Heap(l) => {
-                let top = *l.last().expect("heap repr is never empty");
+                // The heap repr is never empty, so an empty slice degrades to
+                // a zero top limb rather than a panic path in the hot loop.
+                let top = l.last().copied().unwrap_or(0);
                 (l.len() - 1) * LIMB_BITS as usize + (32 - top.leading_zeros() as usize)
             }
         }
@@ -430,9 +432,10 @@ impl Nat {
             return (Nat::zero(), self.clone());
         }
         if divisor.limb_len() == 1 {
-            let d = divisor.to_u64().expect("single-limb divisor") as u32;
-            let (q, r) = self.divrem_u32(d);
-            return (q, Nat::from_u64(r as u64));
+            if let Some(d) = divisor.to_u64() {
+                let (q, r) = self.divrem_u32(d as u32);
+                return (q, Nat::from_u64(r as u64));
+            }
         }
         // Shift–subtract long division on the bit level.  Quadratic, but the
         // operands in this workspace stay in the low thousands of bits.

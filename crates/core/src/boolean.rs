@@ -15,8 +15,9 @@
 //! "q(D) = Π v(D)^{αᵥ}" rewriting), so callers can inspect *why*.
 
 use crate::session::{DecisionContext, FrozenQuery};
+use cqdet_failpoint::fail_point;
 use cqdet_linalg::{QVec, Rat};
-use cqdet_parallel::{par_map, CancelToken, Expired};
+use cqdet_parallel::{par_map, Budget, CancelToken, Exhausted, Expired, Gas, Interrupt};
 use cqdet_query::cq::common_schema;
 use cqdet_query::ConjunctiveQuery;
 use cqdet_structure::{dedup_up_to_iso_refs, BasisIndex, Schema, Structure};
@@ -36,10 +37,22 @@ pub enum DeterminacyError {
     /// one variable.
     NullaryRelation(String),
     /// The request's [`CancelToken`] expired; the pipeline stopped at the
-    /// named stage boundary (`"gate"`, `"basis"`, `"span"`).
+    /// named stage boundary (`"gate"`, `"basis"`, `"span"`) or inside the
+    /// stage's kernels (which poll the token every ~4k fuel steps).
     DeadlineExceeded {
         /// The stage whose boundary check observed the expiry.
         stage: &'static str,
+    },
+    /// The request's fuel [`Budget`] ran out inside a kernel (hom search or
+    /// exact elimination); the work done so far stays in the session caches,
+    /// so a retry with a larger budget resumes rather than restarts.
+    ResourceExhausted {
+        /// Which ledger ran out: `"steps"` or `"bytes"`.
+        what: &'static str,
+        /// Total charged against the budget when the check fired.
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
     },
     /// An internal invariant of the pipeline failed — a bug, not a property
     /// of the instance; reported as data instead of a panic so a serving
@@ -68,6 +81,12 @@ impl fmt::Display for DeterminacyError {
             DeterminacyError::DeadlineExceeded { stage } => {
                 write!(f, "deadline exceeded at stage {stage}")
             }
+            DeterminacyError::ResourceExhausted { what, spent, limit } => {
+                write!(
+                    f,
+                    "fuel {what} budget exhausted ({spent} spent, limit {limit})"
+                )
+            }
             DeterminacyError::Internal(message) => write!(f, "internal error: {message}"),
         }
     }
@@ -78,6 +97,25 @@ impl std::error::Error for DeterminacyError {}
 impl From<Expired> for DeterminacyError {
     fn from(e: Expired) -> DeterminacyError {
         DeterminacyError::DeadlineExceeded { stage: e.stage }
+    }
+}
+
+impl From<Exhausted> for DeterminacyError {
+    fn from(e: Exhausted) -> DeterminacyError {
+        DeterminacyError::ResourceExhausted {
+            what: e.what,
+            spent: e.spent,
+            limit: e.limit,
+        }
+    }
+}
+
+impl From<Interrupt> for DeterminacyError {
+    fn from(i: Interrupt) -> DeterminacyError {
+        match i {
+            Interrupt::Expired(e) => e.into(),
+            Interrupt::Exhausted(e) => e.into(),
+        }
     }
 }
 
@@ -185,6 +223,25 @@ pub fn decide_bag_determinacy_ctl(
     query: &ConjunctiveQuery,
     ctl: &CancelToken,
 ) -> Result<BagDeterminacy, DeterminacyError> {
+    decide_bag_determinacy_budgeted(cx, views, query, ctl, &Budget::none())
+}
+
+/// [`decide_bag_determinacy_ctl`] under a fuel [`Budget`] as well: the hot
+/// kernels (hom searches in the gate stage, exact/modular elimination in the
+/// span stage) charge the shared step and byte ledgers as they work and stop
+/// with [`DeterminacyError::ResourceExhausted`] within ~4k steps of the limit
+/// — microseconds, not stage boundaries.  The same ~4k-step cadence also
+/// polls `ctl`, so a passed deadline now surfaces *inside* a kernel as
+/// [`DeterminacyError::DeadlineExceeded`] instead of waiting for the next
+/// stage boundary.  As with deadlines, completed work stays in the session
+/// caches: a retry with a larger budget resumes where the fuel ran out.
+pub fn decide_bag_determinacy_budgeted(
+    cx: &DecisionContext,
+    views: &[ConjunctiveQuery],
+    query: &ConjunctiveQuery,
+    ctl: &CancelToken,
+    budget: &Budget,
+) -> Result<BagDeterminacy, DeterminacyError> {
     if !query.is_boolean() {
         return Err(DeterminacyError::QueryNotBoolean(query.name().to_string()));
     }
@@ -237,8 +294,16 @@ pub fn decide_bag_determinacy_ctl(
     // q ⊆_set v  iff  hom(v, q) ≠ ∅ — one search per (class, query class),
     // cached across the session.
     ctl.check("gate")?;
+    fail_point!("decide/gate", |msg| Err(DeterminacyError::Internal(msg)));
     let rep_frozen: Vec<&FrozenQuery> = reps.iter().map(|&i| &*view_frozen[i]).collect();
-    let class_retained: Vec<bool> = par_map(&rep_frozen, |f| cx.gate(f, &q_frozen));
+    // Each parallel worker meters its search through its own gas handle; the
+    // handles share one ledger (the request budget), so the limit bounds the
+    // *total* work of the fan-out, not per-view work.
+    let class_retained: Vec<bool> = par_map(&rep_frozen, |f| {
+        cx.gate_gas(f, &q_frozen, &mut Gas::new(ctl, budget, "gate"))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     let retained_views: Vec<usize> = (0..views.len())
         .filter(|&i| class_retained[class_of[i]])
         .collect();
@@ -248,6 +313,7 @@ pub fn decide_bag_determinacy_ctl(
     // connected components of each class computed exactly once per session
     // (cached on the shared `FrozenQuery` entries).
     ctl.check("basis")?;
+    fail_point!("decide/basis", |msg| Err(DeterminacyError::Internal(msg)));
     let retained_rep_frozen: Vec<&FrozenQuery> =
         retained_classes.iter().map(|&c| rep_frozen[c]).collect();
     let class_comps: Vec<&[Structure]> = par_map(&retained_rep_frozen, |f| f.components());
@@ -311,6 +377,7 @@ pub fn decide_bag_determinacy_ctl(
     // system: q⃗ has multiplicity ≥ 1 there while every view vector is 0, so
     // q⃗ cannot be in the span.
     ctl.check("span")?;
+    fail_point!("decide/span", |msg| Err(DeterminacyError::Internal(msg)));
     let class_coefficients = if class_vectors.is_empty() {
         query_vector.is_zero().then(|| QVec(Vec::new()))
     } else if basis.len() > prefix_dim {
@@ -335,7 +402,12 @@ pub fn decide_bag_determinacy_ctl(
             .collect();
         key.push(u32::MAX);
         key.extend(basis.iter().map(|w| cx.class_id(&w.iso_class_key())));
-        cx.span_solve(&key, &class_vectors, &query_vector)
+        cx.span_solve_gas(
+            &key,
+            &class_vectors,
+            &query_vector,
+            &mut Gas::new(ctl, budget, "span"),
+        )?
     };
     let determined = class_coefficients.is_some();
     let coefficients = class_coefficients.map(|cc| {
@@ -641,6 +713,67 @@ mod tests {
             (0, 0),
             "tail short-circuit must not touch the span cache"
         );
+    }
+
+    #[test]
+    fn tiny_fuel_budget_stops_typed_and_caches_stay_usable() {
+        // hom(K8, K7) is empty (no proper 7-colouring of K8) but the
+        // backtracking search visits >10k candidate extensions before it can
+        // say so — plenty to trip a tiny step budget inside the gate stage.
+        fn clique(name: &str, n: usize) -> ConjunctiveQuery {
+            let mut atoms = Vec::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        atoms.push(Atom {
+                            relation: "R".to_string(),
+                            vars: vec![format!("x{i}"), format!("x{j}")],
+                        });
+                    }
+                }
+            }
+            ConjunctiveQuery::boolean(name, atoms)
+        }
+        let cx = DecisionContext::new();
+        let v = clique("v", 8);
+        let q = clique("q", 7);
+        let tiny = Budget::with_limits(Some(64), None);
+        let err = decide_bag_determinacy_budgeted(
+            &cx,
+            std::slice::from_ref(&v),
+            &q,
+            &CancelToken::none(),
+            &tiny,
+        )
+        .unwrap_err();
+        match err {
+            DeterminacyError::ResourceExhausted { what, spent, limit } => {
+                assert_eq!(what, "steps");
+                assert_eq!(limit, 64);
+                assert!(spent >= limit, "{spent} charged against limit {limit}");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // The interrupted search must not have poisoned the session caches:
+        // the same context completes the instance unmetered...
+        let res = decide_bag_determinacy_in(&cx, std::slice::from_ref(&v), &q).unwrap();
+        assert!(res.retained_views.is_empty(), "hom(K8, K7) is empty");
+        assert!(!res.determined);
+        // ...and a generous budget on a fresh context matches the unbudgeted
+        // answer while actually charging fuel.
+        let cx2 = DecisionContext::new();
+        let generous = Budget::with_limits(Some(100_000_000), None);
+        let res2 = decide_bag_determinacy_budgeted(
+            &cx2,
+            std::slice::from_ref(&v),
+            &q,
+            &CancelToken::none(),
+            &generous,
+        )
+        .unwrap();
+        assert_eq!(res2.determined, res.determined);
+        assert_eq!(res2.retained_views, res.retained_views);
+        assert!(generous.steps_spent() > 0, "the gate search charged fuel");
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub mod session;
 pub mod witness;
 
 pub use boolean::{
-    decide_bag_determinacy, decide_bag_determinacy_ctl, decide_bag_determinacy_in, BagDeterminacy,
-    DeterminacyError,
+    decide_bag_determinacy, decide_bag_determinacy_budgeted, decide_bag_determinacy_ctl,
+    decide_bag_determinacy_in, BagDeterminacy, DeterminacyError,
 };
 pub use bruteforce::{brute_force_search, BruteForceOutcome};
 pub use paths::{
@@ -49,5 +49,6 @@ pub use witness::{build_counterexample, build_counterexample_ctl, Counterexample
 
 pub use cqdet_bigint::{Int, Nat};
 pub use cqdet_linalg::{QMat, QVec, Rat};
+pub use cqdet_parallel::{Budget, CancelToken};
 pub use cqdet_query::{ConjunctiveQuery, PathQuery, UnionQuery};
 pub use cqdet_structure::{Schema, Structure};

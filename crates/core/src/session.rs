@@ -38,10 +38,12 @@
 //! `cqdet-engine` crate wraps a `DecisionContext` into a full batch engine
 //! (task fan-out, JSON certificates, cache-hit statistics).
 
+use cqdet_failpoint::fail_point;
 use cqdet_linalg::{IncrementalBasis, QVec};
+use cqdet_parallel::{Gas, Interrupt};
 use cqdet_query::ConjunctiveQuery;
 use cqdet_structure::{
-    connected_components, hom_exists, IsoClassKey, Schema, SharedCaches, Structure,
+    connected_components, hom_exists_gas, IsoClassKey, Schema, SharedCaches, Structure,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,6 +54,9 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 /// panicked, so a poisoned lock carries usable data — a serving process must
 /// not cascade one worker's panic into every later request.
 fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Chaos seam: every session lock acquisition can be delayed or panicked
+    // (the latter exercising exactly the poison recovery below).
+    fail_point!("session/lock");
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -223,6 +228,7 @@ impl DecisionContext {
         // results are identical.
         let (body, _) = query.frozen_body_over(schema);
         let entry = Arc::new(FrozenQuery::new(body));
+        fail_point!("session/cache-insert");
         let mut map = locked(&self.frozen);
         if map.len() >= CONTEXT_CACHE_CAP {
             map.clear();
@@ -249,19 +255,38 @@ impl DecisionContext {
     /// The Definition 25 containment gate `q ⊆_set v` (i.e. `hom(v, q) ≠ ∅`
     /// on frozen bodies), cached by the isomorphism classes of both sides.
     pub fn gate(&self, view: &FrozenQuery, query: &FrozenQuery) -> bool {
+        match self.gate_gas(view, query, &mut Gas::unlimited()) {
+            Ok(answer) => answer,
+            // Unlimited gas never expires and has no budget to exhaust.
+            Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+        }
+    }
+
+    /// [`DecisionContext::gate`] metered through `gas`: the underlying hom
+    /// search charges one step per candidate extension and can stop with a
+    /// typed [`Interrupt`] mid-search.  Cache hits are free (the work was
+    /// already paid for); only *completed* answers are inserted, so an
+    /// interrupted search never poisons the cache with a partial result.
+    pub fn gate_gas(
+        &self,
+        view: &FrozenQuery,
+        query: &FrozenQuery,
+        gas: &mut Gas,
+    ) -> Result<bool, Interrupt> {
         let key = (view.iso_key().clone(), query.iso_key().clone());
         if let Some(&hit) = locked(&self.gate).get(&key) {
             self.gate_hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return Ok(hit);
         }
         self.gate_misses.fetch_add(1, Ordering::Relaxed);
-        let answer = hom_exists(view.body(), query.body());
+        let answer = hom_exists_gas(view.body(), query.body(), gas)?;
+        fail_point!("session/cache-insert");
         let mut map = locked(&self.gate);
         if map.len() >= CONTEXT_CACHE_CAP {
             map.clear();
         }
         map.insert(key, answer);
-        answer
+        Ok(answer)
     }
 
     /// Solve the Main Lemma span system `target = Σ αᵢ·vectorsᵢ` against
@@ -279,6 +304,27 @@ impl DecisionContext {
     /// `vectors` (zero for never-fed generators) or `None` when the target
     /// is outside the span of all of them.
     pub fn span_solve(&self, key: &[u32], vectors: &[QVec], target: &QVec) -> Option<QVec> {
+        match self.span_solve_gas(key, vectors, target, &mut Gas::unlimited()) {
+            Ok(answer) => answer,
+            // Unlimited gas never expires and has no budget to exhaust.
+            Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+        }
+    }
+
+    /// [`DecisionContext::span_solve`] metered through `gas`: the exact and
+    /// modular eliminations charge one step per row-operation entry and the
+    /// byte ledger for coefficient growth, and can stop with a typed
+    /// [`Interrupt`] mid-elimination.  The cached [`IncrementalBasis`] stays
+    /// consistent across an interrupt (in-flight row restores are completed
+    /// before the error surfaces), so later tasks — including a retry of the
+    /// interrupted one — resume from whatever was fully fed.
+    pub fn span_solve_gas(
+        &self,
+        key: &[u32],
+        vectors: &[QVec],
+        target: &QVec,
+        gas: &mut Gas,
+    ) -> Result<Option<QVec>, Interrupt> {
         let dim = target.dim();
         let entry = {
             let mut map = locked(&self.span);
@@ -303,10 +349,12 @@ impl DecisionContext {
         debug_assert_eq!(basis.dim(), dim, "key must determine the basis prefix");
         debug_assert!(basis.len() <= vectors.len());
         let fed = basis.len();
-        let alpha = basis.solve_extend(target, &vectors[fed..])?;
+        let Some(alpha) = basis.solve_extend_gas(target, &vectors[fed..], gas)? else {
+            return Ok(None);
+        };
         let mut out = alpha.0;
         out.resize(vectors.len(), cqdet_linalg::Rat::zero());
-        Some(QVec(out))
+        Ok(Some(QVec(out)))
     }
 
     /// Current cache counters.

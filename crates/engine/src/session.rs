@@ -28,13 +28,13 @@
 
 use crate::json::Json;
 use cqdet_bigint::Nat;
+use cqdet_core::decide_bag_determinacy_budgeted;
 use cqdet_core::witness::{build_counterexample_ctl, check_certificate_arithmetic, WitnessConfig};
 use cqdet_core::{
-    decide_bag_determinacy_ctl, BagDeterminacy, ContextStats, Counterexample, DecisionContext,
-    DeterminacyError, WitnessError,
+    BagDeterminacy, ContextStats, Counterexample, DecisionContext, DeterminacyError, WitnessError,
 };
 use cqdet_linalg::Rat;
-use cqdet_parallel::{par_map, CancelToken};
+use cqdet_parallel::{par_map, Budget, CancelToken, Exhausted};
 use cqdet_query::ConjunctiveQuery;
 use cqdet_structure::with_shared_caches;
 
@@ -145,6 +145,12 @@ pub struct TaskRecord {
     /// construction leaves a partial [`TaskStatus::NotDetermined`] record
     /// (analysis present, certificate absent).
     pub timeout_stage: Option<&'static str>,
+    /// When the task's fuel [`Budget`] ran out inside a decision kernel:
+    /// which ledger (`"steps"` or `"bytes"`), the total charged and the
+    /// limit.  Such a task is a [`TaskStatus::Error`] record; the work done
+    /// stays in the session caches, so resubmitting with a larger budget
+    /// resumes rather than restarts.
+    pub fuel_exhausted: Option<Exhausted>,
 }
 
 /// The result of a batch run: per-task records plus the session cache
@@ -241,8 +247,22 @@ impl DecisionSession {
         query: &ConjunctiveQuery,
         ctl: &CancelToken,
     ) -> Result<BagDeterminacy, DeterminacyError> {
+        self.decide_budgeted(views, query, ctl, &Budget::none())
+    }
+
+    /// [`DecisionSession::decide_ctl`] under a fuel [`Budget`] as well: the
+    /// decision kernels charge the budget's step/byte ledgers and stop with
+    /// [`DeterminacyError::ResourceExhausted`] when it runs out (see
+    /// [`decide_bag_determinacy_budgeted`]).
+    pub fn decide_budgeted(
+        &self,
+        views: &[ConjunctiveQuery],
+        query: &ConjunctiveQuery,
+        ctl: &CancelToken,
+        budget: &Budget,
+    ) -> Result<BagDeterminacy, DeterminacyError> {
         with_shared_caches(self.cx.caches(), || {
-            decide_bag_determinacy_ctl(&self.cx, views, query, ctl)
+            decide_bag_determinacy_budgeted(&self.cx, views, query, ctl, budget)
         })
     }
 
@@ -273,6 +293,22 @@ impl DecisionSession {
         ctl: &CancelToken,
         config: &SessionConfig,
     ) -> TaskRecord {
+        self.run_task_budgeted(task, ctl, &Budget::none(), config)
+    }
+
+    /// [`DecisionSession::run_task_with`] under a fuel [`Budget`]: the
+    /// decision phase is metered (an exhausted budget yields a
+    /// [`TaskStatus::Error`] record carrying [`TaskRecord::fuel_exhausted`]);
+    /// witness construction remains deadline-governed only — its dominant
+    /// cost, hom counting, runs under the shared memo whose entries the
+    /// budget already paid for once.
+    pub fn run_task_budgeted(
+        &self,
+        task: &Task,
+        ctl: &CancelToken,
+        budget: &Budget,
+        config: &SessionConfig,
+    ) -> TaskRecord {
         let mut record = TaskRecord {
             id: task.id.clone(),
             query_name: task.query.name().to_string(),
@@ -286,12 +322,19 @@ impl DecisionSession {
             verified: None,
             error: None,
             timeout_stage: None,
+            fuel_exhausted: None,
         };
-        let analysis = match self.decide_ctl(&task.views, &task.query, ctl) {
+        let analysis = match self.decide_budgeted(&task.views, &task.query, ctl, budget) {
             Ok(a) => a,
             Err(e) => {
-                if let DeterminacyError::DeadlineExceeded { stage } = e {
-                    record.timeout_stage = Some(stage);
+                match e {
+                    DeterminacyError::DeadlineExceeded { stage } => {
+                        record.timeout_stage = Some(stage);
+                    }
+                    DeterminacyError::ResourceExhausted { what, spent, limit } => {
+                        record.fuel_exhausted = Some(Exhausted { what, spent, limit });
+                    }
+                    _ => {}
                 }
                 record.error = Some(e.to_string());
                 return record;
@@ -363,7 +406,24 @@ impl DecisionSession {
         ctl: &CancelToken,
         config: &SessionConfig,
     ) -> BatchReport {
-        let records = par_map(tasks, |t| self.run_task_with(t, ctl, config));
+        self.decide_batch_budgeted(tasks, ctl, &Budget::none(), config)
+    }
+
+    /// [`DecisionSession::decide_batch_with`] under one fuel [`Budget`]
+    /// shared by **every** task of the batch: the limit bounds the batch's
+    /// *total* decision work, so one runaway task drains the ledger for its
+    /// siblings and the stragglers come back as typed fuel-exhausted records
+    /// ([`TaskRecord::fuel_exhausted`]) instead of unbounded compute.
+    /// Completed tasks keep their certificates — the report is partial, not
+    /// void.
+    pub fn decide_batch_budgeted(
+        &self,
+        tasks: &[Task],
+        ctl: &CancelToken,
+        budget: &Budget,
+        config: &SessionConfig,
+    ) -> BatchReport {
+        let records = par_map(tasks, |t| self.run_task_budgeted(t, ctl, budget, config));
         BatchReport {
             records,
             stats: self.stats(),
@@ -429,6 +489,7 @@ impl TaskRecord {
     /// verified      bool | null                 certificate re-verification
     /// error         string                      optional
     /// timeout_stage string                      optional (deadline expiry)
+    /// fuel_exhausted {what, spent, limit}       optional (budget ran out)
     /// ```
     pub fn to_json(&self) -> Json {
         let mut members: Vec<(String, Json)> = vec![
@@ -533,6 +594,16 @@ impl TaskRecord {
         }
         if let Some(stage) = self.timeout_stage {
             members.push(("timeout_stage".into(), Json::str(stage)));
+        }
+        if let Some(fuel) = &self.fuel_exhausted {
+            members.push((
+                "fuel_exhausted".into(),
+                Json::obj([
+                    ("what", Json::str(fuel.what)),
+                    ("spent", Json::num(fuel.spent as i64)),
+                    ("limit", Json::num(fuel.limit as i64)),
+                ]),
+            ));
         }
         Json::Obj(members)
     }

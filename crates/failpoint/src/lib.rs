@@ -1,0 +1,247 @@
+//! Dependency-free fault-injection failpoints, in the spirit of the `fail`
+//! crate.
+//!
+//! A failpoint is a named seam in request-handling code where a test (or an
+//! operator, via the `CQDET_FAILPOINTS` environment variable) can inject a
+//! panic, a delay, or a typed error.  The [`fail_point!`] macro compiles to
+//! **nothing** unless the consuming crate enables its `failpoints` feature
+//! (each consumer forwards one to `cqdet-failpoint/failpoints`), so
+//! production builds carry zero cost and zero behaviour change.
+//!
+//! With the feature enabled, actions come from two sources:
+//!
+//! * the environment: `CQDET_FAILPOINTS=serve/parse=panic,decide/span=delay:50`
+//!   (comma- or semicolon-separated `name=action` pairs, parsed once at first
+//!   use);
+//! * the programmatic API: [`configure`] / [`clear`] / [`clear_all`], which
+//!   the chaos harness uses to cycle faults through every seam.
+//!
+//! Actions: `panic` (aborts the request; containment layers must convert it
+//! to a typed error), `delay:<ms>` (sleeps, for slow-path and timeout
+//! testing), `err` or `err:<message>` (returned to error-capable seams —
+//! the two-argument macro form — and ignored by unit seams), `off` (a
+//! registered no-op, useful to assert a seam is reached via [`hits`]).
+//!
+//! ```
+//! use cqdet_failpoint::fail_point;
+//!
+//! fn read_frame() -> Result<Vec<u8>, String> {
+//!     // Error-capable seam: an `err` action returns early with the payload.
+//!     fail_point!("doc/read", |msg: String| Err(msg));
+//!     // Unit seam: `panic`/`delay` actions apply, `err` is ignored.
+//!     fail_point!("doc/decode");
+//!     Ok(vec![])
+//! }
+//! assert_eq!(read_frame(), Ok(vec![]));
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// What an armed failpoint does when its seam is reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with a message naming the failpoint.
+    Panic,
+    /// Sleep for the given duration, then continue.
+    Delay(Duration),
+    /// Hand the payload to an error-capable seam (two-argument
+    /// [`fail_point!`]); ignored by unit seams.
+    Err(String),
+    /// Do nothing, but count the hit (see [`hits`]).
+    Off,
+}
+
+impl Action {
+    /// Parse an action spec: `panic`, `delay:<ms>`, `err`, `err:<message>`,
+    /// `off`.
+    pub fn parse(spec: &str) -> Result<Action, String> {
+        let (head, rest) = match spec.split_once(':') {
+            Some((h, r)) => (h, Some(r)),
+            None => (spec, None),
+        };
+        match (head, rest) {
+            ("panic", None) => Ok(Action::Panic),
+            ("off", None) => Ok(Action::Off),
+            ("err", None) => Ok(Action::Err("injected failpoint error".to_string())),
+            ("err", Some(msg)) => Ok(Action::Err(msg.to_string())),
+            ("delay", Some(ms)) => ms
+                .parse::<u64>()
+                .map(|ms| Action::Delay(Duration::from_millis(ms)))
+                .map_err(|_| format!("bad delay milliseconds in failpoint spec {spec:?}")),
+            _ => Err(format!("unknown failpoint action {spec:?}")),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    /// Armed points: name → (action, hit count).
+    armed: HashMap<String, (Action, u64)>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut reg = Registry::default();
+        if let Ok(spec) = std::env::var("CQDET_FAILPOINTS") {
+            for pair in spec.split([',', ';']).filter(|s| !s.trim().is_empty()) {
+                if let Some((name, action)) = pair.split_once('=') {
+                    if let Ok(action) = Action::parse(action.trim()) {
+                        reg.armed.insert(name.trim().to_string(), (action, 0));
+                    }
+                }
+            }
+        }
+        Mutex::new(reg)
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arm `name` with `action` (replacing any previous arming).
+pub fn configure(name: &str, action: Action) {
+    lock().armed.insert(name.to_string(), (action, 0));
+}
+
+/// Disarm `name`.
+pub fn clear(name: &str) {
+    lock().armed.remove(name);
+}
+
+/// Disarm every failpoint.
+pub fn clear_all() {
+    lock().armed.clear();
+}
+
+/// How many times the armed point `name` has been reached since it was
+/// configured (0 for unarmed points — unarmed seams are not tracked).
+pub fn hits(name: &str) -> u64 {
+    lock().armed.get(name).map_or(0, |(_, n)| *n)
+}
+
+/// Record a hit on `name` and return the action to apply, if armed.
+fn trigger(name: &str) -> Option<Action> {
+    let mut reg = lock();
+    let (action, count) = reg.armed.get_mut(name)?;
+    *count += 1;
+    Some(action.clone())
+}
+
+/// Evaluate a unit seam (used by the one-argument [`fail_point!`]):
+/// applies `panic` and `delay` actions; `err` and `off` fall through.
+///
+/// Not meant to be called directly — the macro keeps call sites no-op-able.
+pub fn eval(name: &str) {
+    match trigger(name) {
+        Some(Action::Panic) => panic!("failpoint {name:?} panic"),
+        Some(Action::Delay(d)) => std::thread::sleep(d),
+        Some(Action::Err(_)) | Some(Action::Off) | None => {}
+    }
+}
+
+/// Evaluate an error-capable seam (used by the two-argument
+/// [`fail_point!`]): applies `panic` and `delay`, and returns the payload of
+/// an `err` action for the seam to convert into its typed error.
+pub fn eval_err(name: &str) -> Option<String> {
+    match trigger(name) {
+        Some(Action::Panic) => panic!("failpoint {name:?} panic"),
+        Some(Action::Delay(d)) => {
+            std::thread::sleep(d);
+            None
+        }
+        Some(Action::Err(msg)) => Some(msg),
+        Some(Action::Off) | None => None,
+    }
+}
+
+/// Mark a named fault-injection seam.
+///
+/// * `fail_point!("name")` — unit seam: an armed `panic` panics, `delay`
+///   sleeps, `err`/`off` do nothing.
+/// * `fail_point!("name", |msg: String| expr)` — error-capable seam: an
+///   armed `err` action makes the enclosing function `return expr` with the
+///   action's message; `panic`/`delay` behave as above.
+///
+/// Compiles to an empty block unless the **consuming** crate has a
+/// `failpoints` feature enabled (forwarding to `cqdet-failpoint/failpoints`).
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        #[cfg(feature = "failpoints")]
+        $crate::eval($name);
+    }};
+    ($name:expr, $handler:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            if let Some(__msg) = $crate::eval_err($name) {
+                return ($handler)(__msg);
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so tests share it; each uses its own
+    // point names to stay independent under the parallel test runner.
+
+    #[test]
+    fn action_parsing() {
+        assert_eq!(Action::parse("panic"), Ok(Action::Panic));
+        assert_eq!(Action::parse("off"), Ok(Action::Off));
+        assert_eq!(
+            Action::parse("delay:250"),
+            Ok(Action::Delay(Duration::from_millis(250)))
+        );
+        assert_eq!(Action::parse("err:boom"), Ok(Action::Err("boom".into())));
+        assert!(Action::parse("err").is_ok());
+        assert!(Action::parse("delay:xx").is_err());
+        assert!(Action::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn unarmed_points_do_nothing() {
+        eval("t/unarmed");
+        assert_eq!(eval_err("t/unarmed"), None);
+        assert_eq!(hits("t/unarmed"), 0);
+    }
+
+    #[test]
+    fn armed_err_and_hit_counting() {
+        configure("t/err", Action::Err("injected".into()));
+        assert_eq!(eval_err("t/err"), Some("injected".into()));
+        // A unit seam ignores `err` but still counts the hit.
+        eval("t/err");
+        assert_eq!(hits("t/err"), 2);
+        clear("t/err");
+        assert_eq!(eval_err("t/err"), None);
+    }
+
+    #[test]
+    fn delay_sleeps() {
+        configure("t/delay", Action::Delay(Duration::from_millis(20)));
+        let start = std::time::Instant::now();
+        eval("t/delay");
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        clear("t/delay");
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        configure("t/panic", Action::Panic);
+        let caught = std::panic::catch_unwind(|| eval("t/panic"));
+        clear("t/panic");
+        let payload = caught.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("t/panic"), "{msg}");
+    }
+}

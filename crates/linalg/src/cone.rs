@@ -21,6 +21,9 @@ pub fn cone_contains(m: &QMat, u: &QVec) -> bool {
 /// (which costs a full `k × 2k` elimination and was re-done per probe in
 /// the Lemma 57 perturbation search); nonsingularity is asserted via the
 /// modular fast path of [`QMat::is_nonsingular`].
+// Documented contract: the caller must pass a nonsingular matrix, and a
+// nonsingular system is always solvable.
+#[allow(clippy::expect_used)]
 pub fn cone_coordinates(m: &QMat, u: &QVec) -> Option<QVec> {
     assert!(
         m.is_nonsingular(),

@@ -25,6 +25,7 @@
 
 use crate::rat::Rat;
 use crate::vector::QVec;
+use cqdet_parallel::{Gas, Interrupt};
 
 /// One reduced row of the echelon form.
 struct EchelonRow {
@@ -70,6 +71,15 @@ fn sub_scaled(vec: &mut QVec, f: &Rat, src: &QVec) {
     }
 }
 
+/// Fuel for one row operation against a row of `width` entries whose
+/// elimination factor is `f`: `width` steps of work, plus the factor's bit
+/// size as the byte proxy for the coefficient growth it causes.
+#[inline]
+fn charge_row_op(gas: &mut Gas, f: &Rat, width: usize) -> Result<(), Interrupt> {
+    gas.charge_bytes(f.bit_size() as u64 / 8);
+    gas.steps(width as u64)
+}
+
 impl IncrementalBasis {
     /// An empty basis in ambient dimension `dim`.
     pub fn new(dim: usize) -> IncrementalBasis {
@@ -102,11 +112,20 @@ impl IncrementalBasis {
 
     /// Insert one generator; returns `true` when it enlarged the span.
     pub fn insert(&mut self, v: &QVec) -> bool {
-        self.insert_indexed(v).is_some()
+        match self.insert_indexed(v, &mut Gas::unlimited()) {
+            Ok(idx) => idx.is_some(),
+            Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+        }
     }
 
-    /// [`IncrementalBasis::insert`] returning the new row's index.
-    fn insert_indexed(&mut self, v: &QVec) -> Option<usize> {
+    /// [`IncrementalBasis::insert`] returning the new row's index, metered:
+    /// every row operation charges the [`Gas`] handle, so an exhausted
+    /// budget or expired deadline stops the elimination mid-insert.  On
+    /// `Err` the basis is *consistent*: either untouched (interrupt during
+    /// the initial reduction) or with the insert fully completed (interrupt
+    /// during the Jordan restore — the bounded tail is finished unmetered),
+    /// so a session-cached basis stays usable after an aborted request.
+    fn insert_indexed(&mut self, v: &QVec, gas: &mut Gas) -> Result<Option<usize>, Interrupt> {
         assert_eq!(v.dim(), self.dim, "generator dimension mismatch");
         let mut vec = v.clone();
         let mut coords = vec![Rat::zero(); self.inserted + 1];
@@ -116,15 +135,19 @@ impl IncrementalBasis {
             if f.is_zero() {
                 continue;
             }
+            charge_row_op(gas, &f, self.dim + row.coords.len())?;
             sub_scaled(&mut vec, &f, &row.vec);
             axpy(&mut coords, &f.neg_ref(), &row.coords);
         }
         self.inserted += 1;
         // Pivot: the non-zero entry of minimal bit size, so the Jordan
         // updates below multiply by the smallest numbers available.
-        let pivot = (0..self.dim)
+        let Some(pivot) = (0..self.dim)
             .filter(|&j| !vec.0[j].is_zero())
-            .min_by_key(|&j| vec.0[j].bit_size())?;
+            .min_by_key(|&j| vec.0[j].bit_size())
+        else {
+            return Ok(None);
+        };
         let inv = vec.0[pivot].recip();
         for t in vec.0.iter_mut() {
             if !t.is_zero() {
@@ -136,22 +159,48 @@ impl IncrementalBasis {
                 *c = c.mul_ref(&inv);
             }
         }
-        // Restore the full-reduction invariant on the existing rows.
+        // Restore the full-reduction invariant on the existing rows.  Fuel
+        // is pre-charged per row *before* mutating it: once a row operation
+        // starts it always completes, keeping the echelon invariant intact
+        // even when the interrupt lands mid-restore…
+        let mut restored = 0usize;
+        let mut interrupted = None;
         for row in &mut self.rows {
             let f = row.vec.0[pivot].clone();
             if f.is_zero() {
+                restored += 1;
                 continue;
+            }
+            if let Err(stop) = charge_row_op(gas, &f, self.dim + coords.len()) {
+                interrupted = Some(stop);
+                break;
             }
             sub_scaled(&mut row.vec, &f, &vec);
             axpy(&mut row.coords, &f.neg_ref(), &coords);
+            restored += 1;
+        }
+        if let Some(stop) = interrupted {
+            // …and the rows not yet reduced against the new pivot are
+            // finished unmetered (bounded tail work), because a half-restored
+            // basis would silently corrupt every later answer.
+            for row in self.rows.iter_mut().skip(restored) {
+                let f = row.vec.0[pivot].clone();
+                if f.is_zero() {
+                    continue;
+                }
+                sub_scaled(&mut row.vec, &f, &vec);
+                axpy(&mut row.coords, &f.neg_ref(), &coords);
+            }
+            self.rows.push(EchelonRow { pivot, vec, coords });
+            return Err(stop);
         }
         self.rows.push(EchelonRow { pivot, vec, coords });
-        Some(self.rows.len() - 1)
+        Ok(Some(self.rows.len() - 1))
     }
 
     /// Reduce `target` against the current rows: returns the residual and
     /// coordinates with `target = Σ coordsᵢ·generatorᵢ + residual`.
-    fn reduce(&self, target: &QVec) -> (QVec, Vec<Rat>) {
+    fn reduce(&self, target: &QVec, gas: &mut Gas) -> Result<(QVec, Vec<Rat>), Interrupt> {
         assert_eq!(target.dim(), self.dim, "target dimension mismatch");
         let mut residual = target.clone();
         let mut coords = vec![Rat::zero(); self.inserted];
@@ -160,21 +209,28 @@ impl IncrementalBasis {
             if f.is_zero() {
                 continue;
             }
+            charge_row_op(gas, &f, self.dim + row.coords.len())?;
             sub_scaled(&mut residual, &f, &row.vec);
             axpy(&mut coords, &f, &row.coords);
         }
-        (residual, coords)
+        Ok((residual, coords))
     }
 
     /// Whether `target` lies in the span of the inserted generators.
     pub fn contains(&self, target: &QVec) -> bool {
-        self.reduce(target).0.is_zero()
+        match self.reduce(target, &mut Gas::unlimited()) {
+            Ok((residual, _)) => residual.is_zero(),
+            Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+        }
     }
 
     /// Coefficients over the inserted generators when `target` is in their
     /// span (`target = Σ αᵢ·generatorᵢ`, `α` of length [`Self::len`]).
     pub fn solve(&self, target: &QVec) -> Option<QVec> {
-        let (residual, mut coords) = self.reduce(target);
+        let (residual, mut coords) = match self.reduce(target, &mut Gas::unlimited()) {
+            Ok(r) => r,
+            Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+        };
         if !residual.is_zero() {
             return None;
         }
@@ -193,25 +249,46 @@ impl IncrementalBasis {
     /// [`Self::len`] after the call), or `None` when `feed` was exhausted
     /// with a non-zero residual.
     pub fn solve_extend(&mut self, target: &QVec, feed: &[QVec]) -> Option<QVec> {
-        let (mut residual, mut coords) = self.reduce(target);
+        match self.solve_extend_gas(target, feed, &mut Gas::unlimited()) {
+            Ok(answer) => answer,
+            Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+        }
+    }
+
+    /// [`Self::solve_extend`] under fuel metering: every exact row operation
+    /// (reductions, insertions, Jordan restores) charges the [`Gas`] handle.
+    /// `Err` aborts with the basis left consistent — generators inserted
+    /// before the interrupt stay inserted (see [`Self::insert`]'s metered
+    /// contract), so a session cache survives an exhausted request.
+    pub fn solve_extend_gas(
+        &mut self,
+        target: &QVec,
+        feed: &[QVec],
+        gas: &mut Gas,
+    ) -> Result<Option<QVec>, Interrupt> {
+        let (mut residual, mut coords) = self.reduce(target, gas)?;
         for v in feed {
             if residual.is_zero() {
                 break;
             }
-            if let Some(idx) = self.insert_indexed(v) {
+            if let Some(idx) = self.insert_indexed(v, gas)? {
                 let row = &self.rows[idx];
                 let f = residual.0[row.pivot].clone();
                 if !f.is_zero() {
+                    charge_row_op(gas, &f, self.dim + row.coords.len())?;
                     sub_scaled(&mut residual, &f, &row.vec);
                     axpy(&mut coords, &f, &row.coords);
                 }
             }
         }
+        // Kernel-exit flush: tail work below the flush granularity (and all
+        // pending byte charges) must hit the shared ledger before returning.
+        gas.flush()?;
         if !residual.is_zero() {
-            return None;
+            return Ok(None);
         }
         coords.resize(self.inserted, Rat::zero());
-        Some(QVec(coords))
+        Ok(Some(QVec(coords)))
     }
 }
 
@@ -317,6 +394,80 @@ mod tests {
         assert_eq!(combine(&generators, &alpha), target);
         assert_eq!(alpha[0], Rat::from_frac(-3, 7));
         assert_eq!(alpha[1], Rat::from_frac(22, 9));
+    }
+
+    #[test]
+    fn fuelled_solve_extend_interrupts_and_leaves_basis_usable() {
+        use cqdet_parallel::{Budget, CancelToken, Interrupt};
+        let n = 24;
+        let generators: Vec<QVec> = (0..n)
+            .map(|i| {
+                QVec(
+                    (0..n)
+                        .map(|j| Rat::from_i64(((i * j + i + 1) % 97) as i64 - 48))
+                        .collect(),
+                )
+            })
+            .collect();
+        let target: QVec = {
+            let mut acc = QVec::zeros(n);
+            for g in &generators {
+                acc = &acc + g;
+            }
+            acc
+        };
+        // A budget far below the elimination cost interrupts mid-solve…
+        let tiny = Budget::with_limits(Some(8), None);
+        let mut gas = Gas::new(&CancelToken::none(), &tiny, "span");
+        let mut b = IncrementalBasis::new(n);
+        let stop = b
+            .solve_extend_gas(&target, &generators, &mut gas)
+            .unwrap_err();
+        assert!(matches!(stop, Interrupt::Exhausted(e) if e.what == "steps"));
+        assert!(tiny.steps_spent() > 8, "work was charged");
+        // …and the basis stays consistent: the unmetered retry still finds
+        // the exact coefficients (all ones).
+        let alpha = b
+            .solve_extend(&target, &generators[b.len()..])
+            .expect("target is the generator sum");
+        let mut recombined = QVec::zeros(n);
+        for (a, g) in alpha.iter().zip(&generators) {
+            recombined = &recombined + &g.scale(a);
+        }
+        assert_eq!(recombined, target);
+    }
+
+    #[test]
+    fn fuelled_byte_ledger_charges_bignum_growth() {
+        use cqdet_bigint::Int;
+        use cqdet_parallel::{Budget, CancelToken, Interrupt};
+        // Large entries: the byte ledger (bit-size proxy) fires even though
+        // the step ledger is unlimited.
+        let big = Rat::from_int(Int::from_nat(cqdet_bigint::Nat::one().shl_bits(512)));
+        let gens: Vec<QVec> = (0..6)
+            .map(|i| {
+                QVec(
+                    (0..6)
+                        .map(|j| big.mul_ref(&Rat::from_i64((i * 7 + j * 3 + 1) as i64)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let target = gens[0].clone();
+        let budget = Budget::with_limits(None, Some(16));
+        let mut gas = Gas::new(&CancelToken::none(), &budget, "span");
+        let mut b = IncrementalBasis::new(6);
+        for g in &gens {
+            if b.insert_indexed(g, &mut gas).is_err() {
+                break;
+            }
+        }
+        let outcome = b.solve_extend_gas(&target, &[], &mut gas);
+        let exhausted = matches!(
+            outcome,
+            Err(Interrupt::Exhausted(e)) if e.what == "bytes"
+        ) || budget.bytes_spent() > 16;
+        assert!(exhausted, "512-bit factors must charge the byte ledger");
     }
 
     #[test]

@@ -36,6 +36,14 @@
 //!    curb coefficient blowup; the mandatory fallback and the oracle the
 //!    other tiers are differentially tested against.
 
+// The elimination kernels run inside budgeted server requests: failures
+// must surface as typed errors (or documented assertions), never stray
+// unwraps.  Tests are exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 mod cone;
 mod incremental;
 mod matrix;
@@ -46,9 +54,14 @@ mod vector;
 pub use cone::{cone_contains, cone_coordinates, interior_cone_point, perturb_along};
 pub use incremental::IncrementalBasis;
 pub use matrix::{
-    orthogonal_witness, span_coefficients, span_coefficients_exact, span_contains, QMat,
+    orthogonal_witness, span_coefficients, span_coefficients_exact, span_coefficients_exact_gas,
+    span_coefficients_gas, span_contains, QMat,
 };
-pub use modular::{exact_linalg_forced, primes, span_solve, PrimeField, SpanOutcome};
+pub use modular::{
+    exact_linalg_forced, primes, span_solve, span_solve_gas, PrimeField, SpanOutcome,
+};
+
+pub use cqdet_parallel::{Budget, Exhausted, Gas, Interrupt};
 pub use rat::Rat;
 pub use vector::{dot, hadamard, mars, pow_vec, QVec};
 

@@ -1,10 +1,11 @@
 //! Dense matrices over ℚ, Gaussian elimination and the span / null-space
 //! machinery used by Lemma 31, Fact 5 and Lemma 46.
 
-use crate::modular::{span_solve, SpanOutcome};
+use crate::modular::{span_solve_gas, SpanOutcome};
 use crate::rat::Rat;
 use crate::vector::{dot, QVec};
 use cqdet_bigint::{Int, Nat};
+use cqdet_parallel::{Gas, Interrupt};
 use std::fmt;
 
 /// The multiplier taking `row` to its primitive integer form (integer
@@ -197,6 +198,17 @@ impl QMat {
     /// Pivot entries are rescaled to 1 in a final pass, so the returned
     /// matrix is the canonical RREF regardless of the internal pivoting.
     pub fn rref(&self) -> (QMat, usize, Vec<usize>) {
+        match self.rref_gas(&mut Gas::unlimited()) {
+            Ok(r) => r,
+            Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+        }
+    }
+
+    /// [`QMat::rref`] under fuel metering: every elimination row operation
+    /// charges the [`Gas`] handle (steps proportional to the row width,
+    /// bytes proportional to the multiplier's bit size), so an exhausted
+    /// budget or expired deadline interrupts the elimination mid-matrix.
+    pub fn rref_gas(&self, gas: &mut Gas) -> Result<(QMat, usize, Vec<usize>), Interrupt> {
         let mut m = self.clone();
         let mut pivots = Vec::new();
         let mut pivot_row = 0usize;
@@ -222,6 +234,8 @@ impl QMat {
                 }
                 let (pivot, target) = m.row_pair(pivot_row, r);
                 let factor = target[col].div_ref(&pivot_value);
+                gas.charge_bytes(factor.bit_size() as u64 / 8);
+                gas.steps((pivot.len() - col) as u64)?;
                 for j in col..pivot.len() {
                     if !pivot[j].is_zero() {
                         target[j] = target[j].sub_ref(&factor.mul_ref(&pivot[j]));
@@ -231,6 +245,7 @@ impl QMat {
             pivots.push(col);
             pivot_row += 1;
         }
+        gas.flush()?;
         // Canonicalize: pivot entries become 1.
         for (row, &col) in pivots.iter().enumerate() {
             let pivot = m.get(row, col).clone();
@@ -245,7 +260,7 @@ impl QMat {
                 }
             }
         }
-        (m, pivot_row, pivots)
+        Ok((m, pivot_row, pivots))
     }
 
     /// Scale row `i` (whose entries before `from` are zero) to primitive
@@ -389,6 +404,14 @@ impl QMat {
 
     /// Solve `M·x⃗ = b⃗`; returns one solution if the system is consistent.
     pub fn solve(&self, b: &QVec) -> Option<QVec> {
+        match self.solve_gas(b, &mut Gas::unlimited()) {
+            Ok(x) => x,
+            Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+        }
+    }
+
+    /// [`QMat::solve`] under fuel metering (see [`QMat::rref_gas`]).
+    pub fn solve_gas(&self, b: &QVec, gas: &mut Gas) -> Result<Option<QVec>, Interrupt> {
         assert_eq!(self.rows, b.dim(), "matrix/vector dimension mismatch");
         let mut aug = QMat::zeros(self.rows, self.cols + 1);
         for i in 0..self.rows {
@@ -397,16 +420,16 @@ impl QMat {
             }
             aug.set(i, self.cols, b[i].clone());
         }
-        let (r, _, pivots) = aug.rref();
+        let (r, _, pivots) = aug.rref_gas(gas)?;
         // Inconsistent if a pivot lands in the augmented column.
         if pivots.contains(&self.cols) {
-            return None;
+            return Ok(None);
         }
         let mut x = QVec::zeros(self.cols);
         for (row, &col) in pivots.iter().enumerate() {
             x[col] = r.get(row, self.cols).clone();
         }
-        Some(x)
+        Ok(Some(x))
     }
 
     /// A basis of the null space `{x⃗ : M·x⃗ = 0}`.
@@ -452,10 +475,25 @@ pub fn span_contains(vectors: &[QVec], target: &QVec) -> bool {
 /// `CQDET_EXACT_LINALG=1` is set) fall back to
 /// [`span_coefficients_exact`].  Both paths return exact coefficients.
 pub fn span_coefficients(vectors: &[QVec], target: &QVec) -> Option<QVec> {
-    match span_solve(vectors, target) {
-        SpanOutcome::Solved(alpha) => Some(alpha),
-        SpanOutcome::Rejected => None,
-        SpanOutcome::Fallback => span_coefficients_exact(vectors, target),
+    match span_coefficients_gas(vectors, target, &mut Gas::unlimited()) {
+        Ok(alpha) => alpha,
+        Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+    }
+}
+
+/// [`span_coefficients`] under fuel metering: both the modular prescreen
+/// (per mod-p row operation) and the exact fallback (per rational row
+/// operation, plus bit-size byte accounting) charge the [`Gas`] handle, so
+/// a budgeted request is interrupted inside whichever tier is running.
+pub fn span_coefficients_gas(
+    vectors: &[QVec],
+    target: &QVec,
+    gas: &mut Gas,
+) -> Result<Option<QVec>, Interrupt> {
+    match span_solve_gas(vectors, target, gas)? {
+        SpanOutcome::Solved(alpha) => Ok(Some(alpha)),
+        SpanOutcome::Rejected => Ok(None),
+        SpanOutcome::Fallback => span_coefficients_exact_gas(vectors, target, gas),
     }
 }
 
@@ -463,14 +501,26 @@ pub fn span_coefficients(vectors: &[QVec], target: &QVec) -> Option<QVec> {
 /// prescreen.  This is the oracle the differential tests compare the tiered
 /// path against, and the mandatory fallback of [`span_coefficients`].
 pub fn span_coefficients_exact(vectors: &[QVec], target: &QVec) -> Option<QVec> {
+    match span_coefficients_exact_gas(vectors, target, &mut Gas::unlimited()) {
+        Ok(alpha) => alpha,
+        Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+    }
+}
+
+/// [`span_coefficients_exact`] under fuel metering (see [`QMat::rref_gas`]).
+pub fn span_coefficients_exact_gas(
+    vectors: &[QVec],
+    target: &QVec,
+    gas: &mut Gas,
+) -> Result<Option<QVec>, Interrupt> {
     if vectors.is_empty() {
-        return if target.is_zero() {
+        return Ok(if target.is_zero() {
             Some(QVec::zeros(0))
         } else {
             None
-        };
+        });
     }
-    QMat::from_cols(vectors).solve(target)
+    QMat::from_cols(vectors).solve_gas(target, gas)
 }
 
 /// Fact 5: given `u⃗₁, …, u⃗ₙ` and `u⃗` with `u⃗ ∉ span{u⃗ᵢ}`, there is a vector

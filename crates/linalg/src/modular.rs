@@ -29,6 +29,7 @@
 use crate::rat::Rat;
 use crate::vector::{dot, QVec};
 use cqdet_bigint::Int;
+use cqdet_parallel::{Gas, Interrupt};
 use std::sync::OnceLock;
 
 /// Whether the `CQDET_EXACT_LINALG=1` escape hatch is active (checked once
@@ -283,12 +284,16 @@ struct ZpElimination {
 /// extra `k` columns multiply the inner-loop work, so callers only ask for
 /// it when they will actually lift a certificate (the Solved and
 /// full-column-rank-rejection paths never do).
+/// Additionally charges the [`Gas`] handle per row operation (`width`
+/// steps each — machine-word work, so no byte accounting), interrupting
+/// mid-elimination on an exhausted budget or expired deadline.
 fn eliminate_mod_p(
     f: &PrimeField,
     cols: &[Vec<u64>],
     b: &[u64],
     with_certificate: bool,
-) -> ZpElimination {
+    gas: &mut Gas,
+) -> Result<ZpElimination, Interrupt> {
     let k = b.len();
     let n = cols.len();
     let width = if with_certificate { n + 1 + k } else { n + 1 };
@@ -329,6 +334,7 @@ fn eliminate_mod_p(
             if r == pr || rows[r][col] == 0 {
                 continue;
             }
+            gas.steps(width as u64)?;
             let factor = rows[r][col];
             let (pivot, target) = row_pair(&mut rows, pr, r);
             for j in 0..width {
@@ -341,29 +347,30 @@ fn eliminate_mod_p(
         pivot_rows.push(orig[pr]);
         pr += 1;
     }
+    gas.flush()?;
     for row in rows.iter().skip(pr) {
         if row[n] != 0 {
             // This row of the eliminated matrix says yᵀ·[A | b] = [0 | ≠0],
             // with y recorded (per original row index) in the identity part
             // when it was carried.
-            return ZpElimination {
+            return Ok(ZpElimination {
                 pivot_cols,
                 pivot_rows,
                 solution: None,
                 certificate: with_certificate.then(|| row[n + 1..].to_vec()),
-            };
+            });
         }
     }
     let mut x = vec![0u64; n];
     for (i, &c) in pivot_cols.iter().enumerate() {
         x[c] = rows[i][n];
     }
-    ZpElimination {
+    Ok(ZpElimination {
         pivot_cols,
         pivot_rows,
         solution: Some(x),
         certificate: None,
-    }
+    })
 }
 
 /// Disjoint `(pivot, target)` row borrows.
@@ -577,26 +584,44 @@ pub(crate) fn prescreen_pays<'a>(cells: usize, mut entries: impl Iterator<Item =
 /// every non-[`Fallback`](SpanOutcome::Fallback) outcome has been verified
 /// in exact rational arithmetic.
 pub fn span_solve(vectors: &[QVec], target: &QVec) -> SpanOutcome {
+    match span_solve_gas(vectors, target, &mut Gas::unlimited()) {
+        Ok(outcome) => outcome,
+        Err(stop) => unreachable!("unlimited gas interrupted: {stop}"),
+    }
+}
+
+/// [`span_solve`] under fuel metering: the mod-p eliminations charge per
+/// row operation, the exact verification of lifted certificates per
+/// rational multiply-add.  `Err` interrupts the solve without an answer.
+pub fn span_solve_gas(
+    vectors: &[QVec],
+    target: &QVec,
+    gas: &mut Gas,
+) -> Result<SpanOutcome, Interrupt> {
     if exact_linalg_forced() || vectors.is_empty() {
-        return SpanOutcome::Fallback;
+        return Ok(SpanOutcome::Fallback);
     }
     if target.is_zero() {
-        return SpanOutcome::Solved(QVec::zeros(vectors.len()));
+        return Ok(SpanOutcome::Solved(QVec::zeros(vectors.len())));
     }
     if !prescreen_pays(
         target.dim() * vectors.len(),
         target.iter().chain(vectors.iter().flat_map(|v| v.iter())),
     ) {
-        return SpanOutcome::Fallback;
+        return Ok(SpanOutcome::Fallback);
     }
 
     // Reduce the system mod the first good solver prime; the second solver
     // prime is reduced lazily inside `lift_and_verify`, only on the rare
     // instances where single-prime reconstruction cannot express the
-    // answer.
+    // answer.  The reduction itself is metered per entry: each mod-u64
+    // walks the entry's limbs, so its cost scales with the bit sizes the
+    // byte ledger tracks.
+    let cells = (target.dim() * (vectors.len() + 1)) as u64;
     let mut first = None;
     let mut spare_primes: &[u64] = &[];
     for (i, &p) in primes().iter().take(2).enumerate() {
+        gas.steps(cells)?;
         if let Some(sys) = reduce_system(PrimeField::new(p), vectors, target) {
             first = Some(sys);
             spare_primes = &primes()[i + 1..2];
@@ -604,14 +629,14 @@ pub fn span_solve(vectors: &[QVec], target: &QVec) -> SpanOutcome {
         }
     }
     let Some(first) = first else {
-        return SpanOutcome::Fallback; // every solver prime divides a denominator
+        return Ok(SpanOutcome::Fallback); // every solver prime divides a denominator
     };
 
     // First elimination without the identity block: the two common
     // outcomes (a solution, or a full-column-rank rejection) never read
     // the left-null certificate, so they should not pay its extra k
     // columns of inner-loop work.
-    let elim = eliminate_mod_p(&first.field, &first.cols, &first.b, false);
+    let elim = eliminate_mod_p(&first.field, &first.cols, &first.b, false, gas)?;
     match &elim.solution {
         Some(x0) => {
             // Consistent mod p: lift the candidate coefficients and verify.
@@ -623,8 +648,9 @@ pub fn span_solve(vectors: &[QVec], target: &QVec) -> SpanOutcome {
                 target,
                 x0,
                 true,
-            ) {
-                return SpanOutcome::Solved(QVec(alpha));
+                gas,
+            )? {
+                return Ok(SpanOutcome::Solved(QVec(alpha)));
             }
             // Reconstruction failed: exact elimination on the pruned
             // submatrix named by the mod-p rank profile.  The pivot rows
@@ -632,10 +658,10 @@ pub fn span_solve(vectors: &[QVec], target: &QVec) -> SpanOutcome {
             // solving them and verifying the candidate on *all* rows is
             // sound; a verification failure means the profile undercounted
             // and the caller runs the full exact elimination.
-            if let Some(alpha) = pruned_exact_solve(vectors, target, &elim) {
-                return SpanOutcome::Solved(QVec(alpha));
+            if let Some(alpha) = pruned_exact_solve(vectors, target, &elim, gas)? {
+                return Ok(SpanOutcome::Solved(QVec(alpha)));
             }
-            SpanOutcome::Fallback
+            Ok(SpanOutcome::Fallback)
         }
         None => {
             // Full column rank mod p forces full column rank over ℚ
@@ -645,21 +671,22 @@ pub fn span_solve(vectors: &[QVec], target: &QVec) -> SpanOutcome {
             // is the fast rejection for tall systems — O(k·n²) machine-word
             // operations total, independent of entry bit size.
             if elim.pivot_cols.len() == vectors.len() {
-                return SpanOutcome::Rejected;
+                return Ok(SpanOutcome::Rejected);
             }
             // Rank-deficient mod p: re-eliminate carrying the identity
             // block, lift the left-null certificate `y⃗` and verify it
             // exactly (its entries can be minor-sized, so this only
             // succeeds on small-coefficient instances; anything else falls
             // back to the exact tier).
-            let with_cert = eliminate_mod_p(&first.field, &first.cols, &first.b, true);
+            let with_cert = eliminate_mod_p(&first.field, &first.cols, &first.b, true, gas)?;
             if let Some(y0) = &with_cert.certificate {
-                if lift_and_verify(&first, spare_primes, &[], vectors, target, y0, false).is_some()
+                if lift_and_verify(&first, spare_primes, &[], vectors, target, y0, false, gas)?
+                    .is_some()
                 {
-                    return SpanOutcome::Rejected;
+                    return Ok(SpanOutcome::Rejected);
                 }
             }
-            SpanOutcome::Fallback
+            Ok(SpanOutcome::Fallback)
         }
     }
 }
@@ -676,6 +703,7 @@ pub fn span_solve(vectors: &[QVec], target: &QVec) -> SpanOutcome {
 /// combination is meaningless.  `as_solution` selects between the
 /// combination identity and the rejection certificate check.  Returns the
 /// verified rational vector.
+#[allow(clippy::too_many_arguments)]
 fn lift_and_verify(
     first: &ReducedSystem,
     spare_primes: &[u64],
@@ -684,7 +712,8 @@ fn lift_and_verify(
     target: &QVec,
     residues: &[u64],
     as_solution: bool,
-) -> Option<Vec<Rat>> {
+    gas: &mut Gas,
+) -> Result<Option<Vec<Rat>>, Interrupt> {
     // Single-prime attempt first: most span coefficients are tiny.
     for width in 1..=2usize {
         let second_sys;
@@ -692,9 +721,12 @@ fn lift_and_verify(
             1 => (vec![first], vec![residues.to_vec()]),
             _ => {
                 // Reduce mod the first good spare prime.
-                let second = spare_primes
+                let Some(second) = spare_primes
                     .iter()
-                    .find_map(|&p| reduce_system(PrimeField::new(p), vectors, target))?;
+                    .find_map(|&p| reduce_system(PrimeField::new(p), vectors, target))
+                else {
+                    return Ok(None);
+                };
                 let second_res = if as_solution {
                     // Solve restricted to the first prime's pivot columns:
                     // those columns are independent over ℚ, so the rational
@@ -704,21 +736,28 @@ fn lift_and_verify(
                     // combine two unrelated vectors.
                     let sub_cols: Vec<Vec<u64>> =
                         profile.iter().map(|&c| second.cols[c].clone()).collect();
-                    let elim2 = eliminate_mod_p(&second.field, &sub_cols, &second.b, false);
+                    let elim2 = eliminate_mod_p(&second.field, &sub_cols, &second.b, false, gas)?;
                     if elim2.pivot_cols.len() != profile.len() {
-                        return None; // rank dropped mod the spare prime: incoherent
+                        return Ok(None); // rank dropped mod the spare prime: incoherent
                     }
-                    let x = elim2.solution?;
+                    let Some(x) = elim2.solution else {
+                        return Ok(None);
+                    };
                     let mut full = vec![0u64; residues.len()];
                     for (pos, &c) in profile.iter().enumerate() {
                         full[c] = x[pos];
                     }
                     full
                 } else {
-                    eliminate_mod_p(&second.field, &second.cols, &second.b, true).certificate?
+                    match eliminate_mod_p(&second.field, &second.cols, &second.b, true, gas)?
+                        .certificate
+                    {
+                        Some(cert) => cert,
+                        None => return Ok(None),
+                    }
                 };
                 if second_res.len() != residues.len() {
-                    return None;
+                    return Ok(None);
                 }
                 second_sys = second;
                 (
@@ -731,6 +770,9 @@ fn lift_and_verify(
         let Some(lifted) = reconstruct_vector(&chosen, &slices) else {
             continue;
         };
+        // The exact verification multiplies every matrix entry once: meter
+        // it as one step per cell before paying the bignum work.
+        gas.steps((target.dim() * (vectors.len() + 1)) as u64)?;
         // Independent check prime first (cheap), then the mandatory exact
         // verification.
         let check = PrimeField::new(primes()[2]);
@@ -743,10 +785,10 @@ fn lift_and_verify(
             verify_rejection(vectors, target, &QVec(lifted.clone()))
         };
         if verified {
-            return Some(lifted);
+            return Ok(Some(lifted));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Exact elimination restricted to the mod-p rank profile: solve the
@@ -754,7 +796,12 @@ fn lift_and_verify(
 /// and verify the candidate on every row.  Sound because mod-p independence
 /// lifts to ℚ; complete only when the profile did not undercount — the
 /// final verification catches that case.
-fn pruned_exact_solve(vectors: &[QVec], target: &QVec, elim: &ZpElimination) -> Option<Vec<Rat>> {
+fn pruned_exact_solve(
+    vectors: &[QVec],
+    target: &QVec,
+    elim: &ZpElimination,
+    gas: &mut Gas,
+) -> Result<Option<Vec<Rat>>, Interrupt> {
     let r = elim.pivot_cols.len();
     if r == 0 || (r == vectors.len() && r == target.dim()) {
         // Nothing to solve, or nothing was pruned (a square full-rank
@@ -762,7 +809,7 @@ fn pruned_exact_solve(vectors: &[QVec], target: &QVec, elim: &ZpElimination) -> 
         // exact elimination once instead of twice.  A tall full-column-rank
         // system still benefits — the r×r pivot-row solve replaces a
         // k-row elimination.
-        return None;
+        return Ok(None);
     }
     let sub_cols: Vec<QVec> = elim
         .pivot_cols
@@ -777,12 +824,17 @@ fn pruned_exact_solve(vectors: &[QVec], target: &QVec, elim: &ZpElimination) -> 
         })
         .collect();
     let sub_target = QVec(elim.pivot_rows.iter().map(|&i| target[i].clone()).collect());
-    let sub_solution = crate::matrix::QMat::from_cols(&sub_cols).solve(&sub_target)?;
+    let Some(sub_solution) =
+        crate::matrix::QMat::from_cols(&sub_cols).solve_gas(&sub_target, gas)?
+    else {
+        return Ok(None);
+    };
     let mut alpha = vec![Rat::zero(); vectors.len()];
     for (pos, &c) in elim.pivot_cols.iter().enumerate() {
         alpha[c] = sub_solution[pos].clone();
     }
-    verify_combination(vectors, target, &alpha).then_some(alpha)
+    gas.steps((target.dim() * (vectors.len() + 1)) as u64)?;
+    Ok(verify_combination(vectors, target, &alpha).then_some(alpha))
 }
 
 /// A certified lower bound on the rank: the rank over `ℤ/p` for the first

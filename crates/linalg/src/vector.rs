@@ -180,6 +180,9 @@ pub fn hadamard(u: &QVec, v: &QVec) -> QVec {
 ///
 /// Panics if some entry of `u⃗` is not an integer, or if `t` is zero and an
 /// exponent is negative.
+// The panics below are the documented contract of this Definition 48
+// helper; callers (the counterexample construction) guarantee integrality.
+#[allow(clippy::expect_used)]
 pub fn pow_vec(t: &Rat, u: &QVec) -> QVec {
     QVec(
         u.0.iter()
@@ -200,6 +203,9 @@ pub fn pow_vec(t: &Rat, u: &QVec) -> QVec {
 /// Defined (as in the paper) for non-negative `u⃗` and arbitrary rational
 /// exponent *integer* entries of `v⃗`; with the `0⁰ = 1` convention.
 /// Panics on `0` raised to a negative power.
+// The panics below are the documented contract of this Definition 48
+// helper; callers (the counterexample construction) guarantee integrality.
+#[allow(clippy::expect_used)]
 pub fn mars(u: &QVec, v: &QVec) -> Rat {
     assert_eq!(u.dim(), v.dim(), "vector dimension mismatch");
     let mut acc = Rat::one();

@@ -33,8 +33,10 @@
 //! ```
 
 pub mod deadline;
+pub mod fuel;
 
 pub use deadline::{CancelToken, Expired};
+pub use fuel::{Budget, Exhausted, Gas, Interrupt};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};

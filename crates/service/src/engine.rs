@@ -11,18 +11,54 @@
 //! one pipeline stage.
 
 use crate::error::CqdetError;
-use crate::request::{Request, RequestKind};
+use crate::request::{BudgetSpec, Request, RequestKind};
 use crate::response::{HilbertRefutation, Response};
 use cqdet_core::witness::{build_counterexample_ctl, check_certificate_arithmetic, WitnessConfig};
 use cqdet_core::{decide_path_determinacy, paths};
 use cqdet_engine::{DecisionSession, SessionConfig, Task};
+use cqdet_failpoint::fail_point;
 use cqdet_hilbert::{encode, DiophantineInstance, Monomial};
-use cqdet_parallel::CancelToken;
+use cqdet_parallel::{Budget, CancelToken};
 use cqdet_query::{parse_queries, ConjunctiveQuery, PathQuery};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// Monotone per-reason robustness counters of an [`Engine`], surfaced on
+/// `stats` responses (and the `cqdet stats` subcommand): how often the
+/// serving process *survived* something — shed load, contained a panic,
+/// stopped a runaway request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Requests answered with a `timeout` response (expired deadline),
+    /// batch tasks cut short by the shared deadline included.
+    pub timeouts: u64,
+    /// Requests (or batch tasks) stopped by an exhausted fuel budget.
+    pub fuel_exhausted: u64,
+    /// Worker panics caught and converted into typed `internal` errors.
+    pub panics_contained: u64,
+    /// Connections shed at the [`crate::ServeOptions::max_connections`] cap.
+    pub shed_connections: u64,
+    /// Request lines rejected for exceeding
+    /// [`crate::ServeOptions::max_request_bytes`].
+    pub oversized_requests: u64,
+    /// Transient accept-loop errors absorbed by backoff instead of taking
+    /// the server down.
+    pub accept_retries: u64,
+}
+
+/// The atomic cells behind [`EngineCounters`].
+#[derive(Default)]
+struct CounterCells {
+    timeouts: AtomicU64,
+    fuel_exhausted: AtomicU64,
+    panics_contained: AtomicU64,
+    shed_connections: AtomicU64,
+    oversized_requests: AtomicU64,
+    accept_retries: AtomicU64,
+}
 
 /// The unified serving engine.  See the [module docs](self) and the crate
 /// quickstart.
@@ -34,6 +70,7 @@ use std::time::Duration;
 /// let response = engine.submit(Request {
 ///     id: "r1".into(),
 ///     deadline_ms: None,
+///     budget: None,
 ///     kind: RequestKind::Decide {
 ///         program: "v() :- R(x,y)\nq() :- R(x,y), R(u,w)".into(),
 ///         query: "q".into(),
@@ -48,6 +85,10 @@ pub struct Engine {
     session: DecisionSession,
     shutdown: AtomicBool,
     requests: AtomicU64,
+    counters: CounterCells,
+    /// Default fuel budget applied to requests that carry no `budget`
+    /// member of their own (the `--fuel-steps`/`--fuel-bytes` serve flags).
+    default_budget: Mutex<Option<BudgetSpec>>,
 }
 
 impl Engine {
@@ -61,8 +102,7 @@ impl Engine {
     pub fn with_config(config: SessionConfig) -> Engine {
         Engine {
             session: DecisionSession::with_config(config),
-            shutdown: AtomicBool::new(false),
-            requests: AtomicU64::new(0),
+            ..Engine::default()
         }
     }
 
@@ -89,6 +129,59 @@ impl Engine {
         self.requests.load(Ordering::Relaxed)
     }
 
+    /// A snapshot of the per-reason robustness counters.
+    pub fn counters(&self) -> EngineCounters {
+        let c = &self.counters;
+        EngineCounters {
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            fuel_exhausted: c.fuel_exhausted.load(Ordering::Relaxed),
+            panics_contained: c.panics_contained.load(Ordering::Relaxed),
+            shed_connections: c.shed_connections.load(Ordering::Relaxed),
+            oversized_requests: c.oversized_requests.load(Ordering::Relaxed),
+            accept_retries: c.accept_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The default fuel budget for requests without a `budget` member.
+    pub fn default_budget(&self) -> Option<BudgetSpec> {
+        // Budget state is plain data: recover the value on poisoning rather
+        // than propagating a paniced writer.
+        match self.default_budget.lock() {
+            Ok(guard) => *guard,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+
+    /// Install (or clear) the default fuel budget.
+    pub fn set_default_budget(&self, budget: Option<BudgetSpec>) {
+        match self.default_budget.lock() {
+            Ok(mut guard) => *guard = budget,
+            Err(poisoned) => *poisoned.into_inner() = budget,
+        }
+    }
+
+    pub(crate) fn note_shed_connection(&self) {
+        self.counters
+            .shed_connections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_oversized_request(&self) {
+        self.counters
+            .oversized_requests
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_accept_retry(&self) {
+        self.counters.accept_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_panic_contained(&self) {
+        self.counters
+            .panics_contained
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Submit one request and get its response.  Never panics: workload
     /// panics are caught and become typed [`CqdetError::Internal`] errors
     /// (`&self` stays usable — all session caches recover from poisoning).
@@ -97,20 +190,28 @@ impl Engine {
         let Request {
             id,
             deadline_ms,
+            budget,
             kind,
         } = request;
         let ctl = match deadline_ms {
             Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
             None => CancelToken::none(),
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(&id, kind, &ctl)));
-        match outcome {
+        let budget = budget
+            .or_else(|| self.default_budget())
+            .map(BudgetSpec::to_budget)
+            .unwrap_or_else(Budget::none);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(&id, kind, &ctl, &budget)));
+        let response = match outcome {
             Ok(Ok(response)) => response,
             Ok(Err(error)) => Response::Error {
                 id: Some(id),
                 error,
             },
             Err(payload) => {
+                self.counters
+                    .panics_contained
+                    .fetch_add(1, Ordering::Relaxed);
                 let message = if let Some(s) = payload.downcast_ref::<&str>() {
                     (*s).to_string()
                 } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -125,7 +226,22 @@ impl Engine {
                     },
                 }
             }
+        };
+        if let Response::Error { error, .. } = &response {
+            match error {
+                CqdetError::Deadline { .. } => {
+                    self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                // Fuel exhaustion carries its ledger; capacity-style
+                // resource errors (no accounting) are counted where they
+                // occur (shed connections, oversized lines).
+                CqdetError::ResourceExhausted { spent: Some(_), .. } => {
+                    self.counters.fuel_exhausted.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
         }
+        response
     }
 
     fn dispatch(
@@ -133,7 +249,11 @@ impl Engine {
         id: &str,
         kind: RequestKind,
         ctl: &CancelToken,
+        budget: &Budget,
     ) -> Result<Response, CqdetError> {
+        fail_point!("engine/submit", |msg: String| Err(CqdetError::internal(
+            msg
+        )));
         // A deadline of zero (or one that passed while queued) fails fast at
         // the submit boundary instead of starting work it cannot finish.
         ctl.check("submit").map_err(|e| CqdetError::Deadline {
@@ -144,19 +264,22 @@ impl Engine {
                 program,
                 query,
                 witness,
-            } => self.decide(id, &program, &query, witness, ctl),
+            } => self.decide(id, &program, &query, witness, ctl, budget),
             RequestKind::Batch {
                 tasks,
                 witnesses,
                 verify,
-            } => self.batch(id, &tasks, witnesses, verify, ctl),
+            } => self.batch(id, &tasks, witnesses, verify, ctl, budget),
             RequestKind::Path { query, views } => self.path(id, &query, &views),
             RequestKind::Hilbert { bound, monomials } => self.hilbert(id, bound, &monomials),
-            RequestKind::Explain { program, query } => self.explain(id, &program, &query, ctl),
+            RequestKind::Explain { program, query } => {
+                self.explain(id, &program, &query, ctl, budget)
+            }
             RequestKind::Stats => Ok(Response::Stats {
                 id: id.to_string(),
                 stats: self.session.stats(),
                 requests: self.request_count(),
+                counters: self.counters(),
             }),
             RequestKind::Shutdown => {
                 self.request_shutdown();
@@ -172,6 +295,7 @@ impl Engine {
         query_name: &str,
         witness: bool,
         ctl: &CancelToken,
+        budget: &Budget,
     ) -> Result<Response, CqdetError> {
         let (views, query) = parse_program(program, query_name)?;
         // The record's task id is the query's name — the same convention the
@@ -186,16 +310,25 @@ impl Engine {
             verify: true,
             witness: WitnessConfig::default(),
         };
-        let record = self.session.run_task_with(&task, ctl, &config);
-        if let Some(stage) = record.timeout_stage {
-            if record.analysis.is_none() {
-                // Nothing useful was computed: a pure timeout response.
+        let record = self.session.run_task_budgeted(&task, ctl, budget, &config);
+        if record.analysis.is_none() {
+            // Nothing useful was computed: a pure timeout / fuel-exhausted
+            // response.  (When the decision finished and only the witness
+            // timed out, the partial record is delivered instead — its
+            // `timeout_stage` member says what's missing.)
+            if let Some(fuel) = record.fuel_exhausted {
+                return Err(cqdet_core::DeterminacyError::ResourceExhausted {
+                    what: fuel.what,
+                    spent: fuel.spent,
+                    limit: fuel.limit,
+                }
+                .into());
+            }
+            if let Some(stage) = record.timeout_stage {
                 return Err(CqdetError::Deadline {
                     stage: stage.to_string(),
                 });
             }
-            // The decision finished, only the witness timed out: deliver the
-            // partial record (its `timeout_stage` member says what's missing).
         }
         Ok(Response::Decide {
             id: id.to_string(),
@@ -212,6 +345,7 @@ impl Engine {
         witnesses: bool,
         verify: bool,
         ctl: &CancelToken,
+        budget: &Budget,
     ) -> Result<Response, CqdetError> {
         let file = cqdet_engine::parse_task_file(tasks_text)?;
         let config = SessionConfig {
@@ -219,13 +353,28 @@ impl Engine {
             verify,
             witness: WitnessConfig::default(),
         };
-        let report = self.session.decide_batch_with(&file.tasks, ctl, &config);
+        // One budget for the whole batch: the limit bounds *total* decision
+        // work, so a runaway task drains the ledger for its siblings.
+        let report = self
+            .session
+            .decide_batch_budgeted(&file.tasks, ctl, budget, &config);
         let deadline_exceeded = report.records.iter().any(|r| r.timeout_stage.is_some());
+        let fuel_exhausted = report
+            .records
+            .iter()
+            .filter(|r| r.fuel_exhausted.is_some())
+            .count() as u64;
+        // Batch-internal stoppages surface as record members, not an error
+        // response — count them here so the stats ledger still sees them.
+        self.counters
+            .fuel_exhausted
+            .fetch_add(fuel_exhausted, Ordering::Relaxed);
         Ok(Response::Batch {
             id: id.to_string(),
             records: report.records,
             stats: report.stats,
             deadline_exceeded,
+            fuel_exhausted: fuel_exhausted > 0,
         })
     }
 
@@ -289,9 +438,10 @@ impl Engine {
         program: &str,
         query_name: &str,
         ctl: &CancelToken,
+        budget: &Budget,
     ) -> Result<Response, CqdetError> {
         let (views, query) = parse_program(program, query_name)?;
-        let text = self.explain_text(&views, &query, ctl)?;
+        let text = self.explain_text(&views, &query, ctl, budget)?;
         Ok(Response::Explain {
             id: id.to_string(),
             text,
@@ -305,8 +455,9 @@ impl Engine {
         views: &[ConjunctiveQuery],
         query: &ConjunctiveQuery,
         ctl: &CancelToken,
+        budget: &Budget,
     ) -> Result<String, CqdetError> {
-        let analysis = self.session.decide_ctl(views, query, ctl)?;
+        let analysis = self.session.decide_budgeted(views, query, ctl, budget)?;
         let mut out = String::new();
         // Infallible writes: `write!` to a String cannot fail.
         let w = &mut out;
@@ -489,6 +640,7 @@ mod tests {
         engine.submit(Request {
             id: "r".into(),
             deadline_ms: None,
+            budget: None,
             kind,
         })
     }
@@ -547,6 +699,7 @@ mod tests {
         let response = engine.submit(Request {
             id: "t".into(),
             deadline_ms: Some(0),
+            budget: None,
             kind: RequestKind::Decide {
                 program: PROGRAM.into(),
                 query: "q".into(),

@@ -41,10 +41,14 @@ pub enum CqdetError {
         /// The rejection, in full.
         message: String,
     },
-    /// A bounded search or serving resource ran out.
+    /// A bounded search, fuel budget or serving resource ran out.
     ResourceExhausted {
         /// Which budget was exhausted.
         what: String,
+        /// For fuel budgets: total charged when the limit check fired.
+        spent: Option<u64>,
+        /// For fuel budgets: the configured limit.
+        limit: Option<u64>,
     },
     /// The request's deadline expired (or its token was cancelled).
     Deadline {
@@ -82,6 +86,16 @@ impl CqdetError {
     pub fn internal(message: impl Into<String>) -> CqdetError {
         CqdetError::Internal {
             message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`CqdetError::ResourceExhausted`] without fuel
+    /// accounting (capacity limits, search budgets).
+    pub fn resource(what: impl Into<String>) -> CqdetError {
+        CqdetError::ResourceExhausted {
+            what: what.into(),
+            spent: None,
+            limit: None,
         }
     }
 
@@ -129,8 +143,12 @@ impl fmt::Display for CqdetError {
                 Ok(())
             }
             CqdetError::Schema { message } => write!(f, "schema error: {message}"),
-            CqdetError::ResourceExhausted { what } => {
-                write!(f, "resource exhausted: {what}")
+            CqdetError::ResourceExhausted { what, spent, limit } => {
+                write!(f, "resource exhausted: {what}")?;
+                if let (Some(spent), Some(limit)) = (spent, limit) {
+                    write!(f, " ({spent} spent, limit {limit})")?;
+                }
+                Ok(())
             }
             CqdetError::Deadline { stage } => {
                 write!(f, "deadline exceeded at stage {stage}")
@@ -183,6 +201,13 @@ impl From<DeterminacyError> for CqdetError {
             DeterminacyError::DeadlineExceeded { stage } => CqdetError::Deadline {
                 stage: stage.to_string(),
             },
+            DeterminacyError::ResourceExhausted { what, spent, limit } => {
+                CqdetError::ResourceExhausted {
+                    what: format!("fuel {what} budget"),
+                    spent: Some(spent),
+                    limit: Some(limit),
+                }
+            }
             DeterminacyError::Internal(message) => CqdetError::Internal { message },
             schema_violation => CqdetError::Schema {
                 message: schema_violation.to_string(),
@@ -197,12 +222,10 @@ impl From<WitnessError> for CqdetError {
             WitnessError::DeadlineExceeded { stage } => CqdetError::Deadline {
                 stage: stage.to_string(),
             },
-            WitnessError::SeparatorNotFound { pair } => CqdetError::ResourceExhausted {
-                what: format!(
-                    "separator search budget for basis pair ({}, {})",
-                    pair.0, pair.1
-                ),
-            },
+            WitnessError::SeparatorNotFound { pair } => CqdetError::resource(format!(
+                "separator search budget for basis pair ({}, {})",
+                pair.0, pair.1
+            )),
             WitnessError::Internal(message) => CqdetError::Internal { message },
             WitnessError::InstanceIsDetermined => CqdetError::Internal {
                 message: "witness requested for a determined instance".to_string(),
@@ -229,9 +252,17 @@ mod tests {
             "deadline"
         );
         assert_eq!(CqdetError::internal("x").code(), "internal");
+        assert_eq!(CqdetError::resource("x").code(), "resource_exhausted");
+        let fuel: CqdetError = cqdet_core::DeterminacyError::ResourceExhausted {
+            what: "steps",
+            spent: 4096,
+            limit: 64,
+        }
+        .into();
+        assert_eq!(fuel.code(), "resource_exhausted");
         assert_eq!(
-            CqdetError::ResourceExhausted { what: "x".into() }.code(),
-            "resource_exhausted"
+            fuel.to_string(),
+            "resource exhausted: fuel steps budget (4096 spent, limit 64)"
         );
     }
 

@@ -30,6 +30,7 @@
 //! let response = engine.submit(Request {
 //!     id: "r1".into(),
 //!     deadline_ms: Some(5_000),
+//!     budget: None,
 //!     kind: RequestKind::Decide {
 //!         program: "v() :- R(x,y)\nq() :- R(x,y), R(u,w)".into(),
 //!         query: "q".into(),
@@ -55,8 +56,8 @@ pub mod request;
 pub mod response;
 pub mod serve;
 
-pub use engine::{parse_monomial, parse_program, Engine};
+pub use engine::{parse_monomial, parse_program, Engine, EngineCounters};
 pub use error::CqdetError;
-pub use request::{Request, RequestKind, PROTOCOL_VERSION};
-pub use response::{error_json, HilbertRefutation, Response};
-pub use serve::{respond_to_line, serve_lines, serve_tcp, ServeOptions};
+pub use request::{BudgetSpec, Request, RequestKind, PROTOCOL_VERSION};
+pub use response::{counters_json, error_json, HilbertRefutation, Response};
+pub use serve::{failpoint_names, respond_to_line, serve_lines, serve_tcp, ServeOptions};

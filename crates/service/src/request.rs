@@ -14,8 +14,14 @@
 //! ```
 //!
 //! * `id` — caller-chosen, echoed verbatim on the response (pipelining);
-//! * `deadline_ms` — optional per-request budget, checked at the pipeline's
-//!   stage boundaries; expiry yields a `timeout` response;
+//! * `deadline_ms` — optional per-request deadline; checked at the
+//!   pipeline's stage boundaries *and* every ~4k fuel steps inside the
+//!   kernels; expiry yields a `timeout` response;
+//! * `budget` — optional per-request fuel budget: a number (a step limit)
+//!   or an object `{"steps": n, "bytes": m}` (either member optional).
+//!   Kernels charge steps per unit of work and bytes for big-number growth;
+//!   an exhausted ledger yields a `resource_exhausted` error response
+//!   within microseconds, with `spent`/`limit` attached;
 //! * unknown members are rejected (a typed `schema` error), so typos never
 //!   silently change behaviour.
 //!
@@ -31,17 +37,41 @@ use cqdet_engine::Json;
 /// unknown members and types are rejected instead.
 pub const PROTOCOL_VERSION: i64 = 1;
 
-/// One request: an id for pipelining, an optional deadline, and the typed
-/// payload.
+/// One request: an id for pipelining, optional deadline and fuel budget,
+/// and the typed payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Caller-chosen identifier, echoed on the response.
     pub id: String,
-    /// Optional budget in milliseconds; checked at pipeline stage
-    /// boundaries (gate → basis → span → witness).
+    /// Optional deadline in milliseconds; checked at pipeline stage
+    /// boundaries (gate → basis → span → witness) and inside the metered
+    /// kernels every ~4k fuel steps.
     pub deadline_ms: Option<u64>,
+    /// Optional fuel budget for the decision kernels (wire member
+    /// `budget`); `None` falls back to the engine's default budget.
+    pub budget: Option<BudgetSpec>,
     /// The workload payload.
     pub kind: RequestKind,
+}
+
+/// A fuel budget on the wire: step and/or byte limits for the decision
+/// kernels.  Encoded as a bare number (steps only) or an object
+/// `{"steps": n, "bytes": m}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetSpec {
+    /// Step-ledger limit (one step ≈ one candidate extension in a hom
+    /// search, one row-entry update in an elimination).
+    pub steps: Option<u64>,
+    /// Byte-ledger limit (charged for big-number coefficient growth in
+    /// exact elimination).
+    pub bytes: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// The in-process [`cqdet_parallel::Budget`] of this spec.
+    pub fn to_budget(self) -> cqdet_parallel::Budget {
+        cqdet_parallel::Budget::with_limits(self.steps, self.bytes)
+    }
 }
 
 /// The workload families of the protocol — one variant per subcommand of the
@@ -176,6 +206,47 @@ impl<'a> Fields<'a> {
             .ok_or_else(|| CqdetError::schema(format!("request member {key:?} is required")))
     }
 
+    /// The `budget` member: a bare number (steps) or an object with
+    /// optional `steps`/`bytes` members.
+    fn opt_budget(&mut self) -> Result<Option<BudgetSpec>, CqdetError> {
+        let Some(value) = self.get("budget") else {
+            return Ok(None);
+        };
+        if let Some(n) = value.as_u64() {
+            return Ok(Some(BudgetSpec {
+                steps: Some(n),
+                bytes: None,
+            }));
+        }
+        let Json::Obj(members) = value else {
+            return Err(CqdetError::schema(format!(
+                "request member \"budget\" must be a non-negative integer \
+                 (steps) or an object with \"steps\"/\"bytes\" members, got {value:?}"
+            )));
+        };
+        let mut spec = BudgetSpec {
+            steps: None,
+            bytes: None,
+        };
+        for (k, v) in members {
+            let slot = match k.as_str() {
+                "steps" => &mut spec.steps,
+                "bytes" => &mut spec.bytes,
+                other => {
+                    return Err(CqdetError::schema(format!(
+                        "unknown budget member {other:?} (expected \"steps\" or \"bytes\")"
+                    )))
+                }
+            };
+            *slot = Some(v.as_u64().ok_or_else(|| {
+                CqdetError::schema(format!(
+                    "budget member {k:?} must be a non-negative integer"
+                ))
+            })?);
+        }
+        Ok(Some(spec))
+    }
+
     fn str_array(&mut self, key: &'static str) -> Result<Vec<String>, CqdetError> {
         let items = match self.get(key) {
             Some(Json::Arr(items)) => items,
@@ -217,6 +288,7 @@ impl Request {
         let mut fields = Fields::new(json)?;
         let id = fields.opt_str("id")?.unwrap_or_default();
         let deadline_ms = fields.opt_u64("deadline_ms")?;
+        let budget = fields.opt_budget()?;
         let kind_str = fields.str("type")?;
         let kind = match kind_str.as_str() {
             "decide" => RequestKind::Decide {
@@ -254,6 +326,7 @@ impl Request {
         Ok(Request {
             id,
             deadline_ms,
+            budget,
             kind,
         })
     }
@@ -270,6 +343,27 @@ impl Request {
         let mut members: Vec<(String, Json)> = vec![("id".into(), Json::str(&self.id))];
         if let Some(ms) = self.deadline_ms {
             members.push(("deadline_ms".into(), Json::num(ms as i64)));
+        }
+        if let Some(budget) = self.budget {
+            // Canonical encoding: bare number when only steps are limited,
+            // the explicit object otherwise.
+            let value = match budget {
+                BudgetSpec {
+                    steps: Some(steps),
+                    bytes: None,
+                } => Json::num(steps as i64),
+                BudgetSpec { steps, bytes } => {
+                    let mut m = Vec::new();
+                    if let Some(steps) = steps {
+                        m.push(("steps".to_string(), Json::num(steps as i64)));
+                    }
+                    if let Some(bytes) = bytes {
+                        m.push(("bytes".to_string(), Json::num(bytes as i64)));
+                    }
+                    Json::Obj(m)
+                }
+            };
+            members.push(("budget".into(), value));
         }
         members.push(("type".into(), Json::str(self.kind.type_str())));
         match &self.kind {
@@ -405,6 +499,10 @@ mod tests {
             Request {
                 id: "r1".into(),
                 deadline_ms: Some(1000),
+                budget: Some(BudgetSpec {
+                    steps: Some(4096),
+                    bytes: None,
+                }),
                 kind: RequestKind::Decide {
                     program: "q() :- R(x,y)".into(),
                     query: "q".into(),
@@ -414,6 +512,10 @@ mod tests {
             Request {
                 id: "r2".into(),
                 deadline_ms: None,
+                budget: Some(BudgetSpec {
+                    steps: Some(1_000_000),
+                    bytes: Some(1 << 20),
+                }),
                 kind: RequestKind::Path {
                     query: "ABCD".into(),
                     views: vec!["ABC".into(), "BC".into()],
@@ -422,12 +524,65 @@ mod tests {
             Request {
                 id: "r3".into(),
                 deadline_ms: None,
+                budget: None,
                 kind: RequestKind::Shutdown,
             },
         ];
         for r in requests {
             let line = r.to_json().render();
             assert_eq!(Request::from_line(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn budget_member_decodes_both_forms() {
+        // Bare number: a steps-only limit.
+        let r = Request::from_line(r#"{"id":"a","type":"stats","budget":500}"#).unwrap();
+        assert_eq!(
+            r.budget,
+            Some(BudgetSpec {
+                steps: Some(500),
+                bytes: None
+            })
+        );
+        // The steps-only spec re-encodes canonically as the bare number.
+        assert!(r.to_json().render().contains(r#""budget":500"#));
+
+        // Object form with either or both members.
+        let r = Request::from_line(r#"{"id":"b","type":"stats","budget":{"bytes":1024}}"#).unwrap();
+        assert_eq!(
+            r.budget,
+            Some(BudgetSpec {
+                steps: None,
+                bytes: Some(1024)
+            })
+        );
+        let r = Request::from_line(r#"{"id":"c","type":"stats","budget":{"steps":9,"bytes":8}}"#)
+            .unwrap();
+        assert_eq!(
+            r.budget,
+            Some(BudgetSpec {
+                steps: Some(9),
+                bytes: Some(8)
+            })
+        );
+
+        // The spec lowers into a live ledger with the same limits.
+        let budget = r.budget.unwrap().to_budget();
+        assert!(budget.charge(8, 0).is_ok());
+        assert!(budget.charge(8, 0).is_err());
+    }
+
+    #[test]
+    fn budget_member_rejects_bad_shapes() {
+        for line in [
+            r#"{"id":"x","type":"stats","budget":"fast"}"#,
+            r#"{"id":"x","type":"stats","budget":-3}"#,
+            r#"{"id":"x","type":"stats","budget":{"steps":"many"}}"#,
+            r#"{"id":"x","type":"stats","budget":{"stepz":5}}"#,
+        ] {
+            let err = Request::from_line(line).unwrap_err();
+            assert_eq!(err.code(), "schema", "{line}: {err}");
         }
     }
 }

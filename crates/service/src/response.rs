@@ -22,6 +22,7 @@
 //! parsed queries), so front ends — the CLI included — render without
 //! re-parsing; [`Response::to_json`] is the wire projection.
 
+use crate::engine::EngineCounters;
 use crate::error::CqdetError;
 use crate::request::PROTOCOL_VERSION;
 use cqdet_core::{ContextStats, PathAnalysis};
@@ -66,6 +67,9 @@ pub enum Response {
         /// Whether the request's deadline expired mid-batch (some records
         /// then carry `timeout_stage`; completed ones are intact).
         deadline_exceeded: bool,
+        /// Whether the request's shared fuel budget ran out mid-batch (some
+        /// records then carry `fuel_exhausted`; completed ones are intact).
+        fuel_exhausted: bool,
     },
     /// Answer to a `path` request.
     Path {
@@ -112,6 +116,9 @@ pub enum Response {
         stats: ContextStats,
         /// Requests served by this engine so far (this one included).
         requests: u64,
+        /// Per-reason robustness counters (timeouts, contained panics,
+        /// shed load, …).
+        counters: EngineCounters,
     },
     /// Acknowledgement of a `shutdown` request.
     Shutdown {
@@ -186,6 +193,7 @@ impl Response {
                 records,
                 stats,
                 deadline_exceeded,
+                fuel_exhausted,
                 ..
             } => {
                 members.push((
@@ -195,6 +203,9 @@ impl Response {
                 members.push(("stats".into(), stats_json(stats)));
                 if *deadline_exceeded {
                     members.push(("deadline_exceeded".into(), Json::Bool(true)));
+                }
+                if *fuel_exhausted {
+                    members.push(("fuel_exhausted".into(), Json::Bool(true)));
                 }
             }
             Response::Path {
@@ -268,10 +279,14 @@ impl Response {
                 members.push(("text".into(), Json::str(text)));
             }
             Response::Stats {
-                stats, requests, ..
+                stats,
+                requests,
+                counters,
+                ..
             } => {
                 members.push(("stats".into(), stats_json(stats)));
                 members.push(("requests".into(), Json::num(*requests as i64)));
+                members.push(("counters".into(), counters_json(counters)));
             }
             Response::Shutdown { .. } => {}
             Response::Error { error, .. } => {
@@ -299,12 +314,42 @@ pub fn error_json(error: &CqdetError) -> Json {
         CqdetError::Deadline { stage } => {
             members.push(("stage".into(), Json::str(stage)));
         }
-        CqdetError::Schema { .. }
-        | CqdetError::ResourceExhausted { .. }
-        | CqdetError::Internal { .. } => {}
+        CqdetError::ResourceExhausted { spent, limit, .. } => {
+            // Fuel exhaustion carries its ledger so clients can resubmit
+            // with an informed budget; capacity errors carry neither.
+            if let Some(spent) = spent {
+                members.push(("spent".into(), Json::num(*spent as i64)));
+            }
+            if let Some(limit) = limit {
+                members.push(("limit".into(), Json::num(*limit as i64)));
+            }
+        }
+        CqdetError::Schema { .. } | CqdetError::Internal { .. } => {}
     }
     members.push(("message".into(), Json::str(error.to_string())));
     Json::Obj(members)
+}
+
+/// The wire JSON of the per-reason robustness counters (the `"counters"`
+/// member of `stats` responses).
+pub fn counters_json(counters: &EngineCounters) -> Json {
+    Json::obj([
+        ("timeouts", Json::num(counters.timeouts as i64)),
+        ("fuel_exhausted", Json::num(counters.fuel_exhausted as i64)),
+        (
+            "panics_contained",
+            Json::num(counters.panics_contained as i64),
+        ),
+        (
+            "shed_connections",
+            Json::num(counters.shed_connections as i64),
+        ),
+        (
+            "oversized_requests",
+            Json::num(counters.oversized_requests as i64),
+        ),
+        ("accept_retries", Json::num(counters.accept_retries as i64)),
+    ])
 }
 
 #[cfg(test)]

@@ -25,11 +25,13 @@
 
 use crate::engine::Engine;
 use crate::error::CqdetError;
-use crate::request::Request;
+use crate::request::{BudgetSpec, Request};
 use crate::response::Response;
 use cqdet_engine::Json;
+use cqdet_failpoint::fail_point;
 use std::io::{self, BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -47,6 +49,15 @@ pub struct ServeOptions {
     /// `resource_exhausted` error response and closed, bounding per-
     /// connection memory.
     pub max_request_bytes: usize,
+    /// Default fuel budget installed on the engine when serving starts:
+    /// applied to every request that carries no `budget` member of its own
+    /// (the `--fuel-steps` / `--fuel-bytes` serve flags).
+    pub default_budget: Option<BudgetSpec>,
+    /// Cap on the exponential backoff the accept loop sleeps after a
+    /// *transient* accept error (aborted handshakes under load); the first
+    /// retry waits 1 ms, doubling up to this cap, reset on any successful
+    /// accept.
+    pub accept_backoff_max: Duration,
 }
 
 impl Default for ServeOptions {
@@ -59,8 +70,29 @@ impl Default for ServeOptions {
             // Generous: task files are text, and the biggest legitimate
             // requests (bulk batches) are a few MiB.
             max_request_bytes: 64 << 20,
+            default_budget: None,
+            accept_backoff_max: Duration::from_millis(100),
         }
     }
+}
+
+/// Every fault-injection seam reachable from a served request, for chaos
+/// harnesses to cycle through (see `cqdet-failpoint`).  Grouped by layer:
+/// connection I/O, line handling, engine dispatch, decision stages, session
+/// cache internals.
+pub fn failpoint_names() -> &'static [&'static str] {
+    &[
+        "serve/conn/read",
+        "serve/conn/write",
+        "serve/parse",
+        "serve/emit",
+        "engine/submit",
+        "decide/gate",
+        "decide/basis",
+        "decide/span",
+        "session/lock",
+        "session/cache-insert",
+    ]
 }
 
 /// Decode one request line and produce its response.  Blank lines produce
@@ -71,6 +103,10 @@ pub fn respond_to_line(engine: &Engine, line: &str) -> Option<Response> {
     if line.is_empty() {
         return None;
     }
+    fail_point!("serve/parse", |msg: String| Some(Response::Error {
+        id: None,
+        error: CqdetError::internal(msg),
+    }));
     Some(match Json::parse(line) {
         Err(e) => Response::Error {
             id: None,
@@ -84,6 +120,38 @@ pub fn respond_to_line(engine: &Engine, line: &str) -> Option<Response> {
             }
         }
     })
+}
+
+/// Decode, dispatch and render one line to its wire JSON, containing
+/// panics from *any* layer under it (the parse seam, engine dispatch, JSON
+/// rendering, the emit seam): a panic becomes a typed internal-error line,
+/// never a dead connection.  `(rendered, shutdown)`; `None` for blank lines.
+fn render_line(engine: &Engine, line: &str) -> Option<(String, bool)> {
+    let rendered = catch_unwind(AssertUnwindSafe(|| {
+        let response = respond_to_line(engine, line)?;
+        let done = matches!(response, Response::Shutdown { .. });
+        fail_point!("serve/emit", |msg: String| Some((
+            Response::Error {
+                id: None,
+                error: CqdetError::internal(msg),
+            }
+            .to_json()
+            .render(),
+            done,
+        )));
+        Some((response.to_json().render(), done))
+    }));
+    match rendered {
+        Ok(out) => out,
+        Err(_) => {
+            engine.note_panic_contained();
+            let response = Response::Error {
+                id: None,
+                error: CqdetError::internal("response handling panicked"),
+            };
+            Some((response.to_json().render(), false))
+        }
+    }
 }
 
 /// Serve JSON-lines over an arbitrary reader/writer pair (the stdio
@@ -104,11 +172,11 @@ pub fn serve_lines<R: BufRead, W: Write>(
             break; // EOF
         }
         let line = String::from_utf8_lossy(&buf);
-        let Some(response) = respond_to_line(engine, &line) else {
+        let Some((rendered, shutdown)) = render_line(engine, &line) else {
             continue;
         };
-        let done = matches!(response, Response::Shutdown { .. }) || engine.shutdown_requested();
-        writer.write_all(response.to_json().render().as_bytes())?;
+        let done = shutdown || engine.shutdown_requested();
+        writer.write_all(rendered.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
         served += 1;
@@ -132,9 +200,13 @@ pub fn serve_tcp<F: FnOnce(SocketAddr)>(
 ) -> io::Result<u64> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
+    if options.default_budget.is_some() {
+        engine.set_default_budget(options.default_budget);
+    }
     on_ready(listener.local_addr()?);
     let active = AtomicUsize::new(0);
     let served = AtomicU64::new(0);
+    let mut transient_retries: u32 = 0;
     // On a fatal accept error the loop must still unwedge the scope join:
     // connection handlers only exit on client disconnect or the shutdown
     // flag, so the flag is raised before bailing out with the error.
@@ -145,16 +217,27 @@ pub fn serve_tcp<F: FnOnce(SocketAddr)>(
             }
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    transient_retries = 0;
                     if active.load(Ordering::Relaxed) >= options.max_connections {
                         // Over capacity: answer with a typed error, close —
                         // the client got a response, not a hang-up.
+                        engine.note_shed_connection();
                         let _ = reject_connection(stream);
                         continue;
                     }
                     active.fetch_add(1, Ordering::Relaxed);
                     let (active, served) = (&active, &served);
                     scope.spawn(move || {
-                        let n = handle_connection(engine, stream, options);
+                        // A handler panic (e.g. an armed `serve/conn/*`
+                        // failpoint) must cost one connection, not the whole
+                        // accept scope.
+                        let n = catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(engine, stream, options)
+                        }))
+                        .unwrap_or_else(|_| {
+                            engine.note_panic_contained();
+                            0
+                        });
                         served.fetch_add(n, Ordering::Relaxed);
                         active.fetch_sub(1, Ordering::Relaxed);
                     });
@@ -163,14 +246,28 @@ pub fn serve_tcp<F: FnOnce(SocketAddr)>(
                     std::thread::sleep(options.poll_interval);
                 }
                 // Transient per-connection failures (the peer aborted
-                // between SYN and accept) must not take the server down.
+                // between SYN and accept) must not take the server down —
+                // but under an accept storm they also must not busy-spin the
+                // accept thread: sleep with capped exponential backoff plus
+                // a small deterministic jitter (so multiple servers sharing
+                // a host don't re-accept in lockstep), reset on success.
                 Err(e)
                     if matches!(
                         e.kind(),
                         io::ErrorKind::Interrupted
                             | io::ErrorKind::ConnectionAborted
                             | io::ErrorKind::ConnectionReset
-                    ) => {}
+                    ) =>
+                {
+                    transient_retries = transient_retries.saturating_add(1);
+                    engine.note_accept_retry();
+                    let exp =
+                        Duration::from_millis(1u64 << transient_retries.min(10).saturating_sub(1));
+                    let jitter = Duration::from_micros(
+                        u64::from(transient_retries).wrapping_mul(2_654_435_761) % 1_000,
+                    );
+                    std::thread::sleep(exp.min(options.accept_backoff_max) + jitter);
+                }
                 Err(e) => {
                     engine.request_shutdown();
                     return Some(e);
@@ -187,9 +284,7 @@ pub fn serve_tcp<F: FnOnce(SocketAddr)>(
 fn reject_connection(mut stream: TcpStream) -> io::Result<()> {
     let response = Response::Error {
         id: None,
-        error: CqdetError::ResourceExhausted {
-            what: "connection slots (try again shortly)".to_string(),
-        },
+        error: CqdetError::resource("connection slots (try again shortly)"),
     };
     stream.write_all(response.to_json().render().as_bytes())?;
     stream.write_all(b"\n")?;
@@ -242,11 +337,13 @@ fn handle_connection(engine: &Engine, mut stream: TcpStream, options: &ServeOpti
         // means one request line exceeds the cap: answer with a typed
         // error and close, bounding per-connection memory.
         if pending.len() > options.max_request_bytes {
+            engine.note_oversized_request();
             let response = Response::Error {
                 id: None,
-                error: CqdetError::ResourceExhausted {
-                    what: format!("request line exceeds {} bytes", options.max_request_bytes),
-                },
+                error: CqdetError::resource(format!(
+                    "request line exceeds {} bytes",
+                    options.max_request_bytes
+                )),
             };
             let _ = stream.write_all(response.to_json().render().as_bytes());
             let _ = stream.write_all(b"\n");
@@ -256,6 +353,7 @@ fn handle_connection(engine: &Engine, mut stream: TcpStream, options: &ServeOpti
         if engine.shutdown_requested() {
             return served;
         }
+        fail_point!("serve/conn/read");
         match stream.read(&mut chunk) {
             Ok(0) => eof = true,
             Ok(n) => pending.extend_from_slice(&chunk[..n]),
@@ -270,11 +368,11 @@ fn handle_connection(engine: &Engine, mut stream: TcpStream, options: &ServeOpti
 
 /// Answer one line on a connection: `(requests_answered, shutdown)`.
 fn answer(engine: &Engine, mut stream: &TcpStream, line: &str) -> io::Result<(u64, bool)> {
-    let Some(response) = respond_to_line(engine, line) else {
+    let Some((rendered, done)) = render_line(engine, line) else {
         return Ok((0, false));
     };
-    let done = matches!(response, Response::Shutdown { .. });
-    stream.write_all(response.to_json().render().as_bytes())?;
+    fail_point!("serve/conn/write");
+    stream.write_all(rendered.as_bytes())?;
     stream.write_all(b"\n")?;
     stream.flush()?;
     Ok((1, done))

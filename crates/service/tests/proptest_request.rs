@@ -2,7 +2,7 @@
 //! valid requests must decode to `Ok` or a typed error — never a panic —
 //! and everything that decodes must re-encode/round-trip.
 
-use cqdet_service::{Request, RequestKind};
+use cqdet_service::{BudgetSpec, Request, RequestKind};
 use proptest::prelude::*;
 
 /// A valid request derived deterministically from a seed, covering every
@@ -41,6 +41,21 @@ fn seeded_request(seed: u64) -> Request {
     Request {
         id: format!("r{seed}"),
         deadline_ms: (seed % 2 == 1).then_some(seed % 100_000),
+        budget: match seed % 4 {
+            0 => None,
+            1 => Some(BudgetSpec {
+                steps: Some(seed % 1_000_000),
+                bytes: None,
+            }),
+            2 => Some(BudgetSpec {
+                steps: None,
+                bytes: Some(seed % 65_536),
+            }),
+            _ => Some(BudgetSpec {
+                steps: Some(seed % 4_096),
+                bytes: Some(seed % 1_000_000),
+            }),
+        },
         kind,
     }
 }

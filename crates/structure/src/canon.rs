@@ -320,6 +320,9 @@ fn transposition_is_automorphism(ctx: &Ctx, a: u32, e: u32) -> bool {
 /// The individualization–refinement search: try every member of the first
 /// smallest non-singleton class (modulo the interchangeability prune), keep
 /// the lexicographically smallest leaf encoding.
+// Invariant-backed expects: a non-discrete refinement always has a class of
+// size ≥ 2 to individualize.
+#[allow(clippy::expect_used)]
 fn search(ctx: &Ctx, colors: &[u32], k: usize, best: &mut Option<Vec<u8>>) {
     let n = colors.len();
     if k == n {
@@ -364,6 +367,9 @@ fn search(ctx: &Ctx, colors: &[u32], k: usize, best: &mut Option<Vec<u8>>) {
 }
 
 /// The canonical encoding of one connected block.
+// Invariant-backed expect: individualization always terminates in a
+// discrete coloring, so the search necessarily records a leaf.
+#[allow(clippy::expect_used)]
 fn canonical_block(b: &Block, arities: &[usize]) -> Vec<u8> {
     let mut colors = vec![0u32; b.n];
     let k = refine(b, arities, &mut colors, 1);

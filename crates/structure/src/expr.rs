@@ -156,6 +156,9 @@ impl StructureExpr {
         Some(self.materialize_unchecked(schema))
     }
 
+    // Documented contract: materializing a symbolic sum whose coefficient
+    // exceeds u64 is a caller error, reported by the expect's panic.
+    #[allow(clippy::expect_used)]
     fn materialize_unchecked(&self, schema: &Schema) -> Structure {
         match self {
             StructureExpr::Base(s) => (**s).clone(),

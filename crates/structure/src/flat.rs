@@ -42,6 +42,13 @@ const CAND_CACHE_CAP: usize = 1024;
 /// [`FlatStructure::candidates_for_mask`]).
 type CandCache = Mutex<HashMap<Box<[u64]>, Arc<Vec<u32>>>>;
 
+/// Poison-recovering lock: the memos in this module are insert-only, so a
+/// panicking holder cannot leave them in a corrupt state — recover the
+/// guard instead of propagating the panic into request handling.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The compiled flat form of one structure.
 #[derive(Debug)]
 pub(crate) struct FlatStructure {
@@ -79,6 +86,9 @@ pub(crate) struct FlatStructure {
 }
 
 impl FlatStructure {
+    // Invariant-backed expect: every constant fed to `dense` comes from the
+    // structure whose domain `dom` enumerates.
+    #[allow(clippy::expect_used)]
     pub(crate) fn compile(s: &Structure) -> FlatStructure {
         let dom: Vec<Const> = s.domain().into_iter().collect();
         let dense = |c: Const| -> u32 {
@@ -209,7 +219,7 @@ impl FlatStructure {
     /// live in this structure's slot space.
     pub(crate) fn candidates_for_mask(&self, mask: &[u64]) -> Arc<Vec<u32>> {
         debug_assert_eq!(mask.len(), self.slot_words);
-        if let Some(hit) = self.cand_cache.lock().unwrap().get(mask) {
+        if let Some(hit) = locked(&self.cand_cache).get(mask) {
             return hit.clone();
         }
         let cands: Arc<Vec<u32>> = Arc::new(
@@ -217,7 +227,7 @@ impl FlatStructure {
                 .filter(|&t| mask_subset(mask, self.mask_of(t as usize)))
                 .collect(),
         );
-        let mut cache = self.cand_cache.lock().unwrap();
+        let mut cache = locked(&self.cand_cache);
         if cache.len() < CAND_CACHE_CAP {
             cache.insert(mask.into(), cands.clone());
         }

@@ -19,6 +19,7 @@ use crate::components::connected_components;
 use crate::flat::{mask_subset, FlatStructure};
 use crate::structure::{Const, Structure};
 use cqdet_bigint::Nat;
+use cqdet_parallel::{Gas, Interrupt};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -193,7 +194,9 @@ impl<'a> Plan<'a> {
         let n_facts = plan.fact_rel.len();
         for f in 0..n_facts {
             let args = &plan.fact_args[plan.fact_off[f] as usize..plan.fact_off[f + 1] as usize];
-            let last = args.iter().map(|&a| pos_of[a as usize]).max().unwrap();
+            // A fact with no arguments has no placement constraint: check it
+            // at the first level.
+            let last = args.iter().map(|&a| pos_of[a as usize]).max().unwrap_or(0);
             debug_assert_ne!(last, u32::MAX, "fact argument missing from order");
             plan.facts_at[last as usize].push(f as u32);
         }
@@ -280,10 +283,19 @@ struct Search<'p, 'a> {
     count_big: Nat,
     found: bool,
     collected: Vec<Vec<u32>>,
+    /// Fuel/deadline meter, charged once per candidate extension.
+    gas: Gas,
+    /// Set when the meter fired: the search unwound early and its partial
+    /// results are meaningless.
+    stopped: Option<Interrupt>,
 }
 
 impl<'p, 'a> Search<'p, 'a> {
     fn new(plan: &'p Plan<'a>, mode: Mode) -> Self {
+        Search::with_gas(plan, mode, Gas::unlimited())
+    }
+
+    fn with_gas(plan: &'p Plan<'a>, mode: Mode, gas: Gas) -> Self {
         let max_arity = plan
             .fact_off
             .windows(2)
@@ -300,6 +312,8 @@ impl<'p, 'a> Search<'p, 'a> {
             count_big: Nat::zero(),
             found: false,
             collected: Vec::new(),
+            gas,
+            stopped: None,
         }
     }
 
@@ -315,6 +329,13 @@ impl<'p, 'a> Search<'p, 'a> {
             return;
         }
         self.recurse(0);
+        // Account the tail below the flush granularity, so even a search
+        // that finished charges what it used.
+        if self.stopped.is_none() {
+            if let Err(stop) = self.gas.flush() {
+                self.stopped = Some(stop);
+            }
+        }
     }
 
     fn register_leaf(&mut self) {
@@ -333,7 +354,8 @@ impl<'p, 'a> Search<'p, 'a> {
 
     #[inline]
     fn done(&self) -> bool {
-        matches!(self.mode, Mode::FindFirst | Mode::FindInjective) && self.found
+        self.stopped.is_some()
+            || (matches!(self.mode, Mode::FindFirst | Mode::FindInjective) && self.found)
     }
 
     fn recurse(&mut self, idx: usize) {
@@ -346,6 +368,13 @@ impl<'p, 'a> Search<'p, 'a> {
         let injective = self.mode == Mode::FindInjective;
         let cands = plan.candidates(x);
         for &t in cands {
+            // One candidate extension = one fuel step; an exhausted budget or
+            // expired deadline unwinds the whole search within one flush
+            // window (~4k candidates), not at the next stage boundary.
+            if let Err(stop) = self.gas.step() {
+                self.stopped = Some(stop);
+                return;
+            }
             if injective {
                 let (w, b) = (t as usize / 64, 1u64 << (t % 64));
                 if self.used[w] & b != 0 {
@@ -421,6 +450,34 @@ pub fn hom_count(source: &Structure, target: &Structure) -> Nat {
     s.total_count()
 }
 
+/// [`hom_count`] under a fuel/deadline meter: the search charges one step
+/// per candidate extension and unwinds with a typed [`Interrupt`] within one
+/// flush window of the budget or deadline firing.  A returned count is
+/// always the complete, exact count (partial searches never leak a value).
+///
+/// The `CQDET_NAIVE_HOM=1` oracle hatch falls back to the unmetered
+/// reference engine (the deadline is still checked before and after).
+pub fn hom_count_gas(
+    source: &Structure,
+    target: &Structure,
+    gas: &mut Gas,
+) -> Result<Nat, Interrupt> {
+    if use_naive_engine() {
+        gas.flush()?;
+        let count = reference::hom_count(source, target);
+        gas.flush()?;
+        return Ok(count);
+    }
+    let plan = Plan::build(source.flat(), target.flat(), source, target, false);
+    let mut s = Search::with_gas(&plan, Mode::CountAll, gas.clone());
+    s.run();
+    *gas = s.gas.clone();
+    match s.stopped {
+        Some(stop) => Err(stop),
+        None => Ok(s.total_count()),
+    }
+}
+
 /// Whether at least one homomorphism from `source` to `target` exists.
 pub fn hom_exists(source: &Structure, target: &Structure) -> bool {
     if use_naive_engine() {
@@ -430,6 +487,30 @@ pub fn hom_exists(source: &Structure, target: &Structure) -> bool {
     let mut s = Search::new(&plan, Mode::FindFirst);
     s.run();
     s.exists()
+}
+
+/// [`hom_exists`] under a fuel/deadline meter (see [`hom_count_gas`]).
+pub fn hom_exists_gas(
+    source: &Structure,
+    target: &Structure,
+    gas: &mut Gas,
+) -> Result<bool, Interrupt> {
+    if use_naive_engine() {
+        gas.flush()?;
+        let exists = reference::hom_exists(source, target);
+        gas.flush()?;
+        return Ok(exists);
+    }
+    let plan = Plan::build(source.flat(), target.flat(), source, target, false);
+    let mut s = Search::with_gas(&plan, Mode::FindFirst, gas.clone());
+    s.run();
+    *gas = s.gas.clone();
+    match s.stopped {
+        // A witness found before the meter fired is still a witness.
+        None | Some(_) if s.found => Ok(true),
+        Some(stop) => Err(stop),
+        None => Ok(false),
+    }
 }
 
 thread_local! {
@@ -538,6 +619,12 @@ pub struct CacheStats {
 /// construction — are keyed by their isomorphism-invariant canonical key
 /// ([`Structure::iso_class_key`]), targets by the cheap order-preserving
 /// flat encoding.
+/// Lock a cache mutex, recovering from poisoning: the protected maps are
+/// always structurally valid (a panicking holder at worst loses one insert).
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[derive(Default)]
 pub struct SharedCaches {
     /// The memo map plus a running count of its entries, maintained on
@@ -559,21 +646,52 @@ impl SharedCaches {
     /// lock may be computed twice under contention; both writers store the
     /// same value).
     pub fn hom_count(&self, source: &Structure, target: &Structure) -> Nat {
+        match self.hom_count_impl(source, target, None) {
+            Ok(count) => count,
+            // Unmetered searches never stop early.
+            Err(stop) => unreachable!("unmetered hom count interrupted: {stop}"),
+        }
+    }
+
+    /// [`SharedCaches::hom_count`] under a fuel/deadline meter.  Cache hits
+    /// are free; a miss runs the metered search and **only completed counts
+    /// are inserted** — an interrupted search leaves the cache untouched, so
+    /// later requests never observe a partial count.
+    pub fn hom_count_gas(
+        &self,
+        source: &Structure,
+        target: &Structure,
+        gas: &mut Gas,
+    ) -> Result<Nat, Interrupt> {
+        self.hom_count_impl(source, target, Some(gas))
+    }
+
+    fn hom_count_impl(
+        &self,
+        source: &Structure,
+        target: &Structure,
+        gas: Option<&mut Gas>,
+    ) -> Result<Nat, Interrupt> {
         let src_canon: &[u8] = &source.flat().canon_key().bytes;
         let tgt_canon: &[u8] = target.flat().canon();
         let hit = {
-            let (map, _) = &*self.map.lock().unwrap();
+            let (map, _) = &*locked(&self.map);
             map.get(tgt_canon)
                 .and_then(|per_src| per_src.get(src_canon))
                 .cloned()
         };
         if let Some(hit) = hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return Ok(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let count = hom_count(source, target);
-        let mut guard = self.map.lock().unwrap();
+        // Compute outside the lock; an interrupt propagates before any
+        // insert, so partial results never poison the shared map.
+        let count = match gas {
+            Some(gas) => hom_count_gas(source, target, gas)?,
+            None => hom_count(source, target),
+        };
+        let mut guard = locked(&self.map);
         let (map, total) = &mut *guard;
         if *total >= HOM_CACHE_CAP {
             map.clear();
@@ -587,12 +705,12 @@ impl SharedCaches {
         {
             *total += 1;
         }
-        count
+        Ok(count)
     }
 
     /// Current hit/miss/entry counts.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.map.lock().unwrap().1 as u64;
+        let entries = locked(&self.map).1 as u64;
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -602,7 +720,7 @@ impl SharedCaches {
 
     /// Drop every memoized count (the counters are kept).
     pub fn clear(&self) {
-        let mut guard = self.map.lock().unwrap();
+        let mut guard = locked(&self.map);
         guard.0.clear();
         guard.1 = 0;
     }
@@ -675,6 +793,17 @@ pub fn hom_cache_stats() -> (u64, u64) {
 /// batch sessions install a cross-task handle with [`with_shared_caches`].
 pub fn hom_count_cached(source: &Structure, target: &Structure) -> Nat {
     active_caches().hom_count(source, target)
+}
+
+/// [`hom_count_cached`] under a fuel/deadline meter (see
+/// [`SharedCaches::hom_count_gas`]): hits are free, interrupted misses are
+/// never cached.
+pub fn hom_count_cached_gas(
+    source: &Structure,
+    target: &Structure,
+    gas: &mut Gas,
+) -> Result<Nat, Interrupt> {
+    active_caches().hom_count_gas(source, target, gas)
 }
 
 /// The original `BTreeMap`-based backtracking engine, kept verbatim as the
@@ -1216,6 +1345,66 @@ mod tests {
         assert_eq!(caches.stats().hits, 2);
         caches.clear();
         assert_eq!(caches.stats().entries, 0);
+    }
+
+    #[test]
+    fn fuelled_search_matches_unfuelled_or_stops_typed() {
+        use cqdet_parallel::{Budget, CancelToken};
+        let src = path(3);
+        let tgt = clique_with_loops(4);
+        let exact = hom_count(&src, &tgt);
+        // Generous budget: identical answer.
+        let budget = Budget::with_limits(Some(1 << 30), None);
+        let mut gas = Gas::new(&CancelToken::none(), &budget, "hom");
+        assert_eq!(hom_count_gas(&src, &tgt, &mut gas).unwrap(), exact);
+        assert!(budget.steps_spent() > 0, "the search must charge fuel");
+        // Tiny budget on a big search space: typed exhaustion, no panic.
+        let big_src = path(8);
+        let big_tgt = clique_with_loops(8);
+        let tiny = Budget::with_limits(Some(1), None);
+        let mut gas = Gas::new(&CancelToken::none(), &tiny, "hom");
+        let stop = hom_count_gas(&big_src, &big_tgt, &mut gas).unwrap_err();
+        assert!(matches!(stop, Interrupt::Exhausted(e) if e.what == "steps"));
+        // An expired deadline surfaces as Expired with the stage label.
+        let ctl = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let mut gas = Gas::new(&ctl, &Budget::none(), "gate");
+        let stop = hom_count_gas(&big_src, &big_tgt, &mut gas).unwrap_err();
+        assert!(matches!(stop, Interrupt::Expired(e) if e.stage == "gate"));
+    }
+
+    #[test]
+    fn fuelled_exists_keeps_found_witnesses() {
+        use cqdet_parallel::{Budget, CancelToken};
+        // FindFirst succeeds long before any realistic budget: a found
+        // witness survives even a post-hoc budget overrun check.
+        let src = path(2);
+        let tgt = clique_with_loops(3);
+        let budget = Budget::with_limits(Some(1 << 20), None);
+        let mut gas = Gas::new(&CancelToken::none(), &budget, "gate");
+        assert_eq!(hom_exists_gas(&src, &tgt, &mut gas).unwrap(), true);
+    }
+
+    #[test]
+    fn interrupted_cached_count_is_not_inserted() {
+        use cqdet_parallel::{Budget, CancelToken};
+        let caches = std::sync::Arc::new(SharedCaches::new());
+        let src = path(8);
+        let tgt = clique_with_loops(8);
+        let tiny = Budget::with_limits(Some(1), None);
+        let mut gas = Gas::new(&CancelToken::none(), &tiny, "hom");
+        assert!(caches.hom_count_gas(&src, &tgt, &mut gas).is_err());
+        assert_eq!(
+            caches.stats().entries,
+            0,
+            "an interrupted search must not poison the cache"
+        );
+        // The same pair computed without a budget afterwards is correct and
+        // cached, and a metered *hit* costs no fuel.
+        let exact = caches.hom_count(&src, &tgt);
+        let spent_before = tiny.steps_spent();
+        let mut gas = Gas::new(&CancelToken::none(), &tiny, "hom");
+        assert_eq!(caches.hom_count_gas(&src, &tgt, &mut gas).unwrap(), exact);
+        assert_eq!(tiny.steps_spent(), spent_before, "hits are free");
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //! * random structure generators for benchmarks and property tests
 //!   ([`generator`]).
 
+// The hom-search and canonicalization kernels run inside budgeted server
+// requests: failures must surface as typed errors (or documented
+// assertions), never stray unwraps.  Tests are exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod adjacency;
 pub mod canon;
 pub mod components;
@@ -38,9 +46,9 @@ pub use components::{connected_components, is_connected};
 pub use expr::StructureExpr;
 pub use generator::StructureGenerator;
 pub use hom::{
-    hom_cache_stats, hom_count, hom_count_cached, hom_count_factored, hom_enumerate, hom_exists,
-    injective_hom_exists, injective_probe_count, with_shared_caches, CacheStats, Homomorphism,
-    SharedCaches,
+    hom_cache_stats, hom_count, hom_count_cached, hom_count_cached_gas, hom_count_factored,
+    hom_count_gas, hom_enumerate, hom_exists, hom_exists_gas, injective_hom_exists,
+    injective_probe_count, with_shared_caches, CacheStats, Homomorphism, SharedCaches,
 };
 pub use iso::{
     dedup_up_to_iso, dedup_up_to_iso_refs, isomorphic, multiplicities, BasisIndex, IsoClassKey,

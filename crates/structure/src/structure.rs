@@ -155,6 +155,9 @@ impl Structure {
     }
 
     /// Add a fact; panics if the relation is unknown or the arity is wrong.
+    // The panic is this constructor's documented contract for malformed
+    // input; schema-checked callers (the parser) validate first.
+    #[allow(clippy::panic)]
     pub fn add_fact(&mut self, fact: Fact) {
         let rel = self
             .rel_id(&fact.relation)

@@ -34,12 +34,19 @@
 //!     Theorem 2 reduction: monomials like `+2:x^1,y^1` or `-12:`; searches
 //!     for a solution with unknowns ≤ bound and reports the refutation.
 //!
-//! cqdet serve [--tcp ADDR]
+//! cqdet serve [--tcp ADDR] [--fuel-steps N] [--fuel-bytes N]
 //!     The long-lived JSON-lines server.  Default transport is
 //!     stdin/stdout; `--tcp 127.0.0.1:4199` serves concurrent connections
 //!     over TCP with shared cross-connection caches (`--tcp 127.0.0.1:0`
-//!     picks an ephemeral port, reported on stdout).  See README.md for the
-//!     protocol (request/response schema, error taxonomy, deadlines).
+//!     picks an ephemeral port, reported on stdout).  `--fuel-steps` /
+//!     `--fuel-bytes` install a default fuel budget applied to every
+//!     request without a `budget` member of its own.  See README.md for
+//!     the protocol (request/response schema, error taxonomy, deadlines).
+//!
+//! cqdet stats --tcp ADDR
+//!     Query a running `cqdet serve --tcp` instance for its session cache
+//!     counters, request count and robustness counters (timeouts, contained
+//!     panics, shed connections, …); prints the stats response JSON.
 //! ```
 //!
 //! Parse failures are rendered with the offending line and a caret:
@@ -66,6 +73,7 @@ fn main() -> ExitCode {
         Some("path") => cmd_path(&args[1..]),
         Some("hilbert") => cmd_hilbert(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -90,7 +98,8 @@ fn print_usage() {
     println!("  cqdet bench   <tasks.cqb> [--repeat N]");
     println!("  cqdet path    <query-word> <view-word>...");
     println!("  cqdet hilbert <bound> <coeff:var^deg,...>...");
-    println!("  cqdet serve   [--tcp ADDR]");
+    println!("  cqdet serve   [--tcp ADDR] [--fuel-steps N] [--fuel-bytes N]");
+    println!("  cqdet stats   --tcp ADDR");
     println!();
     println!("Batch task files define boolean CQs (one per line, shared by all");
     println!("tasks) plus task lines `task <id>: <query> <- <view> <view> ...`");
@@ -123,6 +132,8 @@ struct Flags {
     quiet: bool,
     repeat: usize,
     tcp: Option<String>,
+    fuel_steps: Option<u64>,
+    fuel_bytes: Option<u64>,
 }
 
 /// Parse one positional path plus the flags in `allowed`; any other
@@ -139,6 +150,8 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
         quiet: false,
         repeat: 1,
         tcp: None,
+        fuel_steps: None,
+        fuel_bytes: None,
     };
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -159,6 +172,22 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
             "--quiet" => flags.quiet = true,
             "--tcp" => {
                 flags.tcp = Some(iter.next().ok_or("--tcp needs an address")?.clone());
+            }
+            "--fuel-steps" => {
+                flags.fuel_steps = Some(
+                    iter.next()
+                        .ok_or("--fuel-steps needs a value")?
+                        .parse()
+                        .map_err(|_| "--fuel-steps must be a non-negative integer")?,
+                );
+            }
+            "--fuel-bytes" => {
+                flags.fuel_bytes = Some(
+                    iter.next()
+                        .ok_or("--fuel-bytes needs a value")?
+                        .parse()
+                        .map_err(|_| "--fuel-bytes must be a non-negative integer")?,
+                );
             }
             "--repeat" => {
                 flags.repeat = iter
@@ -188,6 +217,7 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
     let response = engine.submit(Request {
         id: "cli".to_string(),
         deadline_ms: None,
+        budget: None,
         kind: RequestKind::Decide {
             program: program.clone(),
             query: flags.query_name.clone(),
@@ -273,6 +303,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let response = engine.submit(Request {
         id: "cli".to_string(),
         deadline_ms: None,
+        budget: None,
         kind: RequestKind::Batch {
             tasks: tasks_text.clone(),
             witnesses: !flags.no_witness,
@@ -334,6 +365,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let response = engine.submit(Request {
         id: "cli".to_string(),
         deadline_ms: None,
+        budget: None,
         kind: RequestKind::Explain {
             program: program.clone(),
             query: flags.query_name.clone(),
@@ -377,6 +409,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let response = engine.submit(Request {
             id: "bench".to_string(),
             deadline_ms: None,
+            budget: None,
             kind: RequestKind::Batch {
                 tasks: tasks_text.clone(),
                 witnesses: false,
@@ -424,6 +457,7 @@ fn cmd_path(args: &[String]) -> Result<(), String> {
     let response = engine.submit(Request {
         id: "cli".to_string(),
         deadline_ms: None,
+        budget: None,
         kind: RequestKind::Path {
             query: query.clone(),
             views: views.to_vec(),
@@ -479,6 +513,7 @@ fn cmd_hilbert(args: &[String]) -> Result<(), String> {
     let response = engine.submit(Request {
         id: "cli".to_string(),
         deadline_ms: None,
+        budget: None,
         kind: RequestKind::Hilbert {
             bound,
             monomials: monomials.to_vec(),
@@ -513,13 +548,19 @@ fn cmd_hilbert(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["--tcp"])?;
+    let flags = parse_flags(args, &["--tcp", "--fuel-steps", "--fuel-bytes"])?;
     if let Some(extra) = &flags.path {
         return Err(format!(
             "serve takes no positional argument (got {extra:?})"
         ));
     }
+    let default_budget =
+        (flags.fuel_steps.is_some() || flags.fuel_bytes.is_some()).then_some(BudgetSpec {
+            steps: flags.fuel_steps,
+            bytes: flags.fuel_bytes,
+        });
     let engine = Engine::new();
+    engine.set_default_budget(default_budget);
     match &flags.tcp {
         None => {
             let stdin = std::io::stdin();
@@ -530,7 +571,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some(addr) => {
-            let served = serve_tcp(&engine, addr, &ServeOptions::default(), |bound| {
+            let options = ServeOptions {
+                default_budget,
+                ..ServeOptions::default()
+            };
+            let served = serve_tcp(&engine, addr, &options, |bound| {
                 // The ready line is machine-readable so tests and tooling can
                 // discover an ephemeral port.
                 println!("{{\"type\":\"serving\",\"addr\":\"{bound}\"}}");
@@ -541,6 +586,35 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--tcp"])?;
+    if let Some(extra) = &flags.path {
+        return Err(format!(
+            "stats takes no positional argument (got {extra:?})"
+        ));
+    }
+    let addr = flags
+        .tcp
+        .as_deref()
+        .ok_or("stats needs --tcp ADDR (the address of a running `cqdet serve --tcp`)")?;
+    use std::io::BufRead as _;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .write_all(b"{\"id\":\"cli\",\"type\":\"stats\"}\n")
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot send stats request to {addr}: {e}"))?;
+    let mut line = String::new();
+    std::io::BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("no stats response from {addr}: {e}"))?;
+    if line.trim().is_empty() {
+        return Err(format!("{addr} closed the connection without a response"));
+    }
+    print!("{line}");
+    Ok(())
 }
 
 #[cfg(test)]

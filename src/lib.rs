@@ -102,6 +102,7 @@
 //! let response = engine.submit(Request {
 //!     id: "r1".into(),
 //!     deadline_ms: Some(5_000),
+//!     budget: None,
 //!     kind: RequestKind::Decide {
 //!         program: "v1() :- R(x,y)\nv2() :- R(x,y), R(y,z)\nq() :- R(x,y), R(u,w)".into(),
 //!         query: "q".into(),
@@ -118,6 +119,7 @@
 //! let bad = engine.submit(Request {
 //!     id: "r2".into(),
 //!     deadline_ms: None,
+//!     budget: None,
 //!     kind: RequestKind::Decide {
 //!         program: "q() : R(x,y)".into(),
 //!         query: "q".into(),
@@ -175,7 +177,7 @@ pub mod prelude {
     pub use cqdet_linalg::{QMat, QVec, Rat};
     pub use cqdet_parallel::CancelToken;
     pub use cqdet_query::{parse_queries, parse_query, ConjunctiveQuery, PathQuery, UnionQuery};
-    pub use cqdet_service::{CqdetError, Engine, Request, RequestKind, Response};
+    pub use cqdet_service::{BudgetSpec, CqdetError, Engine, Request, RequestKind, Response};
     pub use cqdet_structure::{Schema, Structure};
 }
 

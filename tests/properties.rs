@@ -145,3 +145,149 @@ proptest! {
         prop_assert_eq!(decide_bag_determinacy(&dup, &q).unwrap().determined, base);
     }
 }
+
+/// The clique program the fuel tests lean on: hom(K8, K7) is empty (no
+/// proper 7-colouring of K8) but the backtracking search visits >10k
+/// candidate extensions before it can say so, so any step limit below the
+/// full search cost trips mid-search — at a step count that varies with
+/// the limit.
+fn clique_program() -> String {
+    fn clique(name: &str, n: usize) -> String {
+        let atoms: Vec<String> = (0..n)
+            .flat_map(|i| {
+                (0..n)
+                    .filter(move |&j| j != i)
+                    .map(move |j| format!("R(x{i},x{j})"))
+            })
+            .collect();
+        format!("{name}() :- {}", atoms.join(", "))
+    }
+    format!("{}\n{}", clique("v", 8), clique("q", 7))
+}
+
+fn decide_request(id: &str, budget: Option<BudgetSpec>, deadline_ms: Option<u64>) -> Request {
+    Request {
+        id: id.into(),
+        deadline_ms,
+        budget,
+        kind: RequestKind::Decide {
+            program: clique_program(),
+            query: "q".into(),
+            witness: false,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fuel governance: a step budget expiring at an *arbitrary* point of
+    /// the pipeline surfaces as a typed `resource_exhausted` error (never a
+    /// panic, never a wrong answer), and the session caches stay usable —
+    /// the same engine then completes the instance unmetered with the
+    /// correct answer.
+    #[test]
+    fn fuel_expiry_at_arbitrary_step_is_typed_and_caches_survive(limit in 1u64..20_000) {
+        let engine = Engine::new();
+        let spec = BudgetSpec { steps: Some(limit), bytes: None };
+        match engine.submit(decide_request("metered", Some(spec), None)) {
+            // A generous limit lets the search finish: the answer must be
+            // the true one.
+            Response::Decide { record, .. } => {
+                prop_assert_eq!(record.status, TaskStatus::NotDetermined);
+            }
+            // A tiny limit trips the meter: the error must be typed and
+            // carry an honest ledger.
+            Response::Error { error, .. } => {
+                prop_assert_eq!(error.code(), "resource_exhausted");
+                let CqdetError::ResourceExhausted { spent, limit: reported, .. } = error else {
+                    prop_assert!(false, "resource_exhausted code with a different variant");
+                    unreachable!()
+                };
+                prop_assert_eq!(reported, Some(limit));
+                prop_assert!(
+                    spent.unwrap_or(0) >= limit,
+                    "exhaustion must charge at least the limit"
+                );
+                prop_assert!(engine.counters().fuel_exhausted >= 1);
+            }
+            other => prop_assert!(false, "unexpected response: {other:?}"),
+        }
+        // The interrupted search must not have poisoned the caches.
+        let after = engine.submit(decide_request("after", None, None));
+        let Response::Decide { record, .. } = after else {
+            prop_assert!(false, "unmetered retry failed: {after:?}");
+            unreachable!()
+        };
+        prop_assert_eq!(record.status, TaskStatus::NotDetermined);
+        prop_assert!(record.verified != Some(false), "certificate re-verification failed");
+    }
+
+    /// Fuel inside the tiered span solver: a step budget expiring at an
+    /// arbitrary row operation of the modular prescreen or the exact
+    /// elimination surfaces as a typed `Interrupt` — never a panic, never a
+    /// wrong in-span/out-of-span verdict — and the unmetered retry on the
+    /// same inputs gives the true answer.
+    #[test]
+    fn span_solver_fuel_expiry_is_typed_never_wrong(
+        limit in 1u64..200_000,
+        seed in 0u64..1000,
+        big in any::<bool>(),
+    ) {
+        use cqdet::linalg::span_coefficients_gas;
+        use cqdet::parallel::{Budget, Gas};
+        let (k, n, bits) = if big { (48, 12, 256) } else { (24, 8, 64) };
+        let (generators, in_span, outside) = cqdet_bench::span_workload(k, n, bits, seed);
+        let budget = Budget::with_limits(Some(limit), None);
+        for (target, expected_in_span) in [(&in_span, true), (&outside, false)] {
+            let mut gas = Gas::new(&CancelToken::none(), &budget, "span");
+            match span_coefficients_gas(&generators, target, &mut gas) {
+                // Finished under budget: the verdict must be the true one.
+                Ok(alpha) => prop_assert_eq!(alpha.is_some(), expected_in_span),
+                // Interrupted mid-elimination: typed, with an honest ledger.
+                Err(interrupt) => {
+                    let msg = interrupt.to_string();
+                    prop_assert!(msg.contains("steps"), "untyped interrupt: {msg}");
+                }
+            }
+            // The meter never corrupts the answer for a fresh, unmetered run.
+            prop_assert_eq!(
+                cqdet::linalg::span_coefficients(&generators, target).is_some(),
+                expected_in_span
+            );
+        }
+    }
+
+    /// Deadline governance: an already-expired deadline surfaces as a typed
+    /// `deadline` error naming the pipeline stage that observed it, and the
+    /// engine keeps serving afterwards.
+    #[test]
+    fn expired_deadline_is_typed_and_engine_keeps_serving(deadline in 0u64..2) {
+        let engine = Engine::new();
+        let response = engine.submit(decide_request("metered", None, Some(deadline)));
+        match response {
+            // 1 ms can be enough on a fast machine; the answer must then be
+            // the true one.
+            Response::Decide { record, .. } => {
+                prop_assert_eq!(record.status, TaskStatus::NotDetermined);
+            }
+            Response::Error { error, .. } => {
+                prop_assert_eq!(error.code(), "deadline");
+                let CqdetError::Deadline { ref stage } = error else {
+                    prop_assert!(false, "deadline code with a different variant");
+                    unreachable!()
+                };
+                prop_assert!(!stage.is_empty(), "deadline error must name its stage");
+                prop_assert!(engine.counters().timeouts >= 1);
+            }
+            other => prop_assert!(false, "unexpected response: {other:?}"),
+        }
+        let after = engine.submit(decide_request("after", None, None));
+        let Response::Decide { record, .. } = after else {
+            prop_assert!(false, "retry after deadline failed: {after:?}");
+            unreachable!()
+        };
+        prop_assert_eq!(record.status, TaskStatus::NotDetermined);
+        prop_assert!(record.verified != Some(false), "certificate re-verification failed");
+    }
+}

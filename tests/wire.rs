@@ -125,6 +125,7 @@ fn every_emitted_record_round_trips_and_reverifies() {
     let response = engine.submit(Request {
         id: "wire".into(),
         deadline_ms: None,
+        budget: None,
         kind: RequestKind::Batch {
             tasks: golden("mixed.cqb"),
             witnesses: true,
@@ -156,6 +157,7 @@ fn decide_response_envelope_round_trips() {
     let response = engine.submit(Request {
         id: "env".into(),
         deadline_ms: None,
+        budget: None,
         kind: RequestKind::Decide {
             program: golden("warehouse.cq"),
             query: "q".into(),
