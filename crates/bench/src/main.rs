@@ -5,8 +5,15 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p cqdet-bench -- [--json FILE] [--quick]
+//! cargo run --release -p cqdet-bench -- [--json FILE] [--quick] [--only FAMILIES]
 //! ```
+//!
+//! `--only` takes a comma-separated list of workload families (`hom`,
+//! `decide`, `batch`, `serve`, `linalg`, `dedup`) and skips the rest — CI
+//! uses it to smoke the two kernel families in one release run.  Every JSON
+//! row carries a `label` field (the `CQDET_BENCH_LABEL` env var if set, else
+//! the current git commit) so baselines in `BENCH_hom.json` stay
+//! attributable across PRs.
 //!
 //! Every hom measurement runs on both homomorphism engines in the same
 //! process: the interned flat-index engine (`hom_count`) and the retained
@@ -32,9 +39,20 @@ struct Harness {
     json_path: Option<String>,
     samples: usize,
     min_iters: u64,
+    /// Provenance stamp written into every JSON row.
+    label: String,
+    /// `--only` family filter; `None` runs everything.
+    families: Option<Vec<String>>,
 }
 
 impl Harness {
+    /// Whether the `--only` filter admits workload family `family`.
+    fn family_enabled(&self, family: &str) -> bool {
+        self.families
+            .as_ref()
+            .is_none_or(|fs| fs.iter().any(|f| f == family))
+    }
+
     /// Time `f`, printing mean per-iteration time and appending a JSON line.
     fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
         // Warm up and size the batch so one sample lasts ≥ ~20ms.
@@ -61,8 +79,8 @@ impl Harness {
         );
         if let Some(path) = &self.json_path {
             let line = format!(
-                "{{\"benchmark\":\"{name}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{},\"iters_per_sample\":{iters}}}\n",
-                self.samples
+                "{{\"benchmark\":\"{name}\",\"label\":\"{}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{},\"iters_per_sample\":{iters}}}\n",
+                self.label, self.samples
             );
             let mut fh = std::fs::OpenOptions::new()
                 .create(true)
@@ -86,17 +104,61 @@ fn ns(v: f64) -> String {
     }
 }
 
+/// Provenance label for JSON rows: `CQDET_BENCH_LABEL` if set, else the
+/// current git commit (short), else `"unknown"`.  Quotes/backslashes are
+/// stripped so the label can be embedded in a JSON string verbatim.
+fn bench_label() -> String {
+    let raw = std::env::var("CQDET_BENCH_LABEL").ok().or_else(|| {
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    });
+    raw.map(|s| {
+        s.trim()
+            .chars()
+            .filter(|c| !matches!(c, '"' | '\\'))
+            .collect::<String>()
+    })
+    .filter(|s| !s.is_empty())
+    .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path = None;
     let mut quick = false;
+    let mut families: Option<Vec<String>> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--json" => json_path = iter.next().cloned(),
             "--quick" => quick = true,
+            "--only" => {
+                let Some(list) = iter.next() else {
+                    eprintln!("--only requires a comma-separated family list");
+                    std::process::exit(2);
+                };
+                let fs: Vec<String> = list
+                    .split(',')
+                    .map(|f| f.trim().to_string())
+                    .filter(|f| !f.is_empty())
+                    .collect();
+                const KNOWN: [&str; 6] = ["hom", "decide", "batch", "serve", "linalg", "dedup"];
+                for f in &fs {
+                    if !KNOWN.contains(&f.as_str()) {
+                        eprintln!("unknown family {f:?}; known: {}", KNOWN.join(", "));
+                        std::process::exit(2);
+                    }
+                }
+                families = Some(fs);
+            }
             other => {
-                eprintln!("unknown argument {other:?}; usage: cqdet-bench [--json FILE] [--quick]");
+                eprintln!(
+                    "unknown argument {other:?}; usage: cqdet-bench [--json FILE] [--quick] [--only FAMILIES]"
+                );
                 std::process::exit(2);
             }
         }
@@ -117,6 +179,8 @@ fn main() {
         json_path,
         samples: if quick { 3 } else { 10 },
         min_iters: 1,
+        label: bench_label(),
+        families,
     };
     let engine = if std::env::var("CQDET_NAIVE_HOM").as_deref() == Ok("1") {
         "naive"
@@ -128,34 +192,38 @@ fn main() {
     // HOM: the acceptance workload — domain 16, 40 facts — plus a sweep.
     // Both engines measured in-process: `hom/flat/...` is the interned
     // flat-index engine, `hom/naive/...` the retained BTreeMap reference.
-    let source = hom_source();
-    for (dom, facts) in [(8usize, 24usize), (16, 40), (16, 48), (32, 96)] {
-        let target = hom_target(dom, facts, 0xBEEF + dom as u64);
-        // Sanity: engines agree before we publish numbers for them.
-        assert_eq!(
-            hom::reference::hom_count(&source, &target),
-            cqdet_structure::hom_count(&source, &target),
-            "engines disagree on dom={dom} facts={facts}"
-        );
-        h.bench(&format!("hom/flat/{dom}x{facts}"), || {
-            cqdet_structure::hom_count(&source, &target)
-        });
-        h.bench(&format!("hom/factored/{dom}x{facts}"), || {
-            cqdet_structure::hom_count_factored(&source, &target)
-        });
-        h.bench(&format!("hom/naive/{dom}x{facts}"), || {
-            hom::reference::hom_count(&source, &target)
-        });
+    if h.family_enabled("hom") {
+        let source = hom_source();
+        for (dom, facts) in [(8usize, 24usize), (16, 40), (16, 48), (32, 96)] {
+            let target = hom_target(dom, facts, 0xBEEF + dom as u64);
+            // Sanity: engines agree before we publish numbers for them.
+            assert_eq!(
+                hom::reference::hom_count(&source, &target),
+                cqdet_structure::hom_count(&source, &target),
+                "engines disagree on dom={dom} facts={facts}"
+            );
+            h.bench(&format!("hom/flat/{dom}x{facts}"), || {
+                cqdet_structure::hom_count(&source, &target)
+            });
+            h.bench(&format!("hom/factored/{dom}x{facts}"), || {
+                cqdet_structure::hom_count_factored(&source, &target)
+            });
+            h.bench(&format!("hom/naive/{dom}x{facts}"), || {
+                hom::reference::hom_count(&source, &target)
+            });
+        }
     }
 
     // DECIDE: the acceptance workload — 16 views × 4 atoms — plus a sweep.
-    for (views, atoms) in [(4usize, 3usize), (16, 4), (32, 3)] {
-        for planted in [true, false] {
-            let (v, q) = decide_workload(views, atoms, planted, 0xC0DE + views as u64);
-            let label = if planted { "planted" } else { "independent" };
-            h.bench(&format!("decide/{label}/{views}x{atoms}"), || {
-                decide_bag_determinacy(&v, &q).unwrap().determined
-            });
+    if h.family_enabled("decide") {
+        for (views, atoms) in [(4usize, 3usize), (16, 4), (32, 3)] {
+            for planted in [true, false] {
+                let (v, q) = decide_workload(views, atoms, planted, 0xC0DE + views as u64);
+                let label = if planted { "planted" } else { "independent" };
+                h.bench(&format!("decide/{label}/{views}x{atoms}"), || {
+                    decide_bag_determinacy(&v, &q).unwrap().determined
+                });
+            }
         }
     }
 
@@ -166,11 +234,13 @@ fn main() {
     } else {
         DECIDE_MANY_VIEW_COUNTS
     };
-    for &views in many_view_counts {
-        let (v, q) = decide_workload(views, 3, true, 0xD15C + views as u64);
-        h.bench(&format!("decide/many-views/{views}x3"), || {
-            decide_bag_determinacy(&v, &q).unwrap().determined
-        });
+    if h.family_enabled("decide") {
+        for &views in many_view_counts {
+            let (v, q) = decide_workload(views, 3, true, 0xD15C + views as u64);
+            h.bench(&format!("decide/many-views/{views}x3"), || {
+                decide_bag_determinacy(&v, &q).unwrap().determined
+            });
+        }
     }
     // BATCH: many tasks sharing one view pool — the cross-request cache
     // regime of the batch engine (§BATCH).  `fresh` runs one-shot
@@ -184,6 +254,9 @@ fn main() {
         BATCH_TASK_COUNTS
     };
     for &num_tasks in batch_task_counts {
+        if !h.family_enabled("batch") {
+            break;
+        }
         let tasks = batch_workload(num_tasks, BATCH_SHARED_VIEWS, 0xBA7C + num_tasks as u64);
         // Sanity: the two paths agree before we publish numbers for them.
         {
@@ -251,6 +324,9 @@ fn main() {
         SERVE_TASK_COUNTS
     };
     for &num_tasks in serve_task_counts {
+        if !h.family_enabled("serve") {
+            break;
+        }
         let tasks = serve_workload(num_tasks, 0x5E4E + num_tasks as u64);
         let line = serve_request_line(&tasks);
         // Sanity: both paths agree before we publish numbers for them.
@@ -319,6 +395,9 @@ fn main() {
     // exact elimination with content normalization + smallest-pivot
     // selection.
     for &(k, n, bits) in LINALG_SPAN_SHAPES {
+        if !h.family_enabled("linalg") {
+            break;
+        }
         let (gens, inside, outside) = span_workload(k, n, bits, span_workload_seed(bits));
         // Sanity before publishing numbers: the tiered answers are exactly
         // verified internally, and on the word-size shape the pure-Rat
@@ -353,6 +432,9 @@ fn main() {
     // the first iteration and measure only hash lookups, not the
     // canonization the kernel pays on fresh components.
     for &views in many_view_counts {
+        if !h.family_enabled("dedup") {
+            break;
+        }
         let comps = dedup_components_workload(views, 0xD15C + views as u64);
         h.bench(&format!("dedup/components/{views}"), || {
             let fresh: Vec<_> = comps.iter().map(|s| s.map_constants(|c| c)).collect();

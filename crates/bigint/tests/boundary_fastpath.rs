@@ -40,9 +40,9 @@ fn add_sub_mul_agree_with_u128_at_the_boundary() {
             if let Some(prod) = a.checked_mul(b) {
                 assert_eq!(na.mul_ref(&nb).to_u128(), Some(prod), "{a} * {b}");
             }
-            if b != 0 {
+            if let Some(quot) = a.checked_div(b) {
                 let (q, r) = na.divrem(&nb);
-                assert_eq!(q.to_u128(), Some(a / b), "{a} / {b}");
+                assert_eq!(q.to_u128(), Some(quot), "{a} / {b}");
                 assert_eq!(r.to_u128(), Some(a % b), "{a} % {b}");
             }
         }

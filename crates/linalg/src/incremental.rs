@@ -56,7 +56,7 @@ fn axpy(acc: &mut Vec<Rat>, f: &Rat, src: &[Rat]) {
     }
     for (a, s) in acc.iter_mut().zip(src) {
         if !s.is_zero() {
-            *a = a.add_ref(&f.mul_ref(s));
+            *a = a.add_mul_ref(f, s);
         }
     }
 }
@@ -66,7 +66,7 @@ fn axpy(acc: &mut Vec<Rat>, f: &Rat, src: &[Rat]) {
 fn sub_scaled(vec: &mut QVec, f: &Rat, src: &QVec) {
     for (t, s) in vec.0.iter_mut().zip(src.0.iter()) {
         if !s.is_zero() {
-            *t = t.sub_ref(&f.mul_ref(s));
+            *t = t.sub_mul_ref(f, s);
         }
     }
 }

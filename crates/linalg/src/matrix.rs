@@ -238,7 +238,7 @@ impl QMat {
                 gas.steps((pivot.len() - col) as u64)?;
                 for j in col..pivot.len() {
                     if !pivot[j].is_zero() {
-                        target[j] = target[j].sub_ref(&factor.mul_ref(&pivot[j]));
+                        target[j] = target[j].sub_mul_ref(&factor, &pivot[j]);
                     }
                 }
             }
@@ -355,7 +355,7 @@ impl QMat {
                 let factor = target[col].mul_ref(&inv);
                 for j in col..n {
                     if !pivot_row[j].is_zero() {
-                        target[j] = target[j].sub_ref(&factor.mul_ref(&pivot_row[j]));
+                        target[j] = target[j].sub_mul_ref(&factor, &pivot_row[j]);
                     }
                 }
             }
@@ -689,7 +689,7 @@ mod tests {
         let coeffs = span_coefficients(&[v1.clone(), v2.clone()], &q).unwrap();
         assert_eq!(coeffs, v(&[3, -1]));
         // Not in span.
-        assert!(!span_contains(&[v1.clone()], &q));
+        assert!(!span_contains(std::slice::from_ref(&v1), &q));
         // Empty span contains only zero.
         assert!(span_contains(&[], &v(&[0, 0])));
         assert!(!span_contains(&[], &v(&[0, 1])));

@@ -30,6 +30,7 @@ use crate::rat::Rat;
 use crate::vector::{dot, QVec};
 use cqdet_bigint::Int;
 use cqdet_parallel::{Gas, Interrupt};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 /// Whether the `CQDET_EXACT_LINALG=1` escape hatch is active (checked once
@@ -259,6 +260,155 @@ impl PrimeField {
     }
 }
 
+// ---- dual-prime lanes -------------------------------------------------------
+
+/// Whether the `CQDET_SEQUENTIAL_LANES=1` escape hatch is active (checked
+/// once): run the dual-prime elimination as two sequential per-lane passes —
+/// the shape the engine shipped with before the interleaved rewrite — kept
+/// as the differential-testing oracle of the lane kernel.
+fn sequential_lanes_env() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var("CQDET_SEQUENTIAL_LANES")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+/// Process-wide programmatic override of the sequential-lane hatch, for
+/// tests that must exercise both kernels inside one process (the env flag
+/// is latched on first use).  Tests using it run in their own
+/// integration-test binary so the global cannot race with unrelated tests.
+static FORCE_SEQUENTIAL: AtomicBool = AtomicBool::new(false);
+
+/// Force (or stop forcing) the sequential per-lane elimination, regardless
+/// of the `CQDET_SEQUENTIAL_LANES` environment flag.  Test-only knob.
+#[doc(hidden)]
+pub fn force_sequential_lanes(on: bool) {
+    FORCE_SEQUENTIAL.store(on, Ordering::SeqCst);
+}
+
+/// Whether the sequential oracle kernel is selected (env hatch or override).
+fn sequential_lanes_active() -> bool {
+    FORCE_SEQUENTIAL.load(Ordering::SeqCst) || sequential_lanes_env()
+}
+
+/// The two solver primes' Montgomery arithmetic over `[u64; 2]` lanes: each
+/// operation performs both primes' reductions in adjacent lanes, so one
+/// Gauss–Jordan pass eliminates modulo both primes at once (instead of two
+/// sequential single-prime eliminations), and the straight-line two-lane
+/// bodies vectorize.
+#[derive(Clone, Copy)]
+struct DualField {
+    f: [PrimeField; 2],
+}
+
+impl DualField {
+    #[inline]
+    fn mul(&self, a: [u64; 2], b: [u64; 2]) -> [u64; 2] {
+        [self.f[0].mul(a[0], b[0]), self.f[1].mul(a[1], b[1])]
+    }
+
+    #[inline]
+    fn sub(&self, a: [u64; 2], b: [u64; 2]) -> [u64; 2] {
+        [self.f[0].sub(a[0], b[0]), self.f[1].sub(a[1], b[1])]
+    }
+}
+
+/// Both solver primes' fully reduced copies of the system, interleaved in
+/// `[u64; 2]` lanes.  Lane 0 always holds a good prime (the driver);
+/// `lane1_ok` records whether lane 1's prime divides no denominator — when
+/// it does, lane 1 carries zeros and only lane 0 is meaningful.
+struct DualSystem {
+    dual: DualField,
+    cols: Vec<Vec<[u64; 2]>>,
+    b: Vec<[u64; 2]>,
+    lane1_ok: bool,
+}
+
+/// Reduce every entry of the system mod both solver primes in one limb walk
+/// per entry ([`cqdet_bigint::Nat::mod_pair_u64`]).  A prime dividing some
+/// (reduced) denominator is *bad*: its lane is zeroed and flagged.  When the
+/// first prime is bad the lanes are swapped so lane 0 still drives; `None`
+/// when both primes are bad.
+fn reduce_system_dual(
+    fields: [PrimeField; 2],
+    vectors: &[QVec],
+    target: &QVec,
+) -> Option<DualSystem> {
+    let ps = [fields[0].prime(), fields[1].prime()];
+    let mut ok = [true, true];
+    let mut pair = |r: &Rat| -> [u64; 2] {
+        let den = r.denom().mod_pair_u64(ps);
+        let num = r.numer().magnitude().mod_pair_u64(ps);
+        let mut out = [0u64; 2];
+        for l in 0..2 {
+            if !ok[l] {
+                continue;
+            }
+            if den[l] == 0 {
+                ok[l] = false;
+                continue;
+            }
+            let f = &fields[l];
+            let mut n = num[l];
+            if r.numer().is_negative() && n != 0 {
+                n = ps[l] - n;
+            }
+            let n = f.to_mont(n);
+            out[l] = if den[l] == 1 {
+                n
+            } else {
+                f.mul(n, f.inv(f.to_mont(den[l])))
+            };
+        }
+        out
+    };
+    let mut cols: Vec<Vec<[u64; 2]>> = vectors
+        .iter()
+        .map(|v| v.iter().map(&mut pair).collect())
+        .collect();
+    let mut b: Vec<[u64; 2]> = target.iter().map(&mut pair).collect();
+    let mut fields = fields;
+    if !ok[0] {
+        if !ok[1] {
+            return None;
+        }
+        // Swap lanes so the good prime drives; entries reduced before the
+        // bad denominator was hit carry stale lane-0 values, so re-zero.
+        fields.swap(0, 1);
+        for e in cols.iter_mut().flatten().chain(b.iter_mut()) {
+            *e = [e[1], 0];
+        }
+        ok = [true, false];
+    } else if !ok[1] {
+        for e in cols.iter_mut().flatten().chain(b.iter_mut()) {
+            e[1] = 0;
+        }
+    }
+    Some(DualSystem {
+        dual: DualField { f: fields },
+        cols,
+        b,
+        lane1_ok: ok[1],
+    })
+}
+
+/// Extract one lane of a [`DualSystem`] as a single-prime system (for the
+/// certificate path, which lifts per-prime certificates and cannot ride the
+/// shared-pivot dual elimination).
+fn lane_system(sys: &DualSystem, lane: usize) -> ReducedSystem {
+    ReducedSystem {
+        field: sys.dual.f[lane],
+        cols: sys
+            .cols
+            .iter()
+            .map(|c| c.iter().map(|e| e[lane]).collect())
+            .collect(),
+        b: sys.b.iter().map(|e| e[lane]).collect(),
+    }
+}
+
 // ---- mod-p elimination ------------------------------------------------------
 
 /// The outcome of one Gauss–Jordan elimination of `[A | b⃗ | I]` over `ℤ/p`.
@@ -267,8 +417,6 @@ struct ZpElimination {
     /// rank profile's independent set: independence mod p implies
     /// independence over ℚ).
     pivot_cols: Vec<usize>,
-    /// Original row indices of the pivot rows, in pivot order.
-    pivot_rows: Vec<usize>,
     /// A solution of `A·x⃗ = b⃗` mod p (Montgomery residues, zero on free
     /// columns) when the system is consistent mod p.
     solution: Option<Vec<u64>>,
@@ -313,7 +461,6 @@ fn eliminate_mod_p(
         .collect();
     let mut orig: Vec<usize> = (0..k).collect();
     let mut pivot_cols = Vec::new();
-    let mut pivot_rows = Vec::new();
     let mut pr = 0usize;
     for col in 0..n {
         if pr >= k {
@@ -344,7 +491,6 @@ fn eliminate_mod_p(
             }
         }
         pivot_cols.push(col);
-        pivot_rows.push(orig[pr]);
         pr += 1;
     }
     gas.flush()?;
@@ -355,7 +501,6 @@ fn eliminate_mod_p(
             // when it was carried.
             return Ok(ZpElimination {
                 pivot_cols,
-                pivot_rows,
                 solution: None,
                 certificate: with_certificate.then(|| row[n + 1..].to_vec()),
             });
@@ -367,7 +512,6 @@ fn eliminate_mod_p(
     }
     Ok(ZpElimination {
         pivot_cols,
-        pivot_rows,
         solution: Some(x),
         certificate: None,
     })
@@ -383,6 +527,152 @@ fn row_pair(rows: &mut [Vec<u64>], src: usize, dst: usize) -> (&[u64], &mut [u64
         let (head, tail) = rows.split_at_mut(src);
         (&tail[0], &mut head[dst])
     }
+}
+
+/// Disjoint `(pivot, target)` row borrows over `[u64; 2]`-lane rows.
+fn row_pair_dual(
+    rows: &mut [Vec<[u64; 2]>],
+    src: usize,
+    dst: usize,
+) -> (&[[u64; 2]], &mut [[u64; 2]]) {
+    debug_assert_ne!(src, dst);
+    if src < dst {
+        let (head, tail) = rows.split_at_mut(dst);
+        (&head[src], &mut tail[0])
+    } else {
+        let (head, tail) = rows.split_at_mut(src);
+        (&tail[0], &mut head[dst])
+    }
+}
+
+/// The outcome of one dual-lane Gauss–Jordan elimination of `[A | b⃗]`.
+struct DualElimination {
+    /// Pivot columns — lane 0's mod-p rank profile (lane 0 drives pivoting).
+    pivot_cols: Vec<usize>,
+    /// Original row indices of the pivot rows, in pivot order.
+    pivot_rows: Vec<usize>,
+    /// A solution of `A·x⃗ = b⃗` (Montgomery residues per lane, zero on free
+    /// columns) when the system is consistent mod lane 0's prime.
+    solution: Option<Vec<[u64; 2]>>,
+    /// Whether lane 1's residues are trustworthy: its prime was good, every
+    /// pivot chosen by lane 0 was invertible mod it, and the zero rows were
+    /// consistent in its lane too.  When false, only lane 0 may be used.
+    lane1_ok: bool,
+}
+
+/// Gauss–Jordan elimination of `[A | b⃗]` over both solver primes at once:
+/// pivoting is driven by lane 0, and every row operation updates both lanes
+/// with per-lane factors — so whenever lane 1 survives (`lane1_ok`), both
+/// lanes are in reduced row-echelon form *with the same pivot sequence*, and
+/// the two residue vectors describe the same rational solution (the unique
+/// one supported on the shared rank profile).  That is exactly what CRT
+/// lifting needs, without a second elimination pass over the matrix.
+///
+/// Two kernel shapes compute the identical row-op sequence:
+///
+/// * **interleaved** (default): one pass per row operation, both Montgomery
+///   reductions in adjacent `[u64; 2]` lanes — the auto-vectorizable shape;
+/// * **sequential** (`CQDET_SEQUENTIAL_LANES=1` / [`force_sequential_lanes`]):
+///   two per-lane passes per row operation — the pre-rewrite shape, kept as
+///   the differential oracle.
+///
+/// Gas is charged once per row operation (`2·width` steps — one lane each),
+/// outside the kernel branch, so the two shapes meter identically.
+fn eliminate_mod_dual(sys: &DualSystem, gas: &mut Gas) -> Result<DualElimination, Interrupt> {
+    let k = sys.b.len();
+    let n = sys.cols.len();
+    let width = n + 1;
+    let dual = &sys.dual;
+    let sequential = sequential_lanes_active();
+    let mut rows: Vec<Vec<[u64; 2]>> = (0..k)
+        .map(|i| {
+            let mut row = Vec::with_capacity(width);
+            for c in &sys.cols {
+                row.push(c[i]);
+            }
+            row.push(sys.b[i]);
+            row
+        })
+        .collect();
+    let mut orig: Vec<usize> = (0..k).collect();
+    let mut pivot_cols = Vec::new();
+    let mut pivot_rows = Vec::new();
+    let mut lane1_ok = sys.lane1_ok;
+    let mut pr = 0usize;
+    for col in 0..n {
+        if pr >= k {
+            break;
+        }
+        let Some(sel) = (pr..k).find(|&r| rows[r][col][0] != 0) else {
+            continue;
+        };
+        rows.swap(pr, sel);
+        orig.swap(pr, sel);
+        let pv = rows[pr][col];
+        let inv0 = dual.f[0].inv(pv[0]);
+        let inv1 = if lane1_ok && pv[1] != 0 {
+            dual.f[1].inv(pv[1])
+        } else {
+            // Lane 0's pivot is not invertible mod lane 1's prime: lane 1
+            // cannot follow this pivot sequence.  Keep its lane arithmetic
+            // running (harmless garbage) but never use its residues.
+            lane1_ok = false;
+            dual.f[1].one()
+        };
+        let inv = [inv0, inv1];
+        for x in rows[pr].iter_mut() {
+            *x = dual.mul(*x, inv);
+        }
+        for r in 0..k {
+            let factor = rows[r][col];
+            if r == pr || factor == [0, 0] {
+                continue;
+            }
+            gas.steps(2 * width as u64)?;
+            let (pivot, target) = row_pair_dual(&mut rows, pr, r);
+            if sequential {
+                for (t, p) in target.iter_mut().zip(pivot.iter()) {
+                    t[0] = dual.f[0].sub(t[0], dual.f[0].mul(factor[0], p[0]));
+                }
+                for (t, p) in target.iter_mut().zip(pivot.iter()) {
+                    t[1] = dual.f[1].sub(t[1], dual.f[1].mul(factor[1], p[1]));
+                }
+            } else {
+                for (t, p) in target.iter_mut().zip(pivot.iter()) {
+                    *t = dual.sub(*t, dual.mul(factor, *p));
+                }
+            }
+        }
+        pivot_cols.push(col);
+        pivot_rows.push(orig[pr]);
+        pr += 1;
+    }
+    gas.flush()?;
+    for row in rows.iter().skip(pr) {
+        if row[n][0] != 0 {
+            return Ok(DualElimination {
+                pivot_cols,
+                pivot_rows,
+                solution: None,
+                lane1_ok,
+            });
+        }
+        if row[n][1] != 0 {
+            // Consistent mod lane 0's prime but not mod lane 1's: no
+            // solution supported on the shared profile exists in lane 1.
+            lane1_ok = false;
+        }
+    }
+    let mut x = vec![[0u64; 2]; n];
+    for (i, &c) in pivot_cols.iter().enumerate() {
+        x[c] = rows[i][n];
+    }
+    Ok(DualElimination {
+        pivot_cols,
+        pivot_rows,
+        solution: Some(x),
+        lane1_ok,
+    })
 }
 
 // ---- CRT + rational reconstruction -----------------------------------------
@@ -490,13 +780,53 @@ fn reduce_system(field: PrimeField, vectors: &[QVec], target: &QVec) -> Option<R
 }
 
 /// Exact check of `Σ αⱼ·v⃗ⱼ = target`, row by row with early abort.
+///
+/// The common production case — integer vectors and target (homomorphism
+/// counts), rational coefficients from the Wang lift — takes the integer
+/// fast path: scale the coefficients by the lcm `D` of their denominators
+/// and check `Σ (D·αⱼ)·vⱼᵢ = D·targetᵢ` in pure [`Int`] arithmetic, which
+/// replaces a gcd-normalizing [`Rat`] multiply-add per cell with one bignum
+/// multiply-accumulate.
 fn verify_combination(vectors: &[QVec], target: &QVec, alpha: &[Rat]) -> bool {
     let k = target.dim();
+    if target.iter().all(|r| r.is_integer())
+        && vectors.iter().all(|v| v.iter().all(|r| r.is_integer()))
+    {
+        let mut d = Int::one();
+        for a in alpha {
+            d = d.lcm(&Int::from_nat(a.denom().clone()));
+        }
+        let scaled: Vec<Int> = alpha
+            .iter()
+            .map(|a| {
+                a.numer()
+                    .mul_ref(&d.div_exact(&Int::from_nat(a.denom().clone())))
+            })
+            .collect();
+        let d_is_one = d.is_one();
+        for i in 0..k {
+            let mut acc = Int::zero();
+            for (j, v) in vectors.iter().enumerate() {
+                if !scaled[j].is_zero() && !v[i].is_zero() {
+                    acc = acc.add_ref(&scaled[j].mul_ref(v[i].numer()));
+                }
+            }
+            let mismatch = if d_is_one {
+                acc != *target[i].numer()
+            } else {
+                acc != target[i].numer().mul_ref(&d)
+            };
+            if mismatch {
+                return false;
+            }
+        }
+        return true;
+    }
     for i in 0..k {
         let mut acc = Rat::zero();
         for (j, v) in vectors.iter().enumerate() {
             if !alpha[j].is_zero() && !v[i].is_zero() {
-                acc += &alpha[j].mul_ref(&v[i]);
+                acc = acc.add_mul_ref(&alpha[j], &v[i]);
             }
         }
         if acc != target[i] {
@@ -540,19 +870,19 @@ fn check_prime_agrees(
 
 /// Reconstruct a vector of rationals from one or two primes' residues
 /// (Montgomery form).  `residues` holds per-prime slices aligned with
-/// `systems`; reconstruction is attempted from the first prime alone and
+/// `fields`; reconstruction is attempted from the first prime alone and
 /// widened by CRT when that fails.
-fn reconstruct_vector(systems: &[&ReducedSystem], residues: &[&[u64]]) -> Option<Vec<Rat>> {
+fn reconstruct_vector(fields: &[PrimeField], residues: &[&[u64]]) -> Option<Vec<Rat>> {
     let len = residues[0].len();
     let mut out = Vec::with_capacity(len);
     for (i, &first_residue) in residues[0].iter().enumerate() {
-        let f0 = &systems[0].field;
+        let f0 = &fields[0];
         let a0 = f0.lift(first_residue);
         let single = rat_reconstruct(a0 as u128, f0.prime() as u128);
         let reconstructed = match single {
-            Some((n, d)) if systems.len() == 1 => Some((n, d)),
-            _ if systems.len() >= 2 => {
-                let f1 = &systems[1].field;
+            Some((n, d)) if fields.len() == 1 => Some((n, d)),
+            _ if fields.len() >= 2 => {
+                let f1 = &fields[1];
                 let a1 = f1.lift(residues[1][i]);
                 let m = f0.prime() as u128 * f1.prime() as u128;
                 let u = crt2(a0, f0.prime(), a1, f1.prime());
@@ -611,24 +941,17 @@ pub fn span_solve_gas(
         return Ok(SpanOutcome::Fallback);
     }
 
-    // Reduce the system mod the first good solver prime; the second solver
-    // prime is reduced lazily inside `lift_and_verify`, only on the rare
+    // Reduce the system mod *both* solver primes at once: one limb walk per
+    // entry feeds the two `[u64; 2]` lanes (`Nat::mod_pair_u64`), and the
+    // dual elimination below produces both primes' residues in a single
+    // Gauss–Jordan pass — no lazy second-prime re-elimination on the
     // instances where single-prime reconstruction cannot express the
-    // answer.  The reduction itself is metered per entry: each mod-u64
-    // walks the entry's limbs, so its cost scales with the bit sizes the
-    // byte ledger tracks.
+    // answer.  The reduction is metered per entry and lane, matching the
+    // two per-prime walks it replaces.
     let cells = (target.dim() * (vectors.len() + 1)) as u64;
-    let mut first = None;
-    let mut spare_primes: &[u64] = &[];
-    for (i, &p) in primes().iter().take(2).enumerate() {
-        gas.steps(cells)?;
-        if let Some(sys) = reduce_system(PrimeField::new(p), vectors, target) {
-            first = Some(sys);
-            spare_primes = &primes()[i + 1..2];
-            break;
-        }
-    }
-    let Some(first) = first else {
+    gas.steps(2 * cells)?;
+    let fields = [PrimeField::new(primes()[0]), PrimeField::new(primes()[1])];
+    let Some(sys) = reduce_system_dual(fields, vectors, target) else {
         return Ok(SpanOutcome::Fallback); // every solver prime divides a denominator
     };
 
@@ -636,20 +959,12 @@ pub fn span_solve_gas(
     // outcomes (a solution, or a full-column-rank rejection) never read
     // the left-null certificate, so they should not pay its extra k
     // columns of inner-loop work.
-    let elim = eliminate_mod_p(&first.field, &first.cols, &first.b, false, gas)?;
+    let elim = eliminate_mod_dual(&sys, gas)?;
     match &elim.solution {
         Some(x0) => {
-            // Consistent mod p: lift the candidate coefficients and verify.
-            if let Some(alpha) = lift_and_verify(
-                &first,
-                spare_primes,
-                &elim.pivot_cols,
-                vectors,
-                target,
-                x0,
-                true,
-                gas,
-            )? {
+            // Consistent mod the driving prime: lift the candidate
+            // coefficients (both lanes already solved) and verify.
+            if let Some(alpha) = lift_dual_and_verify(&sys, &elim, x0, vectors, target, gas)? {
                 return Ok(SpanOutcome::Solved(QVec(alpha)));
             }
             // Reconstruction failed: exact elimination on the pruned
@@ -658,7 +973,9 @@ pub fn span_solve_gas(
             // solving them and verifying the candidate on *all* rows is
             // sound; a verification failure means the profile undercounted
             // and the caller runs the full exact elimination.
-            if let Some(alpha) = pruned_exact_solve(vectors, target, &elim, gas)? {
+            if let Some(alpha) =
+                pruned_exact_solve(vectors, target, &elim.pivot_cols, &elim.pivot_rows, gas)?
+            {
                 return Ok(SpanOutcome::Solved(QVec(alpha)));
             }
             Ok(SpanOutcome::Fallback)
@@ -677,7 +994,13 @@ pub fn span_solve_gas(
             // block, lift the left-null certificate `y⃗` and verify it
             // exactly (its entries can be minor-sized, so this only
             // succeeds on small-coefficient instances; anything else falls
-            // back to the exact tier).
+            // back to the exact tier).  Certificates cannot ride the dual
+            // lanes — each lane's null row comes from per-lane factors, so
+            // the two would be unrelated vectors — hence the per-prime
+            // eliminations of `lift_and_verify` stay.
+            let first = lane_system(&sys, 0);
+            let spare = [sys.dual.f[1].prime()];
+            let spare_primes: &[u64] = if sys.lane1_ok { &spare } else { &[] };
             let with_cert = eliminate_mod_p(&first.field, &first.cols, &first.b, true, gas)?;
             if let Some(y0) = &with_cert.certificate {
                 if lift_and_verify(&first, spare_primes, &[], vectors, target, y0, false, gas)?
@@ -689,6 +1012,43 @@ pub fn span_solve_gas(
             Ok(SpanOutcome::Fallback)
         }
     }
+}
+
+/// Lift the dual elimination's solution residues — first from the driving
+/// lane alone (most span coefficients are tiny), then CRT-widened with lane
+/// 1 when it survived — and run the check-prime probe plus the mandatory
+/// exact verification.  Returns the verified coefficients.
+fn lift_dual_and_verify(
+    sys: &DualSystem,
+    elim: &DualElimination,
+    x: &[[u64; 2]],
+    vectors: &[QVec],
+    target: &QVec,
+    gas: &mut Gas,
+) -> Result<Option<Vec<Rat>>, Interrupt> {
+    let lane0: Vec<u64> = x.iter().map(|e| e[0]).collect();
+    let lane1: Vec<u64> = x.iter().map(|e| e[1]).collect();
+    for width in 1..=2usize {
+        if width == 2 && !elim.lane1_ok {
+            return Ok(None);
+        }
+        let fields = &sys.dual.f[..width];
+        let slices: [&[u64]; 2] = [&lane0, &lane1];
+        let Some(lifted) = reconstruct_vector(fields, &slices[..width]) else {
+            continue;
+        };
+        // The exact verification multiplies every matrix entry once: meter
+        // it as one step per cell before paying the bignum work.
+        gas.steps((target.dim() * (vectors.len() + 1)) as u64)?;
+        let check = PrimeField::new(primes()[2]);
+        if check_prime_agrees(check, vectors, target, &lifted) == Some(false) {
+            continue;
+        }
+        if verify_combination(vectors, target, &lifted) {
+            return Ok(Some(lifted));
+        }
+    }
+    Ok(None)
 }
 
 /// Lift residues from the first prime (widening by CRT with a spare solver
@@ -716,9 +1076,8 @@ fn lift_and_verify(
 ) -> Result<Option<Vec<Rat>>, Interrupt> {
     // Single-prime attempt first: most span coefficients are tiny.
     for width in 1..=2usize {
-        let second_sys;
-        let (chosen, per_prime): (Vec<&ReducedSystem>, Vec<Vec<u64>>) = match width {
-            1 => (vec![first], vec![residues.to_vec()]),
+        let (chosen, per_prime): (Vec<PrimeField>, Vec<Vec<u64>>) = match width {
+            1 => (vec![first.field], vec![residues.to_vec()]),
             _ => {
                 // Reduce mod the first good spare prime.
                 let Some(second) = spare_primes
@@ -759,9 +1118,8 @@ fn lift_and_verify(
                 if second_res.len() != residues.len() {
                     return Ok(None);
                 }
-                second_sys = second;
                 (
-                    vec![first, &second_sys],
+                    vec![first.field, second.field],
                     vec![residues.to_vec(), second_res],
                 )
             }
@@ -799,10 +1157,11 @@ fn lift_and_verify(
 fn pruned_exact_solve(
     vectors: &[QVec],
     target: &QVec,
-    elim: &ZpElimination,
+    pivot_cols: &[usize],
+    pivot_rows: &[usize],
     gas: &mut Gas,
 ) -> Result<Option<Vec<Rat>>, Interrupt> {
-    let r = elim.pivot_cols.len();
+    let r = pivot_cols.len();
     if r == 0 || (r == vectors.len() && r == target.dim()) {
         // Nothing to solve, or nothing was pruned (a square full-rank
         // system *is* the pivot subsystem): let the caller run the full
@@ -811,26 +1170,18 @@ fn pruned_exact_solve(
         // k-row elimination.
         return Ok(None);
     }
-    let sub_cols: Vec<QVec> = elim
-        .pivot_cols
+    let sub_cols: Vec<QVec> = pivot_cols
         .iter()
-        .map(|&c| {
-            QVec(
-                elim.pivot_rows
-                    .iter()
-                    .map(|&i| vectors[c][i].clone())
-                    .collect(),
-            )
-        })
+        .map(|&c| QVec(pivot_rows.iter().map(|&i| vectors[c][i].clone()).collect()))
         .collect();
-    let sub_target = QVec(elim.pivot_rows.iter().map(|&i| target[i].clone()).collect());
+    let sub_target = QVec(pivot_rows.iter().map(|&i| target[i].clone()).collect());
     let Some(sub_solution) =
         crate::matrix::QMat::from_cols(&sub_cols).solve_gas(&sub_target, gas)?
     else {
         return Ok(None);
     };
     let mut alpha = vec![Rat::zero(); vectors.len()];
-    for (pos, &c) in elim.pivot_cols.iter().enumerate() {
+    for (pos, &c) in pivot_cols.iter().enumerate() {
         alpha[c] = sub_solution[pos].clone();
     }
     gas.steps((target.dim() * (vectors.len() + 1)) as u64)?;
@@ -975,7 +1326,7 @@ mod tests {
         // Word-size tiny systems short-circuit to the exact tier…
         let small = QVec::from_i64s(&[2, 1, 3]);
         assert_eq!(
-            span_solve(&[small.clone()], &QVec::from_i64s(&[1, 1, 2])),
+            span_solve(std::slice::from_ref(&small), &QVec::from_i64s(&[1, 1, 2])),
             SpanOutcome::Fallback
         );
         // …so scale everything by 2⁹⁶ to engage the modular path; the span
@@ -991,7 +1342,10 @@ mod tests {
             }
             other => panic!("expected Solved, got {other:?}"),
         }
-        assert_eq!(span_solve(&[v1.clone()], &q), SpanOutcome::Rejected);
+        assert_eq!(
+            span_solve(std::slice::from_ref(&v1), &q),
+            SpanOutcome::Rejected
+        );
         assert_eq!(
             span_solve(&[v1], &QVec::zeros(3)),
             SpanOutcome::Solved(QVec::zeros(1))
@@ -1015,7 +1369,7 @@ mod tests {
             p.mul_ref(&Rat::from_i64(6)),
         ]);
         // target = 3·v, but mod p₁ everything is 0 and mod p₂ it is honest.
-        match span_solve(&[v.clone()], &target) {
+        match span_solve(std::slice::from_ref(&v), &target) {
             SpanOutcome::Solved(alpha) => assert_eq!(alpha, QVec::from_i64s(&[3])),
             SpanOutcome::Fallback => {} // acceptable: exact tier decides
             SpanOutcome::Rejected => panic!("false rejection must be impossible"),
@@ -1026,6 +1380,83 @@ mod tests {
             SpanOutcome::Rejected | SpanOutcome::Fallback => {}
             SpanOutcome::Solved(_) => panic!("false acceptance must be impossible"),
         }
+    }
+
+    /// Helper: an integer `QVec` scaled by `2⁹⁶` so the modular tier engages.
+    fn scaled(vals: &[i64]) -> QVec {
+        let c = Rat::from_int(Int::from_nat(cqdet_bigint::Nat::one().shl_bits(96)));
+        QVec::from_i64s(vals).scale(&c)
+    }
+
+    #[test]
+    fn dual_elimination_matches_per_prime() {
+        let vectors = [scaled(&[2, 1, 3]), scaled(&[5, 2, 7])];
+        let target = scaled(&[1, 1, 2]);
+        let fields = [PrimeField::new(primes()[0]), PrimeField::new(primes()[1])];
+        let sys = reduce_system_dual(fields, &vectors, &target).unwrap();
+        assert!(sys.lane1_ok);
+        let mut gas = Gas::unlimited();
+        let dual = eliminate_mod_dual(&sys, &mut gas).unwrap();
+        assert!(dual.lane1_ok);
+        let x = dual.solution.as_ref().unwrap();
+        // Each lane must match the single-prime elimination of its extract.
+        for lane in 0..2 {
+            let single = lane_system(&sys, lane);
+            let elim =
+                eliminate_mod_p(&single.field, &single.cols, &single.b, false, &mut gas).unwrap();
+            assert_eq!(elim.pivot_cols, dual.pivot_cols, "lane {lane} profile");
+            let expect = elim.solution.unwrap();
+            let got: Vec<u64> = x.iter().map(|e| e[lane]).collect();
+            assert_eq!(got, expect, "lane {lane} residues");
+        }
+    }
+
+    #[test]
+    fn sequential_twin_computes_identical_lanes() {
+        let vectors = [scaled(&[3, 1, 4, 1]), scaled(&[5, 9, 2, 6])];
+        let target = scaled(&[8, 10, 6, 7]);
+        let fields = [PrimeField::new(primes()[0]), PrimeField::new(primes()[1])];
+        let sys = reduce_system_dual(fields, &vectors, &target).unwrap();
+        let mut gas = Gas::unlimited();
+        let fast = eliminate_mod_dual(&sys, &mut gas).unwrap();
+        force_sequential_lanes(true);
+        let slow = eliminate_mod_dual(&sys, &mut gas);
+        force_sequential_lanes(false);
+        let slow = slow.unwrap();
+        assert_eq!(fast.pivot_cols, slow.pivot_cols);
+        assert_eq!(fast.solution, slow.solution);
+        assert_eq!(fast.lane1_ok, slow.lane1_ok);
+    }
+
+    #[test]
+    fn bad_prime_lanes_are_skipped_or_swapped() {
+        let shift = Rat::from_int(Int::from_nat(cqdet_bigint::Nat::one().shl_bits(96)));
+        // Denominator divisible by the second prime: lane 1 dies, lane 0
+        // still solves.
+        let bad1 = Rat::new(Int::one(), Int::from_i64(primes()[1] as i64)).mul_ref(&shift);
+        let v = QVec(vec![bad1.clone(), bad1.mul_ref(&Rat::from_i64(2))]);
+        let t = v.scale(&Rat::from_i64(3));
+        match span_solve(&[v], &t) {
+            SpanOutcome::Solved(alpha) => assert_eq!(alpha, QVec::from_i64s(&[3])),
+            other => panic!("lane-1 bad prime must not block lane 0, got {other:?}"),
+        }
+        // Denominator divisible by the first prime: lanes swap and solve.
+        let bad0 = Rat::new(Int::one(), Int::from_i64(primes()[0] as i64)).mul_ref(&shift);
+        let v = QVec(vec![bad0.clone(), bad0.mul_ref(&Rat::from_i64(2))]);
+        let t = v.scale(&Rat::from_i64(5));
+        match span_solve(&[v], &t) {
+            SpanOutcome::Solved(alpha) => assert_eq!(alpha, QVec::from_i64s(&[5])),
+            other => panic!("lane-0 bad prime must swap lanes, got {other:?}"),
+        }
+        // Both solver primes bad: nothing to drive with — exact fallback.
+        let both = Rat::new(
+            Int::one(),
+            Int::from_i64(primes()[0] as i64).mul_ref(&Int::from_i64(primes()[1] as i64)),
+        )
+        .mul_ref(&shift);
+        let v = QVec(vec![both.clone(), both.mul_ref(&Rat::from_i64(2))]);
+        let t = v.scale(&Rat::from_i64(7));
+        assert_eq!(span_solve(&[v], &t), SpanOutcome::Fallback);
     }
 
     #[test]

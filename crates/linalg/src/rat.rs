@@ -242,6 +242,57 @@ impl Rat {
         )
     }
 
+    /// `self + f·s` — fused multiply-add, see [`Rat::sub_mul_ref`].
+    pub fn add_mul_ref(&self, f: &Rat, s: &Rat) -> Rat {
+        self.fma_ref(f, s, false)
+    }
+
+    /// `self − f·s` — fused multiply-subtract.
+    ///
+    /// The separate `sub_ref(&f.mul_ref(s))` shape normalizes twice (once
+    /// for the product, once for the difference) and materializes the
+    /// product temporary; fusing keeps the elimination inner loops
+    /// ([`crate::QMat::rref`], [`crate::IncrementalBasis`], the span
+    /// verifier) at one gcd pass and zero intermediates per cell update.
+    pub fn sub_mul_ref(&self, f: &Rat, s: &Rat) -> Rat {
+        self.fma_ref(f, s, true)
+    }
+
+    /// Shared body of the fused multiply-add/subtract operators.
+    fn fma_ref(&self, f: &Rat, s: &Rat, subtract: bool) -> Rat {
+        if let (Some((a, b)), Some((c, d)), Some((e, g))) = (small(self), small(f), small(s)) {
+            // The cross-cancelled product of two reduced small rationals is
+            // exact in i128/u128 (numerators within i64, denominators within
+            // u64), and stays reduced — so it feeds `add_small` directly.
+            let g1 = gcd_u128(c.unsigned_abs(), g).max(1);
+            let g2 = gcd_u128(e.unsigned_abs(), d).max(1);
+            let pn = (c / g1 as i128) * (e / g2 as i128);
+            let pd = (d / g2) * (g / g1);
+            if pn == 0 {
+                return self.clone();
+            }
+            let pn = if subtract { -pn } else { pn };
+            if let Some(r) = add_small(a, b, pn, pd) {
+                return r;
+            }
+        }
+        if f.is_zero() || s.is_zero() {
+            return self.clone();
+        }
+        let fs_den = f.den.mul_ref(&s.den);
+        let prod = f
+            .num
+            .mul_ref(&s.num)
+            .mul_ref(&Int::from_nat(self.den.clone()));
+        let lhs = self.num.mul_ref(&Int::from_nat(fs_den.clone()));
+        let num = if subtract {
+            lhs.sub_ref(&prod)
+        } else {
+            lhs.add_ref(&prod)
+        };
+        Rat::new(num, Int::from_nat(self.den.mul_ref(&fs_den)))
+    }
+
     /// Division; panics if `other` is zero.
     pub fn div_ref(&self, other: &Rat) -> Rat {
         assert!(!other.is_zero(), "division by zero rational");
@@ -472,6 +523,28 @@ impl MulAssign<&Rat> for Rat {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fused_mul_add_matches_unfused() {
+        let big = Rat::from_int(Int::from_nat(Nat::one().shl_bits(100)) + Int::from_i64(7));
+        let vals = [
+            Rat::zero(),
+            Rat::one(),
+            Rat::from_frac(-3, 7),
+            Rat::from_frac(22, 6),
+            Rat::from_i64(i64::MAX),
+            big.recip(),
+            big,
+        ];
+        for a in &vals {
+            for f in &vals {
+                for s in &vals {
+                    assert_eq!(a.add_mul_ref(f, s), a.add_ref(&f.mul_ref(s)));
+                    assert_eq!(a.sub_mul_ref(f, s), a.sub_ref(&f.mul_ref(s)));
+                }
+            }
+        }
+    }
 
     fn r(n: i64, d: i64) -> Rat {
         Rat::from_frac(n, d)

@@ -1,0 +1,99 @@
+//! Differential tests for the interleaved dual-prime elimination: the lane
+//! kernel must agree with its sequential per-lane twin (the pre-rewrite
+//! shape, selectable with `CQDET_SEQUENTIAL_LANES=1`) and with the exact
+//! pure-`Rat` oracle — on random systems, and in the adversarial bad-prime
+//! regimes where one or both solver-prime lanes must be skipped or swapped.
+//!
+//! The tests flip the process-wide `force_sequential_lanes` knob, so they
+//! live in this dedicated test binary; both kernel shapes are exact (they
+//! compute the identical row-op sequence), so the knob is restored before
+//! every assertion that could outlive it.
+
+use cqdet_linalg::modular::force_sequential_lanes;
+use cqdet_linalg::{primes, span_coefficients, span_coefficients_exact, Int, Nat, QVec, Rat};
+use proptest::prelude::*;
+
+/// Scale factor pushing entries past the word-size prescreen cutoff.
+fn big_shift() -> Rat {
+    Rat::from_int(Int::from_nat(Nat::one().shl_bits(96)))
+}
+
+/// Chop a flat entry list into `count` integer vectors of dimension `k`,
+/// scaled so the modular tier engages.
+fn vectors_of(entries: &[i64], count: usize, k: usize) -> Vec<QVec> {
+    let c = big_shift();
+    (0..count)
+        .map(|v| {
+            QVec(
+                (0..k)
+                    .map(|i| Rat::from_i64(entries[v * k + i]).mul_ref(&c))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// `Σ αᵢ·vᵢ`.
+fn combine(vectors: &[QVec], alpha: &[i64]) -> QVec {
+    let mut acc = QVec::zeros(vectors[0].dim());
+    for (&a, v) in alpha.iter().zip(vectors) {
+        acc = &acc + &v.scale(&Rat::from_i64(a));
+    }
+    acc
+}
+
+/// Both kernel shapes and the exact oracle, compared on one instance.
+fn assert_all_paths_agree(vectors: &[QVec], target: &QVec, ctx: &str) {
+    let interleaved = span_coefficients(vectors, target);
+    force_sequential_lanes(true);
+    let sequential = span_coefficients(vectors, target);
+    force_sequential_lanes(false);
+    let exact = span_coefficients_exact(vectors, target);
+    assert_eq!(interleaved, sequential, "kernel shapes disagree: {ctx}");
+    assert_eq!(
+        interleaved, exact,
+        "modular tier disagrees with exact: {ctx}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Planted in-span targets and random (usually out-of-span) targets:
+    /// interleaved, sequential, and exact all agree.
+    #[test]
+    fn dual_kernels_agree_with_exact(
+        entries in prop::collection::vec(-9i64..10, 12),
+        alpha in prop::collection::vec(-4i64..5, 3),
+        stray in prop::collection::vec(-9i64..10, 4),
+    ) {
+        let vectors = vectors_of(&entries, 3, 4);
+        let planted = combine(&vectors, &alpha);
+        assert_all_paths_agree(&vectors, &planted, "planted");
+        let random_target = QVec(
+            stray.iter().map(|&v| Rat::from_i64(v).mul_ref(&big_shift())).collect(),
+        );
+        assert_all_paths_agree(&vectors, &random_target, "random");
+    }
+
+    /// Bad-prime skip: a denominator divisible by one solver prime kills
+    /// that prime's lane (second prime) or swaps the lanes (first prime);
+    /// divisible by both, the modular tier falls back — in every case both
+    /// kernel shapes still match the exact answer.
+    #[test]
+    fn bad_primes_skip_identically(which in 0usize..3, alpha in -4i64..5, dim in 2usize..5) {
+        let den = match which {
+            0 => Int::from_i64(primes()[0] as i64),
+            1 => Int::from_i64(primes()[1] as i64),
+            _ => Int::from_i64(primes()[0] as i64).mul_ref(&Int::from_i64(primes()[1] as i64)),
+        };
+        let bad = Rat::new(Int::one(), den).mul_ref(&big_shift());
+        let v = QVec((1..=dim as i64).map(|i| bad.mul_ref(&Rat::from_i64(i))).collect());
+        let inside = v.scale(&Rat::from_i64(alpha));
+        assert_all_paths_agree(std::slice::from_ref(&v), &inside, "bad-prime inside");
+        // A target off the line must be rejected through every path too.
+        let mut off = inside.0.clone();
+        off[0] = off[0].add_ref(&Rat::one());
+        assert_all_paths_agree(&[v], &QVec(off), "bad-prime outside");
+    }
+}

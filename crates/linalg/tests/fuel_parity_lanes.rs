@@ -1,0 +1,70 @@
+//! Fuel parity across the dual-lane elimination shapes: `span_coefficients`
+//! charges identical step/byte totals whether the interleaved kernel or its
+//! sequential per-lane twin runs.  This holds by construction — both shapes
+//! compute the identical row-op sequence and share one charging site
+//! (`2·width` steps per row operation, outside the kernel branch) — and
+//! this test pins the construction on in-span, out-of-span, and bad-prime
+//! workloads.
+//!
+//! Flips the process-wide `force_sequential_lanes` knob → dedicated binary.
+
+use cqdet_linalg::modular::force_sequential_lanes;
+use cqdet_linalg::{primes, span_coefficients_gas, Budget, Gas, Int, Nat, QVec, Rat};
+use cqdet_parallel::CancelToken;
+
+/// Run one metered solve and return `(answer, steps, bytes)`.
+fn metered(vectors: &[QVec], target: &QVec) -> (Option<QVec>, u64, u64) {
+    let ctl = CancelToken::new();
+    let budget = Budget::with_limits(Some(u64::MAX), Some(u64::MAX));
+    let mut gas = Gas::new(&ctl, &budget, "test");
+    let answer =
+        span_coefficients_gas(vectors, target, &mut gas).expect("budget is effectively unlimited");
+    (answer, budget.steps_spent(), budget.bytes_spent())
+}
+
+/// A fixed dense integer system with big entries (so the modular tier
+/// engages) and a planted in-span target.
+fn workload() -> (Vec<QVec>, QVec, QVec) {
+    let c = Rat::from_int(Int::from_nat(Nat::one().shl_bits(96)));
+    let mut state = 0x5EED_CAFEu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 19) as i64 - 9
+    };
+    let vectors: Vec<QVec> = (0..6)
+        .map(|_| QVec((0..16).map(|_| Rat::from_i64(next()).mul_ref(&c)).collect()))
+        .collect();
+    let mut inside = QVec::zeros(16);
+    for (i, v) in vectors.iter().enumerate() {
+        inside = &inside + &v.scale(&Rat::from_i64(i as i64 % 5 - 2));
+    }
+    let outside = QVec((0..16).map(|_| Rat::from_i64(next()).mul_ref(&c)).collect());
+    (vectors, inside, outside)
+}
+
+#[test]
+fn span_coefficients_charges_identically_on_both_kernels() {
+    let (vectors, inside, outside) = workload();
+    // A bad-prime instance: lane 1's prime divides the denominators.
+    let bad = Rat::new(Int::one(), Int::from_i64(primes()[1] as i64))
+        .mul_ref(&Rat::from_int(Int::from_nat(Nat::one().shl_bits(96))));
+    let bad_v = QVec(vec![bad.clone(), bad.mul_ref(&Rat::from_i64(2))]);
+    let bad_t = bad_v.scale(&Rat::from_i64(3));
+    let cases: Vec<(Vec<QVec>, QVec)> = vec![
+        (vectors.clone(), inside),
+        (vectors, outside),
+        (vec![bad_v], bad_t),
+    ];
+    for (i, (vs, t)) in cases.iter().enumerate() {
+        let (fast_answer, fast_steps, fast_bytes) = metered(vs, t);
+        force_sequential_lanes(true);
+        let (slow_answer, slow_steps, slow_bytes) = metered(vs, t);
+        force_sequential_lanes(false);
+        assert_eq!(fast_answer, slow_answer, "case {i}: answers differ");
+        assert_eq!(fast_steps, slow_steps, "case {i}: step totals differ");
+        assert_eq!(fast_bytes, slow_bytes, "case {i}: byte totals differ");
+        assert!(fast_steps > 0, "case {i}: the workload must be metered");
+    }
+}

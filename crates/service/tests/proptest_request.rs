@@ -12,12 +12,12 @@ fn seeded_request(seed: u64) -> Request {
         RequestKind::Decide {
             program: format!("v() :- R(x,y)\nq{}() :- R(x,y), R(u,w)", seed % 7),
             query: format!("q{}", seed % 7),
-            witness: seed % 2 == 0,
+            witness: seed.is_multiple_of(2),
         },
         RequestKind::Batch {
             tasks: "v() :- R(x,y)\nq() :- R(x,y)\ntask a: q <- v".to_string(),
-            witnesses: seed % 3 == 0,
-            verify: seed % 5 == 0,
+            witnesses: seed.is_multiple_of(3),
+            verify: seed.is_multiple_of(5),
         },
         RequestKind::Path {
             query: "ABAB".to_string(),

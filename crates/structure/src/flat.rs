@@ -28,6 +28,7 @@
 //! query against the same structure.
 
 use crate::canon::{canonical_key, CanonKey};
+use crate::filter;
 use crate::schema::RelTable;
 use crate::structure::{Const, Structure};
 use std::collections::HashMap;
@@ -41,6 +42,11 @@ const CAND_CACHE_CAP: usize = 1024;
 /// Occurrence mask → candidate-image list (see
 /// [`FlatStructure::candidates_for_mask`]).
 type CandCache = Mutex<HashMap<Box<[u64]>, Arc<Vec<u32>>>>;
+
+/// Largest domain for which a binary relation gets a dense membership bit
+/// matrix (`4096² bits = 2 MiB` per relation at the cap — bounded, and tiny
+/// on the query-sized structures the hom search spends its time on).
+const PAIR_BITS_MAX_DOM: usize = 4096;
 
 /// Poison-recovering lock: the memos in this module are insert-only, so a
 /// panicking holder cannot leave them in a corrupt state — recover the
@@ -63,9 +69,29 @@ pub(crate) struct FlatStructure {
     pub nullary_present: Vec<bool>,
     /// Number of `u64` words in one occurrence mask.
     pub slot_words: usize,
-    /// Element-major occurrence masks: `occ[e * slot_words ..][w]` has bit
-    /// `k % 64` of word `k / 64` set iff element `e` occurs at slot `k`.
+    /// Element-major occurrence masks, a contiguous fixed-stride lane
+    /// matrix: `occ[e * slot_words ..][w]` has bit `k % 64` of word `k / 64`
+    /// set iff element `e` occurs at slot `k`.  The candidate filter sweeps
+    /// it block-wise through the lane kernels of [`crate::filter`].
     pub occ: Vec<u64>,
+    /// Per relation id: bucket boundaries of the sorted rows by *first*
+    /// argument (`row_starts[rel][e] .. row_starts[rel][e+1]` is the row
+    /// range whose leading dense id is `e`), so a fact-membership probe
+    /// binary-searches a handful of rows instead of the whole relation.
+    /// Empty for nullary relations.
+    pub row_starts: Vec<Vec<u32>>,
+    /// Per relation id: for binary relations over a small domain, a dense
+    /// bit matrix (`bits[u * words_per_row + v/64]` bit `v%64` ⇔ `(u,v)`
+    /// present) answering the hot arity-2 membership probe with one load
+    /// and a bit test.  `None` for other arities or very large domains.
+    pair_bits: Vec<Option<Vec<u64>>>,
+    /// Per relation id, binary relations only: bucket boundaries by *second*
+    /// argument (`rev_starts[rel][v] .. rev_starts[rel][v+1]` indexes into
+    /// `rev_firsts[rel]`, the first arguments of the rows whose second
+    /// argument is `v`).  The hom search enumerates in-neighbours through
+    /// it.  Empty for other arities.
+    pub rev_starts: Vec<Vec<u32>>,
+    pub rev_firsts: Vec<Vec<u32>>,
     /// Relation table (shared with the source structure's schema), for the
     /// canonical encoding.
     table: Arc<RelTable>,
@@ -132,6 +158,66 @@ impl FlatStructure {
             rows.push(flat);
         }
 
+        let mut pair_bits: Vec<Option<Vec<u64>>> = Vec::with_capacity(arities.len());
+        for (rel, &arity) in arities.iter().enumerate() {
+            if arity != 2 || dom.len() > PAIR_BITS_MAX_DOM {
+                pair_bits.push(None);
+                continue;
+            }
+            let wpr = dom.len().div_ceil(64).max(1);
+            let mut bits = vec![0u64; dom.len() * wpr];
+            for row in rows[rel].chunks_exact(2) {
+                let (u, v) = (row[0] as usize, row[1] as usize);
+                bits[u * wpr + v / 64] |= 1 << (v % 64);
+            }
+            pair_bits.push(Some(bits));
+        }
+
+        let mut rev_starts: Vec<Vec<u32>> = Vec::with_capacity(arities.len());
+        let mut rev_firsts: Vec<Vec<u32>> = Vec::with_capacity(arities.len());
+        for (rel, &arity) in arities.iter().enumerate() {
+            if arity != 2 {
+                rev_starts.push(Vec::new());
+                rev_firsts.push(Vec::new());
+                continue;
+            }
+            // Counting sort of the rows by second argument.
+            let mut starts = vec![0u32; dom.len() + 1];
+            for row in rows[rel].chunks_exact(2) {
+                starts[row[1] as usize + 1] += 1;
+            }
+            for v in 0..dom.len() {
+                starts[v + 1] += starts[v];
+            }
+            let mut firsts = vec![0u32; rows[rel].len() / 2];
+            let mut cursor = starts.clone();
+            for row in rows[rel].chunks_exact(2) {
+                let c = &mut cursor[row[1] as usize];
+                firsts[*c as usize] = row[0];
+                *c += 1;
+            }
+            rev_starts.push(starts);
+            rev_firsts.push(firsts);
+        }
+
+        let mut row_starts: Vec<Vec<u32>> = Vec::with_capacity(arities.len());
+        for (rel, &arity) in arities.iter().enumerate() {
+            if arity == 0 {
+                row_starts.push(Vec::new());
+                continue;
+            }
+            // Lexicographically sorted rows group by first argument, so the
+            // bucket boundaries are one counting pass plus a prefix sum.
+            let mut starts = vec![0u32; dom.len() + 1];
+            for row in rows[rel].chunks_exact(arity) {
+                starts[row[0] as usize + 1] += 1;
+            }
+            for e in 0..dom.len() {
+                starts[e + 1] += starts[e];
+            }
+            row_starts.push(starts);
+        }
+
         FlatStructure {
             dom,
             arities,
@@ -139,6 +225,10 @@ impl FlatStructure {
             nullary_present,
             slot_words,
             occ,
+            row_starts,
+            pair_bits,
+            rev_starts,
+            rev_firsts,
             table: s.schema().table(),
             canon: OnceLock::new(),
             canon_key: OnceLock::new(),
@@ -190,15 +280,28 @@ impl FlatStructure {
         if a == 0 {
             return self.nullary_present[rel];
         }
+        if a == 2 {
+            if let Some(bits) = &self.pair_bits[rel] {
+                let wpr = self.dom.len().div_ceil(64).max(1);
+                let (u, v) = (row[0] as usize, row[1] as usize);
+                return bits[u * wpr + v / 64] >> (v % 64) & 1 == 1;
+            }
+        }
         let data = &self.rows[rel];
-        let n = data.len() / a;
-        // Binary search over the sorted fixed-stride rows.
-        let mut lo = 0usize;
-        let mut hi = n;
+        // Narrow to the bucket of rows sharing the probe's first argument
+        // (usually a handful), then binary-search the sorted fixed-stride
+        // rows inside it.  The hom search probes once per candidate
+        // extension, so this lookup is squarely on the hot path.
+        let starts = &self.row_starts[rel];
+        let mut lo = starts[row[0] as usize] as usize;
+        let mut hi = starts[row[0] as usize + 1] as usize;
+        if a == 1 {
+            return lo < hi;
+        }
         while lo < hi {
             let mid = (lo + hi) / 2;
-            let cand = &data[mid * a..mid * a + a];
-            match cand.cmp(row) {
+            let cand = &data[mid * a + 1..mid * a + a];
+            match cand.cmp(&row[1..]) {
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
                 std::cmp::Ordering::Equal => return true,
@@ -222,11 +325,12 @@ impl FlatStructure {
         if let Some(hit) = locked(&self.cand_cache).get(mask) {
             return hit.clone();
         }
-        let cands: Arc<Vec<u32>> = Arc::new(
-            (0..self.dom.len() as u32)
-                .filter(|&t| mask_subset(mask, self.mask_of(t as usize)))
-                .collect(),
-        );
+        let cands: Arc<Vec<u32>> = Arc::new(filter::superset_indices(
+            mask,
+            &self.occ,
+            self.slot_words,
+            self.dom.len(),
+        ));
         let mut cache = locked(&self.cand_cache);
         if cache.len() < CAND_CACHE_CAP {
             cache.insert(mask.into(), cands.clone());
@@ -261,15 +365,6 @@ pub(crate) fn encode_canonical(
         }
     }
     out
-}
-
-/// Whether `sub` is a subset of `sup`, wordwise.  Both masks must live in
-/// the same slot space (equal word counts) — comparing masks from different
-/// schemas would be meaningless.
-#[inline]
-pub(crate) fn mask_subset(sub: &[u64], sup: &[u64]) -> bool {
-    debug_assert_eq!(sub.len(), sup.len(), "masks from different slot spaces");
-    sub.iter().zip(sup.iter()).all(|(&a, &b)| a & !b == 0)
 }
 
 #[cfg(test)]
@@ -337,13 +432,5 @@ mod tests {
             FlatStructure::compile(&empty).canon(),
             FlatStructure::compile(&iso).canon()
         );
-    }
-
-    #[test]
-    fn mask_subset_words() {
-        assert!(mask_subset(&[0b01], &[0b11]));
-        assert!(!mask_subset(&[0b10], &[0b01]));
-        assert!(mask_subset(&[0, 0b1], &[0b1, 0b1]));
-        assert!(!mask_subset(&[0b1, 0b1], &[0, 0b1]));
     }
 }

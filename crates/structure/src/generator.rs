@@ -194,7 +194,7 @@ mod tests {
                 is_connected(&s),
                 "structure with {n} facts must be connected: {s:?}"
             );
-            assert_eq!(s.num_facts() <= n, true);
+            assert!(s.num_facts() <= n);
         }
     }
 

@@ -16,7 +16,8 @@
 //! oracle and as an escape hatch (`CQDET_NAIVE_HOM=1`).
 
 use crate::components::connected_components;
-use crate::flat::{mask_subset, FlatStructure};
+use crate::filter;
+use crate::flat::FlatStructure;
 use crate::structure::{Const, Structure};
 use cqdet_bigint::Nat;
 use cqdet_parallel::{Gas, Interrupt};
@@ -51,15 +52,33 @@ fn use_naive_engine() -> bool {
     })
 }
 
+/// How the search enumerates candidate images at one order position.
+#[derive(Clone, Copy)]
+enum Ext {
+    /// Sweep the precomputed candidate list.
+    List,
+    /// The element is the second argument of a binary fact whose first
+    /// argument is assigned earlier: enumerate the out-neighbours of that
+    /// image (a contiguous CSR bucket) and keep those passing the
+    /// occurrence-mask subset filter.  The driving fact is satisfied by
+    /// construction and removed from the consistency checks.
+    Fwd { rel: u32, other: u32 },
+    /// Mirror image: the element is the *first* argument, enumerated through
+    /// the reverse (second-argument) bucket index.
+    Rev { rel: u32, other: u32 },
+}
+
 /// The compiled search plan: everything that depends only on the pair of
 /// structures, not on the traversal.
 struct Plan<'a> {
+    src: &'a FlatStructure,
     tgt: &'a FlatStructure,
     n_src: usize,
     n_tgt: usize,
-    /// Source elements in assignment order (BFS inside each connected
-    /// component).  Elements occurring in no fact are excluded unless
-    /// `enumerate_all` was requested at build time.
+    /// Source elements in assignment order (selectivity-ordered frontier
+    /// scheduling inside each connected component: most-constrained element
+    /// first, by candidate-list length).  Elements occurring in no fact are
+    /// excluded unless `enumerate_all` was requested at build time.
     order: Vec<u32>,
     /// Number of source elements occurring in no fact that were *excluded*
     /// from `order`; each contributes a factor `n_tgt` to the count.
@@ -77,6 +96,12 @@ struct Plan<'a> {
     /// with the target's per-mask memo ([`FlatStructure::candidates_for_mask`]).
     cand_of: Vec<u32>,
     cand_lists: Vec<std::sync::Arc<Vec<u32>>>,
+    /// Per order position: the candidate enumeration mode (see [`Ext`]).
+    ext: Vec<Ext>,
+    /// Cross-schema only: target occurrence masks rebuilt in the source's
+    /// slot space (`None` when the layouts agree and `tgt.occ` is directly
+    /// comparable), consulted by the per-extension subset filter.
+    remapped_occ: Option<Vec<u64>>,
     /// Set when the plan can be answered without any search.
     trivially_zero: bool,
 }
@@ -94,6 +119,7 @@ impl<'a> Plan<'a> {
         let n_src = src.dom.len();
         let n_tgt = tgt.dom.len();
         let mut plan = Plan {
+            src,
             tgt,
             n_src,
             n_tgt,
@@ -105,6 +131,8 @@ impl<'a> Plan<'a> {
             facts_at: Vec::new(),
             cand_of: Vec::new(),
             cand_lists: Vec::new(),
+            ext: Vec::new(),
+            remapped_occ: None,
             trivially_zero: false,
         };
 
@@ -162,22 +190,129 @@ impl<'a> Plan<'a> {
             neigh.dedup();
         }
 
-        // BFS order inside each component (maximises early constraint
-        // propagation, exactly as the reference engine does).
+        // Candidate lists by occurrence-mask filtering: h(x) must occur at
+        // every (relation, position) slot x occurs at.  Source masks live in
+        // the *source* schema's slot space; when the target has a different
+        // relation layout its compiled masks are incomparable, so rebuild the
+        // target masks in the source's slot space via `rel_map` first.
+        let same_layout = source.rel_names() == target.rel_names()
+            && source.rel_arities() == target.rel_arities();
+        let sw = src.slot_words;
+        plan.remapped_occ = if same_layout {
+            None
+        } else {
+            let mut occ = vec![0u64; n_tgt * sw];
+            let mut slot_base = 0usize;
+            for (rel, &arity) in src.arities.iter().enumerate() {
+                if arity > 0 && rel_map[rel] != u32::MAX {
+                    for row in tgt.rows[rel_map[rel] as usize].chunks_exact(arity) {
+                        for (pos, &e) in row.iter().enumerate() {
+                            let slot = slot_base + pos;
+                            occ[e as usize * sw + slot / 64] |= 1 << (slot % 64);
+                        }
+                    }
+                }
+                slot_base += arity;
+            }
+            Some(occ)
+        };
+        // Candidate lists are computed up front (before the search order is
+        // chosen, which consults their lengths).  Lists are shared between
+        // elements with identical masks via a hash-keyed dedup index, and —
+        // when the layouts agree, so masks are directly comparable —
+        // additionally memoized on the target itself, turning a fan-in of
+        // many sources against one target (the per-view containment gate)
+        // into one domain scan per distinct mask overall.
         let constrained = |e: usize| src.mask_of(e).iter().any(|&w| w != 0);
-        let mut seen = vec![false; n_src];
-        for start in 0..n_src {
-            if seen[start] || (!enumerate_all && !constrained(start)) {
+        let eligible = |e: usize| enumerate_all || constrained(e);
+        let mut mask_index: HashMap<&[u64], u32> = HashMap::new();
+        plan.cand_of = vec![0; n_src];
+        for x in 0..n_src {
+            if !eligible(x) {
                 continue;
             }
+            let mask = src.mask_of(x);
+            let next_id = mask_index.len() as u32;
+            let id = *mask_index.entry(mask).or_insert(next_id);
+            plan.cand_of[x] = id;
+            if id == next_id {
+                let cands = match &plan.remapped_occ {
+                    None => tgt.candidates_for_mask(mask),
+                    Some(occ) => {
+                        std::sync::Arc::new(filter::superset_indices(mask, occ, sw, n_tgt))
+                    }
+                };
+                plan.cand_lists.push(cands);
+            }
+        }
+
+        // Selectivity-ordered frontier scheduling: inside each connected
+        // component, start from the most-constrained element (fewest
+        // candidate images) and repeatedly extend with the most-constrained
+        // element adjacent to the ordered prefix, the pick re-evaluated
+        // against the candidate counts at every step.  Compared to plain BFS
+        // this turns the multiplicative branching of loosely-constrained
+        // elements into near-additive work: a loose element is only
+        // enumerated once its tightly-constrained neighbours have already
+        // pinned the facts it participates in.
+        let cand_len = |e: u32| plan.cand_lists[plan.cand_of[e as usize] as usize].len();
+        let mut seen = vec![false; n_src];
+        let mut placed = vec![false; n_src];
+        let mut in_frontier = vec![false; n_src];
+        let mut comp: Vec<u32> = Vec::new();
+        let mut frontier: Vec<u32> = Vec::new();
+        for start in 0..n_src {
+            if seen[start] || !eligible(start) {
+                continue;
+            }
+            // Collect the whole component of `start` first (adjacency only
+            // ever connects fact-constrained elements, so an unconstrained
+            // element under `enumerate_all` is a singleton component).
+            comp.clear();
+            comp.push(start as u32);
             seen[start] = true;
-            let mut queue = std::collections::VecDeque::from([start as u32]);
-            while let Some(x) = queue.pop_front() {
-                plan.order.push(x);
+            let mut qi = 0;
+            while qi < comp.len() {
+                let x = comp[qi];
+                qi += 1;
                 for &n in &adj[x as usize] {
                     if !seen[n as usize] {
                         seen[n as usize] = true;
-                        queue.push_back(n);
+                        comp.push(n);
+                    }
+                }
+            }
+            // Seed with the component's most-constrained element (ties break
+            // to the smallest id, keeping plans deterministic).
+            let mut seed = comp[0];
+            for &e in &comp[1..] {
+                if (cand_len(e), e) < (cand_len(seed), seed) {
+                    seed = e;
+                }
+            }
+            plan.order.push(seed);
+            placed[seed as usize] = true;
+            frontier.clear();
+            for &n in &adj[seed as usize] {
+                in_frontier[n as usize] = true;
+                frontier.push(n);
+            }
+            while !frontier.is_empty() {
+                let mut bi = 0;
+                for i in 1..frontier.len() {
+                    let (a, b) = (frontier[i], frontier[bi]);
+                    if (cand_len(a), a) < (cand_len(b), b) {
+                        bi = i;
+                    }
+                }
+                let x = frontier.swap_remove(bi);
+                in_frontier[x as usize] = false;
+                plan.order.push(x);
+                placed[x as usize] = true;
+                for &n in &adj[x as usize] {
+                    if !placed[n as usize] && !in_frontier[n as usize] {
+                        in_frontier[n as usize] = true;
+                        frontier.push(n);
                     }
                 }
             }
@@ -201,58 +336,41 @@ impl<'a> Plan<'a> {
             plan.facts_at[last as usize].push(f as u32);
         }
 
-        // Candidate lists by occurrence-mask filtering: h(x) must occur at
-        // every (relation, position) slot x occurs at.  Source masks live in
-        // the *source* schema's slot space; when the target has a different
-        // relation layout its compiled masks are incomparable, so rebuild the
-        // target masks in the source's slot space via `rel_map` first.
-        let same_layout = source.rel_names() == target.rel_names()
-            && source.rel_arities() == target.rel_arities();
-        let sw = src.slot_words;
-        let remapped_occ: Option<Vec<u64>> = if same_layout {
-            None
-        } else {
-            let mut occ = vec![0u64; n_tgt * sw];
-            let mut slot_base = 0usize;
-            for (rel, &arity) in src.arities.iter().enumerate() {
-                if arity > 0 && rel_map[rel] != u32::MAX {
-                    for row in tgt.rows[rel_map[rel] as usize].chunks_exact(arity) {
-                        for (pos, &e) in row.iter().enumerate() {
-                            let slot = slot_base + pos;
-                            occ[e as usize * sw + slot / 64] |= 1 << (slot % 64);
-                        }
-                    }
+        // Fact-driven candidate enumeration: when a binary fact completes at
+        // position `idx` and its other argument is assigned earlier, the
+        // images of `order[idx]` satisfying that fact are exactly one
+        // (forward or reverse) CSR bucket of the target relation — usually a
+        // handful of rows instead of the whole candidate list.  The driving
+        // fact is removed from the consistency checks (it holds by
+        // construction); every enumerated image still passes through the
+        // branch-free occurrence-mask subset filter.
+        plan.ext = vec![Ext::List; plan.order.len()];
+        for (idx, &x) in plan.order.iter().enumerate() {
+            let mut chosen: Option<(usize, Ext)> = None;
+            for (k, &f) in plan.facts_at[idx].iter().enumerate() {
+                let f = f as usize;
+                let args =
+                    &plan.fact_args[plan.fact_off[f] as usize..plan.fact_off[f + 1] as usize];
+                if args.len() != 2 {
+                    continue;
                 }
-                slot_base += arity;
+                let (a0, a1) = (args[0], args[1]);
+                let rel = plan.fact_rel[f];
+                if a1 == x && a0 != x && (pos_of[a0 as usize] as usize) < idx {
+                    chosen = Some((k, Ext::Fwd { rel, other: a0 }));
+                    break;
+                }
+                if a0 == x && a1 != x && (pos_of[a1 as usize] as usize) < idx {
+                    chosen = Some((k, Ext::Rev { rel, other: a1 }));
+                    break;
+                }
             }
-            Some(occ)
-        };
-        // Lists are shared between elements with identical masks, and — when
-        // the layouts agree, so masks are directly comparable — additionally
-        // memoized on the target itself, turning a fan-in of many sources
-        // against one target (the per-view containment gate) into one domain
-        // scan per distinct mask overall.
-        let mut mask_index: BTreeMap<&[u64], u32> = BTreeMap::new();
-        plan.cand_of = vec![0; n_src];
-        for &x in &plan.order {
-            let mask = src.mask_of(x as usize);
-            let next_id = mask_index.len() as u32;
-            let id = *mask_index.entry(mask).or_insert(next_id);
-            plan.cand_of[x as usize] = id;
-            if id == next_id {
-                let cands = match &remapped_occ {
-                    None => tgt.candidates_for_mask(mask),
-                    Some(occ) => std::sync::Arc::new(
-                        (0..n_tgt as u32)
-                            .filter(|&t| {
-                                mask_subset(mask, &occ[t as usize * sw..(t as usize + 1) * sw])
-                            })
-                            .collect(),
-                    ),
-                };
-                plan.cand_lists.push(cands);
+            if let Some((k, e)) = chosen {
+                plan.facts_at[idx].swap_remove(k);
+                plan.ext[idx] = e;
             }
         }
+
         if plan
             .order
             .iter()
@@ -365,35 +483,87 @@ impl<'p, 'a> Search<'p, 'a> {
             return;
         }
         let x = plan.order[idx];
-        let injective = self.mode == Mode::FindInjective;
-        let cands = plan.candidates(x);
-        for &t in cands {
-            // One candidate extension = one fuel step; an exhausted budget or
-            // expired deadline unwinds the whole search within one flush
-            // window (~4k candidates), not at the next stage boundary.
-            if let Err(stop) = self.gas.step() {
-                self.stopped = Some(stop);
-                return;
-            }
-            if injective {
-                let (w, b) = (t as usize / 64, 1u64 << (t % 64));
-                if self.used[w] & b != 0 {
-                    continue;
+        match plan.ext[idx] {
+            Ext::List => {
+                let cands = plan.candidates(x);
+                for &t in cands {
+                    if self.extend(idx, x, t, None) {
+                        return;
+                    }
                 }
-                self.used[w] |= b;
             }
-            self.assignment[x as usize] = t;
-            if self.consistent(idx) {
-                self.recurse(idx + 1);
+            Ext::Fwd { rel, other } => {
+                let rel = rel as usize;
+                let key = self.assignment[other as usize] as usize;
+                let lo = plan.tgt.row_starts[rel][key] as usize;
+                let hi = plan.tgt.row_starts[rel][key + 1] as usize;
+                let mask = plan.src.mask_of(x as usize);
+                for i in lo..hi {
+                    let t = plan.tgt.rows[rel][i * 2 + 1];
+                    if self.extend(idx, x, t, Some(mask)) {
+                        return;
+                    }
+                }
             }
-            self.assignment[x as usize] = u32::MAX;
-            if injective {
-                self.used[t as usize / 64] &= !(1u64 << (t % 64));
-            }
-            if self.done() {
-                return;
+            Ext::Rev { rel, other } => {
+                let rel = rel as usize;
+                let key = self.assignment[other as usize] as usize;
+                let lo = plan.tgt.rev_starts[rel][key] as usize;
+                let hi = plan.tgt.rev_starts[rel][key + 1] as usize;
+                let mask = plan.src.mask_of(x as usize);
+                for i in lo..hi {
+                    let t = plan.tgt.rev_firsts[rel][i];
+                    if self.extend(idx, x, t, Some(mask)) {
+                        return;
+                    }
+                }
             }
         }
+    }
+
+    /// One candidate extension of `x := t` at order position `idx`; returns
+    /// `true` when the enclosing enumeration should unwind (meter fired or a
+    /// sought witness was found).  `filter` carries the source occurrence
+    /// mask for fact-driven enumerations, whose rows bypass the precomputed
+    /// candidate lists and are subset-tested here instead.
+    #[inline]
+    fn extend(&mut self, idx: usize, x: u32, t: u32, filter: Option<&[u64]>) -> bool {
+        // One candidate extension = one fuel step; an exhausted budget or
+        // expired deadline unwinds the whole search within one flush
+        // window (~4k candidates), not at the next stage boundary.
+        if let Err(stop) = self.gas.step() {
+            self.stopped = Some(stop);
+            return true;
+        }
+        if let Some(mask) = filter {
+            let sup = match &self.plan.remapped_occ {
+                None => self.plan.tgt.mask_of(t as usize),
+                Some(occ) => {
+                    let sw = self.plan.src.slot_words;
+                    &occ[t as usize * sw..(t as usize + 1) * sw]
+                }
+            };
+            if !filter::mask_subset(mask, sup) {
+                return false;
+            }
+        }
+        let injective = self.mode == Mode::FindInjective;
+        if injective {
+            let (w, b) = (t as usize / 64, 1u64 << (t % 64));
+            if self.used[w] & b != 0 {
+                return false;
+            }
+            self.used[w] |= b;
+        }
+        self.assignment[x as usize] = t;
+        if self.consistent(idx) {
+            self.recurse(idx + 1);
+        }
+        self.assignment[x as usize] = u32::MAX;
+        if injective {
+            self.used[t as usize / 64] &= !(1u64 << (t % 64));
+        }
+        self.done()
     }
 
     /// Check every source fact completed at order position `idx`: its image
@@ -1381,7 +1551,7 @@ mod tests {
         let tgt = clique_with_loops(3);
         let budget = Budget::with_limits(Some(1 << 20), None);
         let mut gas = Gas::new(&CancelToken::none(), &budget, "gate");
-        assert_eq!(hom_exists_gas(&src, &tgt, &mut gas).unwrap(), true);
+        assert!(hom_exists_gas(&src, &tgt, &mut gas).unwrap());
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Fuel parity across the filter kernels: the lane rewrite must not move
+//! the fuel needle — `hom_count_gas` charges identical step/byte totals
+//! whether the lane kernel or the scalar oracle filters the candidate
+//! lists.  This holds by construction (the filter runs at plan-build time,
+//! which is unmetered, and both kernels yield identical candidate lists,
+//! hence identical searches), and this test pins the construction.
+//!
+//! Flips the process-wide `force_scalar_filter` knob → dedicated binary.
+
+use cqdet_parallel::{Budget, CancelToken, Gas};
+use cqdet_structure::filter::force_scalar_filter;
+use cqdet_structure::{hom_count_gas, Schema, Structure, StructureGenerator};
+
+/// Run one metered count and return `(count, steps, bytes)`.
+fn metered(source: &Structure, target: &Structure) -> (cqdet_structure::Nat, u64, u64) {
+    let ctl = CancelToken::new();
+    let budget = Budget::with_limits(Some(u64::MAX), Some(u64::MAX));
+    let mut gas = Gas::new(&ctl, &budget, "test");
+    let count = hom_count_gas(source, target, &mut gas).expect("budget is effectively unlimited");
+    (count, budget.steps_spent(), budget.bytes_spent())
+}
+
+#[test]
+fn hom_count_charges_identically_on_both_kernels() {
+    let schema = Schema::with_relations([("R0", 2), ("R1", 2)]);
+    // The bench workload's shape: a disjoint union of 2-paths against a
+    // dense random target, plus a handful of smaller generated pairs.
+    let mut source = Structure::new(schema.clone());
+    for i in 0..3u64 {
+        source.add("R0", &[10 * i, 10 * i + 1]);
+        source.add("R1", &[10 * i + 1, 10 * i + 2]);
+    }
+    let mut cases = vec![(
+        source,
+        StructureGenerator::new(schema.clone(), 0x5EED).random_with_facts(12, 40),
+    )];
+    for seed in 0..8u64 {
+        cases.push((
+            StructureGenerator::new(schema.clone(), seed).random_with_facts(3, 4),
+            StructureGenerator::new(schema.clone(), seed ^ 0xF00D).random_with_facts(6, 14),
+        ));
+    }
+    for (i, (src, tgt)) in cases.iter().enumerate() {
+        let (lane_count, lane_steps, lane_bytes) = metered(src, tgt);
+        force_scalar_filter(true);
+        let (scalar_count, scalar_steps, scalar_bytes) = metered(src, tgt);
+        force_scalar_filter(false);
+        assert_eq!(lane_count, scalar_count, "case {i}: counts differ");
+        assert_eq!(lane_steps, scalar_steps, "case {i}: step totals differ");
+        assert_eq!(lane_bytes, scalar_bytes, "case {i}: byte totals differ");
+        assert!(lane_steps > 0, "case {i}: the workload must be metered");
+    }
+}
