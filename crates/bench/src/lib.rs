@@ -269,6 +269,225 @@ pub fn chaos_workload(count: usize, seed: u64) -> Vec<String> {
         .collect()
 }
 
+/// Concurrent connections driven by the §SOAK experiment.
+pub const SOAK_CONNECTIONS: usize = 32;
+
+/// Total requests a full (non-`--quick`) §SOAK run pushes through the
+/// server, spread evenly across [`SOAK_CONNECTIONS`] connections.
+pub const SOAK_REQUESTS: usize = 100_000;
+
+/// Pipelining window per soak connection: how many requests a client keeps
+/// outstanding before reading a response.
+pub const SOAK_PIPELINE_WINDOW: usize = 64;
+
+/// Which serving core a [`soak_workload`] run drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SoakCore {
+    /// The event-driven reactor (`serve_tcp`'s default path).
+    Reactor,
+    /// The retained thread-per-connection twin (the baseline).
+    Threaded,
+}
+
+/// What one §SOAK run observed: every response was typed and arrived in
+/// order (enforced inside, a violation panics the harness), so the report
+/// is pure performance — client-observed latency quantiles and end-to-end
+/// throughput — plus the shed count for visibility.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// Requests sent (= responses received; a drop or hang panics).
+    pub requests: usize,
+    /// Responses that were typed `resource_exhausted` sheds (the workload
+    /// sizes the in-flight budget so this is normally zero).
+    pub shed: usize,
+    /// Requests the server reported having served at shutdown.
+    pub served: u64,
+    /// Wall-clock seconds from first byte written to last response read.
+    pub elapsed_s: f64,
+    /// `requests / elapsed_s`.
+    pub throughput_rps: f64,
+    /// Client-observed latency quantiles in microseconds (pipelined, so
+    /// they include queueing behind the connection's own window).
+    pub mean_us: f64,
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+}
+
+/// The §SOAK experiment: `connections` concurrent pipelined clients push
+/// `total_requests` requests (a stats-heavy mix with periodic cache-hot
+/// decides) through one in-process server running the chosen `core`, each
+/// client keeping up to `window` requests outstanding.
+///
+/// The harness *asserts* the serving invariants while measuring: every
+/// request gets exactly one response, every response parses as JSON with a
+/// `type` member and echoes its request id in pipeline order, and no read
+/// stalls longer than 30 s (a hang fails the run rather than wedging it).
+pub fn soak_workload(
+    core: SoakCore,
+    connections: usize,
+    total_requests: usize,
+    window: usize,
+) -> SoakReport {
+    use cqdet_engine::Json;
+    use std::collections::VecDeque;
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::sync::{mpsc, Arc};
+    use std::time::{Duration, Instant};
+
+    let engine = Arc::new(cqdet_service::Engine::new());
+    let options = cqdet_service::ServeOptions {
+        max_connections: connections + 8,
+        worker_threads: 0,
+        // Sized so a fully loaded pipeline (every client at its window)
+        // stays under budget: the soak measures throughput, not shedding
+        // (`tests/serve.rs` covers the shed path).
+        inflight_budget: (connections * window).saturating_mul(2).max(64),
+        ..Default::default()
+    };
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let server = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || match core {
+            SoakCore::Reactor => {
+                cqdet_service::serve_tcp_reactor(&engine, "127.0.0.1:0", &options, |addr| {
+                    let _ = addr_tx.send(addr);
+                })
+            }
+            SoakCore::Threaded => {
+                cqdet_service::serve_tcp_threaded(&engine, "127.0.0.1:0", &options, |addr| {
+                    let _ = addr_tx.send(addr);
+                })
+            }
+        })
+    };
+    let addr = addr_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("soak server must come up");
+
+    // One shared program keeps the periodic decides cache-hot engine-wide:
+    // the soak measures the serving layer, not the decision procedure.
+    let (views, query) = decide_workload(3, 2, true, 0x50AC);
+    let program = views
+        .iter()
+        .map(|v| v.to_string())
+        .chain(std::iter::once(query.to_string()))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let decide_body = format!(
+        "\"type\":\"decide\",\"program\":{},\"query\":{}",
+        Json::str(program).render(),
+        Json::str(query.name().to_string()).render()
+    );
+    let decide_body = Arc::new(decide_body);
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..connections)
+        .map(|conn| {
+            // Spread the remainder so every request is accounted for.
+            let n = total_requests / connections
+                + usize::from(conn < total_requests % connections);
+            let decide_body = Arc::clone(&decide_body);
+            std::thread::spawn(move || {
+                let stream = std::net::TcpStream::connect(addr).expect("soak connect");
+                stream.set_nodelay(true).expect("nodelay");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("read timeout");
+                let mut writer = stream.try_clone().expect("clone soak stream");
+                let mut reader = BufReader::with_capacity(1 << 16, stream);
+                let mut pending: VecDeque<Instant> = VecDeque::with_capacity(window);
+                let mut latencies_us = Vec::with_capacity(n);
+                let mut shed = 0usize;
+                let mut sent = 0usize;
+                let mut received = 0usize;
+                let mut line = String::new();
+                while received < n {
+                    while sent < n && pending.len() < window {
+                        let id = format!("s{conn}-{sent}");
+                        let request = if sent.is_multiple_of(8) {
+                            format!("{{\"id\":\"{id}\",{decide_body}}}\n")
+                        } else {
+                            format!("{{\"id\":\"{id}\",\"type\":\"stats\"}}\n")
+                        };
+                        writer.write_all(request.as_bytes()).expect("soak write");
+                        pending.push_back(Instant::now());
+                        sent += 1;
+                    }
+                    line.clear();
+                    let bytes = reader.read_line(&mut line).unwrap_or_else(|e| {
+                        panic!("soak conn {conn} read stalled or failed after {received}/{n} responses: {e}")
+                    });
+                    assert!(
+                        bytes > 0,
+                        "soak conn {conn} dropped: EOF after {received}/{n} responses"
+                    );
+                    let sent_at = pending.pop_front().expect("response without request");
+                    latencies_us.push(sent_at.elapsed().as_secs_f64() * 1e6);
+                    let response = Json::parse(line.trim()).unwrap_or_else(|e| {
+                        panic!("soak conn {conn} got untyped response {line:?}: {e:?}")
+                    });
+                    let kind = response
+                        .get("type")
+                        .and_then(Json::as_str)
+                        .expect("every response carries a type");
+                    assert_eq!(
+                        response.get("id").and_then(Json::as_str),
+                        Some(format!("s{conn}-{received}").as_str()),
+                        "responses must echo ids in pipeline order"
+                    );
+                    if kind == "error" {
+                        let code = response
+                            .get("error")
+                            .and_then(|e| e.get("code"))
+                            .and_then(Json::as_str)
+                            .expect("typed errors carry a code")
+                            .to_string();
+                        assert_eq!(code, "resource_exhausted", "unexpected soak error");
+                        shed += 1;
+                    }
+                    received += 1;
+                }
+                (latencies_us, shed)
+            })
+        })
+        .collect();
+
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(total_requests);
+    let mut shed = 0usize;
+    for client in clients {
+        let (lat, s) = client.join().expect("soak client panicked");
+        latencies_us.extend(lat);
+        shed += s;
+    }
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    engine.request_shutdown();
+    let served = server
+        .join()
+        .expect("soak server panicked")
+        .expect("soak server I/O error");
+
+    assert_eq!(latencies_us.len(), total_requests, "every request answered");
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let quantile = |q: f64| {
+        let idx = ((q * latencies_us.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(latencies_us.len() - 1);
+        latencies_us[idx]
+    };
+    SoakReport {
+        requests: total_requests,
+        shed,
+        served,
+        elapsed_s,
+        throughput_rps: total_requests as f64 / elapsed_s,
+        mean_us: latencies_us.iter().sum::<f64>() / latencies_us.len() as f64,
+        p50_us: quantile(0.50),
+        p95_us: quantile(0.95),
+        p99_us: quantile(0.99),
+    }
+}
+
 /// The parameter grid for the modular-linear-algebra experiment (LINALG):
 /// `(dimension k, generators n, entry bits)`.  Tall systems (`k ≫ n`) with
 /// bignum entries are the hom-count regime of Definitions 27/29 at scale;

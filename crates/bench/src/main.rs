@@ -9,8 +9,8 @@
 //! ```
 //!
 //! `--only` takes a comma-separated list of workload families (`hom`,
-//! `decide`, `batch`, `serve`, `linalg`, `dedup`) and skips the rest — CI
-//! uses it to smoke the two kernel families in one release run.  Every JSON
+//! `decide`, `batch`, `serve`, `linalg`, `dedup`, `soak`) and skips the
+//! rest — CI uses it to smoke the two kernel families in one release run.  Every JSON
 //! row carries a `label` field (the `CQDET_BENCH_LABEL` env var if set, else
 //! the current git commit) so baselines in `BENCH_hom.json` stay
 //! attributable across PRs.
@@ -24,9 +24,9 @@
 
 use cqdet_bench::{
     batch_workload, decide_workload, dedup_components_workload, hom_source, hom_target,
-    serve_request_line, serve_workload, span_workload, span_workload_seed, BATCH_SHARED_VIEWS,
-    BATCH_TASK_COUNTS, DECIDE_MANY_VIEW_COUNTS, LINALG_SPAN_SHAPES, SERVE_SHARED_VIEWS,
-    SERVE_TASK_COUNTS,
+    serve_request_line, serve_workload, soak_workload, span_workload, span_workload_seed, SoakCore,
+    BATCH_SHARED_VIEWS, BATCH_TASK_COUNTS, DECIDE_MANY_VIEW_COUNTS, LINALG_SPAN_SHAPES,
+    SERVE_SHARED_VIEWS, SERVE_TASK_COUNTS, SOAK_CONNECTIONS, SOAK_PIPELINE_WINDOW, SOAK_REQUESTS,
 };
 use cqdet_core::decide_bag_determinacy;
 use cqdet_engine::{DecisionSession, SessionConfig};
@@ -77,11 +77,17 @@ impl Harness {
             ns(min),
             ns(max)
         );
+        self.append_json(format!(
+            "{{\"benchmark\":\"{name}\",\"label\":\"{}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{},\"iters_per_sample\":{iters}}}\n",
+            self.label, self.samples
+        ));
+    }
+
+    /// Append one pre-rendered JSON line to the `--json` target (no-op
+    /// without one) — the escape hatch for rows that are not mean/min/max
+    /// timings, like the §SOAK throughput + latency-quantile rows.
+    fn append_json(&self, line: String) {
         if let Some(path) = &self.json_path {
-            let line = format!(
-                "{{\"benchmark\":\"{name}\",\"label\":\"{}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{},\"iters_per_sample\":{iters}}}\n",
-                self.label, self.samples
-            );
             let mut fh = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
@@ -146,7 +152,8 @@ fn main() {
                     .map(|f| f.trim().to_string())
                     .filter(|f| !f.is_empty())
                     .collect();
-                const KNOWN: [&str; 6] = ["hom", "decide", "batch", "serve", "linalg", "dedup"];
+                const KNOWN: [&str; 7] =
+                    ["hom", "decide", "batch", "serve", "linalg", "dedup", "soak"];
                 for f in &fs {
                     if !KNOWN.contains(&f.as_str()) {
                         eprintln!("unknown family {f:?}; known: {}", KNOWN.join(", "));
@@ -385,6 +392,45 @@ fn main() {
                 response.to_json().render().len()
             },
         );
+    }
+
+    // SOAK: the serving layer under sustained concurrent load (§SOAK) —
+    // 32 pipelined connections pushing 100k requests (4k under `--quick`)
+    // through an in-process server, on BOTH cores: the event-driven
+    // reactor (`soak/reactor/...`) and the retained thread-per-connection
+    // twin (`soak/threaded/...`, the baseline the reactor must not lose
+    // to).  The harness asserts the invariants while it measures: every
+    // request answered exactly once, typed, ids echoed in pipeline order,
+    // no read stalled ≥ 30 s.  Rows carry throughput and latency
+    // quantiles instead of mean/min/max timings.
+    if h.family_enabled("soak") {
+        let total = if quick { 4_000 } else { SOAK_REQUESTS };
+        for (name, core) in [
+            ("reactor", SoakCore::Reactor),
+            ("threaded", SoakCore::Threaded),
+        ] {
+            let r = soak_workload(core, SOAK_CONNECTIONS, total, SOAK_PIPELINE_WINDOW);
+            println!(
+                "soak/{name}/{SOAK_CONNECTIONS}x{total:<24} {:>10.0} req/s  p50 {:>9}  p95 {:>9}  p99 {:>9}  mean {:>9}",
+                r.throughput_rps,
+                ns(r.p50_us * 1e3),
+                ns(r.p95_us * 1e3),
+                ns(r.p99_us * 1e3),
+                ns(r.mean_us * 1e3),
+            );
+            assert_eq!(r.requests, total, "soak must answer every request");
+            assert_eq!(r.shed, 0, "soak budget is sized to never shed");
+            assert!(
+                r.served >= total as u64,
+                "server must count every soak response: served {} < {total}",
+                r.served
+            );
+            h.append_json(format!(
+                "{{\"benchmark\":\"soak/{name}/{SOAK_CONNECTIONS}x{total}\",\"label\":\"{}\",\"throughput_rps\":{:.1},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\"mean_us\":{:.1},\"requests\":{},\"connections\":{SOAK_CONNECTIONS},\"window\":{SOAK_PIPELINE_WINDOW},\"shed\":{},\"elapsed_s\":{:.3}}}\n",
+                h.label, r.throughput_rps, r.p50_us, r.p95_us, r.p99_us, r.mean_us, r.requests,
+                r.shed, r.elapsed_s
+            ));
+        }
     }
 
     // LINALG: the exact span/rank kernels on tall bignum systems — the

@@ -34,9 +34,11 @@
 
 pub mod deadline;
 pub mod fuel;
+pub mod pool;
 
 pub use deadline::{CancelToken, Expired};
 pub use fuel::{Budget, Exhausted, Gas, Interrupt};
+pub use pool::{BoundedQueue, TryPushError};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,246 @@
+//! A bounded MPMC queue for fixed worker pools, dependency-free (no
+//! crossbeam in the sandbox): a `Mutex<VecDeque>` with two condvars.
+//!
+//! The shape is deliberately asymmetric, matching the serve reactor that
+//! motivated it (`cqdet-service`): producers are *non-blocking*
+//! ([`BoundedQueue::try_push`] — an event loop must never park on a full
+//! queue, it applies backpressure upstream instead), consumers *block*
+//! ([`BoundedQueue::pop`] — worker threads sleep until work or close).
+//! Blocking [`BoundedQueue::push`] exists for symmetric producer/consumer
+//! pipelines.
+//!
+//! Closing the queue ([`BoundedQueue::close`]) wakes every sleeper: `pop`
+//! drains what remains and then returns `None`, so a worker loop
+//! `while let Some(job) = q.pop()` terminates exactly when the queue is
+//! closed *and* empty — the graceful-shutdown contract of the serve loop.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a [`BoundedQueue::try_push`] was refused; the item comes back to the
+/// caller either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; retry after consumers make room.
+    Full(T),
+    /// The queue was closed; no further items will ever be accepted.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO.  See the [module
+/// docs](self).
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    /// Signalled when an item arrives or the queue closes (consumers wait).
+    not_empty: Condvar,
+    /// Signalled when an item leaves or the queue closes (producers wait).
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` (≥ 1) queued items.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Queue state is plain data (the items themselves); recover it from a
+    /// poisoned lock rather than propagating a panicked peer.
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Non-blocking enqueue: `Err(Full)` at capacity, `Err(Closed)` after
+    /// [`BoundedQueue::close`]; the item is returned in both.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking enqueue: waits for room; `Err` (with the item) only if the
+    /// queue closes while waiting.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocking dequeue: waits for an item; `None` once the queue is closed
+    /// **and** drained (the worker-loop termination signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        let item = state.items.pop_front();
+        if item.is_some() {
+            drop(state);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Items currently queued (racy by nature; for monitoring and tests).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Close the queue: every waiting producer fails, every waiting consumer
+    /// drains the remainder and then sees `None`.  Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert_eq!(q.try_push("b"), Err(TryPushError::Closed("b")));
+        assert_eq!(q.push("c"), Err("c"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "close is sticky");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = BoundedQueue::<u32>::new(1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3).map(|_| scope.spawn(|| q.pop())).collect();
+            // Give the consumers a moment to park, then close.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.close();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), None);
+            }
+        });
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_every_item_once() {
+        let q = BoundedQueue::new(8);
+        let produced = 4 * 500usize;
+        let consumed = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for p in 0..4usize {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..500usize {
+                        q.push(p * 500 + i).unwrap();
+                    }
+                });
+            }
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let (q, consumed, sum) = (&q, &consumed, &sum);
+                    scope.spawn(move || {
+                        while let Some(v) = q.pop() {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            // Producers finish, then close; consumers drain the tail.
+            // (The scope would deadlock if close didn't wake them.)
+            scope.spawn(|| {
+                // Wait for all items to be produced before closing: the
+                // producers' joins happen at scope exit, so poll the count.
+                while consumed.load(Ordering::Relaxed) + q.len() < produced {
+                    std::thread::yield_now();
+                }
+                q.close();
+            });
+            for c in consumers {
+                c.join().unwrap();
+            }
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), produced);
+        assert_eq!(sum.load(Ordering::Relaxed), (0..produced).sum::<usize>());
+    }
+}

@@ -41,6 +41,10 @@ pub struct EngineCounters {
     pub panics_contained: u64,
     /// Connections shed at the [`crate::ServeOptions::max_connections`] cap.
     pub shed_connections: u64,
+    /// Individual requests shed by admission control at the
+    /// [`crate::ServeOptions::inflight_budget`] cap — each one answered
+    /// with a typed `resource_exhausted` error, never stalled or dropped.
+    pub shed_requests: u64,
     /// Request lines rejected for exceeding
     /// [`crate::ServeOptions::max_request_bytes`].
     pub oversized_requests: u64,
@@ -56,6 +60,7 @@ struct CounterCells {
     fuel_exhausted: AtomicU64,
     panics_contained: AtomicU64,
     shed_connections: AtomicU64,
+    shed_requests: AtomicU64,
     oversized_requests: AtomicU64,
     accept_retries: AtomicU64,
 }
@@ -137,6 +142,7 @@ impl Engine {
             fuel_exhausted: c.fuel_exhausted.load(Ordering::Relaxed),
             panics_contained: c.panics_contained.load(Ordering::Relaxed),
             shed_connections: c.shed_connections.load(Ordering::Relaxed),
+            shed_requests: c.shed_requests.load(Ordering::Relaxed),
             oversized_requests: c.oversized_requests.load(Ordering::Relaxed),
             accept_retries: c.accept_retries.load(Ordering::Relaxed),
         }
@@ -164,6 +170,10 @@ impl Engine {
         self.counters
             .shed_connections
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_shed_request(&self) {
+        self.counters.shed_requests.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_oversized_request(&self) {

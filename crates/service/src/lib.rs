@@ -15,9 +15,12 @@
 //!   long-lived [`cqdet_engine::DecisionSession`], with per-request
 //!   deadlines checked at pipeline stage boundaries (gate → basis → span →
 //!   witness) and panic containment;
-//! * [`serve`] — the JSON-lines server (`cqdet serve`): stdin/stdout and
-//!   TCP transports over one shared engine, scoped threads per connection,
-//!   graceful shutdown.
+//! * [`serve`] / [`reactor`] — the JSON-lines server (`cqdet serve`):
+//!   stdin/stdout and TCP transports over one shared engine.  TCP is an
+//!   event-driven reactor feeding a fixed worker pool, with admission
+//!   control (in-flight budget, typed `resource_exhausted` shedding),
+//!   round-robin fairness, and graceful shutdown; the thread-per-
+//!   connection twin is retained as the benchmark baseline.
 //!
 //! The `cqdet` binary is a thin transport over this crate: every subcommand
 //! constructs a [`Request`] and goes through [`Engine::submit`] — one code
@@ -52,12 +55,18 @@
 
 pub mod engine;
 pub mod error;
+pub mod frame;
+pub mod reactor;
 pub mod request;
 pub mod response;
 pub mod serve;
 
 pub use engine::{parse_monomial, parse_program, Engine, EngineCounters};
 pub use error::CqdetError;
+pub use frame::{FrameBuffer, FrameError};
+pub use reactor::serve_tcp_reactor;
 pub use request::{BudgetSpec, Request, RequestKind, PROTOCOL_VERSION};
 pub use response::{counters_json, error_json, HilbertRefutation, Response};
-pub use serve::{failpoint_names, respond_to_line, serve_lines, serve_tcp, ServeOptions};
+pub use serve::{
+    failpoint_names, respond_to_line, serve_lines, serve_tcp, serve_tcp_threaded, ServeOptions,
+};

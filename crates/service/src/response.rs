@@ -344,6 +344,7 @@ pub fn counters_json(counters: &EngineCounters) -> Json {
             "shed_connections",
             Json::num(counters.shed_connections as i64),
         ),
+        ("shed_requests", Json::num(counters.shed_requests as i64)),
         (
             "oversized_requests",
             Json::num(counters.oversized_requests as i64),

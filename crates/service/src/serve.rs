@@ -5,13 +5,20 @@
 //!
 //! * [`serve_lines`] — stdin/stdout (or any `BufRead`/`Write` pair): the
 //!   zero-setup mode, also what CI smoke-tests pipe requests through;
-//! * [`serve_tcp`] — a `std::net::TcpListener` accept loop with one scoped
-//!   thread per connection (capped at [`ServeOptions::max_connections`],
-//!   sized from `cqdet_parallel::max_parallelism`); every connection talks
-//!   to the **same** [`Engine`], so the session caches (frozen bodies,
-//!   containment gates, span bases, the hom memo) are shared across
-//!   connections — exactly the cross-request regime the PR 3/4 caches were
-//!   built for.
+//! * [`serve_tcp`] — the event-driven core (see [`crate::reactor`]): a
+//!   non-blocking readiness-polling reactor owns all connection I/O and
+//!   feeds a fixed worker pool through a bounded queue, with a global
+//!   in-flight admission budget ([`ServeOptions::inflight_budget`]),
+//!   round-robin per-connection fairness, and typed `resource_exhausted`
+//!   load-shedding.  Every connection talks to the **same** [`Engine`], so
+//!   the session caches (frozen bodies, containment gates, span bases, the
+//!   hom memo) are shared across connections — exactly the cross-request
+//!   regime the PR 3/4 caches were built for.
+//!
+//! The previous transport — one scoped thread per connection — is retained
+//! as [`serve_tcp_threaded`]: it is the §SOAK baseline the reactor is
+//! benchmarked against, and `CQDET_THREADED_SERVE=1` routes [`serve_tcp`]
+//! back to it as an operational escape hatch.
 //!
 //! Error containment: a malformed line, a request outside the decidable
 //! fragment, an expired deadline or even a panicking worker each produce a
@@ -58,6 +65,16 @@ pub struct ServeOptions {
     /// retry waits 1 ms, doubling up to this cap, reset on any successful
     /// accept.
     pub accept_backoff_max: Duration,
+    /// Worker threads the reactor dispatches requests to; `0` sizes the
+    /// pool from `cqdet_parallel::max_parallelism()`.  Ignored by the
+    /// thread-per-connection twin.
+    pub worker_threads: usize,
+    /// Global admission budget: the maximum number of requests admitted
+    /// (dispatched or queued) but not yet answered, across all
+    /// connections.  A frame arriving over budget is *shed* — answered
+    /// immediately with a typed `resource_exhausted` error, never stalled
+    /// or dropped.  Ignored by the thread-per-connection twin.
+    pub inflight_budget: usize,
 }
 
 impl Default for ServeOptions {
@@ -72,16 +89,26 @@ impl Default for ServeOptions {
             max_request_bytes: 64 << 20,
             default_budget: None,
             accept_backoff_max: Duration::from_millis(100),
+            worker_threads: 0,
+            // Far above any honest pipelining depth, low enough to refuse
+            // an unbounded backlog long before memory pressure.
+            inflight_budget: 4096,
         }
     }
 }
 
 /// Every fault-injection seam reachable from a served request, for chaos
 /// harnesses to cycle through (see `cqdet-failpoint`).  Grouped by layer:
-/// connection I/O, line handling, engine dispatch, decision stages, session
-/// cache internals.
+/// reactor core, connection I/O, line handling, engine dispatch, decision
+/// stages, session cache internals.  `serve/shed` only fires on the
+/// admission-control shed path, so the generic chaos matrix (which drives
+/// ordinary under-budget traffic) exercises it via a dedicated
+/// over-budget scenario rather than this list's round-trip probe.
 pub fn failpoint_names() -> &'static [&'static str] {
     &[
+        "serve/poll",
+        "serve/dispatch",
+        "serve/shed",
         "serve/conn/read",
         "serve/conn/write",
         "serve/parse",
@@ -126,7 +153,8 @@ pub fn respond_to_line(engine: &Engine, line: &str) -> Option<Response> {
 /// panics from *any* layer under it (the parse seam, engine dispatch, JSON
 /// rendering, the emit seam): a panic becomes a typed internal-error line,
 /// never a dead connection.  `(rendered, shutdown)`; `None` for blank lines.
-fn render_line(engine: &Engine, line: &str) -> Option<(String, bool)> {
+/// The reactor's worker pool runs exactly this per job.
+pub(crate) fn render_line(engine: &Engine, line: &str) -> Option<(String, bool)> {
     let rendered = catch_unwind(AssertUnwindSafe(|| {
         let response = respond_to_line(engine, line)?;
         let done = matches!(response, Response::Shutdown { .. });
@@ -192,7 +220,27 @@ pub fn serve_lines<R: BufRead, W: Write>(
 /// address before the first accept — front ends print their "serving" line
 /// from it, tests learn the ephemeral port.  Returns after a graceful
 /// shutdown with the number of requests answered.
+///
+/// This runs the event-driven reactor core ([`crate::reactor`]);
+/// `CQDET_THREADED_SERVE=1` routes to the retained thread-per-connection
+/// twin ([`serve_tcp_threaded`]) instead.
 pub fn serve_tcp<F: FnOnce(SocketAddr)>(
+    engine: &Engine,
+    addr: &str,
+    options: &ServeOptions,
+    on_ready: F,
+) -> io::Result<u64> {
+    if std::env::var_os("CQDET_THREADED_SERVE").is_some_and(|v| v == "1") {
+        serve_tcp_threaded(engine, addr, options, on_ready)
+    } else {
+        crate::reactor::serve_tcp_reactor(engine, addr, options, on_ready)
+    }
+}
+
+/// The previous TCP transport — one scoped thread per connection, blocking
+/// reads with a poll-interval timeout — retained as the reactor's
+/// behavioral twin and §SOAK throughput baseline.
+pub fn serve_tcp_threaded<F: FnOnce(SocketAddr)>(
     engine: &Engine,
     addr: &str,
     options: &ServeOptions,
@@ -281,7 +329,7 @@ pub fn serve_tcp<F: FnOnce(SocketAddr)>(
     }
 }
 
-fn reject_connection(mut stream: TcpStream) -> io::Result<()> {
+pub(crate) fn reject_connection(mut stream: TcpStream) -> io::Result<()> {
     let response = Response::Error {
         id: None,
         error: CqdetError::resource("connection slots (try again shortly)"),

@@ -1,0 +1,132 @@
+//! Property tests for the reactor's frame reassembly
+//! ([`cqdet_service::frame::FrameBuffer`]): the stream of extracted frames
+//! — including where the oversized trip fires and what the EOF tail is —
+//! must be invariant under arbitrary chunking of the input bytes, and no
+//! byte stream (hostile, binary, mutated) may ever panic the framer.
+
+use cqdet_service::frame::{FrameBuffer, FrameError};
+use proptest::prelude::*;
+
+/// Everything observable about framing one byte stream: the frames handed
+/// out in order, whether the oversized cap tripped, and the EOF tail.
+#[derive(Debug, PartialEq, Eq)]
+struct Framing {
+    frames: Vec<String>,
+    tripped: bool,
+    tail: Option<String>,
+}
+
+/// Feed `stream` through a [`FrameBuffer`] in chunks whose sizes cycle
+/// through `cuts` (empty `cuts` = one-shot delivery), pulling every
+/// available frame after each push — the access pattern of the reactor's
+/// read phase.
+fn frame_with_chunking(stream: &[u8], cuts: &[usize], max_bytes: usize) -> Framing {
+    let mut fb = FrameBuffer::new(max_bytes);
+    let mut frames = Vec::new();
+    let mut tripped = false;
+    let mut offset = 0;
+    let mut cut_idx = 0;
+    while offset < stream.len() {
+        let take = if cuts.is_empty() {
+            stream.len()
+        } else {
+            cuts[cut_idx % cuts.len()].clamp(1, stream.len() - offset)
+        };
+        cut_idx += 1;
+        fb.push(&stream[offset..offset + take]);
+        offset += take;
+        loop {
+            match fb.next_frame() {
+                Ok(Some(frame)) => frames.push(frame),
+                Ok(None) => break,
+                Err(FrameError::Oversized { .. }) => {
+                    tripped = true;
+                    break;
+                }
+            }
+        }
+        if tripped {
+            break;
+        }
+    }
+    Framing {
+        frames,
+        tripped,
+        tail: fb.finish(),
+    }
+}
+
+/// Bias a raw byte soup toward newline-rich streams so frames actually
+/// occur (uniform `u8` terminates a frame only every 256 bytes).
+fn with_newlines(bytes: &[u8]) -> Vec<u8> {
+    bytes
+        .iter()
+        .map(|&b| if b % 5 == 0 { b'\n' } else { b })
+        .collect()
+}
+
+proptest! {
+    /// Chunk-boundary invariance: one-shot delivery and any chunked
+    /// delivery of the same bytes produce identical framing verdicts.
+    #[test]
+    fn framing_is_chunk_boundary_invariant(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        cuts in prop::collection::vec(1usize..64, 1..8),
+        max_bytes in 1usize..128,
+    ) {
+        let stream = with_newlines(&bytes);
+        let whole = frame_with_chunking(&stream, &[], max_bytes);
+        let chunked = frame_with_chunking(&stream, &cuts, max_bytes);
+        prop_assert_eq!(whole, chunked);
+    }
+
+    /// Byte-at-a-time is the adversarial extreme of chunking (a slow-loris
+    /// client); it too must agree with one-shot delivery.
+    #[test]
+    fn byte_at_a_time_agrees_with_one_shot(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+        max_bytes in 1usize..128,
+    ) {
+        let stream = with_newlines(&bytes);
+        let whole = frame_with_chunking(&stream, &[], max_bytes);
+        let dribbled = frame_with_chunking(&stream, &[1], max_bytes);
+        prop_assert_eq!(whole, dribbled);
+    }
+
+    /// Arbitrary bytes never panic the framer, and its verdict is sane:
+    /// no frame contains a newline, raw frames fit the cap (lossy UTF-8
+    /// may widen invalid bytes into 3-byte replacement characters), and
+    /// the frames + tail reconstruct the input stream exactly.
+    #[test]
+    fn arbitrary_bytes_never_panic_and_frames_reconstruct(
+        stream in prop::collection::vec(any::<u8>(), 0..512),
+        cuts in prop::collection::vec(1usize..32, 1..6),
+        max_bytes in 1usize..256,
+    ) {
+        let framing = frame_with_chunking(&stream, &cuts, max_bytes);
+        for frame in &framing.frames {
+            prop_assert!(
+                frame.len() <= max_bytes || frame.contains('\u{fffd}'),
+                "frame exceeds cap: {} bytes",
+                frame.len()
+            );
+            prop_assert!(!frame.contains('\n'));
+        }
+        if !framing.tripped {
+            // Lossy UTF-8 is not byte-reversible, so reconstruct on the
+            // lossy image of the input rather than the raw bytes.  The
+            // newline separators are hard ASCII boundaries, so lossy
+            // decoding per-frame composes to lossy decoding of the whole.
+            let mut rebuilt = String::new();
+            for frame in &framing.frames {
+                rebuilt.push_str(frame);
+                rebuilt.push('\n');
+            }
+            if let Some(tail) = &framing.tail {
+                rebuilt.push_str(tail);
+            }
+            let reference = String::from_utf8_lossy(&stream).into_owned();
+            prop_assert_eq!(rebuilt, reference);
+        }
+    }
+}

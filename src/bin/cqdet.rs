@@ -34,11 +34,17 @@
 //!     Theorem 2 reduction: monomials like `+2:x^1,y^1` or `-12:`; searches
 //!     for a solution with unknowns ≤ bound and reports the refutation.
 //!
-//! cqdet serve [--tcp ADDR] [--fuel-steps N] [--fuel-bytes N]
+//! cqdet serve [--tcp ADDR] [--workers N] [--inflight N]
+//!             [--max-line-bytes N] [--fuel-steps N] [--fuel-bytes N]
 //!     The long-lived JSON-lines server.  Default transport is
 //!     stdin/stdout; `--tcp 127.0.0.1:4199` serves concurrent connections
 //!     over TCP with shared cross-connection caches (`--tcp 127.0.0.1:0`
-//!     picks an ephemeral port, reported on stdout).  `--fuel-steps` /
+//!     picks an ephemeral port, reported on stdout).  `--workers` sizes
+//!     the reactor's worker pool (0 = one per core), `--inflight` caps
+//!     admitted-but-unanswered requests across all connections (over
+//!     budget ⇒ typed `resource_exhausted`, never a stall), and
+//!     `--max-line-bytes` bounds one request line (an oversized line gets
+//!     one typed error, then the connection closes).  `--fuel-steps` /
 //!     `--fuel-bytes` install a default fuel budget applied to every
 //!     request without a `budget` member of its own.  See README.md for
 //!     the protocol (request/response schema, error taxonomy, deadlines).
@@ -98,7 +104,8 @@ fn print_usage() {
     println!("  cqdet bench   <tasks.cqb> [--repeat N]");
     println!("  cqdet path    <query-word> <view-word>...");
     println!("  cqdet hilbert <bound> <coeff:var^deg,...>...");
-    println!("  cqdet serve   [--tcp ADDR] [--fuel-steps N] [--fuel-bytes N]");
+    println!("  cqdet serve   [--tcp ADDR] [--workers N] [--inflight N]");
+    println!("                [--max-line-bytes N] [--fuel-steps N] [--fuel-bytes N]");
     println!("  cqdet stats   --tcp ADDR");
     println!();
     println!("Batch task files define boolean CQs (one per line, shared by all");
@@ -134,6 +141,9 @@ struct Flags {
     tcp: Option<String>,
     fuel_steps: Option<u64>,
     fuel_bytes: Option<u64>,
+    workers: Option<usize>,
+    inflight: Option<usize>,
+    max_line_bytes: Option<usize>,
 }
 
 /// Parse one positional path plus the flags in `allowed`; any other
@@ -152,6 +162,9 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
         tcp: None,
         fuel_steps: None,
         fuel_bytes: None,
+        workers: None,
+        inflight: None,
+        max_line_bytes: None,
     };
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -188,6 +201,33 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                         .parse()
                         .map_err(|_| "--fuel-bytes must be a non-negative integer")?,
                 );
+            }
+            "--workers" => {
+                flags.workers = Some(
+                    iter.next()
+                        .ok_or("--workers needs a value")?
+                        .parse()
+                        .map_err(|_| "--workers must be a non-negative integer (0 = auto)")?,
+                );
+            }
+            "--inflight" => {
+                flags.inflight = Some(
+                    iter.next()
+                        .ok_or("--inflight needs a value")?
+                        .parse()
+                        .map_err(|_| "--inflight must be a non-negative integer")?,
+                );
+            }
+            "--max-line-bytes" => {
+                let value: usize = iter
+                    .next()
+                    .ok_or("--max-line-bytes needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-line-bytes must be a positive integer")?;
+                if value == 0 {
+                    return Err("--max-line-bytes must be a positive integer".to_string());
+                }
+                flags.max_line_bytes = Some(value);
             }
             "--repeat" => {
                 flags.repeat = iter
@@ -548,11 +588,29 @@ fn cmd_hilbert(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["--tcp", "--fuel-steps", "--fuel-bytes"])?;
+    let flags = parse_flags(
+        args,
+        &[
+            "--tcp",
+            "--workers",
+            "--inflight",
+            "--max-line-bytes",
+            "--fuel-steps",
+            "--fuel-bytes",
+        ],
+    )?;
     if let Some(extra) = &flags.path {
         return Err(format!(
             "serve takes no positional argument (got {extra:?})"
         ));
+    }
+    if flags.tcp.is_none()
+        && (flags.workers.is_some() || flags.inflight.is_some() || flags.max_line_bytes.is_some())
+    {
+        return Err(
+            "--workers/--inflight/--max-line-bytes apply to the TCP reactor; add --tcp ADDR"
+                .to_string(),
+        );
     }
     let default_budget =
         (flags.fuel_steps.is_some() || flags.fuel_bytes.is_some()).then_some(BudgetSpec {
@@ -571,9 +629,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some(addr) => {
+            let defaults = ServeOptions::default();
             let options = ServeOptions {
                 default_budget,
-                ..ServeOptions::default()
+                worker_threads: flags.workers.unwrap_or(defaults.worker_threads),
+                inflight_budget: flags.inflight.unwrap_or(defaults.inflight_budget),
+                max_request_bytes: flags.max_line_bytes.unwrap_or(defaults.max_request_bytes),
+                ..defaults
             };
             let served = serve_tcp(&engine, addr, &options, |bound| {
                 // The ready line is machine-readable so tests and tooling can
@@ -652,5 +714,31 @@ mod tests {
         // silently ignored.
         let err = super::parse_flags(&["--json".to_string()], &["--query"]).unwrap_err();
         assert!(err.contains("not a flag of this subcommand"));
+    }
+
+    #[test]
+    fn serve_tuning_flags() {
+        let all = ["--workers", "--inflight", "--max-line-bytes"];
+        let args: Vec<String> = [
+            "--workers",
+            "2",
+            "--inflight",
+            "128",
+            "--max-line-bytes",
+            "4096",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let flags = super::parse_flags(&args, &all).unwrap();
+        assert_eq!(flags.workers, Some(2));
+        assert_eq!(flags.inflight, Some(128));
+        assert_eq!(flags.max_line_bytes, Some(4096));
+        // 0 means "auto" for workers and "shed everything" for inflight,
+        // but a zero-byte line cap could never admit a request.
+        assert!(super::parse_flags(&["--workers".into(), "0".into()], &all).is_ok());
+        assert!(super::parse_flags(&["--inflight".into(), "0".into()], &all).is_ok());
+        assert!(super::parse_flags(&["--max-line-bytes".into(), "0".into()], &all).is_err());
+        assert!(super::parse_flags(&["--workers".into(), "x".into()], &all).is_err());
     }
 }

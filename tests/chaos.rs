@@ -520,6 +520,12 @@ fn failpoint_matrix_every_seam_every_action() {
             let mut probe = connect(addr);
             let mut n = 0u64;
             for &seam in cqdet::service::failpoint_names() {
+                if seam == "serve/shed" {
+                    // Only fires on the admission shed path, which this
+                    // under-budget probe never takes; the dedicated
+                    // over-budget matrix below covers it.
+                    continue;
+                }
                 for action in [
                     Action::Delay(Duration::from_millis(2)),
                     Action::Err(format!("chaos injected at {seam}")),
@@ -575,6 +581,81 @@ fn failpoint_matrix_every_seam_every_action() {
 
         // And after all that, the caches still agree with a clean engine.
         assert_oracle_matches_clean_engine(addr);
+        server.shutdown();
+    });
+}
+
+/// The `serve/shed` seam under the full action matrix.  The generic matrix
+/// above never goes over budget, so here the budget is forced to 1 and a
+/// single pipelined write of three requests lands in one reactor tick:
+/// the first is admitted, the rest are shed — and whatever fault is armed
+/// on the shed path (delay, injected error, panic), every one of the three
+/// still gets a typed response and the connection survives.
+#[cfg(feature = "failpoints")]
+#[test]
+fn shed_seam_survives_fault_matrix() {
+    use cqdet_failpoint::{clear, clear_all, configure, hits, Action};
+
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    clear_all();
+    with_watchdog(60, "shed seam matrix", || {
+        let server = ChaosServer::start(ServeOptions {
+            inflight_budget: 1,
+            worker_threads: 1,
+            ..ServeOptions::default()
+        });
+        let mut total_shed = 0u64;
+        for action in [
+            Action::Delay(Duration::from_millis(2)),
+            Action::Err("chaos injected at serve/shed".into()),
+            Action::Panic,
+        ] {
+            println!("shed matrix: serve/shed <- {action:?}");
+            configure("serve/shed", action.clone());
+            let mut stream = server.connect();
+            let burst: String = (0..3)
+                .map(|i| format!("{{\"id\":\"s{i}\",\"type\":\"stats\"}}\n"))
+                .collect();
+            stream.write_all(burst.as_bytes()).expect("send burst");
+            stream.flush().expect("flush burst");
+            let mut shed_here = 0u64;
+            for i in 0..3 {
+                let response = try_read_response(&mut stream)
+                    .unwrap_or_else(|| panic!("response {i} dropped ({action:?})"));
+                let ty = response.get("type").unwrap().as_str().expect("typed");
+                match ty {
+                    "stats" => {}
+                    "error" => {
+                        assert_eq!(
+                            response.get("error").unwrap().get("code").unwrap().as_str(),
+                            Some("resource_exhausted"),
+                            "shed must surface as resource_exhausted"
+                        );
+                        shed_here += 1;
+                    }
+                    other => panic!("unexpected response type {other:?}"),
+                }
+            }
+            let seam_hits = hits("serve/shed");
+            clear("serve/shed");
+            assert!(shed_here >= 1, "burst was never shed ({action:?})");
+            assert!(seam_hits >= 1, "serve/shed seam never fired ({action:?})");
+            total_shed += shed_here;
+        }
+        clear_all();
+        assert!(server.engine.counters().shed_requests >= total_shed);
+        // The shed counter is part of the public stats surface.
+        let mut stream = server.connect();
+        let stats = roundtrip(&mut stream, r#"{"id":"after","type":"stats"}"#);
+        let counted = stats
+            .get("counters")
+            .unwrap()
+            .get("shed_requests")
+            .unwrap()
+            .as_f64()
+            .expect("shed_requests counter in stats");
+        assert!(counted >= total_shed as f64, "stats undercounts sheds");
+        drop(stream);
         server.shutdown();
     });
 }
