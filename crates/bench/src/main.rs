@@ -9,7 +9,7 @@
 //! ```
 //!
 //! `--only` takes a comma-separated list of workload families (`hom`,
-//! `decide`, `batch`, `serve`, `linalg`, `dedup`, `soak`) and skips the
+//! `decide`, `batch`, `serve`, `linalg`, `dedup`, `soak`, `cache`) and skips the
 //! rest — CI uses it to smoke the two kernel families in one release run.  Every JSON
 //! row carries a `label` field (the `CQDET_BENCH_LABEL` env var if set, else
 //! the current git commit) so baselines in `BENCH_hom.json` stay
@@ -152,8 +152,9 @@ fn main() {
                     .map(|f| f.trim().to_string())
                     .filter(|f| !f.is_empty())
                     .collect();
-                const KNOWN: [&str; 7] =
-                    ["hom", "decide", "batch", "serve", "linalg", "dedup", "soak"];
+                const KNOWN: [&str; 8] = [
+                    "hom", "decide", "batch", "serve", "linalg", "dedup", "soak", "cache",
+                ];
                 for f in &fs {
                     if !KNOWN.contains(&f.as_str()) {
                         eprintln!("unknown family {f:?}; known: {}", KNOWN.join(", "));
@@ -486,5 +487,188 @@ fn main() {
             let fresh: Vec<_> = comps.iter().map(|s| s.map_constants(|c| c)).collect();
             dedup_up_to_iso(fresh).len()
         });
+    }
+
+    // CACHE: cache governance (§CACHE) — what the byte cap costs, and what
+    // warm-start persistence buys.
+    //   uncapped/capped64k — the same 16-instance decide stream through one
+    //     long-lived `Engine`: the uncapped engine reaches steady-state
+    //     all-hits, the 64 KiB engine (working set far above the cap) keeps
+    //     evicting and recomputing — the gap is the price of the cap.
+    //   cold_first/warm_first — one expensive decide on a fresh engine,
+    //     cold versus booted from a snapshot of a session that has already
+    //     solved it (snapshot load *included* in the warm timing); warm
+    //     must win — the acceptance gate of the §CACHE experiment.
+    if h.family_enabled("cache") {
+        use cqdet_service::{Engine, Request, RequestKind};
+        let decide_request = |id: String, program: &str, query: &str| Request {
+            id,
+            deadline_ms: None,
+            budget: None,
+            kind: RequestKind::Decide {
+                program: program.to_string(),
+                query: query.to_string(),
+                witness: false,
+            },
+        };
+        let instances: Vec<(String, String)> = (0..16)
+            .map(|i| {
+                let (views, query) = decide_workload(3, 2, i % 2 == 0, 0xCACE + i as u64);
+                let name = query.name().to_string();
+                let program = views
+                    .iter()
+                    .map(|v| v.to_string())
+                    .chain(std::iter::once(query.to_string()))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                (program, name)
+            })
+            .collect();
+        let submit_stream = |engine: &Engine| -> Vec<String> {
+            instances
+                .iter()
+                .enumerate()
+                .map(|(i, (program, name))| {
+                    let response = engine.submit(decide_request(format!("c{i}"), program, name));
+                    assert!(!response.is_error(), "cache stream instance {i} failed");
+                    response.to_json().render()
+                })
+                .collect()
+        };
+        const CAP: u64 = 64 * 1024;
+        // Sanity before publishing numbers: under the cap the answers are
+        // byte-identical, the cap is actually binding (evictions observed),
+        // and every governed session cache honors its byte budget.
+        {
+            let uncapped = Engine::new();
+            let capped = Engine::new();
+            capped.set_cache_bytes(Some(CAP));
+            for round in 0..2 {
+                let free = submit_stream(&uncapped);
+                let governed = submit_stream(&capped);
+                assert_eq!(free, governed, "cap changed an answer (round {round})");
+            }
+            let stats_response = capped.submit(Request {
+                id: "stats".into(),
+                deadline_ms: None,
+                budget: None,
+                kind: RequestKind::Stats,
+            });
+            let cqdet_service::Response::Stats { stats, .. } = stats_response else {
+                panic!("stats request failed");
+            };
+            let evictions = stats.frozen_usage.evictions
+                + stats.gate_usage.evictions
+                + stats.span_usage.evictions
+                + stats.hom_usage.evictions
+                + stats.cand_usage.evictions;
+            assert!(evictions > 0, "64 KiB cap never evicted: {stats:?}");
+            for (tag, usage) in [
+                ("frozen", &stats.frozen_usage),
+                ("gate", &stats.gate_usage),
+                ("span", &stats.span_usage),
+                ("hom", &stats.hom_usage),
+            ] {
+                assert!(
+                    usage.bytes <= usage.cap,
+                    "{tag} cache over budget: {} > {}",
+                    usage.bytes,
+                    usage.cap
+                );
+            }
+            capped.set_cache_bytes(None);
+        }
+        {
+            let uncapped = Engine::new();
+            h.bench("cache/uncapped/16x3x2", || submit_stream(&uncapped).len());
+        }
+        {
+            let capped = Engine::new();
+            capped.set_cache_bytes(Some(CAP));
+            h.bench("cache/capped64k/16x3x2", || submit_stream(&capped).len());
+            // Cap and watermark of the candidate-memo family are
+            // process-global: restore the defaults.
+            capped.set_cache_bytes(None);
+        }
+
+        let snapshot_path =
+            std::env::temp_dir().join(format!("cqdet-bench-snapshot-{}.cqds", std::process::id()));
+        // The K8-view/K7-query clique instance: its containment gate check
+        // is a backtracking hom search visiting >10k candidate extensions,
+        // and the gate *verdict* is exactly what the snapshot persists — so
+        // this is the workload where warm start pays, as opposed to
+        // canonization-bound instances whose cost no snapshot can carry.
+        let clique = |name: &str, n: usize| {
+            let atoms: Vec<String> = (0..n)
+                .flat_map(|i| {
+                    (0..n)
+                        .filter(move |&j| j != i)
+                        .map(move |j| format!("R(x{i},x{j})"))
+                })
+                .collect();
+            format!("{name}() :- {}", atoms.join(", "))
+        };
+        let first_name = "q".to_string();
+        let first_program = format!("{}\n{}", clique("v", 8), clique("q", 7));
+        {
+            let warmer = Engine::new();
+            let response =
+                warmer.submit(decide_request("warm".into(), &first_program, &first_name));
+            assert!(!response.is_error(), "warm-up decide failed");
+            warmer
+                .save_snapshot(&snapshot_path)
+                .expect("save bench snapshot");
+        }
+        let runs = if quick { 5 } else { 15 };
+        let mut cold_ns = Vec::with_capacity(runs);
+        let mut warm_ns = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let engine = Engine::new();
+            let t = Instant::now();
+            let response =
+                engine.submit(decide_request("first".into(), &first_program, &first_name));
+            cold_ns.push(t.elapsed().as_secs_f64() * 1e9);
+            assert!(!response.is_error(), "cold first request failed");
+
+            let engine = Engine::new();
+            let t = Instant::now();
+            engine
+                .load_snapshot(&snapshot_path)
+                .expect("load bench snapshot");
+            let response =
+                engine.submit(decide_request("first".into(), &first_program, &first_name));
+            warm_ns.push(t.elapsed().as_secs_f64() * 1e9);
+            assert!(!response.is_error(), "warm first request failed");
+        }
+        let _ = std::fs::remove_file(&snapshot_path);
+        let summarize = |v: &[f64]| {
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = v.iter().cloned().fold(0.0f64, f64::max);
+            (mean, min, max)
+        };
+        let (cold_mean, cold_min, cold_max) = summarize(&cold_ns);
+        let (warm_mean, warm_min, warm_max) = summarize(&warm_ns);
+        for (name, mean, min, max) in [
+            ("cache/cold_first/clique8x7", cold_mean, cold_min, cold_max),
+            ("cache/warm_first/clique8x7", warm_mean, warm_min, warm_max),
+        ] {
+            println!(
+                "{name:<44} mean {:>12}  (min {:>12}, max {:>12})",
+                ns(mean),
+                ns(min),
+                ns(max)
+            );
+            h.append_json(format!(
+                "{{\"benchmark\":\"{name}\",\"label\":\"{}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{runs},\"iters_per_sample\":1}}\n",
+                h.label
+            ));
+        }
+        assert!(
+            warm_mean < cold_mean,
+            "warm start must beat cold start: warm {} >= cold {}",
+            ns(warm_mean),
+            ns(cold_mean)
+        );
     }
 }

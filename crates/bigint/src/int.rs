@@ -48,6 +48,13 @@ impl Int {
         }
     }
 
+    /// Bytes of heap storage owned by this value (zero when the magnitude
+    /// is inline).  See [`Nat::heap_bytes`].
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.mag.heap_bytes()
+    }
+
     /// The integer minus one.
     pub fn neg_one() -> Self {
         Int {

@@ -44,10 +44,11 @@ pub use bruteforce::{brute_force_search, BruteForceOutcome};
 pub use paths::{
     decide_path_determinacy, derivation_path, prefix_graph, DerivationStep, PathAnalysis,
 };
-pub use session::{ContextStats, DecisionContext, FrozenQuery};
+pub use session::{ContextStats, DecisionContext, FrozenQuery, SessionSnapshot};
 pub use witness::{build_counterexample, build_counterexample_ctl, Counterexample, WitnessError};
 
 pub use cqdet_bigint::{Int, Nat};
+pub use cqdet_cache::{snapshot::SnapshotError, CacheUsage};
 pub use cqdet_linalg::{QMat, QVec, Rat};
 pub use cqdet_parallel::{Budget, CancelToken};
 pub use cqdet_query::{ConjunctiveQuery, PathQuery, UnionQuery};

@@ -38,15 +38,19 @@
 //! `cqdet-engine` crate wraps a `DecisionContext` into a full batch engine
 //! (task fan-out, JSON certificates, cache-hit statistics).
 
+use cqdet_bigint::{Nat, Sign};
+use cqdet_cache::snapshot::{Reader, SnapshotError, Writer};
+use cqdet_cache::{CacheUsage, ShardedCache};
 use cqdet_failpoint::fail_point;
-use cqdet_linalg::{IncrementalBasis, QVec};
+use cqdet_linalg::{IncrementalBasis, QVec, Rat};
 use cqdet_parallel::{Gas, Interrupt};
 use cqdet_query::ConjunctiveQuery;
 use cqdet_structure::{
-    connected_components, hom_exists_gas, IsoClassKey, Schema, SharedCaches, Structure,
+    cand_cache_usage, connected_components, hom_exists_gas, set_cand_cache_bytes, IsoClassKey,
+    Schema, SharedCaches, Structure,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Lock with poison recovery: every critical section below is a plain map
@@ -124,30 +128,91 @@ pub struct ContextStats {
     pub iso_classes: u64,
     /// Hom-count memo statistics of the session's [`SharedCaches`] handle.
     pub hom: cqdet_structure::CacheStats,
+    /// Full governed-cache counters of the frozen-body cache.
+    pub frozen_usage: CacheUsage,
+    /// Full governed-cache counters of the containment-gate cache.
+    pub gate_usage: CacheUsage,
+    /// Full governed-cache counters of the span-basis cache.
+    pub span_usage: CacheUsage,
+    /// Full governed-cache counters of the hom-count memo.
+    pub hom_usage: CacheUsage,
+    /// Family-wide counters of the per-structure candidate memos.
+    pub cand_usage: CacheUsage,
+    /// Process-wide total bytes charged by every governed cache.
+    pub governed_bytes: u64,
 }
 
-/// Bound on each of the context's maps (frozen bodies, gates, the class
-/// table).  When a map fills, it is cleared wholesale — the same policy as
-/// the hom-count memo one layer down: entries are cheap to recompute
-/// relative to unbounded growth, and a long-lived session fed a stream of
-/// ever-new queries must not leak.  Clearing is always safe: live
-/// `Arc<FrozenQuery>` handles keep their data, and a class id handed out
-/// twice merely costs a duplicate span column (the span is unchanged).
+/// Bound on the class-interning table.  When the table fills, it is cleared
+/// wholesale (the monotone id counter survives, so an id is never reused
+/// for a different class) — interning entries are two pointers each, so a
+/// count cap is accurate here, unlike the byte-weighed value caches below.
 const CONTEXT_CACHE_CAP: usize = 8192;
+
+/// Default byte budgets of the context's governed caches, in force until a
+/// serve-level `--cache-bytes` total retargets them
+/// ([`DecisionContext::set_cache_bytes`]).  Generous enough that tests and
+/// one-shot runs never evict; bounded so a long-lived session fed a stream
+/// of ever-new queries cannot leak.
+const FROZEN_DEFAULT_BYTES: usize = 16 << 20;
+const GATE_DEFAULT_BYTES: usize = 16 << 20;
+const SPAN_DEFAULT_BYTES: usize = 64 << 20;
+const HOM_DEFAULT_BYTES: usize = 64 << 20;
+const CAND_DEFAULT_BYTES: usize = 16 << 20;
+
+/// How a serve-level `--cache-bytes` total is split across the five
+/// governed caches, in percent: hom and span carry the expensive entries
+/// (backtracking searches, bigint echelon rows), the rest are cheap to
+/// recompute.
+const SPLIT_HOM: u64 = 40;
+const SPLIT_SPAN: u64 = 30;
+const SPLIT_FROZEN: u64 = 10;
+const SPLIT_GATE: u64 = 10;
+const SPLIT_CAND: u64 = 10;
+
+/// Approximate byte cost of one frozen body: the fingerprint key plus a
+/// fixed estimate of the structure, key and component storage (bodies are
+/// query-sized by construction — a handful of atoms).
+#[allow(clippy::ptr_arg)] // must match the cache's `fn(&K, &V)` weigher type
+fn frozen_weight(key: &String, _v: &Arc<FrozenQuery>) -> usize {
+    key.len() + 512
+}
+
+/// Byte cost of one gate verdict: two `Arc` key handles plus map-entry
+/// bookkeeping (the canonical keys themselves are shared with the frozen
+/// cache, so charging them here would double-count).
+fn gate_weight(_k: &(IsoClassKey, IsoClassKey), _v: &bool) -> usize {
+    96
+}
+
+/// Byte cost of one span system: the key, the entry bookkeeping, and the
+/// basis' true heap bytes as last published to [`SpanEntry::bytes`] (kept
+/// fresh by a `recharge` after every solve, without the weigher ever
+/// touching the basis lock).
+#[allow(clippy::ptr_arg)] // must match the cache's `fn(&K, &V)` weigher type
+fn span_weight(key: &Vec<u32>, entry: &Arc<SpanEntry>) -> usize {
+    key.len() * 4 + entry.bytes.load(Ordering::Relaxed) + 96
+}
 
 /// Cross-request caches for [`crate::boolean::decide_bag_determinacy_in`]:
 /// see the [module docs](self) for what is shared and why.  All interior
 /// state is lock-protected, so one context can serve a scoped fan-out of
-/// tasks (`&DecisionContext` is `Sync`), and every map is bounded by
-/// [`CONTEXT_CACHE_CAP`].
+/// tasks (`&DecisionContext` is `Sync`).  The value caches (frozen bodies,
+/// gate verdicts, span systems, hom counts) are governed
+/// [`ShardedCache`]s — byte-capped, clock-evicting, never refusing — and
+/// the interning class table is bounded by [`CONTEXT_CACHE_CAP`].
 pub struct DecisionContext {
     caches: Arc<SharedCaches>,
-    frozen: Mutex<HashMap<String, Arc<FrozenQuery>>>,
+    frozen: ShardedCache<String, Arc<FrozenQuery>>,
     // The `OnceLock`-cached canonical key behind `IsoClassKey` is forced at
     // construction and immutable afterwards, so the interior-mutability
     // clippy lint does not apply (same reasoning as in `cqdet_structure::iso`).
     #[allow(clippy::mutable_key_type)]
-    gate: Mutex<HashMap<(IsoClassKey, IsoClassKey), bool>>,
+    gate: ShardedCache<(IsoClassKey, IsoClassKey), bool>,
+    /// Gate verdicts restored from a warm-start snapshot, keyed by the
+    /// concatenated canonical bytes of both classes ([`pair_key`]).
+    /// Consulted only on a gate-cache miss; a hit is promoted into the
+    /// live cache, so a preloaded verdict costs its one map probe once.
+    gate_preload: Mutex<HashMap<Box<[u8]>, bool>>,
     /// Class table plus the next id to hand out.  The counter is monotone —
     /// it survives a capacity clear, so an id is never reused for a
     /// different class (a reused id could alias two distinct classes inside
@@ -155,27 +220,29 @@ pub struct DecisionContext {
     /// column).
     #[allow(clippy::mutable_key_type)]
     classes: Mutex<(HashMap<IsoClassKey, u32>, u32)>,
+    /// Class ids restored from a warm-start snapshot, keyed by canonical
+    /// bytes: [`DecisionContext::class_id`] honors these on first sight, so
+    /// the ids the snapshot's span keys were built from stay valid in this
+    /// process.
+    preassigned: Mutex<HashMap<Box<[u8]>, u32>>,
     /// Cached online echelon forms for the Main Lemma span systems, keyed
     /// by the session class ids of the retained view classes in pipeline
     /// order (which determine the Definition 29 vectors exactly): tasks
     /// sharing a view pool solve against one shared elimination, each
     /// target only reducing against the rows already built —
     /// see [`DecisionContext::span_solve`].
-    span: Mutex<HashMap<Vec<u32>, Arc<SpanEntry>>>,
-    frozen_hits: AtomicU64,
-    frozen_misses: AtomicU64,
-    gate_hits: AtomicU64,
-    gate_misses: AtomicU64,
-    span_hits: AtomicU64,
-    span_misses: AtomicU64,
+    span: ShardedCache<Vec<u32>, Arc<SpanEntry>>,
 }
 
 /// One cached span system: the lazily fed incremental echelon form over the
 /// retained classes' vectors.  The inner mutex serializes feeding; the
-/// entry is shared via `Arc` so the outer map lock is never held during
-/// elimination.
+/// entry is shared via `Arc` so no cache shard lock is ever held during
+/// elimination.  `bytes` is the basis' heap footprint as of the last solve,
+/// published *after* releasing the basis lock so the cache weigher
+/// ([`span_weight`]) reads an atomic instead of contending on the basis.
 struct SpanEntry {
     basis: Mutex<IncrementalBasis>,
+    bytes: AtomicUsize,
 }
 
 impl Default for DecisionContext {
@@ -185,20 +252,50 @@ impl Default for DecisionContext {
 }
 
 impl DecisionContext {
-    /// A fresh context with empty caches.
+    /// A fresh context with empty caches under the default byte budgets.
     pub fn new() -> DecisionContext {
         DecisionContext {
             caches: Arc::new(SharedCaches::new()),
-            frozen: Mutex::new(HashMap::new()),
-            gate: Mutex::new(HashMap::new()),
+            frozen: ShardedCache::new(FROZEN_DEFAULT_BYTES, frozen_weight),
+            gate: ShardedCache::new(GATE_DEFAULT_BYTES, gate_weight),
+            gate_preload: Mutex::new(HashMap::new()),
             classes: Mutex::new((HashMap::new(), 0)),
-            span: Mutex::new(HashMap::new()),
-            frozen_hits: AtomicU64::new(0),
-            frozen_misses: AtomicU64::new(0),
-            gate_hits: AtomicU64::new(0),
-            gate_misses: AtomicU64::new(0),
-            span_hits: AtomicU64::new(0),
-            span_misses: AtomicU64::new(0),
+            preassigned: Mutex::new(HashMap::new()),
+            span: ShardedCache::new(SPAN_DEFAULT_BYTES, span_weight),
+        }
+    }
+
+    /// A fresh context whose five governed caches split `total` bytes
+    /// ([`SPLIT_HOM`] et al.); `None` keeps the defaults.
+    pub fn with_cache_bytes(total: Option<u64>) -> DecisionContext {
+        let cx = DecisionContext::new();
+        cx.set_cache_bytes(total);
+        cx
+    }
+
+    /// Retarget every governed cache live: `Some(total)` splits the budget
+    /// across the five caches and arms the process watermark at `total`;
+    /// `None` restores the defaults and disarms the watermark.  Over-budget
+    /// caches evict immediately.
+    pub fn set_cache_bytes(&self, total: Option<u64>) {
+        match total {
+            Some(total) => {
+                let part = |pct: u64| ((total * pct / 100) as usize).max(4096);
+                self.caches.set_cap_bytes(part(SPLIT_HOM));
+                self.span.set_cap(part(SPLIT_SPAN));
+                self.frozen.set_cap(part(SPLIT_FROZEN));
+                self.gate.set_cap(part(SPLIT_GATE));
+                set_cand_cache_bytes(part(SPLIT_CAND));
+                cqdet_cache::set_watermark(total);
+            }
+            None => {
+                self.caches.set_cap_bytes(HOM_DEFAULT_BYTES);
+                self.span.set_cap(SPAN_DEFAULT_BYTES);
+                self.frozen.set_cap(FROZEN_DEFAULT_BYTES);
+                self.gate.set_cap(GATE_DEFAULT_BYTES);
+                set_cand_cache_bytes(CAND_DEFAULT_BYTES);
+                cqdet_cache::set_watermark(0);
+            }
         }
     }
 
@@ -218,38 +315,41 @@ impl DecisionContext {
     /// converge downstream, where everything is keyed by isomorphism class.
     pub fn frozen(&self, schema: &Schema, query: &ConjunctiveQuery) -> Arc<FrozenQuery> {
         let fp = fingerprint(schema, query);
-        if let Some(hit) = locked(&self.frozen).get(&fp) {
-            self.frozen_hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+        if let Some(hit) = self.frozen.probe(&fp) {
+            return hit;
         }
-        self.frozen_misses.fetch_add(1, Ordering::Relaxed);
-        // Freeze and canonize outside the lock: concurrent workers freezing
-        // the same new view both compute, the first insert wins and both
-        // results are identical.
+        // Freeze and canonize outside any shard lock: concurrent workers
+        // freezing the same new view both compute, the first insert wins
+        // and both results are identical.
         let (body, _) = query.frozen_body_over(schema);
         let entry = Arc::new(FrozenQuery::new(body));
         fail_point!("session/cache-insert");
-        let mut map = locked(&self.frozen);
-        if map.len() >= CONTEXT_CACHE_CAP {
-            map.clear();
-        }
-        map.entry(fp).or_insert_with(|| entry.clone()).clone()
+        self.frozen.insert_or_get(fp, entry)
     }
 
     /// The session-wide id of an isomorphism class (interning insert on
-    /// first sight).  Ids are monotone and never reused, including across
-    /// capacity clears.
+    /// first sight, honoring a snapshot-preassigned id if one exists).  Ids
+    /// are monotone and never reused, including across capacity clears.
     pub fn class_id(&self, key: &IsoClassKey) -> u32 {
         let mut table = locked(&self.classes);
         let (map, next) = &mut *table;
         if map.len() >= CONTEXT_CACHE_CAP && !map.contains_key(key) {
             map.clear();
         }
-        *map.entry(key.clone()).or_insert_with(|| {
+        if let Some(&id) = map.get(key) {
+            return id;
+        }
+        // A warm-started session re-interns a snapshot class under the id
+        // its span keys were built from; `next` was advanced past every
+        // preassigned id at install time, so monotonicity holds.
+        let preassigned = locked(&self.preassigned).get(key.canon_bytes()).copied();
+        let id = preassigned.unwrap_or_else(|| {
             let id = *next;
             *next += 1;
             id
-        })
+        });
+        map.insert(key.clone(), id);
+        id
     }
 
     /// The Definition 25 containment gate `q ⊆_set v` (i.e. `hom(v, q) ≠ ∅`
@@ -274,19 +374,27 @@ impl DecisionContext {
         gas: &mut Gas,
     ) -> Result<bool, Interrupt> {
         let key = (view.iso_key().clone(), query.iso_key().clone());
-        if let Some(&hit) = locked(&self.gate).get(&key) {
-            self.gate_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = self.gate.probe(&key) {
             return Ok(hit);
         }
-        self.gate_misses.fetch_add(1, Ordering::Relaxed);
+        // A warm-started session answers the miss from the snapshot's
+        // verdicts (promoting the entry into the live cache) before paying
+        // for a search.  The preload map is empty outside warm starts, so
+        // the cold path costs one `is_empty` check.
+        {
+            let preload = locked(&self.gate_preload);
+            if !preload.is_empty() {
+                let pk = pair_key(view.iso_key().canon_bytes(), query.iso_key().canon_bytes());
+                if let Some(&answer) = preload.get(&pk) {
+                    drop(preload);
+                    fail_point!("session/cache-insert");
+                    return Ok(self.gate.insert_or_get(key, answer));
+                }
+            }
+        }
         let answer = hom_exists_gas(view.body(), query.body(), gas)?;
         fail_point!("session/cache-insert");
-        let mut map = locked(&self.gate);
-        if map.len() >= CONTEXT_CACHE_CAP {
-            map.clear();
-        }
-        map.insert(key, answer);
-        Ok(answer)
+        Ok(self.gate.insert_or_get(key, answer))
     }
 
     /// Solve the Main Lemma span system `target = Σ αᵢ·vectorsᵢ` against
@@ -326,30 +434,28 @@ impl DecisionContext {
         gas: &mut Gas,
     ) -> Result<Option<QVec>, Interrupt> {
         let dim = target.dim();
-        let entry = {
-            let mut map = locked(&self.span);
-            if let Some(entry) = map.get(key) {
-                self.span_hits.fetch_add(1, Ordering::Relaxed);
-                entry.clone()
-            } else {
-                self.span_misses.fetch_add(1, Ordering::Relaxed);
-                if map.len() >= CONTEXT_CACHE_CAP {
-                    map.clear();
-                }
-                map.entry(key.to_vec())
-                    .or_insert_with(|| {
-                        Arc::new(SpanEntry {
-                            basis: Mutex::new(IncrementalBasis::new(dim)),
-                        })
-                    })
-                    .clone()
-            }
+        let entry = match self.span.probe(key) {
+            Some(entry) => entry,
+            None => self.span.insert_or_get(
+                key.to_vec(),
+                Arc::new(SpanEntry {
+                    basis: Mutex::new(IncrementalBasis::new(dim)),
+                    bytes: AtomicUsize::new(0),
+                }),
+            ),
         };
         let mut basis = locked(&entry.basis);
         debug_assert_eq!(basis.dim(), dim, "key must determine the basis prefix");
         debug_assert!(basis.len() <= vectors.len());
         let fed = basis.len();
-        let Some(alpha) = basis.solve_extend_gas(target, &vectors[fed..], gas)? else {
+        let solved = basis.solve_extend_gas(target, &vectors[fed..], gas);
+        // Publish the basis' grown footprint and re-weigh the cache entry —
+        // even on an interrupt, whose partial feeding also grew the rows.
+        // The shard lock is taken only after the basis lock is released.
+        entry.bytes.store(basis.heap_bytes(), Ordering::Relaxed);
+        drop(basis);
+        self.span.recharge(&key.to_vec());
+        let Some(alpha) = solved? else {
             return Ok(None);
         };
         let mut out = alpha.0;
@@ -359,16 +465,345 @@ impl DecisionContext {
 
     /// Current cache counters.
     pub fn stats(&self) -> ContextStats {
+        let frozen = self.frozen.stats();
+        let gate = self.gate.stats();
+        let span = self.span.stats();
         ContextStats {
-            frozen_hits: self.frozen_hits.load(Ordering::Relaxed),
-            frozen_misses: self.frozen_misses.load(Ordering::Relaxed),
-            gate_hits: self.gate_hits.load(Ordering::Relaxed),
-            gate_misses: self.gate_misses.load(Ordering::Relaxed),
-            span_hits: self.span_hits.load(Ordering::Relaxed),
-            span_misses: self.span_misses.load(Ordering::Relaxed),
+            frozen_hits: frozen.hits,
+            frozen_misses: frozen.misses,
+            gate_hits: gate.hits,
+            gate_misses: gate.misses,
+            span_hits: span.hits,
+            span_misses: span.misses,
             iso_classes: locked(&self.classes).0.len() as u64,
             hom: self.caches.stats(),
+            frozen_usage: frozen,
+            gate_usage: gate,
+            span_usage: span,
+            hom_usage: self.caches.usage(),
+            cand_usage: cand_cache_usage(),
+            governed_bytes: cqdet_cache::governed_bytes(),
         }
+    }
+}
+
+/// Concatenated pair key `[u32 LE first length][first][second]` for the
+/// gate-preload map (tuple keys cannot be probed with borrowed parts).
+fn pair_key(first: &[u8], second: &[u8]) -> Box<[u8]> {
+    let mut key = Vec::with_capacity(4 + first.len() + second.len());
+    key.extend_from_slice(&(first.len() as u32).to_le_bytes());
+    key.extend_from_slice(first);
+    key.extend_from_slice(second);
+    key.into_boxed_slice()
+}
+
+/// Split a [`pair_key`] back apart; `None` on a malformed prefix.
+fn split_pair_key(key: &[u8]) -> Option<(&[u8], &[u8])> {
+    let first_len = u32::from_le_bytes(key.get(..4)?.try_into().ok()?) as usize;
+    let rest = key.get(4..)?;
+    if first_len > rest.len() {
+        return None;
+    }
+    Some(rest.split_at(first_len))
+}
+
+// ---- warm-start snapshot ---------------------------------------------------
+
+/// The warm-startable portion of a session's caches: canonical class ids,
+/// gate verdicts, hom counts and span echelon forms — everything that is
+/// expensive to recompute, deterministic, and keyed by process-independent
+/// canonical bytes (span keys become process-independent through the
+/// persisted class table).  Frozen bodies and candidate lists are cheap to
+/// rebuild and are deliberately *not* persisted.
+///
+/// Produced by [`DecisionContext::export_snapshot`], restored by
+/// [`DecisionContext::install_snapshot`]; the byte codec
+/// ([`SessionSnapshot::to_payload`] / [`SessionSnapshot::from_payload`])
+/// emits the payload the `cqdet-cache` envelope seals on disk.
+#[derive(Default)]
+pub struct SessionSnapshot {
+    /// `(canonical bytes, session id)` per interned isomorphism class.
+    pub classes: Vec<(Box<[u8]>, u32)>,
+    /// The id counter to resume from (past every persisted id).
+    pub next_class_id: u32,
+    /// `(view canon, query canon, verdict)` per cached containment gate.
+    #[allow(clippy::type_complexity)]
+    pub gate: Vec<(Box<[u8]>, Box<[u8]>, bool)>,
+    /// `(target canon, source canon, count)` per memoized hom count.
+    #[allow(clippy::type_complexity)]
+    pub hom: Vec<(Box<[u8]>, Box<[u8]>, Nat)>,
+    /// `(key, dim, inserted, rows)` per cached span system, rows as
+    /// exported by [`IncrementalBasis::export_rows`].
+    #[allow(clippy::type_complexity)]
+    pub span: Vec<(Vec<u32>, usize, usize, Vec<(usize, QVec, Vec<Rat>)>)>,
+}
+
+/// Sanity bounds on snapshot payload counts: a checksum-valid file from a
+/// buggy (or hostile) writer must not trigger huge allocations.
+const SNAP_MAX_ENTRIES: u64 = 1 << 22;
+const SNAP_MAX_DIM: u64 = 1 << 20;
+
+impl SessionSnapshot {
+    /// Total entries across all sections (observability; zero means a cold
+    /// snapshot not worth writing).
+    pub fn len(&self) -> usize {
+        self.classes.len() + self.gate.len() + self.hom.len() + self.span.len()
+    }
+
+    /// Whether the snapshot carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize to the envelope payload (see `cqdet_cache::snapshot`).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.classes.len() as u64);
+        for (canon, id) in &self.classes {
+            w.bytes(canon);
+            w.u32(*id);
+        }
+        w.u32(self.next_class_id);
+        w.u64(self.gate.len() as u64);
+        for (view, query, verdict) in &self.gate {
+            w.bytes(view);
+            w.bytes(query);
+            w.u8(u8::from(*verdict));
+        }
+        w.u64(self.hom.len() as u64);
+        for (tgt, src, count) in &self.hom {
+            w.bytes(tgt);
+            w.bytes(src);
+            write_nat(&mut w, count);
+        }
+        w.u64(self.span.len() as u64);
+        for (key, dim, inserted, rows) in &self.span {
+            w.u64(key.len() as u64);
+            for id in key {
+                w.u32(*id);
+            }
+            w.u64(*dim as u64);
+            w.u64(*inserted as u64);
+            w.u64(rows.len() as u64);
+            for (pivot, vec, coords) in rows {
+                w.u64(*pivot as u64);
+                for r in vec.iter() {
+                    write_rat(&mut w, r);
+                }
+                w.u64(coords.len() as u64);
+                for r in coords {
+                    write_rat(&mut w, r);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Parse an envelope payload.  Every read is bounds-checked and every
+    /// count is sanity-limited; structural validation of the span rows
+    /// happens later, in [`DecisionContext::install_snapshot`].
+    pub fn from_payload(payload: &[u8]) -> Result<SessionSnapshot, SnapshotError> {
+        let mut r = Reader::new(payload);
+        let mut snap = SessionSnapshot::default();
+        for _ in 0..r.count(SNAP_MAX_ENTRIES)? {
+            let canon = r.bytes()?.into();
+            let id = r.u32()?;
+            snap.classes.push((canon, id));
+        }
+        snap.next_class_id = r.u32()?;
+        for _ in 0..r.count(SNAP_MAX_ENTRIES)? {
+            let view = r.bytes()?.into();
+            let query = r.bytes()?.into();
+            let verdict = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(SnapshotError::Malformed(format!(
+                        "gate verdict byte {other}"
+                    )))
+                }
+            };
+            snap.gate.push((view, query, verdict));
+        }
+        for _ in 0..r.count(SNAP_MAX_ENTRIES)? {
+            let tgt = r.bytes()?.into();
+            let src = r.bytes()?.into();
+            let count = read_nat(&mut r)?;
+            snap.hom.push((tgt, src, count));
+        }
+        for _ in 0..r.count(SNAP_MAX_ENTRIES)? {
+            let key_len = r.count(SNAP_MAX_ENTRIES)?;
+            let mut key = Vec::with_capacity(key_len);
+            for _ in 0..key_len {
+                key.push(r.u32()?);
+            }
+            let dim = r.count(SNAP_MAX_DIM)?;
+            let inserted = r.count(SNAP_MAX_ENTRIES)?;
+            let n_rows = r.count(SNAP_MAX_DIM)?;
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let pivot = r.count(SNAP_MAX_DIM)?;
+                let mut vec = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    vec.push(read_rat(&mut r)?);
+                }
+                let coords_len = r.count(SNAP_MAX_ENTRIES)?;
+                let mut coords = Vec::with_capacity(coords_len);
+                for _ in 0..coords_len {
+                    coords.push(read_rat(&mut r)?);
+                }
+                rows.push((pivot, QVec(vec), coords));
+            }
+            snap.span.push((key, dim, inserted, rows));
+        }
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(snap)
+    }
+}
+
+/// Nat codec: `u64` limb count then little-endian `u32` limbs.
+fn write_nat(w: &mut Writer, n: &Nat) {
+    let limbs = n.to_limbs();
+    w.u64(limbs.len() as u64);
+    for limb in limbs {
+        w.u32(limb);
+    }
+}
+
+fn read_nat(r: &mut Reader<'_>) -> Result<Nat, SnapshotError> {
+    let n = r.count(SNAP_MAX_ENTRIES)?;
+    let mut limbs = Vec::with_capacity(n);
+    for _ in 0..n {
+        limbs.push(r.u32()?);
+    }
+    Ok(Nat::from_limbs(limbs))
+}
+
+/// Rat codec: `i8` sign, numerator magnitude, denominator (both as Nats).
+/// Decoding re-reduces through `Rat::new`, so even a checksum-valid payload
+/// with a non-reduced fraction reconstructs a canonical value.
+fn write_rat(w: &mut Writer, r: &Rat) {
+    let sign: i8 = match r.numer().sign() {
+        Sign::Negative => -1,
+        Sign::Zero => 0,
+        Sign::Positive => 1,
+    };
+    w.u8(sign as u8);
+    write_nat(w, r.numer().magnitude());
+    write_nat(w, r.denom());
+}
+
+fn read_rat(r: &mut Reader<'_>) -> Result<Rat, SnapshotError> {
+    let sign = match r.u8()? as i8 {
+        -1 => Sign::Negative,
+        0 => Sign::Zero,
+        1 => Sign::Positive,
+        other => {
+            return Err(SnapshotError::Malformed(format!("rat sign byte {other}")));
+        }
+    };
+    let num = read_nat(r)?;
+    let den = read_nat(r)?;
+    if den.is_zero() {
+        return Err(SnapshotError::Malformed("zero denominator".into()));
+    }
+    if (sign == Sign::Zero) != num.is_zero() {
+        return Err(SnapshotError::Malformed("sign/magnitude mismatch".into()));
+    }
+    Ok(Rat::new(
+        cqdet_bigint::Int::from_sign_mag(sign, num),
+        cqdet_bigint::Int::from_nat(den),
+    ))
+}
+
+impl DecisionContext {
+    /// Export the warm-startable caches (see [`SessionSnapshot`]).  Runs
+    /// concurrently with traffic — each shard is visited under its own
+    /// lock, so the result is a consistent-per-entry, possibly
+    /// non-atomic-across-caches view, which is all a warm start needs.
+    pub fn export_snapshot(&self) -> SessionSnapshot {
+        let mut snap = SessionSnapshot::default();
+        {
+            let table = locked(&self.classes);
+            snap.next_class_id = table.1;
+            for (key, id) in table.0.iter() {
+                snap.classes.push((key.canon_bytes().into(), *id));
+            }
+        }
+        // Preassigned ids not (yet) re-interned this session are still
+        // live identities for the persisted span keys — carry them over.
+        for (canon, id) in locked(&self.preassigned).iter() {
+            if !snap.classes.iter().any(|(c, _)| c == canon) {
+                snap.classes.push((canon.clone(), *id));
+            }
+        }
+        self.gate.for_each(|(view, query), verdict| {
+            snap.gate.push((
+                view.canon_bytes().into(),
+                query.canon_bytes().into(),
+                *verdict,
+            ));
+        });
+        for (pk, verdict) in locked(&self.gate_preload).iter() {
+            if let Some((view, query)) = split_pair_key(pk) {
+                snap.gate.push((view.into(), query.into(), *verdict));
+            }
+        }
+        self.caches.export_counts(|tgt, src, count| {
+            snap.hom.push((tgt.into(), src.into(), count.clone()));
+        });
+        self.span.for_each(|key, entry| {
+            let basis = locked(&entry.basis);
+            snap.span
+                .push((key.clone(), basis.dim(), basis.len(), basis.export_rows()));
+        });
+        snap
+    }
+
+    /// Install a warm-start snapshot into this (typically fresh) context.
+    /// Structurally invalid span entries are dropped individually — the
+    /// checksum already vouches for transport integrity, and a dropped
+    /// entry merely cold-starts that one key.  Returns the number of
+    /// entries installed.
+    pub fn install_snapshot(&self, snap: SessionSnapshot) -> usize {
+        let mut installed = 0usize;
+        {
+            let mut preassigned = locked(&self.preassigned);
+            let mut table = locked(&self.classes);
+            for (canon, id) in snap.classes {
+                table.1 = table.1.max(id.saturating_add(1));
+                preassigned.insert(canon, id);
+                installed += 1;
+            }
+            table.1 = table.1.max(snap.next_class_id);
+        }
+        {
+            let mut preload = locked(&self.gate_preload);
+            for (view, query, verdict) in snap.gate {
+                preload.insert(pair_key(&view, &query), verdict);
+                installed += 1;
+            }
+        }
+        for (tgt, src, count) in snap.hom {
+            self.caches.preload_count(&tgt, &src, count);
+            installed += 1;
+        }
+        for (key, dim, inserted, rows) in snap.span {
+            if let Some(basis) = IncrementalBasis::from_parts(dim, inserted, rows) {
+                let bytes = basis.heap_bytes();
+                self.span.insert_or_get(
+                    key,
+                    Arc::new(SpanEntry {
+                        basis: Mutex::new(basis),
+                        bytes: AtomicUsize::new(bytes),
+                    }),
+                );
+                installed += 1;
+            }
+        }
+        installed
     }
 }
 
@@ -453,5 +888,97 @@ mod tests {
         assert_ne!(id_a, id_b);
         assert_eq!(cx.class_id(a.iso_key()), id_a);
         assert_eq!(cx.stats().iso_classes, 2);
+    }
+
+    /// A context with some of everything in its caches.
+    fn populated_context() -> (DecisionContext, Schema) {
+        let cx = DecisionContext::new();
+        let schema = Schema::binary(["R"]);
+        let q = cx.frozen(&schema, &two_path("q"));
+        let v = cx.frozen(&schema, &edge("v"));
+        assert!(cx.gate(&v, &q));
+        let id = cx.class_id(v.iso_key());
+        cx.caches().hom_count(v.body(), q.body());
+        let vectors = [
+            QVec::from_i64s(&[1, 0, 2]),
+            QVec::from_i64s(&[0, 1, 1]),
+            QVec::from_i64s(&[1, 1, 3]),
+        ];
+        assert!(cx
+            .span_solve(&[id, id + 1], &vectors, &QVec::from_i64s(&[1, 1, 3]))
+            .is_some());
+        (cx, schema)
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_every_section() {
+        let (cx, schema) = populated_context();
+        let snap = cx.export_snapshot();
+        assert!(!snap.is_empty());
+        assert!(!snap.classes.is_empty() && !snap.gate.is_empty());
+        assert!(!snap.hom.is_empty() && !snap.span.is_empty());
+        let payload = snap.to_payload();
+        let decoded = SessionSnapshot::from_payload(&payload).expect("round trip");
+        let fresh = DecisionContext::new();
+        let installed = fresh.install_snapshot(decoded);
+        assert_eq!(installed, snap.len(), "every entry installs");
+        // Gate verdict answered from the preload — no hom search runs.
+        let q = fresh.frozen(&schema, &two_path("q"));
+        let v = fresh.frozen(&schema, &edge("v"));
+        assert!(fresh.gate(&v, &q));
+        // Class ids restored verbatim: span keys from the snapshot stay valid.
+        assert_eq!(fresh.class_id(v.iso_key()), cx.class_id(v.iso_key()));
+        // The restored span basis is a cache hit and already spans the old
+        // target, so the solve resumes past every previously fed generator.
+        let id = fresh.class_id(v.iso_key());
+        let vectors = [
+            QVec::from_i64s(&[1, 0, 2]),
+            QVec::from_i64s(&[0, 1, 1]),
+            QVec::from_i64s(&[1, 1, 3]),
+        ];
+        let restored = fresh.span_solve(&[id, id + 1], &vectors, &QVec::from_i64s(&[1, 1, 3]));
+        assert!(restored.is_some(), "restored echelon spans the old target");
+        assert_eq!(fresh.stats().span_hits, 1);
+    }
+
+    #[test]
+    fn corrupted_snapshot_payload_never_panics() {
+        let (cx, _) = populated_context();
+        let payload = cx.export_snapshot().to_payload();
+        // Truncations at every boundary parse to a typed error, not a panic.
+        for len in 0..payload.len() {
+            assert!(SessionSnapshot::from_payload(&payload[..len]).is_err());
+        }
+        // Byte flips either fail to parse or decode to installable-or-
+        // droppable data; install must not panic either way.
+        for i in (0..payload.len()).step_by(7) {
+            let mut bad = payload.clone();
+            bad[i] ^= 0x55;
+            if let Ok(snap) = SessionSnapshot::from_payload(&bad) {
+                DecisionContext::new().install_snapshot(snap);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_cache_caps_degrade_without_wrong_answers() {
+        let capped = DecisionContext::with_cache_bytes(Some(8192));
+        let uncapped = DecisionContext::new();
+        let schema = Schema::binary(["R"]);
+        for i in 0..50 {
+            let q = ConjunctiveQuery::boolean(
+                "q",
+                vec![
+                    Atom::new("R", &[format!("x{i}").as_str(), "y"]),
+                    Atom::new("R", &["y", "z"]),
+                ],
+            );
+            let fq_c = capped.frozen(&schema, &q);
+            let fq_u = uncapped.frozen(&schema, &q);
+            let v_c = capped.frozen(&schema, &edge("v"));
+            let v_u = uncapped.frozen(&schema, &edge("v"));
+            assert_eq!(capped.gate(&v_c, &fq_c), uncapped.gate(&v_u, &fq_u));
+        }
+        capped.set_cache_bytes(None);
     }
 }

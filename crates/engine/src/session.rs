@@ -609,8 +609,24 @@ impl TaskRecord {
     }
 }
 
+/// One governed cache's full counter block as a JSON object: occupancy
+/// (`entries`/`bytes`/`cap`) plus the hit/miss/eviction tallies.
+pub fn usage_json(usage: &cqdet_cache::CacheUsage) -> Json {
+    Json::obj([
+        ("hits", Json::num(usage.hits as i64)),
+        ("misses", Json::num(usage.misses as i64)),
+        ("evictions", Json::num(usage.evictions as i64)),
+        ("entries", Json::num(usage.entries as i64)),
+        ("bytes", Json::num(usage.bytes as i64)),
+        ("cap", Json::num(usage.cap as i64)),
+    ])
+}
+
 /// The session statistics as a JSON record (for the `cqdet batch` stats
-/// line).
+/// line).  The flat `*_hits`/`*_misses` members predate cache governance
+/// and stay for wire compatibility; the `*_usage` objects carry the full
+/// per-cache occupancy/eviction counters ([`usage_json`]) and
+/// `governed_bytes` the process-wide byte ledger.
 pub fn stats_json(stats: &ContextStats) -> Json {
     Json::obj([
         ("type", Json::str("session_stats")),
@@ -625,6 +641,12 @@ pub fn stats_json(stats: &ContextStats) -> Json {
         ("hom_hits", Json::num(stats.hom.hits as i64)),
         ("hom_misses", Json::num(stats.hom.misses as i64)),
         ("hom_entries", Json::num(stats.hom.entries as i64)),
+        ("frozen_usage", usage_json(&stats.frozen_usage)),
+        ("gate_usage", usage_json(&stats.gate_usage)),
+        ("span_usage", usage_json(&stats.span_usage)),
+        ("hom_usage", usage_json(&stats.hom_usage)),
+        ("cand_usage", usage_json(&stats.cand_usage)),
+        ("governed_bytes", Json::num(stats.governed_bytes as i64)),
     ])
 }
 

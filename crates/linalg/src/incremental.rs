@@ -110,6 +110,74 @@ impl IncrementalBasis {
         self.rows.len()
     }
 
+    /// Bytes of heap storage owned by this basis: every row's vector and
+    /// coordinate buffers, limb storage included.  Feeds the byte-accurate
+    /// cost accounting of the governed span cache — echelon rows over
+    /// bigint rationals are by far its heaviest entries.
+    pub fn heap_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.vec.heap_bytes()
+                    + row.coords.capacity() * std::mem::size_of::<Rat>()
+                    + row.coords.iter().map(Rat::heap_bytes).sum::<usize>()
+            })
+            .sum::<usize>()
+            + self.rows.capacity() * std::mem::size_of::<EchelonRow>()
+    }
+
+    /// Export the reduced rows as `(pivot, vec, coords)` triples (cloned),
+    /// for the warm-start snapshot.  The inverse of
+    /// [`IncrementalBasis::from_parts`].
+    pub fn export_rows(&self) -> Vec<(usize, QVec, Vec<Rat>)> {
+        self.rows
+            .iter()
+            .map(|row| (row.pivot, row.vec.clone(), row.coords.clone()))
+            .collect()
+    }
+
+    /// Rebuild a basis from snapshot parts, validating every structural
+    /// invariant the reduction algorithms rely on; returns `None` on any
+    /// violation (the snapshot loader then discards the entry and cold
+    /// starts that key).  Checked: distinct in-range pivots, row dimension,
+    /// unit pivot entries with zeros at every *other* row's pivot column
+    /// (the Gauss–Jordan full-reduction invariant), rank and coordinate
+    /// lengths bounded by `inserted`.
+    pub fn from_parts(
+        dim: usize,
+        inserted: usize,
+        rows: Vec<(usize, QVec, Vec<Rat>)>,
+    ) -> Option<IncrementalBasis> {
+        if rows.len() > inserted {
+            return None;
+        }
+        let mut seen = vec![false; dim];
+        for (pivot, vec, coords) in &rows {
+            if *pivot >= dim || seen[*pivot] || vec.dim() != dim || coords.len() > inserted {
+                return None;
+            }
+            seen[*pivot] = true;
+        }
+        for (pivot, vec, _) in &rows {
+            if !vec.0[*pivot].is_one() {
+                return None;
+            }
+            for (other_pivot, _, _) in &rows {
+                if other_pivot != pivot && !vec.0[*other_pivot].is_zero() {
+                    return None;
+                }
+            }
+        }
+        Some(IncrementalBasis {
+            dim,
+            inserted,
+            rows: rows
+                .into_iter()
+                .map(|(pivot, vec, coords)| EchelonRow { pivot, vec, coords })
+                .collect(),
+        })
+    }
+
     /// Insert one generator; returns `true` when it enlarged the span.
     pub fn insert(&mut self, v: &QVec) -> bool {
         match self.insert_indexed(v, &mut Gas::unlimited()) {
@@ -475,5 +543,58 @@ mod tests {
     fn dimension_mismatch_panics() {
         let mut b = IncrementalBasis::new(3);
         b.insert(&v(&[1, 2]));
+    }
+
+    #[test]
+    fn export_import_round_trip_preserves_solutions() {
+        let generators = [v(&[2, 1, 3]), v(&[5, 2, 7]), v(&[1, 1, 2])];
+        let mut b = IncrementalBasis::new(3);
+        for g in &generators {
+            b.insert(g);
+        }
+        let rebuilt = IncrementalBasis::from_parts(b.dim(), b.len(), b.export_rows())
+            .expect("exported rows satisfy the invariants");
+        assert_eq!(rebuilt.rank(), b.rank());
+        let target = v(&[1, 1, 2]);
+        assert_eq!(rebuilt.solve(&target), b.solve(&target));
+        assert!(rebuilt.solve(&v(&[0, 0, 1])).is_none());
+    }
+
+    #[test]
+    fn from_parts_rejects_invariant_violations() {
+        let mut b = IncrementalBasis::new(3);
+        b.insert(&v(&[1, 2, 3]));
+        b.insert(&v(&[0, 1, 1]));
+        let rows = b.export_rows();
+        // Out-of-range pivot.
+        let mut bad = b.export_rows();
+        bad[0].0 = 7;
+        assert!(IncrementalBasis::from_parts(3, 2, bad).is_none());
+        // Duplicate pivots.
+        let mut bad = b.export_rows();
+        bad[1].0 = bad[0].0;
+        assert!(IncrementalBasis::from_parts(3, 2, bad).is_none());
+        // Non-unit pivot entry.
+        let mut bad = b.export_rows();
+        let p = bad[0].0;
+        bad[0].1 .0[p] = Rat::from_i64(2);
+        assert!(IncrementalBasis::from_parts(3, 2, bad).is_none());
+        // Rank above inserted count.
+        assert!(IncrementalBasis::from_parts(3, 1, rows).is_none());
+    }
+
+    #[test]
+    fn heap_bytes_tracks_bigint_growth() {
+        use cqdet_bigint::Nat;
+        let mut b = IncrementalBasis::new(2);
+        b.insert(&v(&[1, 2]));
+        let small = b.heap_bytes();
+        let big = Rat::from_nat(Nat::one().shl_bits(4096));
+        let mut b2 = IncrementalBasis::new(2);
+        b2.insert(&QVec(vec![big.clone(), big]));
+        assert!(
+            b2.heap_bytes() > small + 512,
+            "4096-bit entries must charge their limb storage"
+        );
     }
 }

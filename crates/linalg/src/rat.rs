@@ -140,6 +140,14 @@ impl Rat {
         Rat::from_int(Int::from_nat(v))
     }
 
+    /// Bytes of heap storage owned by this value (zero on the machine-word
+    /// fast path).  Feeds the byte-accurate cost accounting of the
+    /// governed caches.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.num.heap_bytes() + self.den.heap_bytes()
+    }
+
     /// The (reduced) numerator.
     pub fn numer(&self) -> &Int {
         &self.num

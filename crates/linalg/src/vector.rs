@@ -42,6 +42,14 @@ impl QVec {
         self.0.len()
     }
 
+    /// Bytes of heap storage owned by this vector: the entry buffer plus
+    /// every entry's own limb storage.  Feeds the byte-accurate cost
+    /// accounting of the governed caches.
+    pub fn heap_bytes(&self) -> usize {
+        self.0.capacity() * std::mem::size_of::<Rat>()
+            + self.0.iter().map(Rat::heap_bytes).sum::<usize>()
+    }
+
     /// Iterator over the entries.
     pub fn iter(&self) -> std::slice::Iter<'_, Rat> {
         self.0.iter()

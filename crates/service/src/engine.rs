@@ -14,7 +14,7 @@ use crate::error::CqdetError;
 use crate::request::{BudgetSpec, Request, RequestKind};
 use crate::response::{HilbertRefutation, Response};
 use cqdet_core::witness::{build_counterexample_ctl, check_certificate_arithmetic, WitnessConfig};
-use cqdet_core::{decide_path_determinacy, paths};
+use cqdet_core::{decide_path_determinacy, paths, SessionSnapshot};
 use cqdet_engine::{DecisionSession, SessionConfig, Task};
 use cqdet_failpoint::fail_point;
 use cqdet_hilbert::{encode, DiophantineInstance, Monomial};
@@ -22,6 +22,7 @@ use cqdet_parallel::{Budget, CancelToken};
 use cqdet_query::{parse_queries, ConjunctiveQuery, PathQuery};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -51,6 +52,12 @@ pub struct EngineCounters {
     /// Transient accept-loop errors absorbed by backoff instead of taking
     /// the server down.
     pub accept_retries: u64,
+    /// Warm-start snapshots loaded successfully at boot.
+    pub snapshot_loaded: u64,
+    /// Warm-start snapshots *rejected* — corruption, truncation, version
+    /// skew, I/O failure or an armed `snapshot/load` fault.  Every
+    /// rejection is a cold start, never a panic or a wedged server.
+    pub snapshot_rejected: u64,
 }
 
 /// The atomic cells behind [`EngineCounters`].
@@ -63,6 +70,8 @@ struct CounterCells {
     shed_requests: AtomicU64,
     oversized_requests: AtomicU64,
     accept_retries: AtomicU64,
+    snapshot_loaded: AtomicU64,
+    snapshot_rejected: AtomicU64,
 }
 
 /// The unified serving engine.  See the [module docs](self) and the crate
@@ -98,17 +107,42 @@ pub struct Engine {
 
 impl Engine {
     /// An engine over a fresh [`DecisionSession`] with default policy.
+    /// `CQDET_CACHE_BYTES=<n>` in the environment installs a total cache
+    /// budget of `n` bytes ([`Engine::set_cache_bytes`]).
     pub fn new() -> Engine {
-        Engine::default()
+        let engine = Engine::default();
+        engine.apply_env_policy();
+        engine
     }
 
     /// An engine whose session uses `config` as the *default* policy
     /// (per-request flags still override witnesses/verification).
     pub fn with_config(config: SessionConfig) -> Engine {
-        Engine {
+        let engine = Engine {
             session: DecisionSession::with_config(config),
             ..Engine::default()
+        };
+        engine.apply_env_policy();
+        engine
+    }
+
+    fn apply_env_policy(&self) {
+        if let Some(bytes) = std::env::var("CQDET_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            self.set_cache_bytes(Some(bytes));
         }
+    }
+
+    /// Install (or, with `None`, restore the defaults of) a total byte
+    /// budget over every governed session cache: the budget is split
+    /// between the frozen-body, containment-gate, span-basis, hom-count
+    /// and candidate caches, and doubles as the global memory watermark —
+    /// over-budget entries are evicted (and recomputed on re-use), never
+    /// refused.
+    pub fn set_cache_bytes(&self, total: Option<u64>) {
+        self.session.context().set_cache_bytes(total);
     }
 
     /// The underlying session (cache statistics, direct library access).
@@ -145,6 +179,8 @@ impl Engine {
             shed_requests: c.shed_requests.load(Ordering::Relaxed),
             oversized_requests: c.oversized_requests.load(Ordering::Relaxed),
             accept_retries: c.accept_retries.load(Ordering::Relaxed),
+            snapshot_loaded: c.snapshot_loaded.load(Ordering::Relaxed),
+            snapshot_rejected: c.snapshot_rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -190,6 +226,90 @@ impl Engine {
         self.counters
             .panics_contained
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Persist the session's warm-start state (canonical class keys, hom
+    /// counts, containment verdicts, span echelons) to `path` atomically:
+    /// the checksummed envelope is written to a temp file, fsynced, then
+    /// renamed — a crash mid-save leaves the previous snapshot intact.
+    /// Returns the number of entries written.
+    pub fn save_snapshot(&self, path: &Path) -> Result<usize, CqdetError> {
+        fail_point!("snapshot/save", |msg: String| Err(CqdetError::internal(
+            msg
+        )));
+        let snap = self.session.context().export_snapshot();
+        let entries = snap.len();
+        cqdet_cache::snapshot::save_atomic(path, &snap.to_payload())
+            .map_err(|e| CqdetError::internal(format!("snapshot save failed: {e}")))?;
+        Ok(entries)
+    }
+
+    /// Load a warm-start snapshot from `path` into the session caches.
+    /// Any failure — unreadable file, bad magic, version skew, truncation,
+    /// checksum mismatch, malformed interior, an armed `snapshot/load`
+    /// fault — bumps `snapshot_rejected` and returns a typed error: the
+    /// caller keeps its cold (but fully correct) caches.  Success bumps
+    /// `snapshot_loaded` and returns the number of entries installed.
+    pub fn load_snapshot(&self, path: &Path) -> Result<usize, CqdetError> {
+        let loaded: Result<usize, CqdetError> = (|| {
+            fail_point!("snapshot/load", |msg: String| Err(CqdetError::internal(
+                msg
+            )));
+            let payload = cqdet_cache::snapshot::open(path)
+                .map_err(|e| CqdetError::internal(format!("snapshot rejected: {e}")))?;
+            let snap = SessionSnapshot::from_payload(&payload)
+                .map_err(|e| CqdetError::internal(format!("snapshot rejected: {e}")))?;
+            Ok(self.session.context().install_snapshot(snap))
+        })();
+        match loaded {
+            Ok(n) => {
+                self.counters
+                    .snapshot_loaded
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(n)
+            }
+            Err(e) => {
+                self.counters
+                    .snapshot_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Boot-time warm start: a missing snapshot is an ordinary first boot
+    /// (quiet cold start, no counter); any load failure **or panic** is
+    /// contained into a counted cold start.  Never fails the boot.
+    pub fn warm_start(&self, path: &Path) -> Option<usize> {
+        if !path.exists() {
+            return None;
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.load_snapshot(path))) {
+            Ok(Ok(n)) => Some(n),
+            Ok(Err(_)) => None,
+            Err(_) => {
+                // The panic pre-empted load_snapshot's own bookkeeping.
+                self.note_panic_contained();
+                self.counters
+                    .snapshot_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Shutdown-time persistence: best effort, panics contained — a failed
+    /// or faulted save must never block the server from exiting (the next
+    /// boot simply starts cold, or from the previous intact snapshot).
+    pub fn save_snapshot_quiet(&self, path: &Path) -> bool {
+        match catch_unwind(AssertUnwindSafe(|| self.save_snapshot(path))) {
+            Ok(Ok(_)) => true,
+            Ok(Err(_)) => false,
+            Err(_) => {
+                self.note_panic_contained();
+                false
+            }
+        }
     }
 
     /// Submit one request and get its response.  Never panics: workload

@@ -47,7 +47,7 @@ use crate::engine::Engine;
 use crate::error::CqdetError;
 use crate::frame::{FrameBuffer, FrameError};
 use crate::response::Response;
-use crate::serve::{reject_connection, render_line, ServeOptions};
+use crate::serve::{boot_engine, persist_engine, reject_connection, render_line, ServeOptions};
 use cqdet_engine::Json;
 use cqdet_failpoint::fail_point;
 use cqdet_parallel::pool::{BoundedQueue, TryPushError};
@@ -218,9 +218,7 @@ pub fn serve_tcp_reactor<F: FnOnce(SocketAddr)>(
 ) -> io::Result<u64> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
-    if options.default_budget.is_some() {
-        engine.set_default_budget(options.default_budget);
-    }
+    boot_engine(engine, options);
     on_ready(listener.local_addr()?);
 
     let workers = if options.worker_threads == 0 {
@@ -618,6 +616,7 @@ pub fn serve_tcp_reactor<F: FnOnce(SocketAddr)>(
         jobs.close();
     });
 
+    persist_engine(engine, options);
     match fatal {
         Some(e) => Err(e),
         None => Ok(served),

@@ -350,6 +350,14 @@ pub fn counters_json(counters: &EngineCounters) -> Json {
             Json::num(counters.oversized_requests as i64),
         ),
         ("accept_retries", Json::num(counters.accept_retries as i64)),
+        (
+            "snapshot_loaded",
+            Json::num(counters.snapshot_loaded as i64),
+        ),
+        (
+            "snapshot_rejected",
+            Json::num(counters.snapshot_rejected as i64),
+        ),
     ])
 }
 

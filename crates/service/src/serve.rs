@@ -39,6 +39,7 @@ use cqdet_failpoint::fail_point;
 use std::io::{self, BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -75,6 +76,18 @@ pub struct ServeOptions {
     /// immediately with a typed `resource_exhausted` error, never stalled
     /// or dropped.  Ignored by the thread-per-connection twin.
     pub inflight_budget: usize,
+    /// Total byte budget across every governed session cache (the
+    /// `--cache-bytes` serve flag): split between the frozen-body,
+    /// containment-gate, span-basis, hom-count and candidate caches, with
+    /// the total doubling as a global memory watermark.  Over-budget
+    /// entries are evicted and recomputed on demand — a tiny cap degrades
+    /// throughput, never correctness.  `None` keeps the per-cache defaults.
+    pub cache_bytes: Option<u64>,
+    /// Warm-start snapshot path (the `--snapshot` serve flag): loaded at
+    /// boot (a missing, corrupted or truncated file is a counted cold
+    /// start, never a failed boot) and rewritten atomically when the serve
+    /// loop exits.
+    pub snapshot_path: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -93,6 +106,8 @@ impl Default for ServeOptions {
             // Far above any honest pipelining depth, low enough to refuse
             // an unbounded backlog long before memory pressure.
             inflight_budget: 4096,
+            cache_bytes: None,
+            snapshot_path: None,
         }
     }
 }
@@ -100,10 +115,14 @@ impl Default for ServeOptions {
 /// Every fault-injection seam reachable from a served request, for chaos
 /// harnesses to cycle through (see `cqdet-failpoint`).  Grouped by layer:
 /// reactor core, connection I/O, line handling, engine dispatch, decision
-/// stages, session cache internals.  `serve/shed` only fires on the
-/// admission-control shed path, so the generic chaos matrix (which drives
-/// ordinary under-budget traffic) exercises it via a dedicated
-/// over-budget scenario rather than this list's round-trip probe.
+/// stages, session cache internals, cache governance.  `serve/shed` only
+/// fires on the admission-control shed path, so the generic chaos matrix
+/// (which drives ordinary under-budget traffic) exercises it via a
+/// dedicated over-budget scenario rather than this list's round-trip
+/// probe; likewise `cache/evict` only fires while a byte cap forces
+/// evictions (arm it with a tiny [`ServeOptions::cache_bytes`]), and the
+/// `snapshot/*` seams fire at boot/shutdown rather than per request, so
+/// they get their own save/corrupt/reload scenarios.
 pub fn failpoint_names() -> &'static [&'static str] {
     &[
         "serve/poll",
@@ -119,7 +138,34 @@ pub fn failpoint_names() -> &'static [&'static str] {
         "decide/span",
         "session/lock",
         "session/cache-insert",
+        "cache/evict",
+        "snapshot/save",
+        "snapshot/load",
     ]
+}
+
+/// Boot-time engine policy shared by every transport: install the default
+/// fuel budget, apply the cache byte budget, warm-start from the snapshot
+/// (missing/corrupt → counted cold start, never a failed boot).
+pub(crate) fn boot_engine(engine: &Engine, options: &ServeOptions) {
+    if options.default_budget.is_some() {
+        engine.set_default_budget(options.default_budget);
+    }
+    if let Some(bytes) = options.cache_bytes {
+        engine.set_cache_bytes(Some(bytes));
+    }
+    if let Some(path) = &options.snapshot_path {
+        let _ = engine.warm_start(path);
+    }
+}
+
+/// Exit-time persistence shared by every transport: rewrite the snapshot
+/// atomically.  Best effort — a failed or faulted save never blocks the
+/// server from exiting.
+pub(crate) fn persist_engine(engine: &Engine, options: &ServeOptions) {
+    if let Some(path) = &options.snapshot_path {
+        let _ = engine.save_snapshot_quiet(path);
+    }
 }
 
 /// Decode one request line and produce its response.  Blank lines produce
@@ -248,9 +294,7 @@ pub fn serve_tcp_threaded<F: FnOnce(SocketAddr)>(
 ) -> io::Result<u64> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
-    if options.default_budget.is_some() {
-        engine.set_default_budget(options.default_budget);
-    }
+    boot_engine(engine, options);
     on_ready(listener.local_addr()?);
     let active = AtomicUsize::new(0);
     let served = AtomicU64::new(0);
@@ -323,6 +367,7 @@ pub fn serve_tcp_threaded<F: FnOnce(SocketAddr)>(
             }
         }
     });
+    persist_engine(engine, options);
     match fatal {
         Some(e) => Err(e),
         None => Ok(served.load(Ordering::Relaxed)),

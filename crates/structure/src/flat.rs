@@ -31,29 +31,55 @@ use crate::canon::{canonical_key, CanonKey};
 use crate::filter;
 use crate::schema::RelTable;
 use crate::structure::{Const, Structure};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use cqdet_cache::{CounterSink, ShardedCache};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
-/// Bound on memoized candidate lists per target structure (each list is at
-/// most the domain size; the cap keeps adversarial mask diversity from
-/// accumulating unbounded memory on a long-lived target).
-const CAND_CACHE_CAP: usize = 1024;
+/// Byte budget shared by *every* live candidate memo (the memos are
+/// per-target-structure and short-lived, so each reads the family cap from
+/// this one cell — retargeting governs existing and future structures
+/// alike).  The default keeps adversarial mask diversity from accumulating
+/// unbounded memory on long-lived targets; `cqdet serve --cache-bytes`
+/// scales it.
+static CAND_CACHE_CAP_BYTES: AtomicUsize = AtomicUsize::new(16 << 20);
+
+/// Family-wide counters aggregated across every live candidate memo (each
+/// memo mirrors its deltas here and subtracts its residue on drop).
+static CAND_CACHE_SINK: CounterSink = CounterSink::new();
+
+/// Family-wide counters of the candidate memos: occupancy, byte usage and
+/// hit/miss/eviction counts summed over every live target structure.
+pub fn cand_cache_usage() -> cqdet_cache::CacheUsage {
+    CAND_CACHE_SINK.usage(CAND_CACHE_CAP_BYTES.load(Ordering::Relaxed) as u64)
+}
+
+/// Retarget the byte budget shared by all candidate memos (live: existing
+/// structures sweep on their next insert).
+pub fn set_cand_cache_bytes(bytes: usize) {
+    CAND_CACHE_CAP_BYTES.store(bytes, Ordering::Relaxed);
+}
+
+/// True byte cost of one memoized candidate list: mask words, candidate
+/// ids, plus a fixed estimate of the map-entry and `Arc` bookkeeping.
+#[allow(clippy::borrowed_box)] // must match the cache's `fn(&K, &V)` weigher type
+fn cand_weight(key: &Box<[u64]>, value: &Arc<Vec<u32>>) -> usize {
+    key.len() * 8 + value.len() * 4 + 64
+}
 
 /// Occurrence mask → candidate-image list (see
-/// [`FlatStructure::candidates_for_mask`]).
-type CandCache = Mutex<HashMap<Box<[u64]>, Arc<Vec<u32>>>>;
+/// [`FlatStructure::candidates_for_mask`]): a governed family member — few
+/// shards (the per-structure mask diversity is modest), byte cap and
+/// counters shared across the family.
+type CandCache = ShardedCache<Box<[u64]>, Arc<Vec<u32>>>;
+
+fn new_cand_cache() -> CandCache {
+    ShardedCache::family_member(4, &CAND_CACHE_CAP_BYTES, &CAND_CACHE_SINK, cand_weight)
+}
 
 /// Largest domain for which a binary relation gets a dense membership bit
 /// matrix (`4096² bits = 2 MiB` per relation at the cap — bounded, and tiny
 /// on the query-sized structures the hom search spends its time on).
 const PAIR_BITS_MAX_DOM: usize = 4096;
-
-/// Poison-recovering lock: the memos in this module are insert-only, so a
-/// panicking holder cannot leave them in a corrupt state — recover the
-/// guard instead of propagating the panic into request handling.
-fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
 
 /// The compiled flat form of one structure.
 #[derive(Debug)]
@@ -232,7 +258,7 @@ impl FlatStructure {
             table: s.schema().table(),
             canon: OnceLock::new(),
             canon_key: OnceLock::new(),
-            cand_cache: Mutex::new(HashMap::new()),
+            cand_cache: new_cand_cache(),
         }
     }
 
@@ -322,8 +348,8 @@ impl FlatStructure {
     /// live in this structure's slot space.
     pub(crate) fn candidates_for_mask(&self, mask: &[u64]) -> Arc<Vec<u32>> {
         debug_assert_eq!(mask.len(), self.slot_words);
-        if let Some(hit) = locked(&self.cand_cache).get(mask) {
-            return hit.clone();
+        if let Some(hit) = self.cand_cache.probe(mask) {
+            return hit;
         }
         let cands: Arc<Vec<u32>> = Arc::new(filter::superset_indices(
             mask,
@@ -331,11 +357,7 @@ impl FlatStructure {
             self.slot_words,
             self.dom.len(),
         ));
-        let mut cache = locked(&self.cand_cache);
-        if cache.len() < CAND_CACHE_CAP {
-            cache.insert(mask.into(), cands.clone());
-        }
-        cands
+        self.cand_cache.insert_or_get(mask.into(), cands)
     }
 }
 

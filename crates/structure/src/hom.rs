@@ -20,11 +20,11 @@ use crate::filter;
 use crate::flat::FlatStructure;
 use crate::structure::{Const, Structure};
 use cqdet_bigint::Nat;
+use cqdet_cache::ShardedCache;
 use cqdet_parallel::{Gas, Interrupt};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 /// A homomorphism, represented as the assignment of source to target constants.
 pub type Homomorphism = BTreeMap<Const, Const>;
@@ -752,14 +752,40 @@ pub fn hom_count_factored(source: &Structure, target: &Structure) -> Nat {
     acc
 }
 
-// Bound on the number of memoized (source, target) count pairs; the cache is
-// cleared wholesale when it fills (counts are cheap to recompute relative to
-// unbounded growth).
-const HOM_CACHE_CAP: usize = 8192;
+/// Default byte budget of one hom memo before the session governor retargets
+/// it (`cqdet serve --cache-bytes`): generous enough that tests and one-shot
+/// runs never evict, bounded so a long-lived default handle cannot grow
+/// without limit.
+const HOM_CACHE_DEFAULT_BYTES: usize = 64 << 20;
 
-// Two-level map (target canon → source canon → count) so a cache probe can
-// use borrowed `&[u8]` keys — hits allocate nothing.
-type HomCacheMap = HashMap<Box<[u8]>, HashMap<Box<[u8]>, Nat>>;
+/// Memo key: `[u32 LE target-canon length][target canon][source canon]`,
+/// one flat allocation so the sharded map needs no nested lookup and the
+/// snapshot codec can split the pair back apart.
+fn hom_key(tgt_canon: &[u8], src_canon: &[u8]) -> Box<[u8]> {
+    let mut key = Vec::with_capacity(4 + tgt_canon.len() + src_canon.len());
+    key.extend_from_slice(&(tgt_canon.len() as u32).to_le_bytes());
+    key.extend_from_slice(tgt_canon);
+    key.extend_from_slice(src_canon);
+    key.into_boxed_slice()
+}
+
+/// Split a [`hom_key`] back into `(target canon, source canon)`; `None` on
+/// a malformed prefix (only reachable from a corrupt snapshot payload).
+fn split_hom_key(key: &[u8]) -> Option<(&[u8], &[u8])> {
+    let tgt_len = u32::from_le_bytes(key.get(..4)?.try_into().ok()?) as usize;
+    let rest = key.get(4..)?;
+    if tgt_len > rest.len() {
+        return None;
+    }
+    Some(rest.split_at(tgt_len))
+}
+
+/// True byte cost of one memo entry: the key bytes, the count's limb
+/// storage, and a fixed estimate of the map-entry bookkeeping.
+#[allow(clippy::borrowed_box)] // must match the cache's `fn(&K, &V)` weigher type
+fn hom_weight(key: &Box<[u8]>, value: &Nat) -> usize {
+    key.len() + value.heap_bytes() + 48
+}
 
 /// Aggregate statistics of a [`SharedCaches`] handle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -789,26 +815,25 @@ pub struct CacheStats {
 /// construction — are keyed by their isomorphism-invariant canonical key
 /// ([`Structure::iso_class_key`]), targets by the cheap order-preserving
 /// flat encoding.
-/// Lock a cache mutex, recovering from poisoning: the protected maps are
-/// always structurally valid (a panicking holder at worst loses one insert).
-fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+pub struct SharedCaches {
+    /// The memo: a governed sharded map under a byte cap — entries charge
+    /// their key bytes plus the count's limb storage, and a full shard
+    /// evicts cold pairs with a clock sweep instead of clearing wholesale.
+    map: ShardedCache<Box<[u8]>, Nat>,
 }
 
-#[derive(Default)]
-pub struct SharedCaches {
-    /// The memo map plus a running count of its entries, maintained on
-    /// insert/clear so neither the capacity check nor [`stats`](Self::stats)
-    /// re-scans the map under the shared lock.
-    map: Mutex<(HomCacheMap, usize)>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+impl Default for SharedCaches {
+    fn default() -> Self {
+        SharedCaches::new()
+    }
 }
 
 impl SharedCaches {
-    /// A fresh, empty cache handle.
+    /// A fresh, empty cache handle under the default byte budget.
     pub fn new() -> SharedCaches {
-        SharedCaches::default()
+        SharedCaches {
+            map: ShardedCache::new(HOM_CACHE_DEFAULT_BYTES, hom_weight),
+        }
     }
 
     /// [`hom_count`] through this handle's memo: isomorphic sources share
@@ -842,57 +867,58 @@ impl SharedCaches {
         target: &Structure,
         gas: Option<&mut Gas>,
     ) -> Result<Nat, Interrupt> {
-        let src_canon: &[u8] = &source.flat().canon_key().bytes;
-        let tgt_canon: &[u8] = target.flat().canon();
-        let hit = {
-            let (map, _) = &*locked(&self.map);
-            map.get(tgt_canon)
-                .and_then(|per_src| per_src.get(src_canon))
-                .cloned()
-        };
-        if let Some(hit) = hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let key = hom_key(target.flat().canon(), &source.flat().canon_key().bytes);
+        if let Some(hit) = self.map.probe(&key) {
             return Ok(hit);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Compute outside the lock; an interrupt propagates before any
-        // insert, so partial results never poison the shared map.
+        // Compute outside any shard lock; an interrupt propagates before
+        // any insert, so partial results never poison the shared map.
         let count = match gas {
             Some(gas) => hom_count_gas(source, target, gas)?,
             None => hom_count(source, target),
         };
-        let mut guard = locked(&self.map);
-        let (map, total) = &mut *guard;
-        if *total >= HOM_CACHE_CAP {
-            map.clear();
-            *total = 0;
-        }
-        if map
-            .entry(tgt_canon.to_vec().into_boxed_slice())
-            .or_default()
-            .insert(src_canon.to_vec().into_boxed_slice(), count.clone())
-            .is_none()
-        {
-            *total += 1;
-        }
-        Ok(count)
+        Ok(self.map.insert_or_get(key, count))
     }
 
     /// Current hit/miss/entry counts.
     pub fn stats(&self) -> CacheStats {
-        let entries = locked(&self.map).1 as u64;
+        let usage = self.map.stats();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries,
+            hits: usage.hits,
+            misses: usage.misses,
+            entries: usage.entries,
         }
+    }
+
+    /// Full governed-cache counters: occupancy, byte usage and evictions on
+    /// top of the hit/miss counts of [`SharedCaches::stats`].
+    pub fn usage(&self) -> cqdet_cache::CacheUsage {
+        self.map.stats()
+    }
+
+    /// Retarget the memo's byte cap (live; over-budget shards evict).
+    pub fn set_cap_bytes(&self, bytes: usize) {
+        self.map.set_cap(bytes);
     }
 
     /// Drop every memoized count (the counters are kept).
     pub fn clear(&self) {
-        let mut guard = locked(&self.map);
-        guard.0.clear();
-        guard.1 = 0;
+        self.map.clear();
+    }
+
+    /// Visit every memoized `(target canon, source canon, count)` triple —
+    /// the warm-start snapshot exporter.
+    pub fn export_counts(&self, mut f: impl FnMut(&[u8], &[u8], &Nat)) {
+        self.map.for_each(|key, count| {
+            if let Some((tgt, src)) = split_hom_key(key) {
+                f(tgt, src, count);
+            }
+        });
+    }
+
+    /// Seed one memo entry from a snapshot (no hit/miss counted).
+    pub fn preload_count(&self, tgt_canon: &[u8], src_canon: &[u8], count: Nat) {
+        self.map.insert_or_get(hom_key(tgt_canon, src_canon), count);
     }
 }
 

@@ -34,6 +34,14 @@ impl IsoClassKey {
         flat.canon_key();
         IsoClassKey(flat)
     }
+
+    /// The isomorphism-invariant canonical byte string of this class: equal
+    /// across any two keys of the same class, stable across processes — the
+    /// identity the warm-start snapshot persists class ids and gate
+    /// verdicts under.
+    pub fn canon_bytes(&self) -> &[u8] {
+        &self.0.canon_key().bytes
+    }
 }
 
 impl PartialEq for IsoClassKey {

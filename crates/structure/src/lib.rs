@@ -46,6 +46,7 @@ pub mod structure;
 pub use adjacency::incidence_matrix;
 pub use components::{connected_components, is_connected};
 pub use expr::StructureExpr;
+pub use flat::{cand_cache_usage, set_cand_cache_bytes};
 pub use generator::StructureGenerator;
 pub use hom::{
     hom_cache_stats, hom_count, hom_count_cached, hom_count_cached_gas, hom_count_factored,

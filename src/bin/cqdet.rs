@@ -36,6 +36,7 @@
 //!
 //! cqdet serve [--tcp ADDR] [--workers N] [--inflight N]
 //!             [--max-line-bytes N] [--fuel-steps N] [--fuel-bytes N]
+//!             [--cache-bytes N] [--snapshot PATH]
 //!     The long-lived JSON-lines server.  Default transport is
 //!     stdin/stdout; `--tcp 127.0.0.1:4199` serves concurrent connections
 //!     over TCP with shared cross-connection caches (`--tcp 127.0.0.1:0`
@@ -46,8 +47,14 @@
 //!     `--max-line-bytes` bounds one request line (an oversized line gets
 //!     one typed error, then the connection closes).  `--fuel-steps` /
 //!     `--fuel-bytes` install a default fuel budget applied to every
-//!     request without a `budget` member of its own.  See README.md for
-//!     the protocol (request/response schema, error taxonomy, deadlines).
+//!     request without a `budget` member of its own.  `--cache-bytes`
+//!     caps the total bytes of the governed session caches (over-budget
+//!     entries are evicted and recomputed — throughput degrades, answers
+//!     never change; `CQDET_CACHE_BYTES` is the env equivalent) and
+//!     `--snapshot PATH` warm-starts from a checksummed snapshot at boot
+//!     (missing/corrupted file ⇒ counted cold start) and rewrites it
+//!     atomically at shutdown.  See README.md for the protocol
+//!     (request/response schema, error taxonomy, deadlines).
 //!
 //! cqdet stats --tcp ADDR
 //!     Query a running `cqdet serve --tcp` instance for its session cache
@@ -106,6 +113,7 @@ fn print_usage() {
     println!("  cqdet hilbert <bound> <coeff:var^deg,...>...");
     println!("  cqdet serve   [--tcp ADDR] [--workers N] [--inflight N]");
     println!("                [--max-line-bytes N] [--fuel-steps N] [--fuel-bytes N]");
+    println!("                [--cache-bytes N] [--snapshot PATH]");
     println!("  cqdet stats   --tcp ADDR");
     println!();
     println!("Batch task files define boolean CQs (one per line, shared by all");
@@ -144,6 +152,8 @@ struct Flags {
     workers: Option<usize>,
     inflight: Option<usize>,
     max_line_bytes: Option<usize>,
+    cache_bytes: Option<u64>,
+    snapshot: Option<String>,
 }
 
 /// Parse one positional path plus the flags in `allowed`; any other
@@ -165,6 +175,8 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
         workers: None,
         inflight: None,
         max_line_bytes: None,
+        cache_bytes: None,
+        snapshot: None,
     };
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -228,6 +240,20 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                     return Err("--max-line-bytes must be a positive integer".to_string());
                 }
                 flags.max_line_bytes = Some(value);
+            }
+            "--cache-bytes" => {
+                let value: u64 = iter
+                    .next()
+                    .ok_or("--cache-bytes needs a value")?
+                    .parse()
+                    .map_err(|_| "--cache-bytes must be a positive integer")?;
+                if value == 0 {
+                    return Err("--cache-bytes must be a positive integer".to_string());
+                }
+                flags.cache_bytes = Some(value);
+            }
+            "--snapshot" => {
+                flags.snapshot = Some(iter.next().ok_or("--snapshot needs a path")?.clone());
             }
             "--repeat" => {
                 flags.repeat = iter
@@ -597,6 +623,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--max-line-bytes",
             "--fuel-steps",
             "--fuel-bytes",
+            "--cache-bytes",
+            "--snapshot",
         ],
     )?;
     if let Some(extra) = &flags.path {
@@ -621,10 +649,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     engine.set_default_budget(default_budget);
     match &flags.tcp {
         None => {
+            // The stdio transport has no ServeOptions boot hook: apply the
+            // cache budget and warm start here, persist on exit.
+            if let Some(bytes) = flags.cache_bytes {
+                engine.set_cache_bytes(Some(bytes));
+            }
+            if let Some(path) = &flags.snapshot {
+                let _ = engine.warm_start(std::path::Path::new(path));
+            }
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             let served = serve_lines(&engine, stdin.lock(), stdout.lock())
                 .map_err(|e| format!("serve I/O error: {e}"))?;
+            if let Some(path) = &flags.snapshot {
+                let _ = engine.save_snapshot_quiet(std::path::Path::new(path));
+            }
             eprintln!("cqdet serve: answered {served} request(s), shutting down");
             Ok(())
         }
@@ -635,6 +674,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 worker_threads: flags.workers.unwrap_or(defaults.worker_threads),
                 inflight_budget: flags.inflight.unwrap_or(defaults.inflight_budget),
                 max_request_bytes: flags.max_line_bytes.unwrap_or(defaults.max_request_bytes),
+                cache_bytes: flags.cache_bytes,
+                snapshot_path: flags.snapshot.as_ref().map(std::path::PathBuf::from),
                 ..defaults
             };
             let served = serve_tcp(&engine, addr, &options, |bound| {
@@ -740,5 +781,21 @@ mod tests {
         assert!(super::parse_flags(&["--inflight".into(), "0".into()], &all).is_ok());
         assert!(super::parse_flags(&["--max-line-bytes".into(), "0".into()], &all).is_err());
         assert!(super::parse_flags(&["--workers".into(), "x".into()], &all).is_err());
+    }
+
+    #[test]
+    fn cache_governance_flags() {
+        let all = ["--cache-bytes", "--snapshot"];
+        let args: Vec<String> = ["--cache-bytes", "65536", "--snapshot", "/tmp/warm.cqds"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = super::parse_flags(&args, &all).unwrap();
+        assert_eq!(flags.cache_bytes, Some(65536));
+        assert_eq!(flags.snapshot.as_deref(), Some("/tmp/warm.cqds"));
+        // A zero-byte cache budget could never admit an entry.
+        assert!(super::parse_flags(&["--cache-bytes".into(), "0".into()], &all).is_err());
+        assert!(super::parse_flags(&["--cache-bytes".into(), "x".into()], &all).is_err());
+        assert!(super::parse_flags(&["--snapshot".into()], &all).is_err());
     }
 }

@@ -150,6 +150,12 @@ fn roundtrip(stream: &mut TcpStream, line: &str) -> Json {
     read_response(stream)
 }
 
+/// A per-test snapshot path under the system temp dir (process-id-scoped
+/// so parallel CI jobs cannot collide).
+fn temp_snapshot_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cqdet-chaos-{tag}-{}.cqds", std::process::id()))
+}
+
 /// Pipeline `lines` in windows (write a window, then drain its responses):
 /// windows keep both sides' socket buffers from deadlocking while still
 /// exercising multi-request pipelining on every flush.
@@ -476,7 +482,13 @@ fn failpoint_matrix_every_seam_every_action() {
     let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
     clear_all();
     with_watchdog(300, "failpoint matrix", || {
-        let server = ChaosServer::start(ServeOptions::default());
+        // A tiny cache budget keeps the `cache/evict` seam on-path: every
+        // uncached probe's inserts overflow their shard budgets, so each
+        // armed action fires inside a real eviction sweep.
+        let server = ChaosServer::start(ServeOptions {
+            cache_bytes: Some(64 << 10),
+            ..ServeOptions::default()
+        });
         let addr = server.addr;
         let stop = AtomicU64::new(0);
 
@@ -524,6 +536,11 @@ fn failpoint_matrix_every_seam_every_action() {
                     // Only fires on the admission shed path, which this
                     // under-budget probe never takes; the dedicated
                     // over-budget matrix below covers it.
+                    continue;
+                }
+                if seam.starts_with("snapshot/") {
+                    // Fires at boot/shutdown, not per request; the
+                    // dedicated snapshot matrix below covers both seams.
                     continue;
                 }
                 for action in [
@@ -581,6 +598,9 @@ fn failpoint_matrix_every_seam_every_action() {
 
         // And after all that, the caches still agree with a clean engine.
         assert_oracle_matches_clean_engine(addr);
+        // Cap and watermark are process-global; restore defaults so later
+        // tests in this binary run ungoverned.
+        server.engine.set_cache_bytes(None);
         server.shutdown();
     });
 }
@@ -657,5 +677,191 @@ fn shed_seam_survives_fault_matrix() {
         assert!(counted >= total_shed as f64, "stats undercounts sheds");
         drop(stream);
         server.shutdown();
+    });
+}
+
+/// The `snapshot/save` and `snapshot/load` seams under the full action
+/// matrix.  These fire at shutdown and boot rather than per request, so the
+/// generic matrix skips them and this scenario drives the lifecycle
+/// directly: a fault while saving must never corrupt the previous snapshot
+/// or hang shutdown, and a fault while loading must always yield a working
+/// cold-start server.
+#[cfg(feature = "failpoints")]
+#[test]
+fn snapshot_seams_survive_fault_matrix() {
+    use cqdet_failpoint::{clear, clear_all, configure, hits, Action};
+
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    clear_all();
+    with_watchdog(180, "snapshot seam matrix", || {
+        let path = temp_snapshot_path("seam-matrix");
+        let _ = std::fs::remove_file(&path);
+        let options = ServeOptions {
+            snapshot_path: Some(path.clone()),
+            ..ServeOptions::default()
+        };
+
+        // Seed a known-good snapshot via one warm run + graceful shutdown.
+        let server = ChaosServer::start(options.clone());
+        let mut stream = server.connect();
+        let line = format!("{{\"id\":\"seed\",\"type\":\"decide\",\"program\":\"{DETERMINED}\"}}");
+        let response = roundtrip(&mut stream, &line);
+        assert_eq!(response.get("type").unwrap().as_str(), Some("decide"));
+        drop(stream);
+        server.shutdown();
+        let good = std::fs::read(&path).expect("seed snapshot written");
+        assert!(!good.is_empty(), "seed snapshot empty");
+
+        let actions = || {
+            [
+                Action::Delay(Duration::from_millis(2)),
+                Action::Err("chaos injected at snapshot seam".into()),
+                Action::Panic,
+            ]
+        };
+
+        // snapshot/save: shutdown must return under every action, and on
+        // Err/Panic the seed snapshot survives byte-identical (the seam
+        // aborts before the atomic tmp+rename ever starts).
+        for action in actions() {
+            println!("snapshot matrix: snapshot/save <- {action:?}");
+            std::fs::write(&path, &good).expect("reseed snapshot");
+            let server = ChaosServer::start(options.clone());
+            assert_eq!(server.engine.counters().snapshot_loaded, 1);
+            configure("snapshot/save", action.clone());
+            let mut stream = server.connect();
+            let response = roundtrip(&mut stream, &uncached_decide_line("save-probe", 8, None));
+            assert_eq!(response.get("type").unwrap().as_str(), Some("decide"));
+            drop(stream);
+            server.shutdown();
+            let seam_hits = hits("snapshot/save");
+            clear("snapshot/save");
+            assert!(seam_hits >= 1, "snapshot/save never fired ({action:?})");
+            let on_disk = std::fs::read(&path).expect("snapshot file vanished");
+            match action {
+                // Delay still writes: the file must be a *fresh* valid
+                // snapshot (it grew by the probe's frozen entries).
+                Action::Delay(_) => assert!(!on_disk.is_empty()),
+                // Err/Panic abort before the write: seed bytes intact.
+                _ => assert_eq!(on_disk, good, "faulted save clobbered the snapshot"),
+            }
+            // Whatever is on disk, the next boot comes up warm and sane.
+            let reboot = ChaosServer::start(options.clone());
+            assert_eq!(reboot.engine.counters().snapshot_loaded, 1);
+            assert_oracle_matches_clean_engine(reboot.addr);
+            reboot.shutdown();
+        }
+
+        // snapshot/load: boot must always complete.  Err/Panic are counted
+        // cold starts that still answer correctly; Delay is a warm start.
+        for action in actions() {
+            println!("snapshot matrix: snapshot/load <- {action:?}");
+            std::fs::write(&path, &good).expect("reseed snapshot");
+            configure("snapshot/load", action.clone());
+            let server = ChaosServer::start(options.clone());
+            let seam_hits = hits("snapshot/load");
+            clear("snapshot/load");
+            assert!(seam_hits >= 1, "snapshot/load never fired ({action:?})");
+            let counters = server.engine.counters();
+            match action {
+                Action::Delay(_) => {
+                    assert_eq!(counters.snapshot_loaded, 1, "delayed load must succeed");
+                    assert_eq!(counters.snapshot_rejected, 0);
+                }
+                Action::Err(_) => {
+                    assert_eq!(counters.snapshot_rejected, 1, "erred load must be counted");
+                    assert_eq!(counters.snapshot_loaded, 0);
+                }
+                _ => {
+                    assert_eq!(
+                        counters.snapshot_rejected, 1,
+                        "panicked load must be counted"
+                    );
+                    assert_eq!(counters.snapshot_loaded, 0);
+                    assert!(counters.panics_contained >= 1, "load panic not contained");
+                }
+            }
+            assert_oracle_matches_clean_engine(server.addr);
+            server.shutdown();
+        }
+
+        clear_all();
+        let _ = std::fs::remove_file(&path);
+    });
+}
+
+/// Corruption on disk — a flipped byte or a truncated file — must never
+/// panic the server or poison its answers: the snapshot is rejected with a
+/// typed counter and the server cold-starts, agreeing with a clean engine.
+/// This scenario needs no failpoints; it runs in every build.
+#[test]
+fn corrupted_snapshot_cold_starts_a_working_server() {
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    with_watchdog(120, "snapshot corruption", || {
+        let path = temp_snapshot_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let options = ServeOptions {
+            snapshot_path: Some(path.clone()),
+            ..ServeOptions::default()
+        };
+
+        // Warm a server and shut down gracefully: the snapshot is written.
+        let server = ChaosServer::start(options.clone());
+        // A missing snapshot is an ordinary first boot, not a rejection.
+        assert_eq!(server.engine.counters().snapshot_loaded, 0);
+        assert_eq!(server.engine.counters().snapshot_rejected, 0);
+        let mut stream = server.connect();
+        for (tag, program) in [("det", DETERMINED), ("ndet", NOT_DETERMINED)] {
+            let line =
+                format!("{{\"id\":\"warm-{tag}\",\"type\":\"decide\",\"program\":\"{program}\"}}");
+            let response = roundtrip(&mut stream, &line);
+            assert_eq!(response.get("type").unwrap().as_str(), Some("decide"));
+        }
+        drop(stream);
+        server.shutdown();
+        let good = std::fs::read(&path).expect("snapshot written at graceful shutdown");
+        assert!(
+            !good.is_empty(),
+            "graceful shutdown wrote an empty snapshot"
+        );
+
+        // A pristine reboot loads it.
+        let server = ChaosServer::start(options.clone());
+        assert_eq!(server.engine.counters().snapshot_loaded, 1);
+        assert_oracle_matches_clean_engine(server.addr);
+        server.shutdown();
+
+        // Flip one payload byte: checksum rejects it, the server cold-starts,
+        // and the rejection rides the public stats surface.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).expect("plant flipped snapshot");
+        let server = ChaosServer::start(options.clone());
+        assert_eq!(server.engine.counters().snapshot_rejected, 1);
+        assert_eq!(server.engine.counters().snapshot_loaded, 0);
+        assert_oracle_matches_clean_engine(server.addr);
+        let mut stream = server.connect();
+        let stats = roundtrip(&mut stream, r#"{"id":"after-flip","type":"stats"}"#);
+        let rejected = stats
+            .get("counters")
+            .unwrap()
+            .get("snapshot_rejected")
+            .unwrap()
+            .as_f64()
+            .expect("snapshot_rejected counter in stats");
+        assert_eq!(rejected, 1.0, "rejection missing from stats surface");
+        drop(stream);
+        server.shutdown();
+
+        // That shutdown rewrote a *good* snapshot; now truncate it.
+        std::fs::write(&path, &good[..good.len() / 3]).expect("plant truncated snapshot");
+        let server = ChaosServer::start(options.clone());
+        assert_eq!(server.engine.counters().snapshot_rejected, 1);
+        assert_eq!(server.engine.counters().snapshot_loaded, 0);
+        assert_oracle_matches_clean_engine(server.addr);
+        server.shutdown();
+
+        let _ = std::fs::remove_file(&path);
     });
 }

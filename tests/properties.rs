@@ -291,3 +291,142 @@ proptest! {
         prop_assert!(record.verified != Some(false), "certificate re-verification failed");
     }
 }
+
+/// A deterministic three-view decide request from the seeded random
+/// instance family ([`cqdet_bench::decide_workload`]), rendered the same
+/// way the serve protocol receives programs.
+fn random_decide_request(id: &str, seed: u64, planted: bool, witness: bool) -> Request {
+    let (views, query) = cqdet_bench::decide_workload(3, 2, planted, seed);
+    let name = query.name().to_string();
+    let program = views
+        .iter()
+        .map(|v| v.to_string())
+        .chain(std::iter::once(query.to_string()))
+        .collect::<Vec<_>>()
+        .join("\n");
+    Request {
+        id: id.into(),
+        deadline_ms: None,
+        budget: None,
+        kind: RequestKind::Decide {
+            program,
+            query: name,
+            witness,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cache governance: a tiny byte cap changes *when* work is recomputed,
+    /// never *what* is answered.  A random request stream against an engine
+    /// capped at 32 KiB (forcing evictions on nearly every insert) yields
+    /// wire JSON byte-identical to an uncapped engine's, and every governed
+    /// cache honors its byte budget throughout.
+    #[test]
+    fn tiny_cache_cap_never_changes_answers(seed in 0u64..5000, len in 4usize..10) {
+        let capped = Engine::new();
+        capped.set_cache_bytes(Some(32 * 1024));
+        let uncapped = Engine::new();
+        for i in 0..len {
+            let item_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
+            // Identical requests (same id) so the rendered lines can only
+            // differ if the *answers* differ.
+            let request = || random_decide_request(
+                &format!("s-{i}"), item_seed, i % 2 == 0, i % 3 == 1,
+            );
+            let governed = capped.submit(request()).to_json().render();
+            let free = uncapped.submit(request()).to_json().render();
+            prop_assert_eq!(
+                governed, free,
+                "capped and uncapped engines diverged at stream slot {}", i
+            );
+        }
+        let stats_response = capped.submit(Request {
+            id: "stats".into(),
+            deadline_ms: None,
+            budget: None,
+            kind: RequestKind::Stats,
+        });
+        let Response::Stats { stats, .. } = stats_response else {
+            prop_assert!(false, "stats request failed");
+            unreachable!()
+        };
+        // The candidate-memo family is excluded: its cap governs each
+        // short-lived per-structure memo, while the family `bytes` counter
+        // sums every live member, so the family total can legitimately sit
+        // above one member's cap.
+        for (tag, usage) in [
+            ("frozen", &stats.frozen_usage),
+            ("gate", &stats.gate_usage),
+            ("span", &stats.span_usage),
+            ("hom", &stats.hom_usage),
+        ] {
+            prop_assert!(
+                usage.bytes <= usage.cap,
+                "{} cache over budget: {} bytes > {} cap", tag, usage.bytes, usage.cap
+            );
+        }
+        // Cap and watermark of the candidate-memo family are process-global:
+        // restore the defaults for the other tests in this binary.
+        capped.set_cache_bytes(None);
+    }
+
+    /// Warm-start persistence: a snapshot survives the disk round trip
+    /// exactly (the reloaded engine counts one `snapshot_loaded` and answers
+    /// the original stream byte-identically), and *any* single-bit
+    /// corruption of the file is rejected with a typed error and a counted
+    /// cold start — never a panic, never a changed answer.
+    #[test]
+    fn snapshot_roundtrip_is_exact_and_corruption_is_typed(
+        seed in 0u64..5000,
+        flip_pos in any::<usize>(),
+        flip_bit in 0u32..8,
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "cqdet-prop-snapshot-{}-{seed}.cqds",
+            std::process::id(),
+        ));
+        let requests = |tag: &str| -> Vec<Request> {
+            (0..4)
+                .map(|i| {
+                    let item_seed = seed ^ (i as u64).wrapping_mul(0x517C_C1B7);
+                    random_decide_request(&format!("{tag}-{i}"), item_seed, i % 2 == 0, i == 1)
+                })
+                .collect()
+        };
+        let warm = Engine::new();
+        let expected: Vec<String> = requests("q")
+            .into_iter()
+            .map(|r| warm.submit(r).to_json().render())
+            .collect();
+        let entries = warm.save_snapshot(&path).expect("snapshot save");
+        prop_assert!(entries > 0, "warm session exported an empty snapshot");
+
+        let reloaded = Engine::new();
+        let loaded = reloaded.load_snapshot(&path).expect("snapshot load");
+        prop_assert_eq!(loaded, entries, "round trip dropped entries");
+        prop_assert_eq!(reloaded.counters().snapshot_loaded, 1);
+        for (request, want) in requests("q").into_iter().zip(&expected) {
+            prop_assert_eq!(&reloaded.submit(request).to_json().render(), want);
+        }
+
+        let mut bytes = std::fs::read(&path).expect("read snapshot back");
+        let pos = flip_pos % bytes.len();
+        bytes[pos] ^= 1u8 << flip_bit;
+        std::fs::write(&path, &bytes).expect("plant corruption");
+        let cold = Engine::new();
+        let verdict = cold.load_snapshot(&path);
+        prop_assert!(
+            verdict.is_err(),
+            "corrupted snapshot (byte {}, bit {}) accepted", pos, flip_bit
+        );
+        prop_assert_eq!(cold.counters().snapshot_rejected, 1);
+        prop_assert_eq!(cold.counters().snapshot_loaded, 0);
+        for (request, want) in requests("q").into_iter().zip(&expected) {
+            prop_assert_eq!(&cold.submit(request).to_json().render(), want);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
