@@ -46,6 +46,53 @@ pub fn decide_workload(
     generator.random_instance(count, atoms, planted)
 }
 
+/// Number of views held by the §DELTA mutable session.
+pub const DELTA_SESSION_VIEWS: usize = 64;
+
+/// Fresh views cycled through the §DELTA add/redecide/remove churn.
+pub const DELTA_CHURN_VIEWS: usize = 8;
+
+/// The §DELTA workload: `count` single-directed-path views (lengths
+/// `1..=count`, so every view is its own isomorphism class and the span
+/// echelon holds one generator per view), the query = the disjoint sum of
+/// one path of each length (its Definition 29 vector is the sum of every
+/// view vector, so the instance is determined and the solve walks the full
+/// 64-generator system), and `extras` churn views `w_k = P_k ⊕ P_{k+1}`:
+/// each is a fresh isomorphism class (so adds genuinely extend the
+/// echelon) whose components are already basis elements and whose vector
+/// is dependent (`v_k + v_{k+1}`), keeping the instance determined and the
+/// removal on the dependent-slot compaction path.
+pub fn delta_workload(
+    count: usize,
+    extras: usize,
+) -> (
+    Vec<ConjunctiveQuery>,
+    ConjunctiveQuery,
+    Vec<ConjunctiveQuery>,
+) {
+    // One directed path of each length in `lens`, fresh variables per path.
+    let path_sum = |name: &str, lens: &[usize]| {
+        let mut atoms = Vec::new();
+        for (p, &len) in lens.iter().enumerate() {
+            for i in 0..len {
+                atoms.push(Atom {
+                    relation: "E".to_string(),
+                    vars: vec![format!("p{p}x{i}"), format!("p{p}x{}", i + 1)],
+                });
+            }
+        }
+        ConjunctiveQuery::boolean(name, atoms)
+    };
+    let views: Vec<ConjunctiveQuery> = (1..=count)
+        .map(|i| path_sum(&format!("v{i}"), &[i]))
+        .collect();
+    let query = path_sum("q", &(1..=count).collect::<Vec<_>>());
+    let extra: Vec<ConjunctiveQuery> = (1..=extras)
+        .map(|k| path_sum(&format!("w{k}"), &[k, k + 1]))
+        .collect();
+    (views, query, extra)
+}
+
 /// The component list fed to `dedup_up_to_iso` by step 2 of the decision
 /// procedure on the [`decide_workload`] instance with `count` planted views:
 /// every connected component of every frozen view body plus the query body,

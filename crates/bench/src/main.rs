@@ -9,8 +9,8 @@
 //! ```
 //!
 //! `--only` takes a comma-separated list of workload families (`hom`,
-//! `decide`, `batch`, `serve`, `linalg`, `dedup`, `soak`, `cache`) and skips the
-//! rest — CI uses it to smoke the two kernel families in one release run.  Every JSON
+//! `decide`, `batch`, `serve`, `linalg`, `dedup`, `soak`, `cache`, `delta`)
+//! and skips the rest — CI uses it to smoke the two kernel families in one release run.  Every JSON
 //! row carries a `label` field (the `CQDET_BENCH_LABEL` env var if set, else
 //! the current git commit) so baselines in `BENCH_hom.json` stay
 //! attributable across PRs.
@@ -152,8 +152,8 @@ fn main() {
                     .map(|f| f.trim().to_string())
                     .filter(|f| !f.is_empty())
                     .collect();
-                const KNOWN: [&str; 8] = [
-                    "hom", "decide", "batch", "serve", "linalg", "dedup", "soak", "cache",
+                const KNOWN: [&str; 9] = [
+                    "hom", "decide", "batch", "serve", "linalg", "dedup", "soak", "cache", "delta",
                 ];
                 for f in &fs {
                     if !KNOWN.contains(&f.as_str()) {
@@ -669,6 +669,125 @@ fn main() {
             "warm start must beat cold start: warm {} >= cold {}",
             ns(warm_mean),
             ns(cold_mean)
+        );
+    }
+
+    // DELTA: mutable decision sessions (§DELTA) — a warm 64-view
+    // `MutableSession` absorbing an add + redecide + remove churn cycle per
+    // request, against rebuild-per-request: a client that holds no session
+    // open and pays `MutableSession::open` + `redecide` on the full 65-view
+    // set for every request, through the *same* shared caches.  Gate
+    // verdicts, frozen bodies and Def 29 vectors are warm on both sides, so
+    // the gap isolates what the warm session keeps that a rebuild cannot:
+    // the prepared layout and the span echelon (the churn add folds one
+    // generator into the reduced echelon and its removal compacts a
+    // dependent slot; the rebuild re-prepares and re-eliminates all 65
+    // rows).  A one-shot `decide_bag_determinacy_in` row rides along as a
+    // cache-warm floor reference.  The acceptance gate asserts
+    // redecide-after-add beats the rebuild.
+    if h.family_enabled("delta") {
+        use cqdet_bench::{delta_workload, DELTA_CHURN_VIEWS, DELTA_SESSION_VIEWS};
+        use cqdet_core::{
+            decide_bag_determinacy_in, Budget, CancelToken, DecisionContext, MutableSession,
+        };
+        let ctl = CancelToken::none();
+        let nb = Budget::none();
+        let (views, query, extras) = delta_workload(DELTA_SESSION_VIEWS, DELTA_CHURN_VIEWS);
+        let cx = DecisionContext::new();
+        let mut session = MutableSession::open(&cx, views.clone(), query.clone(), 8, &ctl, &nb)
+            .expect("open delta session");
+        // Warm both paths and sanity-check agreement on every churn step
+        // before publishing numbers.
+        let base = session.redecide(&cx, &ctl, &nb).expect("warm redecide");
+        assert!(base.determined, "delta workload must be determined");
+        for extra in &extras {
+            session
+                .view_add(&cx, extra.clone(), &ctl, &nb)
+                .expect("churn add");
+            let got = session.redecide(&cx, &ctl, &nb).expect("churn redecide");
+            let mut wide = views.clone();
+            wide.push(extra.clone());
+            let oracle = decide_bag_determinacy_in(&cx, &wide, &query).expect("churn oracle");
+            assert_eq!(got.determined, oracle.determined, "session diverged");
+            assert_eq!(got.coefficients, oracle.coefficients, "session diverged");
+            session
+                .view_remove(&cx, DELTA_SESSION_VIEWS, &ctl, &nb)
+                .expect("churn remove");
+        }
+        assert!(
+            session.counters().fast_removals + session.counters().replays > 0,
+            "delta churn must exercise the removal-repair path"
+        );
+        let runs = if quick { 60 } else { 300 };
+        let mut session_ns = Vec::with_capacity(runs);
+        let mut rebuild_ns = Vec::with_capacity(runs);
+        let mut oneshot_ns = Vec::with_capacity(runs);
+        for i in 0..runs {
+            let extra = extras[i % extras.len()].clone();
+            session.view_add(&cx, extra, &ctl, &nb).expect("timed add");
+            let t = Instant::now();
+            let got = session.redecide(&cx, &ctl, &nb).expect("timed redecide");
+            session_ns.push(t.elapsed().as_secs_f64() * 1e9);
+            std::hint::black_box(got.determined);
+            session
+                .view_remove(&cx, DELTA_SESSION_VIEWS, &ctl, &nb)
+                .expect("timed remove");
+        }
+        for i in 0..runs {
+            let mut wide = views.clone();
+            wide.push(extras[i % extras.len()].clone());
+            let t = Instant::now();
+            let mut fresh = MutableSession::open(&cx, wide.clone(), query.clone(), 8, &ctl, &nb)
+                .expect("timed reopen");
+            let got = fresh.redecide(&cx, &ctl, &nb).expect("timed rebuild");
+            rebuild_ns.push(t.elapsed().as_secs_f64() * 1e9);
+            std::hint::black_box(got.determined);
+            let t = Instant::now();
+            let got = decide_bag_determinacy_in(&cx, &wide, &query).expect("timed one-shot");
+            oneshot_ns.push(t.elapsed().as_secs_f64() * 1e9);
+            std::hint::black_box(got.determined);
+        }
+        let quantile = |sorted: &[f64], q: f64| -> f64 {
+            sorted[(((sorted.len() - 1) as f64) * q).round() as usize]
+        };
+        let counters = session.counters();
+        let mut rows = Vec::new();
+        for (name, samples) in [
+            ("delta/session/redecide-after-add/64", session_ns),
+            ("delta/rebuild/open+redecide/64", rebuild_ns),
+            ("delta/reference/one-shot/64", oneshot_ns),
+        ] {
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let mut sorted = samples;
+            sorted.sort_by(f64::total_cmp);
+            let (p50, p95) = (quantile(&sorted, 0.50), quantile(&sorted, 0.95));
+            println!(
+                "{name:<44} mean {:>12}  (p50 {:>12}, p95 {:>12})",
+                ns(mean),
+                ns(p50),
+                ns(p95)
+            );
+            h.append_json(format!(
+                "{{\"benchmark\":\"{name}\",\"label\":\"{}\",\"mean_ns\":{mean:.1},\"p50_ns\":{p50:.1},\"p95_ns\":{p95:.1},\"runs\":{runs}}}\n",
+                h.label
+            ));
+            rows.push(mean);
+        }
+        let (session_mean, rebuild_mean, _oneshot_mean) = (rows[0], rows[1], rows[2]);
+        let speedup = rebuild_mean / session_mean;
+        println!(
+            "delta/speedup/64                             {speedup:>9.2}x  (replays {}, fast removals {}, rebuilds {})",
+            counters.replays, counters.fast_removals, counters.rebuilds
+        );
+        h.append_json(format!(
+            "{{\"benchmark\":\"delta/speedup/64\",\"label\":\"{}\",\"speedup\":{speedup:.3},\"session_mean_ns\":{session_mean:.1},\"rebuild_mean_ns\":{rebuild_mean:.1},\"replays\":{},\"fast_removals\":{},\"rebuilds\":{},\"runs\":{runs}}}\n",
+            h.label, counters.replays, counters.fast_removals, counters.rebuilds
+        ));
+        assert!(
+            session_mean < rebuild_mean,
+            "redecide-after-add must beat the full rebuild: session {} >= rebuild {}",
+            ns(session_mean),
+            ns(rebuild_mean)
         );
     }
 }

@@ -402,6 +402,24 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         self.sweep(&mut shard, budget);
     }
 
+    /// Remove the entry under `key`, returning its value and discharging
+    /// its bytes from the shard and the global ledger.  The key's stale
+    /// clock-queue slot is left behind — the sweep already tolerates
+    /// vacancies (see [`ShardedCache::sweep`]) and drops it on its next
+    /// pass.  Used by owners whose entries have an explicit end of life
+    /// (closed sessions), unlike the purely eviction-driven value caches.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let mut shard = locked(self.shard_of::<K>(key));
+        let removed = shard.map.remove(key)?;
+        shard.bytes = shard.bytes.saturating_sub(removed.bytes);
+        self.discharge(removed.bytes as u64);
+        self.entries.fetch_sub(1, Ordering::Relaxed);
+        if let Some(sink) = self.sink {
+            sink.entries.fetch_sub(1, Ordering::Relaxed);
+        }
+        Some(removed.value)
+    }
+
     /// Retarget the byte cap (live: over-budget shards are swept on their
     /// next touch; call [`ShardedCache::enforce`] to sweep immediately).
     /// No-op for family members, whose cap lives in the shared cell.
@@ -579,6 +597,25 @@ mod tests {
         assert_eq!(c.bytes(), 200, "recharge of an unchanged entry is a no-op");
         c.recharge(&99); // missing key: no-op
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn remove_discharges_bytes_and_survives_later_sweeps() {
+        let c: ShardedCache<u64, Vec<u8>> = ShardedCache::with_shards(1, 1000, fixed_weight);
+        let before = governed_bytes();
+        for k in 0..5 {
+            c.insert_or_get(k, vec![k as u8]);
+        }
+        assert_eq!(c.remove(&2), Some(vec![2]));
+        assert_eq!(c.remove(&2), None, "double remove is a no-op");
+        assert_eq!(c.len(), 4);
+        assert_eq!(governed_bytes(), before + 400);
+        // The stale queue slot left by the remove must not confuse the
+        // sweep: force a full eviction pass over the shard.
+        c.set_cap(0);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(governed_bytes(), before);
     }
 
     #[test]

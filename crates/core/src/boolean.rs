@@ -242,6 +242,113 @@ pub fn decide_bag_determinacy_budgeted(
     ctl: &CancelToken,
     budget: &Budget,
 ) -> Result<BagDeterminacy, DeterminacyError> {
+    let prep = prepare(cx, views, query, ctl, budget)?;
+
+    // Step 4: the Main Lemma's span test.  Duplicate columns do not change a
+    // span, so the system is solved over one vector per class, through the
+    // session's incremental echelon form (`DecisionContext::span_solve`):
+    // vectors are inserted one at a time with early exit once q⃗ enters the
+    // span, and the rows are cached per retained-class sequence, so batch
+    // tasks sharing views never re-eliminate shared columns.
+    //
+    // A query-only basis element (position ≥ prefix_dim) short-circuits the
+    // system: q⃗ has multiplicity ≥ 1 there while every view vector is 0, so
+    // q⃗ cannot be in the span.
+    ctl.check("span")?;
+    fail_point!("decide/span", |msg| Err(DeterminacyError::Internal(msg)));
+    let class_coefficients = if prep.class_vectors.is_empty() {
+        prep.query_vector.is_zero().then(|| QVec(Vec::new()))
+    } else if !prep.covered() {
+        debug_assert!(
+            (prep.prefix_dim..prep.basis.len()).all(|j| !prep.query_vector[j].is_zero()),
+            "tail basis elements exist only because q contributed them"
+        );
+        None
+    } else {
+        let key = prep.span_key(cx);
+        cx.span_solve_gas(
+            &key,
+            &prep.class_vectors,
+            &prep.query_vector,
+            &mut Gas::new(ctl, budget, "span"),
+        )?
+    };
+    Ok(finish(prep, class_coefficients))
+}
+
+/// Everything the Theorem 3 pipeline computes *before* the span test:
+/// validation, freezing, class interning, the Definition 25 gate, the
+/// Definition 27 basis and the Definition 29 vectors.  Shared between the
+/// one-shot decision above and the mutable-session redecide path
+/// ([`crate::delta::MutableSession`]), which substitutes its own long-lived
+/// echelon for the span cache — both paths scatter coefficients through
+/// [`finish`], so their certificates agree byte for byte by construction.
+pub(crate) struct Prepared {
+    pub(crate) schema: Schema,
+    /// Indices (into the input slice) of the retained views.
+    pub(crate) retained_views: Vec<usize>,
+    /// The Definition 27 basis in first-occurrence order (view-contributed
+    /// prefix first).
+    pub(crate) basis: Vec<Structure>,
+    /// Length of the view-contributed basis prefix.
+    pub(crate) prefix_dim: usize,
+    pub(crate) query_vector: QVec,
+    pub(crate) view_vectors: Vec<QVec>,
+    /// One Definition 29 vector per retained class, pipeline order — the
+    /// span system's generators.
+    pub(crate) class_vectors: Vec<QVec>,
+    /// Session-wide class ids of the retained classes, same order as
+    /// `class_vectors` — the generator-slot layout of a session echelon.
+    pub(crate) retained_class_ids: Vec<u32>,
+    /// Per input view: its call-local class index.
+    pub(crate) class_of: Vec<usize>,
+    /// Per call-local class: its row in `class_vectors` (`usize::MAX` when
+    /// the class was not retained).
+    pub(crate) retained_pos: Vec<usize>,
+    /// Number of call-local classes.
+    pub(crate) reps_len: usize,
+}
+
+impl Prepared {
+    /// Whether every basis element is view-contributed (no query-only tail):
+    /// only then does the span system run; otherwise q⃗ is trivially outside.
+    pub(crate) fn covered(&self) -> bool {
+        self.basis.len() == self.prefix_dim
+    }
+
+    /// Session-wide class ids of the basis elements in coordinate order —
+    /// the coordinate layout of a session echelon.  Only meaningful to
+    /// compute when the span system will actually run.
+    pub(crate) fn coord_class_ids(&self, cx: &DecisionContext) -> Vec<u32> {
+        self.basis
+            .iter()
+            .map(|w| cx.class_id(&w.iso_class_key()))
+            .collect()
+    }
+
+    /// The span-cache key: the retained class-id sequence pins the columns,
+    /// and the appended basis class ids (behind a separator no real id can
+    /// collide with) pin the *coordinate order* — isomorphic view bodies
+    /// written with different atom orders can enumerate their components
+    /// differently, and a cached echelon row must only be reused against
+    /// vectors expressed over the same basis order.
+    pub(crate) fn span_key(&self, cx: &DecisionContext) -> Vec<u32> {
+        let mut key = self.retained_class_ids.clone();
+        key.push(u32::MAX);
+        key.extend(self.coord_class_ids(cx));
+        key
+    }
+}
+
+/// Stages 0–3 of the pipeline (see [`Prepared`]); the caller supplies the
+/// span verdict and scatters it through [`finish`].
+pub(crate) fn prepare(
+    cx: &DecisionContext,
+    views: &[ConjunctiveQuery],
+    query: &ConjunctiveQuery,
+    ctl: &CancelToken,
+    budget: &Budget,
+) -> Result<Prepared, DeterminacyError> {
     if !query.is_boolean() {
         return Err(DeterminacyError::QueryNotBoolean(query.name().to_string()));
     }
@@ -366,56 +473,47 @@ pub fn decide_bag_determinacy_budgeted(
         .map(|&i| class_vectors[retained_pos[class_of[i]]].clone())
         .collect();
 
-    // Step 4: the Main Lemma's span test.  Duplicate columns do not change a
-    // span, so the system is solved over one vector per class, through the
-    // session's incremental echelon form (`DecisionContext::span_solve`):
-    // vectors are inserted one at a time with early exit once q⃗ enters the
-    // span, and the rows are cached per retained-class sequence, so batch
-    // tasks sharing views never re-eliminate shared columns.
-    //
-    // A query-only basis element (position ≥ prefix_dim) short-circuits the
-    // system: q⃗ has multiplicity ≥ 1 there while every view vector is 0, so
-    // q⃗ cannot be in the span.
-    ctl.check("span")?;
-    fail_point!("decide/span", |msg| Err(DeterminacyError::Internal(msg)));
-    let class_coefficients = if class_vectors.is_empty() {
-        query_vector.is_zero().then(|| QVec(Vec::new()))
-    } else if basis.len() > prefix_dim {
-        debug_assert!(
-            (prefix_dim..basis.len()).all(|j| !query_vector[j].is_zero()),
-            "tail basis elements exist only because q contributed them"
-        );
-        None
-    } else {
-        // The cache key must determine the span system *including its
-        // coordinate order*: the retained class-id sequence fixes the
-        // columns as a multiset, but isomorphic view bodies written with
-        // different atom orders can enumerate their components — and hence
-        // the basis prefix coordinates — differently.  Appending the
-        // prefix elements' own class ids (in basis order, behind a
-        // separator no real id can collide with) pins the coordinate
-        // system, so a cached echelon row is only ever reused against
-        // vectors expressed over the same basis order.
-        let mut key: Vec<u32> = retained_classes
-            .iter()
-            .map(|&c| class_session_ids[c])
-            .collect();
-        key.push(u32::MAX);
-        key.extend(basis.iter().map(|w| cx.class_id(&w.iso_class_key())));
-        cx.span_solve_gas(
-            &key,
-            &class_vectors,
-            &query_vector,
-            &mut Gas::new(ctl, budget, "span"),
-        )?
-    };
+    let retained_class_ids: Vec<u32> = retained_classes
+        .iter()
+        .map(|&c| class_session_ids[c])
+        .collect();
+    Ok(Prepared {
+        schema,
+        retained_views,
+        basis,
+        prefix_dim,
+        query_vector,
+        view_vectors,
+        class_vectors,
+        retained_class_ids,
+        class_of,
+        retained_pos,
+        reps_len: reps.len(),
+    })
+}
+
+/// Scatter the span verdict over the retained views and assemble the final
+/// analysis.  `class_coefficients` is the solution over
+/// [`Prepared::class_vectors`] (or `None` when q⃗ is outside the span); each
+/// class coefficient lands on the first retained view of its class, the
+/// other members get 0 (any distribution over equal vectors realises the
+/// same combination).
+pub(crate) fn finish(prep: Prepared, class_coefficients: Option<QVec>) -> BagDeterminacy {
+    let Prepared {
+        schema,
+        retained_views,
+        basis,
+        query_vector,
+        view_vectors,
+        class_of,
+        retained_pos,
+        reps_len,
+        ..
+    } = prep;
     let determined = class_coefficients.is_some();
     let coefficients = class_coefficients.map(|cc| {
-        // Scatter each class coefficient onto the first retained view of its
-        // class; the other members of the class get 0 (any distribution over
-        // equal vectors realises the same combination).
         let mut out = vec![Rat::zero(); retained_views.len()];
-        let mut placed = vec![false; reps.len()];
+        let mut placed = vec![false; reps_len];
         for (pos, &i) in retained_views.iter().enumerate() {
             let c = class_of[i];
             if !placed[c] {
@@ -426,7 +524,7 @@ pub fn decide_bag_determinacy_budgeted(
         QVec(out)
     });
 
-    Ok(BagDeterminacy {
+    BagDeterminacy {
         determined,
         schema,
         retained_views,
@@ -434,7 +532,7 @@ pub fn decide_bag_determinacy_budgeted(
         query_vector,
         view_vectors,
         coefficients,
-    })
+    }
 }
 
 /// Corollary 33: if all queries involved are *connected*, the only non-trivial

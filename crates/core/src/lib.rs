@@ -32,6 +32,7 @@
 
 pub mod boolean;
 pub mod bruteforce;
+pub mod delta;
 pub mod paths;
 pub mod session;
 pub mod witness;
@@ -41,6 +42,7 @@ pub use boolean::{
     decide_bag_determinacy_in, BagDeterminacy, DeterminacyError,
 };
 pub use bruteforce::{brute_force_search, BruteForceOutcome};
+pub use delta::{DeltaCounters, MutableSession, DEFAULT_CHECKPOINT_INTERVAL};
 pub use paths::{
     decide_path_determinacy, derivation_path, prefix_graph, DerivationStep, PathAnalysis,
 };

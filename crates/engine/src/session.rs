@@ -309,6 +309,22 @@ impl DecisionSession {
         budget: &Budget,
         config: &SessionConfig,
     ) -> TaskRecord {
+        let outcome = self.decide_budgeted(&task.views, &task.query, ctl, budget);
+        self.record_from_outcome(task, outcome, ctl, config)
+    }
+
+    /// Turn an already-computed decision outcome into the full certificate
+    /// [`TaskRecord`] — the witness-construction / re-verification half of
+    /// [`DecisionSession::run_task_budgeted`].  The serving layer's mutable
+    /// sessions use this to certify a `redecide` whose analysis came out of
+    /// a [`cqdet_core::MutableSession`] rather than a one-shot decide.
+    pub fn record_from_outcome(
+        &self,
+        task: &Task,
+        outcome: Result<BagDeterminacy, DeterminacyError>,
+        ctl: &CancelToken,
+        config: &SessionConfig,
+    ) -> TaskRecord {
         let mut record = TaskRecord {
             id: task.id.clone(),
             query_name: task.query.name().to_string(),
@@ -324,7 +340,7 @@ impl DecisionSession {
             timeout_stage: None,
             fuel_exhausted: None,
         };
-        let analysis = match self.decide_budgeted(&task.views, &task.query, ctl, budget) {
+        let analysis = match outcome {
             Ok(a) => a,
             Err(e) => {
                 match e {

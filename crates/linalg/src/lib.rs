@@ -52,7 +52,7 @@ mod rat;
 mod vector;
 
 pub use cone::{cone_contains, cone_coordinates, interior_cone_point, perturb_along};
-pub use incremental::IncrementalBasis;
+pub use incremental::{CheckpointedBasis, IncrementalBasis, RemovalKind};
 pub use matrix::{
     orthogonal_witness, span_coefficients, span_coefficients_exact, span_coefficients_exact_gas,
     span_coefficients_gas, span_contains, QMat,

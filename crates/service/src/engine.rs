@@ -13,8 +13,9 @@
 use crate::error::CqdetError;
 use crate::request::{BudgetSpec, Request, RequestKind};
 use crate::response::{HilbertRefutation, Response};
+use crate::sessions::SessionRegistry;
 use cqdet_core::witness::{build_counterexample_ctl, check_certificate_arithmetic, WitnessConfig};
-use cqdet_core::{decide_path_determinacy, paths, SessionSnapshot};
+use cqdet_core::{decide_path_determinacy, paths, MutableSession, SessionSnapshot};
 use cqdet_engine::{DecisionSession, SessionConfig, Task};
 use cqdet_failpoint::fail_point;
 use cqdet_hilbert::{encode, DiophantineInstance, Monomial};
@@ -58,6 +59,11 @@ pub struct EngineCounters {
     /// skew, I/O failure or an armed `snapshot/load` fault.  Every
     /// rejection is a cold start, never a panic or a wedged server.
     pub snapshot_rejected: u64,
+    /// Mutable decision sessions currently open (a gauge, not a tally).
+    pub sessions_open: u64,
+    /// Sessions reaped so far: idle-TTL sweeps plus byte-pressure
+    /// evictions by the governed registry cache.
+    pub sessions_reaped: u64,
 }
 
 /// The atomic cells behind [`EngineCounters`].
@@ -97,6 +103,11 @@ struct CounterCells {
 #[derive(Default)]
 pub struct Engine {
     session: DecisionSession,
+    /// Open mutable decision sessions (the `session_open` … family); their
+    /// immutable substrate — frozen bodies, gate verdicts, interned
+    /// classes, span cache — lives in `session`'s shared context, so a
+    /// warm-start snapshot restores it for reopened sessions too.
+    sessions: SessionRegistry,
     shutdown: AtomicBool,
     requests: AtomicU64,
     counters: CounterCells,
@@ -181,7 +192,21 @@ impl Engine {
             accept_retries: c.accept_retries.load(Ordering::Relaxed),
             snapshot_loaded: c.snapshot_loaded.load(Ordering::Relaxed),
             snapshot_rejected: c.snapshot_rejected.load(Ordering::Relaxed),
+            sessions_open: self.sessions.open_count(),
+            sessions_reaped: self.sessions.reaped_count(),
         }
+    }
+
+    /// Retarget the mutable-session idle TTL (the `--session-ttl-ms` serve
+    /// flag).
+    pub fn set_session_ttl(&self, ttl: Duration) {
+        self.sessions.set_ttl(ttl);
+    }
+
+    /// Retarget the cap on concurrently open mutable sessions (the
+    /// `--max-sessions` serve flag).
+    pub fn set_max_sessions(&self, n: usize) {
+        self.sessions.set_max_sessions(n);
     }
 
     /// The default fuel budget for requests without a `budget` member.
@@ -405,12 +430,38 @@ impl Engine {
             RequestKind::Explain { program, query } => {
                 self.explain(id, &program, &query, ctl, budget)
             }
-            RequestKind::Stats => Ok(Response::Stats {
-                id: id.to_string(),
-                stats: self.session.stats(),
-                requests: self.request_count(),
-                counters: self.counters(),
-            }),
+            RequestKind::SessionOpen {
+                program,
+                query,
+                checkpoint_interval,
+            } => self.session_open(id, &program, &query, checkpoint_interval, ctl, budget),
+            RequestKind::ViewAdd { session, view } => {
+                self.session_mutate(id, session, &view, true, ctl, budget)
+            }
+            RequestKind::ViewRemove { session, view } => {
+                self.session_mutate(id, session, &view, false, ctl, budget)
+            }
+            RequestKind::Redecide { session, witness } => {
+                self.session_redecide(id, session, witness, ctl, budget)
+            }
+            RequestKind::SessionClose { session } => {
+                self.sessions.close(session)?;
+                Ok(Response::SessionClosed {
+                    id: id.to_string(),
+                    session,
+                })
+            }
+            RequestKind::Stats => {
+                // A stats probe also sweeps idle sessions, so TTL expiry is
+                // observable without waiting for the next session request.
+                self.sessions.reap_idle();
+                Ok(Response::Stats {
+                    id: id.to_string(),
+                    stats: self.session.stats(),
+                    requests: self.request_count(),
+                    counters: self.counters(),
+                })
+            }
             RequestKind::Shutdown => {
                 self.request_shutdown();
                 Ok(Response::Shutdown { id: id.to_string() })
@@ -465,6 +516,144 @@ impl Engine {
             record: Box::new(record),
             views,
             query: Box::new(query),
+        })
+    }
+
+    fn session_open(
+        &self,
+        id: &str,
+        program: &str,
+        query_name: &str,
+        checkpoint_interval: Option<u64>,
+        ctl: &CancelToken,
+        budget: &Budget,
+    ) -> Result<Response, CqdetError> {
+        let (views, query) = parse_program(program, query_name)?;
+        let interval = checkpoint_interval
+            .map(|k| k as usize)
+            .unwrap_or(cqdet_core::DEFAULT_CHECKPOINT_INTERVAL);
+        let cx = self.session.context();
+        // Opening validates the instance and warms the shared immutable
+        // caches (frozen bodies, gate verdicts, class ids) — which is also
+        // why a warm-start snapshot benefits reopened sessions.
+        let opened = cqdet_structure::with_shared_caches(cx.caches(), || {
+            MutableSession::open(cx, views, query, interval, ctl, budget)
+        })?;
+        let view_names = opened
+            .views()
+            .iter()
+            .map(|v| v.name().to_string())
+            .collect();
+        let query_name = opened.query().name().to_string();
+        let slot = self.sessions.insert(opened)?;
+        Ok(Response::SessionOpen {
+            id: id.to_string(),
+            session: slot.id,
+            views: view_names,
+            query: query_name,
+        })
+    }
+
+    /// Shared body of `view_add` / `view_remove`: resolve the session, run
+    /// the mutation under its own lock (unrelated requests never wait), and
+    /// re-publish its governed byte cost.
+    fn session_mutate(
+        &self,
+        id: &str,
+        session: u64,
+        view: &str,
+        add: bool,
+        ctl: &CancelToken,
+        budget: &Budget,
+    ) -> Result<Response, CqdetError> {
+        let slot = self.sessions.lookup(session)?;
+        let cx = self.session.context();
+        let mut guard = slot.lock();
+        if add {
+            let parsed = parse_view_definition(view)?;
+            let name = parsed.name();
+            if guard.views().iter().any(|v| v.name() == name) || guard.query().name() == name {
+                return Err(CqdetError::schema(format!(
+                    "a definition named {name:?} already exists in session {session} \
+                     (view names must stay unique so view_remove is unambiguous)"
+                )));
+            }
+            cqdet_structure::with_shared_caches(cx.caches(), || {
+                guard.view_add(cx, parsed, ctl, budget)
+            })?;
+        } else {
+            let index = guard
+                .views()
+                .iter()
+                .position(|v| v.name() == view)
+                .ok_or_else(|| {
+                    CqdetError::schema(format!("no view named {view:?} in session {session}"))
+                })?;
+            cqdet_structure::with_shared_caches(cx.caches(), || {
+                guard.view_remove(cx, index, ctl, budget)
+            })?;
+        }
+        self.sessions.publish(&slot, &guard);
+        Ok(Response::SessionDelta {
+            id: id.to_string(),
+            session,
+            action: if add { "view_add" } else { "view_remove" },
+            views: guard.views().iter().map(|v| v.name().to_string()).collect(),
+            counters: guard.counters(),
+        })
+    }
+
+    fn session_redecide(
+        &self,
+        id: &str,
+        session: u64,
+        witness: bool,
+        ctl: &CancelToken,
+        budget: &Budget,
+    ) -> Result<Response, CqdetError> {
+        let slot = self.sessions.lookup(session)?;
+        let cx = self.session.context();
+        let mut guard = slot.lock();
+        let outcome =
+            cqdet_structure::with_shared_caches(cx.caches(), || guard.redecide(cx, ctl, budget));
+        // An interrupted redecide keeps its (consistent, resumable)
+        // echelon, so the byte cost is re-published on every outcome.
+        self.sessions.publish(&slot, &guard);
+        let task = Task {
+            id: guard.query().name().to_string(),
+            views: guard.views().to_vec(),
+            query: guard.query().clone(),
+        };
+        drop(guard);
+        let config = SessionConfig {
+            witnesses: witness,
+            verify: true,
+            witness: WitnessConfig::default(),
+        };
+        // The same certification machinery as one-shot decide: rewriting
+        // re-verification, witness construction, the full record schema.
+        let record = self
+            .session
+            .record_from_outcome(&task, outcome, ctl, &config);
+        if record.analysis.is_none() {
+            if let Some(fuel) = record.fuel_exhausted {
+                return Err(cqdet_core::DeterminacyError::ResourceExhausted {
+                    what: fuel.what,
+                    spent: fuel.spent,
+                    limit: fuel.limit,
+                }
+                .into());
+            }
+            if let Some(stage) = record.timeout_stage {
+                return Err(CqdetError::Deadline {
+                    stage: stage.to_string(),
+                });
+            }
+        }
+        Ok(Response::SessionDecide {
+            id: id.to_string(),
+            session,
+            record: Box::new(record),
         })
     }
 
@@ -718,6 +907,22 @@ pub fn parse_program(
     Ok((views, query))
 }
 
+/// Parse the `view` member of a `view_add` request: exactly one
+/// conjunctive definition, same syntax as a `program` line.
+fn parse_view_definition(text: &str) -> Result<ConjunctiveQuery, CqdetError> {
+    let program = parse_queries(text)?;
+    match program.as_slice() {
+        [u] if u.is_single_cq() => Ok(u.disjuncts()[0].clone()),
+        [u] => Err(CqdetError::schema(format!(
+            "{} is a union query; views must be conjunctive",
+            u.name()
+        ))),
+        _ => Err(CqdetError::schema(
+            "the view member must contain exactly one definition",
+        )),
+    }
+}
+
 /// Parse `"+2:x^1,y^3"` / `"-12:"` into a monomial (the `hilbert` request's
 /// wire syntax, shared with the CLI).
 pub fn parse_monomial(text: &str) -> Result<Monomial, CqdetError> {
@@ -943,6 +1148,134 @@ mod tests {
             };
             assert_eq!(error.code(), "schema", "{bad:?}: {error}");
         }
+    }
+
+    #[test]
+    fn session_lifecycle_matches_one_shot_decide() {
+        let engine = Engine::new();
+        let Response::SessionOpen { session, views, .. } = submit(
+            &engine,
+            RequestKind::SessionOpen {
+                program: PROGRAM.into(),
+                query: "q".into(),
+                checkpoint_interval: None,
+            },
+        ) else {
+            panic!("expected a session_open response");
+        };
+        assert_eq!(views, ["v1", "v2"]);
+        assert_eq!(engine.counters().sessions_open, 1);
+
+        // redecide and one-shot decide produce byte-identical certificates.
+        let one_shot = |program: &str| {
+            let Response::Decide { record, .. } = submit(
+                &engine,
+                RequestKind::Decide {
+                    program: program.into(),
+                    query: "q".into(),
+                    witness: true,
+                },
+            ) else {
+                panic!("expected a decide response");
+            };
+            record
+        };
+        let redecide = || {
+            let Response::SessionDecide { record, .. } = submit(
+                &engine,
+                RequestKind::Redecide {
+                    session,
+                    witness: true,
+                },
+            ) else {
+                panic!("expected a redecide response");
+            };
+            record
+        };
+        assert_eq!(
+            redecide().to_json().render(),
+            one_shot(PROGRAM).to_json().render()
+        );
+
+        // Mutate: add a view, drop one, and stay byte-identical throughout.
+        let Response::SessionDelta { views, action, .. } = submit(
+            &engine,
+            RequestKind::ViewAdd {
+                session,
+                view: "v3() :- R(x,y), R(y,z), R(z,w)".into(),
+            },
+        ) else {
+            panic!("expected a view_add response");
+        };
+        assert_eq!(action, "view_add");
+        assert_eq!(views, ["v1", "v2", "v3"]);
+        assert_eq!(
+            redecide().to_json().render(),
+            one_shot(
+                "v1() :- R(x,y)\nv2() :- R(x,y), R(y,z)\n\
+                 v3() :- R(x,y), R(y,z), R(z,w)\nq() :- R(x,y), R(u,w)\n"
+            )
+            .to_json()
+            .render()
+        );
+        let Response::SessionDelta { views, .. } = submit(
+            &engine,
+            RequestKind::ViewRemove {
+                session,
+                view: "v1".into(),
+            },
+        ) else {
+            panic!("expected a view_remove response");
+        };
+        assert_eq!(views, ["v2", "v3"]);
+        assert_eq!(
+            redecide().to_json().render(),
+            one_shot(
+                "v2() :- R(x,y), R(y,z)\nv3() :- R(x,y), R(y,z), R(z,w)\n\
+                 q() :- R(x,y), R(u,w)\n"
+            )
+            .to_json()
+            .render()
+        );
+
+        // Unknown names and duplicate adds are typed schema errors.
+        let Response::Error { error, .. } = submit(
+            &engine,
+            RequestKind::ViewRemove {
+                session,
+                view: "v1".into(),
+            },
+        ) else {
+            panic!("removing a removed view must fail");
+        };
+        assert_eq!(error.code(), "schema");
+        let Response::Error { error, .. } = submit(
+            &engine,
+            RequestKind::ViewAdd {
+                session,
+                view: "v2() :- S(x,y)".into(),
+            },
+        ) else {
+            panic!("duplicate view names must be rejected");
+        };
+        assert_eq!(error.code(), "schema");
+
+        // Close releases the state; the id stops resolving.
+        let Response::SessionClosed { .. } = submit(&engine, RequestKind::SessionClose { session })
+        else {
+            panic!("expected a session_close ack");
+        };
+        assert_eq!(engine.counters().sessions_open, 0);
+        let Response::Error { error, .. } = submit(
+            &engine,
+            RequestKind::Redecide {
+                session,
+                witness: false,
+            },
+        ) else {
+            panic!("a closed session must not resolve");
+        };
+        assert!(error.to_string().contains("unknown session"), "{error}");
     }
 
     #[test]

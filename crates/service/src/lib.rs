@@ -60,13 +60,15 @@ pub mod reactor;
 pub mod request;
 pub mod response;
 pub mod serve;
+pub mod sessions;
 
 pub use engine::{parse_monomial, parse_program, Engine, EngineCounters};
 pub use error::CqdetError;
 pub use frame::{FrameBuffer, FrameError};
 pub use reactor::serve_tcp_reactor;
 pub use request::{BudgetSpec, Request, RequestKind, PROTOCOL_VERSION};
-pub use response::{counters_json, error_json, HilbertRefutation, Response};
+pub use response::{counters_json, delta_counters_json, error_json, HilbertRefutation, Response};
 pub use serve::{
     failpoint_names, respond_to_line, serve_lines, serve_tcp, serve_tcp_threaded, ServeOptions,
 };
+pub use sessions::{SessionRegistry, SessionSlot, DEFAULT_MAX_SESSIONS, DEFAULT_SESSION_TTL};

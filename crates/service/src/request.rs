@@ -118,6 +118,47 @@ pub enum RequestKind {
         /// The query definition's name.
         query: String,
     },
+    /// Open a mutable decision session: the program's views and query
+    /// become first-class server-side state addressable by the returned
+    /// session id (echoed in the response envelope's payload).
+    SessionOpen {
+        /// The program text (views plus the query definition).
+        program: String,
+        /// The query definition's name.
+        query: String,
+        /// Checkpoint cadence of the session's span echelon (snapshot every
+        /// K fed generators); `None` uses the engine default.
+        checkpoint_interval: Option<u64>,
+    },
+    /// Add one view to an open session, extending its span echelon in
+    /// place.
+    ViewAdd {
+        /// The target session id.
+        session: u64,
+        /// One CQ definition (the same syntax as a `program` line).
+        view: String,
+    },
+    /// Remove a view (by name) from an open session, repairing its span
+    /// echelon by compaction or checkpointed replay.
+    ViewRemove {
+        /// The target session id.
+        session: u64,
+        /// The name of the view definition to remove.
+        view: String,
+    },
+    /// Re-decide determinacy for a session's current view set against its
+    /// live echelon — byte-identical to a fresh one-shot `decide`.
+    Redecide {
+        /// The target session id.
+        session: u64,
+        /// Build (and verify) a counterexample when not determined.
+        witness: bool,
+    },
+    /// Close a session, releasing its server-side state.
+    SessionClose {
+        /// The target session id.
+        session: u64,
+    },
     /// Session statistics (cache counters, request count).
     Stats,
     /// Graceful shutdown: the server finishes in-flight requests, answers
@@ -134,6 +175,11 @@ impl RequestKind {
             RequestKind::Path { .. } => "path",
             RequestKind::Hilbert { .. } => "hilbert",
             RequestKind::Explain { .. } => "explain",
+            RequestKind::SessionOpen { .. } => "session_open",
+            RequestKind::ViewAdd { .. } => "view_add",
+            RequestKind::ViewRemove { .. } => "view_remove",
+            RequestKind::Redecide { .. } => "redecide",
+            RequestKind::SessionClose { .. } => "session_close",
             RequestKind::Stats => "stats",
             RequestKind::Shutdown => "shutdown",
         }
@@ -313,12 +359,33 @@ impl Request {
                 program: fields.str("program")?,
                 query: fields.opt_str("query")?.unwrap_or_else(|| "q".to_string()),
             },
+            "session_open" => RequestKind::SessionOpen {
+                program: fields.str("program")?,
+                query: fields.opt_str("query")?.unwrap_or_else(|| "q".to_string()),
+                checkpoint_interval: fields.opt_u64("checkpoint_interval")?,
+            },
+            "view_add" => RequestKind::ViewAdd {
+                session: fields.u64("session")?,
+                view: fields.str("view")?,
+            },
+            "view_remove" => RequestKind::ViewRemove {
+                session: fields.u64("session")?,
+                view: fields.str("view")?,
+            },
+            "redecide" => RequestKind::Redecide {
+                session: fields.u64("session")?,
+                witness: fields.opt_bool("witness", false)?,
+            },
+            "session_close" => RequestKind::SessionClose {
+                session: fields.u64("session")?,
+            },
             "stats" => RequestKind::Stats,
             "shutdown" => RequestKind::Shutdown,
             other => {
                 return Err(CqdetError::schema(format!(
                     "unknown request type {other:?} \
-                     (expected decide|batch|path|hilbert|explain|stats|shutdown)"
+                     (expected decide|batch|path|hilbert|explain|session_open|\
+                      view_add|view_remove|redecide|session_close|stats|shutdown)"
                 )))
             }
         };
@@ -403,6 +470,28 @@ impl Request {
                 members.push(("program".into(), Json::str(program)));
                 members.push(("query".into(), Json::str(query)));
             }
+            RequestKind::SessionOpen {
+                program,
+                query,
+                checkpoint_interval,
+            } => {
+                members.push(("program".into(), Json::str(program)));
+                members.push(("query".into(), Json::str(query)));
+                if let Some(k) = checkpoint_interval {
+                    members.push(("checkpoint_interval".into(), Json::num(*k as i64)));
+                }
+            }
+            RequestKind::ViewAdd { session, view } | RequestKind::ViewRemove { session, view } => {
+                members.push(("session".into(), Json::num(*session as i64)));
+                members.push(("view".into(), Json::str(view)));
+            }
+            RequestKind::Redecide { session, witness } => {
+                members.push(("session".into(), Json::num(*session as i64)));
+                members.push(("witness".into(), Json::Bool(*witness)));
+            }
+            RequestKind::SessionClose { session } => {
+                members.push(("session".into(), Json::num(*session as i64)));
+            }
             RequestKind::Stats | RequestKind::Shutdown => {}
         }
         Json::Obj(members)
@@ -450,6 +539,56 @@ mod tests {
         for t in ["stats", "shutdown"] {
             let r = Request::from_line(&format!(r#"{{"id":"e","type":"{t}"}}"#)).unwrap();
             assert_eq!(r.kind.type_str(), t);
+        }
+    }
+
+    #[test]
+    fn decodes_the_session_request_family() {
+        let r = Request::from_line(
+            r#"{"id":"s1","type":"session_open","program":"v() :- R(x,y)","query":"q","checkpoint_interval":4}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            r.kind,
+            RequestKind::SessionOpen {
+                checkpoint_interval: Some(4),
+                ..
+            }
+        ));
+
+        let r = Request::from_line(
+            r#"{"id":"s2","type":"view_add","session":7,"view":"v2() :- R(x,y), R(y,z)"}"#,
+        )
+        .unwrap();
+        assert!(matches!(r.kind, RequestKind::ViewAdd { session: 7, .. }));
+
+        let r = Request::from_line(r#"{"id":"s3","type":"view_remove","session":7,"view":"v2"}"#)
+            .unwrap();
+        assert!(matches!(
+            r.kind,
+            RequestKind::ViewRemove { session: 7, ref view } if view == "v2"
+        ));
+
+        let r = Request::from_line(r#"{"id":"s4","type":"redecide","session":7,"witness":true}"#)
+            .unwrap();
+        assert!(matches!(
+            r.kind,
+            RequestKind::Redecide {
+                session: 7,
+                witness: true
+            }
+        ));
+
+        let r = Request::from_line(r#"{"id":"s5","type":"session_close","session":7}"#).unwrap();
+        assert!(matches!(r.kind, RequestKind::SessionClose { session: 7 }));
+
+        // The session id is mandatory on every mutation kind.
+        for t in ["view_add", "view_remove", "redecide", "session_close"] {
+            let err = Request::from_line(&format!(
+                r#"{{"id":"x","type":"{t}","view":"v() :- R(x,y)"}}"#
+            ))
+            .unwrap_err();
+            assert_eq!(err.code(), "schema", "{t} without a session id");
         }
     }
 
@@ -526,6 +665,52 @@ mod tests {
                 deadline_ms: None,
                 budget: None,
                 kind: RequestKind::Shutdown,
+            },
+            Request {
+                id: "r4".into(),
+                deadline_ms: Some(250),
+                budget: None,
+                kind: RequestKind::SessionOpen {
+                    program: "v() :- R(x,y)\nq() :- R(x,y)".into(),
+                    query: "q".into(),
+                    checkpoint_interval: Some(4),
+                },
+            },
+            Request {
+                id: "r5".into(),
+                deadline_ms: None,
+                budget: None,
+                kind: RequestKind::ViewAdd {
+                    session: 9,
+                    view: "v2() :- R(x,y), R(y,z)".into(),
+                },
+            },
+            Request {
+                id: "r6".into(),
+                deadline_ms: None,
+                budget: None,
+                kind: RequestKind::ViewRemove {
+                    session: 9,
+                    view: "v2".into(),
+                },
+            },
+            Request {
+                id: "r7".into(),
+                deadline_ms: None,
+                budget: Some(BudgetSpec {
+                    steps: Some(1 << 20),
+                    bytes: None,
+                }),
+                kind: RequestKind::Redecide {
+                    session: 9,
+                    witness: true,
+                },
+            },
+            Request {
+                id: "r8".into(),
+                deadline_ms: None,
+                budget: None,
+                kind: RequestKind::SessionClose { session: 9 },
             },
         ];
         for r in requests {

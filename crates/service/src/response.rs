@@ -120,6 +120,51 @@ pub enum Response {
         /// shed load, …).
         counters: EngineCounters,
     },
+    /// Answer to a `session_open` request.
+    SessionOpen {
+        /// The request id, echoed.
+        id: String,
+        /// The freshly allocated session id (the handle every later
+        /// mutation addresses).
+        session: u64,
+        /// The session's view names, program order.
+        views: Vec<String>,
+        /// The session's query name.
+        query: String,
+    },
+    /// Answer to a `view_add` / `view_remove` request.
+    SessionDelta {
+        /// The request id, echoed.
+        id: String,
+        /// The target session id, echoed.
+        session: u64,
+        /// Which mutation ran: `"view_add"` or `"view_remove"` (doubles as
+        /// the wire `type`).
+        action: &'static str,
+        /// The session's view names *after* the mutation.
+        views: Vec<String>,
+        /// The session's cumulative delta counters (adds, removes,
+        /// fast removals, replays, rebuilds) — how the echelon was
+        /// repaired is observable, not guessed.
+        counters: cqdet_core::DeltaCounters,
+    },
+    /// Answer to a `redecide` request: the full certificate record against
+    /// the session's current view set.
+    SessionDecide {
+        /// The request id, echoed.
+        id: String,
+        /// The target session id, echoed.
+        session: u64,
+        /// The full certificate record (same schema as `decide`).
+        record: Box<TaskRecord>,
+    },
+    /// Acknowledgement of a `session_close` request.
+    SessionClosed {
+        /// The request id, echoed.
+        id: String,
+        /// The closed session id, echoed.
+        session: u64,
+    },
     /// Acknowledgement of a `shutdown` request.
     Shutdown {
         /// The request id, echoed.
@@ -144,6 +189,10 @@ impl Response {
             | Response::Path { id, .. }
             | Response::Hilbert { id, .. }
             | Response::Explain { id, .. }
+            | Response::SessionOpen { id, .. }
+            | Response::SessionDelta { id, .. }
+            | Response::SessionDecide { id, .. }
+            | Response::SessionClosed { id, .. }
             | Response::Stats { id, .. }
             | Response::Shutdown { id } => Some(id),
             Response::Error { id, .. } => id.as_deref(),
@@ -158,6 +207,10 @@ impl Response {
             Response::Path { .. } => "path",
             Response::Hilbert { .. } => "hilbert",
             Response::Explain { .. } => "explain",
+            Response::SessionOpen { .. } => "session_open",
+            Response::SessionDelta { action, .. } => action,
+            Response::SessionDecide { .. } => "redecide",
+            Response::SessionClosed { .. } => "session_close",
             Response::Stats { .. } => "stats",
             Response::Shutdown { .. } => "shutdown",
             Response::Error { error, .. } => match error {
@@ -288,6 +341,41 @@ impl Response {
                 members.push(("requests".into(), Json::num(*requests as i64)));
                 members.push(("counters".into(), counters_json(counters)));
             }
+            Response::SessionOpen {
+                session,
+                views,
+                query,
+                ..
+            } => {
+                members.push(("session".into(), Json::num(*session as i64)));
+                members.push((
+                    "views".into(),
+                    Json::Arr(views.iter().map(Json::str).collect()),
+                ));
+                members.push(("query".into(), Json::str(query)));
+            }
+            Response::SessionDelta {
+                session,
+                views,
+                counters,
+                ..
+            } => {
+                members.push(("session".into(), Json::num(*session as i64)));
+                members.push((
+                    "views".into(),
+                    Json::Arr(views.iter().map(Json::str).collect()),
+                ));
+                members.push(("delta_counters".into(), delta_counters_json(counters)));
+            }
+            Response::SessionDecide {
+                session, record, ..
+            } => {
+                members.push(("session".into(), Json::num(*session as i64)));
+                members.push(("record".into(), record.to_json()));
+            }
+            Response::SessionClosed { session, .. } => {
+                members.push(("session".into(), Json::num(*session as i64)));
+            }
             Response::Shutdown { .. } => {}
             Response::Error { error, .. } => {
                 members.push(("error".into(), error_json(error)));
@@ -330,6 +418,19 @@ pub fn error_json(error: &CqdetError) -> Json {
     Json::Obj(members)
 }
 
+/// The wire JSON of a session's cumulative delta counters (the
+/// `"delta_counters"` member of `view_add` / `view_remove` responses).
+pub fn delta_counters_json(counters: &cqdet_core::DeltaCounters) -> Json {
+    Json::obj([
+        ("adds", Json::num(counters.adds as i64)),
+        ("removes", Json::num(counters.removes as i64)),
+        ("redecides", Json::num(counters.redecides as i64)),
+        ("fast_removals", Json::num(counters.fast_removals as i64)),
+        ("replays", Json::num(counters.replays as i64)),
+        ("rebuilds", Json::num(counters.rebuilds as i64)),
+    ])
+}
+
 /// The wire JSON of the per-reason robustness counters (the `"counters"`
 /// member of `stats` responses).
 pub fn counters_json(counters: &EngineCounters) -> Json {
@@ -357,6 +458,11 @@ pub fn counters_json(counters: &EngineCounters) -> Json {
         (
             "snapshot_rejected",
             Json::num(counters.snapshot_rejected as i64),
+        ),
+        ("sessions_open", Json::num(counters.sessions_open as i64)),
+        (
+            "sessions_reaped",
+            Json::num(counters.sessions_reaped as i64),
         ),
     ])
 }

@@ -88,6 +88,13 @@ pub struct ServeOptions {
     /// start, never a failed boot) and rewritten atomically when the serve
     /// loop exits.
     pub snapshot_path: Option<PathBuf>,
+    /// Idle time-to-live of mutable decision sessions: a session untouched
+    /// this long is reaped on the next sweep (any session or stats
+    /// request), its bytes discharged from the governed ledger.
+    pub session_ttl: Duration,
+    /// Cap on concurrently open mutable sessions; an open beyond the cap
+    /// (after reaping) is answered with a typed `resource_exhausted` error.
+    pub max_sessions: usize,
 }
 
 impl Default for ServeOptions {
@@ -108,6 +115,8 @@ impl Default for ServeOptions {
             inflight_budget: 4096,
             cache_bytes: None,
             snapshot_path: None,
+            session_ttl: crate::sessions::DEFAULT_SESSION_TTL,
+            max_sessions: crate::sessions::DEFAULT_MAX_SESSIONS,
         }
     }
 }
@@ -122,7 +131,11 @@ impl Default for ServeOptions {
 /// probe; likewise `cache/evict` only fires while a byte cap forces
 /// evictions (arm it with a tiny [`ServeOptions::cache_bytes`]), and the
 /// `snapshot/*` seams fire at boot/shutdown rather than per request, so
-/// they get their own save/corrupt/reload scenarios.
+/// they get their own save/corrupt/reload scenarios.  The `session/open`,
+/// `session/mutate` and `session/replay` seams fire only on mutable-session
+/// requests (`session_open`, `view_add`, `view_remove`), so the generic
+/// matrix skips them too; the dedicated session chaos scenario drives them
+/// with real mutation traffic and asserts apply-or-rollback atomicity.
 pub fn failpoint_names() -> &'static [&'static str] {
     &[
         "serve/poll",
@@ -138,6 +151,9 @@ pub fn failpoint_names() -> &'static [&'static str] {
         "decide/span",
         "session/lock",
         "session/cache-insert",
+        "session/open",
+        "session/mutate",
+        "session/replay",
         "cache/evict",
         "snapshot/save",
         "snapshot/load",
@@ -154,6 +170,8 @@ pub(crate) fn boot_engine(engine: &Engine, options: &ServeOptions) {
     if let Some(bytes) = options.cache_bytes {
         engine.set_cache_bytes(Some(bytes));
     }
+    engine.set_session_ttl(options.session_ttl);
+    engine.set_max_sessions(options.max_sessions);
     if let Some(path) = &options.snapshot_path {
         let _ = engine.warm_start(path);
     }

@@ -37,6 +37,7 @@
 //! cqdet serve [--tcp ADDR] [--workers N] [--inflight N]
 //!             [--max-line-bytes N] [--fuel-steps N] [--fuel-bytes N]
 //!             [--cache-bytes N] [--snapshot PATH]
+//!             [--session-ttl-ms N] [--max-sessions N]
 //!     The long-lived JSON-lines server.  Default transport is
 //!     stdin/stdout; `--tcp 127.0.0.1:4199` serves concurrent connections
 //!     over TCP with shared cross-connection caches (`--tcp 127.0.0.1:0`
@@ -53,8 +54,11 @@
 //!     never change; `CQDET_CACHE_BYTES` is the env equivalent) and
 //!     `--snapshot PATH` warm-starts from a checksummed snapshot at boot
 //!     (missing/corrupted file ⇒ counted cold start) and rewrites it
-//!     atomically at shutdown.  See README.md for the protocol
-//!     (request/response schema, error taxonomy, deadlines).
+//!     atomically at shutdown.  `--session-ttl-ms` sets the idle
+//!     time-to-live for mutable decision sessions (`session_open` et al.)
+//!     and `--max-sessions` caps how many may be open at once (over cap ⇒
+//!     typed `resource_exhausted` on open).  See README.md for the
+//!     protocol (request/response schema, error taxonomy, deadlines).
 //!
 //! cqdet stats --tcp ADDR
 //!     Query a running `cqdet serve --tcp` instance for its session cache
@@ -114,6 +118,7 @@ fn print_usage() {
     println!("  cqdet serve   [--tcp ADDR] [--workers N] [--inflight N]");
     println!("                [--max-line-bytes N] [--fuel-steps N] [--fuel-bytes N]");
     println!("                [--cache-bytes N] [--snapshot PATH]");
+    println!("                [--session-ttl-ms N] [--max-sessions N]");
     println!("  cqdet stats   --tcp ADDR");
     println!();
     println!("Batch task files define boolean CQs (one per line, shared by all");
@@ -154,6 +159,8 @@ struct Flags {
     max_line_bytes: Option<usize>,
     cache_bytes: Option<u64>,
     snapshot: Option<String>,
+    session_ttl_ms: Option<u64>,
+    max_sessions: Option<usize>,
 }
 
 /// Parse one positional path plus the flags in `allowed`; any other
@@ -177,6 +184,8 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
         max_line_bytes: None,
         cache_bytes: None,
         snapshot: None,
+        session_ttl_ms: None,
+        max_sessions: None,
     };
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -254,6 +263,25 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
             }
             "--snapshot" => {
                 flags.snapshot = Some(iter.next().ok_or("--snapshot needs a path")?.clone());
+            }
+            "--session-ttl-ms" => {
+                flags.session_ttl_ms = Some(
+                    iter.next()
+                        .ok_or("--session-ttl-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "--session-ttl-ms must be a non-negative integer")?,
+                );
+            }
+            "--max-sessions" => {
+                let value: usize = iter
+                    .next()
+                    .ok_or("--max-sessions needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-sessions must be a positive integer")?;
+                if value == 0 {
+                    return Err("--max-sessions must be a positive integer".to_string());
+                }
+                flags.max_sessions = Some(value);
             }
             "--repeat" => {
                 flags.repeat = iter
@@ -625,6 +653,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--fuel-bytes",
             "--cache-bytes",
             "--snapshot",
+            "--session-ttl-ms",
+            "--max-sessions",
         ],
     )?;
     if let Some(extra) = &flags.path {
@@ -647,6 +677,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         });
     let engine = Engine::new();
     engine.set_default_budget(default_budget);
+    if let Some(ttl) = flags.session_ttl_ms {
+        engine.set_session_ttl(std::time::Duration::from_millis(ttl));
+    }
+    if let Some(max) = flags.max_sessions {
+        engine.set_max_sessions(max);
+    }
     match &flags.tcp {
         None => {
             // The stdio transport has no ServeOptions boot hook: apply the
@@ -676,6 +712,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 max_request_bytes: flags.max_line_bytes.unwrap_or(defaults.max_request_bytes),
                 cache_bytes: flags.cache_bytes,
                 snapshot_path: flags.snapshot.as_ref().map(std::path::PathBuf::from),
+                session_ttl: flags
+                    .session_ttl_ms
+                    .map_or(defaults.session_ttl, std::time::Duration::from_millis),
+                max_sessions: flags.max_sessions.unwrap_or(defaults.max_sessions),
                 ..defaults
             };
             let served = serve_tcp(&engine, addr, &options, |bound| {

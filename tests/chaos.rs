@@ -543,6 +543,12 @@ fn failpoint_matrix_every_seam_every_action() {
                     // dedicated snapshot matrix below covers both seams.
                     continue;
                 }
+                if seam.starts_with("session/") {
+                    // Fires only on the session request family, which this
+                    // decide probe never sends; the dedicated session
+                    // matrix below covers all three seams.
+                    continue;
+                }
                 for action in [
                     Action::Delay(Duration::from_millis(2)),
                     Action::Err(format!("chaos injected at {seam}")),
@@ -675,6 +681,238 @@ fn shed_seam_survives_fault_matrix() {
             .as_f64()
             .expect("shed_requests counter in stats");
         assert!(counted >= total_shed as f64, "stats undercounts sheds");
+        drop(stream);
+        server.shutdown();
+    });
+}
+
+/// The three session seams (`session/open`, `session/mutate`,
+/// `session/replay`) under the full action matrix, over the real TCP
+/// server.  The invariant is atomicity: whatever fault fires mid-mutation,
+/// the session is either **fully applied** or **fully rolled back** — never
+/// a half-state.  Which of the two happened is read off the mutation's own
+/// typed response, and a follow-up `redecide` must then agree
+/// byte-for-byte with a fresh, never-faulted engine deciding exactly that
+/// view set one-shot.
+#[cfg(feature = "failpoints")]
+#[test]
+fn session_seams_survive_fault_matrix() {
+    use cqdet_failpoint::{clear, clear_all, configure, hits, Action};
+
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    clear_all();
+    with_watchdog(180, "session seam matrix", || {
+        let server = ChaosServer::start(ServeOptions::default());
+        let mut stream = server.connect();
+
+        // Disjoint-path-sum views (v_i = one path of each length 1..=i):
+        // every view is its own iso class, removing the *first* view keeps
+        // the coordinate order intact (its basis elements re-first-occur in
+        // v2 in the same relative order), so `view_remove v1` walks the
+        // in-place removal-repair path where `session/replay` is armed.
+        let path_sum = |name: &str, upto: usize| {
+            let mut atoms = Vec::new();
+            for p in 1..=upto {
+                for i in 0..p {
+                    atoms.push(format!("E(p{p}x{i},p{p}x{})", i + 1));
+                }
+            }
+            format!("{name}() :- {}", atoms.join(", "))
+        };
+        let defs: Vec<(String, String)> = (1..=4)
+            .map(|i| (format!("v{i}"), path_sum(&format!("v{i}"), i)))
+            .collect();
+        let def_of = |name: &str| -> &str { &defs.iter().find(|(n, _)| n == name).unwrap().1 };
+        let query = path_sum("q", 3);
+        let program = |names: &[&str]| {
+            let mut lines: Vec<&str> = names.iter().map(|n| def_of(n)).collect();
+            lines.push(&query);
+            lines.join("\n")
+        };
+        // The clean-engine oracle for a given view set, as wire-exact JSON.
+        let oracle = |names: &[&str]| {
+            let clean = Engine::new();
+            let line = format!(
+                r#"{{"id":"o","type":"decide","program":{},"witness":true}}"#,
+                Json::str(program(names)).render()
+            );
+            let Some(Response::Decide { record, .. }) =
+                cqdet::service::respond_to_line(&clean, &line)
+            else {
+                panic!("clean engine rejected the session oracle instance")
+            };
+            record.to_json().render()
+        };
+        let actions = || {
+            [
+                Action::Delay(Duration::from_millis(2)),
+                Action::Err("chaos injected at a session seam".into()),
+                Action::Panic,
+            ]
+        };
+
+        // One long-lived session carried through every round; `current`
+        // mirrors the view set the server must be holding.
+        let opened = roundtrip(
+            &mut stream,
+            &format!(
+                r#"{{"id":"open","type":"session_open","program":{}}}"#,
+                Json::str(program(&["v1", "v2", "v3"])).render()
+            ),
+        );
+        assert_eq!(opened.get("type").unwrap().as_str(), Some("session_open"));
+        let sid = opened.get("session").unwrap().as_u64().unwrap();
+        let redecide_line =
+            format!(r#"{{"id":"rd","type":"redecide","session":{sid},"witness":true}}"#);
+        let mut current: Vec<&str> = vec!["v1", "v2", "v3"];
+
+        // `session/open`: a faulted open yields a fresh usable session
+        // (Delay) or one typed error — never a half-registered slot.
+        for action in actions() {
+            println!("session matrix: session/open <- {action:?}");
+            configure("session/open", action.clone());
+            let response = roundtrip(
+                &mut stream,
+                &format!(
+                    r#"{{"id":"fo","type":"session_open","program":{}}}"#,
+                    Json::str(program(&["v1"])).render()
+                ),
+            );
+            let seam_hits = hits("session/open");
+            clear("session/open");
+            assert!(seam_hits >= 1, "session/open never fired ({action:?})");
+            match response.get("type").unwrap().as_str().unwrap() {
+                "session_open" => {
+                    let extra = response.get("session").unwrap().as_u64().unwrap();
+                    let closed = roundtrip(
+                        &mut stream,
+                        &format!(r#"{{"id":"fc","type":"session_close","session":{extra}}}"#),
+                    );
+                    assert_eq!(closed.get("type").unwrap().as_str(), Some("session_close"));
+                }
+                "error" => assert_eq!(
+                    response.get("error").unwrap().get("code").unwrap().as_str(),
+                    Some("internal"),
+                    "{response:?}"
+                ),
+                other => panic!("session/open under {action:?}: unexpected {other:?}"),
+            }
+        }
+
+        // `session/mutate` over `view_add`, then `session/replay` over
+        // `view_remove` (armed inside the echelon's removal repair).
+        for (seam, is_remove) in [("session/mutate", false), ("session/replay", true)] {
+            for action in actions() {
+                println!("session matrix: {seam} <- {action:?}");
+                // Warm the echelon so the mutation repairs in place (the
+                // replay seam is only on-path when session state exists).
+                let warm = roundtrip(&mut stream, &redecide_line);
+                assert_eq!(warm.get("type").unwrap().as_str(), Some("redecide"));
+                configure(seam, action.clone());
+                let (line, expect_ty) = if is_remove {
+                    (
+                        format!(
+                            r#"{{"id":"fm","type":"view_remove","session":{sid},"view":"v1"}}"#
+                        ),
+                        "view_remove",
+                    )
+                } else {
+                    (
+                        format!(
+                            r#"{{"id":"fm","type":"view_add","session":{sid},"view":{}}}"#,
+                            Json::str(def_of("v4").to_string()).render()
+                        ),
+                        "view_add",
+                    )
+                };
+                let response = roundtrip(&mut stream, &line);
+                let seam_hits = hits(seam);
+                clear(seam);
+                assert!(seam_hits >= 1, "{seam} never fired ({action:?})");
+                let applied = match response.get("type").unwrap().as_str().unwrap() {
+                    ty if ty == expect_ty => true,
+                    "error" => {
+                        assert_eq!(
+                            response.get("error").unwrap().get("code").unwrap().as_str(),
+                            Some("internal"),
+                            "{response:?}"
+                        );
+                        false
+                    }
+                    other => panic!("{seam} under {action:?}: unexpected {other:?}"),
+                };
+                if applied {
+                    if is_remove {
+                        current.retain(|n| *n != "v1");
+                    } else {
+                        current.push("v4");
+                    }
+                    // The response's own view list must agree with the
+                    // fully-applied set.
+                    let listed: Vec<String> = response
+                        .get("views")
+                        .unwrap()
+                        .as_arr()
+                        .unwrap()
+                        .iter()
+                        .map(|v| v.as_str().unwrap().to_string())
+                        .collect();
+                    assert_eq!(listed, current, "half-applied view list");
+                }
+                // Atomicity oracle: the next redecide agrees byte-for-byte
+                // with a clean engine on exactly the surviving view set.
+                let after = roundtrip(&mut stream, &redecide_line);
+                assert_eq!(
+                    after.get("type").unwrap().as_str(),
+                    Some("redecide"),
+                    "{after:?}"
+                );
+                assert_eq!(
+                    after.get("record").unwrap().render(),
+                    oracle(&current),
+                    "post-fault session diverged from a clean engine ({seam}, {action:?})"
+                );
+                // Undo the applied mutation (disarmed: must succeed) so
+                // every round starts from the same three-view set.
+                if applied {
+                    let (undo, undo_ty) = if is_remove {
+                        (
+                            format!(
+                                r#"{{"id":"um","type":"view_add","session":{sid},"view":{}}}"#,
+                                Json::str(def_of("v1").to_string()).render()
+                            ),
+                            "view_add",
+                        )
+                    } else {
+                        (
+                            format!(
+                                r#"{{"id":"um","type":"view_remove","session":{sid},"view":"v4"}}"#
+                            ),
+                            "view_remove",
+                        )
+                    };
+                    let response = roundtrip(&mut stream, &undo);
+                    assert_eq!(
+                        response.get("type").unwrap().as_str(),
+                        Some(undo_ty),
+                        "{response:?}"
+                    );
+                    if is_remove {
+                        current.push("v1");
+                    } else {
+                        current.retain(|n| *n != "v4");
+                    }
+                }
+            }
+        }
+
+        clear_all();
+        // Panics were injected at every seam; containment counted them, the
+        // session survived them, and the shared caches are still coherent.
+        assert!(server.engine.counters().panics_contained >= 1);
+        let last = roundtrip(&mut stream, &redecide_line);
+        assert_eq!(last.get("record").unwrap().render(), oracle(&current));
+        assert_oracle_matches_clean_engine(server.addr);
         drop(stream);
         server.shutdown();
     });

@@ -292,6 +292,184 @@ proptest! {
     }
 }
 
+/// The candidate-view pool for the mutable-session differential test:
+/// disjoint-path-sum prefixes `v_i` (each its own iso class; adds append,
+/// removals exercise compaction, checkpoint replay, and rebuilds), a
+/// duplicate-class edge view `e1` (≅ `v1`, so dropping either keeps the
+/// class set), and a loop view `w` (its removal makes the query's regime
+/// uncovered).  Returns `(name, definition)` pairs.
+fn session_view_pool() -> Vec<(String, String)> {
+    let mut pool: Vec<(String, String)> = (1..=5)
+        .map(|i| (format!("v{i}"), path_sum_def(&format!("v{i}"), i)))
+        .collect();
+    pool.push(("e1".to_string(), "e1() :- E(x,y)".to_string()));
+    pool.push(("w".to_string(), "w() :- E(l,l)".to_string()));
+    pool
+}
+
+/// `name() :- one path of each length 1..=upto` (fresh variables per path).
+fn path_sum_def(name: &str, upto: usize) -> String {
+    let mut atoms = Vec::new();
+    for p in 1..=upto {
+        for i in 0..p {
+            atoms.push(format!("E(p{p}x{i},p{p}x{})", i + 1));
+        }
+    }
+    format!("{name}() :- {}", atoms.join(", "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The mutable-session differential invariant: after **any** sequence
+    /// of `view_add` / `view_remove` / `redecide` mutations, a session's
+    /// `redecide` certificate is byte-identical (as wire JSON) to a fresh
+    /// engine's one-shot `decide` on the final view set.  With a tiny fuel
+    /// budget attached, any request may instead surface as a typed
+    /// `resource_exhausted` — in which case the mutation rolled back
+    /// cleanly and the session stays usable, which the same byte-identity
+    /// check (against the unmutated view set) verifies.  CI runs this
+    /// binary under both `CQDET_EXACT_LINALG` hatches, so the invariant is
+    /// pinned on the tiered and the pure-rational solvers alike.
+    #[test]
+    fn session_mutation_sequences_match_one_shot_decide(
+        opens in 1usize..4,
+        ops in prop::collection::vec((0u8..3, 0usize..7), 3..12),
+        tiny_fuel in any::<bool>(),
+        steps in 1u64..12,
+    ) {
+        let pool = session_view_pool();
+        let query = path_sum_def("q", 3);
+        let program = |idxs: &[usize]| {
+            idxs.iter()
+                .map(|&i| pool[i].1.clone())
+                .chain(std::iter::once(query.clone()))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        // The one-shot oracle: a never-mutated engine deciding the same
+        // view set, rendered exactly as the wire would carry it.
+        let one_shot = |idxs: &[usize]| -> String {
+            let fresh = Engine::new();
+            let Response::Decide { record, .. } = fresh.submit(Request {
+                id: "oracle".into(),
+                deadline_ms: None,
+                budget: None,
+                kind: RequestKind::Decide {
+                    program: program(idxs),
+                    query: "q".into(),
+                    witness: true,
+                },
+            }) else {
+                panic!("oracle decide failed")
+            };
+            record.to_json().render()
+        };
+
+        let engine = Engine::new();
+        let mut current: Vec<usize> = (0..opens).collect();
+        let open = engine.submit(Request {
+            id: "open".into(),
+            deadline_ms: None,
+            budget: None,
+            kind: RequestKind::SessionOpen {
+                program: program(&current),
+                query: "q".into(),
+                checkpoint_interval: Some(2),
+            },
+        });
+        let Response::SessionOpen { session, .. } = open else {
+            prop_assert!(false, "session_open failed: {:?}", open);
+            unreachable!()
+        };
+        let budget = tiny_fuel.then_some(BudgetSpec { steps: Some(steps), bytes: None });
+        let submit = |kind: RequestKind| {
+            engine.submit(Request {
+                id: "op".into(),
+                deadline_ms: None,
+                budget,
+                kind,
+            })
+        };
+
+        for &(op, pick) in &ops {
+            let pick = pick % pool.len();
+            match op {
+                0 => match submit(RequestKind::ViewAdd {
+                    session,
+                    view: pool[pick].1.clone(),
+                }) {
+                    Response::SessionDelta { .. } => {
+                        prop_assert!(!current.contains(&pick), "duplicate add admitted");
+                        current.push(pick);
+                    }
+                    Response::Error { error, .. } => {
+                        if current.contains(&pick) {
+                            prop_assert_eq!(error.code(), "schema");
+                        } else {
+                            // Only the fuel meter may refuse a legal add —
+                            // and then the session must have rolled back.
+                            prop_assert!(tiny_fuel, "unmetered add failed: {}", error);
+                            prop_assert_eq!(error.code(), "resource_exhausted");
+                        }
+                    }
+                    other => {
+                        prop_assert!(false, "unexpected add response: {:?}", other);
+                    }
+                },
+                1 => match submit(RequestKind::ViewRemove {
+                    session,
+                    view: pool[pick].0.clone(),
+                }) {
+                    Response::SessionDelta { .. } => {
+                        let at = current.iter().position(|&i| i == pick);
+                        prop_assert!(at.is_some(), "removed a view that was not in the set");
+                        current.remove(at.unwrap());
+                    }
+                    Response::Error { error, .. } => {
+                        if current.contains(&pick) {
+                            prop_assert!(tiny_fuel, "unmetered remove failed: {}", error);
+                            prop_assert_eq!(error.code(), "resource_exhausted");
+                        } else {
+                            prop_assert_eq!(error.code(), "schema");
+                        }
+                    }
+                    other => {
+                        prop_assert!(false, "unexpected remove response: {:?}", other);
+                    }
+                },
+                _ => match submit(RequestKind::Redecide { session, witness: true }) {
+                    Response::SessionDecide { record, .. } => {
+                        prop_assert_eq!(record.to_json().render(), one_shot(&current));
+                    }
+                    Response::Error { error, .. } => {
+                        prop_assert!(tiny_fuel, "unmetered redecide failed: {}", error);
+                        prop_assert_eq!(error.code(), "resource_exhausted");
+                    }
+                    other => {
+                        prop_assert!(false, "unexpected redecide response: {:?}", other);
+                    }
+                },
+            }
+        }
+
+        // However the metered churn went, the session is still usable: an
+        // unmetered redecide agrees byte-for-byte with the one-shot oracle
+        // on exactly the surviving view set.
+        let last = engine.submit(Request {
+            id: "final".into(),
+            deadline_ms: None,
+            budget: None,
+            kind: RequestKind::Redecide { session, witness: true },
+        });
+        let Response::SessionDecide { record, .. } = last else {
+            prop_assert!(false, "final redecide failed: {:?}", last);
+            unreachable!()
+        };
+        prop_assert_eq!(record.to_json().render(), one_shot(&current));
+    }
+}
+
 /// A deterministic three-view decide request from the seeded random
 /// instance family ([`cqdet_bench::decide_workload`]), rendered the same
 /// way the serve protocol receives programs.

@@ -194,6 +194,108 @@ fn tcp_server_answers_interleaved_requests_with_shared_caches() {
     server.wait_for_exit();
 }
 
+/// Session lifecycle over real TCP: open, add, redecide, remove, redecide,
+/// close — with every intermediate certificate byte-identical to a one-shot
+/// `decide` of the same view set, and the session counters surfaced through
+/// the `stats` response (the same line `cqdet stats --tcp` prints).
+#[test]
+fn tcp_session_lifecycle_matches_one_shot_decide() {
+    let server = Server::start();
+    let mut stream = server.connect();
+
+    let one_shot = |stream: &mut TcpStream, id: &str, program: &str| -> String {
+        let response = roundtrip(
+            stream,
+            &format!(r#"{{"id":"{id}","type":"decide","program":"{program}","witness":true}}"#),
+        );
+        assert_eq!(response.get("type").unwrap().as_str(), Some("decide"));
+        response.get("record").unwrap().render()
+    };
+
+    const V1: &str = "v1() :- E(a,b)";
+    const V2: &str = "v2() :- E(a,b), E(b,c)";
+    const V3: &str = "v3() :- E(a,b), E(b,c), E(c,d)";
+    const QUERY: &str = "q() :- E(a,b), E(u,w)";
+
+    let open = roundtrip(
+        &mut stream,
+        &format!(r#"{{"id":"o","type":"session_open","program":"{V1}\n{V2}\n{QUERY}"}}"#),
+    );
+    assert_eq!(open.get("type").unwrap().as_str(), Some("session_open"));
+    let session = open.get("session").unwrap().as_u64().expect("session id");
+    assert_eq!(open.get("views").unwrap().as_arr().unwrap().len(), 2);
+
+    let redecide_line =
+        format!(r#"{{"id":"r","type":"redecide","session":{session},"witness":true}}"#);
+    let got = roundtrip(&mut stream, &redecide_line);
+    assert_eq!(got.get("type").unwrap().as_str(), Some("redecide"));
+    assert_eq!(
+        got.get("record").unwrap().render(),
+        one_shot(&mut stream, "d0", &format!(r#"{V1}\n{V2}\n{QUERY}"#)),
+        "warm redecide must agree with a one-shot decide"
+    );
+
+    let add = roundtrip(
+        &mut stream,
+        &format!(r#"{{"id":"a","type":"view_add","session":{session},"view":"{V3}"}}"#),
+    );
+    assert_eq!(add.get("type").unwrap().as_str(), Some("view_add"));
+    assert_eq!(add.get("views").unwrap().as_arr().unwrap().len(), 3);
+    let got = roundtrip(&mut stream, &redecide_line);
+    assert_eq!(
+        got.get("record").unwrap().render(),
+        one_shot(&mut stream, "d1", &format!(r#"{V1}\n{V2}\n{V3}\n{QUERY}"#)),
+        "redecide after view_add must agree with a one-shot decide"
+    );
+
+    let remove = roundtrip(
+        &mut stream,
+        &format!(r#"{{"id":"x","type":"view_remove","session":{session},"view":"v1"}}"#),
+    );
+    assert_eq!(remove.get("type").unwrap().as_str(), Some("view_remove"));
+    assert_eq!(remove.get("views").unwrap().as_arr().unwrap().len(), 2);
+    let got = roundtrip(&mut stream, &redecide_line);
+    assert_eq!(
+        got.get("record").unwrap().render(),
+        one_shot(&mut stream, "d2", &format!(r#"{V2}\n{V3}\n{QUERY}"#)),
+        "redecide after view_remove must agree with a one-shot decide"
+    );
+
+    // The session is visible on the public stats surface (what
+    // `cqdet stats --tcp` prints) until it is closed.
+    let stats = roundtrip(&mut stream, r#"{"id":"s1","type":"stats"}"#);
+    let counters = stats.get("counters").unwrap();
+    assert_eq!(counters.get("sessions_open").unwrap().as_u64(), Some(1));
+    assert!(counters.get("sessions_reaped").unwrap().as_u64().is_some());
+
+    let closed = roundtrip(
+        &mut stream,
+        &format!(r#"{{"id":"c","type":"session_close","session":{session}}}"#),
+    );
+    assert_eq!(closed.get("type").unwrap().as_str(), Some("session_close"));
+    let stats = roundtrip(&mut stream, r#"{"id":"s2","type":"stats"}"#);
+    assert_eq!(
+        stats
+            .get("counters")
+            .unwrap()
+            .get("sessions_open")
+            .unwrap()
+            .as_u64(),
+        Some(0)
+    );
+
+    // A closed session is gone: mutations against it are typed errors.
+    let err = roundtrip(&mut stream, &redecide_line);
+    assert_eq!(err.get("type").unwrap().as_str(), Some("error"));
+    assert_eq!(
+        err.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("schema")
+    );
+
+    let _ = roundtrip(&mut stream, r#"{"id":"bye","type":"shutdown"}"#);
+    server.wait_for_exit();
+}
+
 #[test]
 fn malformed_and_expired_requests_yield_typed_responses() {
     let server = Server::start();
@@ -524,6 +626,54 @@ fn over_budget_burst_sheds_tail_in_order() {
         .as_f64()
         .expect("shed_requests in stats counters");
     assert!(shed >= 2.0, "stats must surface shed_requests, got {shed}");
+    drop(stream);
+    server.stop();
+}
+
+/// Session expiry end to end: with a tiny TTL configured through
+/// `ServeOptions`, an idle session is reaped, the reap shows up in the
+/// `stats` counters, and later requests against the dead session are typed
+/// schema errors — the connection itself stays healthy.
+#[test]
+fn idle_sessions_are_reaped_by_ttl_and_counted() {
+    let server = InProc::start(ServeOptions {
+        session_ttl: Duration::from_millis(50),
+        ..ServeOptions::default()
+    });
+    let mut stream = server.connect();
+    let open = roundtrip(
+        &mut stream,
+        r#"{"id":"o","type":"session_open","program":"v1() :- R(x,y)\nq() :- R(x,y), R(u,w)"}"#,
+    );
+    assert_eq!(open.get("type").unwrap().as_str(), Some("session_open"));
+    let session = open.get("session").unwrap().as_u64().expect("session id");
+    assert_eq!(server.engine.counters().sessions_open, 1);
+
+    // Idle past the TTL; the next request sweeps expired sessions.
+    std::thread::sleep(Duration::from_millis(120));
+    let stats = roundtrip(&mut stream, r#"{"id":"s","type":"stats"}"#);
+    let counters = stats.get("counters").unwrap();
+    assert_eq!(
+        counters.get("sessions_open").unwrap().as_u64(),
+        Some(0),
+        "idle session must be reaped: {stats:?}"
+    );
+    assert!(
+        counters.get("sessions_reaped").unwrap().as_u64().unwrap() >= 1,
+        "the reap must be counted: {stats:?}"
+    );
+
+    // The reaped session is indistinguishable from a closed one: typed
+    // schema error, connection stays up.
+    let err = roundtrip(
+        &mut stream,
+        &format!(r#"{{"id":"r","type":"redecide","session":{session}}}"#),
+    );
+    assert_eq!(err.get("type").unwrap().as_str(), Some("error"));
+    assert_eq!(
+        err.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("schema")
+    );
     drop(stream);
     server.stop();
 }
